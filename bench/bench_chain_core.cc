@@ -1,0 +1,160 @@
+// Chain substrate costs: hashing, Merkle commitment/proofs, PoW sealing by
+// difficulty, PoA sealing, and full block validation. The PoW sweep shows
+// the expected 2^bits growth; PoA sealing is constant — the quantitative
+// backing for the paper's private-chain recommendation (Section IV-3).
+
+#include <benchmark/benchmark.h>
+
+#include "chain/blockchain.h"
+#include "chain/sealer.h"
+#include "common/strings.h"
+#include "crypto/merkle.h"
+#include "crypto/sha256.h"
+
+namespace {
+
+using namespace medsync;
+using namespace medsync::chain;
+
+Transaction MakeTx(uint64_t nonce) {
+  static const crypto::KeyPair* key =
+      new crypto::KeyPair(crypto::KeyPair::FromSeed("bench-sender"));
+  Transaction tx;
+  tx.from = key->address();
+  tx.to = crypto::KeyPair::FromSeed("bench-target").address();
+  tx.nonce = nonce;
+  tx.method = "request_update";
+  Json params = Json::MakeObject();
+  params.Set("table_id", StrCat("T", nonce));
+  params.Set("digest", std::string(64, 'a'));
+  tx.params = std::move(params);
+  tx.Sign(*key);
+  return tx;
+}
+
+void BM_Sha256(benchmark::State& state) {
+  std::string data(static_cast<size_t>(state.range(0)), 'x');
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::Sha256::Hash(data));
+  }
+  state.SetBytesProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_Sha256)->Range(64, 1 << 20);
+
+void BM_MerkleRoot(benchmark::State& state) {
+  std::vector<crypto::Hash256> leaves;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    leaves.push_back(crypto::Sha256::Hash(StrCat("leaf", i)));
+  }
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::MerkleTree::ComputeRoot(leaves));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_MerkleRoot)->Range(1, 4096);
+
+void BM_MerkleProofVerify(benchmark::State& state) {
+  std::vector<crypto::Hash256> leaves;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    leaves.push_back(crypto::Sha256::Hash(StrCat("leaf", i)));
+  }
+  crypto::MerkleTree tree(leaves);
+  crypto::MerkleProof proof = tree.BuildProof(leaves.size() / 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(crypto::MerkleTree::VerifyProof(
+        leaves[leaves.size() / 2], proof, tree.root()));
+  }
+}
+BENCHMARK(BM_MerkleProofVerify)->Range(2, 4096);
+
+void BM_TransactionSignVerify(benchmark::State& state) {
+  Transaction tx = MakeTx(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tx.VerifySignature());
+  }
+}
+BENCHMARK(BM_TransactionSignVerify);
+
+void BM_PowSeal(benchmark::State& state) {
+  // Expected cost doubles per difficulty bit; this is why a 12 s public-
+  // chain block interval exists at all.
+  PowSealer sealer(static_cast<uint32_t>(state.range(0)));
+  uint64_t salt = 0;
+  for (auto _ : state) {
+    Block block;
+    block.header.height = 1;
+    block.header.timestamp = static_cast<Micros>(++salt);
+    block.header.merkle_root = crypto::Sha256::Hash(StrCat("salt", salt));
+    benchmark::DoNotOptimize(sealer.Seal(&block));
+  }
+  state.counters["difficulty_bits"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_PowSeal)->DenseRange(4, 16, 4);
+
+void BM_PoaSeal(benchmark::State& state) {
+  auto key = std::make_shared<crypto::KeyPair>(
+      crypto::KeyPair::FromSeed("authority"));
+  PoaSealer sealer({key->address()}, key);
+  uint64_t salt = 0;
+  for (auto _ : state) {
+    Block block;
+    block.header.height = 1;
+    block.header.timestamp = static_cast<Micros>(++salt);
+    block.header.merkle_root = crypto::Sha256::Hash(StrCat("salt", salt));
+    benchmark::DoNotOptimize(sealer.Seal(&block));
+  }
+}
+BENCHMARK(BM_PoaSeal);
+
+void BM_BlockValidate(benchmark::State& state) {
+  auto key = std::make_shared<crypto::KeyPair>(
+      crypto::KeyPair::FromSeed("authority"));
+  auto sealer = PoaSealer({key->address()}, key);
+  Block genesis = Blockchain::MakeGenesis(0);
+  Blockchain chain(genesis, &sealer);
+
+  Block block;
+  block.header.height = 1;
+  block.header.parent = genesis.header.Hash();
+  block.header.timestamp = 1;
+  for (int64_t i = 0; i < state.range(0); ++i) {
+    block.transactions.push_back(MakeTx(static_cast<uint64_t>(i)));
+  }
+  block.header.merkle_root = block.ComputeMerkleRoot();
+  (void)sealer.Seal(&block);
+
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(chain.ValidateStructure(block));
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_BlockValidate)->Range(1, 256);
+
+void BM_ChainAppendAndIntegrity(benchmark::State& state) {
+  auto key = std::make_shared<crypto::KeyPair>(
+      crypto::KeyPair::FromSeed("authority"));
+  for (auto _ : state) {
+    state.PauseTiming();
+    auto sealer = PoaSealer({key->address()}, key);
+    Block genesis = Blockchain::MakeGenesis(0);
+    Blockchain chain(genesis, &sealer);
+    state.ResumeTiming();
+    const Block* parent = &chain.genesis();
+    for (int64_t h = 1; h <= state.range(0); ++h) {
+      Block block;
+      block.header.height = static_cast<uint64_t>(h);
+      block.header.parent = parent->header.Hash();
+      block.header.timestamp = h;
+      block.transactions.push_back(MakeTx(static_cast<uint64_t>(h)));
+      block.header.merkle_root = block.ComputeMerkleRoot();
+      (void)sealer.Seal(&block);
+      benchmark::DoNotOptimize(chain.AddBlock(std::move(block)));
+      parent = &chain.head();
+    }
+    benchmark::DoNotOptimize(chain.VerifyIntegrity());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ChainAppendAndIntegrity)->Range(8, 128);
+
+}  // namespace

@@ -1,0 +1,116 @@
+// Fig. 1 (data distribution): the cost of deriving each of the paper's
+// fine-grained views from its owner's source, and the fine-grained vs
+// full-record trade-off the introduction motivates — a researcher scanning
+// the D23 view touches far less data than scanning full records, and the
+// derived view shrinks as medications repeat across patients.
+
+#include <benchmark/benchmark.h>
+
+#include "bx/lens_factory.h"
+#include "medical/generator.h"
+#include "medical/records.h"
+#include "relational/query.h"
+
+namespace {
+
+using namespace medsync;
+using namespace medsync::medical;
+using relational::Table;
+
+Table Full(int64_t rows) {
+  return GenerateFullRecords(
+      {.seed = 7, .record_count = static_cast<size_t>(rows)});
+}
+
+struct NamedView {
+  const char* name;
+  std::vector<std::string> source_attrs;
+  std::vector<std::string> source_key;
+  std::vector<std::string> view_attrs;
+  std::vector<std::string> view_key;
+};
+
+const NamedView kViews[] = {
+    {"D1_to_D13",
+     {kPatientId, kMedicationName, kClinicalData, kAddress, kDosage},
+     {kPatientId},
+     {kPatientId, kMedicationName, kClinicalData, kDosage},
+     {kPatientId}},
+    {"D3_to_D31",
+     {kPatientId, kMedicationName, kClinicalData, kMechanismOfAction,
+      kDosage},
+     {kPatientId},
+     {kPatientId, kMedicationName, kClinicalData, kDosage},
+     {kPatientId}},
+    {"D2_to_D23",
+     {kMedicationName, kMechanismOfAction, kModeOfAction},
+     {kMedicationName},
+     {kMedicationName, kMechanismOfAction},
+     {kMedicationName}},
+    {"D3_to_D32",
+     {kPatientId, kMedicationName, kClinicalData, kMechanismOfAction,
+      kDosage},
+     {kPatientId},
+     {kMedicationName, kMechanismOfAction},
+     {kMedicationName}},
+};
+
+void BM_DeriveView(benchmark::State& state) {
+  const NamedView& spec = kViews[state.range(0)];
+  Table full = Full(state.range(1));
+  Table source =
+      *relational::Project(full, spec.source_attrs, spec.source_key);
+  auto lens = bx::MakeProjectLens(spec.view_attrs, spec.view_key);
+  size_t view_rows = 0;
+  for (auto _ : state) {
+    auto view = lens->Get(source);
+    view_rows = view->row_count();
+    benchmark::DoNotOptimize(view);
+  }
+  state.SetLabel(spec.name);
+  state.SetItemsProcessed(state.iterations() * state.range(1));
+  state.counters["view_rows"] = static_cast<double>(view_rows);
+  state.counters["source_rows"] = static_cast<double>(state.range(1));
+}
+BENCHMARK(BM_DeriveView)
+    ->ArgsProduct({{0, 1, 2, 3}, {64, 512, 4096}});
+
+void BM_ScanSharedViewVsFullRecords(benchmark::State& state) {
+  // The introduction's motivation quantified: a researcher counting
+  // mechanisms over the fine-grained D23 view vs over full records.
+  bool fine_grained = state.range(0) == 1;
+  Table full = Full(4096);
+  Table target = fine_grained
+                     ? *relational::Project(
+                           full, {kMedicationName, kMechanismOfAction},
+                           {kMedicationName})
+                     : full;
+  size_t mech_idx = *target.schema().IndexOf(kMechanismOfAction);
+  for (auto _ : state) {
+    size_t interesting = 0;
+    for (const auto& [key, row] : target.rows()) {
+      if (row[mech_idx].AsString().find("inhibition") != std::string::npos) {
+        ++interesting;
+      }
+    }
+    benchmark::DoNotOptimize(interesting);
+  }
+  state.SetLabel(fine_grained ? "fine_grained_view" : "full_records");
+  state.counters["rows_scanned"] = static_cast<double>(target.row_count());
+}
+BENCHMARK(BM_ScanSharedViewVsFullRecords)->Arg(0)->Arg(1);
+
+void BM_ViewContentDigest(benchmark::State& state) {
+  // Digest computation is on the critical path of every update proposal.
+  Table full = Full(state.range(0));
+  auto lens = bx::MakeProjectLens(
+      {kPatientId, kMedicationName, kClinicalData, kDosage}, {kPatientId});
+  Table view = *lens->Get(full);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(view.ContentDigest());
+  }
+  state.SetItemsProcessed(state.iterations() * state.range(0));
+}
+BENCHMARK(BM_ViewContentDigest)->Range(8, 4096);
+
+}  // namespace

@@ -1,0 +1,179 @@
+// Fig. 5 (the 11-step cross-peer update workflow), end to end in simulated
+// time:
+//  * the researcher->doctor half with NO dependency on the patient view
+//    (steps 6-11 skipped) — the paper's literal storyline;
+//  * a doctor-initiated medication rename whose change overlaps BOTH
+//    views, triggering the full two-hop cascade;
+//  * the dependency-check strategy ablation (kAlwaysRederive vs
+//    kAnalyzeChange) — both settle in the same simulated time (latency is
+//    block-bound), but the analyze strategy skips sibling lens
+//    re-derivations entirely (gets_skipped counter).
+
+#include <benchmark/benchmark.h>
+
+#include "common/strings.h"
+#include "core/scenario.h"
+#include "medical/generator.h"
+#include "medical/records.h"
+
+namespace {
+
+using namespace medsync;
+using relational::Value;
+
+constexpr const char* kPD = core::ClinicScenario::kPatientDoctorTable;
+constexpr const char* kDR = core::ClinicScenario::kDoctorResearcherTable;
+constexpr Micros kBlockInterval = 1 * kMicrosPerSecond;
+
+std::unique_ptr<core::ClinicScenario> MakeClinic(
+    size_t records, core::DependencyStrategy strategy) {
+  core::ScenarioOptions options;
+  options.block_interval = kBlockInterval;
+  options.record_count = records;
+  options.strategy = strategy;
+  auto scenario = core::ClinicScenario::Create(options);
+  if (!scenario.ok()) std::abort();
+  return std::move(*scenario);
+}
+
+double SimSeconds(net::Simulator& sim, Micros start) {
+  return static_cast<double>(sim.Now() - start) / kMicrosPerSecond;
+}
+
+void BM_Fig5_NoDependencyHalf(benchmark::State& state) {
+  // Researcher updates a mechanism; doctor merges; D31 unaffected, so the
+  // patient is never bothered (steps 6-11 skipped).
+  auto strategy = state.range(1) == 0 ? core::DependencyStrategy::kAnalyzeChange
+                                      : core::DependencyStrategy::kAlwaysRederive;
+  auto clinic = MakeClinic(static_cast<size_t>(state.range(0)), strategy);
+  // Pick medications present in the generated data.
+  std::vector<Value> meds;
+  relational::Table d2 = *clinic->researcher().database().Snapshot("D2");
+  for (const auto& [key, row] : d2.rows()) {
+    meds.push_back(key[0]);
+  }
+  uint64_t round = 0;
+  for (auto _ : state) {
+    const Value& med = meds[round % meds.size()];
+    std::string new_value = StrCat("mechanism-", round++);
+    Micros start = clinic->simulator().Now();
+    Status s = clinic->researcher().UpdateSourceAndPropagate(
+        "D2", [&](relational::Database* db) {
+          return db->UpdateAttribute("D2", {med},
+                                     medical::kMechanismOfAction,
+                                     Value::String(new_value));
+        });
+    if (!s.ok()) std::abort();
+    if (!clinic->SettleAll().ok()) std::abort();
+    state.SetIterationTime(SimSeconds(clinic->simulator(), start));
+  }
+  state.SetLabel(state.range(1) == 0 ? "strategy=analyze"
+                                     : "strategy=always");
+  state.counters["records"] = static_cast<double>(state.range(0));
+  // The ablation's measured quantity: sibling gets avoided on the doctor.
+  state.counters["doctor_gets_skipped"] =
+      static_cast<double>(clinic->doctor().sync().gets_skipped());
+  state.counters["doctor_gets_executed"] =
+      static_cast<double>(clinic->doctor().sync().gets_executed());
+}
+BENCHMARK(BM_Fig5_NoDependencyHalf)
+    ->UseManualTime()
+    ->Iterations(10)
+    ->ArgsProduct({{2, 64, 512}, {0, 1}});
+
+void BM_Fig5_FullTwoHopCascade(benchmark::State& state) {
+  // Doctor renames a medication on D31: the patient fetches D13 AND the
+  // dependency check re-derives D32 and propagates to the researcher —
+  // steps 1-11 with both neighbours involved.
+  auto clinic = MakeClinic(static_cast<size_t>(state.range(0)),
+                           core::DependencyStrategy::kAnalyzeChange);
+  // Rotate over patient ids present in the data.
+  std::vector<Value> ids;
+  relational::Table d3 = *clinic->doctor().database().Snapshot("D3");
+  for (const auto& [key, row] : d3.rows()) {
+    ids.push_back(key[0]);
+  }
+  uint64_t round = 0;
+  for (auto _ : state) {
+    const Value& id = ids[round % ids.size()];
+    std::string new_name = StrCat("Renamed-", round++);
+    Micros start = clinic->simulator().Now();
+    Status s = clinic->doctor().UpdateSharedAttribute(
+        kPD, {id}, medical::kMedicationName, Value::String(new_name));
+    if (!s.ok()) std::abort();
+    if (!clinic->SettleAll().ok()) std::abort();
+    state.SetIterationTime(SimSeconds(clinic->simulator(), start));
+  }
+  state.counters["records"] = static_cast<double>(state.range(0));
+  state.counters["doctor_cascades"] =
+      static_cast<double>(clinic->doctor().stats().cascades_proposed);
+  state.counters["researcher_fetches"] =
+      static_cast<double>(clinic->researcher().stats().fetches_applied);
+  state.counters["patient_fetches"] =
+      static_cast<double>(clinic->patient().stats().fetches_applied);
+}
+BENCHMARK(BM_Fig5_FullTwoHopCascade)
+    ->UseManualTime()
+    ->Iterations(10)
+    ->Arg(2)
+    ->Arg(64)
+    ->Arg(512);
+
+void BM_Fig5_SingleHopBaseline(benchmark::State& state) {
+  // Baseline for the cascade comparison: a dosage update that only the
+  // patient cares about (one hop, no dependency work at all).
+  auto clinic = MakeClinic(static_cast<size_t>(state.range(0)),
+                           core::DependencyStrategy::kAnalyzeChange);
+  std::vector<Value> ids;
+  relational::Table d3 = *clinic->doctor().database().Snapshot("D3");
+  for (const auto& [key, row] : d3.rows()) {
+    ids.push_back(key[0]);
+  }
+  uint64_t round = 0;
+  for (auto _ : state) {
+    const Value& id = ids[round % ids.size()];
+    Micros start = clinic->simulator().Now();
+    Status s = clinic->doctor().UpdateSharedAttribute(
+        kPD, {id}, medical::kDosage,
+        Value::String(StrCat("dose-", round++)));
+    if (!s.ok()) std::abort();
+    if (!clinic->SettleAll().ok()) std::abort();
+    state.SetIterationTime(SimSeconds(clinic->simulator(), start));
+  }
+  state.counters["records"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Fig5_SingleHopBaseline)
+    ->UseManualTime()
+    ->Iterations(10)
+    ->Arg(2)
+    ->Arg(64)
+    ->Arg(512);
+
+void BM_Fig5_DependencyCheckOnly(benchmark::State& state) {
+  // The isolated cost of step 6 (no chain, no network): the doctor's
+  // dependency check after a put, by strategy and record count.
+  auto strategy = state.range(1) == 0 ? core::DependencyStrategy::kAnalyzeChange
+                                      : core::DependencyStrategy::kAlwaysRederive;
+  auto clinic = MakeClinic(static_cast<size_t>(state.range(0)), strategy);
+  core::Peer& doctor = clinic->doctor();
+  relational::Table before = *doctor.database().Snapshot("D3");
+  // Disjoint change: a mechanism edit that D31 cannot see.
+  relational::Key first_key = before.rows().begin()->first;
+  if (!doctor.database()
+           .UpdateAttribute("D3", first_key, medical::kMechanismOfAction,
+                            Value::String("bench-mechanism"))
+           .ok()) {
+    std::abort();
+  }
+  for (auto _ : state) {
+    auto refreshes = doctor.sync().FindAffectedViews("D3", before, kDR);
+    benchmark::DoNotOptimize(refreshes);
+  }
+  state.SetLabel(state.range(1) == 0 ? "strategy=analyze"
+                                     : "strategy=always");
+  state.counters["records"] = static_cast<double>(state.range(0));
+}
+BENCHMARK(BM_Fig5_DependencyCheckOnly)
+    ->ArgsProduct({{2, 64, 512, 4096}, {0, 1}});
+
+}  // namespace

@@ -1,0 +1,187 @@
+// Scalability of the architecture with the number of sharing
+// relationships: one provider (doctor) shares a per-patient fine-grained
+// view with each of N patient peers (a select∘project lens per
+// relationship). Updates to DISTINCT shared tables ride in the same blocks
+// — the one-update-per-table-per-block rule only serializes per table — so
+// aggregate committed updates per simulated second grow ~linearly in N at
+// constant per-round latency, until the per-block transaction budget caps
+// it.
+
+#include <benchmark/benchmark.h>
+
+#include "bx/compose_lens.h"
+#include "bx/lens_factory.h"
+#include "common/strings.h"
+#include "contracts/metadata_contract.h"
+#include "core/peer.h"
+#include "medical/generator.h"
+#include "medical/records.h"
+
+namespace {
+
+using namespace medsync;
+using namespace medsync::medical;
+using relational::CompareOp;
+using relational::Predicate;
+using relational::Table;
+using relational::Value;
+
+constexpr Micros kBlockInterval = 1 * kMicrosPerSecond;
+
+struct HubWorld {
+  std::unique_ptr<net::Simulator> simulator;
+  std::unique_ptr<net::Network> network;
+  std::unique_ptr<runtime::ChainNode> node;
+  std::unique_ptr<core::Peer> doctor;
+  std::vector<std::unique_ptr<core::Peer>> patients;
+  crypto::Address contract;
+  std::vector<std::string> table_ids;
+
+  void Settle() {
+    for (int i = 0; i < 600; ++i) {
+      simulator->RunFor(kBlockInterval);
+      bool idle = node->mempool().empty() && !doctor->HasPendingWork();
+      for (auto& patient : patients) {
+        idle = idle && !patient->HasPendingWork();
+      }
+      if (idle) return;
+    }
+    std::abort();
+  }
+
+  static std::unique_ptr<HubWorld> Create(size_t patient_count) {
+    auto world = std::make_unique<HubWorld>();
+    world->simulator = std::make_unique<net::Simulator>();
+    world->network = std::make_unique<net::Network>(
+        world->simulator.get(), net::LatencyModel{}, 11);
+
+    auto key = std::make_shared<crypto::KeyPair>(
+        crypto::KeyPair::FromSeed("hub-authority"));
+    auto sealer = std::make_shared<chain::PoaSealer>(
+        std::vector<crypto::Address>{key->address()}, key);
+    auto host = std::make_unique<contracts::ContractHost>();
+    host->RegisterType("metadata", contracts::MetadataContract::Create);
+    runtime::NodeConfig node_config;
+    node_config.id = "hub-node";
+    node_config.block_interval = kBlockInterval;
+    node_config.max_block_txs = 256;
+    node_config.sealing_enabled = true;
+    world->node = std::make_unique<runtime::ChainNode>(
+        node_config, world->simulator.get(), world->network.get(),
+        std::move(sealer), chain::Blockchain::MakeGenesis(0),
+        contracts::SharedDataConflictKey, std::move(host));
+    world->node->Start();
+
+    core::PeerConfig doctor_config;
+    doctor_config.name = "hub-doctor";
+    world->doctor = std::make_unique<core::Peer>(
+        doctor_config, world->simulator.get(), world->network.get(),
+        world->node.get());
+    world->doctor->Start();
+
+    // Doctor's records: one per patient.
+    Table full = GenerateFullRecords(
+        {.seed = 21, .record_count = patient_count, .first_patient_id = 1});
+    if (!world->doctor->database().CreateTable("FULL", full.schema()).ok())
+      std::abort();
+    if (!world->doctor->database().ReplaceTable("FULL", full).ok())
+      std::abort();
+
+    Result<crypto::Address> contract =
+        world->doctor->DeployMetadataContract();
+    if (!contract.ok()) std::abort();
+    world->contract = *contract;
+
+    for (size_t i = 0; i < patient_count; ++i) {
+      int64_t patient_id = static_cast<int64_t>(1 + i);
+      std::string name = StrCat("hub-patient-", i);
+      core::PeerConfig config;
+      config.name = name;
+      auto patient = std::make_unique<core::Peer>(
+          config, world->simulator.get(), world->network.get(),
+          world->node.get());
+      patient->Start();
+      patient->AddKnownPeer("hub-doctor", world->doctor->address());
+      world->doctor->AddKnownPeer(name, patient->address());
+
+      // Per-patient fine-grained view: select own row, project a0/a1/a4.
+      bx::LensPtr lens = bx::Compose(
+          bx::MakeSelectLens(Predicate::Compare(kPatientId, CompareOp::kEq,
+                                                Value::Int(patient_id))),
+          bx::MakeProjectLens({kPatientId, kMedicationName, kDosage},
+                              {kPatientId}));
+      Table view = *lens->Get(full);
+      std::string table_id = StrCat("SHARE-", i);
+      std::string doctor_view = StrCat("V", i);
+      if (!world->doctor->database().CreateTable(doctor_view, view.schema())
+               .ok())
+        std::abort();
+      if (!world->doctor->database().ReplaceTable(doctor_view, view).ok())
+        std::abort();
+      if (!patient->database().CreateTable("MINE", view.schema()).ok())
+        std::abort();
+      if (!patient->database().ReplaceTable("MINE", view).ok()) std::abort();
+      if (!patient->database().CreateTable("SHARED", view.schema()).ok())
+        std::abort();
+      if (!patient->database().ReplaceTable("SHARED", view).ok())
+        std::abort();
+
+      core::SharedTableConfig doctor_cfg{table_id, "FULL", doctor_view, lens,
+                                         world->contract};
+      core::SharedTableConfig patient_cfg{table_id, "MINE", "SHARED",
+                                          bx::MakeIdentityLens(),
+                                          world->contract};
+      if (!world->doctor->AdoptSharedTable(doctor_cfg).ok()) std::abort();
+      if (!patient->AdoptSharedTable(patient_cfg).ok()) std::abort();
+      if (!world->doctor
+               ->RegisterSharedTableOnChain(
+                   doctor_cfg,
+                   {world->doctor->address(), patient->address()},
+                   {{kMedicationName, {world->doctor->address()}},
+                    {kDosage, {world->doctor->address()}}},
+                   {world->doctor->address()}, world->doctor->address())
+               .ok()) {
+        std::abort();
+      }
+      world->table_ids.push_back(table_id);
+      world->patients.push_back(std::move(patient));
+    }
+    world->Settle();
+    return world;
+  }
+};
+
+void BM_SharingRelationshipsScale(benchmark::State& state) {
+  size_t patients = static_cast<size_t>(state.range(0));
+  auto world = HubWorld::Create(patients);
+  uint64_t round = 0;
+  for (auto _ : state) {
+    Micros start = world->simulator->Now();
+    // One dosage update per sharing relationship, all in the same window.
+    for (size_t i = 0; i < patients; ++i) {
+      Status s = world->doctor->UpdateSharedAttribute(
+          world->table_ids[i], {Value::Int(static_cast<int64_t>(1 + i))},
+          kDosage, Value::String(StrCat("dose-", round, "-", i)));
+      if (!s.ok()) std::abort();
+    }
+    ++round;
+    world->Settle();
+    state.SetIterationTime(
+        static_cast<double>(world->simulator->Now() - start) /
+        kMicrosPerSecond);
+  }
+  // items/s = committed updates per simulated second (aggregate).
+  state.SetItemsProcessed(state.iterations() * patients);
+  state.counters["sharing_relationships"] = static_cast<double>(patients);
+  state.counters["chain_height"] =
+      static_cast<double>(world->node->blockchain().height());
+}
+BENCHMARK(BM_SharingRelationshipsScale)
+    ->UseManualTime()
+    ->Iterations(3)
+    ->Arg(1)
+    ->Arg(4)
+    ->Arg(16)
+    ->Arg(32);
+
+}  // namespace

@@ -1,0 +1,154 @@
+#include "bx/join_lens.h"
+
+#include "common/strings.h"
+
+namespace medsync::bx {
+
+using relational::AttributeDef;
+using relational::Key;
+using relational::Row;
+using relational::Schema;
+using relational::Table;
+using relational::Value;
+
+LookupJoinLens::LookupJoinLens(Table reference)
+    : reference_(std::move(reference)) {}
+
+std::vector<size_t> LookupJoinLens::ExtraIndices() const {
+  std::vector<size_t> extras;
+  const Schema& rs = reference_.schema();
+  for (size_t i = 0; i < rs.attribute_count(); ++i) {
+    if (!rs.IsKeyAttribute(rs.attributes()[i].name)) extras.push_back(i);
+  }
+  return extras;
+}
+
+Result<Schema> LookupJoinLens::ViewSchema(const Schema& source_schema) const {
+  const Schema& rs = reference_.schema();
+  // Every reference key attribute must exist in the source, same type.
+  for (size_t idx : rs.key_indices()) {
+    const AttributeDef& key_attr = rs.attributes()[idx];
+    std::optional<size_t> source_idx = source_schema.IndexOf(key_attr.name);
+    if (!source_idx.has_value()) {
+      return Status::InvalidArgument(
+          StrCat("lookup join key '", key_attr.name, "' not in source"));
+    }
+    if (source_schema.attributes()[*source_idx].type != key_attr.type) {
+      return Status::InvalidArgument(
+          StrCat("lookup join key '", key_attr.name, "' type mismatch"));
+    }
+  }
+  // Enrichment columns must not collide with source attributes.
+  std::vector<AttributeDef> attrs = source_schema.attributes();
+  for (size_t idx : ExtraIndices()) {
+    const AttributeDef& extra = reference_.schema().attributes()[idx];
+    if (source_schema.HasAttribute(extra.name)) {
+      return Status::InvalidArgument(
+          StrCat("enrichment attribute '", extra.name,
+                 "' collides with a source attribute"));
+    }
+    attrs.push_back(extra);
+  }
+  return Schema::Create(std::move(attrs), source_schema.key_attributes());
+}
+
+Result<Table> LookupJoinLens::Get(const Table& source) const {
+  MEDSYNC_ASSIGN_OR_RETURN(Schema view_schema, ViewSchema(source.schema()));
+  const Schema& rs = reference_.schema();
+  std::vector<size_t> source_key_idx;
+  for (const std::string& key : rs.key_attributes()) {
+    source_key_idx.push_back(*source.schema().IndexOf(key));
+  }
+  std::vector<size_t> extras = ExtraIndices();
+
+  Table view(view_schema);
+  for (const auto& [key, row] : source.rows()) {
+    Key lookup;
+    lookup.reserve(source_key_idx.size());
+    for (size_t idx : source_key_idx) lookup.push_back(row[idx]);
+    std::optional<Row> match = reference_.Get(lookup);
+    if (!match.has_value()) {
+      return Status::FailedPrecondition(
+          StrCat("lookup join is not total: no reference entry for ",
+                 relational::RowToString(lookup)));
+    }
+    Row joined = row;
+    for (size_t idx : extras) joined.push_back((*match)[idx]);
+    MEDSYNC_RETURN_IF_ERROR(view.Insert(std::move(joined)));
+  }
+  return view;
+}
+
+Result<Table> LookupJoinLens::Put(const Table& source,
+                                  const Table& view) const {
+  MEDSYNC_ASSIGN_OR_RETURN(Schema expected_vs, ViewSchema(source.schema()));
+  if (view.schema() != expected_vs) {
+    return Status::InvalidArgument(
+        "lookup join put: view schema does not match lens definition");
+  }
+  const Schema& rs = reference_.schema();
+  std::vector<size_t> view_key_idx;  // join key positions in the view
+  for (const std::string& key : rs.key_attributes()) {
+    view_key_idx.push_back(*expected_vs.IndexOf(key));
+  }
+  std::vector<size_t> extras = ExtraIndices();
+  const size_t source_arity = source.schema().attribute_count();
+
+  Table updated(source.schema());
+  for (const auto& [key, vrow] : view.rows()) {
+    Key lookup;
+    lookup.reserve(view_key_idx.size());
+    for (size_t idx : view_key_idx) lookup.push_back(vrow[idx]);
+    std::optional<Row> match = reference_.Get(lookup);
+    if (!match.has_value()) {
+      return Status::FailedPrecondition(
+          StrCat("untranslatable view update: no reference entry for ",
+                 relational::RowToString(lookup)));
+    }
+    // The enrichment columns must agree with the reference — they are
+    // read-only through this lens.
+    for (size_t e = 0; e < extras.size(); ++e) {
+      if (vrow[source_arity + e] != (*match)[extras[e]]) {
+        return Status::FailedPrecondition(StrCat(
+            "untranslatable view update: enrichment attribute '",
+            rs.attributes()[extras[e]].name,
+            "' disagrees with the reference for ",
+            relational::RowToString(lookup)));
+      }
+    }
+    Row srow(vrow.begin(), vrow.begin() + static_cast<long>(source_arity));
+    MEDSYNC_RETURN_IF_ERROR(updated.Insert(std::move(srow)));
+  }
+  return updated;
+}
+
+Result<SourceFootprint> LookupJoinLens::Footprint(
+    const Schema& source_schema) const {
+  MEDSYNC_RETURN_IF_ERROR(ViewSchema(source_schema).status());
+  SourceFootprint fp;
+  for (const AttributeDef& attr : source_schema.attributes()) {
+    fp.read.insert(attr.name);
+    fp.written.insert(attr.name);
+  }
+  fp.affects_membership = true;
+  return fp;
+}
+
+Json LookupJoinLens::ToJson() const {
+  Json out = Json::MakeObject();
+  out.Set("lens", "lookup_join");
+  out.Set("reference", reference_.ToJson());
+  return out;
+}
+
+std::string LookupJoinLens::ToString() const {
+  return StrCat("lookup_join[", Join(reference_.schema().key_attributes(),
+                                     ","),
+                " -> ", reference_.row_count(), " reference rows]");
+}
+
+Result<LensPtr> MakeLookupJoinLens(Table reference) {
+  return LensPtr(std::make_shared<LookupJoinLens>(std::move(reference)));
+}
+
+}  // namespace medsync::bx

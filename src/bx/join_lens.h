@@ -1,0 +1,68 @@
+#ifndef MEDSYNC_BX_JOIN_LENS_H_
+#define MEDSYNC_BX_JOIN_LENS_H_
+
+#include <string>
+#include <vector>
+
+#include "bx/lens.h"
+
+namespace medsync::bx {
+
+/// The lookup-join (enrichment) lens: the view is the source joined
+/// against a FIXED reference table on the reference's key attributes —
+/// the constant-complement instance of the classical view-update join.
+///
+/// Example from the medical domain: the shared view enriches each
+/// prescription row with the catalog's mechanism-of-action columns,
+///
+///   source (a0 -> a1)  ⋈  reference (a1 -> a5, a6)   =   view (a0 -> a1,a5,a6)
+///
+/// Get requires the lookup to be TOTAL: every source row must match
+/// exactly one reference row (a dangling medication name is an error, not
+/// a silently dropped row — dropping would break GetPut).
+///
+/// Put accepts a view edit iff the enriched attributes of every view row
+/// agree with the reference entry for that row's (possibly edited) join
+/// key; the updated source is the view projected back onto the source
+/// attributes. Editing an enriched attribute directly is untranslatable
+/// (the reference is not writable through this lens) and rejected.
+/// Changing a row's join key is fine — as long as the row's enriched
+/// attributes are updated to the NEW key's reference values.
+///
+/// Well-behaved by construction: Get(Put(S,V)) rebuilds each view row from
+/// its own projection plus the reference row its join key names — which is
+/// the row itself; Put(S, Get(S)) projects the join back to S.
+class LookupJoinLens : public Lens {
+ public:
+  /// `reference` must be keyed by exactly the attributes it is joined on;
+  /// its key attributes must exist in the source with matching types.
+  explicit LookupJoinLens(relational::Table reference);
+
+  const relational::Table& reference() const { return reference_; }
+
+  Result<relational::Schema> ViewSchema(
+      const relational::Schema& source_schema) const override;
+  Result<relational::Table> Get(
+      const relational::Table& source) const override;
+  Result<relational::Table> Put(
+      const relational::Table& source,
+      const relational::Table& view) const override;
+  Result<SourceFootprint> Footprint(
+      const relational::Schema& source_schema) const override;
+  Json ToJson() const override;
+  std::string ToString() const override;
+
+ private:
+  /// Indices of the reference's NON-key attributes (the enrichment
+  /// columns appended to the view).
+  std::vector<size_t> ExtraIndices() const;
+
+  relational::Table reference_;
+};
+
+/// Factory registered with LensFromJson under kind "lookup_join".
+Result<LensPtr> MakeLookupJoinLens(relational::Table reference);
+
+}  // namespace medsync::bx
+
+#endif  // MEDSYNC_BX_JOIN_LENS_H_

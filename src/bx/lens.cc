@@ -1,0 +1,42 @@
+#include "bx/lens.h"
+
+namespace medsync::bx {
+
+Result<relational::Table> IdentityLens::Put(
+    const relational::Table& source, const relational::Table& view) const {
+  if (view.schema() != source.schema()) {
+    return Status::InvalidArgument(
+        "identity lens: view schema differs from source schema");
+  }
+  return view;
+}
+
+Result<SourceFootprint> IdentityLens::Footprint(
+    const relational::Schema& source_schema) const {
+  SourceFootprint fp;
+  for (const relational::AttributeDef& attr : source_schema.attributes()) {
+    fp.read.insert(attr.name);
+    fp.written.insert(attr.name);
+  }
+  fp.affects_membership = true;
+  return fp;
+}
+
+Json IdentityLens::ToJson() const {
+  Json out = Json::MakeObject();
+  out.Set("lens", "identity");
+  return out;
+}
+
+bool FootprintsMayOverlap(const SourceFootprint& a, const SourceFootprint& b) {
+  if (a.affects_membership || b.affects_membership) return true;
+  for (const std::string& attr : a.written) {
+    if (b.read.count(attr) > 0) return true;
+  }
+  for (const std::string& attr : b.written) {
+    if (a.read.count(attr) > 0) return true;
+  }
+  return false;
+}
+
+}  // namespace medsync::bx

@@ -1,0 +1,112 @@
+#ifndef MEDSYNC_BX_LENS_H_
+#define MEDSYNC_BX_LENS_H_
+
+#include <memory>
+#include <set>
+#include <string>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "relational/table.h"
+
+namespace medsync::bx {
+
+/// The set of source attributes a lens's view content depends on. Used by
+/// the overlap analysis behind step 6 of the paper's Fig. 5 workflow: two
+/// views of the same source are independent if their footprints are
+/// disjoint, in which case writing one back can never change the other.
+struct SourceFootprint {
+  /// Attributes whose values flow into the view (projection columns plus
+  /// predicate columns).
+  std::set<std::string> read;
+  /// Attributes a Put can modify in the source (excludes predicate-only
+  /// columns).
+  std::set<std::string> written;
+  /// Whether a Put can insert or delete whole source rows (then it can
+  /// affect any other view regardless of attribute footprints).
+  bool affects_membership = false;
+};
+
+/// An asymmetric lens between a keyed source table and a keyed view table
+/// (Foster et al., TOPLAS 2007 — the BX model the paper builds on).
+///
+///   Get : Source -> View            derives the shared fine-grained piece
+///   Put : Source x View -> Source   writes a modified view back
+///
+/// A well-behaved lens satisfies, for all valid sources S and views V:
+///   PutGet:  Get(Put(S, V)) == V
+///   GetPut:  Put(S, Get(S)) == S
+/// The checkers in bx/laws.h verify these laws mechanically; the property
+/// tests run them across randomized tables and lens compositions.
+///
+/// Lenses are immutable and serializable (ToJson / lens_factory.h
+/// LensFromJson) because sharing peers must agree on the exact view
+/// definition when they register a shared table on-chain.
+class Lens {
+ public:
+  virtual ~Lens() = default;
+
+  /// The view schema induced for a given source schema, or an error if the
+  /// lens does not apply (unknown attributes, key not preserved, ...).
+  virtual Result<relational::Schema> ViewSchema(
+      const relational::Schema& source_schema) const = 0;
+
+  /// Forward direction: derives the view from the source.
+  virtual Result<relational::Table> Get(
+      const relational::Table& source) const = 0;
+
+  /// Backward direction: produces an updated source that is consistent with
+  /// `view`. Not every view edit is translatable (e.g. inserting a view row
+  /// whose hidden source attributes cannot be defaulted); untranslatable
+  /// updates fail with FailedPrecondition/InvalidArgument rather than
+  /// guessing — rejecting is the only law-preserving choice.
+  virtual Result<relational::Table> Put(
+      const relational::Table& source,
+      const relational::Table& view) const = 0;
+
+  /// Conservative footprint on `source_schema` for the overlap analysis.
+  virtual Result<SourceFootprint> Footprint(
+      const relational::Schema& source_schema) const = 0;
+
+  /// Serializable lens specification (round-trips via LensFromJson).
+  virtual Json ToJson() const = 0;
+
+  /// Human-readable rendering, e.g. "project[a0,a1,a4 key a0]".
+  virtual std::string ToString() const = 0;
+};
+
+using LensPtr = std::shared_ptr<const Lens>;
+
+/// The identity lens: view == source. Mostly useful in compositions and as
+/// the degenerate case of full-table sharing (what prior systems like
+/// MedRec share — see the related-work benches).
+class IdentityLens : public Lens {
+ public:
+  IdentityLens() = default;
+
+  Result<relational::Schema> ViewSchema(
+      const relational::Schema& source_schema) const override {
+    return source_schema;
+  }
+  Result<relational::Table> Get(
+      const relational::Table& source) const override {
+    return source;
+  }
+  Result<relational::Table> Put(
+      const relational::Table& source,
+      const relational::Table& view) const override;
+  Result<SourceFootprint> Footprint(
+      const relational::Schema& source_schema) const override;
+  Json ToJson() const override;
+  std::string ToString() const override { return "identity"; }
+};
+
+/// True if two views with the given footprints may share source data, i.e.
+/// writing one back may require re-deriving the other (Fig. 5 step 6). The
+/// test is conservative: membership-affecting lenses always overlap; two
+/// lenses overlap if one's written set intersects the other's read set.
+bool FootprintsMayOverlap(const SourceFootprint& a, const SourceFootprint& b);
+
+}  // namespace medsync::bx
+
+#endif  // MEDSYNC_BX_LENS_H_

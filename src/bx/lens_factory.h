@@ -1,0 +1,33 @@
+#ifndef MEDSYNC_BX_LENS_FACTORY_H_
+#define MEDSYNC_BX_LENS_FACTORY_H_
+
+#include <string>
+#include <vector>
+
+#include "bx/lens.h"
+#include "relational/predicate.h"
+
+namespace medsync::bx {
+
+/// Deserializes a lens specification produced by Lens::ToJson(). This is
+/// how a sharing peer reconstructs the exact agreed view definition from
+/// the metadata registered on-chain.
+Result<LensPtr> LensFromJson(const Json& json);
+
+/// Round-trip helper for text specs.
+Result<LensPtr> LensFromSpec(std::string_view spec_text);
+
+/// Convenience constructors mirroring a small combinator DSL.
+LensPtr MakeIdentityLens();
+LensPtr MakeProjectLens(std::vector<std::string> attributes,
+                        std::vector<std::string> view_key);
+LensPtr MakeSelectLens(relational::Predicate::Ptr predicate);
+LensPtr MakeRenameLens(
+    std::vector<std::pair<std::string, std::string>> renames);
+
+/// Structural lens equality via canonical serialization.
+bool LensEqual(const LensPtr& a, const LensPtr& b);
+
+}  // namespace medsync::bx
+
+#endif  // MEDSYNC_BX_LENS_FACTORY_H_

@@ -1,0 +1,59 @@
+#include "bx/overlap.h"
+
+namespace medsync::bx {
+
+using relational::Schema;
+using relational::Table;
+
+Result<SourceChange> AnalyzeSourceChange(const Table& before,
+                                         const Table& after) {
+  if (before.schema() != after.schema()) {
+    return Status::InvalidArgument(
+        "source change analysis requires identical schemas");
+  }
+  const Schema& schema = before.schema();
+  SourceChange change;
+  for (const auto& [key, row] : after.rows()) {
+    std::optional<relational::Row> old = before.Get(key);
+    if (!old.has_value()) {
+      change.membership_changed = true;
+      continue;
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (row[i] != (*old)[i]) {
+        change.changed_attributes.insert(schema.attributes()[i].name);
+      }
+    }
+  }
+  if (!change.membership_changed) {
+    for (const auto& [key, row] : before.rows()) {
+      if (!after.Contains(key)) {
+        change.membership_changed = true;
+        break;
+      }
+    }
+  }
+  return change;
+}
+
+Result<bool> LensesMayInteract(const Lens& a, const Lens& b,
+                               const Schema& source_schema) {
+  MEDSYNC_ASSIGN_OR_RETURN(SourceFootprint fa, a.Footprint(source_schema));
+  MEDSYNC_ASSIGN_OR_RETURN(SourceFootprint fb, b.Footprint(source_schema));
+  return FootprintsMayOverlap(fa, fb);
+}
+
+Result<bool> ChangeMayAffectView(const Lens& lens,
+                                 const Schema& source_schema,
+                                 const SourceChange& change) {
+  if (change.empty()) return false;
+  MEDSYNC_ASSIGN_OR_RETURN(SourceFootprint fp, lens.Footprint(source_schema));
+  // Inserted/deleted source rows can enter or leave any view.
+  if (change.membership_changed) return true;
+  for (const std::string& attr : change.changed_attributes) {
+    if (fp.read.count(attr) > 0) return true;
+  }
+  return false;
+}
+
+}  // namespace medsync::bx

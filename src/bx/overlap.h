@@ -1,0 +1,48 @@
+#ifndef MEDSYNC_BX_OVERLAP_H_
+#define MEDSYNC_BX_OVERLAP_H_
+
+#include <set>
+#include <string>
+
+#include "bx/lens.h"
+#include "relational/table.h"
+
+namespace medsync::bx {
+
+/// What actually changed in a source table between two versions — the
+/// dynamic counterpart of the static SourceFootprint. Step 6 of the
+/// paper's Fig. 5 asks: after writing view A back into the source, does
+/// view B need to be re-derived and propagated? Comparing the concrete
+/// change against B's footprint answers that without recomputing B.
+struct SourceChange {
+  /// Attribute names whose value differs in at least one surviving row.
+  std::set<std::string> changed_attributes;
+  /// Whether rows were inserted or deleted.
+  bool membership_changed = false;
+
+  bool empty() const {
+    return changed_attributes.empty() && !membership_changed;
+  }
+};
+
+/// Computes the change between two versions of the same-schema table.
+Result<SourceChange> AnalyzeSourceChange(const relational::Table& before,
+                                         const relational::Table& after);
+
+/// Static test: may the views of `a` and `b` over `source_schema` share
+/// source data at all? (If not, no update to one ever requires refreshing
+/// the other.) Conservative — false positives allowed, false negatives not.
+Result<bool> LensesMayInteract(const Lens& a, const Lens& b,
+                               const relational::Schema& source_schema);
+
+/// Dynamic test: given a concrete source change, may `lens`'s view have
+/// changed? Conservative. Used by SyncManager's "analyze" dependency-check
+/// strategy; the "always" strategy skips this and re-derives every view
+/// (the ablation benchmarked in bench_fig5_cascade).
+Result<bool> ChangeMayAffectView(const Lens& lens,
+                                 const relational::Schema& source_schema,
+                                 const SourceChange& change);
+
+}  // namespace medsync::bx
+
+#endif  // MEDSYNC_BX_OVERLAP_H_

@@ -1,0 +1,124 @@
+#include "chain/block.h"
+
+namespace medsync::chain {
+
+namespace {
+Json HeaderJsonWithoutSeal(const BlockHeader& header) {
+  Json out = Json::MakeObject();
+  out.Set("height", header.height);
+  out.Set("parent", header.parent.ToHex());
+  out.Set("merkle_root", header.merkle_root.ToHex());
+  out.Set("timestamp", header.timestamp);
+  out.Set("difficulty", static_cast<int64_t>(header.difficulty));
+  out.Set("pow_nonce", header.pow_nonce);
+  out.Set("sealer", header.sealer.ToHex());
+  return out;
+}
+}  // namespace
+
+crypto::Hash256 BlockHeader::SealDigest() const {
+  return crypto::Sha256::Hash(HeaderJsonWithoutSeal(*this).Dump());
+}
+
+crypto::Hash256 BlockHeader::Hash() const {
+  Json full = HeaderJsonWithoutSeal(*this);
+  full.Set("seal", seal.ToHex());
+  return crypto::Sha256::Hash(full.Dump());
+}
+
+Json BlockHeader::ToJson() const {
+  Json out = HeaderJsonWithoutSeal(*this);
+  Json seal_json = Json::MakeObject();
+  seal_json.Set("mac", seal.mac.ToHex());
+  seal_json.Set("pub", seal.pub_hint.ToHex());
+  out.Set("seal", std::move(seal_json));
+  return out;
+}
+
+Result<BlockHeader> BlockHeader::FromJson(const Json& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("block header JSON must be an object");
+  }
+  BlockHeader header;
+  bool ok = false;
+  MEDSYNC_ASSIGN_OR_RETURN(int64_t height, json.GetInt("height"));
+  header.height = static_cast<uint64_t>(height);
+  MEDSYNC_ASSIGN_OR_RETURN(std::string parent_hex, json.GetString("parent"));
+  header.parent = crypto::Hash256::FromHex(parent_hex, &ok);
+  if (!ok) return Status::InvalidArgument("bad parent hash");
+  MEDSYNC_ASSIGN_OR_RETURN(std::string root_hex,
+                           json.GetString("merkle_root"));
+  header.merkle_root = crypto::Hash256::FromHex(root_hex, &ok);
+  if (!ok) return Status::InvalidArgument("bad merkle root");
+  MEDSYNC_ASSIGN_OR_RETURN(header.timestamp, json.GetInt("timestamp"));
+  MEDSYNC_ASSIGN_OR_RETURN(int64_t difficulty, json.GetInt("difficulty"));
+  header.difficulty = static_cast<uint32_t>(difficulty);
+  MEDSYNC_ASSIGN_OR_RETURN(int64_t pow_nonce, json.GetInt("pow_nonce"));
+  header.pow_nonce = static_cast<uint64_t>(pow_nonce);
+  MEDSYNC_ASSIGN_OR_RETURN(std::string sealer_hex, json.GetString("sealer"));
+  header.sealer = crypto::Address::FromHex(sealer_hex, &ok);
+  if (!ok) return Status::InvalidArgument("bad sealer address");
+
+  const Json& seal = json.At("seal");
+  MEDSYNC_ASSIGN_OR_RETURN(std::string mac_hex, seal.GetString("mac"));
+  header.seal.mac = crypto::Hash256::FromHex(mac_hex, &ok);
+  if (!ok) return Status::InvalidArgument("bad seal mac");
+  MEDSYNC_ASSIGN_OR_RETURN(std::string pub_hex, seal.GetString("pub"));
+  header.seal.pub_hint = crypto::Hash256::FromHex(pub_hex, &ok);
+  if (!ok) return Status::InvalidArgument("bad seal pub hint");
+  return header;
+}
+
+std::vector<crypto::Hash256> Block::TransactionLeaves() const {
+  std::vector<crypto::Hash256> leaves;
+  leaves.reserve(transactions.size());
+  for (const Transaction& tx : transactions) leaves.push_back(tx.Id());
+  return leaves;
+}
+
+crypto::Hash256 Block::ComputeMerkleRoot() const {
+  return crypto::MerkleTree::ComputeRoot(TransactionLeaves());
+}
+
+Json Block::ToJson() const {
+  Json txs = Json::MakeArray();
+  for (const Transaction& tx : transactions) txs.Append(tx.ToJson());
+  Json out = Json::MakeObject();
+  out.Set("header", header.ToJson());
+  out.Set("transactions", std::move(txs));
+  return out;
+}
+
+Result<Block> Block::FromJson(const Json& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("block JSON must be an object");
+  }
+  Block block;
+  MEDSYNC_ASSIGN_OR_RETURN(block.header,
+                           BlockHeader::FromJson(json.At("header")));
+  const Json& txs = json.At("transactions");
+  if (!txs.is_array()) {
+    return Status::InvalidArgument("block JSON needs 'transactions' array");
+  }
+  for (const Json& t : txs.AsArray()) {
+    MEDSYNC_ASSIGN_OR_RETURN(Transaction tx, Transaction::FromJson(t));
+    block.transactions.push_back(std::move(tx));
+  }
+  return block;
+}
+
+bool MeetsDifficulty(const crypto::Hash256& hash, uint32_t difficulty) {
+  uint32_t remaining = difficulty;
+  for (uint8_t byte : hash.bytes) {
+    if (remaining == 0) return true;
+    if (remaining >= 8) {
+      if (byte != 0) return false;
+      remaining -= 8;
+    } else {
+      return (byte >> (8 - remaining)) == 0;
+    }
+  }
+  return remaining == 0;
+}
+
+}  // namespace medsync::chain

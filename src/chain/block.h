@@ -1,0 +1,62 @@
+#ifndef MEDSYNC_CHAIN_BLOCK_H_
+#define MEDSYNC_CHAIN_BLOCK_H_
+
+#include <string>
+#include <vector>
+
+#include "chain/transaction.h"
+#include "common/clock.h"
+#include "common/json.h"
+#include "common/result.h"
+#include "crypto/merkle.h"
+#include "crypto/sha256.h"
+
+namespace medsync::chain {
+
+/// Block header. `difficulty`/`pow_nonce` are used in proof-of-work mode;
+/// `sealer`/`seal` in proof-of-authority mode (the paper suggests a private
+/// chain, Section IV-3, which PoA models; PoW models the public-Ethereum
+/// deployment it compares against).
+struct BlockHeader {
+  uint64_t height = 0;
+  crypto::Hash256 parent;
+  crypto::Hash256 merkle_root;
+  Micros timestamp = 0;
+  uint32_t difficulty = 0;    // required leading zero bits (PoW)
+  uint64_t pow_nonce = 0;     // search nonce (PoW)
+  crypto::Address sealer;     // sealing authority (PoA), zero for PoW
+  crypto::Signature seal;     // authority signature over SealDigest (PoA)
+
+  /// The block id: hash over every header field including the seal.
+  crypto::Hash256 Hash() const;
+
+  /// Pre-image the PoA authority signs (everything except `seal`). PoW
+  /// searches pow_nonce so that Hash() meets the difficulty on this digest
+  /// too — both modes bind the same fields.
+  crypto::Hash256 SealDigest() const;
+
+  Json ToJson() const;
+  static Result<BlockHeader> FromJson(const Json& json);
+};
+
+/// A full block: header plus the ordered transaction list the Merkle root
+/// commits to.
+struct Block {
+  BlockHeader header;
+  std::vector<Transaction> transactions;
+
+  crypto::Hash256 ComputeMerkleRoot() const;
+
+  /// Leaf digests (transaction ids) in block order.
+  std::vector<crypto::Hash256> TransactionLeaves() const;
+
+  Json ToJson() const;
+  static Result<Block> FromJson(const Json& json);
+};
+
+/// True if `hash` has at least `difficulty` leading zero BITS.
+bool MeetsDifficulty(const crypto::Hash256& hash, uint32_t difficulty);
+
+}  // namespace medsync::chain
+
+#endif  // MEDSYNC_CHAIN_BLOCK_H_

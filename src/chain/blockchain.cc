@@ -1,0 +1,199 @@
+#include "chain/blockchain.h"
+
+#include <cassert>
+
+#include "common/strings.h"
+
+namespace medsync::chain {
+
+Block Blockchain::MakeGenesis(Micros timestamp) {
+  Block genesis;
+  genesis.header.height = 0;
+  genesis.header.parent = crypto::Hash256::Zero();
+  genesis.header.timestamp = timestamp;
+  genesis.header.merkle_root = genesis.ComputeMerkleRoot();
+  return genesis;
+}
+
+Blockchain::Blockchain(Block genesis, const Sealer* sealer,
+                       ConflictKeyFn conflict_key)
+    : sealer_(sealer), conflict_key_(std::move(conflict_key)) {
+  assert(genesis.header.height == 0);
+  genesis_hash_ = genesis.header.Hash();
+  head_hash_ = genesis_hash_;
+  Node node;
+  node.block = std::move(genesis);
+  blocks_.emplace(genesis_hash_.ToHex(), std::move(node));
+}
+
+Status Blockchain::ValidateStructure(const Block& block) const {
+  if (block.header.merkle_root != block.ComputeMerkleRoot()) {
+    return Status::Corruption("merkle root does not match transactions");
+  }
+  if (block.header.height > 0) {
+    MEDSYNC_RETURN_IF_ERROR(sealer_->ValidateSeal(block.header));
+  }
+  std::set<std::string> seen_ids;
+  std::set<std::string> conflict_keys;
+  for (const Transaction& tx : block.transactions) {
+    if (!tx.VerifySignature()) {
+      return Status::PermissionDenied(
+          StrCat("transaction ", tx.Id().ShortHex(), " has a bad signature"));
+    }
+    if (!seen_ids.insert(tx.Id().ToHex()).second) {
+      return Status::InvalidArgument(
+          StrCat("duplicate transaction ", tx.Id().ShortHex(), " in block"));
+    }
+    if (conflict_key_) {
+      std::optional<std::string> key = conflict_key_(tx);
+      if (key.has_value() && !conflict_keys.insert(*key).second) {
+        return Status::Conflict(
+            StrCat("block carries two transactions touching shared data '",
+                   *key, "' (one-update-per-block rule)"));
+      }
+    }
+  }
+  return Status::OK();
+}
+
+bool Blockchain::TxInAncestry(const crypto::Hash256& start_hash,
+                              const std::string& tx_id) const {
+  std::string cursor = start_hash.ToHex();
+  while (true) {
+    auto it = blocks_.find(cursor);
+    if (it == blocks_.end()) return false;
+    if (it->second.tx_ids.count(tx_id) > 0) return true;
+    if (it->second.block.header.height == 0) return false;
+    cursor = it->second.block.header.parent.ToHex();
+  }
+}
+
+Status Blockchain::AddBlock(Block block) {
+  const std::string hash_hex = block.header.Hash().ToHex();
+  if (blocks_.count(hash_hex) > 0) {
+    return Status::AlreadyExists(StrCat("block ", hash_hex.substr(0, 8),
+                                        " already known"));
+  }
+  auto parent_it = blocks_.find(block.header.parent.ToHex());
+  if (parent_it == blocks_.end()) {
+    return Status::NotFound(StrCat("parent of block ", hash_hex.substr(0, 8),
+                                   " unknown (orphan)"));
+  }
+  const Block& parent = parent_it->second.block;
+  if (block.header.height != parent.header.height + 1) {
+    return Status::InvalidArgument(
+        StrCat("block height ", block.header.height,
+               " does not follow parent height ", parent.header.height));
+  }
+  if (block.header.timestamp < parent.header.timestamp) {
+    return Status::InvalidArgument("block timestamp precedes its parent");
+  }
+  MEDSYNC_RETURN_IF_ERROR(ValidateStructure(block));
+
+  Node node;
+  for (const Transaction& tx : block.transactions) {
+    std::string tx_id = tx.Id().ToHex();
+    if (TxInAncestry(block.header.parent, tx_id)) {
+      return Status::AlreadyExists(
+          StrCat("transaction ", tx_id.substr(0, 8),
+                 " already included in an ancestor block"));
+    }
+    node.tx_ids.insert(std::move(tx_id));
+  }
+
+  uint64_t new_height = block.header.height;
+  node.block = std::move(block);
+  blocks_.emplace(hash_hex, std::move(node));
+
+  // Longest-chain fork choice; ties break toward the smaller hash so every
+  // node picks the same head given the same block set.
+  const Block& current_head = head();
+  if (new_height > current_head.header.height ||
+      (new_height == current_head.header.height &&
+       hash_hex < head_hash_.ToHex())) {
+    bool ok = false;
+    head_hash_ = crypto::Hash256::FromHex(hash_hex, &ok);
+    assert(ok);
+  }
+  return Status::OK();
+}
+
+const Block& Blockchain::genesis() const {
+  return blocks_.at(genesis_hash_.ToHex()).block;
+}
+
+const Block& Blockchain::head() const {
+  return blocks_.at(head_hash_.ToHex()).block;
+}
+
+Result<const Block*> Blockchain::BlockByHash(
+    const crypto::Hash256& hash) const {
+  auto it = blocks_.find(hash.ToHex());
+  if (it == blocks_.end()) {
+    return Status::NotFound(StrCat("no block ", hash.ShortHex()));
+  }
+  return &it->second.block;
+}
+
+Result<const Block*> Blockchain::BlockByHeight(uint64_t height) const {
+  if (height > head().header.height) {
+    return Status::NotFound(StrCat("no block at height ", height));
+  }
+  const Block* cursor = &head();
+  while (cursor->header.height > height) {
+    auto it = blocks_.find(cursor->header.parent.ToHex());
+    if (it == blocks_.end()) {
+      return Status::Corruption("broken parent linkage on canonical chain");
+    }
+    cursor = &it->second.block;
+  }
+  return cursor;
+}
+
+std::vector<const Block*> Blockchain::CanonicalChain() const {
+  std::vector<const Block*> chain;
+  const Block* cursor = &head();
+  while (true) {
+    chain.push_back(cursor);
+    if (cursor->header.height == 0) break;
+    cursor = &blocks_.at(cursor->header.parent.ToHex()).block;
+  }
+  std::reverse(chain.begin(), chain.end());
+  return chain;
+}
+
+bool Blockchain::FindTransaction(const crypto::Hash256& id,
+                                 const Transaction** tx,
+                                 uint64_t* block_height) const {
+  std::string id_hex = id.ToHex();
+  for (const Block* block : CanonicalChain()) {
+    for (const Transaction& candidate : block->transactions) {
+      if (candidate.Id().ToHex() == id_hex) {
+        if (tx) *tx = &candidate;
+        if (block_height) *block_height = block->header.height;
+        return true;
+      }
+    }
+  }
+  return false;
+}
+
+Status Blockchain::VerifyIntegrity() const {
+  std::vector<const Block*> chain = CanonicalChain();
+  for (size_t i = 0; i < chain.size(); ++i) {
+    const Block& block = *chain[i];
+    if (i > 0) {
+      if (block.header.parent != chain[i - 1]->header.Hash()) {
+        return Status::Corruption(
+            StrCat("hash linkage broken at height ", block.header.height));
+      }
+      MEDSYNC_RETURN_IF_ERROR(
+          ValidateStructure(block).WithPrefix(
+              StrCat("integrity check failed at height ",
+                     block.header.height)));
+    }
+  }
+  return Status::OK();
+}
+
+}  // namespace medsync::chain

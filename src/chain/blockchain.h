@@ -1,0 +1,92 @@
+#ifndef MEDSYNC_CHAIN_BLOCKCHAIN_H_
+#define MEDSYNC_CHAIN_BLOCKCHAIN_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chain/block.h"
+#include "chain/sealer.h"
+
+namespace medsync::chain {
+
+/// A validated block tree with longest-chain fork choice.
+///
+/// Beyond structural validation (parent linkage, Merkle root, seal,
+/// transaction signatures), the chain enforces the paper's ordering rule
+/// from Section III-B: "one block can contain one transaction at most on
+/// some shared data at one time". The rule is injected as a `ConflictKeyFn`
+/// that maps a transaction to the shared-data id it touches (or nullopt for
+/// non-conflicting transactions); a block carrying two transactions with
+/// the same key is invalid everywhere, so no sealer can sneak concurrent
+/// updates to one shared table into a single block.
+class Blockchain {
+ public:
+  using ConflictKeyFn =
+      std::function<std::optional<std::string>(const Transaction&)>;
+
+  /// `sealer` validates seals of incoming blocks; it must outlive the
+  /// chain. `conflict_key` may be null (rule disabled).
+  Blockchain(Block genesis, const Sealer* sealer,
+             ConflictKeyFn conflict_key = nullptr);
+
+  /// A deterministic genesis block (height 0, zero parent, no seal).
+  static Block MakeGenesis(Micros timestamp);
+
+  /// Validates and inserts `block`. Returns:
+  ///  * OK — inserted (the head may or may not have changed);
+  ///  * NotFound — parent unknown (orphan; caller should fetch the parent);
+  ///  * AlreadyExists — duplicate block;
+  ///  * anything else — the block is invalid and was rejected.
+  Status AddBlock(Block block);
+
+  /// Validation only (everything except parent-linkage checks); exposed for
+  /// tests and for mempool candidate vetting.
+  Status ValidateStructure(const Block& block) const;
+
+  const Block& genesis() const;
+  const Block& head() const;
+  uint64_t height() const { return head().header.height; }
+  size_t block_count() const { return blocks_.size(); }
+
+  Result<const Block*> BlockByHash(const crypto::Hash256& hash) const;
+
+  /// The block at `height` on the CANONICAL (head) chain.
+  Result<const Block*> BlockByHeight(uint64_t height) const;
+
+  /// Genesis..head, in height order.
+  std::vector<const Block*> CanonicalChain() const;
+
+  /// Whether the canonical chain includes transaction `id`; if found and
+  /// the out-params are non-null, reports where.
+  bool FindTransaction(const crypto::Hash256& id, const Transaction** tx,
+                       uint64_t* block_height) const;
+
+  /// Re-validates every block on the canonical chain from genesis — the
+  /// audit-mode tamper check (any bit flipped in a stored block breaks its
+  /// hash linkage or Merkle root).
+  Status VerifyIntegrity() const;
+
+ private:
+  struct Node {
+    Block block;
+    std::set<std::string> tx_ids;  // hex ids, for duplicate detection
+  };
+
+  /// Whether `tx_id` appears in `start` or any of its ancestors.
+  bool TxInAncestry(const crypto::Hash256& start_hash,
+                    const std::string& tx_id) const;
+
+  const Sealer* sealer_;
+  ConflictKeyFn conflict_key_;
+  std::map<std::string, Node> blocks_;  // keyed by hex block hash
+  crypto::Hash256 genesis_hash_;
+  crypto::Hash256 head_hash_;
+};
+
+}  // namespace medsync::chain
+
+#endif  // MEDSYNC_CHAIN_BLOCKCHAIN_H_

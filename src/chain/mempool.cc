@@ -1,0 +1,93 @@
+#include "chain/mempool.h"
+
+#include <algorithm>
+#include <map>
+
+#include "common/strings.h"
+
+namespace medsync::chain {
+
+Mempool::Mempool(ConflictKeyFn conflict_key, size_t capacity)
+    : conflict_key_(std::move(conflict_key)), capacity_(capacity) {}
+
+Status Mempool::Add(Transaction tx) {
+  if (queue_.size() >= capacity_) {
+    return Status::ResourceExhausted("mempool full");
+  }
+  if (!tx.VerifySignature()) {
+    return Status::PermissionDenied(
+        StrCat("transaction ", tx.Id().ShortHex(), " has a bad signature"));
+  }
+  std::string id = tx.Id().ToHex();
+  if (!ids_.insert(id).second) {
+    return Status::AlreadyExists(
+        StrCat("transaction ", id.substr(0, 8), " already pooled"));
+  }
+  queue_.push_back(std::move(tx));
+  return Status::OK();
+}
+
+bool Mempool::Contains(const crypto::Hash256& id) const {
+  return ids_.count(id.ToHex()) > 0;
+}
+
+std::vector<Transaction> Mempool::BuildBlockCandidate(size_t max_count) const {
+  // Gossip can deliver one sender's transactions out of order (network
+  // jitter), but a deploy must execute before calls to the deployed
+  // contract. Restore per-sender nonce order while preserving the arrival
+  // order of senders' slots: collect each sender's pooled transactions
+  // sorted by nonce, then refill the queue positions.
+  std::map<std::string, std::vector<const Transaction*>> per_sender;
+  for (const Transaction& tx : queue_) {
+    per_sender[tx.from.ToHex()].push_back(&tx);
+  }
+  for (auto& [sender, txs] : per_sender) {
+    std::sort(txs.begin(), txs.end(),
+              [](const Transaction* a, const Transaction* b) {
+                return a->nonce < b->nonce;
+              });
+  }
+  std::map<std::string, size_t> cursor;
+  std::vector<const Transaction*> ordered;
+  ordered.reserve(queue_.size());
+  for (const Transaction& slot : queue_) {
+    std::string sender = slot.from.ToHex();
+    ordered.push_back(per_sender[sender][cursor[sender]++]);
+  }
+
+  std::vector<Transaction> selected;
+  std::set<std::string> used_keys;
+  for (const Transaction* tx_ptr : ordered) {
+    const Transaction& tx = *tx_ptr;
+    if (selected.size() >= max_count) break;
+    if (conflict_key_) {
+      std::optional<std::string> key = conflict_key_(tx);
+      if (key.has_value()) {
+        if (used_keys.count(*key) > 0) continue;  // next block's problem
+        used_keys.insert(*key);
+      }
+    }
+    selected.push_back(tx);
+  }
+  return selected;
+}
+
+void Mempool::RemoveIncluded(const std::set<std::string>& included_ids) {
+  std::deque<Transaction> kept;
+  for (Transaction& tx : queue_) {
+    std::string id = tx.Id().ToHex();
+    if (included_ids.count(id) > 0) {
+      ids_.erase(id);
+    } else {
+      kept.push_back(std::move(tx));
+    }
+  }
+  queue_ = std::move(kept);
+}
+
+void Mempool::Remove(const crypto::Hash256& id) {
+  std::set<std::string> one{id.ToHex()};
+  RemoveIncluded(one);
+}
+
+}  // namespace medsync::chain

@@ -1,0 +1,65 @@
+#ifndef MEDSYNC_CHAIN_MEMPOOL_H_
+#define MEDSYNC_CHAIN_MEMPOOL_H_
+
+#include <deque>
+#include <functional>
+#include <optional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "chain/transaction.h"
+#include "common/status.h"
+
+namespace medsync::chain {
+
+/// Pending-transaction pool. Arrival order is preserved ("smart contracts
+/// dispose of the updates according to received requests in chronological
+/// order", Section III-B), and block building honours the one-transaction-
+/// per-shared-data-per-block rule via the same ConflictKeyFn the chain
+/// validates with: a second update to the same shared table stays pooled
+/// for the NEXT block instead of being dropped.
+class Mempool {
+ public:
+  using ConflictKeyFn =
+      std::function<std::optional<std::string>(const Transaction&)>;
+
+  explicit Mempool(ConflictKeyFn conflict_key = nullptr,
+                   size_t capacity = 10000);
+
+  /// Adds `tx` if its signature verifies and it is not already pooled.
+  Status Add(Transaction tx);
+
+  bool Contains(const crypto::Hash256& id) const;
+  size_t size() const { return queue_.size(); }
+  bool empty() const { return queue_.empty(); }
+
+  /// Selects up to `max_count` transactions for a block, oldest first,
+  /// skipping (but keeping) any whose conflict key already appears among
+  /// the selected. Selected transactions remain pooled until
+  /// RemoveIncluded() confirms them.
+  std::vector<Transaction> BuildBlockCandidate(size_t max_count) const;
+
+  /// Drops every pooled transaction whose id is in `included_ids` (hex).
+  void RemoveIncluded(const std::set<std::string>& included_ids);
+
+  /// Drops a specific transaction (e.g. one that became invalid).
+  void Remove(const crypto::Hash256& id);
+
+  /// Every pooled transaction in arrival order (for periodic re-gossip:
+  /// on a lossy network, the one broadcast at submission time may never
+  /// have reached the sealer whose turn it is).
+  std::vector<Transaction> PendingTransactions() const {
+    return std::vector<Transaction>(queue_.begin(), queue_.end());
+  }
+
+ private:
+  ConflictKeyFn conflict_key_;
+  size_t capacity_;
+  std::deque<Transaction> queue_;
+  std::set<std::string> ids_;
+};
+
+}  // namespace medsync::chain
+
+#endif  // MEDSYNC_CHAIN_MEMPOOL_H_

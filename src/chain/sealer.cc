@@ -1,0 +1,78 @@
+#include "chain/sealer.h"
+
+#include "common/strings.h"
+
+namespace medsync::chain {
+
+Status PowSealer::Seal(Block* block) const {
+  BlockHeader& header = block->header;
+  header.difficulty = difficulty_bits_;
+  header.sealer = crypto::Address::Zero();
+  header.seal = crypto::Signature{};
+  for (uint64_t nonce = 0;; ++nonce) {
+    header.pow_nonce = nonce;
+    if (MeetsDifficulty(header.Hash(), difficulty_bits_)) {
+      return Status::OK();
+    }
+    if (nonce == UINT64_MAX) break;
+  }
+  return Status::ResourceExhausted("PoW nonce space exhausted");
+}
+
+Status PowSealer::ValidateSeal(const BlockHeader& header) const {
+  if (header.difficulty < difficulty_bits_) {
+    return Status::InvalidArgument(
+        StrCat("block difficulty ", header.difficulty,
+               " below required ", difficulty_bits_));
+  }
+  if (!MeetsDifficulty(header.Hash(), header.difficulty)) {
+    return Status::Corruption("block hash does not meet claimed difficulty");
+  }
+  return Status::OK();
+}
+
+PoaSealer::PoaSealer(std::vector<crypto::Address> authorities,
+                     std::shared_ptr<const crypto::KeyPair> signer)
+    : authorities_(std::move(authorities)), signer_(std::move(signer)) {}
+
+const crypto::Address& PoaSealer::AuthorityForHeight(uint64_t height) const {
+  return authorities_[height % authorities_.size()];
+}
+
+Status PoaSealer::Seal(Block* block) const {
+  if (signer_ == nullptr) {
+    return Status::FailedPrecondition("this node has no sealing key");
+  }
+  BlockHeader& header = block->header;
+  if (signer_->address() != AuthorityForHeight(header.height)) {
+    return Status::PermissionDenied(
+        StrCat("not this authority's turn at height ", header.height));
+  }
+  header.difficulty = 0;
+  header.pow_nonce = 0;
+  header.sealer = signer_->address();
+  header.seal = signer_->Sign(header.SealDigest().ToHex());
+  return Status::OK();
+}
+
+Status PoaSealer::ValidateSeal(const BlockHeader& header) const {
+  if (authorities_.empty()) {
+    return Status::FailedPrecondition("empty authority set");
+  }
+  const crypto::Address& expected = AuthorityForHeight(header.height);
+  if (header.sealer != expected) {
+    return Status::PermissionDenied(
+        StrCat("block at height ", header.height,
+               " sealed by the wrong authority"));
+  }
+  if (crypto::Address::FromPublicKey(header.seal.pub_hint) != header.sealer) {
+    return Status::PermissionDenied("seal key does not match sealer address");
+  }
+  if (!crypto::KeyPair::Verify(header.seal.pub_hint,
+                               header.SealDigest().ToHex(), header.seal)) {
+    return Status::Corruption("invalid authority seal signature");
+  }
+  return Status::OK();
+}
+
+}  // namespace medsync::chain

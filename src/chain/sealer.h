@@ -1,0 +1,71 @@
+#ifndef MEDSYNC_CHAIN_SEALER_H_
+#define MEDSYNC_CHAIN_SEALER_H_
+
+#include <memory>
+#include <set>
+#include <vector>
+
+#include "chain/block.h"
+#include "crypto/keys.h"
+
+namespace medsync::chain {
+
+/// Seals candidate blocks and validates seals on received blocks. Two
+/// implementations:
+///  * PowSealer — Bitcoin/Ethereum-1.x-style proof of work with a
+///    configurable leading-zero-bit difficulty;
+///  * PoaSealer — proof of authority: a fixed validator set signs blocks in
+///    round-robin, modelling the private/permissioned deployment the paper
+///    recommends (Section IV-3).
+class Sealer {
+ public:
+  virtual ~Sealer() = default;
+
+  /// Completes `block`'s header (nonce search or authority signature).
+  /// `block.header.merkle_root` must already be set.
+  virtual Status Seal(Block* block) const = 0;
+
+  /// Checks the seal of a received header.
+  virtual Status ValidateSeal(const BlockHeader& header) const = 0;
+};
+
+class PowSealer : public Sealer {
+ public:
+  /// `difficulty_bits`: required leading zero bits of the header hash.
+  /// Simulation-scale values are 8-20 bits (ms-scale sealing on one core).
+  explicit PowSealer(uint32_t difficulty_bits)
+      : difficulty_bits_(difficulty_bits) {}
+
+  Status Seal(Block* block) const override;
+  Status ValidateSeal(const BlockHeader& header) const override;
+
+  uint32_t difficulty_bits() const { return difficulty_bits_; }
+
+ private:
+  uint32_t difficulty_bits_;
+};
+
+class PoaSealer : public Sealer {
+ public:
+  /// `authorities`: the ordered validator set (addresses). `signer` is this
+  /// node's key when it seals; pass nullptr on validate-only nodes.
+  PoaSealer(std::vector<crypto::Address> authorities,
+            std::shared_ptr<const crypto::KeyPair> signer);
+
+  Status Seal(Block* block) const override;
+  Status ValidateSeal(const BlockHeader& header) const override;
+
+  /// The authority whose turn it is at `height` (round robin).
+  const crypto::Address& AuthorityForHeight(uint64_t height) const;
+  const std::vector<crypto::Address>& authorities() const {
+    return authorities_;
+  }
+
+ private:
+  std::vector<crypto::Address> authorities_;
+  std::shared_ptr<const crypto::KeyPair> signer_;
+};
+
+}  // namespace medsync::chain
+
+#endif  // MEDSYNC_CHAIN_SEALER_H_

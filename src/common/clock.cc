@@ -1,0 +1,35 @@
+#include "common/clock.h"
+
+#include <cassert>
+#include <cstdio>
+#include <ctime>
+
+namespace medsync {
+
+std::string FormatTimestamp(Micros micros) {
+  time_t seconds = static_cast<time_t>(micros / kMicrosPerSecond);
+  int millis = static_cast<int>((micros % kMicrosPerSecond) / 1000);
+  if (millis < 0) {
+    millis += 1000;
+    seconds -= 1;
+  }
+  struct tm tm_utc;
+  gmtime_r(&seconds, &tm_utc);
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%04d-%02d-%02d %02d:%02d:%02d.%03d",
+                tm_utc.tm_year + 1900, tm_utc.tm_mon + 1, tm_utc.tm_mday,
+                tm_utc.tm_hour, tm_utc.tm_min, tm_utc.tm_sec, millis);
+  return buf;
+}
+
+void SimClock::Advance(Micros delta) {
+  assert(delta >= 0);
+  now_ += delta;
+}
+
+void SimClock::AdvanceTo(Micros when) {
+  assert(when >= now_);
+  if (when > now_) now_ = when;
+}
+
+}  // namespace medsync

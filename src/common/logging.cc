@@ -1,0 +1,73 @@
+#include "common/logging.h"
+
+#include <cstdio>
+#include <mutex>
+
+namespace medsync {
+
+std::string_view LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kTrace:
+      return "TRACE";
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+    case LogLevel::kOff:
+      return "OFF";
+  }
+  return "?";
+}
+
+namespace {
+
+std::mutex g_mutex;
+LogLevel g_threshold = LogLevel::kWarning;
+Logging::Sink g_sink;  // empty => stderr
+
+void DefaultSink(LogLevel level, std::string_view component,
+                 std::string_view message) {
+  std::fprintf(stderr, "[%.*s] %.*s: %.*s\n",
+               static_cast<int>(LogLevelName(level).size()),
+               LogLevelName(level).data(), static_cast<int>(component.size()),
+               component.data(), static_cast<int>(message.size()),
+               message.data());
+}
+
+}  // namespace
+
+LogLevel Logging::threshold() {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  return g_threshold;
+}
+
+void Logging::set_threshold(LogLevel level) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_threshold = level;
+}
+
+void Logging::set_sink(Sink sink) {
+  std::lock_guard<std::mutex> lock(g_mutex);
+  g_sink = std::move(sink);
+}
+
+void Logging::Emit(LogLevel level, std::string_view component,
+                   std::string_view message) {
+  Sink sink;
+  {
+    std::lock_guard<std::mutex> lock(g_mutex);
+    if (level < g_threshold) return;
+    sink = g_sink;
+  }
+  if (sink) {
+    sink(level, component, message);
+  } else {
+    DefaultSink(level, component, message);
+  }
+}
+
+}  // namespace medsync

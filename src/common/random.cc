@@ -1,0 +1,83 @@
+#include "common/random.h"
+
+#include <cassert>
+
+namespace medsync {
+
+namespace {
+
+uint64_t SplitMix64(uint64_t* state) {
+  uint64_t z = (*state += 0x9e3779b97f4a7c15ULL);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+}  // namespace
+
+Rng::Rng(uint64_t seed) {
+  uint64_t sm = seed;
+  for (auto& s : state_) s = SplitMix64(&sm);
+}
+
+uint64_t Rng::NextUint64() {
+  const uint64_t result = Rotl(state_[1] * 5, 7) * 9;
+  const uint64_t t = state_[1] << 17;
+  state_[2] ^= state_[0];
+  state_[3] ^= state_[1];
+  state_[1] ^= state_[2];
+  state_[0] ^= state_[3];
+  state_[2] ^= t;
+  state_[3] = Rotl(state_[3], 45);
+  return result;
+}
+
+uint64_t Rng::NextBelow(uint64_t bound) {
+  assert(bound > 0);
+  // Rejection sampling to avoid modulo bias.
+  const uint64_t threshold = -bound % bound;
+  while (true) {
+    uint64_t r = NextUint64();
+    if (r >= threshold) return r % bound;
+  }
+}
+
+int64_t Rng::NextInRange(int64_t lo, int64_t hi) {
+  assert(lo <= hi);
+  uint64_t span = static_cast<uint64_t>(hi - lo) + 1;
+  if (span == 0) return static_cast<int64_t>(NextUint64());  // full range
+  return lo + static_cast<int64_t>(NextBelow(span));
+}
+
+double Rng::NextDouble() {
+  return static_cast<double>(NextUint64() >> 11) * 0x1.0p-53;
+}
+
+bool Rng::NextBool(double p) {
+  if (p <= 0.0) return false;
+  if (p >= 1.0) return true;
+  return NextDouble() < p;
+}
+
+std::string Rng::NextAlnumString(size_t length) {
+  static constexpr char kAlphabet[] =
+      "abcdefghijklmnopqrstuvwxyz0123456789";
+  std::string out;
+  out.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    out.push_back(kAlphabet[NextBelow(sizeof(kAlphabet) - 1)]);
+  }
+  return out;
+}
+
+std::vector<uint8_t> Rng::NextBytes(size_t length) {
+  std::vector<uint8_t> out(length);
+  for (auto& b : out) b = static_cast<uint8_t>(NextUint64() & 0xff);
+  return out;
+}
+
+Rng Rng::Fork() { return Rng(NextUint64()); }
+
+}  // namespace medsync

@@ -1,0 +1,52 @@
+#ifndef MEDSYNC_COMMON_RANDOM_H_
+#define MEDSYNC_COMMON_RANDOM_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace medsync {
+
+/// Deterministic pseudo-random generator (xoshiro256**, seeded via
+/// splitmix64). Every simulation component takes an explicit Rng (or a seed)
+/// so whole-system runs are reproducible from a single seed — the property
+/// the benchmark harness relies on.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed);
+
+  /// Uniform over all 64-bit values.
+  uint64_t NextUint64();
+
+  /// Uniform in [0, bound). `bound` must be > 0.
+  uint64_t NextBelow(uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive. Requires lo <= hi.
+  int64_t NextInRange(int64_t lo, int64_t hi);
+
+  /// Uniform in [0, 1).
+  double NextDouble();
+
+  /// Bernoulli with probability `p` (clamped to [0,1]).
+  bool NextBool(double p = 0.5);
+
+  /// Random lowercase alphanumeric string of length `length`.
+  std::string NextAlnumString(size_t length);
+
+  /// Random bytes.
+  std::vector<uint8_t> NextBytes(size_t length);
+
+  /// Picks a uniformly random element index of a container of size `size`.
+  size_t NextIndex(size_t size) { return NextBelow(size); }
+
+  /// Derives an independent child generator; useful to give each simulated
+  /// component its own stream without correlation.
+  Rng Fork();
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace medsync
+
+#endif  // MEDSYNC_COMMON_RANDOM_H_

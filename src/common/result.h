@@ -1,0 +1,88 @@
+#ifndef MEDSYNC_COMMON_RESULT_H_
+#define MEDSYNC_COMMON_RESULT_H_
+
+#include <cassert>
+#include <optional>
+#include <utility>
+
+#include "common/status.h"
+
+namespace medsync {
+
+/// A value-or-error container (the StatusOr / arrow::Result idiom).
+///
+/// A `Result<T>` holds either a `T` or a non-OK `Status`. It is the return
+/// type of every fallible library function that produces a value:
+///
+///   Result<Table> view = lens.Get(source);
+///   if (!view.ok()) return view.status();
+///   Use(*view);
+///
+/// Accessing the value of an error Result is a programming error and asserts
+/// in debug builds.
+template <typename T>
+class Result {
+ public:
+  /// Constructs from a value (implicit by design so `return value;` works).
+  Result(T value) : value_(std::move(value)) {}
+
+  /// Constructs from an error status. `status` must not be OK.
+  Result(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "Result constructed from OK status without value");
+    if (status_.ok()) {
+      status_ = Status::Internal("Result constructed from OK status");
+    }
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  /// The error status, or OK if a value is present.
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && { return std::move(*this).value(); }
+
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  /// Returns the value, or `fallback` if this holds an error.
+  T ValueOr(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK iff value_ present.
+};
+
+}  // namespace medsync
+
+/// Assigns the value of `rexpr` (a Result<T> expression) to `lhs`, or returns
+/// the error status from the enclosing function.
+///
+///   MEDSYNC_ASSIGN_OR_RETURN(Table view, lens.Get(source));
+#define MEDSYNC_ASSIGN_OR_RETURN(lhs, rexpr)                           \
+  MEDSYNC_ASSIGN_OR_RETURN_IMPL_(                                      \
+      MEDSYNC_RESULT_CONCAT_(_medsync_result, __LINE__), lhs, rexpr)
+
+#define MEDSYNC_RESULT_CONCAT_INNER_(a, b) a##b
+#define MEDSYNC_RESULT_CONCAT_(a, b) MEDSYNC_RESULT_CONCAT_INNER_(a, b)
+
+#define MEDSYNC_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                   \
+  if (!tmp.ok()) return tmp.status();                   \
+  lhs = std::move(tmp).value()
+
+#endif  // MEDSYNC_COMMON_RESULT_H_

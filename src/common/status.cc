@@ -1,0 +1,59 @@
+#include "common/status.h"
+
+namespace medsync {
+
+std::string_view StatusCodeToString(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk:
+      return "ok";
+    case StatusCode::kInvalidArgument:
+      return "invalid argument";
+    case StatusCode::kNotFound:
+      return "not found";
+    case StatusCode::kAlreadyExists:
+      return "already exists";
+    case StatusCode::kPermissionDenied:
+      return "permission denied";
+    case StatusCode::kFailedPrecondition:
+      return "failed precondition";
+    case StatusCode::kConflict:
+      return "conflict";
+    case StatusCode::kCorruption:
+      return "corruption";
+    case StatusCode::kUnavailable:
+      return "unavailable";
+    case StatusCode::kTimeout:
+      return "timeout";
+    case StatusCode::kResourceExhausted:
+      return "resource exhausted";
+    case StatusCode::kUnimplemented:
+      return "unimplemented";
+    case StatusCode::kInternal:
+      return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeToString(code_));
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+Status Status::WithPrefix(std::string_view prefix) const {
+  if (ok()) return *this;
+  std::string msg(prefix);
+  msg += ": ";
+  msg += message_;
+  return Status(code_, std::move(msg));
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& status) {
+  return os << status.ToString();
+}
+
+}  // namespace medsync

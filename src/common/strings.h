@@ -1,0 +1,51 @@
+#ifndef MEDSYNC_COMMON_STRINGS_H_
+#define MEDSYNC_COMMON_STRINGS_H_
+
+#include <cstdint>
+#include <sstream>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace medsync {
+
+/// Concatenates the string representations of all arguments, using
+/// operator<< for formatting. Convenience for building error messages.
+template <typename... Args>
+std::string StrCat(const Args&... args) {
+  std::ostringstream oss;
+  ((oss << args), ...);
+  return oss.str();
+}
+
+/// Splits `input` on `sep`. Empty pieces are kept, so
+/// Split("a,,b", ',') == {"a", "", "b"} and Split("", ',') == {""}.
+std::vector<std::string> Split(std::string_view input, char sep);
+
+/// Joins `pieces` with `sep` between consecutive elements.
+std::string Join(const std::vector<std::string>& pieces,
+                 std::string_view sep);
+
+/// Removes leading and trailing ASCII whitespace.
+std::string_view StripWhitespace(std::string_view input);
+
+/// True if `text` begins with `prefix`.
+bool StartsWith(std::string_view text, std::string_view prefix);
+
+/// True if `text` ends with `suffix`.
+bool EndsWith(std::string_view text, std::string_view suffix);
+
+/// Lower-cases ASCII letters.
+std::string ToLowerAscii(std::string_view input);
+
+/// Encodes `data` as lowercase hex.
+std::string HexEncode(const uint8_t* data, size_t size);
+std::string HexEncode(const std::vector<uint8_t>& data);
+
+/// Decodes lowercase/uppercase hex into bytes. Returns false on malformed
+/// input (odd length or non-hex character), leaving `out` unspecified.
+bool HexDecode(std::string_view hex, std::vector<uint8_t>* out);
+
+}  // namespace medsync
+
+#endif  // MEDSYNC_COMMON_STRINGS_H_

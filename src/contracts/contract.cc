@@ -1,0 +1,31 @@
+#include "contracts/contract.h"
+
+#include "common/strings.h"
+
+namespace medsync::contracts {
+
+Json Event::ToJson() const {
+  Json out = Json::MakeObject();
+  out.Set("contract", contract.ToHex());
+  out.Set("name", name);
+  out.Set("payload", payload);
+  return out;
+}
+
+Status GasMeter::Charge(uint64_t units) {
+  if (used_ + units > limit_) {
+    used_ = limit_;
+    return Status::ResourceExhausted(
+        StrCat("out of gas: needed ", units, " more with ", used_, "/",
+               limit_, " used"));
+  }
+  used_ += units;
+  return Status::OK();
+}
+
+void CallContext::Emit(std::string name, Json payload) {
+  if (events == nullptr) return;
+  events->push_back(Event{contract, std::move(name), std::move(payload)});
+}
+
+}  // namespace medsync::contracts

@@ -1,0 +1,61 @@
+#ifndef MEDSYNC_CORE_AUDIT_H_
+#define MEDSYNC_CORE_AUDIT_H_
+
+#include <string>
+#include <vector>
+
+#include "chain/blockchain.h"
+#include "crypto/merkle.h"
+#include "contracts/host.h"
+
+namespace medsync::core {
+
+/// One reconstructed entry of a shared table's update history.
+struct AuditRecord {
+  uint64_t block_height = 0;
+  Micros block_timestamp = 0;
+  std::string tx_id;       // hex
+  std::string actor;       // hex address
+  std::string method;      // request_update / ack_update / ...
+  std::string kind;        // update/insert/delete/replace (request_update)
+  std::vector<std::string> attributes;
+  std::string digest;
+  bool committed = false;  // receipt.ok
+  std::string denial_reason;
+};
+
+/// Rebuilds the full, tamper-evident history of `table_id` by walking the
+/// canonical chain and pairing each metadata-contract transaction with its
+/// receipt — "blockchain properties such as immutability, auditability and
+/// transparency enable nodes to check and review update history on shared
+/// data" (Section III-B). Includes DENIED attempts (failed receipts), which
+/// is exactly what a compliance audit wants to see.
+std::vector<AuditRecord> BuildAuditTrail(const chain::Blockchain& chain,
+                                         const contracts::ContractHost& host,
+                                         const std::string& table_id);
+
+/// Renders the trail as an aligned text report.
+std::string RenderAuditTrail(const std::vector<AuditRecord>& trail);
+
+/// A self-contained, light-client-verifiable proof that a transaction is
+/// included in the chain: the transaction's position, its block's header,
+/// and a Merkle inclusion path to the header's committed root. An auditor
+/// holding only the block headers can check it without the block bodies.
+struct InclusionProof {
+  std::string tx_id;  // hex
+  chain::BlockHeader header;
+  crypto::MerkleProof merkle;
+};
+
+/// Builds the inclusion proof for `tx_id_hex` on the canonical chain.
+Result<InclusionProof> ProveTransactionInclusion(
+    const chain::Blockchain& chain, const std::string& tx_id_hex);
+
+/// Verifies a proof: the Merkle path must connect the transaction id to
+/// the header's merkle_root. (Header authenticity — its hash appearing on
+/// the chain the auditor trusts — is the caller's anchor.)
+bool VerifyTransactionInclusion(const InclusionProof& proof);
+
+}  // namespace medsync::core
+
+#endif  // MEDSYNC_CORE_AUDIT_H_

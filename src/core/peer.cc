@@ -1,0 +1,871 @@
+#include "core/peer.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+#include "relational/delta.h"
+
+namespace medsync::core {
+
+using relational::Key;
+using relational::Row;
+using relational::Table;
+using relational::Value;
+
+Peer::Peer(PeerConfig config, net::Simulator* simulator,
+           net::Network* network, runtime::ChainNode* node)
+    : config_(std::move(config)),
+      simulator_(simulator),
+      network_(network),
+      node_(node),
+      key_(crypto::KeyPair::FromSeed(config_.name)),
+      sync_(&database_, config_.strategy) {
+  address_to_name_[key_.address().ToHex()] = config_.name;
+}
+
+Peer::~Peer() {
+  *alive_ = false;
+  if (started_) network_->Detach(config_.name);
+}
+
+void Peer::Start() {
+  if (started_) return;
+  started_ = true;
+  network_->Attach(config_.name, this);
+  node_->SubscribeReceipts(
+      [this, alive = alive_](const contracts::Receipt& receipt) {
+        if (*alive) OnReceipt(receipt);
+      });
+  node_->SubscribeEvents(
+      [this, alive = alive_](uint64_t height, const contracts::Event& event) {
+        if (*alive) OnChainEvent(height, event);
+      });
+}
+
+void Peer::AddKnownPeer(const std::string& name,
+                        const crypto::Address& address) {
+  address_to_name_[address.ToHex()] = name;
+}
+
+namespace {
+/// Local bookkeeping table recording each shared table's last synced
+/// version and digest; lives in the peer's own database so durable peers
+/// recover their protocol position across restarts.
+constexpr char kSyncStateTable[] = "__medsync_sync_state";
+
+relational::Schema SyncStateSchema() {
+  Result<relational::Schema> schema = relational::Schema::Create(
+      {{"table_id", relational::DataType::kString, false},
+       {"version", relational::DataType::kInt, false},
+       {"digest", relational::DataType::kString, true}},
+      {"table_id"});
+  return std::move(schema).value();
+}
+}  // namespace
+
+Status Peer::UseDurableStorage(const std::string& dir) {
+  if (!tables_.empty() || !database_.TableNames().empty()) {
+    return Status::FailedPrecondition(
+        "durable storage must be configured before any tables exist");
+  }
+  MEDSYNC_ASSIGN_OR_RETURN(database_, relational::Database::Open(dir));
+  if (!database_.HasTable(kSyncStateTable)) {
+    MEDSYNC_RETURN_IF_ERROR(
+        database_.CreateTable(kSyncStateTable, SyncStateSchema()));
+  }
+  Trace(StrCat("using durable storage at ", dir));
+  return Status::OK();
+}
+
+void Peer::PersistTableState(const TableState& state) {
+  if (!database_.HasTable(kSyncStateTable)) return;
+  Status persisted = database_.Upsert(
+      kSyncStateTable,
+      {Value::String(state.config.table_id),
+       Value::Int(static_cast<int64_t>(state.version)),
+       Value::String(state.digest)});
+  if (!persisted.ok()) {
+    Trace(StrCat("could not persist sync state: ", persisted.ToString()));
+  }
+}
+
+void Peer::RestorePersistedState(TableState* state) {
+  if (!database_.HasTable(kSyncStateTable)) return;
+  Result<const Table*> table = database_.GetTable(kSyncStateTable);
+  if (!table.ok()) return;
+  std::optional<relational::Row> row =
+      (*table)->Get({Value::String(state->config.table_id)});
+  if (!row.has_value()) return;
+  state->version = static_cast<uint64_t>((*row)[1].AsInt());
+  state->digest = (*row)[2].AsString();
+}
+
+Result<size_t> Peer::SyncWithChain() {
+  size_t behind = 0;
+  for (auto& [table_id, state] : tables_) {
+    Json params = Json::MakeObject();
+    params.Set("table_id", table_id);
+    Result<Json> entry = node_->Query(state.config.contract, "get_entry",
+                                      params, key_.address());
+    if (!entry.ok()) {
+      // Not registered yet (or the node is still catching up) — nothing
+      // to reconcile for this table.
+      continue;
+    }
+    MEDSYNC_ASSIGN_OR_RETURN(int64_t chain_version, entry->GetInt("version"));
+    MEDSYNC_ASSIGN_OR_RETURN(std::string chain_digest,
+                             entry->GetString("content_digest"));
+    if (static_cast<uint64_t>(chain_version) <= state.version) continue;
+    if (pending_fetches_.count(table_id) > 0) continue;
+
+    std::string updater_hex;
+    if (entry->At("last_updater").is_string()) {
+      updater_hex = entry->At("last_updater").AsString();
+    }
+    Result<std::string> updater_name = NameOfAddress(updater_hex);
+    if (!updater_name.ok()) {
+      // Fall back to any other known peer of the table.
+      for (const Json& peer_json : entry->At("peers").AsArray()) {
+        if (peer_json.AsString() == key_.address().ToHex()) continue;
+        updater_name = NameOfAddress(peer_json.AsString());
+        if (updater_name.ok()) break;
+      }
+    }
+    if (!updater_name.ok()) {
+      Trace(StrCat("behind on '", table_id, "' but no reachable peer"));
+      continue;
+    }
+    ++behind;
+    Trace(StrCat("catch-up: '", table_id, "' local version ", state.version,
+                 " < chain version ", chain_version, "; fetching from ",
+                 *updater_name));
+    StartFetch(table_id, static_cast<uint64_t>(chain_version), chain_digest,
+               *updater_name);
+  }
+  return behind;
+}
+
+void Peer::StartFetch(const std::string& table_id, uint64_t version,
+                      const std::string& digest,
+                      const std::string& updater_name) {
+  PendingFetch fetch;
+  fetch.table_id = table_id;
+  fetch.version = version;
+  fetch.digest = digest;
+  fetch.updater_name = updater_name;
+  pending_fetches_[table_id] = fetch;
+
+  Json request = Json::MakeObject();
+  request.Set("table_id", table_id);
+  request.Set("version", version);
+  (void)network_->Send(net::Message{config_.name, updater_name,
+                                    "fetch_request", std::move(request)});
+  std::string id = table_id;
+  simulator_->Schedule(config_.fetch_retry_delay,
+                       [this, id] { RetryFetch(id); });
+}
+
+Result<std::string> Peer::NameOfAddress(const std::string& addr_hex) const {
+  auto it = address_to_name_.find(addr_hex);
+  if (it == address_to_name_.end()) {
+    return Status::NotFound(StrCat("unknown peer address ", addr_hex));
+  }
+  return it->second;
+}
+
+void Peer::Trace(const std::string& message) {
+  MEDSYNC_LOG(kInfo, config_.name) << message;
+  if (trace_sink_) {
+    trace_sink_(StrCat("[", FormatTimestamp(simulator_->Now()), "] ",
+                       config_.name, ": ", message));
+  }
+}
+
+chain::Transaction Peer::MakeTransaction(const crypto::Address& to,
+                                         const std::string& method,
+                                         Json params) {
+  chain::Transaction tx;
+  tx.from = key_.address();
+  tx.to = to;
+  tx.nonce = nonce_++;
+  tx.method = method;
+  tx.params = std::move(params);
+  tx.timestamp = simulator_->Now();
+  tx.Sign(key_);
+  return tx;
+}
+
+Result<crypto::Address> Peer::DeployMetadataContract() {
+  chain::Transaction tx =
+      MakeTransaction(crypto::Address::Zero(), "metadata", Json::MakeObject());
+  crypto::Address address = contracts::ContractHost::DeploymentAddress(tx);
+  MEDSYNC_RETURN_IF_ERROR(node_->SubmitTransaction(std::move(tx)));
+  Trace(StrCat("deployed metadata contract at ", address.ToHex()));
+  return address;
+}
+
+Result<std::string> Peer::RegisterSharedTableOnChain(
+    const SharedTableConfig& config,
+    const std::vector<crypto::Address>& peer_addresses,
+    const std::map<std::string, std::vector<crypto::Address>>&
+        write_permission,
+    const std::vector<crypto::Address>& membership,
+    const crypto::Address& authority) {
+  MEDSYNC_ASSIGN_OR_RETURN(const Table* view,
+                           database_.GetTable(config.view_table));
+
+  Json peers_json = Json::MakeArray();
+  for (const crypto::Address& addr : peer_addresses) {
+    peers_json.Append(addr.ToHex());
+  }
+  Json perm_json = Json::MakeObject();
+  for (const auto& [attr, allowed] : write_permission) {
+    Json list = Json::MakeArray();
+    for (const crypto::Address& addr : allowed) list.Append(addr.ToHex());
+    perm_json.Set(attr, std::move(list));
+  }
+  Json membership_json = Json::MakeArray();
+  for (const crypto::Address& addr : membership) {
+    membership_json.Append(addr.ToHex());
+  }
+
+  Json params = Json::MakeObject();
+  params.Set("table_id", config.table_id);
+  params.Set("peers", std::move(peers_json));
+  params.Set("view_schema", view->schema().ToJson());
+  params.Set("write_permission", std::move(perm_json));
+  params.Set("membership_permission", std::move(membership_json));
+  params.Set("authority", authority.ToHex());
+  params.Set("digest", view->ContentDigest());
+
+  chain::Transaction tx =
+      MakeTransaction(config.contract, "register_table", std::move(params));
+  std::string tx_id = tx.Id().ToHex();
+  MEDSYNC_RETURN_IF_ERROR(node_->SubmitTransaction(std::move(tx)));
+  Trace(StrCat("registered shared table '", config.table_id,
+               "' on-chain (tx ", tx_id.substr(0, 8), ")"));
+  return tx_id;
+}
+
+Status Peer::AdoptSharedTable(const SharedTableConfig& config) {
+  if (tables_.count(config.table_id) > 0) {
+    return Status::AlreadyExists(
+        StrCat("shared table '", config.table_id, "' already adopted"));
+  }
+  MEDSYNC_RETURN_IF_ERROR(sync_.RegisterView(
+      config.table_id, config.source_table, config.view_table, config.lens));
+  MEDSYNC_ASSIGN_OR_RETURN(const Table* view,
+                           database_.GetTable(config.view_table));
+  TableState state;
+  state.config = config;
+  state.version = 1;
+  state.digest = view->ContentDigest();
+  RestorePersistedState(&state);
+  PersistTableState(state);
+  tables_.emplace(config.table_id, std::move(state));
+  return Status::OK();
+}
+
+Result<Table> Peer::ReadSharedTable(const std::string& table_id) const {
+  auto it = tables_.find(table_id);
+  if (it == tables_.end()) {
+    return Status::NotFound(StrCat("no shared table '", table_id, "'"));
+  }
+  return database_.Snapshot(it->second.config.view_table);
+}
+
+Result<Peer::TableSyncState> Peer::GetSyncState(
+    const std::string& table_id) const {
+  auto it = tables_.find(table_id);
+  if (it == tables_.end()) {
+    return Status::NotFound(StrCat("no shared table '", table_id, "'"));
+  }
+  TableSyncState out;
+  out.version = it->second.version;
+  out.digest = it->second.digest;
+  out.needs_refresh = it->second.needs_refresh;
+  return out;
+}
+
+Status Peer::ProposeViewContent(const std::string& table_id,
+                                Table new_view, std::string kind,
+                                std::vector<std::string> attributes,
+                                bool put_to_source) {
+  auto it = tables_.find(table_id);
+  if (it == tables_.end()) {
+    return Status::NotFound(StrCat("no shared table '", table_id, "'"));
+  }
+  for (const auto& [tx_id, staged] : staged_) {
+    if (staged.table_id == table_id) {
+      return Status::FailedPrecondition(
+          StrCat("an update to '", table_id, "' is already in flight"));
+    }
+  }
+
+  StagedUpdate staged;
+  staged.table_id = table_id;
+  staged.digest = new_view.ContentDigest();
+  staged.staged = std::move(new_view);
+  staged.kind = kind;
+  staged.attributes = attributes;
+  staged.put_to_source = put_to_source;
+
+  Json attrs_json = Json::MakeArray();
+  for (const std::string& attr : attributes) attrs_json.Append(attr);
+  Json params = Json::MakeObject();
+  params.Set("table_id", table_id);
+  params.Set("kind", kind);
+  params.Set("attributes", std::move(attrs_json));
+  params.Set("digest", staged.digest);
+
+  chain::Transaction tx = MakeTransaction(it->second.config.contract,
+                                          "request_update", std::move(params));
+  std::string tx_id = tx.Id().ToHex();
+  MEDSYNC_RETURN_IF_ERROR(node_->SubmitTransaction(std::move(tx)));
+
+  ++stats_.updates_proposed;
+  Trace(StrCat("proposed ", kind, " of '", table_id, "' [",
+               Join(attributes, ","), "] (tx ", tx_id.substr(0, 8), ")"));
+  staged_.emplace(tx_id, std::move(staged));
+  return Status::OK();
+}
+
+Status Peer::UpdateSourceAndPropagate(
+    const std::string& source_table,
+    const std::function<Status(relational::Database*)>& mutation) {
+  MEDSYNC_ASSIGN_OR_RETURN(Table before, database_.Snapshot(source_table));
+  MEDSYNC_RETURN_IF_ERROR(mutation(&database_));
+  Trace(StrCat("updated local source '", source_table,
+               "', checking shared views"));
+  CascadeAfterSourceChange(source_table, before, /*exclude_table_id=*/"");
+  return Status::OK();
+}
+
+Status Peer::UpdateSharedAttribute(const std::string& table_id,
+                                   const Key& key,
+                                   const std::string& attribute,
+                                   Value value) {
+  MEDSYNC_ASSIGN_OR_RETURN(Table staged, ReadSharedTable(table_id));
+  MEDSYNC_RETURN_IF_ERROR(staged.UpdateAttribute(key, attribute, value));
+  return ProposeViewContent(table_id, std::move(staged), "update",
+                            {attribute}, /*put_to_source=*/true);
+}
+
+Status Peer::InsertSharedRow(const std::string& table_id, Row row) {
+  MEDSYNC_ASSIGN_OR_RETURN(Table staged, ReadSharedTable(table_id));
+  MEDSYNC_RETURN_IF_ERROR(staged.Insert(std::move(row)));
+  return ProposeViewContent(table_id, std::move(staged), "insert", {},
+                            /*put_to_source=*/true);
+}
+
+Status Peer::DeleteSharedRow(const std::string& table_id, const Key& key) {
+  MEDSYNC_ASSIGN_OR_RETURN(Table staged, ReadSharedTable(table_id));
+  MEDSYNC_RETURN_IF_ERROR(staged.Delete(key));
+  return ProposeViewContent(table_id, std::move(staged), "delete", {},
+                            /*put_to_source=*/true);
+}
+
+Result<std::string> Peer::SubmitChangePermission(const std::string& table_id,
+                                                 const std::string& attribute,
+                                                 const crypto::Address& peer,
+                                                 bool grant) {
+  auto it = tables_.find(table_id);
+  if (it == tables_.end()) {
+    return Status::NotFound(StrCat("no shared table '", table_id, "'"));
+  }
+  Json params = Json::MakeObject();
+  params.Set("table_id", table_id);
+  params.Set("attribute", attribute);
+  params.Set("peer", peer.ToHex());
+  params.Set("grant", grant);
+  chain::Transaction tx = MakeTransaction(it->second.config.contract,
+                                          "change_permission",
+                                          std::move(params));
+  std::string tx_id = tx.Id().ToHex();
+  MEDSYNC_RETURN_IF_ERROR(node_->SubmitTransaction(std::move(tx)));
+  Trace(StrCat(grant ? "granting" : "revoking", " write on '", attribute,
+               "' of '", table_id, "' for ", peer.ToHex()));
+  return tx_id;
+}
+
+void Peer::OnReceipt(const contracts::Receipt& receipt) {
+  auto it = staged_.find(receipt.tx_id);
+  if (it == staged_.end()) return;
+  StagedUpdate staged = std::move(it->second);
+  staged_.erase(it);
+
+  if (!receipt.ok) {
+    ++stats_.updates_denied;
+    auto table_it = tables_.find(staged.table_id);
+    if (table_it != tables_.end() && staged.put_to_source == false) {
+      // A cascade the contract refused: the local source is newer than the
+      // shared view and must stay flagged until permission arrives.
+      table_it->second.needs_refresh = true;
+    }
+    Trace(StrCat("update of '", staged.table_id,
+                 "' DENIED by contract: ", receipt.error));
+    return;
+  }
+  FinalizeApprovedUpdate(std::move(staged));
+}
+
+void Peer::FinalizeApprovedUpdate(StagedUpdate staged) {
+  auto table_it = tables_.find(staged.table_id);
+  if (table_it == tables_.end()) return;
+  TableState& state = table_it->second;
+
+  Status applied = sync_.ApplyViewContent(staged.table_id, staged.staged);
+  if (!applied.ok()) {
+    Trace(StrCat("FAILED to apply approved update locally: ",
+                 applied.ToString()));
+    return;
+  }
+  state.version += 1;
+  state.digest = staged.digest;
+  state.needs_refresh = false;
+  PersistTableState(state);
+  ++stats_.updates_committed;
+  Trace(StrCat("update of '", staged.table_id, "' committed as version ",
+               state.version));
+
+  if (staged.put_to_source) {
+    const std::string source = state.config.source_table;
+    Result<Table> before = database_.Snapshot(source);
+    Result<bx::SourceChange> change = sync_.PutViewIntoSource(staged.table_id);
+    if (!change.ok()) {
+      Trace(StrCat("BX put into '", source,
+                   "' failed: ", change.status().ToString()));
+      return;
+    }
+    Trace(StrCat("BX put reflected '", staged.table_id, "' into source '",
+                 source, "'"));
+    if (before.ok()) {
+      CascadeAfterSourceChange(source, *before, staged.table_id);
+    }
+  }
+}
+
+void Peer::CascadeAfterSourceChange(const std::string& source_table,
+                                    const Table& before,
+                                    const std::string& exclude_table_id) {
+  Result<std::vector<ViewRefresh>> refreshes =
+      sync_.FindAffectedViews(source_table, before, exclude_table_id);
+  if (!refreshes.ok()) {
+    Trace(StrCat("dependency check failed: ", refreshes.status().ToString()));
+    return;
+  }
+  if (refreshes->empty()) {
+    Trace(StrCat("dependency check: no other views of '", source_table,
+                 "' affected"));
+    return;
+  }
+  for (ViewRefresh& refresh : *refreshes) {
+    std::string kind;
+    if (refresh.membership_changed && !refresh.changed_attributes.empty()) {
+      kind = "replace";
+    } else if (refresh.membership_changed) {
+      // Pure membership change: classify as insert/delete by row count.
+      auto current = ReadSharedTable(refresh.table_id);
+      kind = (current.ok() &&
+              refresh.new_view.row_count() >= current->row_count())
+                 ? "insert"
+                 : "delete";
+    } else {
+      kind = "update";
+    }
+    Trace(StrCat("dependency check: view '", refresh.table_id,
+                 "' affected, proposing ", kind));
+    Status proposed =
+        ProposeViewContent(refresh.table_id, std::move(refresh.new_view),
+                           kind, refresh.changed_attributes,
+                           /*put_to_source=*/false);
+    if (proposed.ok()) {
+      ++stats_.cascades_proposed;
+    } else {
+      ++stats_.cascades_blocked;
+      auto it = tables_.find(refresh.table_id);
+      if (it != tables_.end()) it->second.needs_refresh = true;
+      Trace(StrCat("cascade to '", refresh.table_id,
+                   "' blocked: ", proposed.ToString()));
+    }
+  }
+}
+
+void Peer::OnChainEvent(uint64_t height, const contracts::Event& event) {
+  (void)height;
+  if (event.name == "UpdateCommitted") {
+    HandleUpdateCommitted(event.payload);
+  }
+}
+
+void Peer::HandleUpdateCommitted(const Json& payload) {
+  auto table_id = payload.GetString("table_id");
+  if (!table_id.ok() || tables_.count(*table_id) == 0) return;
+  auto updater = payload.GetString("updater");
+  auto version = payload.GetInt("version");
+  auto digest = payload.GetString("digest");
+  if (!updater.ok() || !version.ok() || !digest.ok()) return;
+
+  if (*updater == key_.address().ToHex()) return;  // own update
+
+  Result<std::string> updater_name = NameOfAddress(*updater);
+  if (!updater_name.ok()) {
+    Trace(StrCat("cannot fetch '", *table_id, "': unknown updater ",
+                 *updater));
+    return;
+  }
+  Trace(StrCat("notified: '", *table_id, "' updated to version ", *version,
+               " by ", *updater_name, "; fetching"));
+
+  StartFetch(*table_id, static_cast<uint64_t>(*version), *digest,
+             *updater_name);
+}
+
+void Peer::RetryFetch(const std::string& table_id) {
+  auto it = pending_fetches_.find(table_id);
+  if (it == pending_fetches_.end()) return;  // satisfied
+  PendingFetch& fetch = it->second;
+  if (++fetch.retries > config_.max_fetch_retries) {
+    Trace(StrCat("giving up fetching '", table_id, "' after ",
+                 fetch.retries - 1, " retries"));
+    auto table_it = tables_.find(table_id);
+    if (table_it != tables_.end()) table_it->second.needs_refresh = true;
+    pending_fetches_.erase(it);
+    return;
+  }
+  Json request = Json::MakeObject();
+  request.Set("table_id", table_id);
+  request.Set("version", fetch.version);
+  (void)network_->Send(net::Message{config_.name, fetch.updater_name,
+                                    "fetch_request", std::move(request)});
+  simulator_->Schedule(config_.fetch_retry_delay,
+                       [this, table_id] { RetryFetch(table_id); });
+}
+
+void Peer::OnMessage(const net::Message& message) {
+  if (message.type == "fetch_request") {
+    HandleFetchRequest(message);
+  } else if (message.type == "fetch_response") {
+    HandleFetchResponse(message);
+  } else if (message.type == "share_offer") {
+    HandleShareOffer(message);
+  } else if (message.type == "share_answer") {
+    HandleShareAnswer(message);
+  } else {
+    MEDSYNC_LOG(kDebug, config_.name)
+        << "ignoring message type '" << message.type << "'";
+  }
+}
+
+void Peer::HandleFetchRequest(const net::Message& message) {
+  auto table_id = message.payload.GetString("table_id");
+  if (!table_id.ok()) return;
+  auto table_it = tables_.find(*table_id);
+  if (table_it == tables_.end()) return;
+
+  // Serve the staged content if the requested update has not been
+  // finalized locally yet, otherwise the committed view table.
+  const Table* content = nullptr;
+  Table committed;
+  for (const auto& [tx_id, staged] : staged_) {
+    if (staged.table_id == *table_id) {
+      content = &staged.staged;
+      break;
+    }
+  }
+  if (content == nullptr) {
+    Result<Table> snapshot =
+        database_.Snapshot(table_it->second.config.view_table);
+    if (!snapshot.ok()) return;
+    committed = std::move(*snapshot);
+    content = &committed;
+  }
+
+  ++stats_.fetches_served;
+  Json response = Json::MakeObject();
+  response.Set("table_id", *table_id);
+  response.Set("version", table_it->second.version);
+  response.Set("digest", content->ContentDigest());
+  response.Set("contents", content->ToJson());
+  (void)network_->Send(net::Message{config_.name, message.from,
+                                    "fetch_response", std::move(response)});
+}
+
+void Peer::HandleFetchResponse(const net::Message& message) {
+  auto table_id = message.payload.GetString("table_id");
+  if (!table_id.ok()) return;
+  auto fetch_it = pending_fetches_.find(*table_id);
+  if (fetch_it == pending_fetches_.end()) return;  // stale response
+
+  auto digest = message.payload.GetString("digest");
+  if (!digest.ok()) return;
+  if (*digest != fetch_it->second.digest) {
+    // The updater has not finalized yet or sent stale data; the retry
+    // timer will ask again.
+    ++stats_.digest_mismatches;
+    return;
+  }
+  Result<Table> content = Table::FromJson(message.payload.At("contents"));
+  if (!content.ok()) {
+    Trace(StrCat("bad fetch response for '", *table_id,
+                 "': ", content.status().ToString()));
+    return;
+  }
+  if (content->ContentDigest() != *digest) {
+    ++stats_.digest_mismatches;
+    Trace(StrCat("fetch response for '", *table_id,
+                 "' fails digest verification; rejecting"));
+    return;
+  }
+  PendingFetch fetch = fetch_it->second;
+  pending_fetches_.erase(fetch_it);
+  Status applied =
+      ApplyFetchedUpdate(*table_id, *content, fetch.version, fetch.digest);
+  if (!applied.ok()) {
+    Trace(StrCat("applying fetched update of '", *table_id,
+                 "' failed: ", applied.ToString()));
+  }
+}
+
+Status Peer::ApplyFetchedUpdate(const std::string& table_id,
+                                const Table& content, uint64_t version,
+                                const std::string& digest) {
+  auto table_it = tables_.find(table_id);
+  if (table_it == tables_.end()) {
+    return Status::NotFound(StrCat("no shared table '", table_id, "'"));
+  }
+  TableState& state = table_it->second;
+
+  MEDSYNC_RETURN_IF_ERROR(sync_.ApplyViewContent(table_id, content));
+  state.version = version;
+  state.digest = digest;
+  PersistTableState(state);
+  ++stats_.fetches_applied;
+  Trace(StrCat("fetched and applied '", table_id, "' version ", version));
+
+  // Reflect the change into the local source via the BX program.
+  const std::string source = state.config.source_table;
+  MEDSYNC_ASSIGN_OR_RETURN(Table before, database_.Snapshot(source));
+  Result<bx::SourceChange> change = sync_.PutViewIntoSource(table_id);
+  if (!change.ok()) {
+    Trace(StrCat("BX put of fetched '", table_id, "' into '", source,
+                 "' failed: ", change.status().ToString()));
+    // Still ack: we do hold the newest shared data, even though the local
+    // source rejected the merge (an operator has to reconcile).
+  } else {
+    Trace(StrCat("BX put reflected fetched '", table_id, "' into source '",
+                 source, "'"));
+  }
+
+  // Ack on-chain so the update round can complete (Fig. 4 step 5/6).
+  Json params = Json::MakeObject();
+  params.Set("table_id", table_id);
+  params.Set("version", version);
+  params.Set("digest", digest);
+  chain::Transaction tx =
+      MakeTransaction(state.config.contract, "ack_update", std::move(params));
+  MEDSYNC_RETURN_IF_ERROR(node_->SubmitTransaction(std::move(tx)));
+  ++stats_.acks_sent;
+  Trace(StrCat("acked '", table_id, "' version ", version, " on-chain"));
+
+  if (change.ok()) {
+    CascadeAfterSourceChange(source, before, table_id);
+  }
+  return Status::OK();
+}
+
+
+Status Peer::OfferSharedTable(const std::string& counterparty_name,
+                              OfferParams params) {
+  if (tables_.count(params.table_id) > 0) {
+    return Status::AlreadyExists(
+        StrCat("shared table '", params.table_id, "' already adopted"));
+  }
+  if (pending_offers_.count(params.table_id) > 0) {
+    return Status::FailedPrecondition(
+        StrCat("an offer for '", params.table_id, "' is already pending"));
+  }
+  if (params.lens == nullptr) {
+    return Status::InvalidArgument("offer lens must not be null");
+  }
+  if (!network_->IsAttached(counterparty_name)) {
+    return Status::NotFound(
+        StrCat("no peer '", counterparty_name, "' on the network"));
+  }
+  MEDSYNC_ASSIGN_OR_RETURN(Table contents,
+                           database_.Snapshot(params.view_table));
+
+  Json offer = Json::MakeObject();
+  offer.Set("table_id", params.table_id);
+  offer.Set("contract", params.contract.ToHex());
+  offer.Set("provider_name", config_.name);
+  offer.Set("provider", key_.address().ToHex());
+  offer.Set("contents", contents.ToJson());
+
+  std::string table_id = params.table_id;
+  pending_offers_.emplace(
+      table_id, PendingOffer{std::move(params), counterparty_name});
+  Trace(StrCat("offered shared table '", table_id, "' to ",
+               counterparty_name));
+  return network_->Send(net::Message{config_.name, counterparty_name,
+                                     "share_offer", std::move(offer)});
+}
+
+void Peer::HandleShareOffer(const net::Message& message) {
+  auto reply = [&](const std::string& table_id, bool accepted,
+                   const std::string& reason) {
+    Json answer = Json::MakeObject();
+    answer.Set("table_id", table_id);
+    answer.Set("accepted", accepted);
+    answer.Set("reason", reason);
+    answer.Set("invitee", key_.address().ToHex());
+    (void)network_->Send(net::Message{config_.name, message.from,
+                                      "share_answer", std::move(answer)});
+  };
+
+  auto table_id = message.payload.GetString("table_id");
+  if (!table_id.ok()) return;
+  auto contract_hex = message.payload.GetString("contract");
+  auto provider_name = message.payload.GetString("provider_name");
+  auto provider_hex = message.payload.GetString("provider");
+  Result<Table> contents = Table::FromJson(message.payload.At("contents"));
+  if (!contract_hex.ok() || !provider_name.ok() || !provider_hex.ok() ||
+      !contents.ok()) {
+    reply(*table_id, false, "malformed offer");
+    return;
+  }
+  if (offer_policy_ == nullptr) {
+    Trace(StrCat("declined share offer '", *table_id,
+                 "': no acceptance policy configured"));
+    reply(*table_id, false, "no acceptance policy");
+    return;
+  }
+  if (tables_.count(*table_id) > 0) {
+    reply(*table_id, false, "table already adopted");
+    return;
+  }
+
+  ShareOffer offer;
+  offer.table_id = *table_id;
+  bool ok = false;
+  offer.contract = crypto::Address::FromHex(*contract_hex, &ok);
+  offer.provider_name = *provider_name;
+  offer.provider = crypto::Address::FromHex(*provider_hex, &ok);
+  offer.view_schema = contents->schema();
+  offer.contents = *contents;
+
+  Result<ShareAcceptance> acceptance = offer_policy_(offer);
+  if (!acceptance.ok()) {
+    Trace(StrCat("declined share offer '", *table_id,
+                 "': ", acceptance.status().ToString()));
+    reply(*table_id, false, acceptance.status().ToString());
+    return;
+  }
+
+  // Validate the binding: the lens applied to OUR source must produce the
+  // offered view schema.
+  auto validate_and_adopt = [&]() -> Status {
+    if (acceptance->lens == nullptr) {
+      return Status::InvalidArgument("policy returned a null lens");
+    }
+    MEDSYNC_ASSIGN_OR_RETURN(const Table* source,
+                             database_.GetTable(acceptance->source_table));
+    MEDSYNC_ASSIGN_OR_RETURN(relational::Schema expected,
+                             acceptance->lens->ViewSchema(source->schema()));
+    if (expected != contents->schema()) {
+      return Status::InvalidArgument(
+          "lens view schema does not match the offered table");
+    }
+    if (database_.HasTable(acceptance->view_table)) {
+      return Status::AlreadyExists(
+          StrCat("local table '", acceptance->view_table, "' exists"));
+    }
+    MEDSYNC_RETURN_IF_ERROR(
+        database_.CreateTable(acceptance->view_table, contents->schema()));
+    MEDSYNC_RETURN_IF_ERROR(
+        database_.ReplaceTable(acceptance->view_table, *contents));
+
+    SharedTableConfig config;
+    config.table_id = *table_id;
+    config.source_table = acceptance->source_table;
+    config.view_table = acceptance->view_table;
+    config.lens = acceptance->lens;
+    config.contract = offer.contract;
+    MEDSYNC_RETURN_IF_ERROR(AdoptSharedTable(config));
+
+    // Initialize our full data from the shared piece (the BX put inserts
+    // the offered rows; hidden attributes default to NULL).
+    Result<bx::SourceChange> change = sync_.PutViewIntoSource(*table_id);
+    if (!change.ok()) {
+      return change.status().WithPrefix("initial put into local source");
+    }
+    return Status::OK();
+  };
+
+  Status adopted = validate_and_adopt();
+  if (!adopted.ok()) {
+    // Roll back partial adoption so a later offer can retry cleanly.
+    tables_.erase(*table_id);
+    Trace(StrCat("could not adopt share offer '", *table_id,
+                 "': ", adopted.ToString()));
+    reply(*table_id, false, adopted.ToString());
+    return;
+  }
+  AddKnownPeer(offer.provider_name, offer.provider);
+  Trace(StrCat("accepted share offer '", *table_id, "' from ",
+               offer.provider_name));
+  reply(*table_id, true, "");
+}
+
+void Peer::HandleShareAnswer(const net::Message& message) {
+  auto table_id = message.payload.GetString("table_id");
+  auto accepted = message.payload.GetBool("accepted");
+  if (!table_id.ok() || !accepted.ok()) return;
+  auto offer_it = pending_offers_.find(*table_id);
+  if (offer_it == pending_offers_.end()) return;
+  PendingOffer offer = std::move(offer_it->second);
+  pending_offers_.erase(offer_it);
+
+  if (!*accepted) {
+    Trace(StrCat("share offer '", *table_id, "' declined by ", message.from,
+                 ": ", message.payload.At("reason").is_string()
+                           ? message.payload.At("reason").AsString()
+                           : ""));
+    return;
+  }
+  auto invitee_hex = message.payload.GetString("invitee");
+  if (!invitee_hex.ok()) return;
+  bool ok = false;
+  crypto::Address invitee = crypto::Address::FromHex(*invitee_hex, &ok);
+  if (!ok) return;
+  AddKnownPeer(message.from, invitee);
+
+  SharedTableConfig config;
+  config.table_id = offer.params.table_id;
+  config.source_table = offer.params.source_table;
+  config.view_table = offer.params.view_table;
+  config.lens = offer.params.lens;
+  config.contract = offer.params.contract;
+  Status adopted = AdoptSharedTable(config);
+  if (!adopted.ok()) {
+    Trace(StrCat("cannot adopt own offered table '", *table_id,
+                 "': ", adopted.ToString()));
+    return;
+  }
+
+  std::vector<crypto::Address> peers{key_.address(), invitee};
+  crypto::Address authority = offer.params.authority.IsZero()
+                                  ? key_.address()
+                                  : offer.params.authority;
+  Result<std::string> registered = RegisterSharedTableOnChain(
+      config, peers, offer.params.write_permission, offer.params.membership,
+      authority);
+  if (!registered.ok()) {
+    Trace(StrCat("registration of '", *table_id,
+                 "' failed: ", registered.status().ToString()));
+    return;
+  }
+  Trace(StrCat("share offer '", *table_id, "' accepted by ", message.from,
+               "; registered on-chain"));
+}
+
+}  // namespace medsync::core

@@ -1,0 +1,137 @@
+#include "core/sync_manager.h"
+
+#include "common/strings.h"
+#include "relational/delta.h"
+
+namespace medsync::core {
+
+using relational::Table;
+
+SyncManager::SyncManager(relational::Database* database,
+                         DependencyStrategy strategy)
+    : database_(database), strategy_(strategy) {}
+
+Status SyncManager::RegisterView(const std::string& table_id,
+                                 const std::string& source_table,
+                                 const std::string& view_table,
+                                 bx::LensPtr lens) {
+  if (lens == nullptr) {
+    return Status::InvalidArgument("lens must not be null");
+  }
+  if (views_.count(table_id) > 0) {
+    return Status::AlreadyExists(
+        StrCat("view '", table_id, "' already registered"));
+  }
+  MEDSYNC_ASSIGN_OR_RETURN(const Table* source,
+                           database_->GetTable(source_table));
+  MEDSYNC_ASSIGN_OR_RETURN(const Table* view, database_->GetTable(view_table));
+  MEDSYNC_ASSIGN_OR_RETURN(relational::Schema expected,
+                           lens->ViewSchema(source->schema()));
+  if (view->schema() != expected) {
+    return Status::InvalidArgument(
+        StrCat("view table '", view_table,
+               "' schema does not match the lens view schema"));
+  }
+  views_.emplace(table_id, ViewBinding{table_id, source_table, view_table,
+                                       std::move(lens)});
+  return Status::OK();
+}
+
+bool SyncManager::HasView(const std::string& table_id) const {
+  return views_.count(table_id) > 0;
+}
+
+std::vector<std::string> SyncManager::ViewIds() const {
+  std::vector<std::string> out;
+  out.reserve(views_.size());
+  for (const auto& [id, binding] : views_) out.push_back(id);
+  return out;
+}
+
+Result<const SyncManager::ViewBinding*> SyncManager::FindBinding(
+    const std::string& table_id) const {
+  auto it = views_.find(table_id);
+  if (it == views_.end()) {
+    return Status::NotFound(
+        StrCat("no registered view '", table_id, "'"));
+  }
+  return &it->second;
+}
+
+Result<Table> SyncManager::DeriveView(const std::string& table_id) const {
+  MEDSYNC_ASSIGN_OR_RETURN(const ViewBinding* binding, FindBinding(table_id));
+  MEDSYNC_ASSIGN_OR_RETURN(const Table* source,
+                           database_->GetTable(binding->source_table));
+  return binding->lens->Get(*source);
+}
+
+Status SyncManager::MaterializeView(const std::string& table_id) {
+  MEDSYNC_ASSIGN_OR_RETURN(const ViewBinding* binding, FindBinding(table_id));
+  MEDSYNC_ASSIGN_OR_RETURN(Table derived, DeriveView(table_id));
+  ++gets_executed_;
+  return database_->ReplaceTable(binding->view_table, derived);
+}
+
+Result<bx::SourceChange> SyncManager::PutViewIntoSource(
+    const std::string& table_id) {
+  MEDSYNC_ASSIGN_OR_RETURN(const ViewBinding* binding, FindBinding(table_id));
+  MEDSYNC_ASSIGN_OR_RETURN(Table source,
+                           database_->Snapshot(binding->source_table));
+  MEDSYNC_ASSIGN_OR_RETURN(const Table* view,
+                           database_->GetTable(binding->view_table));
+  MEDSYNC_ASSIGN_OR_RETURN(Table updated, binding->lens->Put(source, *view));
+  MEDSYNC_RETURN_IF_ERROR(
+      database_->ReplaceTable(binding->source_table, updated));
+  return bx::AnalyzeSourceChange(source, updated);
+}
+
+Result<std::vector<ViewRefresh>> SyncManager::FindAffectedViews(
+    const std::string& source_table, const Table& before,
+    const std::string& exclude_table_id) {
+  MEDSYNC_ASSIGN_OR_RETURN(const Table* after_ptr,
+                           database_->GetTable(source_table));
+  const Table& after = *after_ptr;
+  MEDSYNC_ASSIGN_OR_RETURN(bx::SourceChange change,
+                           bx::AnalyzeSourceChange(before, after));
+
+  std::vector<ViewRefresh> refreshes;
+  for (const auto& [id, binding] : views_) {
+    if (id == exclude_table_id) continue;
+    if (binding.source_table != source_table) continue;
+
+    if (strategy_ == DependencyStrategy::kAnalyzeChange) {
+      MEDSYNC_ASSIGN_OR_RETURN(
+          bool may_affect,
+          bx::ChangeMayAffectView(*binding.lens, after.schema(), change));
+      if (!may_affect) {
+        ++gets_skipped_;
+        continue;
+      }
+    }
+
+    MEDSYNC_ASSIGN_OR_RETURN(Table derived, binding.lens->Get(after));
+    ++gets_executed_;
+    MEDSYNC_ASSIGN_OR_RETURN(const Table* current,
+                             database_->GetTable(binding.view_table));
+    if (derived == *current) continue;
+
+    MEDSYNC_ASSIGN_OR_RETURN(bx::SourceChange view_change,
+                             bx::AnalyzeSourceChange(*current, derived));
+    ViewRefresh refresh;
+    refresh.table_id = id;
+    refresh.new_view = std::move(derived);
+    refresh.changed_attributes.assign(view_change.changed_attributes.begin(),
+                                      view_change.changed_attributes.end());
+    refresh.membership_changed = view_change.membership_changed;
+    refreshes.push_back(std::move(refresh));
+  }
+  return refreshes;
+}
+
+Status SyncManager::ApplyViewContent(const std::string& table_id,
+                                     const Table& content) {
+  MEDSYNC_ASSIGN_OR_RETURN(const ViewBinding* binding, FindBinding(table_id));
+  return database_->ReplaceTable(binding->view_table, content);
+}
+
+}  // namespace medsync::core

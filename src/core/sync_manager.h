@@ -1,0 +1,113 @@
+#ifndef MEDSYNC_CORE_SYNC_MANAGER_H_
+#define MEDSYNC_CORE_SYNC_MANAGER_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "bx/lens.h"
+#include "bx/overlap.h"
+#include "relational/database.h"
+
+namespace medsync::core {
+
+/// How a peer decides whether OTHER views of the same source need
+/// re-derivation after a put (step 6 of the paper's Fig. 5). An ablation
+/// knob: see bench_fig5_cascade.
+enum class DependencyStrategy {
+  /// Re-run get for every sibling view and diff against its current
+  /// materialization. Always correct; costs one get per sibling.
+  kAlwaysRederive,
+  /// First run the static/dynamic overlap analysis (bx/overlap.h) on the
+  /// concrete source change; only views the change can reach are re-derived.
+  kAnalyzeChange,
+};
+
+/// A sibling view whose content changed after a source update and must be
+/// propagated to its sharing peers.
+struct ViewRefresh {
+  std::string table_id;
+  relational::Table new_view;
+  /// Attribute names whose values changed (view-schema names).
+  std::vector<std::string> changed_attributes;
+  /// Whether rows were inserted/deleted.
+  bool membership_changed = false;
+};
+
+/// The "Database manager" box of the paper's Fig. 2: owns the association
+/// between a peer's local source tables and shared views, executes the BX
+/// programs in both directions against the local Database, and implements
+/// the dependency check.
+///
+/// SyncManager is purely local (no chain, no network) so the BX
+/// orchestration is unit-testable in isolation; Peer layers the on-chain
+/// protocol on top.
+class SyncManager {
+ public:
+  /// `database` must outlive the manager.
+  SyncManager(relational::Database* database, DependencyStrategy strategy);
+
+  /// Associates shared table `table_id` with `view_table` (its local
+  /// materialization), derived from `source_table` through `lens`. Both
+  /// tables must already exist in the database, and the lens's view schema
+  /// must match the view table's schema.
+  Status RegisterView(const std::string& table_id,
+                      const std::string& source_table,
+                      const std::string& view_table, bx::LensPtr lens);
+
+  bool HasView(const std::string& table_id) const;
+  std::vector<std::string> ViewIds() const;
+
+  /// get: derives fresh view content for `table_id` from its source.
+  Result<relational::Table> DeriveView(const std::string& table_id) const;
+
+  /// Refreshes the materialized view table from the source (get +
+  /// ReplaceTable).
+  Status MaterializeView(const std::string& table_id);
+
+  /// put: writes the CURRENT materialized view content back into the
+  /// source table (lens put + ReplaceTable of the source). Returns the
+  /// source change that resulted.
+  Result<bx::SourceChange> PutViewIntoSource(const std::string& table_id);
+
+  /// The Fig. 5 step-6 dependency check: given that `source_table` changed
+  /// from `before` to its current database content, finds every OTHER
+  /// registered view of that source (excluding `exclude_table_id`) whose
+  /// derived content now differs from its materialization. Does NOT apply
+  /// anything — the caller owns propagation (permissions may deny it).
+  Result<std::vector<ViewRefresh>> FindAffectedViews(
+      const std::string& source_table, const relational::Table& before,
+      const std::string& exclude_table_id);
+
+  /// Applies a refresh produced by FindAffectedViews (or a fetched remote
+  /// update) to the materialized view table.
+  Status ApplyViewContent(const std::string& table_id,
+                          const relational::Table& content);
+
+  DependencyStrategy strategy() const { return strategy_; }
+  void set_strategy(DependencyStrategy strategy) { strategy_ = strategy; }
+
+  /// Number of lens get evaluations skipped by the analyze strategy since
+  /// construction (the ablation's measured quantity).
+  uint64_t gets_skipped() const { return gets_skipped_; }
+  uint64_t gets_executed() const { return gets_executed_; }
+
+  struct ViewBinding {
+    std::string table_id;
+    std::string source_table;
+    std::string view_table;
+    bx::LensPtr lens;
+  };
+  Result<const ViewBinding*> FindBinding(const std::string& table_id) const;
+
+ private:
+  relational::Database* database_;
+  DependencyStrategy strategy_;
+  std::map<std::string, ViewBinding> views_;
+  uint64_t gets_skipped_ = 0;
+  uint64_t gets_executed_ = 0;
+};
+
+}  // namespace medsync::core
+
+#endif  // MEDSYNC_CORE_SYNC_MANAGER_H_

@@ -1,0 +1,101 @@
+#include "crypto/keys.h"
+
+#include <cstring>
+#include <map>
+#include <mutex>
+
+#include "common/strings.h"
+
+namespace medsync::crypto {
+
+namespace {
+
+/// Process-global registry mapping public key -> secret. Verification in the
+/// simulated scheme needs the secret; within the single-process simulation
+/// this registry plays the role the EC math plays in reality: the ONLY way a
+/// valid MAC can exist is if it was produced via the secret registered for
+/// that public key, so a signature made with any other secret fails to
+/// verify. See the class comment in keys.h.
+class KeyRegistry {
+ public:
+  static KeyRegistry& Instance() {
+    static KeyRegistry* instance = new KeyRegistry();
+    return *instance;
+  }
+
+  void Register(const Hash256& public_key, const Hash256& secret) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    secrets_[public_key] = secret;
+  }
+
+  bool Lookup(const Hash256& public_key, Hash256* secret) const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = secrets_.find(public_key);
+    if (it == secrets_.end()) return false;
+    *secret = it->second;
+    return true;
+  }
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<Hash256, Hash256> secrets_;
+};
+
+}  // namespace
+
+Address Address::FromPublicKey(const Hash256& public_key) {
+  Hash256 digest = Sha256::Hash(public_key.ToHex());
+  Address out;
+  std::memcpy(out.bytes.data(), digest.bytes.data() + 12, 20);
+  return out;
+}
+
+Address Address::FromHex(std::string_view hex, bool* ok) {
+  Address out;
+  if (StartsWith(hex, "0x")) hex.remove_prefix(2);
+  std::vector<uint8_t> bytes;
+  if (hex.size() != 40 || !HexDecode(hex, &bytes)) {
+    if (ok) *ok = false;
+    return out;
+  }
+  std::memcpy(out.bytes.data(), bytes.data(), 20);
+  if (ok) *ok = true;
+  return out;
+}
+
+bool Address::IsZero() const {
+  for (uint8_t b : bytes) {
+    if (b != 0) return false;
+  }
+  return true;
+}
+
+std::string Address::ToHex() const {
+  return "0x" + HexEncode(bytes.data(), bytes.size());
+}
+
+KeyPair KeyPair::FromSeed(std::string_view seed) {
+  KeyPair kp;
+  kp.secret_ = Sha256::Hash(StrCat("medsync-secret|", seed));
+  kp.public_key_ = Sha256::Hash(StrCat("medsync-public|", kp.secret_.ToHex()));
+  kp.address_ = Address::FromPublicKey(kp.public_key_);
+  KeyRegistry::Instance().Register(kp.public_key_, kp.secret_);
+  return kp;
+}
+
+Signature KeyPair::Sign(std::string_view message) const {
+  Signature sig;
+  sig.mac = HmacSha256(secret_.ToHex(), message);
+  sig.pub_hint = public_key_;
+  return sig;
+}
+
+bool KeyPair::Verify(const Hash256& signer_public, std::string_view message,
+                     const Signature& sig) {
+  if (sig.pub_hint != signer_public) return false;
+  Hash256 secret;
+  if (!KeyRegistry::Instance().Lookup(signer_public, &secret)) return false;
+  return HmacSha256(secret.ToHex(), message) == sig.mac;
+}
+
+}  // namespace medsync::crypto

@@ -1,0 +1,76 @@
+#include "crypto/merkle.h"
+
+#include <cassert>
+
+namespace medsync::crypto {
+
+MerkleTree::MerkleTree(std::vector<Hash256> leaves) {
+  if (leaves.empty()) {
+    root_ = Hash256::Zero();
+    return;
+  }
+  levels_.push_back(std::move(leaves));
+  while (levels_.back().size() > 1) {
+    const std::vector<Hash256>& prev = levels_.back();
+    std::vector<Hash256> next;
+    next.reserve((prev.size() + 1) / 2);
+    for (size_t i = 0; i < prev.size(); i += 2) {
+      const Hash256& left = prev[i];
+      const Hash256& right = (i + 1 < prev.size()) ? prev[i + 1] : prev[i];
+      next.push_back(Sha256::HashPair(left, right));
+    }
+    levels_.push_back(std::move(next));
+  }
+  root_ = levels_.back()[0];
+}
+
+MerkleProof MerkleTree::BuildProof(uint64_t index) const {
+  assert(!levels_.empty() && index < levels_[0].size());
+  MerkleProof proof;
+  proof.leaf_index = index;
+  uint64_t pos = index;
+  for (size_t level = 0; level + 1 < levels_.size(); ++level) {
+    const std::vector<Hash256>& nodes = levels_[level];
+    MerkleProofStep step;
+    if (pos % 2 == 0) {
+      // Sibling to the right (or self-pair at the end).
+      uint64_t sib = (pos + 1 < nodes.size()) ? pos + 1 : pos;
+      step.sibling = nodes[sib];
+      step.sibling_is_left = false;
+    } else {
+      step.sibling = nodes[pos - 1];
+      step.sibling_is_left = true;
+    }
+    proof.steps.push_back(step);
+    pos /= 2;
+  }
+  return proof;
+}
+
+bool MerkleTree::VerifyProof(const Hash256& leaf, const MerkleProof& proof,
+                             const Hash256& root) {
+  Hash256 running = leaf;
+  for (const MerkleProofStep& step : proof.steps) {
+    running = step.sibling_is_left ? Sha256::HashPair(step.sibling, running)
+                                   : Sha256::HashPair(running, step.sibling);
+  }
+  return running == root;
+}
+
+Hash256 MerkleTree::ComputeRoot(const std::vector<Hash256>& leaves) {
+  if (leaves.empty()) return Hash256::Zero();
+  std::vector<Hash256> level = leaves;
+  while (level.size() > 1) {
+    std::vector<Hash256> next;
+    next.reserve((level.size() + 1) / 2);
+    for (size_t i = 0; i < level.size(); i += 2) {
+      const Hash256& left = level[i];
+      const Hash256& right = (i + 1 < level.size()) ? level[i + 1] : level[i];
+      next.push_back(Sha256::HashPair(left, right));
+    }
+    level = std::move(next);
+  }
+  return level[0];
+}
+
+}  // namespace medsync::crypto

@@ -1,0 +1,52 @@
+#ifndef MEDSYNC_CRYPTO_MERKLE_H_
+#define MEDSYNC_CRYPTO_MERKLE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "crypto/sha256.h"
+
+namespace medsync::crypto {
+
+/// One step of a Merkle inclusion proof: the sibling digest and whether the
+/// sibling sits to the left of the running hash.
+struct MerkleProofStep {
+  Hash256 sibling;
+  bool sibling_is_left = false;
+};
+
+/// An inclusion proof for one leaf of a Merkle tree.
+struct MerkleProof {
+  uint64_t leaf_index = 0;
+  std::vector<MerkleProofStep> steps;
+};
+
+/// Binary Merkle tree over transaction digests (Bitcoin-style: odd nodes are
+/// paired with themselves). Blocks commit to their transaction set through
+/// the root; light-client-style audit checks use inclusion proofs.
+class MerkleTree {
+ public:
+  /// Builds the tree over `leaves`. An empty leaf set has the Zero() root.
+  explicit MerkleTree(std::vector<Hash256> leaves);
+
+  const Hash256& root() const { return root_; }
+  size_t leaf_count() const { return levels_.empty() ? 0 : levels_[0].size(); }
+
+  /// Builds an inclusion proof for leaf `index` (must be < leaf_count()).
+  MerkleProof BuildProof(uint64_t index) const;
+
+  /// Verifies that `leaf` is included under `root` via `proof`.
+  static bool VerifyProof(const Hash256& leaf, const MerkleProof& proof,
+                          const Hash256& root);
+
+  /// Computes just the root without materializing the tree.
+  static Hash256 ComputeRoot(const std::vector<Hash256>& leaves);
+
+ private:
+  std::vector<std::vector<Hash256>> levels_;  // levels_[0] == leaves
+  Hash256 root_;
+};
+
+}  // namespace medsync::crypto
+
+#endif  // MEDSYNC_CRYPTO_MERKLE_H_

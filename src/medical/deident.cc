@@ -1,0 +1,162 @@
+#include "medical/deident.h"
+
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+
+namespace medsync::medical {
+
+using relational::Row;
+using relational::Schema;
+using relational::Table;
+using relational::Value;
+
+Result<Table> SuppressAttributes(const Table& input,
+                                 const std::vector<std::string>& attributes) {
+  const Schema& schema = input.schema();
+  std::vector<size_t> indices;
+  for (const std::string& name : attributes) {
+    std::optional<size_t> idx = schema.IndexOf(name);
+    if (!idx.has_value()) {
+      return Status::NotFound(StrCat("no attribute '", name, "'"));
+    }
+    if (schema.IsKeyAttribute(name)) {
+      return Status::InvalidArgument(
+          StrCat("cannot suppress key attribute '", name, "'"));
+    }
+    if (!schema.attributes()[*idx].nullable) {
+      return Status::InvalidArgument(
+          StrCat("cannot suppress non-nullable attribute '", name, "'"));
+    }
+    indices.push_back(*idx);
+  }
+  Table out(schema);
+  for (const auto& [key, row] : input.rows()) {
+    Row scrubbed = row;
+    for (size_t idx : indices) scrubbed[idx] = Value::Null();
+    MEDSYNC_RETURN_IF_ERROR(out.Insert(std::move(scrubbed)));
+  }
+  return out;
+}
+
+Result<Table> GeneralizeAttribute(
+    const Table& input, const std::string& attribute,
+    const std::function<Value(const Value&)>& generalize) {
+  const Schema& schema = input.schema();
+  std::optional<size_t> idx = schema.IndexOf(attribute);
+  if (!idx.has_value()) {
+    return Status::NotFound(StrCat("no attribute '", attribute, "'"));
+  }
+  if (schema.IsKeyAttribute(attribute)) {
+    return Status::InvalidArgument(
+        StrCat("cannot generalize key attribute '", attribute, "'"));
+  }
+  Table out(schema);
+  for (const auto& [key, row] : input.rows()) {
+    Row rewritten = row;
+    if (!rewritten[*idx].is_null()) {
+      rewritten[*idx] = generalize(rewritten[*idx]);
+    }
+    MEDSYNC_RETURN_IF_ERROR(out.Insert(std::move(rewritten)));
+  }
+  return out;
+}
+
+Value GeneralizeCityToRegion(const Value& city) {
+  static const std::map<std::string, std::string>* kRegions =
+      new std::map<std::string, std::string>{
+          {"Sapporo", "Hokkaido"},   {"Sendai", "Tohoku"},
+          {"Niigata", "Chubu"},      {"Kanazawa", "Chubu"},
+          {"Nagoya", "Chubu"},       {"Tokyo", "Kanto"},
+          {"Yokohama", "Kanto"},     {"Osaka", "Kansai"},
+          {"Kyoto", "Kansai"},       {"Kobe", "Kansai"},
+          {"Okayama", "Chugoku"},    {"Hiroshima", "Chugoku"},
+          {"Matsuyama", "Shikoku"},  {"Fukuoka", "Kyushu"},
+          {"Kumamoto", "Kyushu"},
+      };
+  if (city.type() != relational::DataType::kString) return city;
+  auto it = kRegions->find(city.AsString());
+  return Value::String(it == kRegions->end() ? "Japan" : it->second);
+}
+
+Result<size_t> SmallestEquivalenceClass(
+    const Table& input, const std::vector<std::string>& quasi_identifiers) {
+  const Schema& schema = input.schema();
+  std::vector<size_t> indices;
+  for (const std::string& name : quasi_identifiers) {
+    std::optional<size_t> idx = schema.IndexOf(name);
+    if (!idx.has_value()) {
+      return Status::NotFound(StrCat("no attribute '", name, "'"));
+    }
+    indices.push_back(*idx);
+  }
+  if (input.empty()) return static_cast<size_t>(0);
+  std::map<std::vector<Value>, size_t> classes;
+  for (const auto& [key, row] : input.rows()) {
+    std::vector<Value> qi;
+    qi.reserve(indices.size());
+    for (size_t idx : indices) qi.push_back(row[idx]);
+    ++classes[std::move(qi)];
+  }
+  size_t smallest = SIZE_MAX;
+  for (const auto& [qi, count] : classes) {
+    smallest = std::min(smallest, count);
+  }
+  return smallest;
+}
+
+Result<bool> IsKAnonymous(const Table& input,
+                          const std::vector<std::string>& quasi_identifiers,
+                          size_t k) {
+  MEDSYNC_ASSIGN_OR_RETURN(size_t smallest,
+                           SmallestEquivalenceClass(input, quasi_identifiers));
+  if (input.empty()) return k == 0;
+  return smallest >= k;
+}
+
+Result<size_t> SmallestSensitiveDiversity(
+    const Table& input, const std::vector<std::string>& quasi_identifiers,
+    const std::string& sensitive_attribute) {
+  const Schema& schema = input.schema();
+  std::vector<size_t> qi_indices;
+  for (const std::string& name : quasi_identifiers) {
+    std::optional<size_t> idx = schema.IndexOf(name);
+    if (!idx.has_value()) {
+      return Status::NotFound(StrCat("no attribute '", name, "'"));
+    }
+    qi_indices.push_back(*idx);
+  }
+  std::optional<size_t> sensitive_idx = schema.IndexOf(sensitive_attribute);
+  if (!sensitive_idx.has_value()) {
+    return Status::NotFound(
+        StrCat("no attribute '", sensitive_attribute, "'"));
+  }
+  if (input.empty()) return static_cast<size_t>(0);
+
+  std::map<std::vector<Value>, std::set<Value>> classes;
+  for (const auto& [key, row] : input.rows()) {
+    std::vector<Value> qi;
+    qi.reserve(qi_indices.size());
+    for (size_t idx : qi_indices) qi.push_back(row[idx]);
+    classes[std::move(qi)].insert(row[*sensitive_idx]);
+  }
+  size_t smallest = SIZE_MAX;
+  for (const auto& [qi, sensitive_values] : classes) {
+    smallest = std::min(smallest, sensitive_values.size());
+  }
+  return smallest;
+}
+
+Result<bool> IsLDiverse(const Table& input,
+                        const std::vector<std::string>& quasi_identifiers,
+                        const std::string& sensitive_attribute, size_t l) {
+  MEDSYNC_ASSIGN_OR_RETURN(
+      size_t smallest,
+      SmallestSensitiveDiversity(input, quasi_identifiers,
+                                 sensitive_attribute));
+  if (input.empty()) return l == 0;
+  return smallest >= l;
+}
+
+}  // namespace medsync::medical

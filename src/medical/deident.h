@@ -1,0 +1,64 @@
+#ifndef MEDSYNC_MEDICAL_DEIDENT_H_
+#define MEDSYNC_MEDICAL_DEIDENT_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/table.h"
+
+namespace medsync::medical {
+
+/// De-identification operators. The paper's conclusion commits to "use some
+/// de-identification technology to protect patient data from being
+/// exposed" before experimenting on real records; these operators implement
+/// that step so research-facing views can be scrubbed before sharing.
+
+/// Replaces the values of `attributes` with NULL (suppression). Key
+/// attributes cannot be suppressed (rows would collide); that is an error.
+Result<relational::Table> SuppressAttributes(
+    const relational::Table& input,
+    const std::vector<std::string>& attributes);
+
+/// Rewrites one attribute through `generalize` (e.g. city -> region,
+/// exact dosage -> dosage band). NULL cells pass through unchanged.
+Result<relational::Table> GeneralizeAttribute(
+    const relational::Table& input, const std::string& attribute,
+    const std::function<relational::Value(const relational::Value&)>&
+        generalize);
+
+/// Built-in generalization: maps a city (the Fig. 1 a3 values) to its
+/// region ("Sapporo" -> "Hokkaido", unknown cities -> "Japan").
+relational::Value GeneralizeCityToRegion(const relational::Value& city);
+
+/// Size of the smallest equivalence class over `quasi_identifiers`
+/// (0 for an empty table). A table is k-anonymous iff this is >= k.
+Result<size_t> SmallestEquivalenceClass(
+    const relational::Table& input,
+    const std::vector<std::string>& quasi_identifiers);
+
+/// True if every combination of quasi-identifier values appears in at
+/// least `k` rows.
+Result<bool> IsKAnonymous(const relational::Table& input,
+                          const std::vector<std::string>& quasi_identifiers,
+                          size_t k);
+
+/// The smallest number of DISTINCT `sensitive_attribute` values within any
+/// quasi-identifier equivalence class (0 for an empty table). A table is
+/// l-diverse iff this is >= l — k-anonymity alone does not stop an
+/// attacker when everyone in a class shares the same diagnosis.
+Result<size_t> SmallestSensitiveDiversity(
+    const relational::Table& input,
+    const std::vector<std::string>& quasi_identifiers,
+    const std::string& sensitive_attribute);
+
+/// True if every quasi-identifier class contains at least `l` distinct
+/// values of `sensitive_attribute`.
+Result<bool> IsLDiverse(const relational::Table& input,
+                        const std::vector<std::string>& quasi_identifiers,
+                        const std::string& sensitive_attribute, size_t l);
+
+}  // namespace medsync::medical
+
+#endif  // MEDSYNC_MEDICAL_DEIDENT_H_

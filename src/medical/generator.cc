@@ -1,0 +1,177 @@
+#include "medical/generator.h"
+
+#include <cassert>
+
+#include "common/strings.h"
+#include "medical/records.h"
+
+namespace medsync::medical {
+
+using relational::Row;
+using relational::Table;
+using relational::Value;
+
+const std::vector<Medication>& MedicationCatalog() {
+  static const std::vector<Medication>* kCatalog = new std::vector<Medication>{
+      {"Ibuprofen", "non-selective COX-1/COX-2 inhibition",
+       "reduces prostaglandin synthesis",
+       {"one tablet every 4h", "200 mg every 6h", "400 mg every 8h"}},
+      {"Wellbutrin", "norepinephrine-dopamine reuptake inhibition",
+       "increases synaptic catecholamine levels",
+       {"100 mg twice daily", "150 mg once daily"}},
+      {"Metformin", "AMPK activation, hepatic gluconeogenesis suppression",
+       "lowers hepatic glucose output",
+       {"500 mg twice daily", "850 mg once daily", "1000 mg twice daily"}},
+      {"Lisinopril", "angiotensin-converting enzyme inhibition",
+       "dilates blood vessels",
+       {"10 mg once daily", "20 mg once daily"}},
+      {"Atorvastatin", "HMG-CoA reductase inhibition",
+       "reduces hepatic cholesterol synthesis",
+       {"10 mg at bedtime", "20 mg at bedtime", "40 mg at bedtime"}},
+      {"Levothyroxine", "thyroid hormone receptor agonism",
+       "restores metabolic hormone levels",
+       {"50 mcg each morning", "75 mcg each morning"}},
+      {"Amlodipine", "L-type calcium channel blockade",
+       "relaxes vascular smooth muscle",
+       {"5 mg once daily", "10 mg once daily"}},
+      {"Omeprazole", "gastric H+/K+ ATPase inhibition",
+       "suppresses gastric acid secretion",
+       {"20 mg before breakfast", "40 mg before breakfast"}},
+      {"Sertraline", "selective serotonin reuptake inhibition",
+       "raises synaptic serotonin",
+       {"50 mg once daily", "100 mg once daily"}},
+      {"Albuterol", "beta-2 adrenergic receptor agonism",
+       "relaxes bronchial smooth muscle",
+       {"two puffs every 4-6h", "one puff every 4h"}},
+      {"Gabapentin", "alpha2delta calcium channel subunit binding",
+       "dampens excitatory neurotransmission",
+       {"300 mg three times daily", "600 mg three times daily"}},
+      {"Hydrochlorothiazide", "distal tubule Na-Cl cotransporter inhibition",
+       "increases sodium excretion",
+       {"12.5 mg once daily", "25 mg once daily"}},
+      {"Losartan", "angiotensin II receptor antagonism",
+       "prevents vasoconstriction",
+       {"50 mg once daily", "100 mg once daily"}},
+      {"Azithromycin", "bacterial 50S ribosomal subunit binding",
+       "halts bacterial protein synthesis",
+       {"500 mg day one then 250 mg", "250 mg once daily"}},
+      {"Amoxicillin", "bacterial cell wall transpeptidase inhibition",
+       "lyses growing bacteria",
+       {"500 mg every 8h", "875 mg every 12h"}},
+      {"Prednisone", "glucocorticoid receptor agonism",
+       "suppresses inflammatory gene expression",
+       {"5 mg each morning", "10 mg each morning", "20 mg taper"}},
+      {"Insulin glargine", "insulin receptor agonism, prolonged absorption",
+       "enables cellular glucose uptake",
+       {"10 units at bedtime", "20 units at bedtime"}},
+      {"Warfarin", "vitamin K epoxide reductase inhibition",
+       "blocks clotting factor synthesis",
+       {"5 mg once daily", "2.5 mg once daily"}},
+      {"Furosemide", "loop of Henle Na-K-2Cl cotransporter inhibition",
+       "produces rapid diuresis",
+       {"20 mg each morning", "40 mg each morning"}},
+      {"Pantoprazole", "irreversible proton pump inhibition",
+       "long-lasting acid suppression",
+       {"40 mg once daily", "20 mg once daily"}},
+      {"Citalopram", "selective serotonin reuptake inhibition",
+       "raises synaptic serotonin",
+       {"20 mg once daily", "40 mg once daily"}},
+      {"Tramadol", "mu-opioid agonism with monoamine reuptake inhibition",
+       "raises pain threshold",
+       {"50 mg every 6h as needed", "100 mg every 8h"}},
+      {"Clopidogrel", "P2Y12 ADP receptor blockade",
+       "prevents platelet aggregation",
+       {"75 mg once daily"}},
+      {"Montelukast", "cysteinyl leukotriene receptor antagonism",
+       "reduces airway inflammation",
+       {"10 mg at bedtime"}},
+      {"Duloxetine", "serotonin-norepinephrine reuptake inhibition",
+       "modulates descending pain pathways",
+       {"30 mg once daily", "60 mg once daily"}},
+      {"Rosuvastatin", "HMG-CoA reductase inhibition",
+       "reduces LDL cholesterol",
+       {"5 mg at bedtime", "10 mg at bedtime"}},
+      {"Escitalopram", "selective serotonin reuptake inhibition",
+       "raises synaptic serotonin selectively",
+       {"10 mg once daily", "20 mg once daily"}},
+      {"Meloxicam", "preferential COX-2 inhibition",
+       "reduces inflammatory prostaglandins",
+       {"7.5 mg once daily", "15 mg once daily"}},
+      {"Venlafaxine", "serotonin-norepinephrine reuptake inhibition",
+       "dose-dependent dual reuptake blockade",
+       {"75 mg once daily", "150 mg once daily"}},
+      {"Doxycycline", "bacterial 30S ribosomal subunit binding",
+       "bacteriostatic protein synthesis block",
+       {"100 mg twice daily"}},
+  };
+  return *kCatalog;
+}
+
+namespace {
+const std::vector<std::string>& Cities() {
+  static const std::vector<std::string>* kCities = new std::vector<std::string>{
+      "Sapporo",  "Osaka",   "Kyoto",    "Tokyo",    "Nagoya",
+      "Fukuoka",  "Sendai",  "Hiroshima", "Yokohama", "Kobe",
+      "Kanazawa", "Niigata", "Okayama",  "Kumamoto", "Matsuyama",
+  };
+  return *kCities;
+}
+
+const std::vector<std::string>& Complaints() {
+  static const std::vector<std::string>* kComplaints =
+      new std::vector<std::string>{
+          "intermittent headache",  "lower back pain",
+          "elevated blood pressure", "seasonal allergies",
+          "persistent cough",        "joint stiffness",
+          "fatigue and dizziness",   "mild fever",
+          "chest tightness",         "abdominal discomfort",
+      };
+  return *kComplaints;
+}
+
+const std::vector<std::string>& Findings() {
+  static const std::vector<std::string>* kFindings =
+      new std::vector<std::string>{
+          "vitals within normal limits", "BP 142/90",
+          "temperature 37.8C",           "clear lung sounds",
+          "mild tenderness on palpation", "no acute distress",
+          "HR 88 regular",               "O2 saturation 97%",
+      };
+  return *kFindings;
+}
+}  // namespace
+
+std::string RandomCity(Rng* rng) {
+  return Cities()[rng->NextIndex(Cities().size())];
+}
+
+std::string GenerateClinicalNote(Rng* rng) {
+  return StrCat("Presents with ",
+                Complaints()[rng->NextIndex(Complaints().size())], "; ",
+                Findings()[rng->NextIndex(Findings().size())],
+                "; follow-up in ", rng->NextInRange(1, 8), " weeks.");
+}
+
+Table GenerateFullRecords(const GeneratorConfig& config) {
+  Rng rng(config.seed);
+  const std::vector<Medication>& catalog = MedicationCatalog();
+  Table table(FullRecordSchema());
+  for (size_t i = 0; i < config.record_count; ++i) {
+    const Medication& med = catalog[rng.NextIndex(catalog.size())];
+    Row row{
+        Value::Int(config.first_patient_id + static_cast<int64_t>(i)),
+        Value::String(med.name),
+        Value::String(GenerateClinicalNote(&rng)),
+        Value::String(RandomCity(&rng)),
+        Value::String(med.dosages[rng.NextIndex(med.dosages.size())]),
+        Value::String(med.mechanism_of_action),
+        Value::String(med.mode_of_action),
+    };
+    Status inserted = table.Insert(std::move(row));
+    assert(inserted.ok());
+    (void)inserted;
+  }
+  return table;
+}
+
+}  // namespace medsync::medical

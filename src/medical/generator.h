@@ -1,0 +1,53 @@
+#ifndef MEDSYNC_MEDICAL_GENERATOR_H_
+#define MEDSYNC_MEDICAL_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/random.h"
+#include "relational/table.h"
+
+namespace medsync::medical {
+
+/// Synthetic medical-record generator.
+///
+/// Substitution note (DESIGN.md): the paper defers experiments on real
+/// patient data to future work and says de-identification would be applied
+/// first. This generator produces schema-identical records at any scale
+/// from a fixed medication catalog, so every benchmark sweeps the same
+/// shape of data a hospital table would have, with zero privacy risk.
+struct GeneratorConfig {
+  uint64_t seed = 42;
+  size_t record_count = 100;
+  /// First patient id; ids are dense from here.
+  int64_t first_patient_id = 1000;
+};
+
+/// One catalog medication with its pharmacological descriptions. Each
+/// medication has a UNIQUE name, mechanism, and mode, so the researcher
+/// view (keyed by medication name, as in Fig. 1's D2) stays key-functional
+/// on generated data.
+struct Medication {
+  std::string name;
+  std::string mechanism_of_action;
+  std::string mode_of_action;
+  std::vector<std::string> dosages;
+};
+
+/// The built-in medication catalog (a few dozen entries).
+const std::vector<Medication>& MedicationCatalog();
+
+/// Generates `config.record_count` full medical records (Fig. 1 schema).
+relational::Table GenerateFullRecords(const GeneratorConfig& config);
+
+/// Generates a plausible free-text clinical note.
+std::string GenerateClinicalNote(Rng* rng);
+
+/// A random city name from the built-in list (paper's a3 uses Sapporo,
+/// Osaka, ...).
+std::string RandomCity(Rng* rng);
+
+}  // namespace medsync::medical
+
+#endif  // MEDSYNC_MEDICAL_GENERATOR_H_

@@ -1,0 +1,92 @@
+#include "medical/records.h"
+
+#include <cassert>
+
+namespace medsync::medical {
+
+using relational::AttributeDef;
+using relational::DataType;
+using relational::Row;
+using relational::Schema;
+using relational::Table;
+using relational::Value;
+
+namespace {
+Schema MustCreate(std::vector<AttributeDef> attrs,
+                  std::vector<std::string> key) {
+  Result<Schema> schema = Schema::Create(std::move(attrs), std::move(key));
+  assert(schema.ok());
+  return std::move(schema).value();
+}
+
+AttributeDef StringAttr(const char* name) {
+  return AttributeDef{name, DataType::kString, /*nullable=*/true};
+}
+}  // namespace
+
+Schema FullRecordSchema() {
+  return MustCreate(
+      {
+          AttributeDef{kPatientId, DataType::kInt, /*nullable=*/false},
+          StringAttr(kMedicationName),
+          StringAttr(kClinicalData),
+          StringAttr(kAddress),
+          StringAttr(kDosage),
+          StringAttr(kMechanismOfAction),
+          StringAttr(kModeOfAction),
+      },
+      {kPatientId});
+}
+
+Table MakeFig1FullRecords() {
+  Table table(FullRecordSchema());
+  Status s1 = table.Insert(Row{
+      Value::Int(188), Value::String("Ibuprofen"), Value::String("CliD1"),
+      Value::String("Sapporo"), Value::String("one tablet every 4h"),
+      Value::String("MeA1"), Value::String("MoA1")});
+  Status s2 = table.Insert(Row{
+      Value::Int(189), Value::String("Wellbutrin"), Value::String("CliD2"),
+      Value::String("Osaka"), Value::String("100 mg twice daily"),
+      Value::String("MeA2"), Value::String("MoA2")});
+  assert(s1.ok() && s2.ok());
+  (void)s1;
+  (void)s2;
+  return table;
+}
+
+Schema PatientSchema() {
+  return MustCreate(
+      {
+          AttributeDef{kPatientId, DataType::kInt, /*nullable=*/false},
+          StringAttr(kMedicationName),
+          StringAttr(kClinicalData),
+          StringAttr(kAddress),
+          StringAttr(kDosage),
+      },
+      {kPatientId});
+}
+
+Schema ResearcherSchema() {
+  return MustCreate(
+      {
+          AttributeDef{kMedicationName, DataType::kString,
+                       /*nullable=*/false},
+          StringAttr(kMechanismOfAction),
+          StringAttr(kModeOfAction),
+      },
+      {kMedicationName});
+}
+
+Schema DoctorSchema() {
+  return MustCreate(
+      {
+          AttributeDef{kPatientId, DataType::kInt, /*nullable=*/false},
+          StringAttr(kMedicationName),
+          StringAttr(kClinicalData),
+          StringAttr(kMechanismOfAction),
+          StringAttr(kDosage),
+      },
+      {kPatientId});
+}
+
+}  // namespace medsync::medical

@@ -1,0 +1,36 @@
+#ifndef MEDSYNC_MEDICAL_RECORDS_H_
+#define MEDSYNC_MEDICAL_RECORDS_H_
+
+#include <string>
+
+#include "relational/table.h"
+
+namespace medsync::medical {
+
+/// Attribute names of the paper's Fig. 1 full medical record. The paper
+/// labels them a0..a6; we keep those labels with readable suffixes.
+inline constexpr char kPatientId[] = "a0_patient_id";
+inline constexpr char kMedicationName[] = "a1_medication_name";
+inline constexpr char kClinicalData[] = "a2_clinical_data";
+inline constexpr char kAddress[] = "a3_address";
+inline constexpr char kDosage[] = "a4_dosage";
+inline constexpr char kMechanismOfAction[] = "a5_mechanism_of_action";
+inline constexpr char kModeOfAction[] = "a6_mode_of_action";
+
+/// Schema of the "Full medical records" table of Fig. 1: a0..a6, keyed by
+/// patient id.
+relational::Schema FullRecordSchema();
+
+/// The exact "Full medical records" table of Fig. 1 (patients 188 and 189).
+relational::Table MakeFig1FullRecords();
+
+/// Schema subsets of the per-stakeholder tables of Fig. 1. D1 is the
+/// patient's table (a0-a4), D2 the researcher's (a1,a5,a6; keyed by
+/// medication name), D3 the doctor's (a0,a1,a2,a5,a4).
+relational::Schema PatientSchema();     // D1
+relational::Schema ResearcherSchema();  // D2
+relational::Schema DoctorSchema();      // D3
+
+}  // namespace medsync::medical
+
+#endif  // MEDSYNC_MEDICAL_RECORDS_H_

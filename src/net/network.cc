@@ -1,0 +1,86 @@
+#include "net/network.h"
+
+#include "common/strings.h"
+
+namespace medsync::net {
+
+Network::Network(Simulator* simulator, LatencyModel latency, uint64_t seed)
+    : simulator_(simulator), latency_(latency), rng_(seed) {}
+
+void Network::Attach(const NodeId& id, Endpoint* endpoint) {
+  endpoints_[id] = endpoint;
+}
+
+void Network::Detach(const NodeId& id) { endpoints_.erase(id); }
+
+bool Network::IsAttached(const NodeId& id) const {
+  return endpoints_.count(id) > 0;
+}
+
+Status Network::Send(Message message) {
+  ++stats_.sent;
+  stats_.bytes += message.payload.Dump().size();
+
+  auto it = endpoints_.find(message.to);
+  if (it == endpoints_.end()) {
+    return Status::NotFound(
+        StrCat("no endpoint '", message.to, "' on the network"));
+  }
+
+  auto link = message.from < message.to
+                  ? std::make_pair(message.from, message.to)
+                  : std::make_pair(message.to, message.from);
+  if (down_links_.count(link) > 0 ||
+      (drop_probability_ > 0.0 && rng_.NextBool(drop_probability_))) {
+    ++stats_.dropped;
+    return Status::OK();  // datagram semantics: loss is silent
+  }
+
+  Micros delay = latency_.base;
+  if (latency_.jitter > 0) {
+    delay += static_cast<Micros>(
+        rng_.NextBelow(static_cast<uint64_t>(latency_.jitter) + 1));
+  }
+  NodeId to = message.to;
+  simulator_->Schedule(delay, [this, to, message = std::move(message)]() {
+    auto endpoint_it = endpoints_.find(to);
+    if (endpoint_it == endpoints_.end()) {
+      ++stats_.dropped;  // detached mid-flight
+      return;
+    }
+    ++stats_.delivered;
+    endpoint_it->second->OnMessage(message);
+  });
+  return Status::OK();
+}
+
+void Network::Broadcast(const NodeId& from, const std::string& type,
+                        const Json& payload) {
+  for (const auto& [id, endpoint] : endpoints_) {
+    if (id == from) continue;
+    Message message;
+    message.from = from;
+    message.to = id;
+    message.type = type;
+    message.payload = payload;
+    (void)Send(std::move(message));
+  }
+}
+
+void Network::SetLinkDown(const NodeId& a, const NodeId& b, bool down) {
+  auto link = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
+  if (down) {
+    down_links_.insert(link);
+  } else {
+    down_links_.erase(link);
+  }
+}
+
+std::vector<NodeId> Network::AttachedNodes() const {
+  std::vector<NodeId> out;
+  out.reserve(endpoints_.size());
+  for (const auto& [id, endpoint] : endpoints_) out.push_back(id);
+  return out;
+}
+
+}  // namespace medsync::net

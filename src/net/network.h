@@ -1,0 +1,96 @@
+#ifndef MEDSYNC_NET_NETWORK_H_
+#define MEDSYNC_NET_NETWORK_H_
+
+#include <map>
+#include <set>
+#include <string>
+
+#include "common/json.h"
+#include "common/random.h"
+#include "common/status.h"
+#include "net/simulator.h"
+
+namespace medsync::net {
+
+/// Stable node identity on the simulated network (e.g. "doctor",
+/// "chain-node-2").
+using NodeId = std::string;
+
+/// One network message. `type` routes within the receiver ("tx", "block",
+/// "notify", "fetch_request", "fetch_response", ...); `payload` is JSON,
+/// mirroring how the real system would put JSON bodies on the wire.
+struct Message {
+  NodeId from;
+  NodeId to;
+  std::string type;
+  Json payload;
+};
+
+/// Receiver interface for attached nodes.
+class Endpoint {
+ public:
+  virtual ~Endpoint() = default;
+  virtual void OnMessage(const Message& message) = 0;
+};
+
+/// Per-message latency: base + uniform(0, jitter).
+struct LatencyModel {
+  Micros base = 20 * kMicrosPerMilli;
+  Micros jitter = 10 * kMicrosPerMilli;
+};
+
+/// A simulated peer-to-peer message network. Delivery is asynchronous via
+/// the Simulator with configurable latency, optional random drops, and
+/// per-link partitions — enough to exercise the failure paths of the
+/// sharing protocol (a partitioned peer missing a contract notification
+/// must catch up when the partition heals).
+class Network {
+ public:
+  Network(Simulator* simulator, LatencyModel latency, uint64_t seed = 42);
+
+  Network(const Network&) = delete;
+  Network& operator=(const Network&) = delete;
+
+  /// Attaches `endpoint` as `id`. The endpoint must outlive its attachment.
+  void Attach(const NodeId& id, Endpoint* endpoint);
+  void Detach(const NodeId& id);
+  bool IsAttached(const NodeId& id) const;
+
+  /// Queues `message` for delivery. Fails fast if the destination is
+  /// unknown; silently drops (counting it) if the link is partitioned or
+  /// the drop lottery fires — like a real datagram network would.
+  Status Send(Message message);
+
+  /// Sends `type`/`payload` from `from` to every other attached node.
+  void Broadcast(const NodeId& from, const std::string& type,
+                 const Json& payload);
+
+  /// Cuts or heals the (bidirectional) link between `a` and `b`.
+  void SetLinkDown(const NodeId& a, const NodeId& b, bool down);
+
+  /// Probability in [0,1] that any message is lost.
+  void set_drop_probability(double p) { drop_probability_ = p; }
+
+  struct Stats {
+    uint64_t sent = 0;
+    uint64_t delivered = 0;
+    uint64_t dropped = 0;
+    uint64_t bytes = 0;
+  };
+  const Stats& stats() const { return stats_; }
+
+  std::vector<NodeId> AttachedNodes() const;
+
+ private:
+  Simulator* simulator_;
+  LatencyModel latency_;
+  Rng rng_;
+  double drop_probability_ = 0.0;
+  std::map<NodeId, Endpoint*> endpoints_;
+  std::set<std::pair<NodeId, NodeId>> down_links_;  // normalized (min,max)
+  Stats stats_;
+};
+
+}  // namespace medsync::net
+
+#endif  // MEDSYNC_NET_NETWORK_H_

@@ -1,0 +1,227 @@
+#include "relational/aggregate.h"
+
+#include <map>
+
+#include "common/strings.h"
+
+namespace medsync::relational {
+
+std::string_view AggregateFnName(AggregateFn fn) {
+  switch (fn) {
+    case AggregateFn::kCount:
+      return "count";
+    case AggregateFn::kMin:
+      return "min";
+    case AggregateFn::kMax:
+      return "max";
+    case AggregateFn::kSum:
+      return "sum";
+    case AggregateFn::kAvg:
+      return "avg";
+  }
+  return "?";
+}
+
+namespace {
+
+/// Running state for one aggregate over one group.
+struct Accumulator {
+  size_t count = 0;        // non-null inputs (rows for kCount)
+  Value min_value;
+  Value max_value;
+  double sum = 0.0;
+  bool numeric_ok = true;  // sum/avg saw only numeric values
+
+  void Add(const Value& v, AggregateFn fn) {
+    if (fn == AggregateFn::kCount) {
+      ++count;
+      return;
+    }
+    if (v.is_null()) return;
+    ++count;
+    if (count == 1 || v < min_value) min_value = v;
+    if (count == 1 || max_value < v) max_value = v;
+    if (v.type() == DataType::kInt) {
+      sum += static_cast<double>(v.AsInt());
+    } else if (v.type() == DataType::kDouble) {
+      sum += v.AsDouble();
+    } else {
+      numeric_ok = false;
+    }
+  }
+
+  Result<Value> Finish(AggregateFn fn, std::string_view attr) const {
+    switch (fn) {
+      case AggregateFn::kCount:
+        return Value::Int(static_cast<int64_t>(count));
+      case AggregateFn::kMin:
+        return count == 0 ? Value::Null() : min_value;
+      case AggregateFn::kMax:
+        return count == 0 ? Value::Null() : max_value;
+      case AggregateFn::kSum:
+      case AggregateFn::kAvg:
+        if (!numeric_ok) {
+          return Status::InvalidArgument(
+              StrCat(AggregateFnName(fn), " over non-numeric attribute '",
+                     attr, "'"));
+        }
+        if (count == 0) return Value::Null();
+        return fn == AggregateFn::kSum
+                   ? Value::Double(sum)
+                   : Value::Double(sum / static_cast<double>(count));
+    }
+    return Status::Internal("unhandled aggregate fn");
+  }
+};
+
+std::string OutputName(const AggregateSpec& spec) {
+  if (!spec.as.empty()) return spec.as;
+  if (spec.attribute.empty()) return std::string(AggregateFnName(spec.fn));
+  return StrCat(AggregateFnName(spec.fn), "_", spec.attribute);
+}
+
+DataType OutputType(const AggregateSpec& spec, const Schema& input) {
+  switch (spec.fn) {
+    case AggregateFn::kCount:
+      return DataType::kInt;
+    case AggregateFn::kSum:
+    case AggregateFn::kAvg:
+      return DataType::kDouble;
+    case AggregateFn::kMin:
+    case AggregateFn::kMax: {
+      std::optional<size_t> idx = input.IndexOf(spec.attribute);
+      return idx.has_value() ? input.attributes()[*idx].type
+                             : DataType::kNull;
+    }
+  }
+  return DataType::kNull;
+}
+
+}  // namespace
+
+Result<Table> GroupBy(const Table& input,
+                      const std::vector<std::string>& group_by,
+                      const std::vector<AggregateSpec>& aggregates) {
+  if (group_by.empty()) {
+    return Status::InvalidArgument(
+        "GroupBy needs grouping attributes; use Aggregate() for a whole-"
+        "table rollup");
+  }
+  if (aggregates.empty()) {
+    return Status::InvalidArgument("GroupBy needs at least one aggregate");
+  }
+  const Schema& in = input.schema();
+
+  std::vector<size_t> group_idx;
+  std::vector<AttributeDef> out_attrs;
+  for (const std::string& name : group_by) {
+    std::optional<size_t> idx = in.IndexOf(name);
+    if (!idx.has_value()) {
+      return Status::NotFound(StrCat("no attribute '", name, "'"));
+    }
+    AttributeDef def = in.attributes()[*idx];
+    def.nullable = false;  // group keys become the result key
+    out_attrs.push_back(std::move(def));
+    group_idx.push_back(*idx);
+  }
+
+  std::vector<std::optional<size_t>> agg_idx;
+  for (const AggregateSpec& spec : aggregates) {
+    if (spec.fn == AggregateFn::kCount && spec.attribute.empty()) {
+      agg_idx.push_back(std::nullopt);
+    } else {
+      std::optional<size_t> idx = in.IndexOf(spec.attribute);
+      if (!idx.has_value()) {
+        return Status::NotFound(
+            StrCat("no attribute '", spec.attribute, "'"));
+      }
+      agg_idx.push_back(idx);
+    }
+    out_attrs.push_back(
+        AttributeDef{OutputName(spec), OutputType(spec, in), true});
+  }
+  MEDSYNC_ASSIGN_OR_RETURN(Schema out_schema,
+                           Schema::Create(out_attrs, group_by));
+
+  // Accumulate per group.
+  std::map<std::vector<Value>, std::vector<Accumulator>> groups;
+  for (const auto& [key, row] : input.rows()) {
+    std::vector<Value> group_key;
+    group_key.reserve(group_idx.size());
+    for (size_t idx : group_idx) {
+      if (row[idx].is_null()) {
+        return Status::InvalidArgument(
+            StrCat("NULL group key in attribute '",
+                   in.attributes()[idx].name, "'"));
+      }
+      group_key.push_back(row[idx]);
+    }
+    auto [it, inserted] = groups.try_emplace(
+        std::move(group_key), std::vector<Accumulator>(aggregates.size()));
+    for (size_t a = 0; a < aggregates.size(); ++a) {
+      const Value& v =
+          agg_idx[a].has_value() ? row[*agg_idx[a]] : Value::Null();
+      it->second[a].Add(v, aggregates[a].fn);
+    }
+  }
+
+  Table out(out_schema);
+  for (const auto& [group_key, accumulators] : groups) {
+    Row row = group_key;
+    for (size_t a = 0; a < aggregates.size(); ++a) {
+      MEDSYNC_ASSIGN_OR_RETURN(
+          Value v,
+          accumulators[a].Finish(aggregates[a].fn, aggregates[a].attribute));
+      row.push_back(std::move(v));
+    }
+    MEDSYNC_RETURN_IF_ERROR(out.Insert(std::move(row)));
+  }
+  return out;
+}
+
+Result<Table> Aggregate(const Table& input,
+                        const std::vector<AggregateSpec>& aggregates) {
+  // Reuse GroupBy over a synthetic constant column.
+  Schema widened_schema = [&] {
+    std::vector<AttributeDef> attrs = input.schema().attributes();
+    attrs.push_back(AttributeDef{"_all", DataType::kInt, false});
+    return *Schema::Create(std::move(attrs),
+                           input.schema().key_attributes());
+  }();
+  Table widened(widened_schema);
+  for (const auto& [key, row] : input.rows()) {
+    Row extended = row;
+    extended.push_back(Value::Int(0));
+    MEDSYNC_RETURN_IF_ERROR(widened.Insert(std::move(extended)));
+  }
+  if (input.empty()) {
+    // One all-zero/NULL row result for consistency.
+    std::vector<AttributeDef> out_attrs{
+        AttributeDef{"_all", DataType::kInt, false}};
+    for (const AggregateSpec& spec : aggregates) {
+      out_attrs.push_back(
+          AttributeDef{spec.as.empty()
+                           ? StrCat(AggregateFnName(spec.fn),
+                                    spec.attribute.empty() ? "" : "_",
+                                    spec.attribute)
+                           : spec.as,
+                       spec.fn == AggregateFn::kCount ? DataType::kInt
+                                                      : DataType::kNull,
+                       true});
+    }
+    MEDSYNC_ASSIGN_OR_RETURN(
+        Schema out_schema,
+        Schema::Create(out_attrs, std::vector<std::string>{"_all"}));
+    Table out(out_schema);
+    Row row{Value::Int(0)};
+    for (size_t i = 0; i < aggregates.size(); ++i) {
+      row.push_back(aggregates[i].fn == AggregateFn::kCount ? Value::Int(0)
+                                                            : Value::Null());
+    }
+    MEDSYNC_RETURN_IF_ERROR(out.Insert(std::move(row)));
+    return out;
+  }
+  return GroupBy(widened, {"_all"}, aggregates);
+}
+
+}  // namespace medsync::relational

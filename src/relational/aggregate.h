@@ -1,0 +1,49 @@
+#ifndef MEDSYNC_RELATIONAL_AGGREGATE_H_
+#define MEDSYNC_RELATIONAL_AGGREGATE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/table.h"
+
+namespace medsync::relational {
+
+/// Aggregate functions for grouped queries.
+enum class AggregateFn : int {
+  kCount = 0,  // row count per group (input attribute ignored)
+  kMin = 1,
+  kMax = 2,
+  kSum = 3,    // int or double attribute
+  kAvg = 4,    // int or double attribute; result is double
+};
+
+std::string_view AggregateFnName(AggregateFn fn);
+
+/// One output column of a GroupBy: `fn` applied to `attribute`, named
+/// `as` in the result (defaults to "<fn>_<attribute>").
+struct AggregateSpec {
+  AggregateFn fn = AggregateFn::kCount;
+  std::string attribute;  // may be empty for kCount
+  std::string as;
+};
+
+/// γ: groups `input` by `group_by` attributes and computes `aggregates`
+/// per group. The result is keyed by the grouping attributes (which must
+/// therefore be non-null in every row; NULL group keys are an error).
+/// NULL cells are skipped by min/max/sum/avg; a group whose values are all
+/// NULL yields NULL for that aggregate. This powers the research-facing
+/// analytics over fine-grained views (e.g. prescriptions per medication,
+/// dosage variety per city).
+Result<Table> GroupBy(const Table& input,
+                      const std::vector<std::string>& group_by,
+                      const std::vector<AggregateSpec>& aggregates);
+
+/// Aggregates over the whole table (one output row, keyed by a synthetic
+/// constant group column named "_all").
+Result<Table> Aggregate(const Table& input,
+                        const std::vector<AggregateSpec>& aggregates);
+
+}  // namespace medsync::relational
+
+#endif  // MEDSYNC_RELATIONAL_AGGREGATE_H_

@@ -1,0 +1,372 @@
+#include "relational/database.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace medsync::relational {
+
+namespace {
+
+constexpr char kSnapshotFile[] = "snapshot.json";
+constexpr char kWalFile[] = "wal.log";
+
+Result<std::string> ReadFileToString(const std::string& path, bool* exists) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    *exists = false;
+    return std::string();
+  }
+  *exists = true;
+  std::string out;
+  char buf[4096];
+  size_t n;
+  while ((n = std::fread(buf, 1, sizeof(buf), f)) > 0) {
+    out.append(buf, n);
+  }
+  bool had_error = std::ferror(f) != 0;
+  std::fclose(f);
+  if (had_error) {
+    return Status::Unavailable(StrCat("cannot read '", path, "'"));
+  }
+  return out;
+}
+
+Status WriteStringToFile(const std::string& path, const std::string& data) {
+  std::string tmp = path + ".tmp";
+  FILE* f = std::fopen(tmp.c_str(), "wb");
+  if (f == nullptr) {
+    return Status::Unavailable(StrCat("cannot write '", tmp, "'"));
+  }
+  bool ok = std::fwrite(data.data(), 1, data.size(), f) == data.size();
+  ok = (std::fclose(f) == 0) && ok;
+  if (!ok) return Status::Unavailable(StrCat("short write to '", tmp, "'"));
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Unavailable(
+        StrCat("cannot rename '", tmp, "': ", std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<Database> Database::Open(const std::string& dir) {
+  if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
+    return Status::Unavailable(
+        StrCat("cannot create directory '", dir, "': ", std::strerror(errno)));
+  }
+
+  Database db;
+  db.dir_ = dir;
+
+  // Load snapshot if present.
+  bool exists = false;
+  MEDSYNC_ASSIGN_OR_RETURN(
+      std::string snapshot_text,
+      ReadFileToString(dir + "/" + kSnapshotFile, &exists));
+  if (exists && !snapshot_text.empty()) {
+    MEDSYNC_ASSIGN_OR_RETURN(Json snapshot, Json::Parse(snapshot_text));
+    if (!snapshot.is_object()) {
+      return Status::Corruption("snapshot is not a JSON object");
+    }
+    for (const auto& [name, table_json] : snapshot.AsObject()) {
+      MEDSYNC_ASSIGN_OR_RETURN(Table table, Table::FromJson(table_json));
+      db.tables_.emplace(name, std::move(table));
+    }
+  }
+
+  // Replay WAL.
+  std::vector<WalRecord> records;
+  MEDSYNC_ASSIGN_OR_RETURN(Wal wal, Wal::Open(dir + "/" + kWalFile, &records));
+  for (const WalRecord& record : records) {
+    Status s = ApplyOp(record.payload, &db.tables_);
+    if (!s.ok()) {
+      return s.WithPrefix(StrCat("WAL replay failed at LSN ", record.lsn));
+    }
+  }
+  db.wal_ = std::move(wal);
+  return db;
+}
+
+Status Database::ApplyOp(const Json& op, std::map<std::string, Table>* tables) {
+  MEDSYNC_ASSIGN_OR_RETURN(std::string kind, op.GetString("op"));
+
+  if (kind == "create_table") {
+    MEDSYNC_ASSIGN_OR_RETURN(std::string name, op.GetString("table"));
+    if (tables->count(name) > 0) {
+      return Status::AlreadyExists(StrCat("table '", name, "' exists"));
+    }
+    MEDSYNC_ASSIGN_OR_RETURN(Schema schema, Schema::FromJson(op.At("schema")));
+    tables->emplace(name, Table(std::move(schema)));
+    return Status::OK();
+  }
+  if (kind == "drop_table") {
+    MEDSYNC_ASSIGN_OR_RETURN(std::string name, op.GetString("table"));
+    if (tables->erase(name) == 0) {
+      return Status::NotFound(StrCat("no table '", name, "'"));
+    }
+    return Status::OK();
+  }
+
+  MEDSYNC_ASSIGN_OR_RETURN(std::string name, op.GetString("table"));
+  auto it = tables->find(name);
+  if (it == tables->end()) {
+    return Status::NotFound(StrCat("no table '", name, "'"));
+  }
+  Table& table = it->second;
+
+  if (kind == "insert") {
+    MEDSYNC_ASSIGN_OR_RETURN(Row row, RowFromJson(op.At("row")));
+    return table.Insert(std::move(row));
+  }
+  if (kind == "update") {
+    MEDSYNC_ASSIGN_OR_RETURN(Row row, RowFromJson(op.At("row")));
+    return table.Update(std::move(row));
+  }
+  if (kind == "upsert") {
+    MEDSYNC_ASSIGN_OR_RETURN(Row row, RowFromJson(op.At("row")));
+    return table.Upsert(std::move(row));
+  }
+  if (kind == "update_attr") {
+    MEDSYNC_ASSIGN_OR_RETURN(Key key, RowFromJson(op.At("key")));
+    MEDSYNC_ASSIGN_OR_RETURN(std::string attr, op.GetString("attr"));
+    MEDSYNC_ASSIGN_OR_RETURN(Value value, Value::FromJson(op.At("value")));
+    return table.UpdateAttribute(key, attr, std::move(value));
+  }
+  if (kind == "delete") {
+    MEDSYNC_ASSIGN_OR_RETURN(Key key, RowFromJson(op.At("key")));
+    return table.Delete(key);
+  }
+  if (kind == "apply_delta") {
+    MEDSYNC_ASSIGN_OR_RETURN(TableDelta delta,
+                             TableDelta::FromJson(op.At("delta")));
+    return ApplyDelta(delta, &table);
+  }
+  if (kind == "replace_table") {
+    MEDSYNC_ASSIGN_OR_RETURN(Table contents,
+                             Table::FromJson(op.At("contents")));
+    if (contents.schema() != table.schema()) {
+      return Status::InvalidArgument(
+          StrCat("replace_table schema mismatch for '", name, "'"));
+    }
+    table = std::move(contents);
+    return Status::OK();
+  }
+  return Status::InvalidArgument(StrCat("unknown database op '", kind, "'"));
+}
+
+Status Database::LogAndApply(const Json& op) {
+  // Validate against a scratch application first when the op could fail,
+  // so the WAL never records a failing operation. Cheap ops are validated
+  // by running them on a copy of just the affected table.
+  std::map<std::string, Table> scratch;
+  auto name_result = op.GetString("table");
+  if (name_result.ok()) {
+    auto it = tables_.find(*name_result);
+    if (it != tables_.end()) scratch.emplace(it->first, it->second);
+  }
+  MEDSYNC_RETURN_IF_ERROR(ApplyOp(op, &scratch));
+
+  if (wal_.has_value()) {
+    MEDSYNC_RETURN_IF_ERROR(wal_->Append(op).status());
+  }
+  // Commit the validated result.
+  for (auto& [name, table] : scratch) {
+    tables_[name] = std::move(table);
+  }
+  // Handle drops (scratch application erased the entry).
+  auto kind = op.GetString("op");
+  if (kind.ok() && *kind == "drop_table" && name_result.ok()) {
+    tables_.erase(*name_result);
+  }
+  return Status::OK();
+}
+
+Status Database::CreateTable(const std::string& name, const Schema& schema) {
+  if (tables_.count(name) > 0) {
+    return Status::AlreadyExists(StrCat("table '", name, "' exists"));
+  }
+  Json op = Json::MakeObject();
+  op.Set("op", "create_table");
+  op.Set("table", name);
+  op.Set("schema", schema.ToJson());
+  if (wal_.has_value()) {
+    MEDSYNC_RETURN_IF_ERROR(wal_->Append(op).status());
+  }
+  tables_.emplace(name, Table(schema));
+  return Status::OK();
+}
+
+Status Database::DropTable(const std::string& name) {
+  if (tables_.count(name) == 0) {
+    return Status::NotFound(StrCat("no table '", name, "'"));
+  }
+  Json op = Json::MakeObject();
+  op.Set("op", "drop_table");
+  op.Set("table", name);
+  if (wal_.has_value()) {
+    MEDSYNC_RETURN_IF_ERROR(wal_->Append(op).status());
+  }
+  tables_.erase(name);
+  return Status::OK();
+}
+
+bool Database::HasTable(const std::string& name) const {
+  return tables_.count(name) > 0;
+}
+
+std::vector<std::string> Database::TableNames() const {
+  std::vector<std::string> names;
+  names.reserve(tables_.size());
+  for (const auto& [name, table] : tables_) names.push_back(name);
+  return names;
+}
+
+Result<const Table*> Database::GetTable(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound(StrCat("no table '", name, "'"));
+  }
+  return &it->second;
+}
+
+Result<Table> Database::Snapshot(const std::string& name) const {
+  auto it = tables_.find(name);
+  if (it == tables_.end()) {
+    return Status::NotFound(StrCat("no table '", name, "'"));
+  }
+  return it->second;
+}
+
+Status Database::Insert(const std::string& table, Row row) {
+  Json op = Json::MakeObject();
+  op.Set("op", "insert");
+  op.Set("table", table);
+  op.Set("row", RowToJson(row));
+  return LogAndApply(op);
+}
+
+Status Database::Update(const std::string& table, Row row) {
+  Json op = Json::MakeObject();
+  op.Set("op", "update");
+  op.Set("table", table);
+  op.Set("row", RowToJson(row));
+  return LogAndApply(op);
+}
+
+Status Database::Upsert(const std::string& table, Row row) {
+  Json op = Json::MakeObject();
+  op.Set("op", "upsert");
+  op.Set("table", table);
+  op.Set("row", RowToJson(row));
+  return LogAndApply(op);
+}
+
+Status Database::UpdateAttribute(const std::string& table, const Key& key,
+                                 const std::string& attribute, Value value) {
+  Json op = Json::MakeObject();
+  op.Set("op", "update_attr");
+  op.Set("table", table);
+  op.Set("key", RowToJson(key));
+  op.Set("attr", attribute);
+  op.Set("value", value.ToJson());
+  return LogAndApply(op);
+}
+
+Status Database::Delete(const std::string& table, const Key& key) {
+  Json op = Json::MakeObject();
+  op.Set("op", "delete");
+  op.Set("table", table);
+  op.Set("key", RowToJson(key));
+  return LogAndApply(op);
+}
+
+Status Database::ApplyTableDelta(const std::string& table,
+                                 const TableDelta& delta) {
+  Json op = Json::MakeObject();
+  op.Set("op", "apply_delta");
+  op.Set("table", table);
+  op.Set("delta", delta.ToJson());
+  return LogAndApply(op);
+}
+
+Status Database::ReplaceTable(const std::string& table,
+                              const Table& contents) {
+  Json op = Json::MakeObject();
+  op.Set("op", "replace_table");
+  op.Set("table", table);
+  op.Set("contents", contents.ToJson());
+  return LogAndApply(op);
+}
+
+void Database::Transaction::Insert(const std::string& table, Row row) {
+  Json op = Json::MakeObject();
+  op.Set("op", "insert");
+  op.Set("table", table);
+  op.Set("row", RowToJson(row));
+  ops_.push_back(std::move(op));
+}
+
+void Database::Transaction::Update(const std::string& table, Row row) {
+  Json op = Json::MakeObject();
+  op.Set("op", "update");
+  op.Set("table", table);
+  op.Set("row", RowToJson(row));
+  ops_.push_back(std::move(op));
+}
+
+void Database::Transaction::UpdateAttribute(const std::string& table, Key key,
+                                            std::string attribute,
+                                            Value value) {
+  Json op = Json::MakeObject();
+  op.Set("op", "update_attr");
+  op.Set("table", table);
+  op.Set("key", RowToJson(key));
+  op.Set("attr", attribute);
+  op.Set("value", value.ToJson());
+  ops_.push_back(std::move(op));
+}
+
+void Database::Transaction::Delete(const std::string& table, Key key) {
+  Json op = Json::MakeObject();
+  op.Set("op", "delete");
+  op.Set("table", table);
+  op.Set("key", RowToJson(key));
+  ops_.push_back(std::move(op));
+}
+
+Status Database::Commit(Transaction&& txn) {
+  // Validate the whole batch against a scratch copy of the catalog; only a
+  // fully valid transaction reaches the WAL and the live tables.
+  std::map<std::string, Table> scratch = tables_;
+  for (size_t i = 0; i < txn.ops_.size(); ++i) {
+    Status s = ApplyOp(txn.ops_[i], &scratch);
+    if (!s.ok()) {
+      return s.WithPrefix(StrCat("transaction op ", i, " failed; aborted"));
+    }
+  }
+  if (wal_.has_value()) {
+    for (const Json& op : txn.ops_) {
+      MEDSYNC_RETURN_IF_ERROR(wal_->Append(op).status());
+    }
+  }
+  tables_ = std::move(scratch);
+  return Status::OK();
+}
+
+Status Database::Checkpoint() {
+  if (!wal_.has_value()) return Status::OK();
+  Json snapshot = Json::MakeObject();
+  for (const auto& [name, table] : tables_) {
+    snapshot.Set(name, table.ToJson());
+  }
+  MEDSYNC_RETURN_IF_ERROR(
+      WriteStringToFile(dir_ + "/" + kSnapshotFile, snapshot.Dump()));
+  return wal_->Reset();
+}
+
+}  // namespace medsync::relational

@@ -1,0 +1,118 @@
+#ifndef MEDSYNC_RELATIONAL_DATABASE_H_
+#define MEDSYNC_RELATIONAL_DATABASE_H_
+
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "relational/delta.h"
+#include "relational/table.h"
+#include "relational/wal.h"
+
+namespace medsync::relational {
+
+/// A peer's local database: a catalog of named tables with optional
+/// durability (JSON snapshot + write-ahead log). This is the "Database"
+/// box of the paper's Fig. 2 — it holds both the full record table (the BX
+/// source) and every shared view.
+///
+/// All mutations flow through logged operations, so a durable database
+/// recovers to its pre-crash state by reloading the snapshot and replaying
+/// the WAL. `Checkpoint()` rewrites the snapshot and truncates the log.
+class Database {
+ public:
+  /// In-memory database (no durability).
+  Database() = default;
+
+  /// Opens a durable database rooted at directory `dir` (created if
+  /// missing). Loads `dir`/snapshot.json if present, then replays
+  /// `dir`/wal.log.
+  static Result<Database> Open(const std::string& dir);
+
+  Database(Database&&) = default;
+  Database& operator=(Database&&) = default;
+  Database(const Database&) = delete;
+  Database& operator=(const Database&) = delete;
+
+  // -- Catalog ------------------------------------------------------------
+
+  Status CreateTable(const std::string& name, const Schema& schema);
+  Status DropTable(const std::string& name);
+  bool HasTable(const std::string& name) const;
+  std::vector<std::string> TableNames() const;
+
+  /// Borrowed pointer, invalidated by mutations of this database.
+  Result<const Table*> GetTable(const std::string& name) const;
+
+  /// Deep copy of the table.
+  Result<Table> Snapshot(const std::string& name) const;
+
+  // -- Mutations (logged) ---------------------------------------------------
+
+  Status Insert(const std::string& table, Row row);
+  Status Update(const std::string& table, Row row);
+  Status Upsert(const std::string& table, Row row);
+  Status UpdateAttribute(const std::string& table, const Key& key,
+                         const std::string& attribute, Value value);
+  Status Delete(const std::string& table, const Key& key);
+
+  /// Applies a row-level delta atomically (validate-then-apply).
+  Status ApplyTableDelta(const std::string& table, const TableDelta& delta);
+
+  /// Replaces a table's full contents (schema must match); used when a
+  /// shared view is re-derived from the source by a lens get.
+  Status ReplaceTable(const std::string& table, const Table& contents);
+
+  // -- Transactions ---------------------------------------------------------
+
+  /// A buffered multi-operation transaction. Operations accumulate in the
+  /// transaction and touch the database only at Commit(), which validates
+  /// all of them against a scratch copy first — so a failing commit leaves
+  /// the database untouched. Dropping the object without Commit() discards
+  /// the buffered work.
+  class Transaction {
+   public:
+    void Insert(const std::string& table, Row row);
+    void Update(const std::string& table, Row row);
+    void UpdateAttribute(const std::string& table, Key key,
+                         std::string attribute, Value value);
+    void Delete(const std::string& table, Key key);
+
+    size_t op_count() const { return ops_.size(); }
+
+   private:
+    friend class Database;
+    std::vector<Json> ops_;
+  };
+
+  Transaction Begin() const { return Transaction(); }
+  Status Commit(Transaction&& txn);
+
+  // -- Durability -----------------------------------------------------------
+
+  /// Writes a fresh snapshot and truncates the WAL. No-op for in-memory
+  /// databases.
+  Status Checkpoint();
+
+  bool durable() const { return wal_.has_value(); }
+
+ private:
+  /// Validates + applies one logged operation to `tables` (shared by live
+  /// execution, transaction validation, and WAL replay).
+  static Status ApplyOp(const Json& op, std::map<std::string, Table>* tables);
+
+  /// Logs `op` (if durable) then applies it to the live catalog.
+  Status LogAndApply(const Json& op);
+
+  std::string dir_;
+  std::map<std::string, Table> tables_;
+  std::optional<Wal> wal_;
+};
+
+}  // namespace medsync::relational
+
+#endif  // MEDSYNC_RELATIONAL_DATABASE_H_

@@ -1,0 +1,100 @@
+#include "relational/delta.h"
+
+#include "common/strings.h"
+
+namespace medsync::relational {
+
+Json TableDelta::ToJson() const {
+  Json ins = Json::MakeArray();
+  for (const Row& row : inserts) ins.Append(RowToJson(row));
+  Json del = Json::MakeArray();
+  for (const Key& key : deletes) del.Append(RowToJson(key));
+  Json upd = Json::MakeArray();
+  for (const Row& row : updates) upd.Append(RowToJson(row));
+  Json out = Json::MakeObject();
+  out.Set("inserts", std::move(ins));
+  out.Set("deletes", std::move(del));
+  out.Set("updates", std::move(upd));
+  return out;
+}
+
+Result<TableDelta> TableDelta::FromJson(const Json& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("delta JSON must be an object");
+  }
+  TableDelta delta;
+  for (const char* field : {"inserts", "deletes", "updates"}) {
+    const Json& arr = json.At(field);
+    if (!arr.is_array()) {
+      return Status::InvalidArgument(
+          StrCat("delta JSON needs '", field, "' array"));
+    }
+    for (const Json& r : arr.AsArray()) {
+      MEDSYNC_ASSIGN_OR_RETURN(Row row, RowFromJson(r));
+      if (std::string_view(field) == "inserts") {
+        delta.inserts.push_back(std::move(row));
+      } else if (std::string_view(field) == "deletes") {
+        delta.deletes.push_back(std::move(row));
+      } else {
+        delta.updates.push_back(std::move(row));
+      }
+    }
+  }
+  return delta;
+}
+
+Result<TableDelta> ComputeDelta(const Table& before, const Table& after) {
+  if (before.schema() != after.schema()) {
+    return Status::InvalidArgument("delta requires identical schemas");
+  }
+  TableDelta delta;
+  for (const auto& [key, row] : after.rows()) {
+    std::optional<Row> old = before.Get(key);
+    if (!old.has_value()) {
+      delta.inserts.push_back(row);
+    } else if (*old != row) {
+      delta.updates.push_back(row);
+    }
+  }
+  for (const auto& [key, row] : before.rows()) {
+    if (!after.Contains(key)) delta.deletes.push_back(key);
+  }
+  return delta;
+}
+
+Status ApplyDelta(const TableDelta& delta, Table* table) {
+  // Validate first so application is all-or-nothing for the common cases.
+  for (const Row& row : delta.inserts) {
+    MEDSYNC_RETURN_IF_ERROR(ValidateRow(table->schema(), row));
+    if (table->Contains(KeyOf(table->schema(), row))) {
+      return Status::AlreadyExists(
+          StrCat("delta insert collides at ", RowToString(row)));
+    }
+  }
+  for (const Key& key : delta.deletes) {
+    if (!table->Contains(key)) {
+      return Status::NotFound(
+          StrCat("delta delete misses at ", RowToString(key)));
+    }
+  }
+  for (const Row& row : delta.updates) {
+    MEDSYNC_RETURN_IF_ERROR(ValidateRow(table->schema(), row));
+    if (!table->Contains(KeyOf(table->schema(), row))) {
+      return Status::NotFound(
+          StrCat("delta update misses at ", RowToString(row)));
+    }
+  }
+
+  for (const Row& row : delta.inserts) {
+    MEDSYNC_RETURN_IF_ERROR(table->Insert(row));
+  }
+  for (const Key& key : delta.deletes) {
+    MEDSYNC_RETURN_IF_ERROR(table->Delete(key));
+  }
+  for (const Row& row : delta.updates) {
+    MEDSYNC_RETURN_IF_ERROR(table->Update(row));
+  }
+  return Status::OK();
+}
+
+}  // namespace medsync::relational

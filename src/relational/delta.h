@@ -1,0 +1,48 @@
+#ifndef MEDSYNC_RELATIONAL_DELTA_H_
+#define MEDSYNC_RELATIONAL_DELTA_H_
+
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "relational/table.h"
+
+namespace medsync::relational {
+
+/// A keyed row-level difference between two versions of a table with the
+/// same schema. Deltas are what sharing peers actually transfer after an
+/// update is approved on-chain (step 4/10 of the paper's Fig. 5 "fetch this
+/// update on shared data"): instead of re-sending the whole view, the
+/// provider ships the delta and the receiver applies it.
+struct TableDelta {
+  /// Rows present in `after` but not `before`.
+  std::vector<Row> inserts;
+  /// Keys present in `before` but not `after`.
+  std::vector<Key> deletes;
+  /// Rows whose key exists in both but whose content changed (the `after`
+  /// version is stored).
+  std::vector<Row> updates;
+
+  bool empty() const {
+    return inserts.empty() && deletes.empty() && updates.empty();
+  }
+  size_t size() const {
+    return inserts.size() + deletes.size() + updates.size();
+  }
+
+  Json ToJson() const;
+  static Result<TableDelta> FromJson(const Json& json);
+};
+
+/// Computes the delta taking `before` to `after`. Schemas must be equal.
+Result<TableDelta> ComputeDelta(const Table& before, const Table& after);
+
+/// Applies `delta` to `table` in place. Fails (leaving `table` partially
+/// modified only on internal errors — the checks run first) if an insert
+/// collides, a delete/update misses, or a row is invalid.
+Status ApplyDelta(const TableDelta& delta, Table* table);
+
+}  // namespace medsync::relational
+
+#endif  // MEDSYNC_RELATIONAL_DELTA_H_

@@ -1,0 +1,60 @@
+#include "relational/index.h"
+
+#include "common/strings.h"
+
+namespace medsync::relational {
+
+Result<SecondaryIndex> SecondaryIndex::Build(const Table& table,
+                                             const std::string& attribute) {
+  std::optional<size_t> idx = table.schema().IndexOf(attribute);
+  if (!idx.has_value()) {
+    return Status::NotFound(StrCat("no attribute '", attribute, "'"));
+  }
+  SecondaryIndex index;
+  index.attribute_ = attribute;
+  for (const auto& [key, row] : table.rows()) {
+    index.entries_[row[*idx]].push_back(key);
+  }
+  return index;
+}
+
+std::vector<Key> SecondaryIndex::Lookup(const Value& value) const {
+  auto it = entries_.find(value);
+  if (it == entries_.end()) return {};
+  return it->second;
+}
+
+std::vector<Key> SecondaryIndex::LookupRange(const Value& lo,
+                                             const Value& hi) const {
+  std::vector<Key> out;
+  for (auto it = entries_.lower_bound(lo);
+       it != entries_.end() && !(hi < it->first); ++it) {
+    if (it->first.is_null()) continue;
+    out.insert(out.end(), it->second.begin(), it->second.end());
+  }
+  return out;
+}
+
+Table SecondaryIndex::MaterializeEquals(const Table& table,
+                                        const Value& value) const {
+  Table out(table.schema());
+  for (const Key& key : Lookup(value)) {
+    std::optional<Row> row = table.Get(key);
+    if (row.has_value()) {
+      (void)out.Insert(std::move(*row));
+    }
+  }
+  return out;
+}
+
+Result<Table> IndexedSelectEquals(const Table& table,
+                                  const SecondaryIndex& index,
+                                  const Value& value) {
+  if (!table.schema().HasAttribute(index.attribute())) {
+    return Status::InvalidArgument(
+        StrCat("table has no indexed attribute '", index.attribute(), "'"));
+  }
+  return index.MaterializeEquals(table, value);
+}
+
+}  // namespace medsync::relational

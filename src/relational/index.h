@@ -1,0 +1,62 @@
+#ifndef MEDSYNC_RELATIONAL_INDEX_H_
+#define MEDSYNC_RELATIONAL_INDEX_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "relational/predicate.h"
+#include "relational/table.h"
+
+namespace medsync::relational {
+
+/// An immutable secondary index over one attribute of a table snapshot:
+/// value -> primary keys of the rows holding it, in sorted order. Built
+/// once (O(n log n)), then equality and range probes are O(log n + hits)
+/// instead of a full scan.
+///
+/// Tables are value types that peers copy and replace wholesale, so the
+/// index is a companion object over a specific snapshot rather than a
+/// maintained structure inside Table; rebuild it after replacing the
+/// table (the usual pattern: index the stable source, not the fast-moving
+/// shared views). `bench_storage` quantifies scan-vs-probe.
+class SecondaryIndex {
+ public:
+  /// Builds the index on `attribute` of `table`. NULL cells are indexed
+  /// under the NULL value (retrievable via LookupNull).
+  static Result<SecondaryIndex> Build(const Table& table,
+                                      const std::string& attribute);
+
+  const std::string& attribute() const { return attribute_; }
+  size_t distinct_values() const { return entries_.size(); }
+
+  /// Primary keys of rows whose indexed attribute equals `value`.
+  std::vector<Key> Lookup(const Value& value) const;
+  std::vector<Key> LookupNull() const { return Lookup(Value::Null()); }
+
+  /// Primary keys of rows with `lo` <= value <= `hi` (non-null values
+  /// only), in value order.
+  std::vector<Key> LookupRange(const Value& lo, const Value& hi) const;
+
+  /// Convenience: materializes the matching rows from `table` (which must
+  /// be the snapshot the index was built on, or at least contain the
+  /// keys). Rows whose key vanished are skipped.
+  Table MaterializeEquals(const Table& table, const Value& value) const;
+
+ private:
+  SecondaryIndex() = default;
+
+  std::string attribute_;
+  std::map<Value, std::vector<Key>> entries_;
+};
+
+/// Equality selection accelerated by `index`; equivalent to
+/// Select(table, attribute == value) on the snapshot the index covers.
+Result<Table> IndexedSelectEquals(const Table& table,
+                                  const SecondaryIndex& index,
+                                  const Value& value);
+
+}  // namespace medsync::relational
+
+#endif  // MEDSYNC_RELATIONAL_INDEX_H_

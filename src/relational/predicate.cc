@@ -1,0 +1,279 @@
+#include "relational/predicate.h"
+
+#include <set>
+
+#include "common/strings.h"
+
+namespace medsync::relational {
+
+std::string_view CompareOpName(CompareOp op) {
+  switch (op) {
+    case CompareOp::kEq:
+      return "=";
+    case CompareOp::kNe:
+      return "!=";
+    case CompareOp::kLt:
+      return "<";
+    case CompareOp::kLe:
+      return "<=";
+    case CompareOp::kGt:
+      return ">";
+    case CompareOp::kGe:
+      return ">=";
+  }
+  return "?";
+}
+
+Result<CompareOp> CompareOpFromName(std::string_view name) {
+  if (name == "=") return CompareOp::kEq;
+  if (name == "!=") return CompareOp::kNe;
+  if (name == "<") return CompareOp::kLt;
+  if (name == "<=") return CompareOp::kLe;
+  if (name == ">") return CompareOp::kGt;
+  if (name == ">=") return CompareOp::kGe;
+  return Status::InvalidArgument(StrCat("unknown compare op '", name, "'"));
+}
+
+Predicate::Ptr Predicate::True() {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kTrue;
+  return p;
+}
+
+Predicate::Ptr Predicate::Compare(std::string attribute, CompareOp op,
+                                  Value literal) {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kCompare;
+  p->attribute_ = std::move(attribute);
+  p->op_ = op;
+  p->literal_ = std::move(literal);
+  return p;
+}
+
+Predicate::Ptr Predicate::IsNull(std::string attribute) {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kIsNull;
+  p->attribute_ = std::move(attribute);
+  return p;
+}
+
+Predicate::Ptr Predicate::And(Ptr left, Ptr right) {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kAnd;
+  p->left_ = std::move(left);
+  p->right_ = std::move(right);
+  return p;
+}
+
+Predicate::Ptr Predicate::Or(Ptr left, Ptr right) {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kOr;
+  p->left_ = std::move(left);
+  p->right_ = std::move(right);
+  return p;
+}
+
+Predicate::Ptr Predicate::Not(Ptr operand) {
+  auto p = std::shared_ptr<Predicate>(new Predicate());
+  p->kind_ = Kind::kNot;
+  p->left_ = std::move(operand);
+  return p;
+}
+
+Result<bool> Predicate::Evaluate(const Schema& schema, const Row& row) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return true;
+    case Kind::kCompare: {
+      std::optional<size_t> idx = schema.IndexOf(attribute_);
+      if (!idx.has_value()) {
+        return Status::NotFound(
+            StrCat("predicate references unknown attribute '", attribute_,
+                   "'"));
+      }
+      const Value& cell = row[*idx];
+      if (cell.is_null() || literal_.is_null()) return false;
+      switch (op_) {
+        case CompareOp::kEq:
+          return cell == literal_;
+        case CompareOp::kNe:
+          return cell != literal_;
+        case CompareOp::kLt:
+          return cell < literal_;
+        case CompareOp::kLe:
+          return cell <= literal_;
+        case CompareOp::kGt:
+          return cell > literal_;
+        case CompareOp::kGe:
+          return cell >= literal_;
+      }
+      return Status::Internal("unhandled compare op");
+    }
+    case Kind::kIsNull: {
+      std::optional<size_t> idx = schema.IndexOf(attribute_);
+      if (!idx.has_value()) {
+        return Status::NotFound(
+            StrCat("predicate references unknown attribute '", attribute_,
+                   "'"));
+      }
+      return row[*idx].is_null();
+    }
+    case Kind::kAnd: {
+      MEDSYNC_ASSIGN_OR_RETURN(bool lv, left_->Evaluate(schema, row));
+      if (!lv) return false;
+      return right_->Evaluate(schema, row);
+    }
+    case Kind::kOr: {
+      MEDSYNC_ASSIGN_OR_RETURN(bool lv, left_->Evaluate(schema, row));
+      if (lv) return true;
+      return right_->Evaluate(schema, row);
+    }
+    case Kind::kNot: {
+      MEDSYNC_ASSIGN_OR_RETURN(bool v, left_->Evaluate(schema, row));
+      return !v;
+    }
+  }
+  return Status::Internal("unhandled predicate kind");
+}
+
+Status Predicate::Validate(const Schema& schema) const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return Status::OK();
+    case Kind::kCompare:
+    case Kind::kIsNull:
+      if (!schema.HasAttribute(attribute_)) {
+        return Status::NotFound(
+            StrCat("predicate references unknown attribute '", attribute_,
+                   "'"));
+      }
+      return Status::OK();
+    case Kind::kAnd:
+    case Kind::kOr:
+      MEDSYNC_RETURN_IF_ERROR(left_->Validate(schema));
+      return right_->Validate(schema);
+    case Kind::kNot:
+      return left_->Validate(schema);
+  }
+  return Status::Internal("unhandled predicate kind");
+}
+
+namespace {
+void CollectAttributes(const Predicate& p, std::set<std::string>* out) {
+  switch (p.kind()) {
+    case Predicate::Kind::kTrue:
+      return;
+    case Predicate::Kind::kCompare:
+    case Predicate::Kind::kIsNull:
+      out->insert(p.attribute());
+      return;
+    case Predicate::Kind::kAnd:
+    case Predicate::Kind::kOr:
+      CollectAttributes(*p.left(), out);
+      CollectAttributes(*p.right(), out);
+      return;
+    case Predicate::Kind::kNot:
+      CollectAttributes(*p.left(), out);
+      return;
+  }
+}
+}  // namespace
+
+std::vector<std::string> Predicate::ReferencedAttributes() const {
+  std::set<std::string> set;
+  CollectAttributes(*this, &set);
+  return std::vector<std::string>(set.begin(), set.end());
+}
+
+std::string Predicate::ToString() const {
+  switch (kind_) {
+    case Kind::kTrue:
+      return "TRUE";
+    case Kind::kCompare:
+      return StrCat(attribute_, " ", CompareOpName(op_), " '",
+                    literal_.ToString(), "'");
+    case Kind::kIsNull:
+      return StrCat(attribute_, " IS NULL");
+    case Kind::kAnd:
+      return StrCat("(", left_->ToString(), " AND ", right_->ToString(), ")");
+    case Kind::kOr:
+      return StrCat("(", left_->ToString(), " OR ", right_->ToString(), ")");
+    case Kind::kNot:
+      return StrCat("NOT (", left_->ToString(), ")");
+  }
+  return "?";
+}
+
+Json Predicate::ToJson() const {
+  Json out = Json::MakeObject();
+  switch (kind_) {
+    case Kind::kTrue:
+      out.Set("kind", "true");
+      return out;
+    case Kind::kCompare:
+      out.Set("kind", "compare");
+      out.Set("attr", attribute_);
+      out.Set("op", std::string(CompareOpName(op_)));
+      out.Set("literal", literal_.ToJson());
+      return out;
+    case Kind::kIsNull:
+      out.Set("kind", "is_null");
+      out.Set("attr", attribute_);
+      return out;
+    case Kind::kAnd:
+      out.Set("kind", "and");
+      out.Set("left", left_->ToJson());
+      out.Set("right", right_->ToJson());
+      return out;
+    case Kind::kOr:
+      out.Set("kind", "or");
+      out.Set("left", left_->ToJson());
+      out.Set("right", right_->ToJson());
+      return out;
+    case Kind::kNot:
+      out.Set("kind", "not");
+      out.Set("operand", left_->ToJson());
+      return out;
+  }
+  return out;
+}
+
+Result<Predicate::Ptr> Predicate::FromJson(const Json& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("predicate JSON must be an object");
+  }
+  MEDSYNC_ASSIGN_OR_RETURN(std::string kind, json.GetString("kind"));
+  if (kind == "true") return True();
+  if (kind == "compare") {
+    MEDSYNC_ASSIGN_OR_RETURN(std::string attr, json.GetString("attr"));
+    MEDSYNC_ASSIGN_OR_RETURN(std::string op_name, json.GetString("op"));
+    MEDSYNC_ASSIGN_OR_RETURN(CompareOp op, CompareOpFromName(op_name));
+    MEDSYNC_ASSIGN_OR_RETURN(Value literal,
+                             Value::FromJson(json.At("literal")));
+    return Compare(std::move(attr), op, std::move(literal));
+  }
+  if (kind == "is_null") {
+    MEDSYNC_ASSIGN_OR_RETURN(std::string attr, json.GetString("attr"));
+    return IsNull(std::move(attr));
+  }
+  if (kind == "and" || kind == "or") {
+    MEDSYNC_ASSIGN_OR_RETURN(Ptr left, FromJson(json.At("left")));
+    MEDSYNC_ASSIGN_OR_RETURN(Ptr right, FromJson(json.At("right")));
+    return kind == "and" ? And(std::move(left), std::move(right))
+                         : Or(std::move(left), std::move(right));
+  }
+  if (kind == "not") {
+    MEDSYNC_ASSIGN_OR_RETURN(Ptr operand, FromJson(json.At("operand")));
+    return Not(std::move(operand));
+  }
+  return Status::InvalidArgument(StrCat("unknown predicate kind '", kind,
+                                        "'"));
+}
+
+bool Predicate::Equal(const Ptr& a, const Ptr& b) {
+  if (a == b) return true;
+  if (a == nullptr || b == nullptr) return false;
+  return a->ToJson() == b->ToJson();
+}
+
+}  // namespace medsync::relational

@@ -1,0 +1,93 @@
+#ifndef MEDSYNC_RELATIONAL_PREDICATE_H_
+#define MEDSYNC_RELATIONAL_PREDICATE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "relational/row.h"
+#include "relational/schema.h"
+
+namespace medsync::relational {
+
+/// Comparison operators for leaf predicates.
+enum class CompareOp : int {
+  kEq = 0,
+  kNe = 1,
+  kLt = 2,
+  kLe = 3,
+  kGt = 4,
+  kGe = 5,
+};
+
+std::string_view CompareOpName(CompareOp op);
+Result<CompareOp> CompareOpFromName(std::string_view name);
+
+/// A serializable boolean expression tree over one row. Used for selection
+/// queries and for selection lenses — since selection lenses are shared
+/// between peers as part of the agreed view definition, predicates must
+/// round-trip through JSON.
+///
+/// Immutable; share freely via shared_ptr.
+class Predicate {
+ public:
+  enum class Kind { kTrue, kCompare, kIsNull, kAnd, kOr, kNot };
+
+  using Ptr = std::shared_ptr<const Predicate>;
+
+  /// Matches every row.
+  static Ptr True();
+
+  /// attribute <op> literal.
+  static Ptr Compare(std::string attribute, CompareOp op, Value literal);
+
+  /// attribute IS NULL.
+  static Ptr IsNull(std::string attribute);
+
+  static Ptr And(Ptr left, Ptr right);
+  static Ptr Or(Ptr left, Ptr right);
+  static Ptr Not(Ptr operand);
+
+  Kind kind() const { return kind_; }
+  const std::string& attribute() const { return attribute_; }
+  CompareOp op() const { return op_; }
+  const Value& literal() const { return literal_; }
+  const Ptr& left() const { return left_; }
+  const Ptr& right() const { return right_; }
+
+  /// Evaluates against `row` under `schema`. A comparison involving NULL is
+  /// false (SQL-ish three-valued logic collapsed to two values), and an
+  /// unknown attribute is an error.
+  Result<bool> Evaluate(const Schema& schema, const Row& row) const;
+
+  /// Checks that every referenced attribute exists in `schema`.
+  Status Validate(const Schema& schema) const;
+
+  /// Names of all attributes this predicate references.
+  std::vector<std::string> ReferencedAttributes() const;
+
+  /// Human-readable form, e.g. "(a4 = 'x' AND NOT (a0 < 5))".
+  std::string ToString() const;
+
+  Json ToJson() const;
+  static Result<Ptr> FromJson(const Json& json);
+
+  /// Structural equality.
+  static bool Equal(const Ptr& a, const Ptr& b);
+
+ private:
+  Predicate() = default;
+
+  Kind kind_ = Kind::kTrue;
+  std::string attribute_;
+  CompareOp op_ = CompareOp::kEq;
+  Value literal_;
+  Ptr left_;
+  Ptr right_;
+};
+
+}  // namespace medsync::relational
+
+#endif  // MEDSYNC_RELATIONAL_PREDICATE_H_

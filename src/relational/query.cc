@@ -1,0 +1,212 @@
+#include "relational/query.h"
+
+#include <map>
+#include <set>
+
+#include "common/strings.h"
+
+namespace medsync::relational {
+
+Result<Table> Project(const Table& input,
+                      const std::vector<std::string>& attributes,
+                      const std::vector<std::string>& key_attributes) {
+  const Schema& in_schema = input.schema();
+  std::vector<AttributeDef> out_attrs;
+  std::vector<size_t> indices;
+  for (const std::string& name : attributes) {
+    std::optional<size_t> idx = in_schema.IndexOf(name);
+    if (!idx.has_value()) {
+      return Status::NotFound(
+          StrCat("projection references unknown attribute '", name, "'"));
+    }
+    out_attrs.push_back(in_schema.attributes()[*idx]);
+    indices.push_back(*idx);
+  }
+  // A projected view keyed by `key_attributes` requires those attributes to
+  // be non-null in every row, so the view schema tightens them even when
+  // the source column was nullable (a NULL there fails row validation,
+  // which is the correct error).
+  for (AttributeDef& attr : out_attrs) {
+    for (const std::string& key : key_attributes) {
+      if (attr.name == key) attr.nullable = false;
+    }
+  }
+  MEDSYNC_ASSIGN_OR_RETURN(Schema out_schema,
+                           Schema::Create(out_attrs, key_attributes));
+
+  Table out(out_schema);
+  for (const auto& [key, row] : input.rows()) {
+    Row projected;
+    projected.reserve(indices.size());
+    for (size_t idx : indices) projected.push_back(row[idx]);
+
+    Key out_key = KeyOf(out_schema, projected);
+    std::optional<Row> existing = out.Get(out_key);
+    if (existing.has_value()) {
+      if (*existing != projected) {
+        return Status::Conflict(
+            StrCat("projection is not key-functional: key ",
+                   RowToString(out_key), " maps to two distinct rows"));
+      }
+      continue;  // duplicate identical row collapses
+    }
+    MEDSYNC_RETURN_IF_ERROR(out.Insert(std::move(projected)));
+  }
+  return out;
+}
+
+Result<Table> Select(const Table& input, const Predicate::Ptr& predicate) {
+  if (predicate == nullptr) {
+    return Status::InvalidArgument("selection predicate must not be null");
+  }
+  MEDSYNC_RETURN_IF_ERROR(predicate->Validate(input.schema()));
+  Table out(input.schema());
+  for (const auto& [key, row] : input.rows()) {
+    MEDSYNC_ASSIGN_OR_RETURN(bool keep,
+                             predicate->Evaluate(input.schema(), row));
+    if (keep) MEDSYNC_RETURN_IF_ERROR(out.Insert(row));
+  }
+  return out;
+}
+
+Result<Table> Rename(
+    const Table& input,
+    const std::vector<std::pair<std::string, std::string>>& renames) {
+  const Schema& in_schema = input.schema();
+  std::map<std::string, std::string> mapping;
+  for (const auto& [from, to] : renames) {
+    if (!in_schema.HasAttribute(from)) {
+      return Status::NotFound(
+          StrCat("rename references unknown attribute '", from, "'"));
+    }
+    if (!mapping.emplace(from, to).second) {
+      return Status::InvalidArgument(
+          StrCat("attribute '", from, "' renamed twice"));
+    }
+  }
+
+  std::vector<AttributeDef> out_attrs;
+  for (const AttributeDef& attr : in_schema.attributes()) {
+    AttributeDef def = attr;
+    auto it = mapping.find(attr.name);
+    if (it != mapping.end()) def.name = it->second;
+    out_attrs.push_back(std::move(def));
+  }
+  std::vector<std::string> out_keys;
+  for (const std::string& key : in_schema.key_attributes()) {
+    auto it = mapping.find(key);
+    out_keys.push_back(it != mapping.end() ? it->second : key);
+  }
+  MEDSYNC_ASSIGN_OR_RETURN(Schema out_schema,
+                           Schema::Create(out_attrs, out_keys));
+  Table out(out_schema);
+  for (const auto& [key, row] : input.rows()) {
+    MEDSYNC_RETURN_IF_ERROR(out.Insert(row));
+  }
+  return out;
+}
+
+Result<Table> NaturalJoin(const Table& left, const Table& right) {
+  const Schema& ls = left.schema();
+  const Schema& rs = right.schema();
+
+  // Shared attributes, in left order.
+  std::vector<std::pair<size_t, size_t>> shared;  // (left idx, right idx)
+  for (size_t i = 0; i < ls.attribute_count(); ++i) {
+    std::optional<size_t> j = rs.IndexOf(ls.attributes()[i].name);
+    if (!j.has_value()) continue;
+    if (ls.attributes()[i].type != rs.attributes()[*j].type) {
+      return Status::InvalidArgument(
+          StrCat("join attribute '", ls.attributes()[i].name,
+                 "' has mismatched types"));
+    }
+    shared.emplace_back(i, *j);
+  }
+  if (shared.empty()) {
+    return Status::InvalidArgument("natural join with no shared attributes");
+  }
+
+  std::vector<AttributeDef> out_attrs = ls.attributes();
+  std::vector<size_t> right_extra;
+  for (size_t j = 0; j < rs.attribute_count(); ++j) {
+    if (!ls.HasAttribute(rs.attributes()[j].name)) {
+      out_attrs.push_back(rs.attributes()[j]);
+      right_extra.push_back(j);
+    }
+  }
+
+  std::vector<std::string> out_keys = ls.key_attributes();
+  for (const std::string& key : rs.key_attributes()) {
+    bool present = false;
+    for (const std::string& existing : out_keys) {
+      if (existing == key) {
+        present = true;
+        break;
+      }
+    }
+    if (!present) out_keys.push_back(key);
+  }
+  // Key attributes of the joined relation must be non-nullable even if the
+  // corresponding column was nullable on one side (same tightening rule as
+  // projection).
+  for (AttributeDef& attr : out_attrs) {
+    for (const std::string& key : out_keys) {
+      if (attr.name == key) attr.nullable = false;
+    }
+  }
+  MEDSYNC_ASSIGN_OR_RETURN(Schema out_schema,
+                           Schema::Create(out_attrs, out_keys));
+
+  Table out(out_schema);
+  for (const auto& [lkey, lrow] : left.rows()) {
+    for (const auto& [rkey, rrow] : right.rows()) {
+      bool match = true;
+      for (const auto& [li, ri] : shared) {
+        if (lrow[li] != rrow[ri]) {
+          match = false;
+          break;
+        }
+      }
+      if (!match) continue;
+      Row joined = lrow;
+      for (size_t j : right_extra) joined.push_back(rrow[j]);
+      MEDSYNC_RETURN_IF_ERROR(out.Upsert(std::move(joined)));
+    }
+  }
+  return out;
+}
+
+Result<Table> Union(const Table& left, const Table& right) {
+  if (left.schema() != right.schema()) {
+    return Status::InvalidArgument("union requires identical schemas");
+  }
+  Table out = left;
+  for (const auto& [key, row] : right.rows()) {
+    std::optional<Row> existing = out.Get(key);
+    if (existing.has_value()) {
+      if (*existing != row) {
+        return Status::Conflict(
+            StrCat("union key collision with unequal rows at ",
+                   RowToString(key)));
+      }
+      continue;
+    }
+    MEDSYNC_RETURN_IF_ERROR(out.Insert(row));
+  }
+  return out;
+}
+
+Result<Table> Difference(const Table& left, const Table& right) {
+  if (left.schema() != right.schema()) {
+    return Status::InvalidArgument("difference requires identical schemas");
+  }
+  Table out(left.schema());
+  for (const auto& [key, row] : left.rows()) {
+    if (!right.Contains(key)) {
+      MEDSYNC_RETURN_IF_ERROR(out.Insert(row));
+    }
+  }
+  return out;
+}
+
+}  // namespace medsync::relational

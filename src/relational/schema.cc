@@ -1,0 +1,125 @@
+#include "relational/schema.h"
+
+#include <set>
+
+#include "common/strings.h"
+
+namespace medsync::relational {
+
+Result<Schema> Schema::Create(std::vector<AttributeDef> attributes,
+                              std::vector<std::string> key_attributes) {
+  if (attributes.empty()) {
+    return Status::InvalidArgument("schema needs at least one attribute");
+  }
+  if (key_attributes.empty()) {
+    return Status::InvalidArgument("schema needs a non-empty primary key");
+  }
+  std::set<std::string> seen;
+  for (const AttributeDef& attr : attributes) {
+    if (attr.name.empty()) {
+      return Status::InvalidArgument("attribute name must not be empty");
+    }
+    if (!seen.insert(attr.name).second) {
+      return Status::InvalidArgument(
+          StrCat("duplicate attribute '", attr.name, "'"));
+    }
+  }
+
+  Schema schema;
+  schema.attributes_ = std::move(attributes);
+  schema.key_attributes_ = std::move(key_attributes);
+
+  std::set<std::string> key_seen;
+  for (const std::string& key : schema.key_attributes_) {
+    if (!key_seen.insert(key).second) {
+      return Status::InvalidArgument(StrCat("duplicate key attribute '", key,
+                                            "'"));
+    }
+    std::optional<size_t> idx = schema.IndexOf(key);
+    if (!idx.has_value()) {
+      return Status::InvalidArgument(
+          StrCat("key attribute '", key, "' not in schema"));
+    }
+    if (schema.attributes_[*idx].nullable) {
+      return Status::InvalidArgument(
+          StrCat("key attribute '", key, "' must not be nullable"));
+    }
+    schema.key_indices_.push_back(*idx);
+  }
+  return schema;
+}
+
+std::optional<size_t> Schema::IndexOf(std::string_view name) const {
+  for (size_t i = 0; i < attributes_.size(); ++i) {
+    if (attributes_[i].name == name) return i;
+  }
+  return std::nullopt;
+}
+
+bool Schema::IsKeyAttribute(std::string_view name) const {
+  for (const std::string& key : key_attributes_) {
+    if (key == name) return true;
+  }
+  return false;
+}
+
+bool Schema::KeyContainedIn(const Schema& other) const {
+  for (size_t idx : key_indices_) {
+    const AttributeDef& key_attr = attributes_[idx];
+    std::optional<size_t> other_idx = other.IndexOf(key_attr.name);
+    if (!other_idx.has_value()) return false;
+    if (other.attributes()[*other_idx].type != key_attr.type) return false;
+  }
+  return true;
+}
+
+Json Schema::ToJson() const {
+  Json attrs = Json::MakeArray();
+  for (const AttributeDef& attr : attributes_) {
+    Json a = Json::MakeObject();
+    a.Set("name", attr.name);
+    a.Set("type", std::string(DataTypeName(attr.type)));
+    a.Set("nullable", attr.nullable);
+    attrs.Append(std::move(a));
+  }
+  Json keys = Json::MakeArray();
+  for (const std::string& key : key_attributes_) keys.Append(key);
+
+  Json out = Json::MakeObject();
+  out.Set("attributes", std::move(attrs));
+  out.Set("key", std::move(keys));
+  return out;
+}
+
+Result<Schema> Schema::FromJson(const Json& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("schema JSON must be an object");
+  }
+  const Json& attrs = json.At("attributes");
+  if (!attrs.is_array()) {
+    return Status::InvalidArgument("schema JSON needs 'attributes' array");
+  }
+  std::vector<AttributeDef> attributes;
+  for (const Json& a : attrs.AsArray()) {
+    AttributeDef def;
+    MEDSYNC_ASSIGN_OR_RETURN(def.name, a.GetString("name"));
+    MEDSYNC_ASSIGN_OR_RETURN(std::string type_name, a.GetString("type"));
+    MEDSYNC_ASSIGN_OR_RETURN(def.type, DataTypeFromName(type_name));
+    MEDSYNC_ASSIGN_OR_RETURN(def.nullable, a.GetBool("nullable"));
+    attributes.push_back(std::move(def));
+  }
+  const Json& keys = json.At("key");
+  if (!keys.is_array()) {
+    return Status::InvalidArgument("schema JSON needs 'key' array");
+  }
+  std::vector<std::string> key_attributes;
+  for (const Json& k : keys.AsArray()) {
+    if (!k.is_string()) {
+      return Status::InvalidArgument("schema key entries must be strings");
+    }
+    key_attributes.push_back(k.AsString());
+  }
+  return Schema::Create(std::move(attributes), std::move(key_attributes));
+}
+
+}  // namespace medsync::relational

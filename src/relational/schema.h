@@ -1,0 +1,79 @@
+#ifndef MEDSYNC_RELATIONAL_SCHEMA_H_
+#define MEDSYNC_RELATIONAL_SCHEMA_H_
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "relational/value.h"
+
+namespace medsync::relational {
+
+/// One column definition.
+struct AttributeDef {
+  std::string name;
+  DataType type = DataType::kString;
+  bool nullable = true;
+
+  friend bool operator==(const AttributeDef& a, const AttributeDef& b) {
+    return a.name == b.name && a.type == b.type && a.nullable == b.nullable;
+  }
+};
+
+/// A relation schema: an ordered list of attributes plus the names of the
+/// primary-key attributes. The key is what BX lenses align rows on when
+/// putting view updates back into a source (the paper's D13 and D1 share the
+/// key a0 "Patient ID"), so every table in this system is keyed.
+class Schema {
+ public:
+  Schema() = default;
+
+  /// Builds and validates a schema. Fails if attribute names repeat, the key
+  /// is empty, a key attribute is missing, or a key attribute is nullable.
+  static Result<Schema> Create(std::vector<AttributeDef> attributes,
+                               std::vector<std::string> key_attributes);
+
+  const std::vector<AttributeDef>& attributes() const { return attributes_; }
+  const std::vector<std::string>& key_attributes() const {
+    return key_attributes_;
+  }
+  size_t attribute_count() const { return attributes_.size(); }
+
+  /// Index of `name` in attributes(), or nullopt.
+  std::optional<size_t> IndexOf(std::string_view name) const;
+  bool HasAttribute(std::string_view name) const {
+    return IndexOf(name).has_value();
+  }
+  bool IsKeyAttribute(std::string_view name) const;
+
+  /// Positions of the key attributes within attributes(), in key order.
+  const std::vector<size_t>& key_indices() const { return key_indices_; }
+
+  /// True if every key attribute of this schema also appears (same name and
+  /// type) in `other` — the condition for a projection of `other` keyed the
+  /// same way to be key-preserving.
+  bool KeyContainedIn(const Schema& other) const;
+
+  Json ToJson() const;
+  static Result<Schema> FromJson(const Json& json);
+
+  friend bool operator==(const Schema& a, const Schema& b) {
+    return a.attributes_ == b.attributes_ &&
+           a.key_attributes_ == b.key_attributes_;
+  }
+  friend bool operator!=(const Schema& a, const Schema& b) {
+    return !(a == b);
+  }
+
+ private:
+  std::vector<AttributeDef> attributes_;
+  std::vector<std::string> key_attributes_;
+  std::vector<size_t> key_indices_;
+};
+
+}  // namespace medsync::relational
+
+#endif  // MEDSYNC_RELATIONAL_SCHEMA_H_

@@ -1,0 +1,172 @@
+#include "relational/table.h"
+
+#include <algorithm>
+
+#include "common/strings.h"
+#include "crypto/sha256.h"
+
+namespace medsync::relational {
+
+Status Table::Insert(Row row) {
+  MEDSYNC_RETURN_IF_ERROR(ValidateRow(schema_, row));
+  Key key = KeyOf(schema_, row);
+  auto [it, inserted] = rows_.emplace(std::move(key), std::move(row));
+  if (!inserted) {
+    return Status::AlreadyExists(
+        StrCat("row with key ", RowToString(it->first), " already exists"));
+  }
+  return Status::OK();
+}
+
+Status Table::Upsert(Row row) {
+  MEDSYNC_RETURN_IF_ERROR(ValidateRow(schema_, row));
+  Key key = KeyOf(schema_, row);
+  rows_[std::move(key)] = std::move(row);
+  return Status::OK();
+}
+
+Status Table::Update(Row row) {
+  MEDSYNC_RETURN_IF_ERROR(ValidateRow(schema_, row));
+  Key key = KeyOf(schema_, row);
+  auto it = rows_.find(key);
+  if (it == rows_.end()) {
+    return Status::NotFound(
+        StrCat("no row with key ", RowToString(key)));
+  }
+  it->second = std::move(row);
+  return Status::OK();
+}
+
+Status Table::UpdateAttribute(const Key& key, std::string_view attribute,
+                              Value value) {
+  std::optional<size_t> idx = schema_.IndexOf(attribute);
+  if (!idx.has_value()) {
+    return Status::NotFound(StrCat("no attribute '", attribute, "'"));
+  }
+  auto it = rows_.find(key);
+  if (it == rows_.end()) {
+    return Status::NotFound(StrCat("no row with key ", RowToString(key)));
+  }
+  if (schema_.IsKeyAttribute(attribute)) {
+    return Status::InvalidArgument(
+        StrCat("cannot update key attribute '", attribute,
+               "' in place; delete and re-insert"));
+  }
+  const AttributeDef& attr = schema_.attributes()[*idx];
+  if (value.is_null() && !attr.nullable) {
+    return Status::InvalidArgument(
+        StrCat("NULL in non-nullable attribute '", attribute, "'"));
+  }
+  if (!value.MatchesType(attr.type)) {
+    return Status::InvalidArgument(
+        StrCat("type mismatch in attribute '", attribute, "'"));
+  }
+  it->second[*idx] = std::move(value);
+  return Status::OK();
+}
+
+Status Table::Delete(const Key& key) {
+  if (rows_.erase(key) == 0) {
+    return Status::NotFound(StrCat("no row with key ", RowToString(key)));
+  }
+  return Status::OK();
+}
+
+std::optional<Row> Table::Get(const Key& key) const {
+  auto it = rows_.find(key);
+  if (it == rows_.end()) return std::nullopt;
+  return it->second;
+}
+
+bool Table::Contains(const Key& key) const {
+  return rows_.find(key) != rows_.end();
+}
+
+Result<Value> Table::GetAttribute(const Key& key,
+                                  std::string_view attribute) const {
+  std::optional<size_t> idx = schema_.IndexOf(attribute);
+  if (!idx.has_value()) {
+    return Status::NotFound(StrCat("no attribute '", attribute, "'"));
+  }
+  auto it = rows_.find(key);
+  if (it == rows_.end()) {
+    return Status::NotFound(StrCat("no row with key ", RowToString(key)));
+  }
+  return it->second[*idx];
+}
+
+std::vector<Row> Table::RowsInKeyOrder() const {
+  std::vector<Row> out;
+  out.reserve(rows_.size());
+  for (const auto& [key, row] : rows_) out.push_back(row);
+  return out;
+}
+
+Json Table::ToJson() const {
+  Json rows = Json::MakeArray();
+  for (const auto& [key, row] : rows_) rows.Append(RowToJson(row));
+  Json out = Json::MakeObject();
+  out.Set("schema", schema_.ToJson());
+  out.Set("rows", std::move(rows));
+  return out;
+}
+
+Result<Table> Table::FromJson(const Json& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("table JSON must be an object");
+  }
+  MEDSYNC_ASSIGN_OR_RETURN(Schema schema, Schema::FromJson(json.At("schema")));
+  Table table(std::move(schema));
+  const Json& rows = json.At("rows");
+  if (!rows.is_array()) {
+    return Status::InvalidArgument("table JSON needs 'rows' array");
+  }
+  for (const Json& r : rows.AsArray()) {
+    MEDSYNC_ASSIGN_OR_RETURN(Row row, RowFromJson(r));
+    MEDSYNC_RETURN_IF_ERROR(table.Insert(std::move(row)));
+  }
+  return table;
+}
+
+std::string Table::ContentDigest() const {
+  return crypto::Sha256::Hash(ToJson().Dump()).ToHex();
+}
+
+std::string Table::ToAsciiTable() const {
+  std::vector<size_t> widths;
+  std::vector<std::string> headers;
+  for (const AttributeDef& attr : schema_.attributes()) {
+    headers.push_back(attr.name);
+    widths.push_back(attr.name.size());
+  }
+  std::vector<std::vector<std::string>> cells;
+  for (const auto& [key, row] : rows_) {
+    std::vector<std::string> line;
+    for (size_t i = 0; i < row.size(); ++i) {
+      line.push_back(row[i].ToString());
+      widths[i] = std::max(widths[i], line.back().size());
+    }
+    cells.push_back(std::move(line));
+  }
+
+  auto render_line = [&](const std::vector<std::string>& line) {
+    std::string out = "|";
+    for (size_t i = 0; i < line.size(); ++i) {
+      out += " " + line[i] + std::string(widths[i] - line[i].size(), ' ') +
+             " |";
+    }
+    return out + "\n";
+  };
+  auto rule = [&]() {
+    std::string out = "+";
+    for (size_t w : widths) out += std::string(w + 2, '-') + "+";
+    return out + "\n";
+  };
+
+  std::string out = rule() + render_line(headers) + rule();
+  for (const auto& line : cells) out += render_line(line);
+  out += rule();
+  return out;
+}
+
+}  // namespace medsync::relational

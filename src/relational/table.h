@@ -1,0 +1,87 @@
+#ifndef MEDSYNC_RELATIONAL_TABLE_H_
+#define MEDSYNC_RELATIONAL_TABLE_H_
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "relational/row.h"
+#include "relational/schema.h"
+
+namespace medsync::relational {
+
+/// An in-memory relation with a primary-key index. Rows are stored keyed and
+/// iterated in key order, so two tables with equal content compare equal and
+/// serialize identically — a property both the BX law checkers and the
+/// content digests in audit records depend on.
+class Table {
+ public:
+  /// An empty table; usable only after assignment from a real one.
+  Table() = default;
+
+  explicit Table(Schema schema) : schema_(std::move(schema)) {}
+
+  const Schema& schema() const { return schema_; }
+  size_t row_count() const { return rows_.size(); }
+  bool empty() const { return rows_.empty(); }
+
+  /// Inserts a validated row; fails with AlreadyExists on key collision.
+  Status Insert(Row row);
+
+  /// Inserts or overwrites by key.
+  Status Upsert(Row row);
+
+  /// Replaces the row with `row`'s key; fails with NotFound if absent.
+  Status Update(Row row);
+
+  /// Updates one attribute of the row with key `key`.
+  Status UpdateAttribute(const Key& key, std::string_view attribute,
+                         Value value);
+
+  /// Deletes by key; fails with NotFound if absent.
+  Status Delete(const Key& key);
+
+  /// Returns the row with `key`, or nullopt.
+  std::optional<Row> Get(const Key& key) const;
+  bool Contains(const Key& key) const;
+
+  /// Reads one attribute of the row with key `key`.
+  Result<Value> GetAttribute(const Key& key, std::string_view attribute) const;
+
+  /// All rows in key order.
+  std::vector<Row> RowsInKeyOrder() const;
+
+  /// Key-ordered iteration without copying.
+  const std::map<Key, Row>& rows() const { return rows_; }
+
+  /// Removes all rows.
+  void Clear() { rows_.clear(); }
+
+  /// JSON round trip: {"schema": ..., "rows": [...]}.
+  Json ToJson() const;
+  static Result<Table> FromJson(const Json& json);
+
+  /// Hex SHA-256 of the canonical serialization; used as the shared-data
+  /// content digest recorded on-chain so peers can prove what they fetched.
+  std::string ContentDigest() const;
+
+  /// ASCII rendering with a header row, used by examples to print the
+  /// paper's Fig. 1 tables.
+  std::string ToAsciiTable() const;
+
+  friend bool operator==(const Table& a, const Table& b) {
+    return a.schema_ == b.schema_ && a.rows_ == b.rows_;
+  }
+  friend bool operator!=(const Table& a, const Table& b) { return !(a == b); }
+
+ private:
+  Schema schema_;
+  std::map<Key, Row> rows_;
+};
+
+}  // namespace medsync::relational
+
+#endif  // MEDSYNC_RELATIONAL_TABLE_H_

@@ -1,0 +1,128 @@
+#include "relational/value.h"
+
+#include <cassert>
+#include <cstdio>
+
+#include "common/strings.h"
+
+namespace medsync::relational {
+
+std::string_view DataTypeName(DataType type) {
+  switch (type) {
+    case DataType::kNull:
+      return "null";
+    case DataType::kBool:
+      return "bool";
+    case DataType::kInt:
+      return "int";
+    case DataType::kDouble:
+      return "double";
+    case DataType::kString:
+      return "string";
+  }
+  return "?";
+}
+
+Result<DataType> DataTypeFromName(std::string_view name) {
+  if (name == "null") return DataType::kNull;
+  if (name == "bool") return DataType::kBool;
+  if (name == "int") return DataType::kInt;
+  if (name == "double") return DataType::kDouble;
+  if (name == "string") return DataType::kString;
+  return Status::InvalidArgument(StrCat("unknown data type '", name, "'"));
+}
+
+bool Value::AsBool() const {
+  assert(type() == DataType::kBool);
+  return std::get<bool>(payload_);
+}
+
+int64_t Value::AsInt() const {
+  assert(type() == DataType::kInt);
+  return std::get<int64_t>(payload_);
+}
+
+double Value::AsDouble() const {
+  assert(type() == DataType::kDouble);
+  return std::get<double>(payload_);
+}
+
+const std::string& Value::AsString() const {
+  assert(type() == DataType::kString);
+  return std::get<std::string>(payload_);
+}
+
+std::string Value::ToString() const {
+  switch (type()) {
+    case DataType::kNull:
+      return "NULL";
+    case DataType::kBool:
+      return AsBool() ? "true" : "false";
+    case DataType::kInt:
+      return StrCat(AsInt());
+    case DataType::kDouble: {
+      char buf[40];
+      std::snprintf(buf, sizeof(buf), "%.17g", AsDouble());
+      return buf;
+    }
+    case DataType::kString:
+      return AsString();
+  }
+  return "?";
+}
+
+Json Value::ToJson() const {
+  Json out = Json::MakeObject();
+  out.Set("t", std::string(DataTypeName(type())));
+  switch (type()) {
+    case DataType::kNull:
+      break;
+    case DataType::kBool:
+      out.Set("v", AsBool());
+      break;
+    case DataType::kInt:
+      out.Set("v", AsInt());
+      break;
+    case DataType::kDouble:
+      out.Set("v", AsDouble());
+      break;
+    case DataType::kString:
+      out.Set("v", AsString());
+      break;
+  }
+  return out;
+}
+
+Result<Value> Value::FromJson(const Json& json) {
+  if (!json.is_object()) {
+    return Status::InvalidArgument("value JSON must be an object");
+  }
+  MEDSYNC_ASSIGN_OR_RETURN(std::string type_name, json.GetString("t"));
+  MEDSYNC_ASSIGN_OR_RETURN(DataType type, DataTypeFromName(type_name));
+  const Json& v = json.At("v");
+  switch (type) {
+    case DataType::kNull:
+      return Value::Null();
+    case DataType::kBool:
+      if (!v.is_bool()) return Status::InvalidArgument("expected bool 'v'");
+      return Value::Bool(v.AsBool());
+    case DataType::kInt:
+      if (!v.is_int()) return Status::InvalidArgument("expected int 'v'");
+      return Value::Int(v.AsInt());
+    case DataType::kDouble:
+      if (!v.is_number()) {
+        return Status::InvalidArgument("expected number 'v'");
+      }
+      return Value::Double(v.AsDouble());
+    case DataType::kString:
+      if (!v.is_string()) return Status::InvalidArgument("expected string 'v'");
+      return Value::String(v.AsString());
+  }
+  return Status::InvalidArgument("unhandled value type");
+}
+
+bool Value::MatchesType(DataType type) const {
+  return is_null() || this->type() == type;
+}
+
+}  // namespace medsync::relational

@@ -1,0 +1,90 @@
+#ifndef MEDSYNC_RELATIONAL_VALUE_H_
+#define MEDSYNC_RELATIONAL_VALUE_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "common/json.h"
+#include "common/result.h"
+
+namespace medsync::relational {
+
+/// Column data types supported by the engine. The medical-record schema of
+/// the paper's Fig. 1 uses kInt (patient id) and kString (everything else);
+/// kDouble/kBool round out the engine for general use.
+enum class DataType : int {
+  kNull = 0,
+  kBool = 1,
+  kInt = 2,
+  kDouble = 3,
+  kString = 4,
+};
+
+std::string_view DataTypeName(DataType type);
+Result<DataType> DataTypeFromName(std::string_view name);
+
+/// A single typed cell. Values are ordered first by type, then by content,
+/// which gives tables a deterministic total row order.
+class Value {
+ public:
+  /// NULL by default.
+  Value() = default;
+  static Value Null() { return Value(); }
+  static Value Bool(bool v) { return Value(Payload(std::in_place_index<1>, v)); }
+  static Value Int(int64_t v) {
+    return Value(Payload(std::in_place_index<2>, v));
+  }
+  static Value Double(double v) {
+    return Value(Payload(std::in_place_index<3>, v));
+  }
+  static Value String(std::string v) {
+    return Value(Payload(std::in_place_index<4>, std::move(v)));
+  }
+  static Value String(std::string_view v) { return String(std::string(v)); }
+  static Value String(const char* v) { return String(std::string(v)); }
+
+  DataType type() const { return static_cast<DataType>(payload_.index()); }
+  bool is_null() const { return type() == DataType::kNull; }
+
+  /// Typed accessors; the caller must check type() first (asserted).
+  bool AsBool() const;
+  int64_t AsInt() const;
+  double AsDouble() const;
+  const std::string& AsString() const;
+
+  /// Human-readable rendering ("NULL", "42", quoted strings unquoted).
+  std::string ToString() const;
+
+  /// JSON round trip. Encoded as {"t":"int","v":42} so NULL and type
+  /// information survive; used for WAL records and network payloads.
+  Json ToJson() const;
+  static Result<Value> FromJson(const Json& json);
+
+  /// Whether this value can be stored in a column of `type` (NULL always
+  /// can; otherwise types must match exactly — no implicit coercion).
+  bool MatchesType(DataType type) const;
+
+  friend bool operator==(const Value& a, const Value& b) {
+    return a.payload_ == b.payload_;
+  }
+  friend bool operator!=(const Value& a, const Value& b) { return !(a == b); }
+  friend bool operator<(const Value& a, const Value& b) {
+    return a.payload_ < b.payload_;
+  }
+  friend bool operator<=(const Value& a, const Value& b) { return !(b < a); }
+  friend bool operator>(const Value& a, const Value& b) { return b < a; }
+  friend bool operator>=(const Value& a, const Value& b) { return !(a < b); }
+
+ private:
+  using Payload =
+      std::variant<std::monostate, bool, int64_t, double, std::string>;
+  explicit Value(Payload payload) : payload_(std::move(payload)) {}
+
+  Payload payload_;
+};
+
+}  // namespace medsync::relational
+
+#endif  // MEDSYNC_RELATIONAL_VALUE_H_

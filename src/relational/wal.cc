@@ -1,0 +1,186 @@
+#include "relational/wal.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+
+#include "common/strings.h"
+
+namespace medsync::relational {
+
+namespace {
+
+uint32_t Crc32Table(size_t i) {
+  static uint32_t table[256];
+  static bool initialized = [] {
+    for (uint32_t n = 0; n < 256; ++n) {
+      uint32_t c = n;
+      for (int k = 0; k < 8; ++k) {
+        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : (c >> 1);
+      }
+      table[n] = c;
+    }
+    return true;
+  }();
+  (void)initialized;
+  return table[i];
+}
+
+}  // namespace
+
+uint32_t Crc32(std::string_view data) {
+  uint32_t crc = 0xffffffffu;
+  for (unsigned char c : data) {
+    crc = Crc32Table((crc ^ c) & 0xff) ^ (crc >> 8);
+  }
+  return crc ^ 0xffffffffu;
+}
+
+Result<Wal> Wal::Open(std::string path, std::vector<WalRecord>* recovered) {
+  if (recovered) recovered->clear();
+
+  uint64_t next_lsn = 1;
+  long valid_end = 0;
+  bool needs_truncate = false;
+
+  // Recover: scan existing content line by line, stopping at the first
+  // malformed or checksum-failing record.
+  FILE* in = std::fopen(path.c_str(), "rb");
+  if (in != nullptr) {
+    std::string line;
+    int c;
+    long line_start = 0;
+    while (true) {
+      line.clear();
+      line_start = std::ftell(in);
+      while ((c = std::fgetc(in)) != EOF && c != '\n') {
+        line.push_back(static_cast<char>(c));
+      }
+      bool has_newline = (c == '\n');
+      if (line.empty() && !has_newline) break;  // clean EOF
+      if (!has_newline) {
+        // Torn tail: record without terminator.
+        needs_truncate = true;
+        break;
+      }
+      // Parse "<crc-hex> <len> <payload>".
+      size_t sp1 = line.find(' ');
+      size_t sp2 = (sp1 == std::string::npos) ? std::string::npos
+                                              : line.find(' ', sp1 + 1);
+      if (sp1 == std::string::npos || sp2 == std::string::npos) {
+        needs_truncate = true;
+        break;
+      }
+      std::string crc_hex = line.substr(0, sp1);
+      std::string len_str = line.substr(sp1 + 1, sp2 - sp1 - 1);
+      std::string payload = line.substr(sp2 + 1);
+      char* end = nullptr;
+      unsigned long long expect_len = std::strtoull(len_str.c_str(), &end, 10);
+      if (end != len_str.c_str() + len_str.size() ||
+          expect_len != payload.size()) {
+        needs_truncate = true;
+        break;
+      }
+      char crc_buf[16];
+      std::snprintf(crc_buf, sizeof(crc_buf), "%08x", Crc32(payload));
+      if (crc_hex != crc_buf) {
+        needs_truncate = true;
+        break;
+      }
+      auto parsed = Json::Parse(payload);
+      if (!parsed.ok()) {
+        needs_truncate = true;
+        break;
+      }
+      if (recovered) {
+        recovered->push_back(WalRecord{next_lsn, std::move(parsed).value()});
+      }
+      ++next_lsn;
+      valid_end = std::ftell(in);
+      (void)line_start;
+    }
+    std::fclose(in);
+  }
+
+  int flags = O_WRONLY | O_CREAT | (needs_truncate ? 0 : O_APPEND);
+  int fd = ::open(path.c_str(), flags, 0644);
+  if (fd < 0) {
+    return Status::Unavailable(
+        StrCat("cannot open WAL '", path, "': ", std::strerror(errno)));
+  }
+  if (needs_truncate) {
+    if (::ftruncate(fd, valid_end) != 0) {
+      ::close(fd);
+      return Status::Unavailable(
+          StrCat("cannot truncate WAL '", path, "': ", std::strerror(errno)));
+    }
+    if (::lseek(fd, 0, SEEK_END) < 0) {
+      ::close(fd);
+      return Status::Unavailable(StrCat("cannot seek WAL '", path, "'"));
+    }
+  }
+
+  Wal wal;
+  wal.path_ = std::move(path);
+  wal.fd_ = fd;
+  wal.next_lsn_ = next_lsn;
+  return wal;
+}
+
+Wal::Wal(Wal&& other) noexcept
+    : path_(std::move(other.path_)),
+      fd_(other.fd_),
+      next_lsn_(other.next_lsn_) {
+  other.fd_ = -1;
+}
+
+Wal& Wal::operator=(Wal&& other) noexcept {
+  if (this != &other) {
+    if (fd_ >= 0) ::close(fd_);
+    path_ = std::move(other.path_);
+    fd_ = other.fd_;
+    next_lsn_ = other.next_lsn_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+Wal::~Wal() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+Result<uint64_t> Wal::Append(const Json& payload) {
+  if (fd_ < 0) return Status::FailedPrecondition("WAL not open");
+  std::string body = payload.Dump();
+  char header[32];
+  std::snprintf(header, sizeof(header), "%08x %zu ", Crc32(body), body.size());
+  std::string record = StrCat(header, body, "\n");
+  const char* data = record.data();
+  size_t remaining = record.size();
+  while (remaining > 0) {
+    ssize_t n = ::write(fd_, data, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::Unavailable(
+          StrCat("WAL write failed: ", std::strerror(errno)));
+    }
+    data += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  return next_lsn_++;
+}
+
+Status Wal::Reset() {
+  if (fd_ < 0) return Status::FailedPrecondition("WAL not open");
+  if (::ftruncate(fd_, 0) != 0 || ::lseek(fd_, 0, SEEK_SET) < 0) {
+    return Status::Unavailable(
+        StrCat("WAL reset failed: ", std::strerror(errno)));
+  }
+  next_lsn_ = 1;
+  return Status::OK();
+}
+
+}  // namespace medsync::relational

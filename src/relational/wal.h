@@ -1,0 +1,64 @@
+#ifndef MEDSYNC_RELATIONAL_WAL_H_
+#define MEDSYNC_RELATIONAL_WAL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/result.h"
+#include "common/status.h"
+
+namespace medsync::relational {
+
+/// One durable log record. `lsn` is assigned on append, starting at 1.
+struct WalRecord {
+  uint64_t lsn = 0;
+  Json payload;
+};
+
+/// A file-backed write-ahead log with per-record checksums.
+///
+/// Record wire format (one record per line):
+///   <crc32-hex-8> <length-decimal> <json-payload>\n
+/// Recovery reads records until EOF or the first record whose checksum or
+/// length fails, truncating a torn tail — the standard WAL discipline. The
+/// local database of every sharing peer logs mutations through this before
+/// applying them, so a crashed peer replays to its pre-crash state and can
+/// rejoin the sharing protocol where it left off.
+class Wal {
+ public:
+  /// Opens (creating if needed) the log at `path` and recovers existing
+  /// records. `recovered` receives the surviving records; may be nullptr.
+  static Result<Wal> Open(std::string path,
+                          std::vector<WalRecord>* recovered);
+
+  Wal(Wal&& other) noexcept;
+  Wal& operator=(Wal&& other) noexcept;
+  Wal(const Wal&) = delete;
+  Wal& operator=(const Wal&) = delete;
+  ~Wal();
+
+  /// Appends a record and flushes it to the OS. Returns the assigned LSN.
+  Result<uint64_t> Append(const Json& payload);
+
+  /// Truncates the log to empty (after a snapshot/checkpoint).
+  Status Reset();
+
+  uint64_t next_lsn() const { return next_lsn_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  Wal() = default;
+
+  std::string path_;
+  int fd_ = -1;
+  uint64_t next_lsn_ = 1;
+};
+
+/// CRC-32 (IEEE 802.3, reflected) over `data`; exposed for tests.
+uint32_t Crc32(std::string_view data);
+
+}  // namespace medsync::relational
+
+#endif  // MEDSYNC_RELATIONAL_WAL_H_

@@ -1,0 +1,344 @@
+#include "runtime/chain_node.h"
+
+#include "common/logging.h"
+#include "common/strings.h"
+
+namespace medsync::runtime {
+
+using chain::Block;
+using chain::Transaction;
+
+ChainNode::ChainNode(NodeConfig config, net::Simulator* simulator,
+                     net::Network* network,
+                     std::shared_ptr<const chain::Sealer> sealer,
+                     Block genesis,
+                     chain::Blockchain::ConflictKeyFn conflict_key,
+                     std::unique_ptr<contracts::ContractHost> host)
+    : config_(std::move(config)),
+      simulator_(simulator),
+      network_(network),
+      sealer_(std::move(sealer)),
+      chain_(std::move(genesis), sealer_.get(), conflict_key),
+      mempool_(conflict_key),
+      host_(std::move(host)) {
+  executed_hashes_.push_back(chain_.genesis().header.Hash().ToHex());
+}
+
+void ChainNode::Start() {
+  if (started_) return;
+  started_ = true;
+  network_->Attach(config_.id, this);
+  if (config_.sealing_enabled) {
+    simulator_->Schedule(config_.block_interval, [this] { SealTick(); });
+  }
+}
+
+Status ChainNode::EnablePersistence(const std::string& path) {
+  if (block_store_.has_value()) {
+    return Status::FailedPrecondition("persistence already enabled");
+  }
+  std::vector<chain::Block> recovered;
+  MEDSYNC_ASSIGN_OR_RETURN(BlockStore store, BlockStore::Open(path,
+                                                              &recovered));
+  for (chain::Block& block : recovered) {
+    Status added = chain_.AddBlock(std::move(block));
+    if (!added.ok() && !added.IsAlreadyExists()) {
+      return added.WithPrefix("replaying stored blocks");
+    }
+  }
+  block_store_ = std::move(store);
+  if (!recovered.empty()) {
+    MEDSYNC_LOG(kInfo, config_.id)
+        << "recovered " << recovered.size() << " stored blocks, head "
+        << chain_.head().header.height;
+    AdvanceExecution();
+  }
+  return Status::OK();
+}
+
+Status ChainNode::AddBlockPersist(chain::Block block) {
+  // Copy needed for the append; AddBlock consumes the block.
+  chain::Block stored = block;
+  MEDSYNC_RETURN_IF_ERROR(chain_.AddBlock(std::move(block)));
+  if (block_store_.has_value()) {
+    Status appended = block_store_->Append(stored);
+    if (!appended.ok()) {
+      MEDSYNC_LOG(kWarning, config_.id)
+          << "block store append failed: " << appended;
+    }
+  }
+  return Status::OK();
+}
+
+void ChainNode::SealTick() {
+  TrySeal();
+  // Head announcement keeps lagging replicas live: a peer that missed
+  // blocks (partition, drops) learns the current head and chases the
+  // missing ancestry via block_request. Without this, PoA round-robin can
+  // deadlock — if it is the lagging authority's turn, nobody else may seal
+  // and no new block would ever reach it.
+  if (chain_.head().header.height > 0) {
+    Json announce = Json::MakeObject();
+    announce.Set("hash", chain_.head().header.Hash().ToHex());
+    announce.Set("height", chain_.head().header.height);
+    network_->Broadcast(config_.id, "head_announce", announce);
+  }
+  // Re-gossip pooled transactions: on a lossy network, the broadcast made
+  // at submission time may never have reached the authority whose turn it
+  // is, and a transaction stuck in one node's pool would stall the sender
+  // forever. Receivers dedupe, so this is idempotent.
+  for (const Transaction& tx : mempool_.PendingTransactions()) {
+    network_->Broadcast(config_.id, "tx", tx.ToJson());
+  }
+  simulator_->Schedule(config_.block_interval, [this] { SealTick(); });
+}
+
+void ChainNode::HandleHeadAnnounce(const net::Message& message) {
+  auto hash_hex = message.payload.GetString("hash");
+  auto height = message.payload.GetInt("height");
+  if (!hash_hex.ok() || !height.ok()) return;
+  if (static_cast<uint64_t>(*height) <= chain_.head().header.height) return;
+  bool ok = false;
+  crypto::Hash256 hash = crypto::Hash256::FromHex(*hash_hex, &ok);
+  if (!ok || chain_.BlockByHash(hash).ok()) return;
+  Json request = Json::MakeObject();
+  request.Set("hash", *hash_hex);
+  (void)network_->Send(
+      net::Message{config_.id, message.from, "block_request", request});
+}
+
+void ChainNode::TrySeal() {
+  std::vector<Transaction> txs =
+      mempool_.BuildBlockCandidate(config_.max_block_txs);
+
+  // Evict candidates that are already on the canonical chain. This can
+  // happen after a reorg (the pool is not replayed) or when eviction raced
+  // gossip; without the filter the sealed block would carry a duplicate
+  // transaction, fail validation, and this authority's turn would stall
+  // forever.
+  std::set<std::string> stale;
+  std::vector<Transaction> fresh;
+  fresh.reserve(txs.size());
+  for (Transaction& tx : txs) {
+    if (chain_.FindTransaction(tx.Id(), nullptr, nullptr)) {
+      stale.insert(tx.Id().ToHex());
+    } else {
+      fresh.push_back(std::move(tx));
+    }
+  }
+  if (!stale.empty()) mempool_.RemoveIncluded(stale);
+  txs = std::move(fresh);
+
+  if (txs.empty() && !config_.seal_empty_blocks) return;
+
+  Block block;
+  block.header.height = chain_.head().header.height + 1;
+  block.header.parent = chain_.head().header.Hash();
+  block.header.timestamp =
+      std::max(simulator_->Now(), chain_.head().header.timestamp);
+  block.transactions = std::move(txs);
+  block.header.merkle_root = block.ComputeMerkleRoot();
+
+  Status sealed = sealer_->Seal(&block);
+  if (!sealed.ok()) {
+    // Not our turn (PoA round-robin) or no key — wait for the next tick.
+    MEDSYNC_LOG(kDebug, config_.id) << "seal skipped: " << sealed;
+    return;
+  }
+
+  Status added = AddBlockPersist(block);
+  if (!added.ok()) {
+    MEDSYNC_LOG(kWarning, config_.id)
+        << "own sealed block rejected: " << added;
+    return;
+  }
+  ++blocks_sealed_;
+  MEDSYNC_LOG(kInfo, config_.id)
+      << "sealed block " << block.header.height << " ("
+      << block.transactions.size() << " txs)";
+
+  std::set<std::string> included;
+  for (const Transaction& tx : block.transactions) {
+    included.insert(tx.Id().ToHex());
+  }
+  mempool_.RemoveIncluded(included);
+
+  network_->Broadcast(config_.id, "block", block.ToJson());
+  AdvanceExecution();
+}
+
+Status ChainNode::SubmitTransaction(Transaction tx) {
+  Json payload = tx.ToJson();
+  MEDSYNC_RETURN_IF_ERROR(mempool_.Add(std::move(tx)));
+  network_->Broadcast(config_.id, "tx", payload);
+  return Status::OK();
+}
+
+Result<Json> ChainNode::Query(const crypto::Address& contract,
+                              const std::string& method, const Json& params,
+                              const crypto::Address& caller) {
+  return host_->StaticCall(contract, method, params, caller);
+}
+
+const contracts::Receipt* ChainNode::FindReceipt(
+    const std::string& tx_id_hex) const {
+  return host_->FindReceipt(tx_id_hex);
+}
+
+void ChainNode::SubscribeEvents(EventCallback callback) {
+  event_callbacks_.push_back(std::move(callback));
+}
+
+void ChainNode::SubscribeReceipts(ReceiptCallback callback) {
+  receipt_callbacks_.push_back(std::move(callback));
+}
+
+void ChainNode::OnMessage(const net::Message& message) {
+  if (message.type == "tx") {
+    HandleTransactionMessage(message);
+  } else if (message.type == "block") {
+    HandleBlockPayload(message.payload, message.from);
+  } else if (message.type == "block_request") {
+    HandleBlockRequest(message);
+  } else if (message.type == "head_announce") {
+    HandleHeadAnnounce(message);
+  } else if (message.type == "block_response") {
+    HandleBlockPayload(message.payload, message.from);
+  } else {
+    MEDSYNC_LOG(kDebug, config_.id)
+        << "ignoring message type '" << message.type << "'";
+  }
+}
+
+void ChainNode::HandleTransactionMessage(const net::Message& message) {
+  Result<Transaction> tx = Transaction::FromJson(message.payload);
+  if (!tx.ok()) {
+    MEDSYNC_LOG(kWarning, config_.id) << "bad tx payload: " << tx.status();
+    return;
+  }
+  // Skip if already on the canonical chain (late gossip).
+  if (chain_.FindTransaction(tx->Id(), nullptr, nullptr)) return;
+  Status added = mempool_.Add(std::move(*tx));
+  if (added.ok()) {
+    // First sighting: relay so the gossip floods the network.
+    network_->Broadcast(config_.id, "tx", message.payload);
+  }
+}
+
+void ChainNode::AdoptOrphansOf(const std::string& parent_hash_hex) {
+  auto it = orphans_.find(parent_hash_hex);
+  if (it == orphans_.end()) return;
+  std::vector<Block> children = std::move(it->second);
+  orphans_.erase(it);
+  for (Block& child : children) {
+    std::string child_hash = child.header.Hash().ToHex();
+    Status added = AddBlockPersist(std::move(child));
+    if (added.ok()) AdoptOrphansOf(child_hash);
+  }
+}
+
+Status ChainNode::AcceptBlock(Block block, const net::NodeId& from) {
+  std::string block_hash = block.header.Hash().ToHex();
+  std::string parent_hash = block.header.parent.ToHex();
+  Status added = AddBlockPersist(block);
+  if (added.IsNotFound()) {
+    // Orphan: buffer it and ask the sender for the missing parent.
+    orphans_[parent_hash].push_back(std::move(block));
+    if (!from.empty()) {
+      Json request = Json::MakeObject();
+      request.Set("hash", parent_hash);
+      (void)network_->Send(
+          net::Message{config_.id, from, "block_request", request});
+    }
+    return added;
+  }
+  if (!added.ok()) return added;
+  AdoptOrphansOf(block_hash);
+  return Status::OK();
+}
+
+void ChainNode::HandleBlockPayload(const Json& payload,
+                                   const net::NodeId& from) {
+  Result<Block> block = Block::FromJson(payload);
+  if (!block.ok()) {
+    MEDSYNC_LOG(kWarning, config_.id)
+        << "bad block payload: " << block.status();
+    return;
+  }
+  uint64_t old_height = chain_.head().header.height;
+  Status accepted = AcceptBlock(std::move(*block), from);
+  if (accepted.IsAlreadyExists()) return;  // do not re-gossip duplicates
+  if (!accepted.ok() && !accepted.IsNotFound()) {
+    MEDSYNC_LOG(kWarning, config_.id) << "rejected block: " << accepted;
+    return;
+  }
+  if (accepted.ok()) {
+    network_->Broadcast(config_.id, "block", payload);
+    // Evict included transactions from the local pool.
+    std::set<std::string> included;
+    for (const chain::Block* b : chain_.CanonicalChain()) {
+      if (b->header.height > old_height) {
+        for (const Transaction& tx : b->transactions) {
+          included.insert(tx.Id().ToHex());
+        }
+      }
+    }
+    if (!included.empty()) mempool_.RemoveIncluded(included);
+    AdvanceExecution();
+  }
+}
+
+void ChainNode::HandleBlockRequest(const net::Message& message) {
+  auto hash_hex = message.payload.GetString("hash");
+  if (!hash_hex.ok()) return;
+  bool ok = false;
+  crypto::Hash256 hash = crypto::Hash256::FromHex(*hash_hex, &ok);
+  if (!ok) return;
+  Result<const Block*> block = chain_.BlockByHash(hash);
+  if (!block.ok()) return;
+  (void)network_->Send(net::Message{config_.id, message.from,
+                                    "block_response", (*block)->ToJson()});
+}
+
+void ChainNode::AdvanceExecution() {
+  std::vector<const Block*> canonical = chain_.CanonicalChain();
+
+  // Is the executed prefix still on the canonical chain?
+  bool prefix_ok = executed_hashes_.size() <= canonical.size();
+  if (prefix_ok) {
+    for (size_t i = 0; i < executed_hashes_.size(); ++i) {
+      if (canonical[i]->header.Hash().ToHex() != executed_hashes_[i]) {
+        prefix_ok = false;
+        break;
+      }
+    }
+  }
+  if (!prefix_ok) {
+    // Reorg: rebuild contract state from genesis (cheap at simulation
+    // scale; a production node would checkpoint).
+    MEDSYNC_LOG(kInfo, config_.id) << "reorg: replaying canonical chain";
+    host_->Reset();
+    executed_hashes_.clear();
+    executed_hashes_.push_back(canonical[0]->header.Hash().ToHex());
+  }
+
+  for (size_t i = executed_hashes_.size(); i < canonical.size(); ++i) {
+    const Block& block = *canonical[i];
+    std::vector<contracts::Receipt> receipts = host_->ExecuteBlock(block);
+    executed_hashes_.push_back(block.header.Hash().ToHex());
+    for (const contracts::Receipt& receipt : receipts) {
+      for (const ReceiptCallback& callback : receipt_callbacks_) {
+        callback(receipt);
+      }
+      if (receipt.ok) {
+        for (const contracts::Event& event : receipt.events) {
+          for (const EventCallback& callback : event_callbacks_) {
+            callback(block.header.height, event);
+          }
+        }
+      }
+    }
+  }
+}
+
+}  // namespace medsync::runtime

@@ -1,0 +1,136 @@
+#ifndef MEDSYNC_RUNTIME_CHAIN_NODE_H_
+#define MEDSYNC_RUNTIME_CHAIN_NODE_H_
+
+#include <functional>
+#include <map>
+#include <optional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "chain/blockchain.h"
+#include "chain/mempool.h"
+#include "chain/sealer.h"
+#include "contracts/host.h"
+#include "net/network.h"
+#include "net/simulator.h"
+#include "runtime/block_store.h"
+
+namespace medsync::runtime {
+
+struct NodeConfig {
+  net::NodeId id;
+  /// Target block production interval; the paper discusses Ethereum's ~12 s
+  /// (Section IV-1) and bench_sec4_throughput sweeps this.
+  Micros block_interval = 12 * kMicrosPerSecond;
+  size_t max_block_txs = 100;
+  /// Whether this node produces blocks (a miner/authority).
+  bool sealing_enabled = false;
+  /// Whether to seal blocks with an empty transaction list.
+  bool seal_empty_blocks = false;
+};
+
+/// A full blockchain node on the simulated network: replicated ledger,
+/// mempool, contract execution, transaction/block gossip, and orphan
+/// catch-up. Application peers (doctor/patient/researcher) talk to the
+/// system through their trusted node's client API — SubmitTransaction,
+/// Query, and the event subscription — exactly the "via a trusted node
+/// connected to blockchain" interaction of the paper's Section III-E.
+class ChainNode : public net::Endpoint {
+ public:
+  using EventCallback = std::function<void(uint64_t block_height,
+                                           const contracts::Event& event)>;
+  using ReceiptCallback = std::function<void(const contracts::Receipt&)>;
+
+  /// `sealer` validates (and, on sealing nodes, produces) seals; `genesis`
+  /// must be identical across all nodes; `conflict_key` implements the
+  /// one-update-per-shared-table-per-block rule; `host` is this node's
+  /// contract execution engine (with all types pre-registered).
+  ChainNode(NodeConfig config, net::Simulator* simulator,
+            net::Network* network, std::shared_ptr<const chain::Sealer> sealer,
+            chain::Block genesis, chain::Blockchain::ConflictKeyFn conflict_key,
+            std::unique_ptr<contracts::ContractHost> host);
+
+  /// Attaches to the network and, on sealing nodes, starts the seal timer.
+  void Start();
+
+  /// Makes the node's ledger durable: every accepted block is appended to
+  /// `path`, and blocks already stored there are replayed into the chain
+  /// (and executed) right away. Call before Start(); a node restarted on
+  /// the same file resumes from its recovered head and catches the rest up
+  /// over the network. Genesis must match the stored chain.
+  Status EnablePersistence(const std::string& path);
+
+  // -- Client API -----------------------------------------------------------
+
+  /// Accepts a signed transaction into the mempool and gossips it.
+  Status SubmitTransaction(chain::Transaction tx);
+
+  /// Read-only contract call against this node's executed state.
+  Result<Json> Query(const crypto::Address& contract,
+                     const std::string& method, const Json& params,
+                     const crypto::Address& caller);
+
+  /// Receipt of `tx_id_hex` if the transaction has been executed here.
+  const contracts::Receipt* FindReceipt(const std::string& tx_id_hex) const;
+
+  /// `callback` fires for every contract event as blocks execute locally.
+  void SubscribeEvents(EventCallback callback);
+  void SubscribeReceipts(ReceiptCallback callback);
+
+  const chain::Blockchain& blockchain() const { return chain_; }
+  contracts::ContractHost& host() { return *host_; }
+  const contracts::ContractHost& host() const { return *host_; }
+  const chain::Mempool& mempool() const { return mempool_; }
+  const NodeConfig& config() const { return config_; }
+  uint64_t blocks_sealed() const { return blocks_sealed_; }
+
+  // -- Network --------------------------------------------------------------
+
+  void OnMessage(const net::Message& message) override;
+
+ private:
+  void SealTick();
+  void TrySeal();
+
+  /// Executes newly canonical blocks; on a reorg, resets the host and
+  /// replays the whole canonical chain.
+  void AdvanceExecution();
+
+  void HandleTransactionMessage(const net::Message& message);
+  void HandleBlockPayload(const Json& payload, const net::NodeId& from);
+  void HandleBlockRequest(const net::Message& message);
+  void HandleHeadAnnounce(const net::Message& message);
+
+  Status AcceptBlock(chain::Block block, const net::NodeId& from);
+  void AdoptOrphansOf(const std::string& parent_hash_hex);
+
+  /// chain_.AddBlock plus block-store append on success.
+  Status AddBlockPersist(chain::Block block);
+
+  NodeConfig config_;
+  net::Simulator* simulator_;
+  net::Network* network_;
+  std::shared_ptr<const chain::Sealer> sealer_;
+  chain::Blockchain chain_;
+  chain::Mempool mempool_;
+  std::unique_ptr<contracts::ContractHost> host_;
+
+  /// Hashes (hex) of the canonical prefix already executed by host_.
+  std::vector<std::string> executed_hashes_;
+
+  /// Orphan blocks waiting for their parent, keyed by parent hash hex.
+  std::map<std::string, std::vector<chain::Block>> orphans_;
+
+  /// Durable block log (nullopt = in-memory node).
+  std::optional<BlockStore> block_store_;
+
+  std::vector<EventCallback> event_callbacks_;
+  std::vector<ReceiptCallback> receipt_callbacks_;
+  uint64_t blocks_sealed_ = 0;
+  bool started_ = false;
+};
+
+}  // namespace medsync::runtime
+
+#endif  // MEDSYNC_RUNTIME_CHAIN_NODE_H_

@@ -1,0 +1,234 @@
+#include "bx/join_lens.h"
+
+#include <gtest/gtest.h>
+
+#include "bx/compose_lens.h"
+#include "bx/laws.h"
+#include "bx/lens_factory.h"
+#include "common/random.h"
+#include "medical/generator.h"
+#include "medical/records.h"
+#include "relational/query.h"
+
+namespace medsync::bx {
+namespace {
+
+using medical::kDosage;
+using medical::kMechanismOfAction;
+using medical::kMedicationName;
+using medical::kPatientId;
+using relational::DataType;
+using relational::Row;
+using relational::Schema;
+using relational::Table;
+using relational::Value;
+
+/// Medication catalog reference: a1 -> a5 (the enrichment table).
+Table Catalog() {
+  Schema schema = *Schema::Create(
+      {{std::string(kMedicationName), DataType::kString, false},
+       {std::string(kMechanismOfAction), DataType::kString, true}},
+      {std::string(kMedicationName)});
+  Table t(schema);
+  EXPECT_TRUE(
+      t.Insert({Value::String("Ibuprofen"), Value::String("MeA1")}).ok());
+  EXPECT_TRUE(
+      t.Insert({Value::String("Wellbutrin"), Value::String("MeA2")}).ok());
+  EXPECT_TRUE(
+      t.Insert({Value::String("Metformin"), Value::String("MeA3")}).ok());
+  return t;
+}
+
+/// Prescriptions source: a0 -> a1, a4 (no mechanism column).
+Table Prescriptions() {
+  Schema schema = *Schema::Create(
+      {{std::string(kPatientId), DataType::kInt, false},
+       {std::string(kMedicationName), DataType::kString, true},
+       {std::string(kDosage), DataType::kString, true}},
+      {std::string(kPatientId)});
+  Table t(schema);
+  EXPECT_TRUE(t.Insert({Value::Int(188), Value::String("Ibuprofen"),
+                        Value::String("200 mg")})
+                  .ok());
+  EXPECT_TRUE(t.Insert({Value::Int(189), Value::String("Wellbutrin"),
+                        Value::String("100 mg")})
+                  .ok());
+  return t;
+}
+
+TEST(LookupJoinLensTest, GetEnrichesEveryRow) {
+  LookupJoinLens lens(Catalog());
+  Table source = Prescriptions();
+  Result<Table> view = lens.Get(source);
+  ASSERT_TRUE(view.ok()) << view.status();
+  EXPECT_EQ(view->schema().attribute_count(), 4u);
+  EXPECT_EQ(view->row_count(), 2u);
+  Row r188 = *view->Get({Value::Int(188)});
+  EXPECT_EQ(r188[3].AsString(), "MeA1");
+}
+
+TEST(LookupJoinLensTest, GetFailsOnDanglingLookup) {
+  LookupJoinLens lens(Catalog());
+  Table source = Prescriptions();
+  ASSERT_TRUE(source
+                  .Insert({Value::Int(190), Value::String("UnknownDrug"),
+                           Value::String("x")})
+                  .ok());
+  EXPECT_TRUE(lens.Get(source).status().IsFailedPrecondition());
+}
+
+TEST(LookupJoinLensTest, ViewSchemaValidation) {
+  LookupJoinLens lens(Catalog());
+  // Source missing the join key.
+  Schema no_key = *Schema::Create(
+      {{"id", DataType::kInt, false}}, {"id"});
+  EXPECT_FALSE(lens.ViewSchema(no_key).ok());
+  // Source already has the enrichment column.
+  Schema collision = *Schema::Create(
+      {{std::string(kPatientId), DataType::kInt, false},
+       {std::string(kMedicationName), DataType::kString, true},
+       {std::string(kMechanismOfAction), DataType::kString, true}},
+      {std::string(kPatientId)});
+  EXPECT_FALSE(lens.ViewSchema(collision).ok());
+  // Join key type mismatch.
+  Schema mistyped = *Schema::Create(
+      {{std::string(kPatientId), DataType::kInt, false},
+       {std::string(kMedicationName), DataType::kInt, true}},
+      {std::string(kPatientId)});
+  EXPECT_FALSE(lens.ViewSchema(mistyped).ok());
+}
+
+TEST(LookupJoinLensTest, PutProjectsSourceAttributesBack) {
+  LookupJoinLens lens(Catalog());
+  Table source = Prescriptions();
+  Table view = *lens.Get(source);
+  // Edit a plain source attribute through the view.
+  ASSERT_TRUE(view.UpdateAttribute({Value::Int(188)}, kDosage,
+                                   Value::String("400 mg"))
+                  .ok());
+  Result<Table> updated = lens.Put(source, view);
+  ASSERT_TRUE(updated.ok()) << updated.status();
+  EXPECT_EQ(updated->Get({Value::Int(188)})->at(2).AsString(), "400 mg");
+  EXPECT_EQ(updated->schema().attribute_count(), 3u);
+}
+
+TEST(LookupJoinLensTest, JoinKeyEditMustUpdateEnrichmentConsistently) {
+  LookupJoinLens lens(Catalog());
+  Table source = Prescriptions();
+  Table view = *lens.Get(source);
+
+  // Changing the medication WITHOUT fixing the mechanism is rejected...
+  Table bad = view;
+  ASSERT_TRUE(bad.UpdateAttribute({Value::Int(188)}, kMedicationName,
+                                  Value::String("Metformin"))
+                  .ok());
+  EXPECT_TRUE(lens.Put(source, bad).status().IsFailedPrecondition());
+
+  // ...but a consistent re-key (mechanism updated to the new entry) works.
+  Table good = bad;
+  ASSERT_TRUE(good.UpdateAttribute({Value::Int(188)}, kMechanismOfAction,
+                                   Value::String("MeA3"))
+                  .ok());
+  Result<Table> updated = lens.Put(source, good);
+  ASSERT_TRUE(updated.ok()) << updated.status();
+  EXPECT_EQ(updated->Get({Value::Int(188)})->at(1).AsString(), "Metformin");
+}
+
+TEST(LookupJoinLensTest, EnrichmentAttributesAreReadOnly) {
+  LookupJoinLens lens(Catalog());
+  Table source = Prescriptions();
+  Table view = *lens.Get(source);
+  ASSERT_TRUE(view.UpdateAttribute({Value::Int(188)}, kMechanismOfAction,
+                                   Value::String("hand-edited"))
+                  .ok());
+  EXPECT_TRUE(lens.Put(source, view).status().IsFailedPrecondition());
+}
+
+TEST(LookupJoinLensTest, InsertAndDeleteThroughView) {
+  LookupJoinLens lens(Catalog());
+  Table source = Prescriptions();
+  Table view = *lens.Get(source);
+  ASSERT_TRUE(view.Insert({Value::Int(300), Value::String("Metformin"),
+                           Value::String("850 mg"), Value::String("MeA3")})
+                  .ok());
+  ASSERT_TRUE(view.Delete({Value::Int(189)}).ok());
+  Result<Table> updated = lens.Put(source, view);
+  ASSERT_TRUE(updated.ok()) << updated.status();
+  EXPECT_TRUE(updated->Contains({Value::Int(300)}));
+  EXPECT_FALSE(updated->Contains({Value::Int(189)}));
+}
+
+TEST(LookupJoinLensTest, LawsHold) {
+  LookupJoinLens lens(Catalog());
+  Table source = Prescriptions();
+  EXPECT_TRUE(CheckGetPut(lens, source).ok());
+  Table view = *lens.Get(source);
+  ASSERT_TRUE(view.UpdateAttribute({Value::Int(189)}, kDosage,
+                                   Value::String("150 mg"))
+                  .ok());
+  bool rejected = false;
+  EXPECT_TRUE(CheckPutGet(lens, source, view, &rejected).ok());
+  EXPECT_FALSE(rejected);
+}
+
+TEST(LookupJoinLensTest, ComposesWithProjection) {
+  // Enrich, then share only (a0, mechanism): the canonical "researcher
+  // sees mechanisms per patient without dosage" pipeline.
+  auto composed =
+      Compose(*MakeLookupJoinLens(Catalog()),
+              MakeProjectLens({kPatientId, kMechanismOfAction},
+                              {kPatientId}));
+  Table source = Prescriptions();
+  Result<Table> view = composed->Get(source);
+  ASSERT_TRUE(view.ok()) << view.status();
+  EXPECT_EQ(view->schema().attribute_count(), 2u);
+  EXPECT_TRUE(CheckGetPut(*composed, source).ok());
+}
+
+TEST(LookupJoinLensTest, JsonRoundTrip) {
+  auto lens = *MakeLookupJoinLens(Catalog());
+  Result<LensPtr> back = LensFromJson(lens->ToJson());
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(LensEqual(lens, *back));
+  Table source = Prescriptions();
+  EXPECT_EQ(*lens->Get(source), *(*back)->Get(source));
+}
+
+class LookupJoinPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LookupJoinPropertyTest, LawsOverGeneratedData) {
+  // Source: (patient, medication, dosage) projected from generated
+  // records; reference: the (medication -> mechanism) view of the same
+  // data, so the lookup is total by construction.
+  medical::GeneratorConfig config;
+  config.seed = GetParam() * 131 + 5;
+  config.record_count = 20 + (GetParam() % 40);
+  Table full = medical::GenerateFullRecords(config);
+  Table source = *relational::Project(
+      full, {kPatientId, kMedicationName, kDosage}, {kPatientId});
+  Table reference = *relational::Project(
+      full, {kMedicationName, kMechanismOfAction}, {kMedicationName});
+
+  LookupJoinLens lens(reference);
+  ASSERT_TRUE(CheckGetPut(lens, source).ok());
+
+  // Random translatable edit: change a dosage.
+  Rng rng(GetParam());
+  Table view = *lens.Get(source);
+  std::vector<Row> rows = view.RowsInKeyOrder();
+  const Row& victim = rows[rng.NextIndex(rows.size())];
+  Table edited = view;
+  ASSERT_TRUE(edited
+                  .UpdateAttribute({victim[0]}, kDosage,
+                                   Value::String(rng.NextAlnumString(6)))
+                  .ok());
+  bool rejected = false;
+  ASSERT_TRUE(CheckPutGet(lens, source, edited, &rejected).ok());
+  EXPECT_FALSE(rejected);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LookupJoinPropertyTest,
+                         ::testing::Range(uint64_t{0}, uint64_t{15}));
+
+}  // namespace
+}  // namespace medsync::bx

@@ -1,0 +1,233 @@
+// Property-based verification of the BX round-tripping laws (Section II-B
+// of the paper): random synthetic medical sources x random lens
+// compositions x random view edits, checked with the mechanical law
+// verifiers. A lens may legally REJECT an untranslatable edit (that
+// preserves the laws by changing nothing); what it must never do is accept
+// an edit and produce a source that violates PutGet.
+
+#include <gtest/gtest.h>
+
+#include "bx/compose_lens.h"
+#include "bx/laws.h"
+#include "bx/lens_factory.h"
+#include "bx/project_lens.h"
+#include "bx/rename_lens.h"
+#include "bx/select_lens.h"
+#include "common/random.h"
+#include "medical/generator.h"
+#include "medical/records.h"
+
+namespace medsync::bx {
+namespace {
+
+using medical::kAddress;
+using medical::kClinicalData;
+using medical::kDosage;
+using medical::kMechanismOfAction;
+using medical::kMedicationName;
+using medical::kModeOfAction;
+using medical::kPatientId;
+using relational::CompareOp;
+using relational::Predicate;
+using relational::Row;
+using relational::Schema;
+using relational::Table;
+using relational::Value;
+
+/// Picks a random subset of attributes that always contains the key.
+std::vector<std::string> RandomProjection(Rng* rng) {
+  std::vector<std::string> attrs{kPatientId};
+  for (const char* attr : {kMedicationName, kClinicalData, kAddress, kDosage,
+                           kMechanismOfAction, kModeOfAction}) {
+    if (rng->NextBool(0.6)) attrs.push_back(attr);
+  }
+  return attrs;
+}
+
+Predicate::Ptr RandomPredicate(Rng* rng) {
+  switch (rng->NextBelow(4)) {
+    case 0:
+      return Predicate::Compare(kPatientId, CompareOp::kLt,
+                                Value::Int(1000 + rng->NextInRange(0, 200)));
+    case 1:
+      return Predicate::Compare(kPatientId, CompareOp::kGe,
+                                Value::Int(1000 + rng->NextInRange(0, 200)));
+    case 2:
+      return Predicate::Compare(kAddress, CompareOp::kEq,
+                                Value::String(medical::RandomCity(rng)));
+    default:
+      return Predicate::True();
+  }
+}
+
+/// Builds a random, schema-valid lens stack over the full-record schema.
+/// Selections and renames come first; the projection (if any) is last so
+/// predicates and rename maps stay valid.
+LensPtr RandomLens(Rng* rng) {
+  std::vector<LensPtr> stages;
+  if (rng->NextBool(0.5)) {
+    stages.push_back(MakeSelectLens(RandomPredicate(rng)));
+  }
+  bool renamed_dosage = false;
+  if (rng->NextBool(0.3)) {
+    stages.push_back(MakeRenameLens({{kDosage, "dose"}}));
+    renamed_dosage = true;
+  }
+  if (rng->NextBool(0.8)) {
+    std::vector<std::string> attrs = RandomProjection(rng);
+    if (renamed_dosage) {
+      for (std::string& attr : attrs) {
+        if (attr == kDosage) attr = "dose";
+      }
+    }
+    stages.push_back(MakeProjectLens(attrs, {kPatientId}));
+  }
+  if (stages.empty()) stages.push_back(MakeIdentityLens());
+  if (stages.size() == 1) return stages[0];
+  return std::make_shared<ComposeLens>(std::move(stages));
+}
+
+/// Applies 1-4 random edits to the view: attribute updates, deletions, and
+/// (sometimes) insertions.
+Table RandomViewEdit(const Table& view, Rng* rng) {
+  Table edited = view;
+  const Schema& schema = edited.schema();
+  int edits = 1 + static_cast<int>(rng->NextBelow(4));
+  for (int e = 0; e < edits && !edited.empty(); ++e) {
+    std::vector<Row> rows = edited.RowsInKeyOrder();
+    const Row& victim = rows[rng->NextIndex(rows.size())];
+    relational::Key key = relational::KeyOf(schema, victim);
+    switch (rng->NextBelow(3)) {
+      case 0: {  // update a random non-key attribute
+        std::vector<size_t> candidates;
+        for (size_t i = 0; i < schema.attribute_count(); ++i) {
+          if (!schema.IsKeyAttribute(schema.attributes()[i].name)) {
+            candidates.push_back(i);
+          }
+        }
+        if (candidates.empty()) break;
+        size_t idx = candidates[rng->NextIndex(candidates.size())];
+        (void)edited.UpdateAttribute(
+            key, schema.attributes()[idx].name,
+            Value::String(rng->NextAlnumString(6)));
+        break;
+      }
+      case 1:  // delete
+        (void)edited.Delete(key);
+        break;
+      default: {  // insert: clone the victim with a fresh key
+        Row fresh = victim;
+        for (size_t ki : schema.key_indices()) {
+          if (fresh[ki].type() == relational::DataType::kInt) {
+            fresh[ki] = Value::Int(5000 + rng->NextInRange(0, 999));
+          } else {
+            fresh[ki] = Value::String(rng->NextAlnumString(8));
+          }
+        }
+        (void)edited.Insert(fresh);
+        break;
+      }
+    }
+  }
+  return edited;
+}
+
+class LensLawPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(LensLawPropertyTest, RandomLensStacksAreWellBehaved) {
+  Rng rng(GetParam());
+  medical::GeneratorConfig config;
+  config.seed = GetParam() * 977 + 13;
+  config.record_count = 5 + rng.NextBelow(30);
+  Table source = medical::GenerateFullRecords(config);
+
+  for (int trial = 0; trial < 8; ++trial) {
+    LensPtr lens = RandomLens(&rng);
+
+    // GetPut must hold unconditionally.
+    Status get_put = CheckGetPut(*lens, source);
+    ASSERT_TRUE(get_put.ok())
+        << lens->ToString() << ": " << get_put.ToString();
+
+    // PutGet must hold for every edit the lens ACCEPTS.
+    Result<Table> view = lens->Get(source);
+    ASSERT_TRUE(view.ok()) << lens->ToString() << ": " << view.status();
+    Table edited = RandomViewEdit(*view, &rng);
+    bool rejected = false;
+    Status put_get = CheckPutGet(*lens, source, edited, &rejected);
+    ASSERT_TRUE(put_get.ok())
+        << lens->ToString() << ": " << put_get.ToString();
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, LensLawPropertyTest,
+                         ::testing::Range(uint64_t{0}, uint64_t{40}));
+
+class GroupedLensLawTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GroupedLensLawTest, GroupedProjectionIsWellBehaved) {
+  // The researcher-style lens: keyed by medication name, grouped over
+  // patients (the paper's D3 -> D32).
+  Rng rng(GetParam());
+  medical::GeneratorConfig config;
+  config.seed = GetParam() * 31 + 7;
+  config.record_count = 10 + rng.NextBelow(40);
+  Table source = medical::GenerateFullRecords(config);
+
+  auto lens = MakeProjectLens({kMedicationName, kMechanismOfAction},
+                              {kMedicationName});
+  ASSERT_TRUE(CheckGetPut(*lens, source).ok());
+
+  Result<Table> view = lens->Get(source);
+  ASSERT_TRUE(view.ok());
+  // Edit a mechanism (translatable: writes through to the whole group).
+  if (!view->empty()) {
+    Table edited = *view;
+    std::vector<Row> rows = edited.RowsInKeyOrder();
+    const Row& victim = rows[rng.NextIndex(rows.size())];
+    ASSERT_TRUE(edited
+                    .UpdateAttribute({victim[0]}, kMechanismOfAction,
+                                     Value::String("edited mechanism"))
+                    .ok());
+    bool rejected = false;
+    Status put_get = CheckPutGet(*lens, source, edited, &rejected);
+    ASSERT_TRUE(put_get.ok()) << put_get.ToString();
+    EXPECT_FALSE(rejected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, GroupedLensLawTest,
+                         ::testing::Range(uint64_t{0}, uint64_t{20}));
+
+TEST(LensLawTest, LawCheckersDetectABrokenLens) {
+  /// A deliberately ill-behaved lens: Put ignores the view entirely.
+  class BrokenLens : public Lens {
+   public:
+    Result<Schema> ViewSchema(const Schema& s) const override { return s; }
+    Result<Table> Get(const Table& source) const override { return source; }
+    Result<Table> Put(const Table& source, const Table&) const override {
+      return source;  // drops the view's updates — violates PutGet
+    }
+    Result<SourceFootprint> Footprint(const Schema&) const override {
+      return SourceFootprint{};
+    }
+    Json ToJson() const override { return Json::MakeObject(); }
+    std::string ToString() const override { return "broken"; }
+  };
+
+  BrokenLens broken;
+  Table source = medical::MakeFig1FullRecords();
+  EXPECT_TRUE(CheckGetPut(broken, source).ok());  // GetPut happens to hold
+  Table edited = source;
+  ASSERT_TRUE(edited
+                  .UpdateAttribute({Value::Int(188)}, kDosage,
+                                   Value::String("edited"))
+                  .ok());
+  bool rejected = false;
+  Status put_get = CheckPutGet(broken, source, edited, &rejected);
+  EXPECT_TRUE(put_get.IsFailedPrecondition());
+  EXPECT_FALSE(rejected);
+}
+
+}  // namespace
+}  // namespace medsync::bx

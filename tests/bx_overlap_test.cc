@@ -1,0 +1,137 @@
+#include "bx/overlap.h"
+
+#include <gtest/gtest.h>
+
+#include "bx/lens_factory.h"
+#include "medical/records.h"
+
+namespace medsync::bx {
+namespace {
+
+using medical::kClinicalData;
+using medical::kDosage;
+using medical::kMechanismOfAction;
+using medical::kMedicationName;
+using medical::kPatientId;
+using relational::Table;
+using relational::Value;
+
+Table Fig1() { return medical::MakeFig1FullRecords(); }
+
+TEST(SourceChangeTest, DetectsAttributeChanges) {
+  Table before = Fig1();
+  Table after = before;
+  ASSERT_TRUE(after
+                  .UpdateAttribute({Value::Int(188)}, kDosage,
+                                   Value::String("x"))
+                  .ok());
+  Result<SourceChange> change = AnalyzeSourceChange(before, after);
+  ASSERT_TRUE(change.ok());
+  EXPECT_FALSE(change->membership_changed);
+  EXPECT_EQ(change->changed_attributes,
+            (std::set<std::string>{kDosage}));
+  EXPECT_FALSE(change->empty());
+}
+
+TEST(SourceChangeTest, DetectsMembershipChanges) {
+  Table before = Fig1();
+  Table after = before;
+  ASSERT_TRUE(after.Delete({Value::Int(189)}).ok());
+  Result<SourceChange> change = AnalyzeSourceChange(before, after);
+  ASSERT_TRUE(change.ok());
+  EXPECT_TRUE(change->membership_changed);
+
+  // Insertion-only change also flags membership.
+  Table with_insert = before;
+  relational::Row extra = *before.Get({Value::Int(188)});
+  extra[0] = Value::Int(500);
+  ASSERT_TRUE(with_insert.Insert(extra).ok());
+  change = AnalyzeSourceChange(before, with_insert);
+  ASSERT_TRUE(change.ok());
+  EXPECT_TRUE(change->membership_changed);
+}
+
+TEST(SourceChangeTest, IdenticalTablesAreEmptyChange) {
+  Result<SourceChange> change = AnalyzeSourceChange(Fig1(), Fig1());
+  ASSERT_TRUE(change.ok());
+  EXPECT_TRUE(change->empty());
+}
+
+TEST(SourceChangeTest, SchemaMismatchRejected) {
+  Table other(*relational::Schema::Create(
+      {{"x", relational::DataType::kInt, false}}, {"x"}));
+  EXPECT_FALSE(AnalyzeSourceChange(Fig1(), other).ok());
+}
+
+TEST(OverlapTest, DisjointProjectionsDoNotInteract) {
+  // The paper's D31 (a0,a1,a2,a4) vs a hypothetical view reading only a5:
+  // the mechanism-of-action update (Fig. 5 step 5) must NOT force a D31
+  // refresh.
+  auto d31 = MakeProjectLens(
+      {kPatientId, kMedicationName, kClinicalData, kDosage}, {kPatientId});
+  auto d32 = MakeProjectLens({kMedicationName, kMechanismOfAction},
+                             {kMedicationName});
+
+  SourceChange mechanism_only;
+  mechanism_only.changed_attributes.insert(kMechanismOfAction);
+
+  Result<bool> d31_affected =
+      ChangeMayAffectView(*d31, Fig1().schema(), mechanism_only);
+  ASSERT_TRUE(d31_affected.ok());
+  EXPECT_FALSE(*d31_affected);
+
+  Result<bool> d32_affected =
+      ChangeMayAffectView(*d32, Fig1().schema(), mechanism_only);
+  ASSERT_TRUE(d32_affected.ok());
+  EXPECT_TRUE(*d32_affected);
+}
+
+TEST(OverlapTest, SharedAttributeForcesInteraction) {
+  // Both D31 and D32 read a1 (medication name): a change to it must reach
+  // both views.
+  auto d31 = MakeProjectLens(
+      {kPatientId, kMedicationName, kClinicalData, kDosage}, {kPatientId});
+  SourceChange med_change;
+  med_change.changed_attributes.insert(kMedicationName);
+  EXPECT_TRUE(*ChangeMayAffectView(*d31, Fig1().schema(), med_change));
+}
+
+TEST(OverlapTest, MembershipChangeAffectsEveryView) {
+  auto narrow = MakeProjectLens({kPatientId}, {kPatientId});
+  SourceChange membership;
+  membership.membership_changed = true;
+  EXPECT_TRUE(*ChangeMayAffectView(*narrow, Fig1().schema(), membership));
+}
+
+TEST(OverlapTest, EmptyChangeAffectsNothing) {
+  auto lens = MakeIdentityLens();
+  EXPECT_FALSE(*ChangeMayAffectView(*lens, Fig1().schema(), SourceChange{}));
+}
+
+TEST(OverlapTest, StaticLensInteraction) {
+  auto d31 = MakeProjectLens(
+      {kPatientId, kMedicationName, kClinicalData, kDosage}, {kPatientId});
+  auto d32 = MakeProjectLens({kMedicationName, kMechanismOfAction},
+                             {kMedicationName});
+  // Conservative static analysis: both lens Puts can change membership, so
+  // they may interact.
+  EXPECT_TRUE(*LensesMayInteract(*d31, *d32, Fig1().schema()));
+}
+
+TEST(FootprintOverlapTest, DisjointNonMembershipFootprints) {
+  SourceFootprint a;
+  a.read = {"x"};
+  a.written = {"x"};
+  SourceFootprint b;
+  b.read = {"y"};
+  b.written = {"y"};
+  EXPECT_FALSE(FootprintsMayOverlap(a, b));
+  b.read.insert("x");
+  EXPECT_TRUE(FootprintsMayOverlap(a, b));
+  SourceFootprint membership;
+  membership.affects_membership = true;
+  EXPECT_TRUE(FootprintsMayOverlap(a, membership));
+}
+
+}  // namespace
+}  // namespace medsync::bx

@@ -1,0 +1,242 @@
+#include "chain/blockchain.h"
+
+#include <gtest/gtest.h>
+
+#include "contracts/metadata_contract.h"
+
+namespace medsync::chain {
+namespace {
+
+class BlockchainTest : public ::testing::Test {
+ protected:
+  BlockchainTest()
+      : signer_(std::make_shared<crypto::KeyPair>(
+            crypto::KeyPair::FromSeed("authority"))),
+        sealer_({signer_->address()}, signer_),
+        genesis_(Blockchain::MakeGenesis(1000)),
+        chain_(genesis_, &sealer_, contracts::SharedDataConflictKey) {}
+
+  Transaction MakeTx(const std::string& seed, uint64_t nonce,
+                     const std::string& table_id = "") {
+    crypto::KeyPair key = crypto::KeyPair::FromSeed(seed);
+    Transaction tx;
+    tx.from = key.address();
+    tx.to = crypto::KeyPair::FromSeed("target").address();
+    tx.nonce = nonce;
+    tx.method = table_id.empty() ? "ack_update" : "request_update";
+    Json params = Json::MakeObject();
+    if (!table_id.empty()) params.Set("table_id", table_id);
+    tx.params = std::move(params);
+    tx.timestamp = 2000;
+    tx.Sign(key);
+    return tx;
+  }
+
+  Block MakeBlock(const Block& parent, std::vector<Transaction> txs,
+                  Micros timestamp = 0) {
+    Block block;
+    block.header.height = parent.header.height + 1;
+    block.header.parent = parent.header.Hash();
+    block.header.timestamp =
+        timestamp ? timestamp : parent.header.timestamp + 1;
+    block.transactions = std::move(txs);
+    block.header.merkle_root = block.ComputeMerkleRoot();
+    EXPECT_TRUE(sealer_.Seal(&block).ok());
+    return block;
+  }
+
+  std::shared_ptr<crypto::KeyPair> signer_;
+  PoaSealer sealer_;
+  Block genesis_;
+  Blockchain chain_;
+};
+
+TEST_F(BlockchainTest, GenesisIsHead) {
+  EXPECT_EQ(chain_.height(), 0u);
+  EXPECT_EQ(chain_.head().header.Hash(), genesis_.header.Hash());
+  EXPECT_EQ(chain_.block_count(), 1u);
+}
+
+TEST_F(BlockchainTest, AddValidBlockAdvancesHead) {
+  Block b1 = MakeBlock(genesis_, {MakeTx("alice", 1)});
+  ASSERT_TRUE(chain_.AddBlock(b1).ok());
+  EXPECT_EQ(chain_.height(), 1u);
+  EXPECT_EQ(chain_.head().header.Hash(), b1.header.Hash());
+}
+
+TEST_F(BlockchainTest, DuplicateBlockRejected) {
+  Block b1 = MakeBlock(genesis_, {});
+  ASSERT_TRUE(chain_.AddBlock(b1).ok());
+  EXPECT_TRUE(chain_.AddBlock(b1).IsAlreadyExists());
+}
+
+TEST_F(BlockchainTest, OrphanBlockReportsNotFound) {
+  Block b1 = MakeBlock(genesis_, {});
+  Block b2 = MakeBlock(b1, {});
+  EXPECT_TRUE(chain_.AddBlock(b2).IsNotFound());
+  ASSERT_TRUE(chain_.AddBlock(b1).ok());
+  EXPECT_TRUE(chain_.AddBlock(b2).ok());
+  EXPECT_EQ(chain_.height(), 2u);
+}
+
+TEST_F(BlockchainTest, WrongHeightRejected) {
+  Block bad = MakeBlock(genesis_, {});
+  bad.header.height = 5;
+  bad.header.merkle_root = bad.ComputeMerkleRoot();
+  ASSERT_TRUE(sealer_.Seal(&bad).ok());
+  EXPECT_TRUE(chain_.AddBlock(bad).IsInvalidArgument());
+}
+
+TEST_F(BlockchainTest, BadMerkleRootRejected) {
+  Block bad = MakeBlock(genesis_, {MakeTx("alice", 1)});
+  bad.transactions.push_back(MakeTx("bob", 1));  // root now stale
+  EXPECT_TRUE(chain_.AddBlock(bad).IsCorruption());
+}
+
+TEST_F(BlockchainTest, BadSealRejected) {
+  Block bad = MakeBlock(genesis_, {});
+  bad.header.seal = crypto::KeyPair::FromSeed("impostor").Sign("x");
+  Status s = chain_.AddBlock(bad);
+  EXPECT_TRUE(s.IsPermissionDenied() || s.IsCorruption()) << s;
+}
+
+TEST_F(BlockchainTest, BadTransactionSignatureRejected) {
+  Transaction tx = MakeTx("alice", 1);
+  tx.params.Set("tampered", true);  // invalidates the signature
+  Block bad = MakeBlock(genesis_, {tx});
+  EXPECT_TRUE(chain_.AddBlock(bad).IsPermissionDenied());
+}
+
+TEST_F(BlockchainTest, TimestampBeforeParentRejected) {
+  Block bad = MakeBlock(genesis_, {}, /*timestamp=*/500);  // < genesis 1000
+  EXPECT_TRUE(chain_.AddBlock(bad).IsInvalidArgument());
+}
+
+TEST_F(BlockchainTest, ConflictRuleOneUpdatePerTablePerBlock) {
+  // Two request_update transactions for the SAME shared table in one block
+  // violate the paper's Section III-B rule.
+  Block bad = MakeBlock(genesis_, {MakeTx("alice", 1, "D13&D31"),
+                                   MakeTx("bob", 1, "D13&D31")});
+  EXPECT_TRUE(chain_.AddBlock(bad).IsConflict());
+
+  // Different tables in one block are fine.
+  Block good = MakeBlock(genesis_, {MakeTx("alice", 2, "D13&D31"),
+                                    MakeTx("bob", 2, "D23&D32")});
+  EXPECT_TRUE(chain_.AddBlock(good).ok());
+
+  // Non-update transactions are exempt from the rule.
+  Block acks = MakeBlock(good, {MakeTx("alice", 3), MakeTx("bob", 3)});
+  EXPECT_TRUE(chain_.AddBlock(acks).ok());
+}
+
+TEST_F(BlockchainTest, DuplicateTransactionInBlockRejected) {
+  Transaction tx = MakeTx("alice", 1);
+  Block bad = MakeBlock(genesis_, {tx, tx});
+  EXPECT_TRUE(chain_.AddBlock(bad).IsInvalidArgument());
+}
+
+TEST_F(BlockchainTest, TransactionReplayAcrossBlocksRejected) {
+  Transaction tx = MakeTx("alice", 1);
+  Block b1 = MakeBlock(genesis_, {tx});
+  ASSERT_TRUE(chain_.AddBlock(b1).ok());
+  Block b2 = MakeBlock(b1, {tx});
+  EXPECT_TRUE(chain_.AddBlock(b2).IsAlreadyExists());
+}
+
+TEST_F(BlockchainTest, LongestChainForkChoice) {
+  Block a1 = MakeBlock(genesis_, {MakeTx("alice", 1)});
+  Block b1 = MakeBlock(genesis_, {MakeTx("bob", 1)});
+  ASSERT_TRUE(chain_.AddBlock(a1).ok());
+  ASSERT_TRUE(chain_.AddBlock(b1).ok());
+  // Tie at height 1: head is the smaller hash (deterministic).
+  std::string expected_head =
+      std::min(a1.header.Hash().ToHex(), b1.header.Hash().ToHex());
+  EXPECT_EQ(chain_.head().header.Hash().ToHex(), expected_head);
+
+  // Extend the branch that lost the tie — it must now win by height.
+  const Block& loser =
+      (expected_head == a1.header.Hash().ToHex()) ? b1 : a1;
+  Block b2 = MakeBlock(loser, {MakeTx("carol", 1)});
+  ASSERT_TRUE(chain_.AddBlock(b2).ok());
+  EXPECT_EQ(chain_.height(), 2u);
+  EXPECT_EQ(chain_.head().header.Hash(), b2.header.Hash());
+}
+
+TEST_F(BlockchainTest, CanonicalChainAndLookups) {
+  Block b1 = MakeBlock(genesis_, {MakeTx("alice", 1)});
+  Block b2 = MakeBlock(b1, {MakeTx("bob", 1)});
+  ASSERT_TRUE(chain_.AddBlock(b1).ok());
+  ASSERT_TRUE(chain_.AddBlock(b2).ok());
+
+  std::vector<const Block*> canonical = chain_.CanonicalChain();
+  ASSERT_EQ(canonical.size(), 3u);
+  EXPECT_EQ(canonical[0]->header.height, 0u);
+  EXPECT_EQ(canonical[2]->header.Hash(), b2.header.Hash());
+
+  EXPECT_EQ((*chain_.BlockByHeight(1))->header.Hash(), b1.header.Hash());
+  EXPECT_FALSE(chain_.BlockByHeight(9).ok());
+  EXPECT_TRUE(chain_.BlockByHash(b1.header.Hash()).ok());
+  EXPECT_FALSE(chain_.BlockByHash(crypto::Sha256::Hash("ghost")).ok());
+
+  const Transaction* found = nullptr;
+  uint64_t height = 0;
+  EXPECT_TRUE(
+      chain_.FindTransaction(b2.transactions[0].Id(), &found, &height));
+  EXPECT_EQ(height, 2u);
+  EXPECT_FALSE(
+      chain_.FindTransaction(crypto::Sha256::Hash("none"), nullptr, nullptr));
+}
+
+TEST_F(BlockchainTest, VerifyIntegrityPassesOnHonestChain) {
+  Block b1 = MakeBlock(genesis_, {MakeTx("alice", 1)});
+  ASSERT_TRUE(chain_.AddBlock(b1).ok());
+  EXPECT_TRUE(chain_.VerifyIntegrity().ok());
+}
+
+TEST(PowSealerTest, SealsAndValidates) {
+  PowSealer sealer(/*difficulty_bits=*/8);
+  Block genesis = Blockchain::MakeGenesis(0);
+  Blockchain chain(genesis, &sealer);
+
+  Block block;
+  block.header.height = 1;
+  block.header.parent = genesis.header.Hash();
+  block.header.timestamp = 1;
+  block.header.merkle_root = block.ComputeMerkleRoot();
+  ASSERT_TRUE(sealer.Seal(&block).ok());
+  EXPECT_TRUE(MeetsDifficulty(block.header.Hash(), 8));
+  EXPECT_TRUE(sealer.ValidateSeal(block.header).ok());
+  EXPECT_TRUE(chain.AddBlock(block).ok());
+
+  // A claimed-but-unmet difficulty fails.
+  block.header.pow_nonce += 1;
+  Status s = sealer.ValidateSeal(block.header);
+  EXPECT_TRUE(s.IsCorruption()) << s;
+
+  // Difficulty below the network minimum fails.
+  BlockHeader weak = block.header;
+  weak.difficulty = 4;
+  EXPECT_TRUE(sealer.ValidateSeal(weak).IsInvalidArgument());
+}
+
+TEST(PoaSealerTest, RoundRobinTurns) {
+  auto k0 = std::make_shared<crypto::KeyPair>(crypto::KeyPair::FromSeed("a0"));
+  auto k1 = std::make_shared<crypto::KeyPair>(crypto::KeyPair::FromSeed("a1"));
+  std::vector<crypto::Address> authorities{k0->address(), k1->address()};
+  PoaSealer sealer0(authorities, k0);
+  PoaSealer sealer1(authorities, k1);
+
+  Block block;
+  block.header.height = 1;  // 1 % 2 == authority index 1
+  block.header.merkle_root = block.ComputeMerkleRoot();
+  EXPECT_TRUE(sealer0.Seal(&block).IsPermissionDenied());
+  EXPECT_TRUE(sealer1.Seal(&block).ok());
+  EXPECT_TRUE(sealer0.ValidateSeal(block.header).ok());  // anyone validates
+
+  PoaSealer observer(authorities, nullptr);
+  EXPECT_TRUE(observer.ValidateSeal(block.header).ok());
+  EXPECT_TRUE(observer.Seal(&block).IsFailedPrecondition());
+}
+
+}  // namespace
+}  // namespace medsync::chain

@@ -1,0 +1,118 @@
+#include "chain/mempool.h"
+
+#include <gtest/gtest.h>
+
+#include "contracts/metadata_contract.h"
+
+namespace medsync::chain {
+namespace {
+
+Transaction MakeTx(const std::string& seed, uint64_t nonce,
+                   const std::string& table_id = "") {
+  crypto::KeyPair key = crypto::KeyPair::FromSeed(seed);
+  Transaction tx;
+  tx.from = key.address();
+  tx.to = crypto::KeyPair::FromSeed("target").address();
+  tx.nonce = nonce;
+  tx.method = table_id.empty() ? "ping" : "request_update";
+  Json params = Json::MakeObject();
+  if (!table_id.empty()) params.Set("table_id", table_id);
+  tx.params = std::move(params);
+  tx.timestamp = 0;
+  tx.Sign(key);
+  return tx;
+}
+
+TEST(MempoolTest, AddAndContains) {
+  Mempool pool;
+  Transaction tx = MakeTx("alice", 1);
+  ASSERT_TRUE(pool.Add(tx).ok());
+  EXPECT_TRUE(pool.Contains(tx.Id()));
+  EXPECT_EQ(pool.size(), 1u);
+  EXPECT_TRUE(pool.Add(tx).IsAlreadyExists());
+}
+
+TEST(MempoolTest, RejectsBadSignature) {
+  Mempool pool;
+  Transaction tx = MakeTx("alice", 1);
+  tx.params.Set("tamper", 1);
+  EXPECT_TRUE(pool.Add(tx).IsPermissionDenied());
+  EXPECT_TRUE(pool.empty());
+}
+
+TEST(MempoolTest, CapacityBound) {
+  Mempool pool(nullptr, /*capacity=*/2);
+  ASSERT_TRUE(pool.Add(MakeTx("a", 1)).ok());
+  ASSERT_TRUE(pool.Add(MakeTx("a", 2)).ok());
+  EXPECT_TRUE(pool.Add(MakeTx("a", 3)).IsResourceExhausted());
+}
+
+TEST(MempoolTest, CandidatePreservesArrivalOrder) {
+  Mempool pool;
+  ASSERT_TRUE(pool.Add(MakeTx("alice", 1)).ok());
+  ASSERT_TRUE(pool.Add(MakeTx("bob", 1)).ok());
+  ASSERT_TRUE(pool.Add(MakeTx("carol", 1)).ok());
+  std::vector<Transaction> batch = pool.BuildBlockCandidate(10);
+  ASSERT_EQ(batch.size(), 3u);
+  EXPECT_EQ(batch[0].from, crypto::KeyPair::FromSeed("alice").address());
+  EXPECT_EQ(batch[2].from, crypto::KeyPair::FromSeed("carol").address());
+}
+
+TEST(MempoolTest, CandidateRestoresPerSenderNonceOrder) {
+  Mempool pool;
+  // Jittered gossip: nonce 2 arrives before nonce 1.
+  ASSERT_TRUE(pool.Add(MakeTx("alice", 2)).ok());
+  ASSERT_TRUE(pool.Add(MakeTx("alice", 1)).ok());
+  std::vector<Transaction> batch = pool.BuildBlockCandidate(10);
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].nonce, 1u);
+  EXPECT_EQ(batch[1].nonce, 2u);
+}
+
+TEST(MempoolTest, MaxCountLimitsBatch) {
+  Mempool pool;
+  for (uint64_t i = 1; i <= 10; ++i) {
+    ASSERT_TRUE(pool.Add(MakeTx("alice", i)).ok());
+  }
+  EXPECT_EQ(pool.BuildBlockCandidate(3).size(), 3u);
+  EXPECT_EQ(pool.size(), 10u);  // selection does not remove
+}
+
+TEST(MempoolTest, ConflictingUpdatesDeferredNotDropped) {
+  Mempool pool(contracts::SharedDataConflictKey);
+  Transaction first = MakeTx("alice", 1, "D13&D31");
+  Transaction second = MakeTx("bob", 1, "D13&D31");   // same table!
+  Transaction other = MakeTx("carol", 1, "D23&D32");  // different table
+  ASSERT_TRUE(pool.Add(first).ok());
+  ASSERT_TRUE(pool.Add(second).ok());
+  ASSERT_TRUE(pool.Add(other).ok());
+
+  std::vector<Transaction> batch = pool.BuildBlockCandidate(10);
+  ASSERT_EQ(batch.size(), 2u);  // second stays pooled for the next block
+  EXPECT_EQ(batch[0].Id(), first.Id());
+  EXPECT_EQ(batch[1].Id(), other.Id());
+
+  // After the first block's transactions confirm, the deferred one flows.
+  pool.RemoveIncluded({first.Id().ToHex(), other.Id().ToHex()});
+  std::vector<Transaction> next = pool.BuildBlockCandidate(10);
+  ASSERT_EQ(next.size(), 1u);
+  EXPECT_EQ(next[0].Id(), second.Id());
+}
+
+TEST(MempoolTest, RemoveIncludedAndRemove) {
+  Mempool pool;
+  Transaction a = MakeTx("alice", 1);
+  Transaction b = MakeTx("bob", 1);
+  ASSERT_TRUE(pool.Add(a).ok());
+  ASSERT_TRUE(pool.Add(b).ok());
+  pool.RemoveIncluded({a.Id().ToHex()});
+  EXPECT_FALSE(pool.Contains(a.Id()));
+  EXPECT_TRUE(pool.Contains(b.Id()));
+  pool.Remove(b.Id());
+  EXPECT_TRUE(pool.empty());
+  // A removed transaction can be re-added (e.g. after a reorg).
+  EXPECT_TRUE(pool.Add(a).ok());
+}
+
+}  // namespace
+}  // namespace medsync::chain

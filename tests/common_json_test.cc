@@ -1,0 +1,153 @@
+#include "common/json.h"
+
+#include <gtest/gtest.h>
+
+namespace medsync {
+namespace {
+
+TEST(JsonTest, DefaultIsNull) {
+  Json j;
+  EXPECT_TRUE(j.is_null());
+  EXPECT_EQ(j.Dump(), "null");
+}
+
+TEST(JsonTest, ScalarConstructionAndDump) {
+  EXPECT_EQ(Json(true).Dump(), "true");
+  EXPECT_EQ(Json(false).Dump(), "false");
+  EXPECT_EQ(Json(42).Dump(), "42");
+  EXPECT_EQ(Json(int64_t{-7}).Dump(), "-7");
+  EXPECT_EQ(Json("hi").Dump(), "\"hi\"");
+  EXPECT_EQ(Json(1.5).Dump(), "1.5");
+}
+
+TEST(JsonTest, ObjectKeysAreSortedCanonically) {
+  Json j = Json::MakeObject();
+  j.Set("zebra", 1);
+  j.Set("alpha", 2);
+  j.Set("mid", 3);
+  EXPECT_EQ(j.Dump(), "{\"alpha\":2,\"mid\":3,\"zebra\":1}");
+}
+
+TEST(JsonTest, CanonicalDumpIsStableAcrossInsertionOrder) {
+  Json a = Json::MakeObject();
+  a.Set("x", 1);
+  a.Set("y", Json::Array{Json(1), Json("two")});
+  Json b = Json::MakeObject();
+  b.Set("y", Json::Array{Json(1), Json("two")});
+  b.Set("x", 1);
+  EXPECT_EQ(a.Dump(), b.Dump());
+  EXPECT_EQ(a, b);
+}
+
+TEST(JsonTest, StringEscaping) {
+  Json j(std::string("a\"b\\c\nd\te"));
+  EXPECT_EQ(j.Dump(), "\"a\\\"b\\\\c\\nd\\te\"");
+  auto parsed = Json::Parse(j.Dump());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->AsString(), "a\"b\\c\nd\te");
+}
+
+TEST(JsonTest, ParseBasicDocument) {
+  auto parsed = Json::Parse(
+      R"({"name":"doctor","age":52,"tags":["a","b"],"ok":true,"x":null})");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->At("name").AsString(), "doctor");
+  EXPECT_EQ(parsed->At("age").AsInt(), 52);
+  EXPECT_EQ(parsed->At("tags").size(), 2u);
+  EXPECT_TRUE(parsed->At("ok").AsBool());
+  EXPECT_TRUE(parsed->At("x").is_null());
+  EXPECT_TRUE(parsed->At("missing").is_null());
+}
+
+TEST(JsonTest, ParseNumbers) {
+  EXPECT_EQ(Json::Parse("0")->AsInt(), 0);
+  EXPECT_EQ(Json::Parse("-123")->AsInt(), -123);
+  EXPECT_DOUBLE_EQ(Json::Parse("1.25")->AsDouble(), 1.25);
+  EXPECT_DOUBLE_EQ(Json::Parse("-2e3")->AsDouble(), -2000.0);
+  EXPECT_EQ(Json::Parse("9223372036854775807")->AsInt(), INT64_MAX);
+}
+
+TEST(JsonTest, ParseWhitespaceTolerant) {
+  auto parsed = Json::Parse("  {  \"a\" :\n[ 1 , 2 ]\t}  ");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->At("a").size(), 2u);
+}
+
+TEST(JsonTest, ParseRejectsMalformedInput) {
+  EXPECT_FALSE(Json::Parse("").ok());
+  EXPECT_FALSE(Json::Parse("{").ok());
+  EXPECT_FALSE(Json::Parse("[1,]").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\":}").ok());
+  EXPECT_FALSE(Json::Parse("{\"a\" 1}").ok());
+  EXPECT_FALSE(Json::Parse("tru").ok());
+  EXPECT_FALSE(Json::Parse("\"unterminated").ok());
+  EXPECT_FALSE(Json::Parse("1 2").ok());  // trailing content
+  EXPECT_FALSE(Json::Parse("{'a':1}").ok());
+  EXPECT_FALSE(Json::Parse("-").ok());
+}
+
+TEST(JsonTest, ParseRejectsExcessiveNesting) {
+  std::string deep(300, '[');
+  deep += std::string(300, ']');
+  EXPECT_FALSE(Json::Parse(deep).ok());
+}
+
+TEST(JsonTest, UnicodeEscapeDecodesToUtf8) {
+  auto parsed = Json::Parse("\"\\u00e9\\u0041\"");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->AsString(), "\xc3\xa9"
+                                "A");
+}
+
+TEST(JsonTest, RoundTripComplexDocument) {
+  Json doc = Json::MakeObject();
+  doc.Set("list", Json::Array{Json(1), Json(2.5), Json("three"),
+                              Json(nullptr), Json(true)});
+  Json nested = Json::MakeObject();
+  nested.Set("inner", Json::Array{});
+  doc.Set("nested", std::move(nested));
+  auto reparsed = Json::Parse(doc.Dump());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(*reparsed, doc);
+  // Pretty form parses back to the same value too.
+  auto repretty = Json::Parse(doc.DumpPretty());
+  ASSERT_TRUE(repretty.ok());
+  EXPECT_EQ(*repretty, doc);
+}
+
+TEST(JsonTest, TypedGettersReportMissingFields) {
+  Json j = Json::MakeObject();
+  j.Set("n", 5);
+  j.Set("s", "text");
+  j.Set("b", true);
+  EXPECT_EQ(*j.GetInt("n"), 5);
+  EXPECT_EQ(*j.GetString("s"), "text");
+  EXPECT_TRUE(*j.GetBool("b"));
+  EXPECT_DOUBLE_EQ(*j.GetDouble("n"), 5.0);  // int promotes
+  EXPECT_FALSE(j.GetInt("s").ok());
+  EXPECT_FALSE(j.GetString("missing").ok());
+  EXPECT_FALSE(j.GetBool("n").ok());
+}
+
+TEST(JsonTest, AppendBuildsArraysFromNull) {
+  Json j;
+  j.Append(1).Append("two");
+  EXPECT_TRUE(j.is_array());
+  EXPECT_EQ(j.size(), 2u);
+}
+
+TEST(JsonTest, SetBuildsObjectsFromNull) {
+  Json j;
+  j.Set("k", "v");
+  EXPECT_TRUE(j.is_object());
+  EXPECT_TRUE(j.Has("k"));
+  EXPECT_FALSE(j.Has("other"));
+}
+
+TEST(JsonTest, NumericEqualityAcrossIntAndDouble) {
+  EXPECT_EQ(Json(2), Json(2.0));
+  EXPECT_NE(Json(2), Json(2.5));
+}
+
+}  // namespace
+}  // namespace medsync

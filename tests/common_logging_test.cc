@@ -1,0 +1,74 @@
+#include "common/logging.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace medsync {
+namespace {
+
+struct CapturedLine {
+  LogLevel level;
+  std::string component;
+  std::string message;
+};
+
+class LoggingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Logging::set_sink([this](LogLevel level, std::string_view component,
+                             std::string_view message) {
+      lines_.push_back(CapturedLine{level, std::string(component),
+                                    std::string(message)});
+    });
+    Logging::set_threshold(LogLevel::kInfo);
+  }
+  void TearDown() override {
+    Logging::set_sink(nullptr);
+    Logging::set_threshold(LogLevel::kWarning);
+  }
+  std::vector<CapturedLine> lines_;
+};
+
+TEST_F(LoggingTest, MessagesAboveThresholdReachSink) {
+  MEDSYNC_LOG(kInfo, "chain") << "sealed block " << 7;
+  MEDSYNC_LOG(kError, "peer") << "bad";
+  ASSERT_EQ(lines_.size(), 2u);
+  EXPECT_EQ(lines_[0].component, "chain");
+  EXPECT_EQ(lines_[0].message, "sealed block 7");
+  EXPECT_EQ(lines_[0].level, LogLevel::kInfo);
+  EXPECT_EQ(lines_[1].level, LogLevel::kError);
+}
+
+TEST_F(LoggingTest, MessagesBelowThresholdAreDroppedWithoutFormatting) {
+  int evaluations = 0;
+  auto expensive = [&]() {
+    ++evaluations;
+    return 42;
+  };
+  MEDSYNC_LOG(kDebug, "x") << expensive();  // below kInfo: not even built
+  EXPECT_TRUE(lines_.empty());
+  EXPECT_EQ(evaluations, 0);
+
+  Logging::set_threshold(LogLevel::kDebug);
+  MEDSYNC_LOG(kDebug, "x") << expensive();
+  EXPECT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(evaluations, 1);
+}
+
+TEST_F(LoggingTest, OffThresholdSilencesEverything) {
+  Logging::set_threshold(LogLevel::kOff);
+  MEDSYNC_LOG(kError, "x") << "nope";
+  EXPECT_TRUE(lines_.empty());
+}
+
+TEST_F(LoggingTest, LevelNames) {
+  EXPECT_EQ(LogLevelName(LogLevel::kTrace), "TRACE");
+  EXPECT_EQ(LogLevelName(LogLevel::kDebug), "DEBUG");
+  EXPECT_EQ(LogLevelName(LogLevel::kInfo), "INFO");
+  EXPECT_EQ(LogLevelName(LogLevel::kWarning), "WARN");
+  EXPECT_EQ(LogLevelName(LogLevel::kError), "ERROR");
+}
+
+}  // namespace
+}  // namespace medsync

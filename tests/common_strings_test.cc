@@ -1,0 +1,74 @@
+#include "common/strings.h"
+
+#include <gtest/gtest.h>
+
+namespace medsync {
+namespace {
+
+TEST(SplitTest, BasicSplitting) {
+  EXPECT_EQ(Split("a,b,c", ','), (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ(Split("a,,b", ','), (std::vector<std::string>{"a", "", "b"}));
+  EXPECT_EQ(Split("", ','), (std::vector<std::string>{""}));
+  EXPECT_EQ(Split("abc", ','), (std::vector<std::string>{"abc"}));
+  EXPECT_EQ(Split(",", ','), (std::vector<std::string>{"", ""}));
+}
+
+TEST(JoinTest, JoinInvertsSplit) {
+  std::vector<std::string> pieces{"x", "y", "z"};
+  EXPECT_EQ(Join(pieces, ","), "x,y,z");
+  EXPECT_EQ(Join({}, ","), "");
+  EXPECT_EQ(Join({"solo"}, ", "), "solo");
+}
+
+TEST(StripWhitespaceTest, StripsBothEnds) {
+  EXPECT_EQ(StripWhitespace("  hi  "), "hi");
+  EXPECT_EQ(StripWhitespace("\t\nx\r "), "x");
+  EXPECT_EQ(StripWhitespace(""), "");
+  EXPECT_EQ(StripWhitespace("   "), "");
+  EXPECT_EQ(StripWhitespace("a b"), "a b");
+}
+
+TEST(StartsEndsWithTest, Basics) {
+  EXPECT_TRUE(StartsWith("medsync", "med"));
+  EXPECT_FALSE(StartsWith("med", "medsync"));
+  EXPECT_TRUE(EndsWith("table.json", ".json"));
+  EXPECT_FALSE(EndsWith("json", "table.json"));
+  EXPECT_TRUE(StartsWith("x", ""));
+  EXPECT_TRUE(EndsWith("x", ""));
+}
+
+TEST(ToLowerAsciiTest, LowersOnlyAscii) {
+  EXPECT_EQ(ToLowerAscii("AbC123"), "abc123");
+}
+
+TEST(HexTest, EncodeKnownBytes) {
+  std::vector<uint8_t> bytes{0x00, 0x0f, 0xff, 0xa5};
+  EXPECT_EQ(HexEncode(bytes), "000fffa5");
+}
+
+TEST(HexTest, DecodeRoundTrip) {
+  std::vector<uint8_t> bytes;
+  for (int i = 0; i < 256; ++i) bytes.push_back(static_cast<uint8_t>(i));
+  std::string hex = HexEncode(bytes);
+  std::vector<uint8_t> decoded;
+  ASSERT_TRUE(HexDecode(hex, &decoded));
+  EXPECT_EQ(decoded, bytes);
+}
+
+TEST(HexTest, DecodeAcceptsUppercase) {
+  std::vector<uint8_t> decoded;
+  ASSERT_TRUE(HexDecode("DEADBEEF", &decoded));
+  EXPECT_EQ(decoded, (std::vector<uint8_t>{0xde, 0xad, 0xbe, 0xef}));
+}
+
+TEST(HexTest, DecodeRejectsMalformedInput) {
+  std::vector<uint8_t> out;
+  EXPECT_FALSE(HexDecode("abc", &out));   // odd length
+  EXPECT_FALSE(HexDecode("zz", &out));    // non-hex
+  EXPECT_FALSE(HexDecode("0g", &out));
+  EXPECT_TRUE(HexDecode("", &out));       // empty is valid
+  EXPECT_TRUE(out.empty());
+}
+
+}  // namespace
+}  // namespace medsync

@@ -1,0 +1,97 @@
+// Light-client transaction inclusion proofs for the audit story: an
+// auditor holding only block headers can verify that a specific
+// request_update really is committed on-chain.
+
+#include "core/audit.h"
+
+#include <gtest/gtest.h>
+
+#include "core/scenario.h"
+#include "medical/records.h"
+
+namespace medsync::core {
+namespace {
+
+using relational::Value;
+
+constexpr char kPD[] = "D13&D31";
+
+TEST(InclusionProofTest, ProvesAndVerifiesCommittedUpdate) {
+  ScenarioOptions options;
+  auto scenario = ClinicScenario::Create(options);
+  ASSERT_TRUE(scenario.ok()) << scenario.status();
+  ClinicScenario& clinic = **scenario;
+
+  ASSERT_TRUE(clinic.doctor()
+                  .UpdateSharedAttribute(kPD, {Value::Int(188)},
+                                         medical::kDosage,
+                                         Value::String("provable"))
+                  .ok());
+  ASSERT_TRUE(clinic.SettleAll().ok());
+
+  // Find the request_update transaction in the audit trail and prove it.
+  std::vector<AuditRecord> trail = BuildAuditTrail(
+      clinic.node(0).blockchain(), clinic.node(0).host(), kPD);
+  const AuditRecord* update = nullptr;
+  for (const AuditRecord& record : trail) {
+    if (record.method == "request_update") update = &record;
+  }
+  ASSERT_NE(update, nullptr);
+
+  Result<InclusionProof> proof = ProveTransactionInclusion(
+      clinic.node(0).blockchain(), update->tx_id);
+  ASSERT_TRUE(proof.ok()) << proof.status();
+  EXPECT_EQ(proof->header.height, update->block_height);
+  EXPECT_TRUE(VerifyTransactionInclusion(*proof));
+
+  // The proof is self-contained: verify against a DIFFERENT node's copy of
+  // the header (header equality implies the same committed root).
+  Result<const chain::Block*> same_block =
+      clinic.node(1).blockchain().BlockByHeight(proof->header.height);
+  ASSERT_TRUE(same_block.ok());
+  EXPECT_EQ((*same_block)->header.Hash(), proof->header.Hash());
+}
+
+TEST(InclusionProofTest, TamperedProofFails) {
+  ScenarioOptions options;
+  auto scenario = ClinicScenario::Create(options);
+  ASSERT_TRUE(scenario.ok());
+  ClinicScenario& clinic = **scenario;
+  ASSERT_TRUE(clinic.doctor()
+                  .UpdateSharedAttribute(kPD, {Value::Int(188)},
+                                         medical::kDosage,
+                                         Value::String("x"))
+                  .ok());
+  ASSERT_TRUE(clinic.SettleAll().ok());
+  std::vector<AuditRecord> trail = BuildAuditTrail(
+      clinic.node(0).blockchain(), clinic.node(0).host(), kPD);
+  ASSERT_FALSE(trail.empty());
+  Result<InclusionProof> proof = ProveTransactionInclusion(
+      clinic.node(0).blockchain(), trail.back().tx_id);
+  ASSERT_TRUE(proof.ok());
+
+  // Claiming a different transaction id under the same proof fails.
+  InclusionProof forged = *proof;
+  forged.tx_id = crypto::Sha256::Hash("some other tx").ToHex();
+  EXPECT_FALSE(VerifyTransactionInclusion(forged));
+
+  // A proof against a tampered header (different merkle root) fails.
+  InclusionProof wrong_header = *proof;
+  wrong_header.header.merkle_root = crypto::Sha256::Hash("evil root");
+  EXPECT_FALSE(VerifyTransactionInclusion(wrong_header));
+
+  // Malformed tx id fails closed.
+  InclusionProof bad_id = *proof;
+  bad_id.tx_id = "not-hex";
+  EXPECT_FALSE(VerifyTransactionInclusion(bad_id));
+
+  // Unknown transactions cannot be proved at all.
+  EXPECT_TRUE(ProveTransactionInclusion(
+                  clinic.node(0).blockchain(),
+                  crypto::Sha256::Hash("ghost").ToHex())
+                  .status()
+                  .IsNotFound());
+}
+
+}  // namespace
+}  // namespace medsync::core

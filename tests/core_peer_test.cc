@@ -1,0 +1,399 @@
+// End-to-end integration tests of the sharing protocol over the full stack
+// (peers + BX + metadata contract + PoA chain + simulated network), built
+// on the canonical Fig. 1 deployment.
+
+#include "core/peer.h"
+
+#include <gtest/gtest.h>
+
+#include "core/audit.h"
+#include "contracts/metadata_contract.h"
+#include "core/scenario.h"
+#include "medical/records.h"
+
+namespace medsync::core {
+namespace {
+
+using medical::kClinicalData;
+using medical::kDosage;
+using medical::kMechanismOfAction;
+using medical::kMedicationName;
+using relational::Table;
+using relational::Value;
+
+constexpr char kPD[] = "D13&D31";  // patient <-> doctor
+constexpr char kDR[] = "D23&D32";  // doctor <-> researcher
+
+class PeerScenarioTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    ScenarioOptions options;
+    options.block_interval = 1 * kMicrosPerSecond;
+    Result<std::unique_ptr<ClinicScenario>> scenario =
+        ClinicScenario::Create(options);
+    ASSERT_TRUE(scenario.ok()) << scenario.status();
+    clinic_ = std::move(*scenario);
+  }
+
+  void Settle() {
+    Status settled = clinic_->SettleAll();
+    ASSERT_TRUE(settled.ok()) << settled;
+  }
+
+  std::unique_ptr<ClinicScenario> clinic_;
+};
+
+TEST_F(PeerScenarioTest, SetupMatchesFig1Distribution) {
+  // Shared views agree across both holders.
+  EXPECT_EQ(*clinic_->patient().ReadSharedTable(kPD),
+            *clinic_->doctor().ReadSharedTable(kPD));
+  EXPECT_EQ(*clinic_->doctor().ReadSharedTable(kDR),
+            *clinic_->researcher().ReadSharedTable(kDR));
+
+  // Both shared tables are registered on-chain with version 1 and matching
+  // digests.
+  Json entry = *clinic_->Entry(kPD);
+  EXPECT_EQ(*entry.GetInt("version"), 1);
+  EXPECT_EQ(*entry.GetString("content_digest"),
+            clinic_->patient().ReadSharedTable(kPD)->ContentDigest());
+  EXPECT_EQ(entry.At("pending_acks").size(), 0u);
+
+  // Peers' sources contain only their Fig. 1 attribute subsets.
+  EXPECT_EQ(clinic_->patient().database().Snapshot("D1")->schema()
+                .attribute_count(),
+            5u);
+  EXPECT_EQ(clinic_->researcher().database().Snapshot("D2")->schema()
+                .attribute_count(),
+            3u);
+  EXPECT_EQ(clinic_->doctor().database().Snapshot("D3")->schema()
+                .attribute_count(),
+            5u);
+}
+
+TEST_F(PeerScenarioTest, DoctorUpdatePropagatesToPatient) {
+  ASSERT_TRUE(clinic_->doctor()
+                  .UpdateSharedAttribute(kPD, {Value::Int(188)}, kDosage,
+                                         Value::String("two tablets"))
+                  .ok());
+  Settle();
+
+  // Both copies of the shared table and the patient's source updated.
+  EXPECT_EQ(clinic_->patient()
+                .ReadSharedTable(kPD)
+                ->Get({Value::Int(188)})
+                ->at(3)
+                .AsString(),
+            "two tablets");
+  EXPECT_EQ(clinic_->patient()
+                .database()
+                .Snapshot("D1")
+                ->Get({Value::Int(188)})
+                ->at(4)
+                .AsString(),
+            "two tablets");
+  // The patient's address column survived the BX put untouched.
+  EXPECT_EQ(clinic_->patient()
+                .database()
+                .Snapshot("D1")
+                ->Get({Value::Int(188)})
+                ->at(3)
+                .AsString(),
+            "Sapporo");
+
+  // On-chain metadata advanced and is fully acked.
+  Json entry = *clinic_->Entry(kPD);
+  EXPECT_EQ(*entry.GetInt("version"), 2);
+  EXPECT_EQ(entry.At("pending_acks").size(), 0u);
+  EXPECT_EQ(clinic_->patient().GetSyncState(kPD)->version, 2u);
+  EXPECT_EQ(clinic_->doctor().GetSyncState(kPD)->version, 2u);
+
+  EXPECT_EQ(clinic_->doctor().stats().updates_committed, 1u);
+  EXPECT_EQ(clinic_->patient().stats().fetches_applied, 1u);
+  EXPECT_EQ(clinic_->patient().stats().acks_sent, 1u);
+}
+
+TEST_F(PeerScenarioTest, PatientMayUpdateClinicalDataOnly) {
+  // Permitted by Fig. 3: clinical data writable by patient.
+  ASSERT_TRUE(clinic_->patient()
+                  .UpdateSharedAttribute(kPD, {Value::Int(188)},
+                                         kClinicalData,
+                                         Value::String("self-reported"))
+                  .ok());
+  Settle();
+  EXPECT_EQ(clinic_->doctor()
+                .database()
+                .Snapshot("D3")
+                ->Get({Value::Int(188)})
+                ->at(2)
+                .AsString(),
+            "self-reported");
+
+  // NOT permitted: dosage. The contract denies; nothing changes anywhere.
+  Table doctor_view_before = *clinic_->doctor().ReadSharedTable(kPD);
+  ASSERT_TRUE(clinic_->patient()
+                  .UpdateSharedAttribute(kPD, {Value::Int(188)}, kDosage,
+                                         Value::String("patient hacks"))
+                  .ok());  // local staging succeeds; the contract decides
+  Settle();
+  EXPECT_EQ(clinic_->patient().stats().updates_denied, 1u);
+  EXPECT_EQ(*clinic_->doctor().ReadSharedTable(kPD), doctor_view_before);
+  EXPECT_EQ(clinic_->patient()
+                .ReadSharedTable(kPD)
+                ->Get({Value::Int(188)})
+                ->at(3)
+                .AsString(),
+            "one tablet every 4h");  // staged edit discarded
+  Json entry = *clinic_->Entry(kPD);
+  EXPECT_EQ(*entry.GetInt("version"), 2);  // only the clinical-data update
+}
+
+TEST_F(PeerScenarioTest, PermissionGrantEnablesPreviouslyDeniedUpdate) {
+  // The paper's Section III-C example: Doctor changes the dosage
+  // permission from "Doctor" to "Doctor, Patient".
+  ASSERT_TRUE(clinic_->doctor()
+                  .SubmitChangePermission(kPD, kDosage,
+                                          clinic_->patient().address(),
+                                          /*grant=*/true)
+                  .ok());
+  Settle();
+
+  ASSERT_TRUE(clinic_->patient()
+                  .UpdateSharedAttribute(kPD, {Value::Int(188)}, kDosage,
+                                         Value::String("patient-adjusted"))
+                  .ok());
+  Settle();
+  EXPECT_EQ(clinic_->patient().stats().updates_denied, 0u);
+  EXPECT_EQ(clinic_->doctor()
+                .database()
+                .Snapshot("D3")
+                ->Get({Value::Int(188)})
+                ->at(4)
+                .AsString(),
+            "patient-adjusted");
+}
+
+TEST_F(PeerScenarioTest, NonAuthorityCannotChangePermissions) {
+  ASSERT_TRUE(clinic_->patient()
+                  .SubmitChangePermission(kPD, kDosage,
+                                          clinic_->patient().address(), true)
+                  .ok());
+  Settle();
+  // The transaction executed but failed; dosage stays doctor-only.
+  Json entry = *clinic_->Entry(kPD);
+  EXPECT_EQ(entry.At("write_permission").At(kDosage).size(), 1u);
+}
+
+TEST_F(PeerScenarioTest, ResearcherMechanismUpdateDoesNotDisturbPatient) {
+  // The literal Fig. 5 storyline, first half: the researcher updates MeA1
+  // in their own source D2 and propagates; the doctor merges it into D3;
+  // the dependency check finds D31 unaffected, so the patient sees NO
+  // traffic for D13&D31 (steps 6-11 skipped).
+  ASSERT_TRUE(clinic_->researcher()
+                  .UpdateSourceAndPropagate(
+                      "D2",
+                      [](relational::Database* db) {
+                        return db->UpdateAttribute(
+                            "D2", {Value::String("Ibuprofen")},
+                            kMechanismOfAction,
+                            Value::String("MeA1-revised"));
+                      })
+                  .ok());
+  Settle();
+
+  // Doctor's D3 picked up the new mechanism for Ibuprofen.
+  EXPECT_EQ(clinic_->doctor()
+                .database()
+                .Snapshot("D3")
+                ->Get({Value::Int(188)})
+                ->at(3)
+                .AsString(),
+            "MeA1-revised");
+  // The patient<->doctor table never moved past version 1.
+  EXPECT_EQ(*clinic_->Entry(kPD)->GetInt("version"), 1);
+  EXPECT_EQ(clinic_->patient().stats().fetches_applied, 0u);
+  // And the dependency check on the doctor ran without proposing anything.
+  EXPECT_EQ(clinic_->doctor().stats().cascades_proposed, 0u);
+}
+
+TEST_F(PeerScenarioTest, MedicationRenameCascadesToBothNeighbours) {
+  // A doctor-initiated medication rename touches a1, which BOTH views
+  // share: the full multi-hop propagation of Fig. 5 in one shot.
+  ASSERT_TRUE(clinic_->doctor()
+                  .UpdateSharedAttribute(kPD, {Value::Int(188)},
+                                         kMedicationName,
+                                         Value::String("Naproxen"))
+                  .ok());
+  Settle();
+
+  // Patient: D13 and D1 renamed.
+  EXPECT_EQ(clinic_->patient()
+                .database()
+                .Snapshot("D1")
+                ->Get({Value::Int(188)})
+                ->at(1)
+                .AsString(),
+            "Naproxen");
+  // Researcher: D23 and D2 now carry Naproxen instead of Ibuprofen (a
+  // membership change in the a1-keyed table).
+  Table d2 = *clinic_->researcher().database().Snapshot("D2");
+  EXPECT_TRUE(d2.Contains({Value::String("Naproxen")}));
+  EXPECT_FALSE(d2.Contains({Value::String("Ibuprofen")}));
+  // The researcher's a6 (mode of action) for the new row is NULL — the
+  // lens cannot invent it (documented untranslatable-complement default).
+  EXPECT_TRUE(d2.Get({Value::String("Naproxen")})->at(2).is_null());
+
+  // Both shared tables advanced.
+  EXPECT_EQ(*clinic_->Entry(kPD)->GetInt("version"), 2);
+  EXPECT_EQ(*clinic_->Entry(kDR)->GetInt("version"), 2);
+  EXPECT_GE(clinic_->doctor().stats().cascades_proposed, 1u);
+}
+
+TEST_F(PeerScenarioTest, RowInsertAndDeletePropagate) {
+  // Entry-level Create (Fig. 4): the doctor adds patient 300 to the shared
+  // table.
+  ASSERT_TRUE(clinic_->doctor()
+                  .InsertSharedRow(
+                      kPD, {Value::Int(300), Value::String("Metformin"),
+                            Value::String("CliD3"),
+                            Value::String("500 mg twice daily")})
+                  .ok());
+  Settle();
+  Table d1 = *clinic_->patient().database().Snapshot("D1");
+  ASSERT_TRUE(d1.Contains({Value::Int(300)}));
+  // Hidden patient-only attribute (address) defaults to NULL.
+  EXPECT_TRUE(d1.Get({Value::Int(300)})->at(3).is_null());
+
+  // Entry-level Delete.
+  ASSERT_TRUE(clinic_->doctor().DeleteSharedRow(kPD, {Value::Int(300)}).ok());
+  Settle();
+  EXPECT_FALSE(clinic_->patient().database().Snapshot("D1")->Contains(
+      {Value::Int(300)}));
+  EXPECT_EQ(*clinic_->Entry(kPD)->GetInt("version"), 3);
+
+  // The patient lacks membership permission: a delete is denied.
+  ASSERT_TRUE(
+      clinic_->patient().DeleteSharedRow(kPD, {Value::Int(188)}).ok());
+  Settle();
+  EXPECT_EQ(clinic_->patient().stats().updates_denied, 1u);
+  EXPECT_TRUE(clinic_->doctor().database().Snapshot("D3")->Contains(
+      {Value::Int(188)}));
+}
+
+TEST_F(PeerScenarioTest, ConcurrentUpdateSerializedByInFlightGuard) {
+  ASSERT_TRUE(clinic_->doctor()
+                  .UpdateSharedAttribute(kPD, {Value::Int(188)}, kDosage,
+                                         Value::String("first"))
+                  .ok());
+  // A second update to the SAME table before the first lands is refused
+  // locally (one in-flight update per shared table).
+  EXPECT_TRUE(clinic_->doctor()
+                  .UpdateSharedAttribute(kPD, {Value::Int(189)}, kDosage,
+                                         Value::String("second"))
+                  .IsFailedPrecondition());
+  Settle();
+  // After settling, the second can go.
+  ASSERT_TRUE(clinic_->doctor()
+                  .UpdateSharedAttribute(kPD, {Value::Int(189)}, kDosage,
+                                         Value::String("second"))
+                  .ok());
+  Settle();
+  EXPECT_EQ(*clinic_->Entry(kPD)->GetInt("version"), 3);
+}
+
+TEST_F(PeerScenarioTest, BlockedCascadeFlagsViewAsNeedingRefresh) {
+  // The doctor's authority on D23&D32 is the researcher (Fig. 3). A
+  // medication rename cascading from D31 into D32 changes the a1-keyed
+  // view's MEMBERSHIP, so it needs the doctor's row permission on D23&D32.
+  // Revoking it makes the cascade's request_update fail on-chain, leaving
+  // the doctor's D32 flagged as needing refresh.
+  ASSERT_TRUE(clinic_->researcher()
+                  .SubmitChangePermission(
+                      kDR, contracts::MetadataContract::kRowsPermission,
+                      clinic_->doctor().address(),
+                      /*grant=*/false)
+                  .ok());
+  Settle();
+
+  ASSERT_TRUE(clinic_->doctor()
+                  .UpdateSharedAttribute(kPD, {Value::Int(188)},
+                                         kMedicationName,
+                                         Value::String("Naproxen"))
+                  .ok());
+  Settle();
+
+  // Patient side propagated fine.
+  EXPECT_EQ(clinic_->patient()
+                .database()
+                .Snapshot("D1")
+                ->Get({Value::Int(188)})
+                ->at(1)
+                .AsString(),
+            "Naproxen");
+  // Researcher side did NOT (denied), and the doctor knows D32 lags D3.
+  EXPECT_TRUE(clinic_->researcher().database().Snapshot("D2")->Contains(
+      {Value::String("Ibuprofen")}));
+  EXPECT_TRUE(clinic_->doctor().GetSyncState(kDR)->needs_refresh);
+  EXPECT_EQ(*clinic_->Entry(kDR)->GetInt("version"), 1);
+}
+
+TEST_F(PeerScenarioTest, AuditTrailRecordsCommitsAndDenials) {
+  ASSERT_TRUE(clinic_->doctor()
+                  .UpdateSharedAttribute(kPD, {Value::Int(188)}, kDosage,
+                                         Value::String("audited"))
+                  .ok());
+  Settle();
+  ASSERT_TRUE(clinic_->patient()
+                  .UpdateSharedAttribute(kPD, {Value::Int(188)}, kDosage,
+                                         Value::String("forbidden"))
+                  .ok());
+  Settle();
+
+  std::vector<AuditRecord> trail =
+      BuildAuditTrail(clinic_->node(0).blockchain(), clinic_->node(0).host(),
+                      kPD);
+  // register + doctor's update + patient's ack + patient's denied attempt.
+  ASSERT_GE(trail.size(), 4u);
+  int commits = 0, denials = 0, acks = 0;
+  for (const AuditRecord& record : trail) {
+    if (record.method == "request_update" && record.committed) ++commits;
+    if (record.method == "request_update" && !record.committed) ++denials;
+    if (record.method == "ack_update") ++acks;
+  }
+  EXPECT_EQ(commits, 1);
+  EXPECT_EQ(denials, 1);
+  EXPECT_EQ(acks, 1);
+
+  std::string rendered = RenderAuditTrail(trail);
+  EXPECT_NE(rendered.find("COMMITTED"), std::string::npos);
+  EXPECT_NE(rendered.find("DENIED"), std::string::npos);
+  EXPECT_TRUE(RenderAuditTrail({}).find("no on-chain history") !=
+              std::string::npos);
+}
+
+TEST_F(PeerScenarioTest, AllChainReplicasAgreeAfterActivity) {
+  ASSERT_TRUE(clinic_->doctor()
+                  .UpdateSharedAttribute(kPD, {Value::Int(188)}, kDosage,
+                                         Value::String("replicated"))
+                  .ok());
+  Settle();
+  for (size_t i = 1; i < clinic_->node_count(); ++i) {
+    EXPECT_EQ(clinic_->node(i).blockchain().head().header.Hash(),
+              clinic_->node(0).blockchain().head().header.Hash());
+    EXPECT_EQ(clinic_->node(i).host().StateFingerprint(),
+              clinic_->node(0).host().StateFingerprint());
+    EXPECT_TRUE(clinic_->node(i).blockchain().VerifyIntegrity().ok());
+  }
+}
+
+TEST_F(PeerScenarioTest, ReadIsLocalAndChainFree) {
+  uint64_t height_before = clinic_->node(0).blockchain().height();
+  for (int i = 0; i < 10; ++i) {
+    ASSERT_TRUE(clinic_->patient().ReadSharedTable(kPD).ok());
+  }
+  clinic_->simulator().RunFor(100 * kMicrosPerMilli);
+  // Reads produced no transactions and no blocks.
+  EXPECT_EQ(clinic_->node(0).blockchain().height(), height_before);
+}
+
+}  // namespace
+}  // namespace medsync::core

@@ -1,0 +1,183 @@
+#include "core/sync_manager.h"
+
+#include <gtest/gtest.h>
+
+#include "bx/lens_factory.h"
+#include "medical/records.h"
+#include "relational/query.h"
+
+namespace medsync::core {
+namespace {
+
+using medical::kClinicalData;
+using medical::kDosage;
+using medical::kMechanismOfAction;
+using medical::kMedicationName;
+using medical::kPatientId;
+using relational::Table;
+using relational::Value;
+
+class SyncManagerTest : public ::testing::Test {
+ protected:
+  SyncManagerTest() : sync_(&db_, DependencyStrategy::kAnalyzeChange) {
+    // Doctor-style source D3 plus two views: D31 (patient-facing) and D32
+    // (researcher-facing), the Fig. 1 layout.
+    Table full = medical::MakeFig1FullRecords();
+    Table d3 = *relational::Project(
+        full,
+        {kPatientId, kMedicationName, kClinicalData, kMechanismOfAction,
+         kDosage},
+        {kPatientId});
+    EXPECT_TRUE(db_.CreateTable("D3", d3.schema()).ok());
+    EXPECT_TRUE(db_.ReplaceTable("D3", d3).ok());
+
+    lens31_ = bx::MakeProjectLens(
+        {kPatientId, kMedicationName, kClinicalData, kDosage}, {kPatientId});
+    lens32_ = bx::MakeProjectLens({kMedicationName, kMechanismOfAction},
+                                  {kMedicationName});
+
+    Table d31 = *lens31_->Get(d3);
+    Table d32 = *lens32_->Get(d3);
+    EXPECT_TRUE(db_.CreateTable("D31", d31.schema()).ok());
+    EXPECT_TRUE(db_.ReplaceTable("D31", d31).ok());
+    EXPECT_TRUE(db_.CreateTable("D32", d32.schema()).ok());
+    EXPECT_TRUE(db_.ReplaceTable("D32", d32).ok());
+  }
+
+  relational::Database db_;
+  SyncManager sync_;
+  bx::LensPtr lens31_, lens32_;
+};
+
+TEST_F(SyncManagerTest, RegisterValidatesBindings) {
+  EXPECT_TRUE(sync_.RegisterView("D13&D31", "D3", "D31", lens31_).ok());
+  EXPECT_TRUE(sync_.RegisterView("D13&D31", "D3", "D31", lens31_)
+                  .IsAlreadyExists());
+  EXPECT_TRUE(sync_.RegisterView("x", "GHOST", "D31", lens31_).IsNotFound());
+  EXPECT_TRUE(sync_.RegisterView("y", "D3", "GHOST", lens31_).IsNotFound());
+  EXPECT_TRUE(
+      sync_.RegisterView("z", "D3", "D31", nullptr).IsInvalidArgument());
+  // Mismatched view table schema.
+  EXPECT_TRUE(sync_.RegisterView("w", "D3", "D32", lens31_)
+                  .IsInvalidArgument());
+  EXPECT_TRUE(sync_.HasView("D13&D31"));
+  EXPECT_FALSE(sync_.HasView("nope"));
+  EXPECT_EQ(sync_.ViewIds(), std::vector<std::string>{"D13&D31"});
+}
+
+TEST_F(SyncManagerTest, DeriveAndMaterialize) {
+  ASSERT_TRUE(sync_.RegisterView("D13&D31", "D3", "D31", lens31_).ok());
+  Result<Table> derived = sync_.DeriveView("D13&D31");
+  ASSERT_TRUE(derived.ok());
+  EXPECT_EQ(*derived, *db_.Snapshot("D31"));
+  EXPECT_FALSE(sync_.DeriveView("nope").ok());
+
+  // Change the source; materialize refreshes the view table.
+  ASSERT_TRUE(db_.UpdateAttribute("D3", {Value::Int(188)}, kDosage,
+                                  Value::String("changed"))
+                  .ok());
+  ASSERT_TRUE(sync_.MaterializeView("D13&D31").ok());
+  EXPECT_EQ(db_.Snapshot("D31")->Get({Value::Int(188)})->at(3).AsString(),
+            "changed");
+}
+
+TEST_F(SyncManagerTest, PutViewIntoSourceReportsChange) {
+  ASSERT_TRUE(sync_.RegisterView("D13&D31", "D3", "D31", lens31_).ok());
+  ASSERT_TRUE(db_.UpdateAttribute("D31", {Value::Int(188)}, kDosage,
+                                  Value::String("put me"))
+                  .ok());
+  Result<bx::SourceChange> change = sync_.PutViewIntoSource("D13&D31");
+  ASSERT_TRUE(change.ok()) << change.status();
+  EXPECT_EQ(change->changed_attributes, std::set<std::string>{kDosage});
+  EXPECT_FALSE(change->membership_changed);
+  EXPECT_EQ(db_.Snapshot("D3")->Get({Value::Int(188)})->at(4).AsString(),
+            "put me");
+}
+
+TEST_F(SyncManagerTest, FindAffectedViewsDisjointChangeSkips) {
+  ASSERT_TRUE(sync_.RegisterView("D13&D31", "D3", "D31", lens31_).ok());
+  ASSERT_TRUE(sync_.RegisterView("D23&D32", "D3", "D32", lens32_).ok());
+
+  // A mechanism-of-action change (from researcher side) does not touch
+  // D31's attributes.
+  Table before = *db_.Snapshot("D3");
+  ASSERT_TRUE(db_.UpdateAttribute("D3", {Value::Int(188)},
+                                  kMechanismOfAction,
+                                  Value::String("new mechanism"))
+                  .ok());
+  Result<std::vector<ViewRefresh>> refreshes =
+      sync_.FindAffectedViews("D3", before, /*exclude=*/"D23&D32");
+  ASSERT_TRUE(refreshes.ok()) << refreshes.status();
+  EXPECT_TRUE(refreshes->empty());
+  // The analyze strategy never even ran D31's get.
+  EXPECT_EQ(sync_.gets_skipped(), 1u);
+}
+
+TEST_F(SyncManagerTest, FindAffectedViewsDetectsOverlap) {
+  ASSERT_TRUE(sync_.RegisterView("D13&D31", "D3", "D31", lens31_).ok());
+  ASSERT_TRUE(sync_.RegisterView("D23&D32", "D3", "D32", lens32_).ok());
+
+  // A medication-name change reaches BOTH views; excluding the initiating
+  // one must report exactly the other.
+  Table before = *db_.Snapshot("D3");
+  ASSERT_TRUE(db_.UpdateAttribute("D3", {Value::Int(188)}, kMedicationName,
+                                  Value::String("Naproxen"))
+                  .ok());
+  Result<std::vector<ViewRefresh>> refreshes =
+      sync_.FindAffectedViews("D3", before, /*exclude=*/"D13&D31");
+  ASSERT_TRUE(refreshes.ok());
+  ASSERT_EQ(refreshes->size(), 1u);
+  EXPECT_EQ((*refreshes)[0].table_id, "D23&D32");
+  // Key change in D32 (keyed by medication name) = membership change.
+  EXPECT_TRUE((*refreshes)[0].membership_changed);
+}
+
+TEST_F(SyncManagerTest, AlwaysStrategyRederivesButAgreesWithAnalyze) {
+  ASSERT_TRUE(sync_.RegisterView("D13&D31", "D3", "D31", lens31_).ok());
+  ASSERT_TRUE(sync_.RegisterView("D23&D32", "D3", "D32", lens32_).ok());
+  sync_.set_strategy(DependencyStrategy::kAlwaysRederive);
+
+  Table before = *db_.Snapshot("D3");
+  ASSERT_TRUE(db_.UpdateAttribute("D3", {Value::Int(188)},
+                                  kMechanismOfAction,
+                                  Value::String("other mechanism"))
+                  .ok());
+  Result<std::vector<ViewRefresh>> refreshes =
+      sync_.FindAffectedViews("D3", before, "");
+  ASSERT_TRUE(refreshes.ok());
+  // D32 changed; D31 did not — same conclusion as analyze, but both gets
+  // executed.
+  ASSERT_EQ(refreshes->size(), 1u);
+  EXPECT_EQ((*refreshes)[0].table_id, "D23&D32");
+  EXPECT_EQ(sync_.gets_skipped(), 0u);
+  EXPECT_EQ(sync_.gets_executed(), 2u);
+}
+
+TEST_F(SyncManagerTest, ApplyViewContent) {
+  ASSERT_TRUE(sync_.RegisterView("D13&D31", "D3", "D31", lens31_).ok());
+  Table replacement = *db_.Snapshot("D31");
+  ASSERT_TRUE(replacement
+                  .UpdateAttribute({Value::Int(189)}, kClinicalData,
+                                   Value::String("fetched content"))
+                  .ok());
+  ASSERT_TRUE(sync_.ApplyViewContent("D13&D31", replacement).ok());
+  EXPECT_EQ(*db_.Snapshot("D31"), replacement);
+  EXPECT_FALSE(sync_.ApplyViewContent("nope", replacement).ok());
+}
+
+TEST_F(SyncManagerTest, RoundTripPutThenDeriveIsConsistent) {
+  // PutGet at the manager level: put a view edit into the source, then
+  // re-derive — must reproduce the edited view exactly.
+  ASSERT_TRUE(sync_.RegisterView("D13&D31", "D3", "D31", lens31_).ok());
+  ASSERT_TRUE(db_.UpdateAttribute("D31", {Value::Int(188)}, kClinicalData,
+                                  Value::String("edited"))
+                  .ok());
+  Table edited_view = *db_.Snapshot("D31");
+  ASSERT_TRUE(sync_.PutViewIntoSource("D13&D31").ok());
+  Result<Table> rederived = sync_.DeriveView("D13&D31");
+  ASSERT_TRUE(rederived.ok());
+  EXPECT_EQ(*rederived, edited_view);
+}
+
+}  // namespace
+}  // namespace medsync::core

@@ -1,0 +1,87 @@
+#include "crypto/keys.h"
+
+#include <gtest/gtest.h>
+
+namespace medsync::crypto {
+namespace {
+
+TEST(KeyPairTest, DeterministicDerivationFromSeed) {
+  KeyPair a = KeyPair::FromSeed("doctor");
+  KeyPair b = KeyPair::FromSeed("doctor");
+  EXPECT_EQ(a.public_key(), b.public_key());
+  EXPECT_EQ(a.address(), b.address());
+}
+
+TEST(KeyPairTest, DifferentSeedsDifferentIdentities) {
+  KeyPair a = KeyPair::FromSeed("doctor");
+  KeyPair b = KeyPair::FromSeed("patient");
+  EXPECT_NE(a.public_key(), b.public_key());
+  EXPECT_NE(a.address(), b.address());
+}
+
+TEST(KeyPairTest, SignVerifyRoundTrip) {
+  KeyPair key = KeyPair::FromSeed("signer");
+  Signature sig = key.Sign("message");
+  EXPECT_TRUE(KeyPair::Verify(key.public_key(), "message", sig));
+}
+
+TEST(KeyPairTest, VerifyRejectsWrongMessage) {
+  KeyPair key = KeyPair::FromSeed("signer");
+  Signature sig = key.Sign("message");
+  EXPECT_FALSE(KeyPair::Verify(key.public_key(), "other message", sig));
+}
+
+TEST(KeyPairTest, VerifyRejectsWrongSigner) {
+  KeyPair alice = KeyPair::FromSeed("alice");
+  KeyPair bob = KeyPair::FromSeed("bob");
+  Signature sig = alice.Sign("message");
+  EXPECT_FALSE(KeyPair::Verify(bob.public_key(), "message", sig));
+}
+
+TEST(KeyPairTest, VerifyRejectsTamperedMac) {
+  KeyPair key = KeyPair::FromSeed("signer");
+  Signature sig = key.Sign("message");
+  sig.mac.bytes[0] ^= 0x01;
+  EXPECT_FALSE(KeyPair::Verify(key.public_key(), "message", sig));
+}
+
+TEST(KeyPairTest, ForgedPubHintFails) {
+  KeyPair alice = KeyPair::FromSeed("alice");
+  KeyPair mallory = KeyPair::FromSeed("mallory");
+  // Mallory signs with her own key but claims Alice's public key.
+  Signature forged = mallory.Sign("pay mallory");
+  forged.pub_hint = alice.public_key();
+  EXPECT_FALSE(KeyPair::Verify(alice.public_key(), "pay mallory", forged));
+}
+
+TEST(AddressTest, HexRoundTrip) {
+  Address addr = KeyPair::FromSeed("someone").address();
+  std::string hex = addr.ToHex();
+  EXPECT_EQ(hex.size(), 42u);
+  EXPECT_EQ(hex.substr(0, 2), "0x");
+  bool ok = false;
+  EXPECT_EQ(Address::FromHex(hex, &ok), addr);
+  EXPECT_TRUE(ok);
+}
+
+TEST(AddressTest, FromHexRejectsBadInput) {
+  bool ok = true;
+  Address::FromHex("0x1234", &ok);
+  EXPECT_FALSE(ok);
+  ok = true;
+  Address::FromHex(std::string(40, 'g'), &ok);
+  EXPECT_FALSE(ok);
+}
+
+TEST(AddressTest, ZeroAddress) {
+  EXPECT_TRUE(Address::Zero().IsZero());
+  EXPECT_FALSE(KeyPair::FromSeed("x").address().IsZero());
+}
+
+TEST(AddressTest, DerivedFromPublicKey) {
+  KeyPair key = KeyPair::FromSeed("derive");
+  EXPECT_EQ(Address::FromPublicKey(key.public_key()), key.address());
+}
+
+}  // namespace
+}  // namespace medsync::crypto

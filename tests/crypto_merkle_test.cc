@@ -1,0 +1,111 @@
+#include "crypto/merkle.h"
+
+#include <gtest/gtest.h>
+
+#include "common/strings.h"
+
+namespace medsync::crypto {
+namespace {
+
+std::vector<Hash256> MakeLeaves(size_t n) {
+  std::vector<Hash256> leaves;
+  for (size_t i = 0; i < n; ++i) {
+    leaves.push_back(Sha256::Hash(StrCat("leaf-", i)));
+  }
+  return leaves;
+}
+
+TEST(MerkleTest, EmptyTreeHasZeroRoot) {
+  MerkleTree tree({});
+  EXPECT_TRUE(tree.root().IsZero());
+  EXPECT_EQ(tree.leaf_count(), 0u);
+}
+
+TEST(MerkleTest, SingleLeafRootIsLeaf) {
+  auto leaves = MakeLeaves(1);
+  MerkleTree tree(leaves);
+  EXPECT_EQ(tree.root(), leaves[0]);
+}
+
+TEST(MerkleTest, TwoLeavesRootIsPairHash) {
+  auto leaves = MakeLeaves(2);
+  MerkleTree tree(leaves);
+  EXPECT_EQ(tree.root(), Sha256::HashPair(leaves[0], leaves[1]));
+}
+
+TEST(MerkleTest, OddLeafIsSelfPaired) {
+  auto leaves = MakeLeaves(3);
+  MerkleTree tree(leaves);
+  Hash256 left = Sha256::HashPair(leaves[0], leaves[1]);
+  Hash256 right = Sha256::HashPair(leaves[2], leaves[2]);
+  EXPECT_EQ(tree.root(), Sha256::HashPair(left, right));
+}
+
+TEST(MerkleTest, ComputeRootMatchesTree) {
+  for (size_t n : {1u, 2u, 3u, 4u, 5u, 8u, 13u, 64u, 100u}) {
+    auto leaves = MakeLeaves(n);
+    EXPECT_EQ(MerkleTree(leaves).root(), MerkleTree::ComputeRoot(leaves))
+        << "n=" << n;
+  }
+}
+
+TEST(MerkleTest, RootChangesWithAnyLeaf) {
+  auto leaves = MakeLeaves(8);
+  Hash256 original = MerkleTree::ComputeRoot(leaves);
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    auto tampered = leaves;
+    tampered[i] = Sha256::Hash("tampered");
+    EXPECT_NE(MerkleTree::ComputeRoot(tampered), original) << "leaf " << i;
+  }
+}
+
+class MerkleProofTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(MerkleProofTest, EveryLeafProofVerifies) {
+  size_t n = GetParam();
+  auto leaves = MakeLeaves(n);
+  MerkleTree tree(leaves);
+  for (size_t i = 0; i < n; ++i) {
+    MerkleProof proof = tree.BuildProof(i);
+    EXPECT_TRUE(MerkleTree::VerifyProof(leaves[i], proof, tree.root()))
+        << "leaf " << i << " of " << n;
+  }
+}
+
+TEST_P(MerkleProofTest, WrongLeafFailsProof) {
+  size_t n = GetParam();
+  auto leaves = MakeLeaves(n);
+  MerkleTree tree(leaves);
+  Hash256 wrong = Sha256::Hash("not-a-leaf");
+  for (size_t i = 0; i < n; ++i) {
+    MerkleProof proof = tree.BuildProof(i);
+    if (n == 1) continue;  // single-leaf proof is empty; any leaf "verifies"
+    EXPECT_FALSE(MerkleTree::VerifyProof(wrong, proof, tree.root()));
+  }
+}
+
+TEST_P(MerkleProofTest, TamperedProofStepFails) {
+  size_t n = GetParam();
+  if (n < 2) return;
+  auto leaves = MakeLeaves(n);
+  MerkleTree tree(leaves);
+  MerkleProof proof = tree.BuildProof(0);
+  ASSERT_FALSE(proof.steps.empty());
+  proof.steps[0].sibling = Sha256::Hash("evil");
+  EXPECT_FALSE(MerkleTree::VerifyProof(leaves[0], proof, tree.root()));
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, MerkleProofTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 7, 8, 9, 16, 31,
+                                           64, 100));
+
+TEST(MerkleTest, ProofAgainstWrongRootFails) {
+  auto leaves = MakeLeaves(8);
+  MerkleTree tree(leaves);
+  MerkleProof proof = tree.BuildProof(3);
+  EXPECT_FALSE(
+      MerkleTree::VerifyProof(leaves[3], proof, Sha256::Hash("other root")));
+}
+
+}  // namespace
+}  // namespace medsync::crypto

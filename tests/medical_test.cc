@@ -1,0 +1,225 @@
+#include <gtest/gtest.h>
+
+#include "medical/deident.h"
+#include "medical/generator.h"
+#include "medical/records.h"
+#include "relational/query.h"
+
+namespace medsync::medical {
+namespace {
+
+using relational::Table;
+using relational::Value;
+
+TEST(RecordsTest, FullSchemaHasSevenAttributes) {
+  relational::Schema schema = FullRecordSchema();
+  EXPECT_EQ(schema.attribute_count(), 7u);
+  EXPECT_EQ(schema.key_attributes(), std::vector<std::string>{kPatientId});
+  EXPECT_TRUE(schema.HasAttribute(kModeOfAction));
+  EXPECT_FALSE(schema.attributes()[0].nullable);
+}
+
+TEST(RecordsTest, Fig1DataMatchesPaper) {
+  Table full = MakeFig1FullRecords();
+  ASSERT_EQ(full.row_count(), 2u);
+  relational::Row r188 = *full.Get({Value::Int(188)});
+  EXPECT_EQ(r188[1].AsString(), "Ibuprofen");
+  EXPECT_EQ(r188[2].AsString(), "CliD1");
+  EXPECT_EQ(r188[3].AsString(), "Sapporo");
+  EXPECT_EQ(r188[4].AsString(), "one tablet every 4h");
+  EXPECT_EQ(r188[5].AsString(), "MeA1");
+  EXPECT_EQ(r188[6].AsString(), "MoA1");
+  relational::Row r189 = *full.Get({Value::Int(189)});
+  EXPECT_EQ(r189[1].AsString(), "Wellbutrin");
+  EXPECT_EQ(r189[3].AsString(), "Osaka");
+}
+
+TEST(RecordsTest, StakeholderSchemasMatchFig1Subsets) {
+  EXPECT_EQ(PatientSchema().attribute_count(), 5u);     // a0-a4
+  EXPECT_TRUE(PatientSchema().HasAttribute(kAddress));
+  EXPECT_FALSE(PatientSchema().HasAttribute(kMechanismOfAction));
+
+  EXPECT_EQ(ResearcherSchema().attribute_count(), 3u);  // a1,a5,a6
+  EXPECT_EQ(ResearcherSchema().key_attributes(),
+            std::vector<std::string>{kMedicationName});
+
+  EXPECT_EQ(DoctorSchema().attribute_count(), 5u);      // a0,a1,a2,a5,a4
+  EXPECT_TRUE(DoctorSchema().HasAttribute(kMechanismOfAction));
+  EXPECT_FALSE(DoctorSchema().HasAttribute(kAddress));
+}
+
+TEST(GeneratorTest, DeterministicForSameSeed) {
+  GeneratorConfig config{.seed = 7, .record_count = 50};
+  EXPECT_EQ(GenerateFullRecords(config), GenerateFullRecords(config));
+  GeneratorConfig other{.seed = 8, .record_count = 50};
+  EXPECT_NE(GenerateFullRecords(config), GenerateFullRecords(other));
+}
+
+TEST(GeneratorTest, ProducesRequestedCountWithDenseIds) {
+  GeneratorConfig config{.seed = 1, .record_count = 120,
+                         .first_patient_id = 500};
+  Table records = GenerateFullRecords(config);
+  EXPECT_EQ(records.row_count(), 120u);
+  EXPECT_TRUE(records.Contains({Value::Int(500)}));
+  EXPECT_TRUE(records.Contains({Value::Int(619)}));
+  EXPECT_FALSE(records.Contains({Value::Int(620)}));
+}
+
+TEST(GeneratorTest, AllRowsValidAgainstSchema) {
+  Table records = GenerateFullRecords({.seed = 3, .record_count = 40});
+  for (const auto& [key, row] : records.rows()) {
+    EXPECT_TRUE(relational::ValidateRow(records.schema(), row).ok());
+    for (const Value& cell : row) EXPECT_FALSE(cell.is_null());
+  }
+}
+
+TEST(GeneratorTest, MedicationAttributesAreKeyFunctional) {
+  // Both researcher-style projections (a1 -> a5, a1 -> a5,a6) must be
+  // derivable, i.e. medication name determines mechanism and mode.
+  Table records = GenerateFullRecords({.seed = 11, .record_count = 300});
+  EXPECT_TRUE(relational::Project(
+                  records, {kMedicationName, kMechanismOfAction},
+                  {kMedicationName})
+                  .ok());
+  EXPECT_TRUE(relational::Project(
+                  records,
+                  {kMedicationName, kMechanismOfAction, kModeOfAction},
+                  {kMedicationName})
+                  .ok());
+}
+
+TEST(GeneratorTest, CatalogEntriesAreInternallyUnique) {
+  std::set<std::string> names, mechanisms;
+  for (const Medication& med : MedicationCatalog()) {
+    EXPECT_TRUE(names.insert(med.name).second) << med.name;
+    mechanisms.insert(med.mechanism_of_action);
+    EXPECT_FALSE(med.dosages.empty()) << med.name;
+  }
+  EXPECT_GE(names.size(), 25u);
+}
+
+TEST(DeidentTest, SuppressNullsOutAttributes) {
+  Table records = GenerateFullRecords({.seed = 5, .record_count = 20});
+  Result<Table> scrubbed =
+      SuppressAttributes(records, {kAddress, kClinicalData});
+  ASSERT_TRUE(scrubbed.ok()) << scrubbed.status();
+  for (const auto& [key, row] : scrubbed->rows()) {
+    EXPECT_TRUE(row[3].is_null());  // address
+    EXPECT_TRUE(row[2].is_null());  // clinical data
+    EXPECT_FALSE(row[1].is_null());
+  }
+  EXPECT_TRUE(SuppressAttributes(records, {"ghost"}).status().IsNotFound());
+  EXPECT_TRUE(SuppressAttributes(records, {kPatientId})
+                  .status()
+                  .IsInvalidArgument());  // key
+}
+
+TEST(DeidentTest, GeneralizeCityToRegion) {
+  EXPECT_EQ(GeneralizeCityToRegion(Value::String("Sapporo")).AsString(),
+            "Hokkaido");
+  EXPECT_EQ(GeneralizeCityToRegion(Value::String("Osaka")).AsString(),
+            "Kansai");
+  EXPECT_EQ(GeneralizeCityToRegion(Value::String("Atlantis")).AsString(),
+            "Japan");
+  EXPECT_TRUE(GeneralizeCityToRegion(Value::Null()).is_null());
+}
+
+TEST(DeidentTest, GeneralizeAttributeRewritesColumn) {
+  Table records = GenerateFullRecords({.seed = 9, .record_count = 30});
+  Result<Table> generalized =
+      GeneralizeAttribute(records, kAddress, GeneralizeCityToRegion);
+  ASSERT_TRUE(generalized.ok());
+  std::set<std::string> regions;
+  for (const auto& [key, row] : generalized->rows()) {
+    regions.insert(row[3].AsString());
+  }
+  // Far fewer distinct values than cities — that is the point.
+  EXPECT_LE(regions.size(), 8u);
+  EXPECT_TRUE(
+      GeneralizeAttribute(records, kPatientId, GeneralizeCityToRegion)
+          .status()
+          .IsInvalidArgument());
+}
+
+TEST(DeidentTest, KAnonymityImprovesWithGeneralization) {
+  Table records = GenerateFullRecords({.seed = 13, .record_count = 200});
+  Result<size_t> city_class =
+      SmallestEquivalenceClass(records, {kAddress});
+  ASSERT_TRUE(city_class.ok());
+
+  Result<Table> generalized =
+      GeneralizeAttribute(records, kAddress, GeneralizeCityToRegion);
+  ASSERT_TRUE(generalized.ok());
+  Result<size_t> region_class =
+      SmallestEquivalenceClass(*generalized, {kAddress});
+  ASSERT_TRUE(region_class.ok());
+  EXPECT_GE(*region_class, *city_class);
+
+  // Suppression gives the degenerate single class.
+  Result<Table> suppressed = SuppressAttributes(records, {kAddress});
+  ASSERT_TRUE(suppressed.ok());
+  EXPECT_TRUE(*IsKAnonymous(*suppressed, {kAddress}, records.row_count()));
+}
+
+TEST(DeidentTest, IsKAnonymousEdgeCases) {
+  Table records = GenerateFullRecords({.seed = 17, .record_count = 50});
+  EXPECT_TRUE(*IsKAnonymous(records, {}, 50));  // no QIs -> one class
+  EXPECT_TRUE(*IsKAnonymous(records, {kAddress}, 1));
+  EXPECT_FALSE(*IsKAnonymous(records, {kPatientId}, 2));  // key is unique
+  EXPECT_FALSE(IsKAnonymous(records, {"ghost"}, 2).ok());
+
+  Table empty(FullRecordSchema());
+  EXPECT_EQ(*SmallestEquivalenceClass(empty, {kAddress}), 0u);
+  EXPECT_FALSE(*IsKAnonymous(empty, {kAddress}, 1));
+}
+
+TEST(DeidentTest, LDiversityDetectsHomogeneousClasses) {
+  // Build a table where one city's patients ALL take the same medication:
+  // k-anonymous on the city, but 1-diverse (an attacker who knows the city
+  // learns the medication).
+  relational::Table t(FullRecordSchema());
+  auto insert = [&](int64_t id, const char* med, const char* city) {
+    ASSERT_TRUE(t.Insert({Value::Int(id), Value::String(med),
+                          Value::String("n"), Value::String(city),
+                          Value::String("d"), Value::String("m"),
+                          Value::String("mo")})
+                    .ok());
+  };
+  insert(1, "Ibuprofen", "Osaka");
+  insert(2, "Ibuprofen", "Osaka");
+  insert(3, "Ibuprofen", "Osaka");
+  insert(4, "Metformin", "Kyoto");
+  insert(5, "Sertraline", "Kyoto");
+  insert(6, "Warfarin", "Kyoto");
+
+  EXPECT_TRUE(*IsKAnonymous(t, {kAddress}, 3));
+  EXPECT_EQ(*SmallestSensitiveDiversity(t, {kAddress}, kMedicationName), 1u);
+  EXPECT_FALSE(*IsLDiverse(t, {kAddress}, kMedicationName, 2));
+
+  // Drop the homogeneous class: the remainder is 3-diverse.
+  ASSERT_TRUE(t.Delete({Value::Int(1)}).ok());
+  ASSERT_TRUE(t.Delete({Value::Int(2)}).ok());
+  ASSERT_TRUE(t.Delete({Value::Int(3)}).ok());
+  EXPECT_TRUE(*IsLDiverse(t, {kAddress}, kMedicationName, 3));
+
+  // Errors and edge cases.
+  EXPECT_FALSE(IsLDiverse(t, {"ghost"}, kMedicationName, 2).ok());
+  EXPECT_FALSE(IsLDiverse(t, {kAddress}, "ghost", 2).ok());
+  relational::Table empty(FullRecordSchema());
+  EXPECT_EQ(*SmallestSensitiveDiversity(empty, {kAddress}, kMedicationName),
+            0u);
+  EXPECT_FALSE(*IsLDiverse(empty, {kAddress}, kMedicationName, 1));
+}
+
+TEST(GeneratorHelpersTest, ClinicalNotesAndCities) {
+  Rng rng(21);
+  std::string note = GenerateClinicalNote(&rng);
+  EXPECT_NE(note.find("Presents with"), std::string::npos);
+  EXPECT_NE(note.find("follow-up"), std::string::npos);
+  std::set<std::string> cities;
+  for (int i = 0; i < 200; ++i) cities.insert(RandomCity(&rng));
+  EXPECT_GE(cities.size(), 10u);
+}
+
+}  // namespace
+}  // namespace medsync::medical

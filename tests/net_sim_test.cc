@@ -1,0 +1,207 @@
+#include <gtest/gtest.h>
+
+#include "net/network.h"
+#include "net/simulator.h"
+
+namespace medsync::net {
+namespace {
+
+TEST(SimulatorTest, EventsRunInTimeOrder) {
+  Simulator sim(0);
+  std::vector<int> order;
+  sim.Schedule(30, [&] { order.push_back(3); });
+  sim.Schedule(10, [&] { order.push_back(1); });
+  sim.Schedule(20, [&] { order.push_back(2); });
+  EXPECT_EQ(sim.Run(), 3u);
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+  EXPECT_EQ(sim.Now(), 30);
+}
+
+TEST(SimulatorTest, EqualTimestampsAreFifo) {
+  Simulator sim(0);
+  std::vector<int> order;
+  for (int i = 0; i < 5; ++i) {
+    sim.Schedule(10, [&order, i] { order.push_back(i); });
+  }
+  sim.Run();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(SimulatorTest, EventsCanScheduleMoreEvents) {
+  Simulator sim(0);
+  int fired = 0;
+  std::function<void()> chain = [&] {
+    ++fired;
+    if (fired < 5) sim.Schedule(10, chain);
+  };
+  sim.Schedule(10, chain);
+  sim.Run();
+  EXPECT_EQ(fired, 5);
+  EXPECT_EQ(sim.Now(), 50);
+}
+
+TEST(SimulatorTest, RunUntilStopsAtDeadline) {
+  Simulator sim(0);
+  int fired = 0;
+  sim.Schedule(10, [&] { ++fired; });
+  sim.Schedule(100, [&] { ++fired; });
+  EXPECT_EQ(sim.RunUntil(50), 1u);
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.Now(), 50);  // clock advances to the deadline when idle
+  EXPECT_EQ(sim.pending(), 1u);
+  sim.RunFor(60);
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(SimulatorTest, NegativeDelayClampsToNow) {
+  Simulator sim(100);
+  bool fired = false;
+  sim.Schedule(-50, [&] { fired = true; });
+  sim.Run();
+  EXPECT_TRUE(fired);
+  EXPECT_EQ(sim.Now(), 100);
+}
+
+TEST(SimulatorTest, StepExecutesOneEvent) {
+  Simulator sim(0);
+  int fired = 0;
+  sim.Schedule(1, [&] { ++fired; });
+  sim.Schedule(2, [&] { ++fired; });
+  EXPECT_TRUE(sim.Step());
+  EXPECT_EQ(fired, 1);
+  EXPECT_TRUE(sim.Step());
+  EXPECT_FALSE(sim.Step());
+  EXPECT_TRUE(sim.idle());
+  EXPECT_EQ(sim.events_executed(), 2u);
+}
+
+class Recorder : public Endpoint {
+ public:
+  void OnMessage(const Message& message) override {
+    messages.push_back(message);
+  }
+  std::vector<Message> messages;
+};
+
+TEST(NetworkTest, DeliversWithLatency) {
+  Simulator sim(0);
+  Network net(&sim, LatencyModel{100, 0});
+  Recorder alice, bob;
+  net.Attach("alice", &alice);
+  net.Attach("bob", &bob);
+
+  ASSERT_TRUE(net.Send({"alice", "bob", "ping", Json("hi")}).ok());
+  EXPECT_TRUE(bob.messages.empty());  // not yet delivered
+  sim.Run();
+  ASSERT_EQ(bob.messages.size(), 1u);
+  EXPECT_EQ(bob.messages[0].type, "ping");
+  EXPECT_EQ(bob.messages[0].from, "alice");
+  EXPECT_EQ(sim.Now(), 100);
+  EXPECT_EQ(net.stats().delivered, 1u);
+}
+
+TEST(NetworkTest, UnknownDestinationFailsFast) {
+  Simulator sim(0);
+  Network net(&sim, LatencyModel{0, 0});
+  Recorder alice;
+  net.Attach("alice", &alice);
+  EXPECT_TRUE(net.Send({"alice", "nobody", "x", Json()}).IsNotFound());
+}
+
+TEST(NetworkTest, BroadcastReachesAllButSender) {
+  Simulator sim(0);
+  Network net(&sim, LatencyModel{1, 0});
+  Recorder a, b, c;
+  net.Attach("a", &a);
+  net.Attach("b", &b);
+  net.Attach("c", &c);
+  net.Broadcast("a", "hello", Json(1));
+  sim.Run();
+  EXPECT_TRUE(a.messages.empty());
+  EXPECT_EQ(b.messages.size(), 1u);
+  EXPECT_EQ(c.messages.size(), 1u);
+}
+
+TEST(NetworkTest, PartitionedLinkDropsSilently) {
+  Simulator sim(0);
+  Network net(&sim, LatencyModel{1, 0});
+  Recorder a, b;
+  net.Attach("a", &a);
+  net.Attach("b", &b);
+  net.SetLinkDown("a", "b", true);
+  ASSERT_TRUE(net.Send({"a", "b", "x", Json()}).ok());
+  sim.Run();
+  EXPECT_TRUE(b.messages.empty());
+  EXPECT_EQ(net.stats().dropped, 1u);
+
+  net.SetLinkDown("b", "a", false);  // normalization: either order heals
+  ASSERT_TRUE(net.Send({"a", "b", "x", Json()}).ok());
+  sim.Run();
+  EXPECT_EQ(b.messages.size(), 1u);
+}
+
+TEST(NetworkTest, DropProbabilityLosesRoughlyThatFraction) {
+  Simulator sim(0);
+  Network net(&sim, LatencyModel{1, 0}, /*seed=*/7);
+  Recorder a, b;
+  net.Attach("a", &a);
+  net.Attach("b", &b);
+  net.set_drop_probability(0.5);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(net.Send({"a", "b", "x", Json(i)}).ok());
+  }
+  sim.Run();
+  EXPECT_NEAR(static_cast<double>(b.messages.size()), 500.0, 100.0);
+  EXPECT_EQ(net.stats().dropped + net.stats().delivered, 1000u);
+}
+
+TEST(NetworkTest, DetachedMidFlightCountsAsDropped) {
+  Simulator sim(0);
+  Network net(&sim, LatencyModel{100, 0});
+  Recorder a, b;
+  net.Attach("a", &a);
+  net.Attach("b", &b);
+  ASSERT_TRUE(net.Send({"a", "b", "x", Json()}).ok());
+  net.Detach("b");
+  sim.Run();
+  EXPECT_TRUE(b.messages.empty());
+  EXPECT_EQ(net.stats().dropped, 1u);
+}
+
+TEST(NetworkTest, JitterVariesDeliveryTimes) {
+  Simulator sim(0);
+  Network net(&sim, LatencyModel{10, 1000}, /*seed=*/3);
+  Recorder a, b;
+  net.Attach("a", &a);
+  net.Attach("b", &b);
+  std::vector<Micros> arrival_times;
+  for (int i = 0; i < 20; ++i) {
+    ASSERT_TRUE(net.Send({"a", "b", "x", Json(i)}).ok());
+  }
+  // Record arrival times via a wrapper endpoint is complex; instead check
+  // the messages arrived possibly out of send order — jitter reorders.
+  sim.Run();
+  EXPECT_EQ(b.messages.size(), 20u);
+  bool reordered = false;
+  for (size_t i = 0; i + 1 < b.messages.size(); ++i) {
+    if (b.messages[i].payload.AsInt() > b.messages[i + 1].payload.AsInt()) {
+      reordered = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(reordered);
+}
+
+TEST(NetworkTest, AttachedNodesListing) {
+  Simulator sim(0);
+  Network net(&sim, LatencyModel{});
+  Recorder a;
+  net.Attach("z", &a);
+  net.Attach("a", &a);
+  EXPECT_TRUE(net.IsAttached("z"));
+  EXPECT_FALSE(net.IsAttached("q"));
+  EXPECT_EQ(net.AttachedNodes(), (std::vector<NodeId>{"a", "z"}));
+}
+
+}  // namespace
+}  // namespace medsync::net

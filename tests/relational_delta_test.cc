@@ -1,0 +1,141 @@
+#include "relational/delta.h"
+
+#include <gtest/gtest.h>
+
+#include "common/random.h"
+
+namespace medsync::relational {
+namespace {
+
+Schema S() {
+  return *Schema::Create(
+      {{"id", DataType::kInt, false}, {"v", DataType::kString, true}},
+      {"id"});
+}
+
+Row R(int64_t id, const char* v) { return {Value::Int(id), Value::String(v)}; }
+
+TEST(DeltaTest, EmptyDeltaForIdenticalTables) {
+  Table a(S());
+  ASSERT_TRUE(a.Insert(R(1, "x")).ok());
+  Result<TableDelta> d = ComputeDelta(a, a);
+  ASSERT_TRUE(d.ok());
+  EXPECT_TRUE(d->empty());
+  EXPECT_EQ(d->size(), 0u);
+}
+
+TEST(DeltaTest, ClassifiesInsertsUpdatesDeletes) {
+  Table before(S()), after(S());
+  ASSERT_TRUE(before.Insert(R(1, "keep")).ok());
+  ASSERT_TRUE(before.Insert(R(2, "change")).ok());
+  ASSERT_TRUE(before.Insert(R(3, "drop")).ok());
+  ASSERT_TRUE(after.Insert(R(1, "keep")).ok());
+  ASSERT_TRUE(after.Insert(R(2, "changed")).ok());
+  ASSERT_TRUE(after.Insert(R(4, "new")).ok());
+
+  Result<TableDelta> d = ComputeDelta(before, after);
+  ASSERT_TRUE(d.ok());
+  EXPECT_EQ(d->inserts.size(), 1u);
+  EXPECT_EQ(d->updates.size(), 1u);
+  EXPECT_EQ(d->deletes.size(), 1u);
+  EXPECT_EQ(d->inserts[0][0].AsInt(), 4);
+  EXPECT_EQ(d->updates[0][1].AsString(), "changed");
+  EXPECT_EQ(d->deletes[0][0].AsInt(), 3);
+}
+
+TEST(DeltaTest, ApplyReconstructsAfter) {
+  Table before(S()), after(S());
+  ASSERT_TRUE(before.Insert(R(1, "a")).ok());
+  ASSERT_TRUE(before.Insert(R(2, "b")).ok());
+  ASSERT_TRUE(after.Insert(R(2, "B")).ok());
+  ASSERT_TRUE(after.Insert(R(3, "c")).ok());
+
+  Result<TableDelta> d = ComputeDelta(before, after);
+  ASSERT_TRUE(d.ok());
+  Table patched = before;
+  ASSERT_TRUE(ApplyDelta(*d, &patched).ok());
+  EXPECT_EQ(patched, after);
+}
+
+TEST(DeltaTest, ApplyValidatesBeforeMutating) {
+  Table t(S());
+  ASSERT_TRUE(t.Insert(R(1, "x")).ok());
+  Table original = t;
+
+  TableDelta colliding;
+  colliding.inserts.push_back(R(1, "dup"));
+  EXPECT_TRUE(ApplyDelta(colliding, &t).IsAlreadyExists());
+  EXPECT_EQ(t, original);
+
+  TableDelta missing_delete;
+  missing_delete.deletes.push_back({Value::Int(9)});
+  EXPECT_TRUE(ApplyDelta(missing_delete, &t).IsNotFound());
+  EXPECT_EQ(t, original);
+
+  TableDelta missing_update;
+  missing_update.updates.push_back(R(9, "x"));
+  EXPECT_TRUE(ApplyDelta(missing_update, &t).IsNotFound());
+  EXPECT_EQ(t, original);
+
+  TableDelta invalid_row;
+  invalid_row.inserts.push_back({Value::Null(), Value::Null()});
+  EXPECT_TRUE(ApplyDelta(invalid_row, &t).IsInvalidArgument());
+  EXPECT_EQ(t, original);
+}
+
+TEST(DeltaTest, SchemaMismatchRejected) {
+  Table a(S());
+  Table b(*Schema::Create({{"x", DataType::kInt, false}}, {"x"}));
+  EXPECT_FALSE(ComputeDelta(a, b).ok());
+}
+
+TEST(DeltaTest, JsonRoundTrip) {
+  TableDelta d;
+  d.inserts.push_back(R(1, "i"));
+  d.updates.push_back(R(2, "u"));
+  d.deletes.push_back({Value::Int(3)});
+  Result<TableDelta> back = TableDelta::FromJson(d.ToJson());
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(back->inserts, d.inserts);
+  EXPECT_EQ(back->updates, d.updates);
+  EXPECT_EQ(back->deletes, d.deletes);
+  EXPECT_FALSE(TableDelta::FromJson(Json(1)).ok());
+}
+
+/// Property sweep: compute+apply round-trips across random table pairs.
+class DeltaPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DeltaPropertyTest, ApplyComputeRoundTrip) {
+  Rng rng(GetParam());
+  Table before(S()), after(S());
+  for (int i = 0; i < 40; ++i) {
+    std::string v1 = rng.NextAlnumString(4);
+    std::string v2 = rng.NextAlnumString(4);
+    bool in_before = rng.NextBool(0.7);
+    bool in_after = rng.NextBool(0.7);
+    if (in_before) {
+      ASSERT_TRUE(before.Insert(R(i, v1.c_str())).ok());
+    }
+    if (in_after) {
+      const std::string& v = rng.NextBool() ? v1 : v2;
+      ASSERT_TRUE(after.Insert(R(i, v.c_str())).ok());
+    }
+  }
+  Result<TableDelta> d = ComputeDelta(before, after);
+  ASSERT_TRUE(d.ok());
+  Table patched = before;
+  ASSERT_TRUE(ApplyDelta(*d, &patched).ok());
+  EXPECT_EQ(patched, after);
+
+  // The reverse delta undoes the change.
+  Result<TableDelta> rd = ComputeDelta(after, before);
+  ASSERT_TRUE(rd.ok());
+  ASSERT_TRUE(ApplyDelta(*rd, &patched).ok());
+  EXPECT_EQ(patched, before);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, DeltaPropertyTest,
+                         ::testing::Range(uint64_t{0}, uint64_t{20}));
+
+}  // namespace
+}  // namespace medsync::relational

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include "relational/row.h"
+#include "relational/schema.h"
+#include "relational/value.h"
+
+namespace medsync::relational {
+namespace {
+
+TEST(ValueTest, TypesAndAccessors) {
+  EXPECT_TRUE(Value::Null().is_null());
+  EXPECT_EQ(Value::Bool(true).AsBool(), true);
+  EXPECT_EQ(Value::Int(42).AsInt(), 42);
+  EXPECT_DOUBLE_EQ(Value::Double(2.5).AsDouble(), 2.5);
+  EXPECT_EQ(Value::String("hi").AsString(), "hi");
+}
+
+TEST(ValueTest, EqualityAndOrdering) {
+  EXPECT_EQ(Value::Int(1), Value::Int(1));
+  EXPECT_NE(Value::Int(1), Value::Int(2));
+  EXPECT_NE(Value::Int(1), Value::String("1"));
+  EXPECT_LT(Value::Int(1), Value::Int(2));
+  EXPECT_LT(Value::String("a"), Value::String("b"));
+  // Cross-type ordering is by type index — total and deterministic.
+  EXPECT_LT(Value::Null(), Value::Int(0));
+  EXPECT_LT(Value::Int(999), Value::String(""));
+  EXPECT_GE(Value::Int(2), Value::Int(2));
+}
+
+TEST(ValueTest, ToStringRendering) {
+  EXPECT_EQ(Value::Null().ToString(), "NULL");
+  EXPECT_EQ(Value::Bool(false).ToString(), "false");
+  EXPECT_EQ(Value::Int(-3).ToString(), "-3");
+  EXPECT_EQ(Value::String("dose").ToString(), "dose");
+}
+
+TEST(ValueTest, JsonRoundTripAllTypes) {
+  for (const Value& v :
+       {Value::Null(), Value::Bool(true), Value::Int(-17),
+        Value::Double(3.25), Value::String("text with \"quotes\"")}) {
+    Result<Value> back = Value::FromJson(v.ToJson());
+    ASSERT_TRUE(back.ok()) << back.status();
+    EXPECT_EQ(*back, v);
+  }
+}
+
+TEST(ValueTest, FromJsonRejectsMalformed) {
+  EXPECT_FALSE(Value::FromJson(Json(5)).ok());
+  Json bad_type = Json::MakeObject();
+  bad_type.Set("t", "ghost");
+  EXPECT_FALSE(Value::FromJson(bad_type).ok());
+  Json missing_v = Json::MakeObject();
+  missing_v.Set("t", "int");
+  EXPECT_FALSE(Value::FromJson(missing_v).ok());
+  Json wrong_v = Json::MakeObject();
+  wrong_v.Set("t", "int");
+  wrong_v.Set("v", "not an int");
+  EXPECT_FALSE(Value::FromJson(wrong_v).ok());
+}
+
+TEST(ValueTest, MatchesType) {
+  EXPECT_TRUE(Value::Null().MatchesType(DataType::kInt));
+  EXPECT_TRUE(Value::Int(1).MatchesType(DataType::kInt));
+  EXPECT_FALSE(Value::Int(1).MatchesType(DataType::kString));
+}
+
+TEST(DataTypeTest, NameRoundTrip) {
+  for (DataType t : {DataType::kNull, DataType::kBool, DataType::kInt,
+                     DataType::kDouble, DataType::kString}) {
+    Result<DataType> back = DataTypeFromName(DataTypeName(t));
+    ASSERT_TRUE(back.ok());
+    EXPECT_EQ(*back, t);
+  }
+  EXPECT_FALSE(DataTypeFromName("varchar").ok());
+}
+
+Schema TestSchema() {
+  return *Schema::Create(
+      {
+          {"id", DataType::kInt, false},
+          {"name", DataType::kString, true},
+          {"dose", DataType::kString, true},
+      },
+      {"id"});
+}
+
+TEST(SchemaTest, CreateValidatesInputs) {
+  EXPECT_FALSE(Schema::Create({}, {"id"}).ok());  // no attributes
+  EXPECT_FALSE(
+      Schema::Create({{"id", DataType::kInt, false}}, {}).ok());  // no key
+  EXPECT_FALSE(Schema::Create({{"id", DataType::kInt, false},
+                               {"id", DataType::kInt, false}},
+                              {"id"})
+                   .ok());  // duplicate attribute
+  EXPECT_FALSE(Schema::Create({{"id", DataType::kInt, false}}, {"other"})
+                   .ok());  // key not in schema
+  EXPECT_FALSE(Schema::Create({{"id", DataType::kInt, true}}, {"id"})
+                   .ok());  // nullable key
+  EXPECT_FALSE(Schema::Create({{"id", DataType::kInt, false},
+                               {"b", DataType::kInt, false}},
+                              {"id", "id"})
+                   .ok());  // duplicate key attr
+  EXPECT_FALSE(Schema::Create({{"", DataType::kInt, false}}, {""}).ok());
+}
+
+TEST(SchemaTest, LookupHelpers) {
+  Schema schema = TestSchema();
+  EXPECT_EQ(schema.attribute_count(), 3u);
+  EXPECT_EQ(*schema.IndexOf("dose"), 2u);
+  EXPECT_FALSE(schema.IndexOf("ghost").has_value());
+  EXPECT_TRUE(schema.HasAttribute("name"));
+  EXPECT_TRUE(schema.IsKeyAttribute("id"));
+  EXPECT_FALSE(schema.IsKeyAttribute("name"));
+  EXPECT_EQ(schema.key_indices(), std::vector<size_t>{0});
+}
+
+TEST(SchemaTest, JsonRoundTrip) {
+  Schema schema = TestSchema();
+  Result<Schema> back = Schema::FromJson(schema.ToJson());
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_EQ(*back, schema);
+}
+
+TEST(SchemaTest, FromJsonRejectsMalformed) {
+  EXPECT_FALSE(Schema::FromJson(Json(1)).ok());
+  EXPECT_FALSE(Schema::FromJson(Json::MakeObject()).ok());
+}
+
+TEST(SchemaTest, KeyContainedIn) {
+  Schema narrow = *Schema::Create({{"id", DataType::kInt, false}}, {"id"});
+  Schema wide = TestSchema();
+  EXPECT_TRUE(narrow.KeyContainedIn(wide));
+  Schema other = *Schema::Create({{"id", DataType::kString, false}}, {"id"});
+  EXPECT_FALSE(other.KeyContainedIn(wide));  // type mismatch
+  Schema disjoint = *Schema::Create({{"pk", DataType::kInt, false}}, {"pk"});
+  EXPECT_FALSE(disjoint.KeyContainedIn(wide));
+}
+
+TEST(RowTest, KeyOfExtractsKeyColumns) {
+  Schema schema = TestSchema();
+  Row row{Value::Int(7), Value::String("x"), Value::String("y")};
+  EXPECT_EQ(KeyOf(schema, row), (Key{Value::Int(7)}));
+}
+
+TEST(RowTest, ValidateRowChecksArityTypesAndNulls) {
+  Schema schema = TestSchema();
+  EXPECT_TRUE(ValidateRow(schema, {Value::Int(1), Value::String("a"),
+                                   Value::Null()})
+                  .ok());
+  EXPECT_FALSE(ValidateRow(schema, {Value::Int(1)}).ok());  // arity
+  EXPECT_FALSE(ValidateRow(schema, {Value::String("1"), Value::Null(),
+                                    Value::Null()})
+                   .ok());  // type
+  EXPECT_FALSE(ValidateRow(schema, {Value::Null(), Value::Null(),
+                                    Value::Null()})
+                   .ok());  // NULL key
+}
+
+TEST(RowTest, JsonRoundTrip) {
+  Row row{Value::Int(1), Value::String("a"), Value::Null()};
+  Result<Row> back = RowFromJson(RowToJson(row));
+  ASSERT_TRUE(back.ok());
+  EXPECT_EQ(*back, row);
+  EXPECT_FALSE(RowFromJson(Json(3)).ok());
+}
+
+TEST(RowTest, RowToStringFormatting) {
+  EXPECT_EQ(RowToString({Value::Int(1), Value::String("x")}), "(1, x)");
+  EXPECT_EQ(RowToString({}), "()");
+}
+
+}  // namespace
+}  // namespace medsync::relational

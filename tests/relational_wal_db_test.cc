@@ -1,0 +1,322 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "relational/database.h"
+#include "relational/wal.h"
+
+namespace medsync::relational {
+namespace {
+
+namespace fs = std::filesystem;
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = fs::temp_directory_path() /
+            ("medsync_test_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  std::string path() const { return path_.string(); }
+  std::string file(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  static inline int counter_ = 0;
+  fs::path path_;
+};
+
+Json Op(const std::string& tag) {
+  Json j = Json::MakeObject();
+  j.Set("tag", tag);
+  return j;
+}
+
+TEST(Crc32Test, KnownValues) {
+  EXPECT_EQ(Crc32(""), 0x00000000u);
+  EXPECT_EQ(Crc32("123456789"), 0xcbf43926u);  // standard check value
+  EXPECT_NE(Crc32("a"), Crc32("b"));
+}
+
+TEST(WalTest, AppendAndRecover) {
+  TempDir dir;
+  std::string path = dir.file("wal.log");
+  {
+    std::vector<WalRecord> recovered;
+    Result<Wal> wal = Wal::Open(path, &recovered);
+    ASSERT_TRUE(wal.ok()) << wal.status();
+    EXPECT_TRUE(recovered.empty());
+    EXPECT_EQ(*wal->Append(Op("one")), 1u);
+    EXPECT_EQ(*wal->Append(Op("two")), 2u);
+  }
+  std::vector<WalRecord> recovered;
+  Result<Wal> wal = Wal::Open(path, &recovered);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_EQ(recovered.size(), 2u);
+  EXPECT_EQ(recovered[0].lsn, 1u);
+  EXPECT_EQ(*recovered[0].payload.GetString("tag"), "one");
+  EXPECT_EQ(*recovered[1].payload.GetString("tag"), "two");
+  EXPECT_EQ(wal->next_lsn(), 3u);
+}
+
+TEST(WalTest, TornTailIsTruncated) {
+  TempDir dir;
+  std::string path = dir.file("wal.log");
+  {
+    std::vector<WalRecord> recovered;
+    Result<Wal> wal = Wal::Open(path, &recovered);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append(Op("good")).ok());
+    ASSERT_TRUE(wal->Append(Op("tail")).ok());
+  }
+  // Chop off the final newline and a few bytes — a torn write.
+  auto size = fs::file_size(path);
+  fs::resize_file(path, size - 5);
+
+  std::vector<WalRecord> recovered;
+  Result<Wal> wal = Wal::Open(path, &recovered);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_EQ(recovered.size(), 1u);
+  EXPECT_EQ(*recovered[0].payload.GetString("tag"), "good");
+
+  // The torn region was truncated, so appending works and re-recovery
+  // sees exactly two clean records.
+  ASSERT_TRUE(wal->Append(Op("after-crash")).ok());
+  std::vector<WalRecord> again;
+  ASSERT_TRUE(Wal::Open(path, &again).ok());
+  ASSERT_EQ(again.size(), 2u);
+  EXPECT_EQ(*again[1].payload.GetString("tag"), "after-crash");
+}
+
+TEST(WalTest, CorruptChecksumStopsRecovery) {
+  TempDir dir;
+  std::string path = dir.file("wal.log");
+  {
+    std::vector<WalRecord> recovered;
+    Result<Wal> wal = Wal::Open(path, &recovered);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append(Op("first")).ok());
+    ASSERT_TRUE(wal->Append(Op("second")).ok());
+    ASSERT_TRUE(wal->Append(Op("third")).ok());
+  }
+  // Flip a byte inside the SECOND record's payload.
+  FILE* f = std::fopen(path.c_str(), "rb+");
+  ASSERT_NE(f, nullptr);
+  // Find the second line start.
+  std::string content;
+  int c;
+  while ((c = std::fgetc(f)) != EOF) content.push_back((char)c);
+  size_t second_line = content.find('\n') + 1;
+  size_t flip = content.find("second", second_line);
+  ASSERT_NE(flip, std::string::npos);
+  std::fseek(f, (long)flip, SEEK_SET);
+  std::fputc('X', f);
+  std::fclose(f);
+
+  std::vector<WalRecord> recovered;
+  Result<Wal> wal = Wal::Open(path, &recovered);
+  ASSERT_TRUE(wal.ok());
+  // Recovery keeps the first record and discards the corrupt tail
+  // (including the third record, which followed the corruption).
+  ASSERT_EQ(recovered.size(), 1u);
+  EXPECT_EQ(*recovered[0].payload.GetString("tag"), "first");
+}
+
+TEST(WalTest, ResetTruncates) {
+  TempDir dir;
+  std::string path = dir.file("wal.log");
+  std::vector<WalRecord> recovered;
+  Result<Wal> wal = Wal::Open(path, &recovered);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_TRUE(wal->Append(Op("x")).ok());
+  ASSERT_TRUE(wal->Reset().ok());
+  EXPECT_EQ(wal->next_lsn(), 1u);
+  EXPECT_EQ(fs::file_size(path), 0u);
+}
+
+Schema S() {
+  return *Schema::Create(
+      {{"id", DataType::kInt, false}, {"v", DataType::kString, true}},
+      {"id"});
+}
+
+Row R(int64_t id, const char* v) { return {Value::Int(id), Value::String(v)}; }
+
+TEST(DatabaseTest, InMemoryCatalogAndMutations) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", S()).ok());
+  EXPECT_TRUE(db.CreateTable("t", S()).IsAlreadyExists());
+  EXPECT_TRUE(db.HasTable("t"));
+  EXPECT_EQ(db.TableNames(), std::vector<std::string>{"t"});
+
+  ASSERT_TRUE(db.Insert("t", R(1, "a")).ok());
+  EXPECT_TRUE(db.Insert("t", R(1, "a")).IsAlreadyExists());
+  ASSERT_TRUE(db.Update("t", R(1, "b")).ok());
+  ASSERT_TRUE(
+      db.UpdateAttribute("t", {Value::Int(1)}, "v", Value::String("c")).ok());
+  EXPECT_EQ((*db.GetTable("t"))->Get({Value::Int(1)})->at(1).AsString(), "c");
+  ASSERT_TRUE(db.Delete("t", {Value::Int(1)}).ok());
+  EXPECT_TRUE(db.Delete("t", {Value::Int(1)}).IsNotFound());
+  EXPECT_TRUE(db.Insert("ghost", R(1, "a")).IsNotFound());
+  ASSERT_TRUE(db.DropTable("t").ok());
+  EXPECT_FALSE(db.HasTable("t"));
+  EXPECT_TRUE(db.DropTable("t").IsNotFound());
+}
+
+TEST(DatabaseTest, UpsertInsertsOrOverwrites) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", S()).ok());
+  ASSERT_TRUE(db.Upsert("t", R(1, "first")).ok());
+  ASSERT_TRUE(db.Upsert("t", R(1, "second")).ok());
+  EXPECT_EQ((*db.GetTable("t"))->row_count(), 1u);
+  EXPECT_EQ((*db.GetTable("t"))->Get({Value::Int(1)})->at(1).AsString(),
+            "second");
+  EXPECT_TRUE(db.Upsert("ghost", R(1, "x")).IsNotFound());
+}
+
+TEST(DatabaseTest, UpsertSurvivesReopen) {
+  TempDir dir;
+  {
+    Result<Database> db = Database::Open(dir.path());
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE(db->CreateTable("t", S()).ok());
+    ASSERT_TRUE(db->Upsert("t", R(1, "v1")).ok());
+    ASSERT_TRUE(db->Upsert("t", R(1, "v2")).ok());
+  }
+  Result<Database> db = Database::Open(dir.path());
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db->GetTable("t"))->Get({Value::Int(1)})->at(1).AsString(),
+            "v2");
+}
+
+TEST(DatabaseTest, FailedOpLeavesStateUntouched) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", S()).ok());
+  ASSERT_TRUE(db.Insert("t", R(1, "a")).ok());
+  Table before = *db.Snapshot("t");
+  EXPECT_FALSE(db.Update("t", R(9, "zz")).ok());
+  EXPECT_EQ(*db.Snapshot("t"), before);
+}
+
+TEST(DatabaseTest, ReplaceTableChecksSchema) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", S()).ok());
+  Table replacement(S());
+  ASSERT_TRUE(replacement.Insert(R(7, "r")).ok());
+  ASSERT_TRUE(db.ReplaceTable("t", replacement).ok());
+  EXPECT_EQ(*db.Snapshot("t"), replacement);
+
+  Table wrong(*Schema::Create({{"x", DataType::kInt, false}}, {"x"}));
+  EXPECT_TRUE(db.ReplaceTable("t", wrong).IsInvalidArgument());
+}
+
+TEST(DatabaseTest, ApplyTableDelta) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", S()).ok());
+  ASSERT_TRUE(db.Insert("t", R(1, "a")).ok());
+  TableDelta delta;
+  delta.inserts.push_back(R(2, "b"));
+  delta.updates.push_back(R(1, "A"));
+  ASSERT_TRUE(db.ApplyTableDelta("t", delta).ok());
+  EXPECT_EQ((*db.GetTable("t"))->row_count(), 2u);
+}
+
+TEST(DatabaseTest, DurableReopenReplaysWal) {
+  TempDir dir;
+  {
+    Result<Database> db = Database::Open(dir.path());
+    ASSERT_TRUE(db.ok()) << db.status();
+    ASSERT_TRUE(db->CreateTable("t", S()).ok());
+    ASSERT_TRUE(db->Insert("t", R(1, "persisted")).ok());
+    ASSERT_TRUE(db->Insert("t", R(2, "also")).ok());
+    ASSERT_TRUE(db->Delete("t", {Value::Int(2)}).ok());
+    // No checkpoint — recovery must come purely from the WAL.
+  }
+  Result<Database> db = Database::Open(dir.path());
+  ASSERT_TRUE(db.ok()) << db.status();
+  ASSERT_TRUE(db->HasTable("t"));
+  EXPECT_EQ((*db->GetTable("t"))->row_count(), 1u);
+  EXPECT_EQ((*db->GetTable("t"))->Get({Value::Int(1)})->at(1).AsString(),
+            "persisted");
+}
+
+TEST(DatabaseTest, CheckpointThenReopen) {
+  TempDir dir;
+  {
+    Result<Database> db = Database::Open(dir.path());
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE(db->CreateTable("t", S()).ok());
+    ASSERT_TRUE(db->Insert("t", R(1, "snap")).ok());
+    ASSERT_TRUE(db->Checkpoint().ok());
+    // Post-checkpoint mutation lands in the fresh WAL.
+    ASSERT_TRUE(db->Insert("t", R(2, "wal")).ok());
+  }
+  Result<Database> db = Database::Open(dir.path());
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ((*db->GetTable("t"))->row_count(), 2u);
+}
+
+TEST(DatabaseTest, TransactionCommitIsAtomic) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", S()).ok());
+  ASSERT_TRUE(db.Insert("t", R(1, "a")).ok());
+
+  Database::Transaction txn = db.Begin();
+  txn.Insert("t", R(2, "b"));
+  txn.UpdateAttribute("t", {Value::Int(1)}, "v", Value::String("A"));
+  txn.Delete("t", {Value::Int(1)});
+  EXPECT_EQ(txn.op_count(), 3u);
+  ASSERT_TRUE(db.Commit(std::move(txn)).ok());
+  EXPECT_EQ((*db.GetTable("t"))->row_count(), 1u);
+  EXPECT_TRUE((*db.GetTable("t"))->Contains({Value::Int(2)}));
+}
+
+TEST(DatabaseTest, TransactionFailureRollsBackEverything) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", S()).ok());
+  ASSERT_TRUE(db.Insert("t", R(1, "a")).ok());
+  Table before = *db.Snapshot("t");
+
+  Database::Transaction txn = db.Begin();
+  txn.Insert("t", R(2, "b"));          // valid
+  txn.Delete("t", {Value::Int(99)});   // invalid — whole txn must abort
+  Status committed = db.Commit(std::move(txn));
+  EXPECT_FALSE(committed.ok());
+  EXPECT_EQ(*db.Snapshot("t"), before);
+}
+
+TEST(DatabaseTest, DroppedTransactionHasNoEffect) {
+  Database db;
+  ASSERT_TRUE(db.CreateTable("t", S()).ok());
+  {
+    Database::Transaction txn = db.Begin();
+    txn.Insert("t", R(1, "discarded"));
+  }
+  EXPECT_EQ((*db.GetTable("t"))->row_count(), 0u);
+}
+
+TEST(DatabaseTest, DurableTransactionSurvivesReopen) {
+  TempDir dir;
+  {
+    Result<Database> db = Database::Open(dir.path());
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE(db->CreateTable("t", S()).ok());
+    Database::Transaction txn = db->Begin();
+    txn.Insert("t", R(1, "x"));
+    txn.Insert("t", R(2, "y"));
+    ASSERT_TRUE(db->Commit(std::move(txn)).ok());
+  }
+  Result<Database> db = Database::Open(dir.path());
+  ASSERT_TRUE(db.ok());
+  EXPECT_EQ((*db->GetTable("t"))->row_count(), 2u);
+}
+
+}  // namespace
+}  // namespace medsync::relational
