@@ -11,8 +11,14 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
+#include "bx/compose_lens.h"
+#include "bx/lens_factory.h"
 #include "common/strings.h"
+#include "common/threading/thread_pool.h"
 #include "core/scenario.h"
+#include "core/sync_manager.h"
 #include "medical/generator.h"
 #include "medical/records.h"
 
@@ -175,5 +181,88 @@ void BM_Fig5_DependencyCheckOnly(benchmark::State& state) {
 }
 BENCHMARK(BM_Fig5_DependencyCheckOnly)
     ->ArgsProduct({{2, 64, 512, 4096}, {0, 1}});
+
+void BM_Fig5_DependencyCheckThreaded(benchmark::State& state) {
+  // Step 6 with MANY sibling views: one source table shared through eight
+  // select∘project lenses, kAlwaysRederive so every sibling Get runs. The
+  // pool size is the second argument; `speedup_vs_serial` compares against
+  // the same SyncManager with its pool detached.
+  using namespace medsync::medical;
+  using relational::CompareOp;
+  using relational::Predicate;
+  using relational::Table;
+
+  const auto records = static_cast<size_t>(state.range(0));
+  constexpr size_t kSiblings = 8;
+  threading::ThreadPool pool(static_cast<size_t>(state.range(1)));
+
+  relational::Database db;
+  Table source = GenerateFullRecords(
+      {.seed = 4242, .record_count = records, .first_patient_id = 1});
+  if (!db.CreateTable("SRC", source.schema()).ok()) std::abort();
+  if (!db.ReplaceTable("SRC", source).ok()) std::abort();
+
+  core::SyncManager sync(&db, core::DependencyStrategy::kAlwaysRederive);
+  const std::vector<std::string> projections[] = {
+      {kPatientId, kMedicationName, kDosage},
+      {kPatientId, kClinicalData},
+      {kPatientId, kMedicationName, kMechanismOfAction},
+      {kPatientId, kAddress},
+  };
+  for (size_t i = 0; i < kSiblings; ++i) {
+    bx::LensPtr lens = bx::MakeProjectLens(
+        projections[i % std::size(projections)], {kPatientId});
+    if (i % 2 == 1) {
+      lens = bx::Compose(
+          bx::MakeSelectLens(Predicate::Compare(
+              kPatientId, CompareOp::kLe,
+              Value::Int(static_cast<int64_t>(records / 2 + 4 * i)))),
+          lens);
+    }
+    std::string view_name = StrCat("VIEW", i);
+    Table derived = *lens->Get(source);
+    if (!db.CreateTable(view_name, derived.schema()).ok()) std::abort();
+    if (!db.ReplaceTable(view_name, derived).ok()) std::abort();
+    if (!sync.RegisterView(StrCat("table-", i), "SRC", view_name, lens)
+             .ok()) {
+      std::abort();
+    }
+  }
+
+  Table before = *db.Snapshot("SRC");
+  relational::Key first_key = before.rows().begin()->first;
+  if (!db.UpdateAttribute("SRC", first_key, kMedicationName,
+                          Value::String("Threaded-Rename"))
+           .ok()) {
+    std::abort();
+  }
+
+  auto time_once = [&] {
+    auto start = std::chrono::steady_clock::now();
+    auto refreshes = sync.FindAffectedViews("SRC", before, /*exclude=*/"");
+    benchmark::DoNotOptimize(refreshes);
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  constexpr int kBaselineReps = 10;
+  double serial_seconds = 0;
+  for (int rep = 0; rep < kBaselineReps; ++rep) serial_seconds += time_once();
+  serial_seconds /= kBaselineReps;
+
+  sync.set_thread_pool(&pool);
+  double threaded_seconds = 0;
+  for (auto _ : state) {
+    threaded_seconds += time_once();
+  }
+  state.counters["records"] = static_cast<double>(records);
+  state.counters["sibling_views"] = static_cast<double>(kSiblings);
+  state.counters["pool_size"] = static_cast<double>(state.range(1));
+  state.counters["speedup_vs_serial"] =
+      serial_seconds /
+      (threaded_seconds / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_Fig5_DependencyCheckThreaded)
+    ->ArgsProduct({{512, 4096}, {1, 2, 4, 8}});
 
 }  // namespace

@@ -9,11 +9,15 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "bx/compose_lens.h"
 #include "bx/lens_factory.h"
 #include "common/strings.h"
+#include "common/threading/thread_pool.h"
 #include "contracts/metadata_contract.h"
 #include "core/peer.h"
+#include "core/sync_manager.h"
 #include "medical/generator.h"
 #include "medical/records.h"
 
@@ -183,5 +187,74 @@ BENCHMARK(BM_SharingRelationshipsScale)
     ->Arg(4)
     ->Arg(16)
     ->Arg(32);
+
+void BM_DependencyCheckScale_Threaded(benchmark::State& state) {
+  // How the provider-side dependency check scales with the NUMBER of
+  // sharing relationships when sibling Gets run on a worker pool: one
+  // source table, N select∘project sibling views, kAlwaysRederive so every
+  // view re-derives per check. Arg 0 = sibling views, arg 1 = pool size;
+  // `speedup_vs_serial` compares against the same check with no pool.
+  const auto siblings = static_cast<size_t>(state.range(0));
+  constexpr size_t kRecords = 512;
+  threading::ThreadPool pool(static_cast<size_t>(state.range(1)));
+
+  relational::Database db;
+  Table source = GenerateFullRecords(
+      {.seed = 99, .record_count = kRecords, .first_patient_id = 1});
+  if (!db.CreateTable("FULL", source.schema()).ok()) std::abort();
+  if (!db.ReplaceTable("FULL", source).ok()) std::abort();
+
+  core::SyncManager sync(&db, core::DependencyStrategy::kAlwaysRederive);
+  for (size_t i = 0; i < siblings; ++i) {
+    bx::LensPtr lens = bx::Compose(
+        bx::MakeSelectLens(Predicate::Compare(
+            kPatientId, CompareOp::kLe,
+            Value::Int(static_cast<int64_t>(kRecords / 2 + i)))),
+        bx::MakeProjectLens({kPatientId, kMedicationName, kDosage},
+                            {kPatientId}));
+    std::string view_name = StrCat("V", i);
+    Table derived = *lens->Get(source);
+    if (!db.CreateTable(view_name, derived.schema()).ok()) std::abort();
+    if (!db.ReplaceTable(view_name, derived).ok()) std::abort();
+    if (!sync.RegisterView(StrCat("rel-", i), "FULL", view_name, lens).ok()) {
+      std::abort();
+    }
+  }
+
+  Table before = *db.Snapshot("FULL");
+  relational::Key first_key = before.rows().begin()->first;
+  if (!db.UpdateAttribute("FULL", first_key, kDosage,
+                          Value::String("scale-dose"))
+           .ok()) {
+    std::abort();
+  }
+
+  auto time_once = [&] {
+    auto start = std::chrono::steady_clock::now();
+    auto refreshes = sync.FindAffectedViews("FULL", before, /*exclude=*/"");
+    benchmark::DoNotOptimize(refreshes);
+    return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                         start)
+        .count();
+  };
+  constexpr int kBaselineReps = 10;
+  double serial_seconds = 0;
+  for (int rep = 0; rep < kBaselineReps; ++rep) serial_seconds += time_once();
+  serial_seconds /= kBaselineReps;
+
+  sync.set_thread_pool(&pool);
+  double threaded_seconds = 0;
+  for (auto _ : state) {
+    threaded_seconds += time_once();
+  }
+  state.SetItemsProcessed(state.iterations() * static_cast<int64_t>(siblings));
+  state.counters["sibling_views"] = static_cast<double>(siblings);
+  state.counters["pool_size"] = static_cast<double>(state.range(1));
+  state.counters["speedup_vs_serial"] =
+      serial_seconds /
+      (threaded_seconds / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_DependencyCheckScale_Threaded)
+    ->ArgsProduct({{4, 8, 16, 32}, {1, 4}});
 
 }  // namespace

@@ -1,5 +1,7 @@
 #include "chain/block.h"
 
+#include "common/threading/thread_pool.h"
+
 namespace medsync::chain {
 
 namespace {
@@ -69,15 +71,20 @@ Result<BlockHeader> BlockHeader::FromJson(const Json& json) {
   return header;
 }
 
-std::vector<crypto::Hash256> Block::TransactionLeaves() const {
-  std::vector<crypto::Hash256> leaves;
-  leaves.reserve(transactions.size());
-  for (const Transaction& tx : transactions) leaves.push_back(tx.Id());
+std::vector<crypto::Hash256> Block::TransactionLeaves(
+    threading::ThreadPool* pool) const {
+  std::vector<crypto::Hash256> leaves(transactions.size());
+  threading::ParallelFor(pool, 0, transactions.size(), /*grain=*/4,
+                         [this, &leaves](size_t begin, size_t end) {
+                           for (size_t i = begin; i < end; ++i) {
+                             leaves[i] = transactions[i].Id();
+                           }
+                         });
   return leaves;
 }
 
-crypto::Hash256 Block::ComputeMerkleRoot() const {
-  return crypto::MerkleTree::ComputeRoot(TransactionLeaves());
+crypto::Hash256 Block::ComputeMerkleRoot(threading::ThreadPool* pool) const {
+  return crypto::MerkleTree::ComputeRoot(TransactionLeaves(pool), pool);
 }
 
 Json Block::ToJson() const {

@@ -11,6 +11,10 @@
 #include "crypto/merkle.h"
 #include "crypto/sha256.h"
 
+namespace medsync::threading {
+class ThreadPool;
+}  // namespace medsync::threading
+
 namespace medsync::chain {
 
 /// Block header. `difficulty`/`pow_nonce` are used in proof-of-work mode;
@@ -45,10 +49,16 @@ struct Block {
   BlockHeader header;
   std::vector<Transaction> transactions;
 
-  crypto::Hash256 ComputeMerkleRoot() const;
+  /// `pool` (optional) parallelizes leaf digests and tree levels; the root
+  /// is identical to the serial computation.
+  crypto::Hash256 ComputeMerkleRoot(threading::ThreadPool* pool = nullptr)
+      const;
 
-  /// Leaf digests (transaction ids) in block order.
-  std::vector<crypto::Hash256> TransactionLeaves() const;
+  /// Leaf digests (transaction ids) in block order. Each leaf is a
+  /// canonical-JSON dump plus SHA-256 — the dominant cost of the root — so
+  /// leaves are computed in parallel when a pool is given.
+  std::vector<crypto::Hash256> TransactionLeaves(
+      threading::ThreadPool* pool = nullptr) const;
 
   Json ToJson() const;
   static Result<Block> FromJson(const Json& json);

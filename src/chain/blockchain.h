@@ -29,9 +29,15 @@ class Blockchain {
       std::function<std::optional<std::string>(const Transaction&)>;
 
   /// `sealer` validates seals of incoming blocks; it must outlive the
-  /// chain. `conflict_key` may be null (rule disabled).
+  /// chain. `conflict_key` may be null (rule disabled). `pool` (optional,
+  /// must outlive the chain) parallelizes block validation — transaction
+  /// signature checks and the Merkle-root recomputation; a null pool keeps
+  /// validation fully serial.
   Blockchain(Block genesis, const Sealer* sealer,
-             ConflictKeyFn conflict_key = nullptr);
+             ConflictKeyFn conflict_key = nullptr,
+             threading::ThreadPool* pool = nullptr);
+
+  void set_thread_pool(threading::ThreadPool* pool) { pool_ = pool; }
 
   /// A deterministic genesis block (height 0, zero parent, no seal).
   static Block MakeGenesis(Micros timestamp);
@@ -82,6 +88,7 @@ class Blockchain {
 
   const Sealer* sealer_;
   ConflictKeyFn conflict_key_;
+  threading::ThreadPool* pool_;
   std::map<std::string, Node> blocks_;  // keyed by hex block hash
   crypto::Hash256 genesis_hash_;
   crypto::Hash256 head_hash_;

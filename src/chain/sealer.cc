@@ -1,22 +1,89 @@
 #include "chain/sealer.h"
 
+#include <atomic>
+
 #include "common/strings.h"
+#include "common/threading/thread_pool.h"
 
 namespace medsync::chain {
+
+namespace {
+/// Nonces each PoW worker claims per grab. Small enough that workers stop
+/// quickly after a hit, large enough that the claim counter is not
+/// contended (one atomic op per kPowChunk hashes).
+constexpr uint64_t kPowChunk = 512;
+}  // namespace
 
 Status PowSealer::Seal(Block* block) const {
   BlockHeader& header = block->header;
   header.difficulty = difficulty_bits_;
   header.sealer = crypto::Address::Zero();
   header.seal = crypto::Signature{};
+  if (pool_ != nullptr && pool_->worker_count() > 1) {
+    return SealParallel(&header);
+  }
+  return SealSerial(&header);
+}
+
+Status PowSealer::SealSerial(BlockHeader* header) const {
   for (uint64_t nonce = 0;; ++nonce) {
-    header.pow_nonce = nonce;
-    if (MeetsDifficulty(header.Hash(), difficulty_bits_)) {
+    header->pow_nonce = nonce;
+    if (MeetsDifficulty(header->Hash(), difficulty_bits_)) {
       return Status::OK();
     }
-    if (nonce == UINT64_MAX) break;
+    if (nonce == max_nonce_) break;
   }
   return Status::ResourceExhausted("PoW nonce space exhausted");
+}
+
+Status PowSealer::SealParallel(BlockHeader* header) const {
+  // Workers claim consecutive kPowChunk-sized nonce ranges from a shared
+  // counter and race to lower `best`, the smallest satisfying nonce found
+  // so far. Because ranges are claimed in increasing order and a claimed
+  // range is always scanned up to min(range end, best), every nonce below
+  // the final `best` has been tested by SOME worker when the group joins —
+  // so `best` is the global minimum, identical to the serial scan's result.
+  std::atomic<uint64_t> next_chunk{0};
+  std::atomic<uint64_t> best{UINT64_MAX};
+  std::atomic<bool> found{false};
+  const uint64_t chunk_count = max_nonce_ / kPowChunk + 1;
+
+  auto search = [&, header_copy = *header]() mutable {
+    while (true) {
+      const uint64_t chunk = next_chunk.fetch_add(1);
+      if (chunk >= chunk_count) return;
+      const uint64_t begin = chunk * kPowChunk;
+      if (found.load(std::memory_order_acquire) && begin > best.load()) {
+        return;  // Every nonce below the current best is already covered.
+      }
+      const uint64_t end =
+          std::min(max_nonce_, begin + (kPowChunk - 1));  // inclusive
+      for (uint64_t nonce = begin;; ++nonce) {
+        if (found.load(std::memory_order_relaxed) && nonce > best.load()) {
+          break;  // This chunk can no longer improve on the best hit.
+        }
+        header_copy.pow_nonce = nonce;
+        if (MeetsDifficulty(header_copy.Hash(), difficulty_bits_)) {
+          uint64_t prev = best.load();
+          while (nonce < prev && !best.compare_exchange_weak(prev, nonce)) {
+          }
+          found.store(true, std::memory_order_release);
+          break;  // Lower nonces of this chunk were already scanned.
+        }
+        if (nonce == end) break;
+      }
+    }
+  };
+
+  threading::TaskGroup group(pool_);
+  for (size_t i = 0; i < pool_->worker_count(); ++i) group.Run(search);
+  group.Wait();
+
+  if (!found.load()) {
+    return Status::ResourceExhausted("PoW nonce space exhausted");
+  }
+  header->pow_nonce = best.load();
+  return Status::OK();
 }
 
 Status PowSealer::ValidateSeal(const BlockHeader& header) const {

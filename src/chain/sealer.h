@@ -1,12 +1,18 @@
 #ifndef MEDSYNC_CHAIN_SEALER_H_
 #define MEDSYNC_CHAIN_SEALER_H_
 
+#include <cstdint>
+#include <limits>
 #include <memory>
 #include <set>
 #include <vector>
 
 #include "chain/block.h"
 #include "crypto/keys.h"
+
+namespace medsync::threading {
+class ThreadPool;
+}  // namespace medsync::threading
 
 namespace medsync::chain {
 
@@ -33,16 +39,35 @@ class PowSealer : public Sealer {
  public:
   /// `difficulty_bits`: required leading zero bits of the header hash.
   /// Simulation-scale values are 8-20 bits (ms-scale sealing on one core).
-  explicit PowSealer(uint32_t difficulty_bits)
-      : difficulty_bits_(difficulty_bits) {}
+  ///
+  /// `pool` (optional, must outlive the sealer) parallelizes the nonce
+  /// search across workers on disjoint ranges. The parallel search is
+  /// deterministic: it always returns the LOWEST satisfying nonce, i.e. the
+  /// exact nonce the serial scan finds, so sealed blocks are byte-identical
+  /// whether or not a pool is plugged in.
+  ///
+  /// `max_nonce` bounds the search space (inclusive). Seal returns
+  /// ResourceExhausted once the space is exhausted without a hit — at
+  /// realistic difficulties that means a wrapped 64-bit scan; tests lower
+  /// the bound to make exhaustion reachable.
+  explicit PowSealer(
+      uint32_t difficulty_bits, threading::ThreadPool* pool = nullptr,
+      uint64_t max_nonce = std::numeric_limits<uint64_t>::max())
+      : difficulty_bits_(difficulty_bits), pool_(pool), max_nonce_(max_nonce) {}
 
   Status Seal(Block* block) const override;
   Status ValidateSeal(const BlockHeader& header) const override;
 
   uint32_t difficulty_bits() const { return difficulty_bits_; }
+  uint64_t max_nonce() const { return max_nonce_; }
 
  private:
+  Status SealSerial(BlockHeader* header) const;
+  Status SealParallel(BlockHeader* header) const;
+
   uint32_t difficulty_bits_;
+  threading::ThreadPool* pool_;
+  uint64_t max_nonce_;
 };
 
 class PoaSealer : public Sealer {

@@ -1,0 +1,137 @@
+#include "common/threading/thread_pool.h"
+
+#include <algorithm>
+#include <utility>
+
+namespace medsync::threading {
+
+ThreadPool::ThreadPool(size_t worker_count) {
+  worker_count = std::max<size_t>(worker_count, 1);
+  workers_.reserve(worker_count);
+  for (size_t i = 0; i < worker_count; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stopping_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& worker : workers_) worker.join();
+}
+
+void ThreadPool::Submit(std::function<void()> task) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+}
+
+uint64_t ThreadPool::tasks_executed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return tasks_executed_;
+}
+
+void ThreadPool::WorkerLoop() {
+  while (true) {
+    std::function<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      // Drain-before-stop: queued work submitted before destruction still
+      // runs; workers only exit on an empty queue.
+      if (queue_.empty()) return;
+      task = std::move(queue_.front());
+      queue_.pop_front();
+      ++tasks_executed_;
+    }
+    task();
+  }
+}
+
+void Latch::CountDown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (remaining_ > 0 && --remaining_ == 0) cv_.notify_all();
+}
+
+void Latch::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return remaining_ == 0; });
+}
+
+TaskGroup::~TaskGroup() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+void TaskGroup::Run(std::function<void()> task) {
+  if (pool_ == nullptr) {
+    try {
+      task();
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(mu_);
+      if (!first_error_) first_error_ = std::current_exception();
+    }
+    return;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    ++pending_;
+  }
+  pool_->Submit([this, task = std::move(task)] {
+    std::exception_ptr error;
+    try {
+      task();
+    } catch (...) {
+      error = std::current_exception();
+    }
+    Finish(error);
+  });
+}
+
+void TaskGroup::Finish(std::exception_ptr error) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (error && !first_error_) first_error_ = error;
+  if (--pending_ == 0) cv_.notify_all();
+}
+
+void TaskGroup::Wait() {
+  std::unique_lock<std::mutex> lock(mu_);
+  cv_.wait(lock, [this] { return pending_ == 0; });
+  if (first_error_) {
+    std::exception_ptr error = std::exchange(first_error_, nullptr);
+    lock.unlock();
+    std::rethrow_exception(error);
+  }
+}
+
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn) {
+  if (begin >= end) return;
+  grain = std::max<size_t>(grain, 1);
+  const size_t range = end - begin;
+  if (pool == nullptr || pool->worker_count() <= 1 || range <= grain) {
+    fn(begin, end);
+    return;
+  }
+  TaskGroup group(pool);
+  // Dispatch every chunk after the first; the caller runs chunk 0 itself so
+  // small ranges pay at most one cross-thread handoff of latency.
+  for (size_t chunk_begin = begin + grain; chunk_begin < end;
+       chunk_begin += grain) {
+    size_t chunk_end = std::min(chunk_begin + grain, end);
+    group.Run([&fn, chunk_begin, chunk_end] { fn(chunk_begin, chunk_end); });
+  }
+  try {
+    fn(begin, begin + grain);
+  } catch (...) {
+    group.Wait();  // Never abandon in-flight chunks referencing `fn`.
+    throw;
+  }
+  group.Wait();
+}
+
+}  // namespace medsync::threading

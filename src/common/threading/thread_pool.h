@@ -1,0 +1,125 @@
+#ifndef MEDSYNC_COMMON_THREADING_THREAD_POOL_H_
+#define MEDSYNC_COMMON_THREADING_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace medsync::threading {
+
+/// A fixed-size worker pool with a single FIFO work queue.
+///
+/// Every parallel hot path in the library (PoW nonce search, Merkle
+/// construction, block validation, sibling-view rederivation) takes an
+/// optional `ThreadPool*`; a null pool selects the serial code path, which
+/// stays byte-identical to the pre-threading behaviour. The parallel paths
+/// are written to be DETERMINISTIC as well — same inputs, same outputs,
+/// regardless of pool size or scheduling — so the discrete-event simulator
+/// and the determinism tests hold with any pool plugged in.
+///
+/// Contract: tasks must not Submit-and-Wait on the SAME pool from inside a
+/// pool worker (a saturated pool would deadlock). The library only
+/// dispatches parallel work from simulator/benchmark threads, never from
+/// inside a pool task.
+class ThreadPool {
+ public:
+  /// Spawns `worker_count` threads (clamped to at least 1).
+  explicit ThreadPool(size_t worker_count);
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Drains the queue — every task already submitted still runs — then
+  /// joins all workers.
+  ~ThreadPool();
+
+  /// Enqueues `task` for execution on some worker.
+  void Submit(std::function<void()> task);
+
+  size_t worker_count() const { return workers_.size(); }
+
+  /// Tasks executed since construction (observability for tests/benches).
+  uint64_t tasks_executed() const;
+
+ private:
+  void WorkerLoop();
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::function<void()>> queue_;
+  bool stopping_ = false;
+  uint64_t tasks_executed_ = 0;
+  std::vector<std::thread> workers_;
+};
+
+/// A single-use countdown latch (std::latch without requiring <latch>
+/// everywhere): Wait() blocks until CountDown() has been called `count`
+/// times.
+class Latch {
+ public:
+  explicit Latch(size_t count) : remaining_(count) {}
+
+  void CountDown();
+  void Wait();
+
+ private:
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t remaining_;
+};
+
+/// Fork-join helper: Run() dispatches a task to the pool (or runs it inline
+/// when the pool is null), Wait() blocks until every dispatched task
+/// finished and rethrows the FIRST exception any task threw. The library
+/// itself is Status-based and never throws, but user-supplied callables may;
+/// swallowing their exceptions on a worker thread would abort the process.
+class TaskGroup {
+ public:
+  /// `pool` may be null (inline execution) and must outlive the group.
+  explicit TaskGroup(ThreadPool* pool) : pool_(pool) {}
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  /// Waits for outstanding tasks; exceptions are dropped here (call Wait()
+  /// explicitly to observe them).
+  ~TaskGroup();
+
+  void Run(std::function<void()> task);
+
+  /// Blocks until all tasks Run() so far completed; rethrows the first
+  /// captured exception.
+  void Wait();
+
+ private:
+  void Finish(std::exception_ptr error);
+
+  ThreadPool* pool_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t pending_ = 0;
+  std::exception_ptr first_error_;
+};
+
+/// Splits [begin, end) into chunks of at least `grain` indices and invokes
+/// `fn(chunk_begin, chunk_end)` for each, in parallel on `pool`. The caller
+/// thread executes the first chunk itself (cuts dispatch latency for small
+/// ranges). Serial fallbacks — null pool, single worker, or a range that
+/// fits one grain — invoke `fn(begin, end)` once on the caller.
+///
+/// `fn` must be safe to run concurrently on disjoint chunks; chunk
+/// boundaries depend only on (begin, end, grain) — never on worker count or
+/// scheduling — so any per-chunk-slot reduction the caller performs is
+/// identical across pool sizes. Exceptions thrown by `fn` propagate to the
+/// caller.
+void ParallelFor(ThreadPool* pool, size_t begin, size_t end, size_t grain,
+                 const std::function<void(size_t, size_t)>& fn);
+
+}  // namespace medsync::threading
+
+#endif  // MEDSYNC_COMMON_THREADING_THREAD_POOL_H_

@@ -27,6 +27,11 @@ Result<std::unique_ptr<ClinicScenario>> ClinicScenario::Create(
     const ScenarioOptions& options) {
   auto scenario = std::unique_ptr<ClinicScenario>(new ClinicScenario());
   scenario->options_ = options;
+  if (options.worker_threads > 0) {
+    scenario->pool_ =
+        std::make_unique<threading::ThreadPool>(options.worker_threads);
+  }
+  threading::ThreadPool* pool = scenario->pool_.get();
   scenario->simulator_ = std::make_unique<net::Simulator>();
   scenario->network_ = std::make_unique<net::Network>(
       scenario->simulator_.get(), options.latency, options.seed);
@@ -49,7 +54,8 @@ Result<std::unique_ptr<ClinicScenario>> ClinicScenario::Create(
       sealer = std::make_shared<chain::PoaSealer>(authorities,
                                                   authority_keys[i]);
     } else {
-      sealer = std::make_shared<chain::PowSealer>(options.pow_difficulty_bits);
+      sealer =
+          std::make_shared<chain::PowSealer>(options.pow_difficulty_bits, pool);
     }
     auto host = std::make_unique<contracts::ContractHost>();
     host->RegisterType("metadata", contracts::MetadataContract::Create);
@@ -59,6 +65,7 @@ Result<std::unique_ptr<ClinicScenario>> ClinicScenario::Create(
     node_config.max_block_txs = options.max_block_txs;
     node_config.sealing_enabled =
         options.consensus == ConsensusMode::kPoa || i == 0;
+    node_config.pool = pool;
     scenario->nodes_.push_back(std::make_unique<runtime::ChainNode>(
         node_config, scenario->simulator_.get(), scenario->network_.get(),
         std::move(sealer), genesis, contracts::SharedDataConflictKey,
@@ -75,6 +82,7 @@ Result<std::unique_ptr<ClinicScenario>> ClinicScenario::Create(
     auto peer = std::make_unique<Peer>(
         config, scenario->simulator_.get(), scenario->network_.get(),
         scenario->nodes_[node_index % scenario->nodes_.size()].get());
+    peer->sync().set_thread_pool(pool);
     peer->Start();
     return peer;
   };

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/threading/thread_pool.h"
 #include "core/peer.h"
 #include "net/network.h"
 #include "net/simulator.h"
@@ -37,6 +38,13 @@ struct ScenarioOptions {
   DependencyStrategy strategy = DependencyStrategy::kAnalyzeChange;
   net::LatencyModel latency;
   size_t max_block_txs = 100;
+  /// 0 = fully serial (no pool). Otherwise the scenario owns a ThreadPool
+  /// of this many workers, shared by every chain node (block validation,
+  /// Merkle commitment, PoW sealing) and every peer's sync manager
+  /// (cascade rederivation). All pooled paths are deterministic, so runs
+  /// are byte-identical across worker counts — core_determinism_test
+  /// proves it for 1/2/8.
+  size_t worker_threads = 0;
 };
 
 /// The fully wired three-stakeholder deployment:
@@ -87,6 +95,9 @@ class ClinicScenario {
   bool Quiescent() const;
 
   ScenarioOptions options_;
+  /// Declared before the components that borrow it so it outlives them all
+  /// (destruction runs bottom-up).
+  std::unique_ptr<threading::ThreadPool> pool_;
   std::unique_ptr<net::Simulator> simulator_;
   std::unique_ptr<net::Network> network_;
   std::vector<std::unique_ptr<runtime::ChainNode>> nodes_;

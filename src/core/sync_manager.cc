@@ -1,6 +1,7 @@
 #include "core/sync_manager.h"
 
 #include "common/strings.h"
+#include "common/threading/thread_pool.h"
 #include "relational/delta.h"
 
 namespace medsync::core {
@@ -85,6 +86,19 @@ Result<bx::SourceChange> SyncManager::PutViewIntoSource(
   return bx::AnalyzeSourceChange(source, updated);
 }
 
+namespace {
+
+/// Outcome of inspecting one sibling view; produced concurrently, merged
+/// serially in table-id order.
+struct SiblingScan {
+  Status status;
+  bool get_skipped = false;
+  bool get_executed = false;
+  std::optional<ViewRefresh> refresh;
+};
+
+}  // namespace
+
 Result<std::vector<ViewRefresh>> SyncManager::FindAffectedViews(
     const std::string& source_table, const Table& before,
     const std::string& exclude_table_id) {
@@ -94,36 +108,79 @@ Result<std::vector<ViewRefresh>> SyncManager::FindAffectedViews(
   MEDSYNC_ASSIGN_OR_RETURN(bx::SourceChange change,
                            bx::AnalyzeSourceChange(before, after));
 
-  std::vector<ViewRefresh> refreshes;
+  // Candidate siblings, in views_ (table-id) order.
+  std::vector<const ViewBinding*> candidates;
   for (const auto& [id, binding] : views_) {
     if (id == exclude_table_id) continue;
     if (binding.source_table != source_table) continue;
+    candidates.push_back(&binding);
+  }
 
-    if (strategy_ == DependencyStrategy::kAnalyzeChange) {
-      MEDSYNC_ASSIGN_OR_RETURN(
-          bool may_affect,
-          bx::ChangeMayAffectView(*binding.lens, after.schema(), change));
-      if (!may_affect) {
-        ++gets_skipped_;
-        continue;
+  // The per-sibling work — overlap analysis, lens get, diff against the
+  // materialization — only READS the database and the immutable lenses, so
+  // the scans run concurrently, one result slot each. Merging (and the
+  // skip/execute counters) happens after the join, in candidate order, so
+  // the refresh list is deterministic regardless of pool size.
+  const DependencyStrategy strategy = strategy_;
+  std::vector<SiblingScan> scans(candidates.size());
+  auto scan_one = [this, &after, &change, &candidates, &scans,
+                   strategy](size_t index) {
+    const ViewBinding& binding = *candidates[index];
+    SiblingScan& out = scans[index];
+    if (strategy == DependencyStrategy::kAnalyzeChange) {
+      Result<bool> may_affect =
+          bx::ChangeMayAffectView(*binding.lens, after.schema(), change);
+      if (!may_affect.ok()) {
+        out.status = may_affect.status();
+        return;
+      }
+      if (!*may_affect) {
+        out.get_skipped = true;
+        return;
       }
     }
-
-    MEDSYNC_ASSIGN_OR_RETURN(Table derived, binding.lens->Get(after));
-    ++gets_executed_;
-    MEDSYNC_ASSIGN_OR_RETURN(const Table* current,
-                             database_->GetTable(binding.view_table));
-    if (derived == *current) continue;
-
-    MEDSYNC_ASSIGN_OR_RETURN(bx::SourceChange view_change,
-                             bx::AnalyzeSourceChange(*current, derived));
+    Result<Table> derived = binding.lens->Get(after);
+    if (!derived.ok()) {
+      out.status = derived.status();
+      return;
+    }
+    out.get_executed = true;
+    Result<const Table*> current = database_->GetTable(binding.view_table);
+    if (!current.ok()) {
+      out.status = current.status();
+      return;
+    }
+    if (*derived == **current) return;
+    Result<bx::SourceChange> view_change =
+        bx::AnalyzeSourceChange(**current, *derived);
+    if (!view_change.ok()) {
+      out.status = view_change.status();
+      return;
+    }
     ViewRefresh refresh;
-    refresh.table_id = id;
-    refresh.new_view = std::move(derived);
-    refresh.changed_attributes.assign(view_change.changed_attributes.begin(),
-                                      view_change.changed_attributes.end());
-    refresh.membership_changed = view_change.membership_changed;
-    refreshes.push_back(std::move(refresh));
+    refresh.table_id = binding.table_id;
+    refresh.new_view = std::move(*derived);
+    refresh.changed_attributes.assign(view_change->changed_attributes.begin(),
+                                      view_change->changed_attributes.end());
+    refresh.membership_changed = view_change->membership_changed;
+    out.refresh = std::move(refresh);
+  };
+  if (pool_ != nullptr && candidates.size() > 1) {
+    threading::TaskGroup group(pool_);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      group.Run([&scan_one, i] { scan_one(i); });
+    }
+    group.Wait();
+  } else {
+    for (size_t i = 0; i < candidates.size(); ++i) scan_one(i);
+  }
+
+  std::vector<ViewRefresh> refreshes;
+  for (SiblingScan& scan : scans) {
+    if (scan.get_skipped) ++gets_skipped_;
+    if (scan.get_executed) ++gets_executed_;
+    if (!scan.status.ok()) return scan.status;
+    if (scan.refresh.has_value()) refreshes.push_back(std::move(*scan.refresh));
   }
   return refreshes;
 }

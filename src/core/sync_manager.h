@@ -9,6 +9,10 @@
 #include "bx/overlap.h"
 #include "relational/database.h"
 
+namespace medsync::threading {
+class ThreadPool;
+}  // namespace medsync::threading
+
 namespace medsync::core {
 
 /// How a peer decides whether OTHER views of the same source need
@@ -46,6 +50,14 @@ class SyncManager {
  public:
   /// `database` must outlive the manager.
   SyncManager(relational::Database* database, DependencyStrategy strategy);
+
+  /// Parallelizes the sibling-view scans of FindAffectedViews across
+  /// `pool` (which must outlive the manager; null = serial). During the
+  /// parallel phase the database is only READ (lens gets, table compares),
+  /// so the non-synchronized Database is safe to share; results are merged
+  /// back in table-id order, making output and counters independent of
+  /// pool size.
+  void set_thread_pool(threading::ThreadPool* pool) { pool_ = pool; }
 
   /// Associates shared table `table_id` with `view_table` (its local
   /// materialization), derived from `source_table` through `lens`. Both
@@ -103,6 +115,7 @@ class SyncManager {
  private:
   relational::Database* database_;
   DependencyStrategy strategy_;
+  threading::ThreadPool* pool_ = nullptr;
   std::map<std::string, ViewBinding> views_;
   uint64_t gets_skipped_ = 0;
   uint64_t gets_executed_ = 0;

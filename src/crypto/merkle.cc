@@ -2,24 +2,48 @@
 
 #include <cassert>
 
+#include "common/threading/thread_pool.h"
+
 namespace medsync::crypto {
 
-MerkleTree::MerkleTree(std::vector<Hash256> leaves) {
+namespace {
+
+/// Builds the parent level of `prev`: parent i hashes children (2i, 2i+1),
+/// the odd tail node pairing with itself. Parent slots are independent, so
+/// big levels are chunked across the pool; every slot is written exactly
+/// once, making the result identical to the serial loop.
+std::vector<Hash256> NextLevel(const std::vector<Hash256>& prev,
+                               threading::ThreadPool* pool) {
+  const size_t parent_count = (prev.size() + 1) / 2;
+  std::vector<Hash256> next(parent_count);
+  auto fill = [&prev, &next](size_t begin, size_t end) {
+    for (size_t i = begin; i < end; ++i) {
+      const Hash256& left = prev[2 * i];
+      const Hash256& right =
+          (2 * i + 1 < prev.size()) ? prev[2 * i + 1] : prev[2 * i];
+      next[i] = Sha256::HashPair(left, right);
+    }
+  };
+  if (pool != nullptr && parent_count >= MerkleTree::kParallelLeafThreshold) {
+    threading::ParallelFor(pool, 0, parent_count,
+                           MerkleTree::kParallelLeafThreshold / 4, fill);
+  } else {
+    fill(0, parent_count);
+  }
+  return next;
+}
+
+}  // namespace
+
+MerkleTree::MerkleTree(std::vector<Hash256> leaves,
+                       threading::ThreadPool* pool) {
   if (leaves.empty()) {
     root_ = Hash256::Zero();
     return;
   }
   levels_.push_back(std::move(leaves));
   while (levels_.back().size() > 1) {
-    const std::vector<Hash256>& prev = levels_.back();
-    std::vector<Hash256> next;
-    next.reserve((prev.size() + 1) / 2);
-    for (size_t i = 0; i < prev.size(); i += 2) {
-      const Hash256& left = prev[i];
-      const Hash256& right = (i + 1 < prev.size()) ? prev[i + 1] : prev[i];
-      next.push_back(Sha256::HashPair(left, right));
-    }
-    levels_.push_back(std::move(next));
+    levels_.push_back(NextLevel(levels_.back(), pool));
   }
   root_ = levels_.back()[0];
 }
@@ -57,18 +81,12 @@ bool MerkleTree::VerifyProof(const Hash256& leaf, const MerkleProof& proof,
   return running == root;
 }
 
-Hash256 MerkleTree::ComputeRoot(const std::vector<Hash256>& leaves) {
+Hash256 MerkleTree::ComputeRoot(const std::vector<Hash256>& leaves,
+                                threading::ThreadPool* pool) {
   if (leaves.empty()) return Hash256::Zero();
   std::vector<Hash256> level = leaves;
   while (level.size() > 1) {
-    std::vector<Hash256> next;
-    next.reserve((level.size() + 1) / 2);
-    for (size_t i = 0; i < level.size(); i += 2) {
-      const Hash256& left = level[i];
-      const Hash256& right = (i + 1 < level.size()) ? level[i + 1] : level[i];
-      next.push_back(Sha256::HashPair(left, right));
-    }
-    level = std::move(next);
+    level = NextLevel(level, pool);
   }
   return level[0];
 }

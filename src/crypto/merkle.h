@@ -6,6 +6,10 @@
 
 #include "crypto/sha256.h"
 
+namespace medsync::threading {
+class ThreadPool;
+}  // namespace medsync::threading
+
 namespace medsync::crypto {
 
 /// One step of a Merkle inclusion proof: the sibling digest and whether the
@@ -26,8 +30,16 @@ struct MerkleProof {
 /// the root; light-client-style audit checks use inclusion proofs.
 class MerkleTree {
  public:
+  /// Pair hashes are independent within a level, so levels with at least
+  /// this many parent nodes are built with ParallelFor when a pool is
+  /// given; smaller levels stay serial (dispatch would dominate).
+  static constexpr size_t kParallelLeafThreshold = 256;
+
   /// Builds the tree over `leaves`. An empty leaf set has the Zero() root.
-  explicit MerkleTree(std::vector<Hash256> leaves);
+  /// `pool` (optional) parallelizes level construction; the resulting tree
+  /// is identical to the serial build.
+  explicit MerkleTree(std::vector<Hash256> leaves,
+                      threading::ThreadPool* pool = nullptr);
 
   const Hash256& root() const { return root_; }
   size_t leaf_count() const { return levels_.empty() ? 0 : levels_[0].size(); }
@@ -39,8 +51,11 @@ class MerkleTree {
   static bool VerifyProof(const Hash256& leaf, const MerkleProof& proof,
                           const Hash256& root);
 
-  /// Computes just the root without materializing the tree.
-  static Hash256 ComputeRoot(const std::vector<Hash256>& leaves);
+  /// Computes just the root without materializing the tree. `pool`
+  /// (optional) parallelizes each level above kParallelLeafThreshold; the
+  /// root is identical to the serial computation.
+  static Hash256 ComputeRoot(const std::vector<Hash256>& leaves,
+                             threading::ThreadPool* pool = nullptr);
 
  private:
   std::vector<std::vector<Hash256>> levels_;  // levels_[0] == leaves

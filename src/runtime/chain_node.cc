@@ -18,7 +18,7 @@ ChainNode::ChainNode(NodeConfig config, net::Simulator* simulator,
       simulator_(simulator),
       network_(network),
       sealer_(std::move(sealer)),
-      chain_(std::move(genesis), sealer_.get(), conflict_key),
+      chain_(std::move(genesis), sealer_.get(), conflict_key, config_.pool),
       mempool_(conflict_key),
       host_(std::move(host)) {
   executed_hashes_.push_back(chain_.genesis().header.Hash().ToHex());
@@ -137,7 +137,7 @@ void ChainNode::TrySeal() {
   block.header.timestamp =
       std::max(simulator_->Now(), chain_.head().header.timestamp);
   block.transactions = std::move(txs);
-  block.header.merkle_root = block.ComputeMerkleRoot();
+  block.header.merkle_root = block.ComputeMerkleRoot(config_.pool);
 
   Status sealed = sealer_->Seal(&block);
   if (!sealed.ok()) {

@@ -16,6 +16,10 @@
 #include "net/simulator.h"
 #include "runtime/block_store.h"
 
+namespace medsync::threading {
+class ThreadPool;
+}  // namespace medsync::threading
+
 namespace medsync::runtime {
 
 struct NodeConfig {
@@ -28,6 +32,12 @@ struct NodeConfig {
   bool sealing_enabled = false;
   /// Whether to seal blocks with an empty transaction list.
   bool seal_empty_blocks = false;
+  /// Optional worker pool (must outlive the node; may be shared between
+  /// nodes). Parallelizes block validation and the Merkle commitment of
+  /// sealed candidates; null keeps the node fully serial. Every parallel
+  /// path is deterministic, so pooled and serial nodes build byte-identical
+  /// chains.
+  threading::ThreadPool* pool = nullptr;
 };
 
 /// A full blockchain node on the simulated network: replicated ledger,

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/threading/thread_pool.h"
 #include "contracts/metadata_contract.h"
 
 namespace medsync::chain {
@@ -217,6 +218,40 @@ TEST(PowSealerTest, SealsAndValidates) {
   BlockHeader weak = block.header;
   weak.difficulty = 4;
   EXPECT_TRUE(sealer.ValidateSeal(weak).IsInvalidArgument());
+}
+
+TEST(PowSealerTest, NonceExhaustionIsAnError) {
+  // At 256 required zero bits no nonce can ever satisfy the target, so a
+  // bounded search must come back with ResourceExhausted instead of
+  // spinning through the 64-bit space forever.
+  Block block;
+  block.header.height = 1;
+  block.header.timestamp = 1;
+  block.header.merkle_root = block.ComputeMerkleRoot();
+
+  PowSealer serial(/*difficulty_bits=*/256, /*pool=*/nullptr,
+                   /*max_nonce=*/5000);
+  Status s = serial.Seal(&block);
+  EXPECT_TRUE(s.IsResourceExhausted()) << s;
+
+  threading::ThreadPool pool(4);
+  PowSealer parallel(/*difficulty_bits=*/256, &pool, /*max_nonce=*/5000);
+  s = parallel.Seal(&block);
+  EXPECT_TRUE(s.IsResourceExhausted()) << s;
+}
+
+TEST(PowSealerTest, BoundedSealStillFindsReachableNonces) {
+  // The bound only fails the search when NO nonce within it works: an easy
+  // difficulty whose first hit lies inside the bound still seals.
+  PowSealer easy(/*difficulty_bits=*/4, /*pool=*/nullptr,
+                 /*max_nonce=*/100000);
+  Block block;
+  block.header.height = 1;
+  block.header.timestamp = 1;
+  block.header.merkle_root = block.ComputeMerkleRoot();
+  ASSERT_TRUE(easy.Seal(&block).ok());
+  EXPECT_LE(block.header.pow_nonce, 100000u);
+  EXPECT_TRUE(easy.ValidateSeal(block.header).ok());
 }
 
 TEST(PoaSealerTest, RoundRobinTurns) {

@@ -82,6 +82,52 @@ TEST(DeterminismTest, IdenticalSeedsProduceIdenticalWorlds) {
   EXPECT_EQ((*a)->simulator().Now(), (*b)->simulator().Now());
 }
 
+TEST(DeterminismTest, ThreadedPoolsProduceByteIdenticalWorlds) {
+  // The same seed driven through the same workload must yield bit-identical
+  // chains and databases whether the scenario runs serially or on worker
+  // pools of size 1, 2, or 8 — i.e. the parallel seal/validate/cascade
+  // paths are all deterministic. PoW consensus exercises the parallel
+  // nonce search on top of validation and cascade rederivation.
+  auto build = [](size_t worker_threads) {
+    ScenarioOptions options;
+    options.seed = 977;
+    options.record_count = 24;
+    options.consensus = ConsensusMode::kPow;
+    options.pow_difficulty_bits = 8;
+    options.worker_threads = worker_threads;
+    auto scenario = ClinicScenario::Create(options);
+    EXPECT_TRUE(scenario.ok()) << scenario.status();
+    DriveWorkload(**scenario);
+    return std::move(*scenario);
+  };
+
+  auto baseline = build(/*worker_threads=*/0);  // serial reference
+  for (size_t workers : {1ul, 2ul, 8ul}) {
+    auto threaded = build(workers);
+    SCOPED_TRACE(testing::Message() << workers << " workers");
+
+    // Chain-level identity: same head block, same executed contract state.
+    EXPECT_EQ(baseline->node(0).blockchain().head().header.Hash(),
+              threaded->node(0).blockchain().head().header.Hash());
+    EXPECT_EQ(baseline->node(0).host().StateFingerprint(),
+              threaded->node(0).host().StateFingerprint());
+
+    // Final databases, byte-identical for every peer and table.
+    auto compare_peer = [](Peer& pa, Peer& pb) {
+      ASSERT_EQ(pa.database().TableNames(), pb.database().TableNames());
+      for (const std::string& table : pa.database().TableNames()) {
+        EXPECT_EQ(*pa.database().Snapshot(table),
+                  *pb.database().Snapshot(table))
+            << table;
+      }
+    };
+    compare_peer(baseline->doctor(), threaded->doctor());
+    compare_peer(baseline->patient(), threaded->patient());
+    compare_peer(baseline->researcher(), threaded->researcher());
+    EXPECT_EQ(baseline->simulator().Now(), threaded->simulator().Now());
+  }
+}
+
 TEST(DeterminismTest, DifferentSeedsDivergeInNetworkTiming) {
   ScenarioOptions options;
   options.seed = 1;
