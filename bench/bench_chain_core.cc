@@ -18,6 +18,7 @@
 #include "common/threading/thread_pool.h"
 #include "crypto/merkle.h"
 #include "crypto/sha256.h"
+#include "metrics_counters.h"
 
 namespace {
 
@@ -96,7 +97,9 @@ BENCHMARK(BM_TransactionSignVerify);
 void BM_PowSeal(benchmark::State& state) {
   // Expected cost doubles per difficulty bit; this is why a 12 s public-
   // chain block interval exists at all.
+  metrics::MetricsRegistry registry;
   PowSealer sealer(static_cast<uint32_t>(state.range(0)));
+  sealer.set_metrics(&registry);
   uint64_t salt = 0;
   for (auto _ : state) {
     Block block;
@@ -106,6 +109,7 @@ void BM_PowSeal(benchmark::State& state) {
     benchmark::DoNotOptimize(sealer.Seal(&block));
   }
   state.counters["difficulty_bits"] = static_cast<double>(state.range(0));
+  bench::ExportMetrics(state, registry);
 }
 BENCHMARK(BM_PowSeal)->DenseRange(4, 16, 4);
 
@@ -129,7 +133,9 @@ void BM_BlockValidate(benchmark::State& state) {
       crypto::KeyPair::FromSeed("authority"));
   auto sealer = PoaSealer({key->address()}, key);
   Block genesis = Blockchain::MakeGenesis(0);
+  metrics::MetricsRegistry registry;
   Blockchain chain(genesis, &sealer);
+  chain.set_metrics(&registry);
 
   Block block;
   block.header.height = 1;
@@ -145,6 +151,7 @@ void BM_BlockValidate(benchmark::State& state) {
     benchmark::DoNotOptimize(chain.ValidateStructure(block));
   }
   state.SetItemsProcessed(state.iterations() * state.range(0));
+  bench::ExportMetrics(state, registry);
 }
 BENCHMARK(BM_BlockValidate)->Range(1, 256);
 

@@ -21,6 +21,7 @@
 #include "core/sync_manager.h"
 #include "medical/generator.h"
 #include "medical/records.h"
+#include "metrics_counters.h"
 
 namespace {
 
@@ -81,6 +82,7 @@ void BM_Fig5_NoDependencyHalf(benchmark::State& state) {
       static_cast<double>(clinic->doctor().sync().gets_skipped());
   state.counters["doctor_gets_executed"] =
       static_cast<double>(clinic->doctor().sync().gets_executed());
+  bench::ExportMetrics(state, clinic->metrics());
 }
 BENCHMARK(BM_Fig5_NoDependencyHalf)
     ->UseManualTime()
@@ -117,6 +119,7 @@ void BM_Fig5_FullTwoHopCascade(benchmark::State& state) {
       static_cast<double>(clinic->researcher().stats().fetches_applied);
   state.counters["patient_fetches"] =
       static_cast<double>(clinic->patient().stats().fetches_applied);
+  bench::ExportMetrics(state, clinic->metrics());
 }
 BENCHMARK(BM_Fig5_FullTwoHopCascade)
     ->UseManualTime()

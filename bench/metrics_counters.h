@@ -1,0 +1,40 @@
+#ifndef MEDSYNC_BENCH_METRICS_COUNTERS_H_
+#define MEDSYNC_BENCH_METRICS_COUNTERS_H_
+
+#include <benchmark/benchmark.h>
+
+#include <string>
+
+#include "common/json.h"
+#include "common/metrics/metrics.h"
+#include "common/strings.h"
+
+namespace medsync::bench {
+
+/// Flattens a registry snapshot into benchmark counters, so the JSON
+/// emitted with --benchmark_format=json (BENCH_*.json) carries a
+/// "metrics.<name>" entry per counter/gauge and count/sum/p50/p99
+/// summaries per histogram.
+inline void ExportMetrics(benchmark::State& state,
+                          const metrics::MetricsRegistry& registry) {
+  const Json snapshot = registry.Snapshot();
+  for (const auto& [name, value] : snapshot.At("counters").AsObject()) {
+    state.counters[StrCat("metrics.", name)] =
+        static_cast<double>(value.AsInt());
+  }
+  for (const auto& [name, value] : snapshot.At("gauges").AsObject()) {
+    state.counters[StrCat("metrics.", name)] =
+        static_cast<double>(value.AsInt());
+  }
+  for (const auto& [name, histogram] :
+       snapshot.At("histograms").AsObject()) {
+    for (const char* field : {"count", "sum", "p50", "p99"}) {
+      state.counters[StrCat("metrics.", name, ".", field)] =
+          static_cast<double>(histogram.At(field).AsInt());
+    }
+  }
+}
+
+}  // namespace medsync::bench
+
+#endif  // MEDSYNC_BENCH_METRICS_COUNTERS_H_

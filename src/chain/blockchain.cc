@@ -27,7 +27,25 @@ Blockchain::Blockchain(Block genesis, const Sealer* sealer,
   blocks_.emplace(genesis_hash_.ToHex(), std::move(node));
 }
 
+void Blockchain::set_metrics(metrics::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    validate_ok_ = validate_fail_ = blocks_accepted_ = nullptr;
+    block_txs_ = nullptr;
+    return;
+  }
+  validate_ok_ = registry->GetCounter("chain.validate.ok");
+  validate_fail_ = registry->GetCounter("chain.validate.fail");
+  blocks_accepted_ = registry->GetCounter("chain.blocks.accepted");
+  block_txs_ = registry->GetHistogram("chain.block_txs");
+}
+
 Status Blockchain::ValidateStructure(const Block& block) const {
+  Status status = ValidateStructureImpl(block);
+  metrics::Inc(status.ok() ? validate_ok_ : validate_fail_);
+  return status;
+}
+
+Status Blockchain::ValidateStructureImpl(const Block& block) const {
   if (block.header.merkle_root != block.ComputeMerkleRoot(pool_)) {
     return Status::Corruption("merkle root does not match transactions");
   }
@@ -118,6 +136,8 @@ Status Blockchain::AddBlock(Block block) {
   }
 
   uint64_t new_height = block.header.height;
+  metrics::Inc(blocks_accepted_);
+  metrics::Observe(block_txs_, block.transactions.size());
   node.block = std::move(block);
   blocks_.emplace(hash_hex, std::move(node));
 

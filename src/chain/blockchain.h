@@ -39,6 +39,11 @@ class Blockchain {
 
   void set_thread_pool(threading::ThreadPool* pool) { pool_ = pool; }
 
+  /// Attaches chain.validate.ok/fail, chain.blocks.accepted and the
+  /// chain.block_txs histogram. The registry must outlive the chain;
+  /// nullptr detaches.
+  void set_metrics(metrics::MetricsRegistry* registry);
+
   /// A deterministic genesis block (height 0, zero parent, no seal).
   static Block MakeGenesis(Micros timestamp);
 
@@ -86,12 +91,20 @@ class Blockchain {
   bool TxInAncestry(const crypto::Hash256& start_hash,
                     const std::string& tx_id) const;
 
+  /// ValidateStructure minus the ok/fail accounting.
+  Status ValidateStructureImpl(const Block& block) const;
+
   const Sealer* sealer_;
   ConflictKeyFn conflict_key_;
   threading::ThreadPool* pool_;
   std::map<std::string, Node> blocks_;  // keyed by hex block hash
   crypto::Hash256 genesis_hash_;
   crypto::Hash256 head_hash_;
+
+  metrics::Counter* validate_ok_ = nullptr;
+  metrics::Counter* validate_fail_ = nullptr;
+  metrics::Counter* blocks_accepted_ = nullptr;
+  metrics::Histogram* block_txs_ = nullptr;
 };
 
 }  // namespace medsync::chain

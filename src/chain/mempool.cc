@@ -10,20 +10,41 @@ namespace medsync::chain {
 Mempool::Mempool(ConflictKeyFn conflict_key, size_t capacity)
     : conflict_key_(std::move(conflict_key)), capacity_(capacity) {}
 
+void Mempool::set_metrics(metrics::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    adds_ = reject_duplicate_ = reject_full_ = reject_bad_signature_ = nullptr;
+    occupancy_ = nullptr;
+    return;
+  }
+  adds_ = registry->GetCounter("mempool.adds");
+  reject_duplicate_ = registry->GetCounter("mempool.reject.duplicate");
+  reject_full_ = registry->GetCounter("mempool.reject.full");
+  reject_bad_signature_ = registry->GetCounter("mempool.reject.bad_signature");
+  occupancy_ = registry->GetGauge("mempool.occupancy");
+}
+
 Status Mempool::Add(Transaction tx) {
-  if (queue_.size() >= capacity_) {
-    return Status::ResourceExhausted("mempool full");
-  }
-  if (!tx.VerifySignature()) {
-    return Status::PermissionDenied(
-        StrCat("transaction ", tx.Id().ShortHex(), " has a bad signature"));
-  }
+  // Dedup BEFORE the capacity check: a full pool re-receiving an already
+  // pooled transaction is a benign duplicate, not backpressure.
   std::string id = tx.Id().ToHex();
-  if (!ids_.insert(id).second) {
+  if (ids_.count(id) > 0) {
+    metrics::Inc(reject_duplicate_);
     return Status::AlreadyExists(
         StrCat("transaction ", id.substr(0, 8), " already pooled"));
   }
+  if (queue_.size() >= capacity_) {
+    metrics::Inc(reject_full_);
+    return Status::ResourceExhausted("mempool full");
+  }
+  if (!tx.VerifySignature()) {
+    metrics::Inc(reject_bad_signature_);
+    return Status::PermissionDenied(
+        StrCat("transaction ", tx.Id().ShortHex(), " has a bad signature"));
+  }
+  ids_.insert(std::move(id));
   queue_.push_back(std::move(tx));
+  metrics::Inc(adds_);
+  metrics::GaugeAdd(occupancy_, 1);
   return Status::OK();
 }
 
@@ -82,6 +103,9 @@ void Mempool::RemoveIncluded(const std::set<std::string>& included_ids) {
       kept.push_back(std::move(tx));
     }
   }
+  metrics::GaugeAdd(occupancy_,
+                    static_cast<int64_t>(kept.size()) -
+                        static_cast<int64_t>(queue_.size()));
   queue_ = std::move(kept);
 }
 

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "chain/transaction.h"
+#include "common/metrics/metrics.h"
 #include "common/status.h"
 
 namespace medsync::chain {
@@ -28,7 +29,15 @@ class Mempool {
                    size_t capacity = 10000);
 
   /// Adds `tx` if its signature verifies and it is not already pooled.
+  /// Checks run dedup -> capacity -> signature, so a re-gossiped duplicate
+  /// reports AlreadyExists even when the pool is full (a full pool must not
+  /// make peers mistake a benign duplicate for backpressure).
   Status Add(Transaction tx);
+
+  /// Attaches counters (mempool.adds, mempool.reject.<reason>) and the
+  /// shared occupancy gauge (mempool.occupancy, aggregated across pools via
+  /// deltas). The registry must outlive the mempool; nullptr detaches.
+  void set_metrics(metrics::MetricsRegistry* registry);
 
   bool Contains(const crypto::Hash256& id) const;
   size_t size() const { return queue_.size(); }
@@ -58,6 +67,12 @@ class Mempool {
   size_t capacity_;
   std::deque<Transaction> queue_;
   std::set<std::string> ids_;
+
+  metrics::Counter* adds_ = nullptr;
+  metrics::Counter* reject_duplicate_ = nullptr;
+  metrics::Counter* reject_full_ = nullptr;
+  metrics::Counter* reject_bad_signature_ = nullptr;
+  metrics::Gauge* occupancy_ = nullptr;
 };
 
 }  // namespace medsync::chain

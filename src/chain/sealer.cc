@@ -19,10 +19,29 @@ Status PowSealer::Seal(Block* block) const {
   header.difficulty = difficulty_bits_;
   header.sealer = crypto::Address::Zero();
   header.seal = crypto::Signature{};
-  if (pool_ != nullptr && pool_->worker_count() > 1) {
-    return SealParallel(&header);
+  metrics::Inc(seal_attempts_);
+  Status status = (pool_ != nullptr && pool_->worker_count() > 1)
+                      ? SealParallel(&header)
+                      : SealSerial(&header);
+  if (status.ok()) {
+    metrics::Inc(sealed_);
+    metrics::Inc(nonces_scanned_, header.pow_nonce + 1);
+  } else if (status.IsResourceExhausted()) {
+    metrics::Inc(exhausted_);
+    metrics::Inc(nonces_scanned_, max_nonce_ + 1);
   }
-  return SealSerial(&header);
+  return status;
+}
+
+void PowSealer::set_metrics(metrics::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    seal_attempts_ = sealed_ = exhausted_ = nonces_scanned_ = nullptr;
+    return;
+  }
+  seal_attempts_ = registry->GetCounter("chain.pow.seal_attempts");
+  sealed_ = registry->GetCounter("chain.pow.sealed");
+  exhausted_ = registry->GetCounter("chain.pow.exhausted");
+  nonces_scanned_ = registry->GetCounter("chain.pow.nonces_scanned");
 }
 
 Status PowSealer::SealSerial(BlockHeader* header) const {

@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "chain/block.h"
+#include "common/metrics/metrics.h"
 #include "crypto/keys.h"
 
 namespace medsync::threading {
@@ -61,6 +62,13 @@ class PowSealer : public Sealer {
   uint32_t difficulty_bits() const { return difficulty_bits_; }
   uint64_t max_nonce() const { return max_nonce_; }
 
+  /// Attaches chain.pow.* counters. nonces_scanned is counted as
+  /// final_nonce + 1 (the serial scan's work), NOT the number of hashes the
+  /// parallel search actually computed — that keeps the counter identical
+  /// across pool sizes. The registry must outlive the sealer; nullptr
+  /// detaches.
+  void set_metrics(metrics::MetricsRegistry* registry);
+
  private:
   Status SealSerial(BlockHeader* header) const;
   Status SealParallel(BlockHeader* header) const;
@@ -68,6 +76,11 @@ class PowSealer : public Sealer {
   uint32_t difficulty_bits_;
   threading::ThreadPool* pool_;
   uint64_t max_nonce_;
+
+  metrics::Counter* seal_attempts_ = nullptr;
+  metrics::Counter* sealed_ = nullptr;
+  metrics::Counter* exhausted_ = nullptr;
+  metrics::Counter* nonces_scanned_ = nullptr;
 };
 
 class PoaSealer : public Sealer {

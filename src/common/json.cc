@@ -159,6 +159,26 @@ void EscapeStringTo(std::string* out, const std::string& s) {
   out->push_back('"');
 }
 
+size_t EscapedStringSize(const std::string& s) {
+  size_t size = 2;  // surrounding quotes
+  for (char c : s) {
+    switch (c) {
+      case '"':
+      case '\\':
+      case '\n':
+      case '\r':
+      case '\t':
+      case '\b':
+      case '\f':
+        size += 2;
+        break;
+      default:
+        size += static_cast<unsigned char>(c) < 0x20 ? 6 : 1;  // \uXXXX
+    }
+  }
+  return size;
+}
+
 void AppendIndent(std::string* out, int indent, int depth) {
   if (indent <= 0) return;
   out->push_back('\n');
@@ -230,6 +250,45 @@ std::string Json::Dump() const {
   std::string out;
   DumpTo(&out, /*indent=*/0, /*depth=*/0);
   return out;
+}
+
+size_t Json::SerializedSize() const {
+  // Mirrors compact DumpTo exactly; numbers still go through snprintf
+  // because their printed width is value-dependent.
+  switch (type_) {
+    case Type::kNull:
+      return 4;
+    case Type::kBool:
+      return bool_ ? 4 : 5;
+    case Type::kInt: {
+      char buf[32];
+      return static_cast<size_t>(std::snprintf(
+          buf, sizeof(buf), "%lld", static_cast<long long>(int_)));
+    }
+    case Type::kDouble: {
+      if (!std::isfinite(double_)) return 4;  // "null"
+      char buf[40];
+      return static_cast<size_t>(
+          std::snprintf(buf, sizeof(buf), "%.17g", double_));
+    }
+    case Type::kString:
+      return EscapedStringSize(string_);
+    case Type::kArray: {
+      size_t size = 2;  // brackets
+      if (!array_.empty()) size += array_.size() - 1;  // commas
+      for (const Json& v : array_) size += v.SerializedSize();
+      return size;
+    }
+    case Type::kObject: {
+      size_t size = 2;  // braces
+      if (!object_.empty()) size += object_.size() - 1;  // commas
+      for (const auto& [key, value] : object_) {
+        size += EscapedStringSize(key) + 1 + value.SerializedSize();  // colon
+      }
+      return size;
+    }
+  }
+  return 0;
 }
 
 std::string Json::DumpPretty() const {

@@ -90,6 +90,11 @@ class Json {
   /// Serializes to compact canonical JSON.
   std::string Dump() const;
 
+  /// Length of Dump() without building the string — for byte accounting
+  /// (e.g. network payload sizes) where serializing just to measure would
+  /// double the work.
+  size_t SerializedSize() const;
+
   /// Serializes with two-space indentation (for traces and examples).
   std::string DumpPretty() const;
 

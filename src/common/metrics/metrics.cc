@@ -1,0 +1,141 @@
+#include "common/metrics/metrics.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace medsync::metrics {
+
+Histogram::Histogram(Options options)
+    : options_(options), buckets_(options.bucket_count + 1) {
+  if (options_.first_bound == 0) options_.first_bound = 1;
+  if (options_.bucket_count == 0) {
+    options_.bucket_count = 1;
+    buckets_ = std::vector<std::atomic<uint64_t>>(2);
+  }
+}
+
+void Histogram::Record(uint64_t value) {
+  size_t index = options_.bucket_count;  // overflow unless a bound fits
+  for (size_t i = 0; i < options_.bucket_count; ++i) {
+    if (value <= BucketBound(i)) {
+      index = i;
+      break;
+    }
+  }
+  buckets_[index].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value, std::memory_order_relaxed)) {
+  }
+}
+
+uint64_t Histogram::min() const {
+  uint64_t value = min_.load(std::memory_order_relaxed);
+  return value == UINT64_MAX ? 0 : value;
+}
+
+uint64_t Histogram::Quantile(double q) const {
+  const uint64_t total = count();
+  if (total == 0) return 0;
+  q = std::clamp(q, 0.0, 1.0);
+  const auto target =
+      static_cast<uint64_t>(std::ceil(q * static_cast<double>(total)));
+  uint64_t cumulative = 0;
+  for (size_t i = 0; i < options_.bucket_count; ++i) {
+    cumulative += buckets_[i].load(std::memory_order_relaxed);
+    if (cumulative >= target && cumulative > 0) {
+      // The quantile cannot exceed the recorded maximum.
+      return std::min(BucketBound(i), max());
+    }
+  }
+  return max();
+}
+
+Json Histogram::ToJson() const {
+  Json out = Json::MakeObject();
+  out.Set("count", count());
+  out.Set("sum", sum());
+  out.Set("min", min());
+  out.Set("max", max());
+  out.Set("p50", Quantile(0.50));
+  out.Set("p90", Quantile(0.90));
+  out.Set("p99", Quantile(0.99));
+  Json buckets = Json::MakeArray();
+  for (size_t i = 0; i < buckets_.size(); ++i) {
+    uint64_t n = buckets_[i].load(std::memory_order_relaxed);
+    if (n == 0) continue;
+    Json pair = Json::MakeArray();
+    pair.Append(i < options_.bucket_count
+                    ? static_cast<int64_t>(BucketBound(i))
+                    : static_cast<int64_t>(-1));  // overflow bucket
+    pair.Append(n);
+    buckets.Append(std::move(pair));
+  }
+  out.Set("buckets", std::move(buckets));
+  return out;
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  if (it == counters_.end()) {
+    it = counters_.emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Gauge* MetricsRegistry::GetGauge(std::string_view name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  if (it == gauges_.end()) {
+    it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(std::string_view name,
+                                         Histogram::Options options) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  if (it == histograms_.end()) {
+    it = histograms_
+             .emplace(std::string(name), std::make_unique<Histogram>(options))
+             .first;
+  }
+  return it->second.get();
+}
+
+Json MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json counters = Json::MakeObject();
+  for (const auto& [name, counter] : counters_) {
+    counters.Set(name, counter->value());
+  }
+  Json gauges = Json::MakeObject();
+  for (const auto& [name, gauge] : gauges_) {
+    gauges.Set(name, gauge->value());
+  }
+  Json histograms = Json::MakeObject();
+  for (const auto& [name, histogram] : histograms_) {
+    histograms.Set(name, histogram->ToJson());
+  }
+  Json out = Json::MakeObject();
+  out.Set("counters", std::move(counters));
+  out.Set("gauges", std::move(gauges));
+  out.Set("histograms", std::move(histograms));
+  return out;
+}
+
+size_t MetricsRegistry::metric_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return counters_.size() + gauges_.size() + histograms_.size();
+}
+
+}  // namespace medsync::metrics

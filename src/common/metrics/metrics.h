@@ -1,0 +1,144 @@
+#ifndef MEDSYNC_COMMON_METRICS_METRICS_H_
+#define MEDSYNC_COMMON_METRICS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/json.h"
+
+namespace medsync::metrics {
+
+/// A monotonically increasing counter (events, bytes, rejects-by-reason).
+/// Thread-safe; increments are relaxed atomics, so counters are cheap
+/// enough for hot paths like per-message network accounting.
+class Counter {
+ public:
+  void Increment(uint64_t delta = 1) {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+/// A signed instantaneous value (mempool occupancy, queue depth). Supports
+/// both absolute Set and relative Add so shared gauges can aggregate the
+/// contributions of several components.
+class Gauge {
+ public:
+  void Set(int64_t value) { value_.store(value, std::memory_order_relaxed); }
+  void Add(int64_t delta) { value_.fetch_add(delta, std::memory_order_relaxed); }
+  int64_t value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// A histogram over fixed exponential (power-of-two) buckets: bucket i
+/// covers values in (bound(i-1), bound(i)] with bound(i) = first_bound<<i,
+/// plus one overflow bucket. Fixed buckets keep Record() lock-free and make
+/// two histograms fed the same values byte-identical in snapshots — the
+/// property the determinism sweep checks across thread-pool sizes.
+class Histogram {
+ public:
+  struct Options {
+    /// Upper bound of the first bucket. Values are whatever unit the call
+    /// site records (this codebase records simulated microseconds, nonce
+    /// counts, and table sizes).
+    uint64_t first_bound = 1;
+    /// Number of finite buckets; the default covers 1 .. 2^27 (~134 s in
+    /// microseconds) before overflow.
+    size_t bucket_count = 28;
+  };
+
+  Histogram() : Histogram(Options()) {}
+  explicit Histogram(Options options);
+
+  void Record(uint64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  /// 0 when empty.
+  uint64_t min() const;
+  uint64_t max() const { return max_.load(std::memory_order_relaxed); }
+
+  /// Upper bucket bound containing the q-quantile (q in (0, 1]); the exact
+  /// recorded maximum when the quantile lands in the overflow bucket.
+  /// 0 when empty.
+  uint64_t Quantile(double q) const;
+
+  /// Inclusive upper bound of finite bucket `i`.
+  uint64_t BucketBound(size_t i) const { return options_.first_bound << i; }
+  size_t bucket_count() const { return options_.bucket_count; }
+
+  /// {"count":..,"max":..,"min":..,"p50":..,"p90":..,"p99":..,"sum":..,
+  ///  "buckets":[[bound,count],...]} — only non-empty buckets are listed;
+  /// the overflow bucket appears with bound -1.
+  Json ToJson() const;
+
+ private:
+  Options options_;
+  std::vector<std::atomic<uint64_t>> buckets_;  // bucket_count + overflow
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+  std::atomic<uint64_t> min_{UINT64_MAX};
+  std::atomic<uint64_t> max_{0};
+};
+
+/// A named collection of metrics with canonical JSON snapshot export.
+/// Registration (Get*) takes a mutex; the returned pointers are stable for
+/// the registry's lifetime, so call sites register once and cache the
+/// pointer for lock-free updates on the hot path. Because snapshots
+/// serialize through Json (sorted keys), two registries holding equal
+/// metric sets and values produce byte-identical Snapshot().Dump() text.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// Finds or creates; never returns nullptr.
+  Counter* GetCounter(std::string_view name);
+  Gauge* GetGauge(std::string_view name);
+  /// `options` only applies when the histogram is first created.
+  Histogram* GetHistogram(std::string_view name,
+                          Histogram::Options options = Histogram::Options());
+
+  /// {"counters":{name:value,...},"gauges":{...},"histograms":{name:{...}}}
+  Json Snapshot() const;
+
+  size_t metric_count() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+};
+
+/// Null-tolerant update helpers: components cache metric pointers that stay
+/// nullptr when no registry is attached, so instrumentation is free in the
+/// un-wired case.
+inline void Inc(Counter* counter, uint64_t delta = 1) {
+  if (counter != nullptr) counter->Increment(delta);
+}
+inline void GaugeAdd(Gauge* gauge, int64_t delta) {
+  if (gauge != nullptr) gauge->Add(delta);
+}
+inline void GaugeSet(Gauge* gauge, int64_t value) {
+  if (gauge != nullptr) gauge->Set(value);
+}
+inline void Observe(Histogram* histogram, uint64_t value) {
+  if (histogram != nullptr) histogram->Record(value);
+}
+
+}  // namespace medsync::metrics
+
+#endif  // MEDSYNC_COMMON_METRICS_METRICS_H_

@@ -1,0 +1,80 @@
+#include "common/metrics/protocol_tracer.h"
+
+#include "common/strings.h"
+
+namespace medsync::metrics {
+
+Json StepEvent::ToJson() const {
+  Json out = Json::MakeObject();
+  out.Set("figure", figure);
+  out.Set("step", step);
+  out.Set("action", action);
+  out.Set("peer", peer);
+  out.Set("table", table);
+  out.Set("outcome", outcome);
+  out.Set("at", at);
+  out.Set("sim_duration", sim_duration);
+  return out;
+}
+
+ProtocolTracer::ProtocolTracer(MetricsRegistry* registry, size_t max_events)
+    : registry_(registry), max_events_(max_events) {}
+
+void ProtocolTracer::Record(StepEvent event) {
+  if (registry_ != nullptr) {
+    const std::string stem =
+        StrCat("protocol.fig", event.figure, ".step", event.step);
+    registry_->GetCounter(stem)->Increment();
+    registry_->GetHistogram(StrCat(stem, ".sim_us"))
+        ->Record(static_cast<uint64_t>(
+            event.sim_duration < 0 ? 0 : event.sim_duration));
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (sink_) sink_(event);
+  if (events_.size() >= max_events_) {
+    ++dropped_;
+    if (registry_ != nullptr) {
+      registry_->GetCounter("protocol.trace_dropped")->Increment();
+    }
+    return;
+  }
+  events_.push_back(std::move(event));
+}
+
+void ProtocolTracer::SetSink(std::function<void(const StepEvent&)> sink) {
+  std::lock_guard<std::mutex> lock(mu_);
+  sink_ = std::move(sink);
+}
+
+std::vector<StepEvent> ProtocolTracer::Events() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_;
+}
+
+size_t ProtocolTracer::event_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return events_.size();
+}
+
+uint64_t ProtocolTracer::dropped() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return dropped_;
+}
+
+void ProtocolTracer::Clear() {
+  std::lock_guard<std::mutex> lock(mu_);
+  events_.clear();
+  dropped_ = 0;
+}
+
+Json ProtocolTracer::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  Json events = Json::MakeArray();
+  for (const StepEvent& event : events_) events.Append(event.ToJson());
+  Json out = Json::MakeObject();
+  out.Set("dropped", dropped_);
+  out.Set("events", std::move(events));
+  return out;
+}
+
+}  // namespace medsync::metrics

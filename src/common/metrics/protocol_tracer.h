@@ -1,0 +1,80 @@
+#ifndef MEDSYNC_COMMON_METRICS_PROTOCOL_TRACER_H_
+#define MEDSYNC_COMMON_METRICS_PROTOCOL_TRACER_H_
+
+#include <cstdint>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/json.h"
+#include "common/clock.h"
+#include "common/metrics/metrics.h"
+
+namespace medsync::metrics {
+
+/// One completed protocol step of the paper's Fig. 4 (7-step CRUD) or
+/// Fig. 5 (11-step cross-peer update). All timing is SIMULATED time, so a
+/// trace is byte-identical across runs and thread-pool sizes.
+struct StepEvent {
+  /// 4 = CRUD protocol, 5 = bidirectional update workflow.
+  int figure = 5;
+  /// Step number within the figure (Fig. 5: 1..11; see docs/PROTOCOL.md
+  /// for the exact mapping used by Peer).
+  int step = 0;
+  /// Short verb for the step ("stage", "request_update", "apply_fetch"...).
+  std::string action;
+  std::string peer;
+  std::string table;
+  /// "ok", "denied", "failed", ...
+  std::string outcome;
+  /// Simulated time the step completed.
+  Micros at = 0;
+  /// Simulated duration the step spans (0 for instantaneous local steps;
+  /// proposal->decision and notification->apply spans for the chain-bound
+  /// ones).
+  Micros sim_duration = 0;
+
+  Json ToJson() const;
+};
+
+/// Records structured protocol-step events, replacing eyeball-only string
+/// traces with something a harness can assert on. Optionally tied to a
+/// MetricsRegistry, where every recorded step also bumps
+/// `protocol.fig<F>.step<S>` and feeds the per-step sim-time histogram
+/// `protocol.fig<F>.step<S>.sim_us`.
+class ProtocolTracer {
+ public:
+  /// `registry` may be nullptr (events only). `max_events` bounds memory
+  /// on long benchmark runs; events beyond it are counted, not stored.
+  explicit ProtocolTracer(MetricsRegistry* registry = nullptr,
+                          size_t max_events = 65536);
+
+  ProtocolTracer(const ProtocolTracer&) = delete;
+  ProtocolTracer& operator=(const ProtocolTracer&) = delete;
+
+  void Record(StepEvent event);
+
+  /// Optional live sink, called (under the tracer lock) for every event.
+  void SetSink(std::function<void(const StepEvent&)> sink);
+
+  std::vector<StepEvent> Events() const;
+  size_t event_count() const;
+  uint64_t dropped() const;
+  void Clear();
+
+  /// {"dropped":N,"events":[...]}.
+  Json ToJson() const;
+
+ private:
+  mutable std::mutex mu_;
+  MetricsRegistry* registry_;
+  size_t max_events_;
+  std::vector<StepEvent> events_;
+  uint64_t dropped_ = 0;
+  std::function<void(const StepEvent&)> sink_;
+};
+
+}  // namespace medsync::metrics
+
+#endif  // MEDSYNC_COMMON_METRICS_PROTOCOL_TRACER_H_

@@ -68,6 +68,9 @@ Status Peer::UseDurableStorage(const std::string& dir) {
         "durable storage must be configured before any tables exist");
   }
   MEDSYNC_ASSIGN_OR_RETURN(database_, relational::Database::Open(dir));
+  // The freshly opened database replaced the in-memory one; re-attach its
+  // WAL to the registry.
+  database_.set_metrics(registry_);
   if (!database_.HasTable(kSyncStateTable)) {
     MEDSYNC_RETURN_IF_ERROR(
         database_.CreateTable(kSyncStateTable, SyncStateSchema()));
@@ -152,11 +155,13 @@ void Peer::StartFetch(const std::string& table_id, uint64_t version,
   fetch.version = version;
   fetch.digest = digest;
   fetch.updater_name = updater_name;
+  fetch.started_at = simulator_->Now();
   pending_fetches_[table_id] = fetch;
 
   Json request = Json::MakeObject();
   request.Set("table_id", table_id);
   request.Set("version", version);
+  RecordStep(5, 8, "fetch_request", table_id, "sent");
   (void)network_->Send(net::Message{config_.name, updater_name,
                                     "fetch_request", std::move(request)});
   std::string id = table_id;
@@ -178,6 +183,42 @@ void Peer::Trace(const std::string& message) {
     trace_sink_(StrCat("[", FormatTimestamp(simulator_->Now()), "] ",
                        config_.name, ": ", message));
   }
+}
+
+void Peer::RecordStep(int figure, int step, std::string action,
+                      std::string table, std::string outcome,
+                      Micros sim_duration) const {
+  if (tracer_ == nullptr) return;
+  metrics::StepEvent event;
+  event.figure = figure;
+  event.step = step;
+  event.action = std::move(action);
+  event.peer = config_.name;
+  event.table = std::move(table);
+  event.outcome = std::move(outcome);
+  event.at = simulator_->Now();
+  event.sim_duration = sim_duration;
+  tracer_->Record(std::move(event));
+}
+
+void Peer::SetMetrics(metrics::MetricsRegistry* registry) {
+  registry_ = registry;
+  sync_.set_metrics(registry);
+  database_.set_metrics(registry);
+  if (registry == nullptr) {
+    counters_ = StatCounters{};
+    return;
+  }
+  counters_.updates_proposed = registry->GetCounter("peer.updates_proposed");
+  counters_.updates_committed = registry->GetCounter("peer.updates_committed");
+  counters_.updates_denied = registry->GetCounter("peer.updates_denied");
+  counters_.fetches_served = registry->GetCounter("peer.fetches_served");
+  counters_.fetches_applied = registry->GetCounter("peer.fetches_applied");
+  counters_.acks_sent = registry->GetCounter("peer.acks_sent");
+  counters_.cascades_proposed = registry->GetCounter("peer.cascades_proposed");
+  counters_.cascades_blocked = registry->GetCounter("peer.cascades_blocked");
+  counters_.digest_mismatches =
+      registry->GetCounter("peer.digest_mismatches");
 }
 
 chain::Transaction Peer::MakeTransaction(const crypto::Address& to,
@@ -268,8 +309,10 @@ Status Peer::AdoptSharedTable(const SharedTableConfig& config) {
 Result<Table> Peer::ReadSharedTable(const std::string& table_id) const {
   auto it = tables_.find(table_id);
   if (it == tables_.end()) {
+    RecordStep(4, 1, "read", table_id, "not_found");
     return Status::NotFound(StrCat("no shared table '", table_id, "'"));
   }
+  RecordStep(4, 1, "read", table_id, "ok");
   return database_.Snapshot(it->second.config.view_table);
 }
 
@@ -308,6 +351,8 @@ Status Peer::ProposeViewContent(const std::string& table_id,
   staged.kind = kind;
   staged.attributes = attributes;
   staged.put_to_source = put_to_source;
+  staged.proposed_at = simulator_->Now();
+  RecordStep(5, 1, kind, table_id, "staged");
 
   Json attrs_json = Json::MakeArray();
   for (const std::string& attr : attributes) attrs_json.Append(attr);
@@ -323,6 +368,8 @@ Status Peer::ProposeViewContent(const std::string& table_id,
   MEDSYNC_RETURN_IF_ERROR(node_->SubmitTransaction(std::move(tx)));
 
   ++stats_.updates_proposed;
+  metrics::Inc(counters_.updates_proposed);
+  RecordStep(5, 2, "request_update", table_id, "submitted");
   Trace(StrCat("proposed ", kind, " of '", table_id, "' [",
                Join(attributes, ","), "] (tx ", tx_id.substr(0, 8), ")"));
   staged_.emplace(tx_id, std::move(staged));
@@ -336,7 +383,8 @@ Status Peer::UpdateSourceAndPropagate(
   MEDSYNC_RETURN_IF_ERROR(mutation(&database_));
   Trace(StrCat("updated local source '", source_table,
                "', checking shared views"));
-  CascadeAfterSourceChange(source_table, before, /*exclude_table_id=*/"");
+  CascadeAfterSourceChange(source_table, before, /*exclude_table_id=*/"",
+                           /*fig5_step=*/6);
   return Status::OK();
 }
 
@@ -344,6 +392,7 @@ Status Peer::UpdateSharedAttribute(const std::string& table_id,
                                    const Key& key,
                                    const std::string& attribute,
                                    Value value) {
+  RecordStep(4, 1, "update", table_id, "requested");
   MEDSYNC_ASSIGN_OR_RETURN(Table staged, ReadSharedTable(table_id));
   MEDSYNC_RETURN_IF_ERROR(staged.UpdateAttribute(key, attribute, value));
   return ProposeViewContent(table_id, std::move(staged), "update",
@@ -351,6 +400,7 @@ Status Peer::UpdateSharedAttribute(const std::string& table_id,
 }
 
 Status Peer::InsertSharedRow(const std::string& table_id, Row row) {
+  RecordStep(4, 1, "create", table_id, "requested");
   MEDSYNC_ASSIGN_OR_RETURN(Table staged, ReadSharedTable(table_id));
   MEDSYNC_RETURN_IF_ERROR(staged.Insert(std::move(row)));
   return ProposeViewContent(table_id, std::move(staged), "insert", {},
@@ -358,6 +408,7 @@ Status Peer::InsertSharedRow(const std::string& table_id, Row row) {
 }
 
 Status Peer::DeleteSharedRow(const std::string& table_id, const Key& key) {
+  RecordStep(4, 1, "delete", table_id, "requested");
   MEDSYNC_ASSIGN_OR_RETURN(Table staged, ReadSharedTable(table_id));
   MEDSYNC_RETURN_IF_ERROR(staged.Delete(key));
   return ProposeViewContent(table_id, std::move(staged), "delete", {},
@@ -393,8 +444,11 @@ void Peer::OnReceipt(const contracts::Receipt& receipt) {
   StagedUpdate staged = std::move(it->second);
   staged_.erase(it);
 
+  const Micros decision_span = simulator_->Now() - staged.proposed_at;
   if (!receipt.ok) {
     ++stats_.updates_denied;
+    metrics::Inc(counters_.updates_denied);
+    RecordStep(5, 3, "decision", staged.table_id, "denied", decision_span);
     auto table_it = tables_.find(staged.table_id);
     if (table_it != tables_.end() && staged.put_to_source == false) {
       // A cascade the contract refused: the local source is newer than the
@@ -405,6 +459,7 @@ void Peer::OnReceipt(const contracts::Receipt& receipt) {
                  "' DENIED by contract: ", receipt.error));
     return;
   }
+  RecordStep(5, 3, "decision", staged.table_id, "approved", decision_span);
   FinalizeApprovedUpdate(std::move(staged));
 }
 
@@ -424,6 +479,8 @@ void Peer::FinalizeApprovedUpdate(StagedUpdate staged) {
   state.needs_refresh = false;
   PersistTableState(state);
   ++stats_.updates_committed;
+  metrics::Inc(counters_.updates_committed);
+  RecordStep(5, 4, "commit", staged.table_id, "committed");
   Trace(StrCat("update of '", staged.table_id, "' committed as version ",
                state.version));
 
@@ -432,27 +489,37 @@ void Peer::FinalizeApprovedUpdate(StagedUpdate staged) {
     Result<Table> before = database_.Snapshot(source);
     Result<bx::SourceChange> change = sync_.PutViewIntoSource(staged.table_id);
     if (!change.ok()) {
+      RecordStep(5, 5, "bx_put", staged.table_id, "failed");
       Trace(StrCat("BX put into '", source,
                    "' failed: ", change.status().ToString()));
       return;
     }
+    RecordStep(5, 5, "bx_put", staged.table_id, "ok");
     Trace(StrCat("BX put reflected '", staged.table_id, "' into source '",
                  source, "'"));
     if (before.ok()) {
-      CascadeAfterSourceChange(source, *before, staged.table_id);
+      CascadeAfterSourceChange(source, *before, staged.table_id,
+                               /*fig5_step=*/6);
     }
   }
 }
 
 void Peer::CascadeAfterSourceChange(const std::string& source_table,
                                     const Table& before,
-                                    const std::string& exclude_table_id) {
+                                    const std::string& exclude_table_id,
+                                    int fig5_step) {
+  const Micros check_start = simulator_->Now();
   Result<std::vector<ViewRefresh>> refreshes =
       sync_.FindAffectedViews(source_table, before, exclude_table_id);
+  const Micros check_span = simulator_->Now() - check_start;
   if (!refreshes.ok()) {
+    RecordStep(5, fig5_step, "dependency_check", source_table, "failed",
+               check_span);
     Trace(StrCat("dependency check failed: ", refreshes.status().ToString()));
     return;
   }
+  RecordStep(5, fig5_step, "dependency_check", source_table,
+             StrCat("affected=", refreshes->size()), check_span);
   if (refreshes->empty()) {
     Trace(StrCat("dependency check: no other views of '", source_table,
                  "' affected"));
@@ -480,8 +547,10 @@ void Peer::CascadeAfterSourceChange(const std::string& source_table,
                            /*put_to_source=*/false);
     if (proposed.ok()) {
       ++stats_.cascades_proposed;
+      metrics::Inc(counters_.cascades_proposed);
     } else {
       ++stats_.cascades_blocked;
+      metrics::Inc(counters_.cascades_blocked);
       auto it = tables_.find(refresh.table_id);
       if (it != tables_.end()) it->second.needs_refresh = true;
       Trace(StrCat("cascade to '", refresh.table_id,
@@ -515,6 +584,7 @@ void Peer::HandleUpdateCommitted(const Json& payload) {
   }
   Trace(StrCat("notified: '", *table_id, "' updated to version ", *version,
                " by ", *updater_name, "; fetching"));
+  RecordStep(5, 7, "notified", *table_id, "fetching");
 
   StartFetch(*table_id, static_cast<uint64_t>(*version), *digest,
              *updater_name);
@@ -581,6 +651,7 @@ void Peer::HandleFetchRequest(const net::Message& message) {
   }
 
   ++stats_.fetches_served;
+  metrics::Inc(counters_.fetches_served);
   Json response = Json::MakeObject();
   response.Set("table_id", *table_id);
   response.Set("version", table_it->second.version);
@@ -602,6 +673,7 @@ void Peer::HandleFetchResponse(const net::Message& message) {
     // The updater has not finalized yet or sent stale data; the retry
     // timer will ask again.
     ++stats_.digest_mismatches;
+    metrics::Inc(counters_.digest_mismatches);
     return;
   }
   Result<Table> content = Table::FromJson(message.payload.At("contents"));
@@ -612,14 +684,16 @@ void Peer::HandleFetchResponse(const net::Message& message) {
   }
   if (content->ContentDigest() != *digest) {
     ++stats_.digest_mismatches;
+    metrics::Inc(counters_.digest_mismatches);
+    RecordStep(5, 9, "verify_fetch", *table_id, "digest_mismatch");
     Trace(StrCat("fetch response for '", *table_id,
                  "' fails digest verification; rejecting"));
     return;
   }
   PendingFetch fetch = fetch_it->second;
   pending_fetches_.erase(fetch_it);
-  Status applied =
-      ApplyFetchedUpdate(*table_id, *content, fetch.version, fetch.digest);
+  Status applied = ApplyFetchedUpdate(*table_id, *content, fetch.version,
+                                      fetch.digest, fetch.started_at);
   if (!applied.ok()) {
     Trace(StrCat("applying fetched update of '", *table_id,
                  "' failed: ", applied.ToString()));
@@ -628,7 +702,8 @@ void Peer::HandleFetchResponse(const net::Message& message) {
 
 Status Peer::ApplyFetchedUpdate(const std::string& table_id,
                                 const Table& content, uint64_t version,
-                                const std::string& digest) {
+                                const std::string& digest,
+                                Micros started_at) {
   auto table_it = tables_.find(table_id);
   if (table_it == tables_.end()) {
     return Status::NotFound(StrCat("no shared table '", table_id, "'"));
@@ -640,6 +715,9 @@ Status Peer::ApplyFetchedUpdate(const std::string& table_id,
   state.digest = digest;
   PersistTableState(state);
   ++stats_.fetches_applied;
+  metrics::Inc(counters_.fetches_applied);
+  RecordStep(5, 9, "apply_fetch", table_id, "applied",
+             simulator_->Now() - started_at);
   Trace(StrCat("fetched and applied '", table_id, "' version ", version));
 
   // Reflect the change into the local source via the BX program.
@@ -665,10 +743,12 @@ Status Peer::ApplyFetchedUpdate(const std::string& table_id,
       MakeTransaction(state.config.contract, "ack_update", std::move(params));
   MEDSYNC_RETURN_IF_ERROR(node_->SubmitTransaction(std::move(tx)));
   ++stats_.acks_sent;
+  metrics::Inc(counters_.acks_sent);
+  RecordStep(5, 10, "ack_update", table_id, "submitted");
   Trace(StrCat("acked '", table_id, "' version ", version, " on-chain"));
 
   if (change.ok()) {
-    CascadeAfterSourceChange(source, before, table_id);
+    CascadeAfterSourceChange(source, before, table_id, /*fig5_step=*/11);
   }
   return Status::OK();
 }

@@ -7,6 +7,7 @@
 #include <string>
 #include <vector>
 
+#include "common/metrics/protocol_tracer.h"
 #include "core/sync_manager.h"
 #include "crypto/keys.h"
 #include "net/network.h"
@@ -240,6 +241,16 @@ class Peer : public net::Endpoint {
     trace_sink_ = std::move(sink);
   }
 
+  /// Attaches peer.* counters (mirroring Stats) and forwards the registry
+  /// to the sync manager and the database's WAL. The registry must outlive
+  /// the peer; nullptr detaches.
+  void SetMetrics(metrics::MetricsRegistry* registry);
+
+  /// Records structured Fig. 4/Fig. 5 step events (step number, table,
+  /// outcome, sim-time duration) alongside the human-readable trace. The
+  /// tracer must outlive the peer; nullptr detaches.
+  void SetProtocolTracer(metrics::ProtocolTracer* tracer) { tracer_ = tracer; }
+
   void OnMessage(const net::Message& message) override;
 
  private:
@@ -260,6 +271,9 @@ class Peer : public net::Endpoint {
     /// Whether to run lens put into the source after approval (false when
     /// the update originated FROM the source, which is already current).
     bool put_to_source = true;
+    /// Sim time the proposal was submitted (step 2) — the contract
+    /// decision's step-3 span is measured from here.
+    Micros proposed_at = 0;
   };
 
   /// An update committed on-chain that we still have to fetch.
@@ -269,6 +283,9 @@ class Peer : public net::Endpoint {
     std::string digest;
     std::string updater_name;
     int retries = 0;
+    /// Sim time the first fetch_request went out (step 8) — the step-9
+    /// apply span is measured from here.
+    Micros started_at = 0;
   };
 
   chain::Transaction MakeTransaction(const crypto::Address& to,
@@ -293,17 +310,25 @@ class Peer : public net::Endpoint {
   /// put into the source, and cascade.
   void FinalizeApprovedUpdate(StagedUpdate staged);
 
-  /// Applies a fetched foreign update and acks it on-chain.
+  /// Applies a fetched foreign update and acks it on-chain. `started_at`
+  /// is the sim time the fetch began (for the step-9 span).
   Status ApplyFetchedUpdate(const std::string& table_id,
                             const relational::Table& content,
-                            uint64_t version, const std::string& digest);
+                            uint64_t version, const std::string& digest,
+                            Micros started_at);
 
-  /// Step 6: propagate a source change to sibling shared views.
+  /// Propagates a source change to sibling shared views. `fig5_step` is 6
+  /// when this peer initiated the update, 11 when it follows a fetched one.
   void CascadeAfterSourceChange(const std::string& source_table,
                                 const relational::Table& before,
-                                const std::string& exclude_table_id);
+                                const std::string& exclude_table_id,
+                                int fig5_step);
 
   void Trace(const std::string& message);
+
+  /// Emits one structured protocol step event (no-op without a tracer).
+  void RecordStep(int figure, int step, std::string action, std::string table,
+                  std::string outcome, Micros sim_duration = 0) const;
 
   Result<std::string> NameOfAddress(const std::string& addr_hex) const;
 
@@ -336,6 +361,21 @@ class Peer : public net::Endpoint {
   std::map<std::string, PendingOffer> pending_offers_;  // by table_id
   Stats stats_;
   std::function<void(const std::string&)> trace_sink_;
+  metrics::ProtocolTracer* tracer_ = nullptr;
+  metrics::MetricsRegistry* registry_ = nullptr;
+  /// peer.* counters mirroring Stats (all nullptr when detached).
+  struct StatCounters {
+    metrics::Counter* updates_proposed = nullptr;
+    metrics::Counter* updates_committed = nullptr;
+    metrics::Counter* updates_denied = nullptr;
+    metrics::Counter* fetches_served = nullptr;
+    metrics::Counter* fetches_applied = nullptr;
+    metrics::Counter* acks_sent = nullptr;
+    metrics::Counter* cascades_proposed = nullptr;
+    metrics::Counter* cascades_blocked = nullptr;
+    metrics::Counter* digest_mismatches = nullptr;
+  };
+  StatCounters counters_;
   bool started_ = false;
   /// Liveness guard captured by the node-subscription closures: flipped to
   /// false on destruction so late callbacks become no-ops.

@@ -27,6 +27,10 @@ Result<std::unique_ptr<ClinicScenario>> ClinicScenario::Create(
     const ScenarioOptions& options) {
   auto scenario = std::unique_ptr<ClinicScenario>(new ClinicScenario());
   scenario->options_ = options;
+  scenario->metrics_ = std::make_unique<metrics::MetricsRegistry>();
+  scenario->tracer_ =
+      std::make_unique<metrics::ProtocolTracer>(scenario->metrics_.get());
+  metrics::MetricsRegistry* registry = scenario->metrics_.get();
   if (options.worker_threads > 0) {
     scenario->pool_ =
         std::make_unique<threading::ThreadPool>(options.worker_threads);
@@ -35,6 +39,7 @@ Result<std::unique_ptr<ClinicScenario>> ClinicScenario::Create(
   scenario->simulator_ = std::make_unique<net::Simulator>();
   scenario->network_ = std::make_unique<net::Network>(
       scenario->simulator_.get(), options.latency, options.seed);
+  scenario->network_->set_metrics(registry);
 
   // --- Chain substrate: PoA authorities, one per node. ---------------------
   std::vector<crypto::Address> authorities;
@@ -54,8 +59,10 @@ Result<std::unique_ptr<ClinicScenario>> ClinicScenario::Create(
       sealer = std::make_shared<chain::PoaSealer>(authorities,
                                                   authority_keys[i]);
     } else {
-      sealer =
+      auto pow =
           std::make_shared<chain::PowSealer>(options.pow_difficulty_bits, pool);
+      pow->set_metrics(registry);
+      sealer = std::move(pow);
     }
     auto host = std::make_unique<contracts::ContractHost>();
     host->RegisterType("metadata", contracts::MetadataContract::Create);
@@ -66,6 +73,7 @@ Result<std::unique_ptr<ClinicScenario>> ClinicScenario::Create(
     node_config.sealing_enabled =
         options.consensus == ConsensusMode::kPoa || i == 0;
     node_config.pool = pool;
+    node_config.metrics = registry;
     scenario->nodes_.push_back(std::make_unique<runtime::ChainNode>(
         node_config, scenario->simulator_.get(), scenario->network_.get(),
         std::move(sealer), genesis, contracts::SharedDataConflictKey,
@@ -83,6 +91,8 @@ Result<std::unique_ptr<ClinicScenario>> ClinicScenario::Create(
         config, scenario->simulator_.get(), scenario->network_.get(),
         scenario->nodes_[node_index % scenario->nodes_.size()].get());
     peer->sync().set_thread_pool(pool);
+    peer->SetMetrics(registry);
+    peer->SetProtocolTracer(scenario->tracer_.get());
     peer->Start();
     return peer;
   };

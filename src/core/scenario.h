@@ -77,6 +77,15 @@ class ClinicScenario {
 
   const crypto::Address& contract() const { return contract_; }
 
+  /// The scenario-wide registry every component (network, nodes, sealers,
+  /// peers, WALs) reports into, and the structured Fig. 4/5 step trace.
+  metrics::MetricsRegistry& metrics() { return *metrics_; }
+  metrics::ProtocolTracer& tracer() { return *tracer_; }
+
+  /// Canonical JSON snapshot of every counter/gauge/histogram. Deterministic
+  /// under the sim clock: byte-identical across worker_threads settings.
+  Json MetricsSnapshot() const { return metrics_->Snapshot(); }
+
   /// Shared table ids.
   static constexpr char kPatientDoctorTable[] = "D13&D31";
   static constexpr char kDoctorResearcherTable[] = "D23&D32";
@@ -95,8 +104,10 @@ class ClinicScenario {
   bool Quiescent() const;
 
   ScenarioOptions options_;
-  /// Declared before the components that borrow it so it outlives them all
-  /// (destruction runs bottom-up).
+  /// Declared before the components that borrow them so they outlive them
+  /// all (destruction runs bottom-up).
+  std::unique_ptr<metrics::MetricsRegistry> metrics_;
+  std::unique_ptr<metrics::ProtocolTracer> tracer_;
   std::unique_ptr<threading::ThreadPool> pool_;
   std::unique_ptr<net::Simulator> simulator_;
   std::unique_ptr<net::Network> network_;

@@ -12,6 +12,18 @@ SyncManager::SyncManager(relational::Database* database,
                          DependencyStrategy strategy)
     : database_(database), strategy_(strategy) {}
 
+void SyncManager::set_metrics(metrics::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    gets_executed_counter_ = gets_skipped_counter_ = puts_counter_ = nullptr;
+    affected_views_ = nullptr;
+    return;
+  }
+  gets_executed_counter_ = registry->GetCounter("sync.gets_executed");
+  gets_skipped_counter_ = registry->GetCounter("sync.gets_skipped");
+  puts_counter_ = registry->GetCounter("sync.puts");
+  affected_views_ = registry->GetHistogram("sync.affected_views");
+}
+
 Status SyncManager::RegisterView(const std::string& table_id,
                                  const std::string& source_table,
                                  const std::string& view_table,
@@ -70,6 +82,7 @@ Status SyncManager::MaterializeView(const std::string& table_id) {
   MEDSYNC_ASSIGN_OR_RETURN(const ViewBinding* binding, FindBinding(table_id));
   MEDSYNC_ASSIGN_OR_RETURN(Table derived, DeriveView(table_id));
   ++gets_executed_;
+  metrics::Inc(gets_executed_counter_);
   return database_->ReplaceTable(binding->view_table, derived);
 }
 
@@ -83,6 +96,7 @@ Result<bx::SourceChange> SyncManager::PutViewIntoSource(
   MEDSYNC_ASSIGN_OR_RETURN(Table updated, binding->lens->Put(source, *view));
   MEDSYNC_RETURN_IF_ERROR(
       database_->ReplaceTable(binding->source_table, updated));
+  metrics::Inc(puts_counter_);
   return bx::AnalyzeSourceChange(source, updated);
 }
 
@@ -177,11 +191,18 @@ Result<std::vector<ViewRefresh>> SyncManager::FindAffectedViews(
 
   std::vector<ViewRefresh> refreshes;
   for (SiblingScan& scan : scans) {
-    if (scan.get_skipped) ++gets_skipped_;
-    if (scan.get_executed) ++gets_executed_;
+    if (scan.get_skipped) {
+      ++gets_skipped_;
+      metrics::Inc(gets_skipped_counter_);
+    }
+    if (scan.get_executed) {
+      ++gets_executed_;
+      metrics::Inc(gets_executed_counter_);
+    }
     if (!scan.status.ok()) return scan.status;
     if (scan.refresh.has_value()) refreshes.push_back(std::move(*scan.refresh));
   }
+  metrics::Observe(affected_views_, refreshes.size());
   return refreshes;
 }
 

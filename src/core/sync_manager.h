@@ -104,6 +104,11 @@ class SyncManager {
   uint64_t gets_skipped() const { return gets_skipped_; }
   uint64_t gets_executed() const { return gets_executed_; }
 
+  /// Attaches sync.gets_executed / sync.gets_skipped / sync.puts counters
+  /// and the sync.affected_views histogram (recorded once per dependency
+  /// check). The registry must outlive the manager; nullptr detaches.
+  void set_metrics(metrics::MetricsRegistry* registry);
+
   struct ViewBinding {
     std::string table_id;
     std::string source_table;
@@ -119,6 +124,11 @@ class SyncManager {
   std::map<std::string, ViewBinding> views_;
   uint64_t gets_skipped_ = 0;
   uint64_t gets_executed_ = 0;
+
+  metrics::Counter* gets_executed_counter_ = nullptr;
+  metrics::Counter* gets_skipped_counter_ = nullptr;
+  metrics::Counter* puts_counter_ = nullptr;
+  metrics::Histogram* affected_views_ = nullptr;
 };
 
 }  // namespace medsync::core

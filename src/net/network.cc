@@ -17,14 +17,39 @@ bool Network::IsAttached(const NodeId& id) const {
   return endpoints_.count(id) > 0;
 }
 
-Status Network::Send(Message message) {
-  ++stats_.sent;
-  stats_.bytes += message.payload.Dump().size();
+void Network::set_metrics(metrics::MetricsRegistry* registry) {
+  registry_ = registry;
+  if (registry == nullptr) {
+    sent_counter_ = delivered_counter_ = dropped_counter_ = bytes_counter_ =
+        nullptr;
+    latency_us_ = nullptr;
+    return;
+  }
+  sent_counter_ = registry->GetCounter("net.sent");
+  delivered_counter_ = registry->GetCounter("net.delivered");
+  dropped_counter_ = registry->GetCounter("net.dropped");
+  bytes_counter_ = registry->GetCounter("net.bytes");
+  latency_us_ = registry->GetHistogram("net.latency_us");
+}
 
+Status Network::Send(Message message) {
+  const size_t payload_bytes = message.payload.SerializedSize();
+  return SendSized(std::move(message), payload_bytes);
+}
+
+Status Network::SendSized(Message message, size_t payload_bytes) {
   auto it = endpoints_.find(message.to);
   if (it == endpoints_.end()) {
+    // Nothing was handed to the network, so nothing is accounted.
     return Status::NotFound(
         StrCat("no endpoint '", message.to, "' on the network"));
+  }
+  ++stats_.sent;
+  stats_.bytes += payload_bytes;
+  metrics::Inc(sent_counter_);
+  metrics::Inc(bytes_counter_, payload_bytes);
+  if (registry_ != nullptr) {
+    registry_->GetCounter(StrCat("net.sent.", message.type))->Increment();
   }
 
   auto link = message.from < message.to
@@ -33,6 +58,10 @@ Status Network::Send(Message message) {
   if (down_links_.count(link) > 0 ||
       (drop_probability_ > 0.0 && rng_.NextBool(drop_probability_))) {
     ++stats_.dropped;
+    metrics::Inc(dropped_counter_);
+    if (registry_ != nullptr) {
+      registry_->GetCounter(StrCat("net.dropped.", message.type))->Increment();
+    }
     return Status::OK();  // datagram semantics: loss is silent
   }
 
@@ -41,14 +70,21 @@ Status Network::Send(Message message) {
     delay += static_cast<Micros>(
         rng_.NextBelow(static_cast<uint64_t>(latency_.jitter) + 1));
   }
+  metrics::Observe(latency_us_, static_cast<uint64_t>(delay));
   NodeId to = message.to;
   simulator_->Schedule(delay, [this, to, message = std::move(message)]() {
     auto endpoint_it = endpoints_.find(to);
     if (endpoint_it == endpoints_.end()) {
       ++stats_.dropped;  // detached mid-flight
+      metrics::Inc(dropped_counter_);
+      if (registry_ != nullptr) {
+        registry_->GetCounter(StrCat("net.dropped.", message.type))
+            ->Increment();
+      }
       return;
     }
     ++stats_.delivered;
+    metrics::Inc(delivered_counter_);
     endpoint_it->second->OnMessage(message);
   });
   return Status::OK();
@@ -56,6 +92,8 @@ Status Network::Send(Message message) {
 
 void Network::Broadcast(const NodeId& from, const std::string& type,
                         const Json& payload) {
+  // Measured once for the whole fan-out; every copy has the same payload.
+  const size_t payload_bytes = payload.SerializedSize();
   for (const auto& [id, endpoint] : endpoints_) {
     if (id == from) continue;
     Message message;
@@ -63,7 +101,7 @@ void Network::Broadcast(const NodeId& from, const std::string& type,
     message.to = id;
     message.type = type;
     message.payload = payload;
-    (void)Send(std::move(message));
+    (void)SendSized(std::move(message), payload_bytes);
   }
 }
 

@@ -6,6 +6,7 @@
 #include <string>
 
 #include "common/json.h"
+#include "common/metrics/metrics.h"
 #include "common/random.h"
 #include "common/status.h"
 #include "net/simulator.h"
@@ -71,6 +72,10 @@ class Network {
   /// Probability in [0,1] that any message is lost.
   void set_drop_probability(double p) { drop_probability_ = p; }
 
+  /// `sent`/`bytes` only count messages genuinely handed to the network —
+  /// a Send to an unknown endpoint fails fast WITHOUT being accounted.
+  /// Messages lost to a down link, the drop lottery, or a mid-flight detach
+  /// count as both sent and dropped (datagram semantics).
   struct Stats {
     uint64_t sent = 0;
     uint64_t delivered = 0;
@@ -79,9 +84,19 @@ class Network {
   };
   const Stats& stats() const { return stats_; }
 
+  /// Mirrors Stats into `registry` (net.sent/delivered/dropped/bytes), adds
+  /// lazily created per-message-type counters (net.sent.<type>,
+  /// net.dropped.<type>) and the sampled-delay histogram net.latency_us.
+  /// The registry must outlive the network; nullptr detaches.
+  void set_metrics(metrics::MetricsRegistry* registry);
+
   std::vector<NodeId> AttachedNodes() const;
 
  private:
+  /// Send with the payload's serialized size precomputed, so Broadcast
+  /// serializes (well, measures) each payload once, not once per receiver.
+  Status SendSized(Message message, size_t payload_bytes);
+
   Simulator* simulator_;
   LatencyModel latency_;
   Rng rng_;
@@ -89,6 +104,13 @@ class Network {
   std::map<NodeId, Endpoint*> endpoints_;
   std::set<std::pair<NodeId, NodeId>> down_links_;  // normalized (min,max)
   Stats stats_;
+
+  metrics::MetricsRegistry* registry_ = nullptr;
+  metrics::Counter* sent_counter_ = nullptr;
+  metrics::Counter* delivered_counter_ = nullptr;
+  metrics::Counter* dropped_counter_ = nullptr;
+  metrics::Counter* bytes_counter_ = nullptr;
+  metrics::Histogram* latency_us_ = nullptr;
 };
 
 }  // namespace medsync::net

@@ -81,7 +81,11 @@ Result<Database> Database::Open(const std::string& dir) {
 
   // Replay WAL.
   std::vector<WalRecord> records;
-  MEDSYNC_ASSIGN_OR_RETURN(Wal wal, Wal::Open(dir + "/" + kWalFile, &records));
+  // The commit path's acknowledgement implies durability, so every logged
+  // operation is fdatasync'd before the mutation is applied.
+  MEDSYNC_ASSIGN_OR_RETURN(
+      Wal wal, Wal::Open(dir + "/" + kWalFile, &records,
+                         Wal::Options{.sync_every_append = true}));
   for (const WalRecord& record : records) {
     Status s = ApplyOp(record.payload, &db.tables_);
     if (!s.ok()) {

@@ -100,6 +100,19 @@ class Database {
 
   bool durable() const { return wal_.has_value(); }
 
+  /// Forwards to the WAL's metrics attachment (wal.appends / wal.syncs /
+  /// ...); no-op for in-memory databases. The registry must outlive the
+  /// database.
+  void set_metrics(metrics::MetricsRegistry* registry) {
+    if (wal_.has_value()) wal_->set_metrics(registry);
+  }
+
+  /// Durability accounting of the underlying WAL (empty for in-memory
+  /// databases).
+  Wal::Stats wal_stats() const {
+    return wal_.has_value() ? wal_->stats() : Wal::Stats{};
+  }
+
  private:
   /// Validates + applies one logged operation to `tables` (shared by live
   /// execution, transaction validation, and WAL replay).

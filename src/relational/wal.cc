@@ -39,7 +39,8 @@ uint32_t Crc32(std::string_view data) {
   return crc ^ 0xffffffffu;
 }
 
-Result<Wal> Wal::Open(std::string path, std::vector<WalRecord>* recovered) {
+Result<Wal> Wal::Open(std::string path, std::vector<WalRecord>* recovered,
+                      Options options) {
   if (recovered) recovered->clear();
 
   uint64_t next_lsn = 1;
@@ -127,13 +128,22 @@ Result<Wal> Wal::Open(std::string path, std::vector<WalRecord>* recovered) {
   wal.path_ = std::move(path);
   wal.fd_ = fd;
   wal.next_lsn_ = next_lsn;
+  wal.options_ = options;
+  wal.stats_.recovered_records = next_lsn - 1;
+  wal.stats_.truncations = needs_truncate ? 1 : 0;
   return wal;
 }
 
 Wal::Wal(Wal&& other) noexcept
     : path_(std::move(other.path_)),
       fd_(other.fd_),
-      next_lsn_(other.next_lsn_) {
+      next_lsn_(other.next_lsn_),
+      options_(other.options_),
+      stats_(other.stats_),
+      appends_counter_(other.appends_counter_),
+      append_bytes_counter_(other.append_bytes_counter_),
+      syncs_counter_(other.syncs_counter_),
+      resets_counter_(other.resets_counter_) {
   other.fd_ = -1;
 }
 
@@ -143,6 +153,12 @@ Wal& Wal::operator=(Wal&& other) noexcept {
     path_ = std::move(other.path_);
     fd_ = other.fd_;
     next_lsn_ = other.next_lsn_;
+    options_ = other.options_;
+    stats_ = other.stats_;
+    appends_counter_ = other.appends_counter_;
+    append_bytes_counter_ = other.append_bytes_counter_;
+    syncs_counter_ = other.syncs_counter_;
+    resets_counter_ = other.resets_counter_;
     other.fd_ = -1;
   }
   return *this;
@@ -170,7 +186,25 @@ Result<uint64_t> Wal::Append(const Json& payload) {
     data += n;
     remaining -= static_cast<size_t>(n);
   }
+  ++stats_.appends;
+  stats_.append_bytes += record.size();
+  metrics::Inc(appends_counter_);
+  metrics::Inc(append_bytes_counter_, record.size());
+  if (options_.sync_every_append) {
+    MEDSYNC_RETURN_IF_ERROR(Sync());
+  }
   return next_lsn_++;
+}
+
+Status Wal::Sync() {
+  if (fd_ < 0) return Status::FailedPrecondition("WAL not open");
+  if (::fdatasync(fd_) != 0) {
+    return Status::Unavailable(
+        StrCat("WAL sync failed: ", std::strerror(errno)));
+  }
+  ++stats_.syncs;
+  metrics::Inc(syncs_counter_);
+  return Status::OK();
 }
 
 Status Wal::Reset() {
@@ -180,7 +214,32 @@ Status Wal::Reset() {
         StrCat("WAL reset failed: ", std::strerror(errno)));
   }
   next_lsn_ = 1;
+  ++stats_.resets;
+  metrics::Inc(resets_counter_);
+  if (options_.sync_every_append) {
+    // The truncation itself must be durable, or a crash could resurrect
+    // pre-checkpoint records on top of the fresh snapshot.
+    MEDSYNC_RETURN_IF_ERROR(Sync());
+  }
   return Status::OK();
+}
+
+void Wal::set_metrics(metrics::MetricsRegistry* registry) {
+  if (registry == nullptr) {
+    appends_counter_ = append_bytes_counter_ = syncs_counter_ =
+        resets_counter_ = nullptr;
+    return;
+  }
+  appends_counter_ = registry->GetCounter("wal.appends");
+  append_bytes_counter_ = registry->GetCounter("wal.append_bytes");
+  syncs_counter_ = registry->GetCounter("wal.syncs");
+  resets_counter_ = registry->GetCounter("wal.resets");
+  // Recovery happened inside Open, before a registry could be attached;
+  // flush those one-time counts now.
+  registry->GetCounter("wal.recoveries")->Increment();
+  registry->GetCounter("wal.recovered_records")
+      ->Increment(stats_.recovered_records);
+  registry->GetCounter("wal.truncations")->Increment(stats_.truncations);
 }
 
 }  // namespace medsync::relational

@@ -22,6 +22,18 @@ ChainNode::ChainNode(NodeConfig config, net::Simulator* simulator,
       mempool_(conflict_key),
       host_(std::move(host)) {
   executed_hashes_.push_back(chain_.genesis().header.Hash().ToHex());
+  if (config_.metrics != nullptr) {
+    chain_.set_metrics(config_.metrics);
+    mempool_.set_metrics(config_.metrics);
+    seal_attempts_ = config_.metrics->GetCounter("node.seal.attempts");
+    seal_sealed_ = config_.metrics->GetCounter("node.seal.sealed");
+    seal_skipped_ = config_.metrics->GetCounter("node.seal.skipped");
+  }
+}
+
+Json ChainNode::MetricsSnapshot() const {
+  return config_.metrics != nullptr ? config_.metrics->Snapshot()
+                                    : Json::MakeObject();
 }
 
 void ChainNode::Start() {
@@ -139,9 +151,11 @@ void ChainNode::TrySeal() {
   block.transactions = std::move(txs);
   block.header.merkle_root = block.ComputeMerkleRoot(config_.pool);
 
+  metrics::Inc(seal_attempts_);
   Status sealed = sealer_->Seal(&block);
   if (!sealed.ok()) {
     // Not our turn (PoA round-robin) or no key — wait for the next tick.
+    metrics::Inc(seal_skipped_);
     MEDSYNC_LOG(kDebug, config_.id) << "seal skipped: " << sealed;
     return;
   }
@@ -153,6 +167,7 @@ void ChainNode::TrySeal() {
     return;
   }
   ++blocks_sealed_;
+  metrics::Inc(seal_sealed_);
   MEDSYNC_LOG(kInfo, config_.id)
       << "sealed block " << block.header.height << " ("
       << block.transactions.size() << " txs)";

@@ -38,6 +38,10 @@ struct NodeConfig {
   /// path is deterministic, so pooled and serial nodes build byte-identical
   /// chains.
   threading::ThreadPool* pool = nullptr;
+  /// Optional metrics registry (must outlive the node; typically shared
+  /// across the whole scenario). Wires the node's chain and mempool
+  /// counters plus node.seal.* accounting.
+  metrics::MetricsRegistry* metrics = nullptr;
 };
 
 /// A full blockchain node on the simulated network: replicated ledger,
@@ -95,6 +99,9 @@ class ChainNode : public net::Endpoint {
   const NodeConfig& config() const { return config_; }
   uint64_t blocks_sealed() const { return blocks_sealed_; }
 
+  /// Snapshot of the attached registry ({} when none was configured).
+  Json MetricsSnapshot() const;
+
   // -- Network --------------------------------------------------------------
 
   void OnMessage(const net::Message& message) override;
@@ -139,6 +146,10 @@ class ChainNode : public net::Endpoint {
   std::vector<ReceiptCallback> receipt_callbacks_;
   uint64_t blocks_sealed_ = 0;
   bool started_ = false;
+
+  metrics::Counter* seal_attempts_ = nullptr;
+  metrics::Counter* seal_sealed_ = nullptr;
+  metrics::Counter* seal_skipped_ = nullptr;
 };
 
 }  // namespace medsync::runtime

@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/metrics/metrics.h"
 #include "contracts/metadata_contract.h"
 
 namespace medsync::chain {
@@ -45,6 +46,50 @@ TEST(MempoolTest, CapacityBound) {
   ASSERT_TRUE(pool.Add(MakeTx("a", 1)).ok());
   ASSERT_TRUE(pool.Add(MakeTx("a", 2)).ok());
   EXPECT_TRUE(pool.Add(MakeTx("a", 3)).IsResourceExhausted());
+}
+
+TEST(MempoolTest, FullPoolStillReportsDuplicates) {
+  // Regression: the dedup check must run BEFORE the capacity check, so a
+  // re-gossiped transaction that is already pooled gets AlreadyExists (a
+  // benign no-op for the sender) rather than ResourceExhausted (which
+  // would make peers treat an accepted transaction as rejected).
+  Mempool pool(nullptr, /*capacity=*/2);
+  Transaction pooled = MakeTx("a", 1);
+  ASSERT_TRUE(pool.Add(pooled).ok());
+  ASSERT_TRUE(pool.Add(MakeTx("a", 2)).ok());
+
+  // Both orderings at capacity: known tx -> duplicate, new tx -> full.
+  EXPECT_TRUE(pool.Add(pooled).IsAlreadyExists());
+  EXPECT_TRUE(pool.Add(MakeTx("b", 1)).IsResourceExhausted());
+  EXPECT_TRUE(pool.Add(pooled).IsAlreadyExists());  // still duplicate after
+  EXPECT_EQ(pool.size(), 2u);
+}
+
+TEST(MempoolTest, MetricsCountAddsAndRejectsByReason) {
+  metrics::MetricsRegistry registry;
+  Mempool pool(nullptr, /*capacity=*/2);
+  pool.set_metrics(&registry);
+
+  Transaction good = MakeTx("a", 1);
+  ASSERT_TRUE(pool.Add(good).ok());
+  EXPECT_TRUE(pool.Add(good).IsAlreadyExists());
+  Transaction bad = MakeTx("a", 2);
+  bad.params.Set("tamper", 1);
+  EXPECT_TRUE(pool.Add(bad).IsPermissionDenied());
+  ASSERT_TRUE(pool.Add(MakeTx("a", 3)).ok());
+  EXPECT_TRUE(pool.Add(MakeTx("b", 1)).IsResourceExhausted());
+
+  Json counters = registry.Snapshot().At("counters");
+  EXPECT_EQ(counters.At("mempool.adds").AsInt(), 2);
+  EXPECT_EQ(counters.At("mempool.reject.duplicate").AsInt(), 1);
+  EXPECT_EQ(counters.At("mempool.reject.bad_signature").AsInt(), 1);
+  EXPECT_EQ(counters.At("mempool.reject.full").AsInt(), 1);
+  EXPECT_EQ(registry.Snapshot().At("gauges").At("mempool.occupancy").AsInt(),
+            2);
+
+  pool.RemoveIncluded({good.Id().ToHex()});
+  EXPECT_EQ(registry.Snapshot().At("gauges").At("mempool.occupancy").AsInt(),
+            1);
 }
 
 TEST(MempoolTest, CandidatePreservesArrivalOrder) {

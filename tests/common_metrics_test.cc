@@ -1,0 +1,298 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "common/metrics/metrics.h"
+#include "common/metrics/protocol_tracer.h"
+
+namespace medsync::metrics {
+namespace {
+
+TEST(CounterTest, IncrementsAccumulate) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+}
+
+TEST(GaugeTest, SetAndAdd) {
+  Gauge g;
+  g.Set(10);
+  g.Add(-3);
+  EXPECT_EQ(g.value(), 7);
+  g.Add(-20);
+  EXPECT_EQ(g.value(), -13);  // gauges may go negative
+}
+
+TEST(HistogramTest, EmptyHistogram) {
+  Histogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.sum(), 0u);
+  EXPECT_EQ(h.min(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.Quantile(0.5), 0u);
+}
+
+TEST(HistogramTest, BucketBoundsAreExponential) {
+  Histogram h(Histogram::Options{.first_bound = 4, .bucket_count = 3});
+  EXPECT_EQ(h.BucketBound(0), 4u);
+  EXPECT_EQ(h.BucketBound(1), 8u);
+  EXPECT_EQ(h.BucketBound(2), 16u);
+}
+
+TEST(HistogramTest, RecordTracksCountSumMinMax) {
+  Histogram h;
+  h.Record(3);
+  h.Record(100);
+  h.Record(7);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.sum(), 110u);
+  EXPECT_EQ(h.min(), 3u);
+  EXPECT_EQ(h.max(), 100u);
+}
+
+TEST(HistogramTest, BucketEdgeIsInclusive) {
+  // Bucket i covers (bound(i-1), bound(i)]: a value exactly on a bound
+  // lands in that bucket, one past it in the next.
+  Histogram h(Histogram::Options{.first_bound = 8, .bucket_count = 4});
+  h.Record(8);   // bucket 0
+  h.Record(9);   // bucket 1
+  h.Record(16);  // bucket 1
+  // Quantiles resolve to the containing bucket's upper bound.
+  EXPECT_EQ(h.Quantile(0.01), 8u);
+  EXPECT_EQ(h.Quantile(1.0), 16u);
+}
+
+TEST(HistogramTest, QuantilesWalkCumulativeCounts) {
+  Histogram h(Histogram::Options{.first_bound = 1, .bucket_count = 10});
+  for (int i = 0; i < 90; ++i) h.Record(2);    // bucket bound 2
+  for (int i = 0; i < 10; ++i) h.Record(500);  // bucket bound 512
+  EXPECT_EQ(h.Quantile(0.5), 2u);
+  EXPECT_EQ(h.Quantile(0.9), 2u);
+  // p99 lands among the large values; the bound is clamped to max().
+  EXPECT_EQ(h.Quantile(0.99), 500u);
+}
+
+TEST(HistogramTest, OverflowBucketReportsExactMax) {
+  Histogram h(Histogram::Options{.first_bound = 1, .bucket_count = 2});
+  h.Record(1000);  // beyond bound(1)=2 -> overflow
+  EXPECT_EQ(h.Quantile(0.5), 1000u);
+  Json json = h.ToJson();
+  // Overflow bucket is listed with bound -1.
+  const Json::Array& buckets = json.At("buckets").AsArray();
+  ASSERT_EQ(buckets.size(), 1u);
+  EXPECT_EQ(buckets[0].AsArray()[0].AsInt(), -1);
+  EXPECT_EQ(buckets[0].AsArray()[1].AsInt(), 1);
+}
+
+TEST(HistogramTest, ToJsonListsOnlyNonEmptyBuckets) {
+  Histogram h;
+  h.Record(1);
+  h.Record(1);
+  h.Record(64);
+  Json json = h.ToJson();
+  EXPECT_EQ(json.At("count").AsInt(), 3);
+  EXPECT_EQ(json.At("sum").AsInt(), 66);
+  EXPECT_EQ(json.At("min").AsInt(), 1);
+  EXPECT_EQ(json.At("max").AsInt(), 64);
+  const Json::Array& buckets = json.At("buckets").AsArray();
+  ASSERT_EQ(buckets.size(), 2u);
+  EXPECT_EQ(buckets[0].AsArray()[0].AsInt(), 1);
+  EXPECT_EQ(buckets[0].AsArray()[1].AsInt(), 2);
+  EXPECT_EQ(buckets[1].AsArray()[0].AsInt(), 64);
+  EXPECT_EQ(buckets[1].AsArray()[1].AsInt(), 1);
+}
+
+TEST(RegistryTest, SameNameReturnsSamePointer) {
+  MetricsRegistry registry;
+  Counter* a = registry.GetCounter("x");
+  Counter* b = registry.GetCounter("x");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(registry.GetCounter("y"), a);
+  EXPECT_EQ(registry.GetGauge("x"), registry.GetGauge("x"));
+  EXPECT_EQ(registry.GetHistogram("x"), registry.GetHistogram("x"));
+  EXPECT_EQ(registry.metric_count(), 4u);
+}
+
+TEST(RegistryTest, HistogramOptionsApplyOnlyOnFirstCreation) {
+  MetricsRegistry registry;
+  Histogram* h = registry.GetHistogram(
+      "h", Histogram::Options{.first_bound = 16, .bucket_count = 2});
+  Histogram* again = registry.GetHistogram(
+      "h", Histogram::Options{.first_bound = 1, .bucket_count = 28});
+  EXPECT_EQ(h, again);
+  EXPECT_EQ(again->BucketBound(0), 16u);
+}
+
+TEST(RegistryTest, SnapshotIsCanonical) {
+  // Two registries fed the same metrics in DIFFERENT orders serialize to
+  // byte-identical JSON — the property the determinism sweep relies on.
+  MetricsRegistry a;
+  MetricsRegistry b;
+  a.GetCounter("zulu")->Increment(3);
+  a.GetCounter("alpha")->Increment(1);
+  a.GetGauge("depth")->Set(-2);
+  a.GetHistogram("lat")->Record(7);
+
+  b.GetHistogram("lat")->Record(7);
+  b.GetGauge("depth")->Set(-2);
+  b.GetCounter("alpha")->Increment(1);
+  b.GetCounter("zulu")->Increment(3);
+
+  EXPECT_EQ(a.Snapshot().Dump(), b.Snapshot().Dump());
+}
+
+TEST(RegistryTest, SnapshotShape) {
+  MetricsRegistry registry;
+  registry.GetCounter("c")->Increment(5);
+  registry.GetGauge("g")->Set(9);
+  registry.GetHistogram("h")->Record(2);
+  Json snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.At("counters").At("c").AsInt(), 5);
+  EXPECT_EQ(snapshot.At("gauges").At("g").AsInt(), 9);
+  EXPECT_EQ(snapshot.At("histograms").At("h").At("count").AsInt(), 1);
+}
+
+TEST(RegistryTest, NullTolerantHelpers) {
+  Inc(nullptr);
+  GaugeAdd(nullptr, 1);
+  GaugeSet(nullptr, 1);
+  Observe(nullptr, 1);  // must not crash
+
+  MetricsRegistry registry;
+  Counter* c = registry.GetCounter("c");
+  Inc(c, 2);
+  EXPECT_EQ(c->value(), 2u);
+}
+
+StepEvent Step(int figure, int step) {
+  StepEvent event;
+  event.figure = figure;
+  event.step = step;
+  return event;
+}
+
+TEST(ProtocolTracerTest, RecordsEventsAndBumpsStepCounters) {
+  MetricsRegistry registry;
+  ProtocolTracer tracer(&registry);
+  StepEvent first = Step(5, 2);
+  first.action = "request_update";
+  first.peer = "doctor";
+  first.table = "D31";
+  first.outcome = "submitted";
+  first.at = 100;
+  first.sim_duration = 40;
+  tracer.Record(first);
+  StepEvent second = Step(5, 2);
+  second.action = "request_update";
+  tracer.Record(second);
+  StepEvent third = Step(4, 1);
+  third.action = "read";
+  tracer.Record(third);
+
+  ASSERT_EQ(tracer.event_count(), 3u);
+  std::vector<StepEvent> events = tracer.Events();
+  EXPECT_EQ(events[0].peer, "doctor");
+  EXPECT_EQ(events[0].table, "D31");
+  EXPECT_EQ(events[0].at, 100);
+
+  Json snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.At("counters").At("protocol.fig5.step2").AsInt(), 2);
+  EXPECT_EQ(snapshot.At("counters").At("protocol.fig4.step1").AsInt(), 1);
+  EXPECT_EQ(
+      snapshot.At("histograms").At("protocol.fig5.step2.sim_us").At("count")
+          .AsInt(),
+      2);
+}
+
+TEST(ProtocolTracerTest, EventToJson) {
+  StepEvent event{.figure = 5,
+                  .step = 9,
+                  .action = "apply_fetch",
+                  .peer = "patient",
+                  .table = "D13",
+                  .outcome = "applied",
+                  .at = 12345,
+                  .sim_duration = 678};
+  Json json = event.ToJson();
+  EXPECT_EQ(json.At("figure").AsInt(), 5);
+  EXPECT_EQ(json.At("step").AsInt(), 9);
+  EXPECT_EQ(json.At("action").AsString(), "apply_fetch");
+  EXPECT_EQ(json.At("peer").AsString(), "patient");
+  EXPECT_EQ(json.At("outcome").AsString(), "applied");
+  EXPECT_EQ(json.At("sim_duration").AsInt(), 678);
+}
+
+TEST(ProtocolTracerTest, SinkSeesEveryEvent) {
+  ProtocolTracer tracer;
+  std::vector<int> steps;
+  tracer.SetSink([&](const StepEvent& e) { steps.push_back(e.step); });
+  tracer.Record(Step(5, 1));
+  tracer.Record(Step(5, 4));
+  EXPECT_EQ(steps, (std::vector<int>{1, 4}));
+}
+
+TEST(ProtocolTracerTest, MaxEventsCapCountsDrops) {
+  MetricsRegistry registry;
+  ProtocolTracer tracer(&registry, /*max_events=*/2);
+  for (int i = 0; i < 5; ++i) {
+    tracer.Record(Step(5, 1));
+  }
+  EXPECT_EQ(tracer.event_count(), 2u);
+  EXPECT_EQ(tracer.dropped(), 3u);
+  // Dropped events still count toward per-step counters.
+  Json snapshot = registry.Snapshot();
+  EXPECT_EQ(snapshot.At("counters").At("protocol.fig5.step1").AsInt(), 5);
+  EXPECT_EQ(snapshot.At("counters").At("protocol.trace_dropped").AsInt(), 3);
+
+  tracer.Clear();
+  EXPECT_EQ(tracer.event_count(), 0u);
+  EXPECT_EQ(tracer.dropped(), 0u);
+}
+
+// Runs under ThreadSanitizer via the tsan ctest label: concurrent
+// registration and updates against one registry and tracer.
+TEST(RegistryTest, ConcurrentRegistrationAndUpdatesAreSafe) {
+  MetricsRegistry registry;
+  ProtocolTracer tracer(&registry, /*max_events=*/128);
+  constexpr int kThreads = 8;
+  constexpr int kOpsPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, &tracer, t] {
+      // Half the threads share metric names, half use their own, so both
+      // the create and the find path race.
+      std::string suffix = (t % 2 == 0) ? "shared" : std::to_string(t);
+      Counter* counter = registry.GetCounter("stress.counter." + suffix);
+      Gauge* gauge = registry.GetGauge("stress.gauge." + suffix);
+      Histogram* histogram = registry.GetHistogram("stress.hist." + suffix);
+      for (int i = 0; i < kOpsPerThread; ++i) {
+        counter->Increment();
+        gauge->Add(i % 2 == 0 ? 1 : -1);
+        histogram->Record(static_cast<uint64_t>(i));
+        if (i % 64 == 0) {
+          tracer.Record(Step(5, 1 + t % 11));
+          (void)registry.Snapshot();  // snapshot racing updates
+        }
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+
+  uint64_t total = 0;
+  Json counters = registry.Snapshot().At("counters");
+  for (const auto& [name, value] : counters.AsObject()) {
+    if (name.rfind("stress.counter.", 0) == 0) {
+      total += static_cast<uint64_t>(value.AsInt());
+    }
+  }
+  EXPECT_EQ(total, static_cast<uint64_t>(kThreads) * kOpsPerThread);
+  EXPECT_EQ(tracer.event_count() + tracer.dropped(),
+            static_cast<uint64_t>(kThreads) * (kOpsPerThread / 64 + 1));
+}
+
+}  // namespace
+}  // namespace medsync::metrics

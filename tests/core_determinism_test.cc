@@ -125,6 +125,14 @@ TEST(DeterminismTest, ThreadedPoolsProduceByteIdenticalWorlds) {
     compare_peer(baseline->patient(), threaded->patient());
     compare_peer(baseline->researcher(), threaded->researcher());
     EXPECT_EQ(baseline->simulator().Now(), threaded->simulator().Now());
+
+    // Every metric — counters, gauges, histograms, down to PoW nonce
+    // accounting and per-step protocol timings — must also be
+    // byte-identical: observability is part of the deterministic surface.
+    EXPECT_EQ(baseline->MetricsSnapshot().Dump(),
+              threaded->MetricsSnapshot().Dump());
+    EXPECT_EQ(baseline->tracer().ToJson().Dump(),
+              threaded->tracer().ToJson().Dump());
   }
 }
 

@@ -1,5 +1,6 @@
 #include <gtest/gtest.h>
 
+#include "common/metrics/metrics.h"
 #include "net/network.h"
 #include "net/simulator.h"
 
@@ -190,6 +191,75 @@ TEST(NetworkTest, JitterVariesDeliveryTimes) {
     }
   }
   EXPECT_TRUE(reordered);
+}
+
+TEST(NetworkTest, UnknownDestinationIsNotAccounted) {
+  // Regression: a Send that fails fast (NotFound) never reached the
+  // network, so it must not inflate sent/bytes — previously the payload
+  // was serialized and counted before the endpoint lookup.
+  Simulator sim(0);
+  Network net(&sim, LatencyModel{0, 0});
+  Recorder alice;
+  net.Attach("alice", &alice);
+
+  EXPECT_TRUE(net.Send({"alice", "nobody", "x", Json("payload")}).IsNotFound());
+  EXPECT_EQ(net.stats().sent, 0u);
+  EXPECT_EQ(net.stats().bytes, 0u);
+  EXPECT_EQ(net.stats().dropped, 0u);
+}
+
+TEST(NetworkTest, BytesCountPayloadSerializationOnce) {
+  Simulator sim(0);
+  Network net(&sim, LatencyModel{1, 0});
+  Recorder a, b, c;
+  net.Attach("a", &a);
+  net.Attach("b", &b);
+  net.Attach("c", &c);
+
+  Json payload = Json::MakeObject();
+  payload.Set("tag", "measured");
+  const uint64_t size = payload.Dump().size();
+
+  ASSERT_TRUE(net.Send({"a", "b", "x", payload}).ok());
+  EXPECT_EQ(net.stats().bytes, size);
+
+  // Broadcast measures the payload once but accounts one copy per
+  // receiver (two here: everyone but the sender).
+  net.Broadcast("a", "x", payload);
+  EXPECT_EQ(net.stats().sent, 3u);
+  EXPECT_EQ(net.stats().bytes, 3 * size);
+}
+
+TEST(NetworkTest, MetricsMirrorStatsAndSplitPerType) {
+  Simulator sim(0);
+  Network net(&sim, LatencyModel{1, 0});
+  metrics::MetricsRegistry registry;
+  net.set_metrics(&registry);
+  Recorder a, b;
+  net.Attach("a", &a);
+  net.Attach("b", &b);
+
+  ASSERT_TRUE(net.Send({"a", "b", "tx", Json(1)}).ok());
+  ASSERT_TRUE(net.Send({"a", "b", "block", Json(2)}).ok());
+  net.SetLinkDown("a", "b", true);
+  ASSERT_TRUE(net.Send({"a", "b", "tx", Json(3)}).ok());  // down link: dropped
+  sim.Run();
+
+  Json counters = registry.Snapshot().At("counters");
+  EXPECT_EQ(counters.At("net.sent").AsInt(), 3);
+  EXPECT_EQ(counters.At("net.delivered").AsInt(), 2);
+  EXPECT_EQ(counters.At("net.dropped").AsInt(), 1);
+  EXPECT_EQ(counters.At("net.bytes").AsInt(),
+            static_cast<int64_t>(net.stats().bytes));
+  // Per-type split: both tx sends counted, only the down-link one dropped.
+  EXPECT_EQ(counters.At("net.sent.tx").AsInt(), 2);
+  EXPECT_EQ(counters.At("net.sent.block").AsInt(), 1);
+  EXPECT_EQ(counters.At("net.dropped.tx").AsInt(), 1);
+  // Delivered messages sampled their delay into the latency histogram.
+  EXPECT_EQ(
+      registry.Snapshot().At("histograms").At("net.latency_us").At("count")
+          .AsInt(),
+      2);
 }
 
 TEST(NetworkTest, AttachedNodesListing) {

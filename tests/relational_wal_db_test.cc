@@ -3,6 +3,7 @@
 #include <cstdio>
 #include <filesystem>
 
+#include "common/metrics/metrics.h"
 #include "relational/database.h"
 #include "relational/wal.h"
 
@@ -139,6 +140,93 @@ TEST(WalTest, ResetTruncates) {
   ASSERT_TRUE(wal->Reset().ok());
   EXPECT_EQ(wal->next_lsn(), 1u);
   EXPECT_EQ(fs::file_size(path), 0u);
+}
+
+TEST(WalTest, SyncIsCallableAndCounted) {
+  TempDir dir;
+  std::vector<WalRecord> recovered;
+  Result<Wal> wal = Wal::Open(dir.file("wal.log"), &recovered);
+  ASSERT_TRUE(wal.ok());
+  EXPECT_FALSE(wal->options().sync_every_append);
+  ASSERT_TRUE(wal->Append(Op("x")).ok());
+  EXPECT_EQ(wal->stats().syncs, 0u);  // default mode never syncs implicitly
+  ASSERT_TRUE(wal->Sync().ok());
+  ASSERT_TRUE(wal->Sync().ok());  // idempotent at a durability point
+  EXPECT_EQ(wal->stats().syncs, 2u);
+}
+
+TEST(WalTest, SyncEveryAppendSyncsEachRecordAndReset) {
+  TempDir dir;
+  std::vector<WalRecord> recovered;
+  Result<Wal> wal = Wal::Open(dir.file("wal.log"), &recovered,
+                              Wal::Options{.sync_every_append = true});
+  ASSERT_TRUE(wal.ok());
+  EXPECT_TRUE(wal->options().sync_every_append);
+  ASSERT_TRUE(wal->Append(Op("a")).ok());
+  ASSERT_TRUE(wal->Append(Op("b")).ok());
+  ASSERT_TRUE(wal->Append(Op("c")).ok());
+  EXPECT_EQ(wal->stats().appends, 3u);
+  EXPECT_EQ(wal->stats().syncs, 3u);  // one fdatasync per acknowledged append
+  EXPECT_GT(wal->stats().append_bytes, 0u);
+
+  // Reset is a durability point too: the truncation itself is synced.
+  ASSERT_TRUE(wal->Reset().ok());
+  EXPECT_EQ(wal->stats().resets, 1u);
+  EXPECT_EQ(wal->stats().syncs, 4u);
+}
+
+TEST(WalTest, RecoveryAndTruncationStats) {
+  TempDir dir;
+  std::string path = dir.file("wal.log");
+  {
+    std::vector<WalRecord> recovered;
+    Result<Wal> wal = Wal::Open(path, &recovered);
+    ASSERT_TRUE(wal.ok());
+    EXPECT_EQ(wal->stats().recovered_records, 0u);
+    ASSERT_TRUE(wal->Append(Op("one")).ok());
+    ASSERT_TRUE(wal->Append(Op("two")).ok());
+  }
+  {
+    std::vector<WalRecord> recovered;
+    Result<Wal> wal = Wal::Open(path, &recovered);
+    ASSERT_TRUE(wal.ok());
+    EXPECT_EQ(wal->stats().recovered_records, 2u);
+    EXPECT_EQ(wal->stats().truncations, 0u);
+  }
+  // A torn tail bumps the truncation count.
+  fs::resize_file(path, fs::file_size(path) - 3);
+  std::vector<WalRecord> recovered;
+  Result<Wal> wal = Wal::Open(path, &recovered);
+  ASSERT_TRUE(wal.ok());
+  EXPECT_EQ(wal->stats().recovered_records, 1u);
+  EXPECT_EQ(wal->stats().truncations, 1u);
+}
+
+TEST(WalTest, MetricsMirrorAppendsAndRecovery) {
+  TempDir dir;
+  std::string path = dir.file("wal.log");
+  {
+    std::vector<WalRecord> recovered;
+    Result<Wal> wal = Wal::Open(path, &recovered);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append(Op("persisted")).ok());
+  }
+  metrics::MetricsRegistry registry;
+  std::vector<WalRecord> recovered;
+  Result<Wal> wal = Wal::Open(path, &recovered,
+                              Wal::Options{.sync_every_append = true});
+  ASSERT_TRUE(wal.ok());
+  wal->set_metrics(&registry);  // flushes the recovery counts at attach
+  ASSERT_TRUE(wal->Append(Op("x")).ok());
+  ASSERT_TRUE(wal->Append(Op("y")).ok());
+
+  Json counters = registry.Snapshot().At("counters");
+  EXPECT_EQ(counters.At("wal.appends").AsInt(), 2);
+  EXPECT_EQ(counters.At("wal.syncs").AsInt(), 2);
+  EXPECT_EQ(counters.At("wal.recoveries").AsInt(), 1);
+  EXPECT_EQ(counters.At("wal.recovered_records").AsInt(), 1);
+  EXPECT_EQ(counters.At("wal.append_bytes").AsInt(),
+            static_cast<int64_t>(wal->stats().append_bytes));
 }
 
 Schema S() {
@@ -300,6 +388,28 @@ TEST(DatabaseTest, DroppedTransactionHasNoEffect) {
     txn.Insert("t", R(1, "discarded"));
   }
   EXPECT_EQ((*db.GetTable("t"))->row_count(), 0u);
+}
+
+TEST(DatabaseTest, CommitPathSyncsEveryAppend) {
+  // The database's durability promise: every acknowledged mutation was
+  // fdatasync'd, not just buffered — so wal.syncs tracks wal.appends 1:1.
+  TempDir dir;
+  Result<Database> db = Database::Open(dir.path());
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(db->CreateTable("t", S()).ok());
+  ASSERT_TRUE(db->Insert("t", R(1, "a")).ok());
+  ASSERT_TRUE(db->Insert("t", R(2, "b")).ok());
+
+  Wal::Stats stats = db->wal_stats();
+  EXPECT_EQ(stats.appends, 3u);  // create + 2 inserts
+  EXPECT_EQ(stats.syncs, stats.appends);
+
+  metrics::MetricsRegistry registry;
+  db->set_metrics(&registry);
+  ASSERT_TRUE(db->Delete("t", {Value::Int(2)}).ok());
+  Json counters = registry.Snapshot().At("counters");
+  EXPECT_EQ(counters.At("wal.appends").AsInt(), 1);
+  EXPECT_EQ(counters.At("wal.syncs").AsInt(), 1);
 }
 
 TEST(DatabaseTest, DurableTransactionSurvivesReopen) {
