@@ -6,9 +6,13 @@
 
 #include <benchmark/benchmark.h>
 
+#include <chrono>
+
 #include "bx/lens_factory.h"
+#include "common/strings.h"
 #include "medical/generator.h"
 #include "medical/records.h"
+#include "relational/delta.h"
 #include "relational/query.h"
 
 namespace {
@@ -74,6 +78,73 @@ void BM_DeriveView(benchmark::State& state) {
 }
 BENCHMARK(BM_DeriveView)
     ->ArgsProduct({{0, 1, 2, 3}, {64, 512, 4096}});
+
+void BM_SingleRowUpdateDeriveView(benchmark::State& state) {
+  // The incremental counterpart of BM_DeriveView: one source row changes,
+  // and the view is maintained by translating that one-row delta through
+  // the lens (PushDelta + ApplyDelta) instead of a full re-derivation.
+  // Grouped projections (D3_to_D32) have no exact translation and are
+  // excluded here — bench_fig5_cascade measures their full-get fallback.
+  const NamedView& spec = kViews[state.range(0)];
+  Table full = Full(state.range(1));
+  Table source =
+      *relational::Project(full, spec.source_attrs, spec.source_key);
+  auto lens = bx::MakeProjectLens(spec.view_attrs, spec.view_key);
+  Table view = *lens->Get(source);
+
+  std::vector<relational::Key> keys;
+  for (const auto& [key, row] : source.rows()) keys.push_back(key);
+  uint64_t round = 0;
+
+  // Full-derivation baseline for the same single-row workload.
+  auto mutate = [&]() {
+    const relational::Key& key = keys[round % keys.size()];
+    if (!source
+             .UpdateAttribute(key, kMedicationName,
+                              relational::Value::String(
+                                  StrCat("Med-", round++)))
+             .ok()) {
+      std::abort();
+    }
+  };
+  constexpr int kBaselineReps = 20;
+  double full_seconds = 0;
+  for (int rep = 0; rep < kBaselineReps; ++rep) {
+    mutate();
+    auto start = std::chrono::steady_clock::now();
+    view = *lens->Get(source);
+    full_seconds += std::chrono::duration<double>(
+                        std::chrono::steady_clock::now() - start)
+                        .count();
+  }
+  full_seconds /= kBaselineReps;
+
+  double incremental_seconds = 0;
+  for (auto _ : state) {
+    Table before = source;
+    mutate();
+    relational::TableDelta delta;
+    {
+      const relational::Key& key = keys[(round - 1) % keys.size()];
+      delta.updates.push_back(*source.Get(key));
+    }
+    auto start = std::chrono::steady_clock::now();
+    auto pushed = lens->PushDelta(before, delta);
+    if (!pushed.ok()) std::abort();
+    if (!relational::ApplyDelta(*pushed, &view).ok()) std::abort();
+    incremental_seconds += std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    benchmark::DoNotOptimize(view);
+  }
+  state.SetLabel(spec.name);
+  state.counters["source_rows"] = static_cast<double>(state.range(1));
+  state.counters["speedup_vs_full"] =
+      full_seconds /
+      (incremental_seconds / static_cast<double>(state.iterations()));
+}
+BENCHMARK(BM_SingleRowUpdateDeriveView)
+    ->ArgsProduct({{0, 1, 2}, {512, 4096}});
 
 void BM_ScanSharedViewVsFullRecords(benchmark::State& state) {
   // The introduction's motivation quantified: a researcher counting

@@ -51,6 +51,18 @@ Result<Table> ComposeLens::Put(const Table& source, const Table& view) const {
   return current;
 }
 
+Result<AnnotatedDelta> ComposeLens::PushDeltaAnnotated(
+    const Schema& source_schema, const AnnotatedDelta& delta) const {
+  Schema schema = source_schema;
+  AnnotatedDelta current = delta;
+  for (const LensPtr& stage : stages_) {
+    MEDSYNC_ASSIGN_OR_RETURN(current,
+                             stage->PushDeltaAnnotated(schema, current));
+    MEDSYNC_ASSIGN_OR_RETURN(schema, stage->ViewSchema(schema));
+  }
+  return current;
+}
+
 Result<SourceFootprint> ComposeLens::Footprint(
     const Schema& source_schema) const {
   // Conservative: the composition's footprint on the ORIGINAL source is

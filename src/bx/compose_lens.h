@@ -31,6 +31,12 @@ class ComposeLens : public Lens {
   Result<relational::Table> Put(
       const relational::Table& source,
       const relational::Table& view) const override;
+  /// Exact iff every stage is: the delta is pushed through the stages
+  /// left-to-right; the first stage without a translation makes the whole
+  /// composition Unimplemented.
+  Result<AnnotatedDelta> PushDeltaAnnotated(
+      const relational::Schema& source_schema,
+      const AnnotatedDelta& delta) const override;
   Result<SourceFootprint> Footprint(
       const relational::Schema& source_schema) const override;
   Json ToJson() const override;

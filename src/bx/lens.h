@@ -4,12 +4,42 @@
 #include <memory>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "common/json.h"
 #include "common/result.h"
+#include "relational/delta.h"
 #include "relational/table.h"
 
 namespace medsync::bx {
+
+/// A table delta annotated with the PRE-change content of every deleted and
+/// updated row. Row-local lenses (project/select/rename and compositions
+/// thereof) translate an annotated source delta into an annotated view
+/// delta without touching the rest of the source — the engine behind
+/// incremental view maintenance on the Fig. 5 cascade hot path. The
+/// annotations exist because classifying a change on the VIEW side needs
+/// the old row: a source update whose old row was outside a selection but
+/// whose new row is inside it becomes a view INSERT, not a view update.
+struct AnnotatedDelta {
+  struct OldNew {
+    relational::Row before;
+    relational::Row after;
+  };
+  /// Newly inserted rows (no before-state by definition).
+  std::vector<relational::Row> inserts;
+  /// Updated rows: old and new content, same key.
+  std::vector<OldNew> updates;
+  /// Deleted rows, FULL old content (not just the key).
+  std::vector<relational::Row> deletes;
+
+  bool empty() const {
+    return inserts.empty() && updates.empty() && deletes.empty();
+  }
+  size_t size() const {
+    return inserts.size() + updates.size() + deletes.size();
+  }
+};
 
 /// The set of source attributes a lens's view content depends on. Used by
 /// the overlap analysis behind step 6 of the paper's Fig. 5 workflow: two
@@ -64,6 +94,30 @@ class Lens {
       const relational::Table& source,
       const relational::Table& view) const = 0;
 
+  /// Incremental get: translates a delta on the source into the delta on
+  /// the view, so a materialized view can be maintained with
+  /// relational::ApplyDelta instead of a full Get + replace. Exact for
+  /// every lens that implements it:
+  ///
+  ///   ApplyDelta(PushDelta(S, d), Get(S)) == Get(ApplyDelta(d, S))
+  ///
+  /// `source_before` is the source BEFORE `delta` was applied (annotations
+  /// for deleted/updated rows are looked up in it; O(|delta| log |S|)).
+  /// The returned delta is minimal: source changes invisible to the view
+  /// are dropped, so an empty result means the view content is unchanged.
+  /// Lenses with no exact translation (the lookup join, grouped
+  /// projections) return Unimplemented — callers fall back to a full Get.
+  Result<relational::TableDelta> PushDelta(
+      const relational::Table& source_before,
+      const relational::TableDelta& delta) const;
+
+  /// The overridable core of PushDelta: translates an annotated delta
+  /// under `source_schema`. Default: Unimplemented. Implementations must
+  /// be exact or refuse — guessing would desynchronize materialized views.
+  virtual Result<AnnotatedDelta> PushDeltaAnnotated(
+      const relational::Schema& source_schema,
+      const AnnotatedDelta& delta) const;
+
   /// Conservative footprint on `source_schema` for the overlap analysis.
   virtual Result<SourceFootprint> Footprint(
       const relational::Schema& source_schema) const = 0;
@@ -95,6 +149,9 @@ class IdentityLens : public Lens {
   Result<relational::Table> Put(
       const relational::Table& source,
       const relational::Table& view) const override;
+  Result<AnnotatedDelta> PushDeltaAnnotated(
+      const relational::Schema& source_schema,
+      const AnnotatedDelta& delta) const override;
   Result<SourceFootprint> Footprint(
       const relational::Schema& source_schema) const override;
   Json ToJson() const override;

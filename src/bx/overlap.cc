@@ -1,9 +1,22 @@
 #include "bx/overlap.h"
 
+#include "relational/delta.h"
+
 namespace medsync::bx {
 
 using relational::Schema;
 using relational::Table;
+using relational::TableDelta;
+
+namespace {
+/// Adds every attribute of `row` holding a non-null value to `out`.
+void AddNonNullAttributes(const Schema& schema, const relational::Row& row,
+                          std::set<std::string>* out) {
+  for (size_t i = 0; i < row.size(); ++i) {
+    if (!row[i].is_null()) out->insert(schema.attributes()[i].name);
+  }
+}
+}  // namespace
 
 Result<SourceChange> AnalyzeSourceChange(const Table& before,
                                          const Table& after) {
@@ -16,7 +29,12 @@ Result<SourceChange> AnalyzeSourceChange(const Table& before,
   for (const auto& [key, row] : after.rows()) {
     std::optional<relational::Row> old = before.Get(key);
     if (!old.has_value()) {
+      // An inserted row writes every non-null attribute it carries; an
+      // insert-only change must not report an empty attribute set, or
+      // per-attribute permission checks downstream under-report what was
+      // written.
       change.membership_changed = true;
+      AddNonNullAttributes(schema, row, &change.changed_attributes);
       continue;
     }
     for (size_t i = 0; i < row.size(); ++i) {
@@ -25,15 +43,72 @@ Result<SourceChange> AnalyzeSourceChange(const Table& before,
       }
     }
   }
-  if (!change.membership_changed) {
-    for (const auto& [key, row] : before.rows()) {
-      if (!after.Contains(key)) {
-        change.membership_changed = true;
-        break;
+  for (const auto& [key, row] : before.rows()) {
+    if (!after.Contains(key)) {
+      change.membership_changed = true;
+      AddNonNullAttributes(schema, row, &change.changed_attributes);
+    }
+  }
+  return change;
+}
+
+Result<SourceChange> SourceChangeFromDelta(const Table& before,
+                                           const TableDelta& delta) {
+  const Schema& schema = before.schema();
+  SourceChange change;
+  for (const relational::Row& row : delta.inserts) {
+    change.membership_changed = true;
+    AddNonNullAttributes(schema, row, &change.changed_attributes);
+  }
+  for (const relational::Key& key : delta.deletes) {
+    std::optional<relational::Row> old = before.Get(key);
+    if (!old.has_value()) {
+      return Status::InvalidArgument(
+          "SourceChangeFromDelta: delete targets missing key");
+    }
+    change.membership_changed = true;
+    AddNonNullAttributes(schema, *old, &change.changed_attributes);
+  }
+  for (const relational::Row& row : delta.updates) {
+    std::optional<relational::Row> old =
+        before.Get(relational::KeyOf(schema, row));
+    if (!old.has_value()) {
+      return Status::InvalidArgument(
+          "SourceChangeFromDelta: update targets missing row");
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (row[i] != (*old)[i]) {
+        change.changed_attributes.insert(schema.attributes()[i].name);
       }
     }
   }
   return change;
+}
+
+Result<std::set<std::string>> WrittenAttributes(const Table& before,
+                                                const TableDelta& delta) {
+  const Schema& schema = before.schema();
+  std::set<std::string> written;
+  // Updates write exactly the attributes whose value changed.
+  for (const relational::Row& row : delta.updates) {
+    std::optional<relational::Row> old =
+        before.Get(relational::KeyOf(schema, row));
+    if (!old.has_value()) {
+      return Status::InvalidArgument(
+          "WrittenAttributes: update targets missing row");
+    }
+    for (size_t i = 0; i < row.size(); ++i) {
+      if (row[i] != (*old)[i]) written.insert(schema.attributes()[i].name);
+    }
+  }
+  // Inserts and deletes are intentionally excluded: row addition/removal is
+  // governed by the membership permission (contract kinds "insert"/"delete"
+  // check membership only), not per-attribute write permission. Charging an
+  // inserted row's attributes to the writer would demand per-attribute
+  // permission just to add a row — e.g. a key-change cascade that arrives as
+  // delete+insert would be denied on attributes whose values never changed.
+  // Use SourceChangeFromDelta for the full analysis-facing attribute set.
+  return written;
 }
 
 Result<bool> LensesMayInteract(const Lens& a, const Lens& b,

@@ -26,8 +26,25 @@ struct SourceChange {
 };
 
 /// Computes the change between two versions of the same-schema table.
+/// Inserted and deleted rows contribute their non-null attributes to
+/// `changed_attributes` (and set `membership_changed`), so an insert-only
+/// change never reports an empty attribute set.
 Result<SourceChange> AnalyzeSourceChange(const relational::Table& before,
                                          const relational::Table& after);
+
+/// Same analysis computed from a delta against the pre-change table,
+/// without materializing `after`. Produces identical results to
+/// AnalyzeSourceChange(before, ApplyDelta(delta, before)).
+Result<SourceChange> SourceChangeFromDelta(const relational::Table& before,
+                                           const relational::TableDelta& delta);
+
+/// The attributes a writer actually wrote VALUES into: updates contribute
+/// the attributes whose value changed. Inserted and deleted rows contribute
+/// nothing — row addition/removal is governed by the membership permission
+/// (contract kinds "insert"/"delete"), not per-attribute write permissions.
+/// This is what ViewRefresh reports to the permission contract.
+Result<std::set<std::string>> WrittenAttributes(
+    const relational::Table& before, const relational::TableDelta& delta);
 
 /// Static test: may the views of `a` and `b` over `source_schema` share
 /// source data at all? (If not, no update to one ever requires refreshing

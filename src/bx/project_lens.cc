@@ -183,6 +183,47 @@ Result<Table> ProjectLens::Put(const Table& source, const Table& view) const {
   return result;
 }
 
+Result<AnnotatedDelta> ProjectLens::PushDeltaAnnotated(
+    const Schema& source_schema, const AnnotatedDelta& delta) const {
+  if (!RowAligned(source_schema)) {
+    return Status::Unimplemented(StrCat(
+        "lens ", ToString(),
+        " is a grouped projection: a one-row source change can merge or "
+        "split whole view groups, so there is no exact delta translation"));
+  }
+  MEDSYNC_RETURN_IF_ERROR(ViewSchema(source_schema).status());
+
+  std::vector<size_t> src_idx;
+  src_idx.reserve(attributes_.size());
+  for (const std::string& name : attributes_) {
+    src_idx.push_back(*source_schema.IndexOf(name));
+  }
+  auto project_row = [&src_idx](const Row& row) {
+    Row out;
+    out.reserve(src_idx.size());
+    for (size_t i : src_idx) out.push_back(row[i]);
+    return out;
+  };
+
+  // Row-aligned: the view key is the source key, so every source row
+  // change maps to exactly one view row change of the same kind.
+  AnnotatedDelta out;
+  out.inserts.reserve(delta.inserts.size());
+  for (const Row& row : delta.inserts) {
+    out.inserts.push_back(project_row(row));
+  }
+  out.updates.reserve(delta.updates.size());
+  for (const AnnotatedDelta::OldNew& change : delta.updates) {
+    out.updates.push_back(
+        {project_row(change.before), project_row(change.after)});
+  }
+  out.deletes.reserve(delta.deletes.size());
+  for (const Row& row : delta.deletes) {
+    out.deletes.push_back(project_row(row));
+  }
+  return out;
+}
+
 Result<SourceFootprint> ProjectLens::Footprint(
     const Schema& source_schema) const {
   MEDSYNC_RETURN_IF_ERROR(ViewSchema(source_schema).status());

@@ -51,6 +51,13 @@ class ProjectLens : public Lens {
   Result<relational::Table> Put(
       const relational::Table& source,
       const relational::Table& view) const override;
+  /// Exact only in row-aligned mode (a projection keyed by the source key
+  /// is per-row); grouped projections return Unimplemented — a one-row
+  /// source change can merge or split whole view groups, which cannot be
+  /// decided from the delta alone.
+  Result<AnnotatedDelta> PushDeltaAnnotated(
+      const relational::Schema& source_schema,
+      const AnnotatedDelta& delta) const override;
   Result<SourceFootprint> Footprint(
       const relational::Schema& source_schema) const override;
   Json ToJson() const override;

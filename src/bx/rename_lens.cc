@@ -36,6 +36,14 @@ Result<Table> RenameLens::Put(const Table& source, const Table& view) const {
   return relational::Rename(view, inverse_);
 }
 
+Result<AnnotatedDelta> RenameLens::PushDeltaAnnotated(
+    const Schema& source_schema, const AnnotatedDelta& delta) const {
+  // Renaming relabels attributes without moving positions or values, so
+  // the rows of the delta are already the view's rows.
+  MEDSYNC_RETURN_IF_ERROR(ViewSchema(source_schema).status());
+  return delta;
+}
+
 Result<SourceFootprint> RenameLens::Footprint(
     const Schema& source_schema) const {
   MEDSYNC_RETURN_IF_ERROR(ViewSchema(source_schema).status());

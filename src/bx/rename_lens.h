@@ -29,6 +29,11 @@ class RenameLens : public Lens {
   Result<relational::Table> Put(
       const relational::Table& source,
       const relational::Table& view) const override;
+  /// Exact: renaming changes attribute names only, never positions or
+  /// values, so the delta passes through untouched.
+  Result<AnnotatedDelta> PushDeltaAnnotated(
+      const relational::Schema& source_schema,
+      const AnnotatedDelta& delta) const override;
   Result<SourceFootprint> Footprint(
       const relational::Schema& source_schema) const override;
   Json ToJson() const override;

@@ -67,6 +67,39 @@ Result<Table> SelectLens::Put(const Table& source, const Table& view) const {
   return result;
 }
 
+Result<AnnotatedDelta> SelectLens::PushDeltaAnnotated(
+    const Schema& source_schema, const AnnotatedDelta& delta) const {
+  MEDSYNC_RETURN_IF_ERROR(ViewSchema(source_schema).status());
+
+  AnnotatedDelta out;
+  for (const Row& row : delta.inserts) {
+    MEDSYNC_ASSIGN_OR_RETURN(bool visible,
+                             predicate_->Evaluate(source_schema, row));
+    if (visible) out.inserts.push_back(row);
+  }
+  for (const AnnotatedDelta::OldNew& change : delta.updates) {
+    // The kind of view change depends on which side of the predicate the
+    // old and new rows fall — this is why the delta carries old rows.
+    MEDSYNC_ASSIGN_OR_RETURN(bool was_visible,
+                             predicate_->Evaluate(source_schema, change.before));
+    MEDSYNC_ASSIGN_OR_RETURN(bool is_visible,
+                             predicate_->Evaluate(source_schema, change.after));
+    if (was_visible && is_visible) {
+      out.updates.push_back(change);
+    } else if (was_visible) {
+      out.deletes.push_back(change.before);
+    } else if (is_visible) {
+      out.inserts.push_back(change.after);
+    }
+  }
+  for (const Row& row : delta.deletes) {
+    MEDSYNC_ASSIGN_OR_RETURN(bool was_visible,
+                             predicate_->Evaluate(source_schema, row));
+    if (was_visible) out.deletes.push_back(row);
+  }
+  return out;
+}
+
 Result<SourceFootprint> SelectLens::Footprint(
     const Schema& source_schema) const {
   MEDSYNC_RETURN_IF_ERROR(ViewSchema(source_schema).status());

@@ -33,6 +33,12 @@ class SelectLens : public Lens {
   Result<relational::Table> Put(
       const relational::Table& source,
       const relational::Table& view) const override;
+  /// Exact: each source change is reclassified against the predicate (an
+  /// update whose old row was hidden but whose new row is visible becomes
+  /// a view insert, and so on).
+  Result<AnnotatedDelta> PushDeltaAnnotated(
+      const relational::Schema& source_schema,
+      const AnnotatedDelta& delta) const override;
   Result<SourceFootprint> Footprint(
       const relational::Schema& source_schema) const override;
   Json ToJson() const override;

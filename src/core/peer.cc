@@ -19,6 +19,7 @@ Peer::Peer(PeerConfig config, net::Simulator* simulator,
       node_(node),
       key_(crypto::KeyPair::FromSeed(config_.name)),
       sync_(&database_, config_.strategy) {
+  sync_.set_maintenance(config_.maintenance);
   address_to_name_[key_.address().ToHex()] = config_.name;
 }
 
@@ -454,6 +455,7 @@ void Peer::OnReceipt(const contracts::Receipt& receipt) {
       // A cascade the contract refused: the local source is newer than the
       // shared view and must stay flagged until permission arrives.
       table_it->second.needs_refresh = true;
+      (void)sync_.SetViewStale(staged.table_id, true);
     }
     Trace(StrCat("update of '", staged.table_id,
                  "' DENIED by contract: ", receipt.error));
@@ -477,6 +479,7 @@ void Peer::FinalizeApprovedUpdate(StagedUpdate staged) {
   state.version += 1;
   state.digest = staged.digest;
   state.needs_refresh = false;
+  (void)sync_.SetViewStale(staged.table_id, false);
   PersistTableState(state);
   ++stats_.updates_committed;
   metrics::Inc(counters_.updates_committed);
@@ -526,8 +529,11 @@ void Peer::CascadeAfterSourceChange(const std::string& source_table,
     return;
   }
   for (ViewRefresh& refresh : *refreshes) {
+    // Classify against the WRITTEN attributes (values changed in existing
+    // rows): inserted/deleted rows are governed by membership permission
+    // alone, matching the contract's entry-level Create/Delete semantics.
     std::string kind;
-    if (refresh.membership_changed && !refresh.changed_attributes.empty()) {
+    if (refresh.membership_changed && !refresh.written_attributes.empty()) {
       kind = "replace";
     } else if (refresh.membership_changed) {
       // Pure membership change: classify as insert/delete by row count.
@@ -543,7 +549,7 @@ void Peer::CascadeAfterSourceChange(const std::string& source_table,
                  "' affected, proposing ", kind));
     Status proposed =
         ProposeViewContent(refresh.table_id, std::move(refresh.new_view),
-                           kind, refresh.changed_attributes,
+                           kind, refresh.written_attributes,
                            /*put_to_source=*/false);
     if (proposed.ok()) {
       ++stats_.cascades_proposed;
@@ -553,6 +559,7 @@ void Peer::CascadeAfterSourceChange(const std::string& source_table,
       metrics::Inc(counters_.cascades_blocked);
       auto it = tables_.find(refresh.table_id);
       if (it != tables_.end()) it->second.needs_refresh = true;
+      (void)sync_.SetViewStale(refresh.table_id, true);
       Trace(StrCat("cascade to '", refresh.table_id,
                    "' blocked: ", proposed.ToString()));
     }
@@ -599,6 +606,7 @@ void Peer::RetryFetch(const std::string& table_id) {
                  fetch.retries - 1, " retries"));
     auto table_it = tables_.find(table_id);
     if (table_it != tables_.end()) table_it->second.needs_refresh = true;
+    (void)sync_.SetViewStale(table_id, true);
     pending_fetches_.erase(it);
     return;
   }

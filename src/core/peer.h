@@ -22,6 +22,9 @@ struct PeerConfig {
   /// Network id; also the deterministic key seed ("doctor", "patient", ...).
   std::string name;
   DependencyStrategy strategy = DependencyStrategy::kAnalyzeChange;
+  /// How affected sibling views are re-materialized (delta push vs full
+  /// lens get); see ViewMaintenance.
+  ViewMaintenance maintenance = ViewMaintenance::kIncremental;
   /// Delay before re-sending an unanswered shared-data fetch.
   Micros fetch_retry_delay = 500 * kMicrosPerMilli;
   int max_fetch_retries = 20;

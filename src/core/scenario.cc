@@ -87,6 +87,7 @@ Result<std::unique_ptr<ClinicScenario>> ClinicScenario::Create(
     PeerConfig config;
     config.name = name;
     config.strategy = options.strategy;
+    config.maintenance = options.maintenance;
     auto peer = std::make_unique<Peer>(
         config, scenario->simulator_.get(), scenario->network_.get(),
         scenario->nodes_[node_index % scenario->nodes_.size()].get());

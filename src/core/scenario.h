@@ -36,6 +36,10 @@ struct ScenarioOptions {
   /// synthetic records.
   size_t record_count = 0;
   DependencyStrategy strategy = DependencyStrategy::kAnalyzeChange;
+  /// How every peer re-materializes affected views (delta push vs full
+  /// lens get). Both modes produce byte-identical database state —
+  /// core_determinism_test proves it.
+  ViewMaintenance maintenance = ViewMaintenance::kIncremental;
   net::LatencyModel latency;
   size_t max_block_txs = 100;
   /// 0 = fully serial (no pool). Otherwise the scenario owns a ThreadPool

@@ -7,6 +7,7 @@
 namespace medsync::core {
 
 using relational::Table;
+using relational::TableDelta;
 
 SyncManager::SyncManager(relational::Database* database,
                          DependencyStrategy strategy)
@@ -15,13 +16,18 @@ SyncManager::SyncManager(relational::Database* database,
 void SyncManager::set_metrics(metrics::MetricsRegistry* registry) {
   if (registry == nullptr) {
     gets_executed_counter_ = gets_skipped_counter_ = puts_counter_ = nullptr;
-    affected_views_ = nullptr;
+    delta_pushes_counter_ = full_fallbacks_counter_ = nullptr;
+    affected_views_ = source_delta_rows_ = view_delta_rows_ = nullptr;
     return;
   }
   gets_executed_counter_ = registry->GetCounter("sync.gets_executed");
   gets_skipped_counter_ = registry->GetCounter("sync.gets_skipped");
   puts_counter_ = registry->GetCounter("sync.puts");
+  delta_pushes_counter_ = registry->GetCounter("sync.delta_pushes");
+  full_fallbacks_counter_ = registry->GetCounter("sync.full_fallbacks");
   affected_views_ = registry->GetHistogram("sync.affected_views");
+  source_delta_rows_ = registry->GetHistogram("sync.source_delta_rows");
+  view_delta_rows_ = registry->GetHistogram("sync.view_delta_rows");
 }
 
 Status SyncManager::RegisterView(const std::string& table_id,
@@ -71,6 +77,16 @@ Result<const SyncManager::ViewBinding*> SyncManager::FindBinding(
   return &it->second;
 }
 
+Status SyncManager::SetViewStale(const std::string& table_id, bool stale) {
+  auto it = views_.find(table_id);
+  if (it == views_.end()) {
+    return Status::NotFound(
+        StrCat("no registered view '", table_id, "'"));
+  }
+  it->second.stale = stale;
+  return Status::OK();
+}
+
 Result<Table> SyncManager::DeriveView(const std::string& table_id) const {
   MEDSYNC_ASSIGN_OR_RETURN(const ViewBinding* binding, FindBinding(table_id));
   MEDSYNC_ASSIGN_OR_RETURN(const Table* source,
@@ -94,6 +110,16 @@ Result<bx::SourceChange> SyncManager::PutViewIntoSource(
   MEDSYNC_ASSIGN_OR_RETURN(const Table* view,
                            database_->GetTable(binding->view_table));
   MEDSYNC_ASSIGN_OR_RETURN(Table updated, binding->lens->Put(source, *view));
+  if (maintenance_ == ViewMaintenance::kIncremental) {
+    // Commit the put as a delta: the WAL records O(|delta|) instead of
+    // serializing the whole source table.
+    MEDSYNC_ASSIGN_OR_RETURN(TableDelta delta,
+                             relational::ComputeDelta(source, updated));
+    MEDSYNC_RETURN_IF_ERROR(
+        database_->ApplyTableDelta(binding->source_table, delta));
+    metrics::Inc(puts_counter_);
+    return bx::SourceChangeFromDelta(source, delta);
+  }
   MEDSYNC_RETURN_IF_ERROR(
       database_->ReplaceTable(binding->source_table, updated));
   metrics::Inc(puts_counter_);
@@ -108,6 +134,8 @@ struct SiblingScan {
   Status status;
   bool get_skipped = false;
   bool get_executed = false;
+  bool delta_pushed = false;
+  bool full_fallback = false;
   std::optional<ViewRefresh> refresh;
 };
 
@@ -119,8 +147,12 @@ Result<std::vector<ViewRefresh>> SyncManager::FindAffectedViews(
   MEDSYNC_ASSIGN_OR_RETURN(const Table* after_ptr,
                            database_->GetTable(source_table));
   const Table& after = *after_ptr;
+  // One delta for the whole dependency check; every sibling translates it
+  // (incremental mode) or falls back to its own get.
+  MEDSYNC_ASSIGN_OR_RETURN(TableDelta src_delta,
+                           relational::ComputeDelta(before, after));
   MEDSYNC_ASSIGN_OR_RETURN(bx::SourceChange change,
-                           bx::AnalyzeSourceChange(before, after));
+                           bx::SourceChangeFromDelta(before, src_delta));
 
   // Candidate siblings, in views_ (table-id) order.
   std::vector<const ViewBinding*> candidates;
@@ -130,15 +162,16 @@ Result<std::vector<ViewRefresh>> SyncManager::FindAffectedViews(
     candidates.push_back(&binding);
   }
 
-  // The per-sibling work — overlap analysis, lens get, diff against the
-  // materialization — only READS the database and the immutable lenses, so
-  // the scans run concurrently, one result slot each. Merging (and the
-  // skip/execute counters) happens after the join, in candidate order, so
-  // the refresh list is deterministic regardless of pool size.
+  // The per-sibling work — overlap analysis, delta push or lens get, diff
+  // against the materialization — only READS the database and the
+  // immutable lenses, so the scans run concurrently, one result slot
+  // each. Merging (and all counters) happens after the join, in candidate
+  // order, so the refresh list is deterministic regardless of pool size.
   const DependencyStrategy strategy = strategy_;
+  const ViewMaintenance maintenance = maintenance_;
   std::vector<SiblingScan> scans(candidates.size());
-  auto scan_one = [this, &after, &change, &candidates, &scans,
-                   strategy](size_t index) {
+  auto scan_one = [this, &after, &before, &src_delta, &change, &candidates,
+                   &scans, strategy, maintenance](size_t index) {
     const ViewBinding& binding = *candidates[index];
     SiblingScan& out = scans[index];
     if (strategy == DependencyStrategy::kAnalyzeChange) {
@@ -153,31 +186,80 @@ Result<std::vector<ViewRefresh>> SyncManager::FindAffectedViews(
         return;
       }
     }
+    Result<const Table*> current = database_->GetTable(binding.view_table);
+    if (!current.ok()) {
+      out.status = current.status();
+      return;
+    }
+
+    // Both paths produce the refresh from the VIEW delta, so the contract
+    // sees identical attribute sets either way.
+    auto emit_refresh = [&](TableDelta vd, Table new_view) {
+      Result<bx::SourceChange> analysis =
+          bx::SourceChangeFromDelta(**current, vd);
+      if (!analysis.ok()) {
+        out.status = analysis.status();
+        return;
+      }
+      Result<std::set<std::string>> written =
+          bx::WrittenAttributes(**current, vd);
+      if (!written.ok()) {
+        out.status = written.status();
+        return;
+      }
+      ViewRefresh refresh;
+      refresh.table_id = binding.table_id;
+      refresh.new_view = std::move(new_view);
+      refresh.delta = std::move(vd);
+      refresh.changed_attributes.assign(analysis->changed_attributes.begin(),
+                                        analysis->changed_attributes.end());
+      refresh.written_attributes.assign(written->begin(), written->end());
+      refresh.membership_changed = analysis->membership_changed;
+      out.refresh = std::move(refresh);
+    };
+
+    if (maintenance == ViewMaintenance::kIncremental) {
+      // A stale materialization (it missed an earlier blocked propagation)
+      // must not receive a pushed delta — the delta would preserve the
+      // stale rows — so it goes straight to the healing full get below.
+      if (!binding.stale) {
+        Result<TableDelta> pushed = binding.lens->PushDelta(before, src_delta);
+        if (pushed.ok()) {
+          if (pushed->empty()) {
+            // The change is invisible to this view.
+            out.delta_pushed = true;
+            return;
+          }
+          Table new_view = **current;
+          Status applied = relational::ApplyDelta(*pushed, &new_view);
+          if (applied.ok()) {
+            out.delta_pushed = true;
+            emit_refresh(std::move(*pushed), std::move(new_view));
+            return;
+          }
+          // The materialization disagrees with the pushed delta (it lagged
+          // behind an earlier blocked propagation): heal via the full path.
+        } else if (!pushed.status().IsUnimplemented()) {
+          out.status = pushed.status();
+          return;
+        }
+      }
+      out.full_fallback = true;
+    }
+
     Result<Table> derived = binding.lens->Get(after);
     if (!derived.ok()) {
       out.status = derived.status();
       return;
     }
     out.get_executed = true;
-    Result<const Table*> current = database_->GetTable(binding.view_table);
-    if (!current.ok()) {
-      out.status = current.status();
+    Result<TableDelta> vd = relational::ComputeDelta(**current, *derived);
+    if (!vd.ok()) {
+      out.status = vd.status();
       return;
     }
-    if (*derived == **current) return;
-    Result<bx::SourceChange> view_change =
-        bx::AnalyzeSourceChange(**current, *derived);
-    if (!view_change.ok()) {
-      out.status = view_change.status();
-      return;
-    }
-    ViewRefresh refresh;
-    refresh.table_id = binding.table_id;
-    refresh.new_view = std::move(*derived);
-    refresh.changed_attributes.assign(view_change->changed_attributes.begin(),
-                                      view_change->changed_attributes.end());
-    refresh.membership_changed = view_change->membership_changed;
-    out.refresh = std::move(refresh);
+    if (vd->empty()) return;
+    emit_refresh(std::move(*vd), std::move(*derived));
   };
   if (pool_ != nullptr && candidates.size() > 1) {
     threading::TaskGroup group(pool_);
@@ -199,16 +281,46 @@ Result<std::vector<ViewRefresh>> SyncManager::FindAffectedViews(
       ++gets_executed_;
       metrics::Inc(gets_executed_counter_);
     }
+    if (scan.delta_pushed) {
+      ++delta_pushes_;
+      metrics::Inc(delta_pushes_counter_);
+    }
+    if (scan.full_fallback) {
+      ++full_fallbacks_;
+      metrics::Inc(full_fallbacks_counter_);
+    }
     if (!scan.status.ok()) return scan.status;
-    if (scan.refresh.has_value()) refreshes.push_back(std::move(*scan.refresh));
+    if (scan.refresh.has_value()) {
+      metrics::Observe(view_delta_rows_, scan.refresh->delta.size());
+      refreshes.push_back(std::move(*scan.refresh));
+    }
   }
   metrics::Observe(affected_views_, refreshes.size());
+  metrics::Observe(source_delta_rows_, src_delta.size());
   return refreshes;
+}
+
+Status SyncManager::ApplyRefresh(const ViewRefresh& refresh) {
+  MEDSYNC_ASSIGN_OR_RETURN(const ViewBinding* binding,
+                           FindBinding(refresh.table_id));
+  if (maintenance_ == ViewMaintenance::kIncremental) {
+    if (refresh.delta.empty()) return Status::OK();
+    return database_->ApplyTableDelta(binding->view_table, refresh.delta);
+  }
+  return database_->ReplaceTable(binding->view_table, refresh.new_view);
 }
 
 Status SyncManager::ApplyViewContent(const std::string& table_id,
                                      const Table& content) {
   MEDSYNC_ASSIGN_OR_RETURN(const ViewBinding* binding, FindBinding(table_id));
+  if (maintenance_ == ViewMaintenance::kIncremental) {
+    MEDSYNC_ASSIGN_OR_RETURN(const Table* current,
+                             database_->GetTable(binding->view_table));
+    MEDSYNC_ASSIGN_OR_RETURN(TableDelta delta,
+                             relational::ComputeDelta(*current, content));
+    // ApplyTableDelta skips the WAL for an empty delta.
+    return database_->ApplyTableDelta(binding->view_table, delta);
+  }
   return database_->ReplaceTable(binding->view_table, content);
 }
 

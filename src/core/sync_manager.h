@@ -8,6 +8,7 @@
 #include "bx/lens.h"
 #include "bx/overlap.h"
 #include "relational/database.h"
+#include "relational/delta.h"
 
 namespace medsync::threading {
 class ThreadPool;
@@ -27,13 +28,36 @@ enum class DependencyStrategy {
   kAnalyzeChange,
 };
 
+/// How affected sibling views are re-materialized once the dependency
+/// check decides they changed.
+enum class ViewMaintenance {
+  /// Translate the source delta through the lens (Lens::PushDelta) and
+  /// apply the resulting view delta — O(|delta| log n) per view. Lenses
+  /// without an exact translation (and views marked stale) fall back to
+  /// the full get, counted in sync.full_fallbacks.
+  kIncremental,
+  /// Always re-derive with a full lens get and swap the whole table
+  /// (the pre-incremental behavior; kept as the correctness oracle).
+  kFullGet,
+};
+
 /// A sibling view whose content changed after a source update and must be
 /// propagated to its sharing peers.
 struct ViewRefresh {
   std::string table_id;
   relational::Table new_view;
-  /// Attribute names whose values changed (view-schema names).
+  /// The delta taking the current materialization to `new_view` (what
+  /// cascade step 6 actually ships in incremental mode).
+  relational::TableDelta delta;
+  /// Full change analysis (view-schema names): attributes whose values
+  /// changed in surviving rows plus the non-null attributes of inserted
+  /// and deleted rows. Feeds overlap analysis and reporting.
   std::vector<std::string> changed_attributes;
+  /// The attributes the update actually WROTE values into existing rows
+  /// of: update-changed attributes only. This is what the permission
+  /// contract checks — inserted/deleted rows are governed by the
+  /// membership permission, not per-attribute write permissions.
+  std::vector<std::string> written_attributes;
   /// Whether rows were inserted/deleted.
   bool membership_changed = false;
 };
@@ -53,10 +77,10 @@ class SyncManager {
 
   /// Parallelizes the sibling-view scans of FindAffectedViews across
   /// `pool` (which must outlive the manager; null = serial). During the
-  /// parallel phase the database is only READ (lens gets, table compares),
-  /// so the non-synchronized Database is safe to share; results are merged
-  /// back in table-id order, making output and counters independent of
-  /// pool size.
+  /// parallel phase the database is only READ (lens gets/delta pushes,
+  /// table compares), so the non-synchronized Database is safe to share;
+  /// results are merged back in table-id order, making output and
+  /// counters independent of pool size.
   void set_thread_pool(threading::ThreadPool* pool) { pool_ = pool; }
 
   /// Associates shared table `table_id` with `view_table` (its local
@@ -78,8 +102,9 @@ class SyncManager {
   Status MaterializeView(const std::string& table_id);
 
   /// put: writes the CURRENT materialized view content back into the
-  /// source table (lens put + ReplaceTable of the source). Returns the
-  /// source change that resulted.
+  /// source table. In incremental mode the source change is committed as
+  /// a delta (WAL-logs O(|delta|) instead of the whole table); in full
+  /// mode it is a ReplaceTable. Returns the source change that resulted.
   Result<bx::SourceChange> PutViewIntoSource(const std::string& table_id);
 
   /// The Fig. 5 step-6 dependency check: given that `source_table` changed
@@ -87,26 +112,55 @@ class SyncManager {
   /// registered view of that source (excluding `exclude_table_id`) whose
   /// derived content now differs from its materialization. Does NOT apply
   /// anything — the caller owns propagation (permissions may deny it).
+  ///
+  /// Computes ONE source delta (ComputeDelta(before, after)); in
+  /// incremental mode each sibling translates it through Lens::PushDelta
+  /// instead of running a full get, falling back to the full get when the
+  /// lens has no exact translation or the view is marked stale.
   Result<std::vector<ViewRefresh>> FindAffectedViews(
       const std::string& source_table, const relational::Table& before,
       const std::string& exclude_table_id);
 
-  /// Applies a refresh produced by FindAffectedViews (or a fetched remote
-  /// update) to the materialized view table.
+  /// Applies a refresh produced by FindAffectedViews to the materialized
+  /// view table: the delta in incremental mode, the full new_view in full
+  /// mode.
+  Status ApplyRefresh(const ViewRefresh& refresh);
+
+  /// Applies full replacement content (e.g. a fetched remote update) to
+  /// the materialized view table. In incremental mode the content is
+  /// diffed against the current materialization and committed as a delta.
   Status ApplyViewContent(const std::string& table_id,
                           const relational::Table& content);
 
+  /// Marks `table_id`'s materialization as lagging its source (a blocked
+  /// or failed propagation). A stale view is excluded from the
+  /// incremental path — its content no longer equals Get(source-before),
+  /// so applying a pushed delta would silently preserve the stale rows;
+  /// the full get heals it instead.
+  Status SetViewStale(const std::string& table_id, bool stale);
+
   DependencyStrategy strategy() const { return strategy_; }
   void set_strategy(DependencyStrategy strategy) { strategy_ = strategy; }
+
+  ViewMaintenance maintenance() const { return maintenance_; }
+  void set_maintenance(ViewMaintenance maintenance) {
+    maintenance_ = maintenance;
+  }
 
   /// Number of lens get evaluations skipped by the analyze strategy since
   /// construction (the ablation's measured quantity).
   uint64_t gets_skipped() const { return gets_skipped_; }
   uint64_t gets_executed() const { return gets_executed_; }
+  /// Sibling refreshes resolved through Lens::PushDelta, and the times
+  /// the incremental path had to fall back to a full get.
+  uint64_t delta_pushes() const { return delta_pushes_; }
+  uint64_t full_fallbacks() const { return full_fallbacks_; }
 
-  /// Attaches sync.gets_executed / sync.gets_skipped / sync.puts counters
-  /// and the sync.affected_views histogram (recorded once per dependency
-  /// check). The registry must outlive the manager; nullptr detaches.
+  /// Attaches sync.gets_executed / sync.gets_skipped / sync.puts /
+  /// sync.delta_pushes / sync.full_fallbacks counters, the
+  /// sync.affected_views histogram (recorded once per dependency check),
+  /// and the sync.source_delta_rows / sync.view_delta_rows delta-size
+  /// histograms. The registry must outlive the manager; nullptr detaches.
   void set_metrics(metrics::MetricsRegistry* registry);
 
   struct ViewBinding {
@@ -114,21 +168,30 @@ class SyncManager {
     std::string source_table;
     std::string view_table;
     bx::LensPtr lens;
+    /// See SetViewStale.
+    bool stale = false;
   };
   Result<const ViewBinding*> FindBinding(const std::string& table_id) const;
 
  private:
   relational::Database* database_;
   DependencyStrategy strategy_;
+  ViewMaintenance maintenance_ = ViewMaintenance::kIncremental;
   threading::ThreadPool* pool_ = nullptr;
   std::map<std::string, ViewBinding> views_;
   uint64_t gets_skipped_ = 0;
   uint64_t gets_executed_ = 0;
+  uint64_t delta_pushes_ = 0;
+  uint64_t full_fallbacks_ = 0;
 
   metrics::Counter* gets_executed_counter_ = nullptr;
   metrics::Counter* gets_skipped_counter_ = nullptr;
   metrics::Counter* puts_counter_ = nullptr;
+  metrics::Counter* delta_pushes_counter_ = nullptr;
+  metrics::Counter* full_fallbacks_counter_ = nullptr;
   metrics::Histogram* affected_views_ = nullptr;
+  metrics::Histogram* source_delta_rows_ = nullptr;
+  metrics::Histogram* view_delta_rows_ = nullptr;
 };
 
 }  // namespace medsync::core

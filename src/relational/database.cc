@@ -291,11 +291,23 @@ Status Database::Delete(const std::string& table, const Key& key) {
 
 Status Database::ApplyTableDelta(const std::string& table,
                                  const TableDelta& delta) {
+  // The cascade hot loop: bypass LogAndApply's scratch copy of the whole
+  // table and validate read-only against the live one — the op itself is
+  // O(|delta| log n) and ApplyDelta is all-or-nothing anyway.
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Status::NotFound(StrCat("no table '", table, "'"));
+  }
+  if (delta.empty()) return Status::OK();  // no WAL record for a no-op
+  MEDSYNC_RETURN_IF_ERROR(ValidateDelta(delta, it->second));
   Json op = Json::MakeObject();
   op.Set("op", "apply_delta");
   op.Set("table", table);
   op.Set("delta", delta.ToJson());
-  return LogAndApply(op);
+  if (wal_.has_value()) {
+    MEDSYNC_RETURN_IF_ERROR(wal_->Append(op).status());
+  }
+  return ApplyDelta(delta, &it->second);
 }
 
 Status Database::ReplaceTable(const std::string& table,

@@ -1,5 +1,7 @@
 #include "relational/delta.h"
 
+#include <set>
+
 #include "common/strings.h"
 
 namespace medsync::relational {
@@ -24,10 +26,13 @@ Result<TableDelta> TableDelta::FromJson(const Json& json) {
   }
   TableDelta delta;
   for (const char* field : {"inserts", "deletes", "updates"}) {
+    // A missing array means "no entries of this kind" — senders may omit
+    // empty sections.
+    if (!json.Has(field)) continue;
     const Json& arr = json.At(field);
     if (!arr.is_array()) {
       return Status::InvalidArgument(
-          StrCat("delta JSON needs '", field, "' array"));
+          StrCat("delta JSON field '", field, "' must be an array"));
     }
     for (const Json& r : arr.AsArray()) {
       MEDSYNC_ASSIGN_OR_RETURN(Row row, RowFromJson(r));
@@ -62,34 +67,67 @@ Result<TableDelta> ComputeDelta(const Table& before, const Table& after) {
   return delta;
 }
 
-Status ApplyDelta(const TableDelta& delta, Table* table) {
-  // Validate first so application is all-or-nothing for the common cases.
-  for (const Row& row : delta.inserts) {
-    MEDSYNC_RETURN_IF_ERROR(ValidateRow(table->schema(), row));
-    if (table->Contains(KeyOf(table->schema(), row))) {
-      return Status::AlreadyExists(
-          StrCat("delta insert collides at ", RowToString(row)));
-    }
-  }
+Status ValidateDelta(const TableDelta& delta, const Table& table) {
+  const Schema& schema = table.schema();
+
+  // Deletes are applied first, so inserts and updates are checked against
+  // the post-delete keyset: a delta may delete key K and re-insert a row
+  // at K (key reassignment, e.g. a renamed view-key value).
+  std::set<Key> deleted;
   for (const Key& key : delta.deletes) {
-    if (!table->Contains(key)) {
+    if (!table.Contains(key)) {
       return Status::NotFound(
           StrCat("delta delete misses at ", RowToString(key)));
     }
-  }
-  for (const Row& row : delta.updates) {
-    MEDSYNC_RETURN_IF_ERROR(ValidateRow(table->schema(), row));
-    if (!table->Contains(KeyOf(table->schema(), row))) {
-      return Status::NotFound(
-          StrCat("delta update misses at ", RowToString(row)));
+    if (!deleted.insert(key).second) {
+      return Status::InvalidArgument(
+          StrCat("duplicate key within delta deletes: ", RowToString(key)));
     }
   }
 
+  std::set<Key> inserted;
   for (const Row& row : delta.inserts) {
-    MEDSYNC_RETURN_IF_ERROR(table->Insert(row));
+    MEDSYNC_RETURN_IF_ERROR(ValidateRow(schema, row));
+    Key key = KeyOf(schema, row);
+    if (table.Contains(key) && deleted.count(key) == 0) {
+      return Status::AlreadyExists(
+          StrCat("delta insert collides at ", RowToString(row)));
+    }
+    if (!inserted.insert(std::move(key)).second) {
+      return Status::AlreadyExists(
+          StrCat("duplicate key within delta inserts: ", RowToString(row)));
+    }
   }
+
+  std::set<Key> updated;
+  for (const Row& row : delta.updates) {
+    MEDSYNC_RETURN_IF_ERROR(ValidateRow(schema, row));
+    Key key = KeyOf(schema, row);
+    bool exists = (table.Contains(key) && deleted.count(key) == 0) ||
+                  inserted.count(key) > 0;
+    if (!exists) {
+      return Status::NotFound(
+          StrCat("delta update misses at ", RowToString(row)));
+    }
+    if (!updated.insert(std::move(key)).second) {
+      return Status::InvalidArgument(
+          StrCat("duplicate key within delta updates: ", RowToString(row)));
+    }
+  }
+  return Status::OK();
+}
+
+Status ApplyDelta(const TableDelta& delta, Table* table) {
+  // Validate everything up front so application is all-or-nothing.
+  MEDSYNC_RETURN_IF_ERROR(ValidateDelta(delta, *table));
+
+  // Deletes first (see ValidateDelta: inserts may legally reuse a deleted
+  // key), then inserts, then updates.
   for (const Key& key : delta.deletes) {
     MEDSYNC_RETURN_IF_ERROR(table->Delete(key));
+  }
+  for (const Row& row : delta.inserts) {
+    MEDSYNC_RETURN_IF_ERROR(table->Insert(row));
   }
   for (const Row& row : delta.updates) {
     MEDSYNC_RETURN_IF_ERROR(table->Update(row));

@@ -32,15 +32,27 @@ struct TableDelta {
   }
 
   Json ToJson() const;
+  /// Parses a delta. A missing "inserts"/"deletes"/"updates" field is
+  /// treated as an empty array (senders may omit empty sections); a
+  /// present field of any non-array type is an error.
   static Result<TableDelta> FromJson(const Json& json);
 };
 
 /// Computes the delta taking `before` to `after`. Schemas must be equal.
 Result<TableDelta> ComputeDelta(const Table& before, const Table& after);
 
-/// Applies `delta` to `table` in place. Fails (leaving `table` partially
-/// modified only on internal errors — the checks run first) if an insert
-/// collides, a delete/update misses, or a row is invalid.
+/// Checks that `delta` would apply cleanly to `table` without mutating it.
+/// The check models the apply ORDER (deletes, then inserts, then updates):
+/// inserts are validated against the post-delete keyset, so a delta that
+/// deletes key K and re-inserts a row at K (key reassignment) is legal;
+/// updates may target surviving or freshly inserted keys. Duplicate keys
+/// within any one of the three sections are rejected — they would make
+/// application order-dependent.
+Status ValidateDelta(const TableDelta& delta, const Table& table);
+
+/// Applies `delta` to `table` in place, deletes first, then inserts, then
+/// updates. Runs ValidateDelta up front, so application is all-or-nothing:
+/// a rejected delta leaves `table` untouched.
 Status ApplyDelta(const TableDelta& delta, Table* table);
 
 }  // namespace medsync::relational

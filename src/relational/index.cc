@@ -1,5 +1,7 @@
 #include "relational/index.h"
 
+#include <algorithm>
+
 #include "common/strings.h"
 
 namespace medsync::relational {
@@ -18,14 +20,18 @@ Result<SecondaryIndex> SecondaryIndex::Build(const Table& table,
   return index;
 }
 
-std::vector<Key> SecondaryIndex::Lookup(const Value& value) const {
+const std::vector<Key>& SecondaryIndex::Lookup(const Value& value) const {
+  static const std::vector<Key> kEmpty;
   auto it = entries_.find(value);
-  if (it == entries_.end()) return {};
+  if (it == entries_.end()) return kEmpty;
   return it->second;
 }
 
 std::vector<Key> SecondaryIndex::LookupRange(const Value& lo,
                                              const Value& hi) const {
+  // NULL never matches a range scan (see header); a NULL bound makes the
+  // range undefined rather than open-ended.
+  if (lo.is_null() || hi.is_null()) return {};
   std::vector<Key> out;
   for (auto it = entries_.lower_bound(lo);
        it != entries_.end() && !(hi < it->first); ++it) {
@@ -33,6 +39,80 @@ std::vector<Key> SecondaryIndex::LookupRange(const Value& lo,
     out.insert(out.end(), it->second.begin(), it->second.end());
   }
   return out;
+}
+
+namespace {
+Status RemoveEntry(std::map<Value, std::vector<Key>>* entries,
+                   const Value& value, const Key& key) {
+  auto it = entries->find(value);
+  if (it != entries->end()) {
+    auto pos = std::lower_bound(it->second.begin(), it->second.end(), key);
+    if (pos != it->second.end() && *pos == key) {
+      it->second.erase(pos);
+      // Drop empty buckets so distinct_values() matches a fresh Build.
+      if (it->second.empty()) entries->erase(it);
+      return Status::OK();
+    }
+  }
+  return Status::NotFound(
+      StrCat("index out of sync: no entry for key ", RowToString(key)));
+}
+
+void AddEntry(std::map<Value, std::vector<Key>>* entries, const Value& value,
+              Key key) {
+  std::vector<Key>& bucket = (*entries)[value];
+  auto pos = std::lower_bound(bucket.begin(), bucket.end(), key);
+  bucket.insert(pos, std::move(key));
+}
+}  // namespace
+
+Status SecondaryIndex::ApplyDelta(const Table& before,
+                                  const TableDelta& delta) {
+  std::optional<size_t> idx = before.schema().IndexOf(attribute_);
+  if (!idx.has_value()) {
+    return Status::InvalidArgument(
+        StrCat("table has no indexed attribute '", attribute_, "'"));
+  }
+  // Resolve every old value first so a failure leaves the index untouched.
+  std::vector<std::pair<Value, Key>> removals;
+  std::map<Key, Value> additions;  // final indexed value per added key
+  for (const Key& key : delta.deletes) {
+    std::optional<Row> old = before.Get(key);
+    if (!old.has_value()) {
+      return Status::NotFound(StrCat("index out of sync: deleted key ",
+                                     RowToString(key), " not in snapshot"));
+    }
+    removals.emplace_back((*old)[*idx], key);
+  }
+  for (const Row& row : delta.inserts) {
+    additions[KeyOf(before.schema(), row)] = row[*idx];
+  }
+  for (const Row& row : delta.updates) {
+    Key key = KeyOf(before.schema(), row);
+    auto pending = additions.find(key);
+    if (pending != additions.end()) {
+      // The update targets a row this delta inserts (apply order is
+      // deletes, inserts, updates) — the update's value wins.
+      pending->second = row[*idx];
+      continue;
+    }
+    std::optional<Row> old = before.Get(key);
+    if (!old.has_value()) {
+      return Status::NotFound(StrCat("index out of sync: updated key ",
+                                     RowToString(key), " not in snapshot"));
+    }
+    if ((*old)[*idx] == row[*idx]) continue;  // indexed value unchanged
+    removals.emplace_back((*old)[*idx], key);
+    additions[std::move(key)] = row[*idx];
+  }
+
+  for (const auto& [value, key] : removals) {
+    MEDSYNC_RETURN_IF_ERROR(RemoveEntry(&entries_, value, key));
+  }
+  for (const auto& [key, value] : additions) {
+    AddEntry(&entries_, value, key);
+  }
+  return Status::OK();
 }
 
 Table SecondaryIndex::MaterializeEquals(const Table& table,

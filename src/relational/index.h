@@ -6,42 +6,59 @@
 #include <vector>
 
 #include "common/result.h"
+#include "relational/delta.h"
 #include "relational/predicate.h"
 #include "relational/table.h"
 
 namespace medsync::relational {
 
-/// An immutable secondary index over one attribute of a table snapshot:
-/// value -> primary keys of the rows holding it, in sorted order. Built
-/// once (O(n log n)), then equality and range probes are O(log n + hits)
+/// A secondary index over one attribute of a table snapshot: value ->
+/// primary keys of the rows holding it, in sorted order. Built once
+/// (O(n log n)), then equality and range probes are O(log n + hits)
 /// instead of a full scan.
 ///
-/// Tables are value types that peers copy and replace wholesale, so the
-/// index is a companion object over a specific snapshot rather than a
-/// maintained structure inside Table; rebuild it after replacing the
-/// table (the usual pattern: index the stable source, not the fast-moving
-/// shared views). `bench_storage` quantifies scan-vs-probe.
+/// Tables are value types, so the index is a companion object over a
+/// specific snapshot rather than a maintained structure inside Table.
+/// After the table changes, either rebuild, or — when the change is
+/// available as a TableDelta — keep the index current with ApplyDelta,
+/// O(|delta| log n) instead of O(n log n). `bench_storage` quantifies
+/// scan-vs-probe and rebuild-vs-delta.
+///
+/// NULL semantics: NULL cells are indexed under the NULL value and are
+/// reachable ONLY through Lookup/LookupNull. Range scans never match
+/// NULL: a NULL-valued entry is not "between" any two values, and a NULL
+/// bound makes the range itself undefined, so LookupRange returns no
+/// rows when either bound is NULL.
 class SecondaryIndex {
  public:
-  /// Builds the index on `attribute` of `table`. NULL cells are indexed
-  /// under the NULL value (retrievable via LookupNull).
+  /// Builds the index on `attribute` of `table`.
   static Result<SecondaryIndex> Build(const Table& table,
                                       const std::string& attribute);
 
   const std::string& attribute() const { return attribute_; }
   size_t distinct_values() const { return entries_.size(); }
 
-  /// Primary keys of rows whose indexed attribute equals `value`.
-  std::vector<Key> Lookup(const Value& value) const;
-  std::vector<Key> LookupNull() const { return Lookup(Value::Null()); }
+  /// Primary keys of rows whose indexed attribute equals `value`, in key
+  /// order. The reference stays valid until the index is next mutated.
+  const std::vector<Key>& Lookup(const Value& value) const;
+  const std::vector<Key>& LookupNull() const { return Lookup(Value::Null()); }
 
-  /// Primary keys of rows with `lo` <= value <= `hi` (non-null values
-  /// only), in value order.
+  /// Primary keys of rows with `lo` <= value <= `hi`, in value order.
+  /// NULL never matches a range scan: NULL-valued entries are skipped,
+  /// and a NULL `lo` or `hi` yields an empty result (see class comment).
   std::vector<Key> LookupRange(const Value& lo, const Value& hi) const;
 
+  /// Incrementally maintains the index across `delta`. `before` must be
+  /// the snapshot the index currently covers (old values of deleted and
+  /// updated rows are looked up in it); afterwards the index matches the
+  /// post-delta table exactly, as if freshly built. Fails without
+  /// modification if `before` is missing a row the delta touches — the
+  /// index would be out of sync with its snapshot.
+  Status ApplyDelta(const Table& before, const TableDelta& delta);
+
   /// Convenience: materializes the matching rows from `table` (which must
-  /// be the snapshot the index was built on, or at least contain the
-  /// keys). Rows whose key vanished are skipped.
+  /// be the snapshot the index covers, or at least contain the keys).
+  /// Rows whose key vanished are skipped.
   Table MaterializeEquals(const Table& table, const Value& value) const;
 
  private:

@@ -51,6 +51,102 @@ TEST(SourceChangeTest, DetectsMembershipChanges) {
   EXPECT_TRUE(change->membership_changed);
 }
 
+TEST(SourceChangeTest, InsertOnlyChangeReportsNonNullAttributes) {
+  // An insert-only change must not report an empty attribute set — the
+  // inserted row wrote every non-null attribute it carries. Null-valued
+  // attributes of the new row are NOT reported.
+  Table before = Fig1();
+  Table after = before;
+  relational::Row extra = *before.Get({Value::Int(188)});
+  extra[0] = Value::Int(500);
+  extra[3] = Value::Null();  // a3_address left unset
+  ASSERT_TRUE(after.Insert(extra).ok());
+  Result<SourceChange> change = AnalyzeSourceChange(before, after);
+  ASSERT_TRUE(change.ok());
+  EXPECT_TRUE(change->membership_changed);
+  EXPECT_EQ(change->changed_attributes,
+            (std::set<std::string>{kPatientId, kMedicationName, kClinicalData,
+                                   kDosage, kMechanismOfAction,
+                                   medical::kModeOfAction}));
+}
+
+TEST(SourceChangeTest, DeleteOnlyChangeReportsDeletedRowAttributes) {
+  Table before = Fig1();
+  Table after = before;
+  ASSERT_TRUE(after.Delete({Value::Int(189)}).ok());
+  Result<SourceChange> change = AnalyzeSourceChange(before, after);
+  ASSERT_TRUE(change.ok());
+  EXPECT_TRUE(change->membership_changed);
+  // Row 189 has every attribute non-null.
+  EXPECT_EQ(change->changed_attributes.size(), 7u);
+}
+
+TEST(SourceChangeTest, FromDeltaMatchesAnalyze) {
+  // SourceChangeFromDelta(before, ComputeDelta(before, after)) must agree
+  // with AnalyzeSourceChange(before, after) for a mixed change.
+  Table before = Fig1();
+  Table after = before;
+  ASSERT_TRUE(after
+                  .UpdateAttribute({Value::Int(188)}, kDosage,
+                                   Value::String("x"))
+                  .ok());
+  ASSERT_TRUE(after.Delete({Value::Int(189)}).ok());
+  relational::Row extra = *before.Get({Value::Int(188)});
+  extra[0] = Value::Int(500);
+  ASSERT_TRUE(after.Insert(extra).ok());
+
+  Result<SourceChange> analyzed = AnalyzeSourceChange(before, after);
+  ASSERT_TRUE(analyzed.ok());
+  Result<relational::TableDelta> delta =
+      relational::ComputeDelta(before, after);
+  ASSERT_TRUE(delta.ok());
+  Result<SourceChange> from_delta = SourceChangeFromDelta(before, *delta);
+  ASSERT_TRUE(from_delta.ok());
+  EXPECT_EQ(from_delta->changed_attributes, analyzed->changed_attributes);
+  EXPECT_EQ(from_delta->membership_changed, analyzed->membership_changed);
+}
+
+TEST(SourceChangeTest, FromDeltaRejectsMissingTargets) {
+  Table before = Fig1();
+  relational::TableDelta bad_delete;
+  bad_delete.deletes.push_back({Value::Int(777)});
+  EXPECT_TRUE(
+      SourceChangeFromDelta(before, bad_delete).status().IsInvalidArgument());
+  relational::TableDelta bad_update;
+  relational::Row ghost = *before.Get({Value::Int(188)});
+  ghost[0] = Value::Int(777);
+  bad_update.updates.push_back(ghost);
+  EXPECT_TRUE(
+      SourceChangeFromDelta(before, bad_update).status().IsInvalidArgument());
+}
+
+TEST(WrittenAttributesTest, OnlyUpdateChangedAttributesCount) {
+  // The contract-facing set: updates contribute their changed attributes;
+  // inserted and deleted rows contribute NOTHING (membership permission
+  // governs row addition/removal, not per-attribute write permission).
+  Table before = Fig1();
+  relational::TableDelta delta;
+  relational::Row updated = *before.Get({Value::Int(188)});
+  updated[4] = Value::String("new dosage");
+  delta.updates.push_back(updated);
+  delta.deletes.push_back({Value::Int(189)});
+  relational::Row extra = *before.Get({Value::Int(188)});
+  extra[0] = Value::Int(500);
+  delta.inserts.push_back(extra);
+
+  Result<std::set<std::string>> written = WrittenAttributes(before, delta);
+  ASSERT_TRUE(written.ok());
+  EXPECT_EQ(*written, (std::set<std::string>{kDosage}));
+
+  // Insert/delete-only delta writes no attribute values at all.
+  relational::TableDelta membership_only;
+  membership_only.deletes.push_back({Value::Int(189)});
+  membership_only.inserts.push_back(extra);
+  written = WrittenAttributes(before, membership_only);
+  ASSERT_TRUE(written.ok());
+  EXPECT_TRUE(written->empty());
+}
+
 TEST(SourceChangeTest, IdenticalTablesAreEmptyChange) {
   Result<SourceChange> change = AnalyzeSourceChange(Fig1(), Fig1());
   ASSERT_TRUE(change.ok());

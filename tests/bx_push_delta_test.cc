@@ -1,0 +1,222 @@
+// Property-based verification of the incremental-get exactness law: for
+// every lens that implements PushDelta,
+//
+//   ApplyDelta(PushDelta(S, d), Get(S)) == Get(ApplyDelta(d, S))
+//
+// across randomized sources, random row-level deltas (updates, deletes,
+// inserts, key reassignments) and the lens shapes the clinic scenario
+// actually deploys. Lenses with no exact translation (grouped projections)
+// must refuse with Unimplemented rather than guess.
+
+#include <gtest/gtest.h>
+
+#include "bx/compose_lens.h"
+#include "bx/lens.h"
+#include "bx/lens_factory.h"
+#include "bx/project_lens.h"
+#include "bx/rename_lens.h"
+#include "bx/select_lens.h"
+#include "common/random.h"
+#include "medical/generator.h"
+#include "medical/records.h"
+#include "relational/delta.h"
+
+namespace medsync::bx {
+namespace {
+
+using medical::kAddress;
+using medical::kClinicalData;
+using medical::kDosage;
+using medical::kMechanismOfAction;
+using medical::kMedicationName;
+using medical::kModeOfAction;
+using medical::kPatientId;
+using relational::CompareOp;
+using relational::Key;
+using relational::Predicate;
+using relational::Row;
+using relational::Schema;
+using relational::Table;
+using relational::TableDelta;
+using relational::Value;
+
+/// A random but always-valid delta over `source`: non-key updates, deletes
+/// of existing rows, inserts under fresh keys, and (sometimes) a key
+/// reassignment — delete key K and insert a different row at K.
+TableDelta RandomSourceDelta(const Table& source, Rng* rng) {
+  TableDelta delta;
+  const Schema& schema = source.schema();
+  std::vector<Row> rows = source.RowsInKeyOrder();
+  if (rows.empty()) return delta;
+
+  std::set<size_t> touched;  // row indices already used (one op per key)
+  auto pick_untouched = [&]() -> int {
+    for (int attempt = 0; attempt < 8; ++attempt) {
+      size_t i = rng->NextIndex(rows.size());
+      if (touched.insert(i).second) return static_cast<int>(i);
+    }
+    return -1;
+  };
+
+  int updates = static_cast<int>(rng->NextBelow(3));
+  for (int u = 0; u < updates; ++u) {
+    int i = pick_untouched();
+    if (i < 0) break;
+    Row updated = rows[i];
+    // Mutate 1-2 random non-key attributes.
+    for (int m = 0; m < 2; ++m) {
+      size_t a = rng->NextIndex(schema.attribute_count());
+      if (schema.IsKeyAttribute(schema.attributes()[a].name)) continue;
+      updated[a] = Value::String(rng->NextAlnumString(6));
+    }
+    delta.updates.push_back(std::move(updated));
+  }
+
+  int deletes = static_cast<int>(rng->NextBelow(3));
+  for (int d = 0; d < deletes; ++d) {
+    int i = pick_untouched();
+    if (i < 0) break;
+    delta.deletes.push_back(relational::KeyOf(schema, rows[i]));
+    if (rng->NextBool(0.3)) {
+      // Key reassignment: re-insert different content under the same key.
+      Row fresh = rows[i];
+      fresh[1] = Value::String(rng->NextAlnumString(8));
+      delta.inserts.push_back(std::move(fresh));
+    }
+  }
+
+  int inserts = static_cast<int>(rng->NextBelow(3));
+  for (int n = 0; n < inserts; ++n) {
+    Row fresh = rows[rng->NextIndex(rows.size())];
+    fresh[0] = Value::Int(9000 + static_cast<int64_t>(rng->NextBelow(2000)));
+    bool duplicate = false;
+    for (const Row& prior : delta.inserts) {
+      if (prior[0] == fresh[0]) duplicate = true;
+    }
+    if (duplicate || source.Contains({fresh[0]})) continue;
+    if (rng->NextBool(0.3)) fresh[3] = Value::Null();  // nullable attribute
+    delta.inserts.push_back(std::move(fresh));
+  }
+  return delta;
+}
+
+/// The lens shapes under test; every one must translate deltas exactly.
+std::vector<LensPtr> ExactLenses() {
+  std::vector<LensPtr> lenses;
+  lenses.push_back(MakeIdentityLens());
+  // Row-aligned projection (the patient-doctor D13/D31 lens).
+  lenses.push_back(MakeProjectLens(
+      {kPatientId, kMedicationName, kClinicalData, kDosage}, {kPatientId}));
+  // Selections, including predicates the delta can move rows across.
+  lenses.push_back(MakeSelectLens(
+      Predicate::Compare(kPatientId, CompareOp::kLt, Value::Int(1100))));
+  lenses.push_back(MakeSelectLens(
+      Predicate::Compare(kMedicationName, CompareOp::kGe,
+                         Value::String("M"))));
+  lenses.push_back(MakeRenameLens({{kDosage, "dose"}}));
+  // Compositions: select then project, rename then project.
+  lenses.push_back(std::make_shared<ComposeLens>(std::vector<LensPtr>{
+      MakeSelectLens(
+          Predicate::Compare(kPatientId, CompareOp::kGe, Value::Int(1050))),
+      MakeProjectLens({kPatientId, kMedicationName, kDosage},
+                      {kPatientId})}));
+  lenses.push_back(std::make_shared<ComposeLens>(std::vector<LensPtr>{
+      MakeRenameLens({{kClinicalData, "notes"}}),
+      MakeProjectLens({kPatientId, "notes", kAddress}, {kPatientId})}));
+  return lenses;
+}
+
+class PushDeltaPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(PushDeltaPropertyTest, PushDeltaAgreesWithFullGet) {
+  Rng rng(GetParam());
+  medical::GeneratorConfig config;
+  config.seed = GetParam() * 131 + 29;
+  config.record_count = 5 + rng.NextBelow(30);
+  Table source = medical::GenerateFullRecords(config);
+  std::vector<LensPtr> lenses = ExactLenses();
+
+  for (int trial = 0; trial < 6; ++trial) {
+    TableDelta delta = RandomSourceDelta(source, &rng);
+    Table after = source;
+    ASSERT_TRUE(relational::ApplyDelta(delta, &after).ok());
+
+    for (const LensPtr& lens : lenses) {
+      Result<Table> view_before = lens->Get(source);
+      Result<Table> view_after = lens->Get(after);
+      ASSERT_TRUE(view_before.ok()) << lens->ToString();
+      ASSERT_TRUE(view_after.ok()) << lens->ToString();
+
+      Result<TableDelta> pushed = lens->PushDelta(source, delta);
+      ASSERT_TRUE(pushed.ok())
+          << lens->ToString() << ": " << pushed.status().ToString();
+
+      // Exactness: applying the pushed delta to the old view reproduces
+      // the full re-derivation byte for byte.
+      Table incremental = *view_before;
+      Status applied = relational::ApplyDelta(*pushed, &incremental);
+      ASSERT_TRUE(applied.ok())
+          << lens->ToString() << ": " << applied.ToString();
+      EXPECT_EQ(incremental, *view_after) << lens->ToString();
+
+      // Minimality: an empty pushed delta must mean "view unchanged".
+      if (pushed->empty()) {
+        EXPECT_EQ(*view_before, *view_after) << lens->ToString();
+      }
+    }
+
+    // Advance so successive trials chain deltas over evolving sources.
+    source = std::move(after);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PushDeltaPropertyTest,
+                         ::testing::Range(uint64_t{0}, uint64_t{30}));
+
+TEST(PushDeltaTest, GroupedProjectionRefusesWithUnimplemented) {
+  // D3 -> D32: keyed by medication name, grouped over patients. A one-row
+  // source change can merge or split whole groups, so there is no exact
+  // row-local translation; the lens must refuse, not guess.
+  Table source = medical::MakeFig1FullRecords();
+  auto lens = MakeProjectLens({kMedicationName, kMechanismOfAction},
+                              {kMedicationName});
+  TableDelta delta;
+  Row updated = source.RowsInKeyOrder()[0];
+  updated[4] = Value::String("changed");
+  delta.updates.push_back(std::move(updated));
+  Result<TableDelta> pushed = lens->PushDelta(source, delta);
+  EXPECT_TRUE(pushed.status().IsUnimplemented()) << pushed.status();
+}
+
+TEST(PushDeltaTest, SelectReclassifiesBoundaryCrossings) {
+  // A source UPDATE that moves a row across the selection predicate must
+  // surface as a view INSERT or DELETE, not a view update.
+  Table source = medical::MakeFig1FullRecords();  // patient ids 188, 189
+  auto lens = MakeSelectLens(Predicate::Compare(
+      kDosage, CompareOp::kEq, Value::String("one tablet every 4h")));
+  Result<Table> view = lens->Get(source);
+  ASSERT_TRUE(view.ok());
+
+  // Row 188 is inside the selection. Update its dosage to leave it.
+  TableDelta delta;
+  Row updated = *source.Get({Value::Int(188)});
+  updated[4] = Value::String("99mg");
+  delta.updates.push_back(updated);
+  Result<TableDelta> pushed = lens->PushDelta(source, delta);
+  ASSERT_TRUE(pushed.ok()) << pushed.status();
+  EXPECT_TRUE(pushed->updates.empty());
+  EXPECT_TRUE(pushed->inserts.empty());
+  ASSERT_EQ(pushed->deletes.size(), 1u);
+  EXPECT_EQ(pushed->deletes[0], (Key{Value::Int(188)}));
+}
+
+TEST(PushDeltaTest, MissingPreImageIsInvalidArgument) {
+  Table source = medical::MakeFig1FullRecords();
+  auto lens = MakeIdentityLens();
+  TableDelta delta;
+  delta.deletes.push_back({Value::Int(424242)});
+  EXPECT_TRUE(lens->PushDelta(source, delta).status().IsInvalidArgument());
+}
+
+}  // namespace
+}  // namespace medsync::bx

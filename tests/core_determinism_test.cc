@@ -136,6 +136,60 @@ TEST(DeterminismTest, ThreadedPoolsProduceByteIdenticalWorlds) {
   }
 }
 
+TEST(DeterminismTest, IncrementalAndFullMaintenanceConverge) {
+  // The delta-push path and the full-get path are two implementations of
+  // the same cascade semantics: the same seed and workload must end in
+  // byte-identical chains and databases under either maintenance mode,
+  // across pool sizes. (Metrics are NOT compared across modes — the
+  // modes legitimately differ in gets_executed/delta_pushes — but within
+  // a mode they stay byte-identical across worker counts.)
+  auto build = [](ViewMaintenance maintenance, size_t worker_threads) {
+    ScenarioOptions options;
+    options.seed = 977;
+    options.record_count = 24;
+    options.maintenance = maintenance;
+    options.worker_threads = worker_threads;
+    auto scenario = ClinicScenario::Create(options);
+    EXPECT_TRUE(scenario.ok()) << scenario.status();
+    DriveWorkload(**scenario);
+    return std::move(*scenario);
+  };
+
+  auto compare_peer = [](Peer& pa, Peer& pb) {
+    ASSERT_EQ(pa.database().TableNames(), pb.database().TableNames());
+    for (const std::string& table : pa.database().TableNames()) {
+      EXPECT_EQ(*pa.database().Snapshot(table), *pb.database().Snapshot(table))
+          << table;
+    }
+  };
+
+  auto incremental = build(ViewMaintenance::kIncremental, 0);
+  auto full = build(ViewMaintenance::kFullGet, 0);
+  EXPECT_EQ(incremental->node(0).blockchain().head().header.Hash(),
+            full->node(0).blockchain().head().header.Hash());
+  EXPECT_EQ(incremental->node(0).host().StateFingerprint(),
+            full->node(0).host().StateFingerprint());
+  compare_peer(incremental->doctor(), full->doctor());
+  compare_peer(incremental->patient(), full->patient());
+  compare_peer(incremental->researcher(), full->researcher());
+  EXPECT_EQ(incremental->simulator().Now(), full->simulator().Now());
+
+  // Pool-size sweep within the incremental mode: counters and histograms
+  // (including sync.delta_pushes / sync.full_fallbacks) must be
+  // byte-identical across worker counts.
+  for (size_t workers : {2ul, 8ul}) {
+    SCOPED_TRACE(testing::Message() << workers << " workers");
+    auto threaded = build(ViewMaintenance::kIncremental, workers);
+    EXPECT_EQ(incremental->node(0).blockchain().head().header.Hash(),
+              threaded->node(0).blockchain().head().header.Hash());
+    compare_peer(incremental->doctor(), threaded->doctor());
+    compare_peer(incremental->patient(), threaded->patient());
+    compare_peer(incremental->researcher(), threaded->researcher());
+    EXPECT_EQ(incremental->MetricsSnapshot().Dump(),
+              threaded->MetricsSnapshot().Dump());
+  }
+}
+
 TEST(DeterminismTest, DifferentSeedsDivergeInNetworkTiming) {
   ScenarioOptions options;
   options.seed = 1;

@@ -145,12 +145,138 @@ TEST_F(SyncManagerTest, AlwaysStrategyRederivesButAgreesWithAnalyze) {
   Result<std::vector<ViewRefresh>> refreshes =
       sync_.FindAffectedViews("D3", before, "");
   ASSERT_TRUE(refreshes.ok());
-  // D32 changed; D31 did not — same conclusion as analyze, but both gets
-  // executed.
+  // D32 changed; D31 did not — same conclusion as analyze. Under the default
+  // incremental maintenance D31 (row-aligned project) is handled by a delta
+  // push that produces no view rows, while D32 (grouped project) has no
+  // incremental translation and falls back to a full get.
   ASSERT_EQ(refreshes->size(), 1u);
   EXPECT_EQ((*refreshes)[0].table_id, "D23&D32");
   EXPECT_EQ(sync_.gets_skipped(), 0u);
+  EXPECT_EQ(sync_.gets_executed(), 1u);
+  EXPECT_EQ(sync_.delta_pushes(), 1u);
+  EXPECT_EQ(sync_.full_fallbacks(), 1u);
+}
+
+TEST_F(SyncManagerTest, FullGetModeExecutesEveryGet) {
+  ASSERT_TRUE(sync_.RegisterView("D13&D31", "D3", "D31", lens31_).ok());
+  ASSERT_TRUE(sync_.RegisterView("D23&D32", "D3", "D32", lens32_).ok());
+  sync_.set_strategy(DependencyStrategy::kAlwaysRederive);
+  sync_.set_maintenance(ViewMaintenance::kFullGet);
+
+  Table before = *db_.Snapshot("D3");
+  ASSERT_TRUE(db_.UpdateAttribute("D3", {Value::Int(188)},
+                                  kMechanismOfAction,
+                                  Value::String("other mechanism"))
+                  .ok());
+  Result<std::vector<ViewRefresh>> refreshes =
+      sync_.FindAffectedViews("D3", before, "");
+  ASSERT_TRUE(refreshes.ok());
+  ASSERT_EQ(refreshes->size(), 1u);
+  EXPECT_EQ((*refreshes)[0].table_id, "D23&D32");
   EXPECT_EQ(sync_.gets_executed(), 2u);
+  EXPECT_EQ(sync_.delta_pushes(), 0u);
+  EXPECT_EQ(sync_.full_fallbacks(), 0u);
+}
+
+TEST_F(SyncManagerTest, IncrementalAndFullGetAgreeOnViewState) {
+  // The same source change, maintained incrementally and via full gets,
+  // must leave byte-identical view tables and report identical refreshes.
+  auto run = [&](ViewMaintenance mode, relational::Database* db,
+                 std::vector<ViewRefresh>* out) {
+    SyncManager sync(db, DependencyStrategy::kAlwaysRederive);
+    sync.set_maintenance(mode);
+    ASSERT_TRUE(sync.RegisterView("D13&D31", "D3", "D31", lens31_).ok());
+    ASSERT_TRUE(sync.RegisterView("D23&D32", "D3", "D32", lens32_).ok());
+    Table before = *db->Snapshot("D3");
+    ASSERT_TRUE(db->UpdateAttribute("D3", {Value::Int(188)}, kMedicationName,
+                                    Value::String("Naproxen"))
+                    .ok());
+    ASSERT_TRUE(db->UpdateAttribute("D3", {Value::Int(189)}, kDosage,
+                                    Value::String("20mg"))
+                    .ok());
+    Result<std::vector<ViewRefresh>> refreshes =
+        sync.FindAffectedViews("D3", before, "");
+    ASSERT_TRUE(refreshes.ok()) << refreshes.status();
+    for (const ViewRefresh& refresh : *refreshes) {
+      ASSERT_TRUE(sync.ApplyRefresh(refresh).ok());
+    }
+    *out = std::move(*refreshes);
+  };
+
+  relational::Database full_db;
+  {
+    SCOPED_TRACE("seed full db");
+    for (const char* name : {"D3", "D31", "D32"}) {
+      Table t = *db_.Snapshot(name);
+      ASSERT_TRUE(full_db.CreateTable(name, t.schema()).ok());
+      ASSERT_TRUE(full_db.ReplaceTable(name, t).ok());
+    }
+  }
+  std::vector<ViewRefresh> inc_refreshes, full_refreshes;
+  run(ViewMaintenance::kIncremental, &db_, &inc_refreshes);
+  run(ViewMaintenance::kFullGet, &full_db, &full_refreshes);
+
+  for (const char* name : {"D3", "D31", "D32"}) {
+    EXPECT_EQ(*db_.Snapshot(name), *full_db.Snapshot(name)) << name;
+  }
+  ASSERT_EQ(inc_refreshes.size(), full_refreshes.size());
+  for (size_t i = 0; i < inc_refreshes.size(); ++i) {
+    EXPECT_EQ(inc_refreshes[i].table_id, full_refreshes[i].table_id);
+    EXPECT_EQ(inc_refreshes[i].new_view, full_refreshes[i].new_view);
+    EXPECT_EQ(inc_refreshes[i].changed_attributes,
+              full_refreshes[i].changed_attributes);
+    EXPECT_EQ(inc_refreshes[i].written_attributes,
+              full_refreshes[i].written_attributes);
+    EXPECT_EQ(inc_refreshes[i].membership_changed,
+              full_refreshes[i].membership_changed);
+  }
+}
+
+TEST_F(SyncManagerTest, InsertOnlyChangeReportsInsertedAttributes) {
+  ASSERT_TRUE(sync_.RegisterView("D13&D31", "D3", "D31", lens31_).ok());
+  Table before = *db_.Snapshot("D3");
+  ASSERT_TRUE(db_.Insert("D3", {Value::Int(200), Value::String("Aspirin"),
+                                Value::String("headache"),
+                                Value::String("MeA9"), Value::String("5mg")})
+                  .ok());
+  Result<std::vector<ViewRefresh>> refreshes =
+      sync_.FindAffectedViews("D3", before, "");
+  ASSERT_TRUE(refreshes.ok()) << refreshes.status();
+  ASSERT_EQ(refreshes->size(), 1u);
+  const ViewRefresh& refresh = (*refreshes)[0];
+  EXPECT_TRUE(refresh.membership_changed);
+  // The analysis-facing attribute set names the inserted row's non-null
+  // attributes (satellite: an insert-only change must not look empty)...
+  EXPECT_EQ(refresh.changed_attributes,
+            (std::vector<std::string>{kPatientId, kMedicationName,
+                                      kClinicalData, kDosage}));
+  // ...while the contract-facing set stays empty: inserts are governed by
+  // the membership permission, not per-attribute write permissions.
+  EXPECT_TRUE(refresh.written_attributes.empty());
+  ASSERT_TRUE(sync_.ApplyRefresh(refresh).ok());
+  EXPECT_TRUE(db_.Snapshot("D31")->Contains({Value::Int(200)}));
+}
+
+TEST_F(SyncManagerTest, StaleViewFallsBackToFullGet) {
+  ASSERT_TRUE(sync_.RegisterView("D13&D31", "D3", "D31", lens31_).ok());
+  // Simulate a view that missed a cascade (e.g. a denied update elsewhere):
+  // a pushed delta would preserve the stale rows, so the manager must heal
+  // it with a full get instead.
+  ASSERT_TRUE(sync_.SetViewStale("D13&D31", true).ok());
+  Table before = *db_.Snapshot("D3");
+  ASSERT_TRUE(db_.UpdateAttribute("D3", {Value::Int(188)}, kDosage,
+                                  Value::String("30mg"))
+                  .ok());
+  Result<std::vector<ViewRefresh>> refreshes =
+      sync_.FindAffectedViews("D3", before, "");
+  ASSERT_TRUE(refreshes.ok()) << refreshes.status();
+  ASSERT_EQ(refreshes->size(), 1u);
+  EXPECT_EQ(sync_.full_fallbacks(), 1u);
+  EXPECT_EQ(sync_.delta_pushes(), 0u);
+  ASSERT_TRUE(sync_.ApplyRefresh((*refreshes)[0]).ok());
+  ASSERT_TRUE(sync_.SetViewStale("D13&D31", false).ok());
+  EXPECT_EQ(db_.Snapshot("D31")->Get({Value::Int(188)})->at(3).AsString(),
+            "30mg");
 }
 
 TEST_F(SyncManagerTest, ApplyViewContent) {

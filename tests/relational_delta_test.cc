@@ -83,6 +83,67 @@ TEST(DeltaTest, ApplyValidatesBeforeMutating) {
   EXPECT_EQ(t, original);
 }
 
+TEST(DeltaTest, KeyReassignmentIsLegal) {
+  // Deleting key K and inserting a fresh row at K models a key change
+  // (e.g. a renamed medication in a name-keyed view). Inserts validate
+  // against the POST-delete keyset, so this must apply cleanly.
+  Table t(S());
+  ASSERT_TRUE(t.Insert(R(1, "old")).ok());
+  TableDelta reassign;
+  reassign.deletes.push_back({Value::Int(1)});
+  reassign.inserts.push_back(R(1, "new"));
+  ASSERT_TRUE(ApplyDelta(reassign, &t).ok());
+  EXPECT_EQ(t.Get({Value::Int(1)})->at(1).AsString(), "new");
+  EXPECT_EQ(t.row_count(), 1u);
+}
+
+TEST(DeltaTest, UpdateMayTargetFreshlyInsertedKey) {
+  Table t(S());
+  TableDelta d;
+  d.inserts.push_back(R(7, "inserted"));
+  d.updates.push_back(R(7, "then updated"));
+  ASSERT_TRUE(ApplyDelta(d, &t).ok());
+  EXPECT_EQ(t.Get({Value::Int(7)})->at(1).AsString(), "then updated");
+}
+
+TEST(DeltaTest, DuplicateKeysWithinASectionRejected) {
+  // Duplicates inside one section would make application order-dependent.
+  Table t(S());
+  ASSERT_TRUE(t.Insert(R(1, "x")).ok());
+  Table original = t;
+
+  TableDelta dup_inserts;
+  dup_inserts.inserts.push_back(R(2, "a"));
+  dup_inserts.inserts.push_back(R(2, "b"));
+  EXPECT_TRUE(ApplyDelta(dup_inserts, &t).IsAlreadyExists());
+  EXPECT_EQ(t, original);
+
+  TableDelta dup_deletes;
+  dup_deletes.deletes.push_back({Value::Int(1)});
+  dup_deletes.deletes.push_back({Value::Int(1)});
+  EXPECT_FALSE(ApplyDelta(dup_deletes, &t).ok());
+  EXPECT_EQ(t, original);
+
+  TableDelta dup_updates;
+  dup_updates.updates.push_back(R(1, "a"));
+  dup_updates.updates.push_back(R(1, "b"));
+  EXPECT_TRUE(ApplyDelta(dup_updates, &t).IsInvalidArgument());
+  EXPECT_EQ(t, original);
+}
+
+TEST(DeltaTest, DeleteThenUpdateSameKeyRejected) {
+  // An update may only target keys that survive the deletes (or are
+  // freshly inserted); updating a deleted key is a contradiction.
+  Table t(S());
+  ASSERT_TRUE(t.Insert(R(1, "x")).ok());
+  Table original = t;
+  TableDelta d;
+  d.deletes.push_back({Value::Int(1)});
+  d.updates.push_back(R(1, "ghost"));
+  EXPECT_FALSE(ApplyDelta(d, &t).ok());
+  EXPECT_EQ(t, original);
+}
+
 TEST(DeltaTest, SchemaMismatchRejected) {
   Table a(S());
   Table b(*Schema::Create({{"x", DataType::kInt, false}}, {"x"}));
@@ -100,6 +161,37 @@ TEST(DeltaTest, JsonRoundTrip) {
   EXPECT_EQ(back->updates, d.updates);
   EXPECT_EQ(back->deletes, d.deletes);
   EXPECT_FALSE(TableDelta::FromJson(Json(1)).ok());
+}
+
+TEST(DeltaTest, FromJsonTreatsMissingSectionsAsEmpty) {
+  // Senders may omit empty sections; parsing must not demand them.
+  Result<TableDelta> empty = TableDelta::FromJson(Json::MakeObject());
+  ASSERT_TRUE(empty.ok()) << empty.status();
+  EXPECT_TRUE(empty->empty());
+
+  Json only_deletes = Json::MakeObject();
+  Json deletes = Json::MakeArray();
+  Json key = Json::MakeArray();
+  key.Append(Value::Int(3).ToJson());
+  deletes.Append(std::move(key));
+  only_deletes.Set("deletes", std::move(deletes));
+  Result<TableDelta> partial = TableDelta::FromJson(only_deletes);
+  ASSERT_TRUE(partial.ok()) << partial.status();
+  EXPECT_TRUE(partial->inserts.empty());
+  EXPECT_TRUE(partial->updates.empty());
+  ASSERT_EQ(partial->deletes.size(), 1u);
+
+  // A PRESENT section of a non-array type is an error, not "empty".
+  Json bad = Json::MakeObject();
+  bad.Set("inserts", Json("nope"));
+  EXPECT_FALSE(TableDelta::FromJson(bad).ok());
+}
+
+TEST(DeltaTest, JsonRoundTripOfEmptyDelta) {
+  TableDelta d;
+  Result<TableDelta> back = TableDelta::FromJson(d.ToJson());
+  ASSERT_TRUE(back.ok()) << back.status();
+  EXPECT_TRUE(back->empty());
 }
 
 /// Property sweep: compute+apply round-trips across random table pairs.
