@@ -371,4 +371,50 @@ void BM_Fig5_SingleRowDeltaCascade(benchmark::State& state) {
 }
 BENCHMARK(BM_Fig5_SingleRowDeltaCascade)->Arg(1000)->Arg(10000);
 
+void BM_Fig5_CascadeUnderLoss(benchmark::State& state) {
+  // The Fig. 5 two-hop cascade on a lossy network: the drop-probability
+  // sweep (0%, 25%, 50% of all steady-state messages) measures how much
+  // simulated convergence time the reliability layer — ack/retransmit
+  // with exponential backoff plus the periodic catch-up — pays to keep
+  // the protocol converging. The exported net.retries / net.acks /
+  // net.duplicates counters quantify the recovery work.
+  core::ScenarioOptions options;
+  options.block_interval = kBlockInterval;
+  options.record_count = static_cast<size_t>(state.range(0));
+  options.drop_probability = static_cast<double>(state.range(1)) / 100.0;
+  auto scenario = core::ClinicScenario::Create(options);
+  if (!scenario.ok()) std::abort();
+  auto clinic = std::move(*scenario);
+
+  std::vector<Value> ids;
+  relational::Table d3 = *clinic->doctor().database().Snapshot("D3");
+  for (const auto& [key, row] : d3.rows()) {
+    ids.push_back(key[0]);
+  }
+  uint64_t round = 0;
+  for (auto _ : state) {
+    const Value& id = ids[round % ids.size()];
+    std::string new_name = StrCat("Lossy-", round++);
+    Micros start = clinic->simulator().Now();
+    Status s = clinic->doctor().UpdateSharedAttribute(
+        kPD, {id}, medical::kMedicationName, Value::String(new_name));
+    if (!s.ok()) std::abort();
+    // Bounded sim time: a cascade that cannot converge under the
+    // configured loss shows up as an aborted benchmark, not a hang.
+    if (!clinic->SettleAll().ok()) std::abort();
+    state.SetIterationTime(SimSeconds(clinic->simulator(), start));
+  }
+  state.SetLabel(StrCat("drop=", state.range(1), "%"));
+  state.counters["records"] = static_cast<double>(state.range(0));
+  state.counters["dropped"] =
+      static_cast<double>(clinic->network().stats().dropped);
+  state.counters["researcher_fetches"] =
+      static_cast<double>(clinic->researcher().stats().fetches_applied);
+  bench::ExportMetrics(state, clinic->metrics());
+}
+BENCHMARK(BM_Fig5_CascadeUnderLoss)
+    ->UseManualTime()
+    ->Iterations(10)
+    ->ArgsProduct({{2, 64}, {0, 25, 50}});
+
 }  // namespace

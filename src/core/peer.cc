@@ -21,17 +21,35 @@ Peer::Peer(PeerConfig config, net::Simulator* simulator,
       sync_(&database_, config_.strategy) {
   sync_.set_maintenance(config_.maintenance);
   address_to_name_[key_.address().ToHex()] = config_.name;
+  if (config_.reliable_delivery) {
+    channel_ = std::make_unique<net::ReliableChannel>(
+        config_.name, simulator_, network_, this, config_.reliable);
+    channel_->set_give_up_callback([this](const net::Message& message) {
+      Trace(StrCat("reliable delivery of '", message.type, "' to ",
+                   message.to, " gave up; catch-up will reconcile"));
+    });
+  }
 }
 
 Peer::~Peer() {
   *alive_ = false;
-  if (started_) network_->Detach(config_.name);
+  if (started_) {
+    if (channel_ != nullptr) {
+      channel_->Detach();
+    } else {
+      network_->Detach(config_.name);
+    }
+  }
 }
 
 void Peer::Start() {
   if (started_) return;
   started_ = true;
-  network_->Attach(config_.name, this);
+  if (channel_ != nullptr) {
+    channel_->Attach();
+  } else {
+    network_->Attach(config_.name, this);
+  }
   node_->SubscribeReceipts(
       [this, alive = alive_](const contracts::Receipt& receipt) {
         if (*alive) OnReceipt(receipt);
@@ -40,6 +58,24 @@ void Peer::Start() {
       [this, alive = alive_](uint64_t height, const contracts::Event& event) {
         if (*alive) OnChainEvent(height, event);
       });
+  if (config_.catch_up_interval > 0) ScheduleCatchUp();
+}
+
+void Peer::ScheduleCatchUp() {
+  simulator_->Schedule(config_.catch_up_interval, [this, alive = alive_] {
+    if (!*alive) return;
+    // A failing query just means the chain node is busy or the table is
+    // not registered yet; the next tick will try again.
+    (void)SyncWithChain();
+    ScheduleCatchUp();
+  });
+}
+
+Status Peer::SendToPeer(const std::string& to, const std::string& type,
+                        Json payload) {
+  net::Message message{config_.name, to, type, std::move(payload)};
+  if (channel_ != nullptr) return channel_->Send(std::move(message));
+  return network_->Send(std::move(message));
 }
 
 void Peer::AddKnownPeer(const std::string& name,
@@ -163,11 +199,11 @@ void Peer::StartFetch(const std::string& table_id, uint64_t version,
   request.Set("table_id", table_id);
   request.Set("version", version);
   RecordStep(5, 8, "fetch_request", table_id, "sent");
-  (void)network_->Send(net::Message{config_.name, updater_name,
-                                    "fetch_request", std::move(request)});
+  (void)SendToPeer(updater_name, "fetch_request", std::move(request));
   std::string id = table_id;
-  simulator_->Schedule(config_.fetch_retry_delay,
-                       [this, id] { RetryFetch(id); });
+  simulator_->Schedule(config_.fetch_retry_delay, [this, alive = alive_, id] {
+    if (*alive) RetryFetch(id);
+  });
 }
 
 Result<std::string> Peer::NameOfAddress(const std::string& addr_hex) const {
@@ -206,6 +242,7 @@ void Peer::SetMetrics(metrics::MetricsRegistry* registry) {
   registry_ = registry;
   sync_.set_metrics(registry);
   database_.set_metrics(registry);
+  if (channel_ != nullptr) channel_->set_metrics(registry);
   if (registry == nullptr) {
     counters_ = StatCounters{};
     return;
@@ -603,7 +640,8 @@ void Peer::RetryFetch(const std::string& table_id) {
   PendingFetch& fetch = it->second;
   if (++fetch.retries > config_.max_fetch_retries) {
     Trace(StrCat("giving up fetching '", table_id, "' after ",
-                 fetch.retries - 1, " retries"));
+                 fetch.retries - 1,
+                 " retries; stale until the next catch-up tick"));
     auto table_it = tables_.find(table_id);
     if (table_it != tables_.end()) table_it->second.needs_refresh = true;
     (void)sync_.SetViewStale(table_id, true);
@@ -613,10 +651,11 @@ void Peer::RetryFetch(const std::string& table_id) {
   Json request = Json::MakeObject();
   request.Set("table_id", table_id);
   request.Set("version", fetch.version);
-  (void)network_->Send(net::Message{config_.name, fetch.updater_name,
-                                    "fetch_request", std::move(request)});
+  (void)SendToPeer(fetch.updater_name, "fetch_request", std::move(request));
   simulator_->Schedule(config_.fetch_retry_delay,
-                       [this, table_id] { RetryFetch(table_id); });
+                       [this, alive = alive_, table_id] {
+                         if (*alive) RetryFetch(table_id);
+                       });
 }
 
 void Peer::OnMessage(const net::Message& message) {
@@ -665,8 +704,7 @@ void Peer::HandleFetchRequest(const net::Message& message) {
   response.Set("version", table_it->second.version);
   response.Set("digest", content->ContentDigest());
   response.Set("contents", content->ToJson());
-  (void)network_->Send(net::Message{config_.name, message.from,
-                                    "fetch_response", std::move(response)});
+  (void)SendToPeer(message.from, "fetch_response", std::move(response));
 }
 
 void Peer::HandleFetchResponse(const net::Message& message) {
@@ -721,6 +759,10 @@ Status Peer::ApplyFetchedUpdate(const std::string& table_id,
   MEDSYNC_RETURN_IF_ERROR(sync_.ApplyViewContent(table_id, content));
   state.version = version;
   state.digest = digest;
+  // A successfully fetched update supersedes any earlier give-up: the view
+  // now matches the chain, so it is no longer stale.
+  state.needs_refresh = false;
+  (void)sync_.SetViewStale(table_id, false);
   PersistTableState(state);
   ++stats_.fetches_applied;
   metrics::Inc(counters_.fetches_applied);
@@ -794,8 +836,7 @@ Status Peer::OfferSharedTable(const std::string& counterparty_name,
       table_id, PendingOffer{std::move(params), counterparty_name});
   Trace(StrCat("offered shared table '", table_id, "' to ",
                counterparty_name));
-  return network_->Send(net::Message{config_.name, counterparty_name,
-                                     "share_offer", std::move(offer)});
+  return SendToPeer(counterparty_name, "share_offer", std::move(offer));
 }
 
 void Peer::HandleShareOffer(const net::Message& message) {
@@ -806,8 +847,7 @@ void Peer::HandleShareOffer(const net::Message& message) {
     answer.Set("accepted", accepted);
     answer.Set("reason", reason);
     answer.Set("invitee", key_.address().ToHex());
-    (void)network_->Send(net::Message{config_.name, message.from,
-                                      "share_answer", std::move(answer)});
+    (void)SendToPeer(message.from, "share_answer", std::move(answer));
   };
 
   auto table_id = message.payload.GetString("table_id");

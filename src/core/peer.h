@@ -11,6 +11,7 @@
 #include "core/sync_manager.h"
 #include "crypto/keys.h"
 #include "net/network.h"
+#include "net/reliable_channel.h"
 #include "net/simulator.h"
 #include "relational/database.h"
 #include "runtime/chain_node.h"
@@ -28,6 +29,17 @@ struct PeerConfig {
   /// Delay before re-sending an unanswered shared-data fetch.
   Micros fetch_retry_delay = 500 * kMicrosPerMilli;
   int max_fetch_retries = 20;
+  /// Send peer-to-peer messages through a ReliableChannel (ack/retransmit
+  /// with exponential backoff) instead of raw datagrams. All sharing peers
+  /// of a deployment should agree on this: a reliable sender's envelopes
+  /// are gibberish to a channel-less receiver.
+  bool reliable_delivery = true;
+  net::ReliableChannel::Options reliable;
+  /// How often the peer reconciles against the chain (SyncWithChain): on
+  /// every tick it compares its per-table versions with the contract entry
+  /// and re-fetches anything it missed — the partition-heal / post-restart
+  /// catch-up path. 0 disables the timer.
+  Micros catch_up_interval = 3 * kMicrosPerSecond;
 };
 
 /// A peer's local half of one shared table: where the source and the
@@ -220,10 +232,15 @@ class Peer : public net::Endpoint {
   };
   Result<TableSyncState> GetSyncState(const std::string& table_id) const;
 
-  /// Whether any staged proposals or outstanding fetches remain.
+  /// Whether any staged proposals, outstanding fetches, or unacked
+  /// reliable sends remain.
   bool HasPendingWork() const {
-    return !staged_.empty() || !pending_fetches_.empty();
+    return !staged_.empty() || !pending_fetches_.empty() ||
+           (channel_ != nullptr && channel_->pending() > 0);
   }
+
+  /// The reliable delivery layer (nullptr when reliable_delivery is off).
+  net::ReliableChannel* channel() { return channel_.get(); }
 
   struct Stats {
     uint64_t updates_proposed = 0;
@@ -343,6 +360,13 @@ class Peer : public net::Endpoint {
   void StartFetch(const std::string& table_id, uint64_t version,
                   const std::string& digest, const std::string& updater_name);
 
+  /// Sends a peer-to-peer message through the reliable channel when
+  /// enabled, the raw network otherwise.
+  Status SendToPeer(const std::string& to, const std::string& type,
+                    Json payload);
+  /// Arms the next catch-up tick (periodic SyncWithChain).
+  void ScheduleCatchUp();
+
   PeerConfig config_;
   net::Simulator* simulator_;
   net::Network* network_;
@@ -383,6 +407,9 @@ class Peer : public net::Endpoint {
   /// Liveness guard captured by the node-subscription closures: flipped to
   /// false on destruction so late callbacks become no-ops.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+  /// Declared last so it is destroyed first: its give-up callback touches
+  /// the members above.
+  std::unique_ptr<net::ReliableChannel> channel_;
 };
 
 }  // namespace medsync::core

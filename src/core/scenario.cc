@@ -88,6 +88,9 @@ Result<std::unique_ptr<ClinicScenario>> ClinicScenario::Create(
     config.name = name;
     config.strategy = options.strategy;
     config.maintenance = options.maintenance;
+    config.reliable_delivery = options.reliable_delivery;
+    config.reliable = options.reliable;
+    config.catch_up_interval = options.peer_catch_up_interval;
     auto peer = std::make_unique<Peer>(
         config, scenario->simulator_.get(), scenario->network_.get(),
         scenario->nodes_[node_index % scenario->nodes_.size()].get());
@@ -211,6 +214,9 @@ Result<std::unique_ptr<ClinicScenario>> ClinicScenario::Create(
       scenario->Entry(ClinicScenario::kPatientDoctorTable).status());
   MEDSYNC_RETURN_IF_ERROR(
       scenario->Entry(ClinicScenario::kDoctorResearcherTable).status());
+
+  // Only the steady-state protocol runs under loss.
+  scenario->network_->set_drop_probability(options.drop_probability);
   return scenario;
 }
 

@@ -1,0 +1,157 @@
+#ifndef MEDSYNC_NET_RELIABLE_CHANNEL_H_
+#define MEDSYNC_NET_RELIABLE_CHANNEL_H_
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <set>
+#include <string>
+#include <utility>
+
+#include "common/metrics/metrics.h"
+#include "common/random.h"
+#include "net/network.h"
+#include "net/simulator.h"
+
+namespace medsync::net {
+
+/// Reliable at-least-once delivery with receiver-side dedup (so effectively
+/// at-most-once to the wrapped endpoint) on top of the lossy datagram
+/// Network.
+///
+/// Each reliable send is wrapped in a "rel.data" envelope carrying a
+/// per-destination sequence number and the sender's epoch; the receiving
+/// channel acks with "rel.ack", deduplicates replays, unwraps the inner
+/// type/payload and forwards it to the wrapped endpoint. Unacked sends are
+/// retransmitted with exponential backoff plus seeded jitter until
+/// `max_retries` is exhausted, then dropped (`gave_up`). All timing runs on
+/// the Simulator and all randomness comes from a seeded Rng derived from
+/// the node id, so runs are byte-identical regardless of drop pattern or
+/// thread-pool size.
+///
+/// The epoch (the sim time the channel was created) makes restarts safe: a
+/// rebooted peer's fresh sequence numbers are not mistaken for replays of
+/// its previous life, and in-flight messages from that previous life are
+/// dropped rather than delivered into the new one.
+///
+/// Plain (non-envelope) messages pass through to the wrapped endpoint
+/// untouched, so a channel-wrapped peer still interoperates with senders
+/// that write to the raw network.
+class ReliableChannel : public Endpoint {
+ public:
+  struct Options {
+    /// First retransmit fires this long after the original send. The
+    /// default comfortably exceeds one request/response round trip (~2x
+    /// base latency + jitter), so an acked message is never retransmitted.
+    Micros initial_backoff = 300 * kMicrosPerMilli;
+    /// Backoff multiplier per retry (exponential).
+    double multiplier = 2.0;
+    Micros max_backoff = 4 * kMicrosPerSecond;
+    /// Uniform [0, jitter] added to every backoff, from the channel's own
+    /// seeded Rng — deterministic, but decorrelates competing senders.
+    Micros jitter = 100 * kMicrosPerMilli;
+    /// Retransmits before giving up on a message.
+    int max_retries = 10;
+  };
+
+  /// `simulator`, `network` and `inner` must outlive the channel. The
+  /// channel does not attach itself; call Attach() (typically instead of
+  /// attaching `inner` directly).
+  ReliableChannel(NodeId id, Simulator* simulator, Network* network,
+                  Endpoint* inner, Options options);
+  ReliableChannel(NodeId id, Simulator* simulator, Network* network,
+                  Endpoint* inner)
+      : ReliableChannel(std::move(id), simulator, network, inner, Options()) {
+  }
+  ~ReliableChannel() override;
+
+  ReliableChannel(const ReliableChannel&) = delete;
+  ReliableChannel& operator=(const ReliableChannel&) = delete;
+
+  /// Attaches this channel to the network under the node id (the wrapped
+  /// endpoint then receives unwrapped messages through it).
+  void Attach();
+  void Detach();
+
+  /// Sends `message` reliably (message.from is overwritten with this
+  /// channel's id). Always succeeds locally: an unknown or detached
+  /// destination is treated like loss and retried — the destination may be
+  /// a peer that is currently restarting.
+  Status Send(Message message);
+
+  void OnMessage(const Message& message) override;
+
+  /// Messages sent but not yet acked or given up on.
+  size_t pending() const { return pending_.size(); }
+
+  struct Stats {
+    uint64_t sends = 0;           // reliable sends requested
+    uint64_t retries = 0;         // retransmissions
+    uint64_t acks_received = 0;   // pending sends completed by an ack
+    uint64_t acks_sent = 0;
+    uint64_t duplicates_dropped = 0;   // replays suppressed by dedup
+    uint64_t stale_epoch_dropped = 0;  // messages from a dead incarnation
+    uint64_t gave_up = 0;         // retry budget exhausted
+    uint64_t delivered = 0;       // unique messages forwarded to inner
+  };
+  const Stats& stats() const { return stats_; }
+
+  /// Mirrors Stats into net.retries / net.acks / net.gave_up (and
+  /// net.acks_sent / net.duplicates). The registry must outlive the
+  /// channel; nullptr detaches.
+  void set_metrics(metrics::MetricsRegistry* registry);
+
+  /// Invoked (with the original, unwrapped message) when the retry budget
+  /// for a message is exhausted.
+  void set_give_up_callback(std::function<void(const Message&)> callback) {
+    give_up_ = std::move(callback);
+  }
+
+  Micros epoch() const { return epoch_; }
+
+ private:
+  struct PendingSend {
+    Message wrapped;  // the rel.data envelope, resent verbatim
+    int retries = 0;
+  };
+  /// Receiver-side dedup state for one remote sender: sequence numbers at
+  /// or below `contiguous` were delivered, plus the sparse set above it.
+  struct RecvState {
+    Micros epoch = -1;
+    uint64_t contiguous = 0;
+    std::set<uint64_t> beyond;
+  };
+
+  void HandleData(const Message& message);
+  void HandleAck(const Message& message);
+  void ScheduleRetransmit(const NodeId& to, uint64_t seq);
+  Micros BackoffDelay(int retries);
+
+  NodeId id_;
+  Simulator* simulator_;
+  Network* network_;
+  Endpoint* inner_;
+  Options options_;
+  Rng rng_;
+  Micros epoch_;
+  std::map<NodeId, uint64_t> next_seq_;
+  std::map<std::pair<NodeId, uint64_t>, PendingSend> pending_;
+  std::map<NodeId, RecvState> recv_;
+  Stats stats_;
+  bool attached_ = false;
+  std::function<void(const Message&)> give_up_;
+
+  metrics::Counter* retries_counter_ = nullptr;
+  metrics::Counter* acks_counter_ = nullptr;
+  metrics::Counter* acks_sent_counter_ = nullptr;
+  metrics::Counter* duplicates_counter_ = nullptr;
+  metrics::Counter* gave_up_counter_ = nullptr;
+
+  /// Flipped on destruction so queued retransmit timers become no-ops.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
+};
+
+}  // namespace medsync::net
+
+#endif  // MEDSYNC_NET_RELIABLE_CHANNEL_H_

@@ -1,11 +1,14 @@
 #include "relational/database.h"
 
+#include <fcntl.h>
 #include <sys/stat.h>
+#include <unistd.h>
 
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
 
+#include "common/fault_injector.h"
 #include "common/strings.h"
 
 namespace medsync::relational {
@@ -36,18 +39,69 @@ Result<std::string> ReadFileToString(const std::string& path, bool* exists) {
   return out;
 }
 
+/// Atomically replaces `path` with `data`: write to a temp file, fsync the
+/// FILE before the rename (otherwise the rename can land while the bytes
+/// are still page-cache-only and a machine crash leaves a zero-length
+/// snapshot behind a truncated WAL), rename, then fsync the DIRECTORY so
+/// the new directory entry itself is durable.
 Status WriteStringToFile(const std::string& path, const std::string& data) {
   std::string tmp = path + ".tmp";
-  FILE* f = std::fopen(tmp.c_str(), "wb");
-  if (f == nullptr) {
-    return Status::Unavailable(StrCat("cannot write '", tmp, "'"));
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Unavailable(
+        StrCat("cannot write '", tmp, "': ", std::strerror(errno)));
   }
-  bool ok = std::fwrite(data.data(), 1, data.size(), f) == data.size();
-  ok = (std::fclose(f) == 0) && ok;
-  if (!ok) return Status::Unavailable(StrCat("short write to '", tmp, "'"));
+  size_t to_write = data.size();
+  size_t keep = 0;
+  const bool torn = CheckTornWrite("db.snapshot.write", &keep);
+  if (torn && keep < to_write) to_write = keep;
+  const char* p = data.data();
+  size_t remaining = to_write;
+  while (remaining > 0) {
+    ssize_t n = ::write(fd, p, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::Unavailable(
+          StrCat("short write to '", tmp, "': ", std::strerror(errno)));
+    }
+    p += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  if (torn) {
+    ::close(fd);
+    return Status::Unavailable(StrCat(
+        "fault injected: snapshot write torn after ", to_write, " bytes"));
+  }
+  Status point = CheckFaultPoint("db.snapshot.file_sync");
+  if (!point.ok()) {
+    ::close(fd);
+    return point;
+  }
+  bool synced = ::fsync(fd) == 0;
+  synced = (::close(fd) == 0) && synced;
+  if (!synced) {
+    return Status::Unavailable(
+        StrCat("cannot sync '", tmp, "': ", std::strerror(errno)));
+  }
+  MEDSYNC_RETURN_IF_ERROR(CheckFaultPoint("db.snapshot.rename"));
   if (std::rename(tmp.c_str(), path.c_str()) != 0) {
     return Status::Unavailable(
         StrCat("cannot rename '", tmp, "': ", std::strerror(errno)));
+  }
+  MEDSYNC_RETURN_IF_ERROR(CheckFaultPoint("db.snapshot.dir_sync"));
+  size_t slash = path.find_last_of('/');
+  std::string dir = slash == std::string::npos ? "." : path.substr(0, slash);
+  int dir_fd = ::open(dir.c_str(), O_RDONLY);
+  if (dir_fd < 0) {
+    return Status::Unavailable(
+        StrCat("cannot open directory '", dir, "': ", std::strerror(errno)));
+  }
+  synced = ::fsync(dir_fd) == 0;
+  ::close(dir_fd);
+  if (!synced) {
+    return Status::Unavailable(
+        StrCat("cannot sync directory '", dir, "': ", std::strerror(errno)));
   }
   return Status::OK();
 }
@@ -63,7 +117,10 @@ Result<Database> Database::Open(const std::string& dir) {
   Database db;
   db.dir_ = dir;
 
-  // Load snapshot if present.
+  // Load snapshot if present. Format 2 records which WAL prefix the
+  // snapshot already covers ({"format":2,"wal_through":K,"tables":{...}});
+  // a legacy snapshot is the bare tables object and covers nothing.
+  uint64_t wal_through = 0;
   bool exists = false;
   MEDSYNC_ASSIGN_OR_RETURN(
       std::string snapshot_text,
@@ -73,13 +130,26 @@ Result<Database> Database::Open(const std::string& dir) {
     if (!snapshot.is_object()) {
       return Status::Corruption("snapshot is not a JSON object");
     }
-    for (const auto& [name, table_json] : snapshot.AsObject()) {
+    const Json* tables_json = &snapshot;
+    if (snapshot.GetInt("format").ok()) {
+      MEDSYNC_ASSIGN_OR_RETURN(int64_t through,
+                               snapshot.GetInt("wal_through"));
+      wal_through = static_cast<uint64_t>(through);
+      if (!snapshot.At("tables").is_object()) {
+        return Status::Corruption("snapshot has no tables object");
+      }
+      tables_json = &snapshot.At("tables");
+    }
+    for (const auto& [name, table_json] : tables_json->AsObject()) {
       MEDSYNC_ASSIGN_OR_RETURN(Table table, Table::FromJson(table_json));
       db.tables_.emplace(name, std::move(table));
     }
   }
 
-  // Replay WAL.
+  // Replay WAL. Records at or below wal_through are already folded into
+  // the snapshot — a crash between the snapshot rename and the WAL reset
+  // leaves them in the log, and replaying them (insert, create_table, ...)
+  // would fail or double-apply, so they are skipped.
   std::vector<WalRecord> records;
   // The commit path's acknowledgement implies durability, so every logged
   // operation is fdatasync'd before the mutation is applied.
@@ -87,11 +157,15 @@ Result<Database> Database::Open(const std::string& dir) {
       Wal wal, Wal::Open(dir + "/" + kWalFile, &records,
                          Wal::Options{.sync_every_append = true}));
   for (const WalRecord& record : records) {
+    if (record.lsn <= wal_through) continue;
     Status s = ApplyOp(record.payload, &db.tables_);
     if (!s.ok()) {
       return s.WithPrefix(StrCat("WAL replay failed at LSN ", record.lsn));
     }
   }
+  // Even if the log is empty, fresh appends must be numbered above what
+  // the snapshot covers, or the next recovery would skip them.
+  wal.EnsureNextLsnAtLeast(wal_through + 1);
   db.wal_ = std::move(wal);
   return db;
 }
@@ -376,12 +450,22 @@ Status Database::Commit(Transaction&& txn) {
 
 Status Database::Checkpoint() {
   if (!wal_.has_value()) return Status::OK();
-  Json snapshot = Json::MakeObject();
+  MEDSYNC_RETURN_IF_ERROR(CheckFaultPoint("db.checkpoint.before_snapshot"));
+  Json tables = Json::MakeObject();
   for (const auto& [name, table] : tables_) {
-    snapshot.Set(name, table.ToJson());
+    tables.Set(name, table.ToJson());
   }
+  Json snapshot = Json::MakeObject();
+  snapshot.Set("format", static_cast<int64_t>(2));
+  // Everything the WAL has logged so far is applied to tables_, so the
+  // snapshot covers the full assigned-LSN prefix. LSNs survive Reset(),
+  // which is what keeps this claim true in every crash window: whether the
+  // reset below happens or not, replay skips exactly the covered records.
+  snapshot.Set("wal_through", static_cast<int64_t>(wal_->next_lsn() - 1));
+  snapshot.Set("tables", std::move(tables));
   MEDSYNC_RETURN_IF_ERROR(
       WriteStringToFile(dir_ + "/" + kSnapshotFile, snapshot.Dump()));
+  MEDSYNC_RETURN_IF_ERROR(CheckFaultPoint("db.checkpoint.before_wal_reset"));
   return wal_->Reset();
 }
 

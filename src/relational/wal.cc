@@ -7,6 +7,7 @@
 #include <cstdio>
 #include <cstring>
 
+#include "common/fault_injector.h"
 #include "common/strings.h"
 
 namespace medsync::relational {
@@ -44,6 +45,7 @@ Result<Wal> Wal::Open(std::string path, std::vector<WalRecord>* recovered,
   if (recovered) recovered->clear();
 
   uint64_t next_lsn = 1;
+  uint64_t recovered_count = 0;
   long valid_end = 0;
   bool needs_truncate = false;
 
@@ -67,7 +69,8 @@ Result<Wal> Wal::Open(std::string path, std::vector<WalRecord>* recovered,
         needs_truncate = true;
         break;
       }
-      // Parse "<crc-hex> <len> <payload>".
+      // Parse "<crc-hex> <len> <body>" where body is "<lsn> <payload>"
+      // (current format) or bare "<payload>" (legacy, pre-LSN files).
       size_t sp1 = line.find(' ');
       size_t sp2 = (sp1 == std::string::npos) ? std::string::npos
                                               : line.find(' ', sp1 + 1);
@@ -77,17 +80,41 @@ Result<Wal> Wal::Open(std::string path, std::vector<WalRecord>* recovered,
       }
       std::string crc_hex = line.substr(0, sp1);
       std::string len_str = line.substr(sp1 + 1, sp2 - sp1 - 1);
-      std::string payload = line.substr(sp2 + 1);
+      std::string body = line.substr(sp2 + 1);
       char* end = nullptr;
       unsigned long long expect_len = std::strtoull(len_str.c_str(), &end, 10);
       if (end != len_str.c_str() + len_str.size() ||
-          expect_len != payload.size()) {
+          expect_len != body.size()) {
         needs_truncate = true;
         break;
       }
       char crc_buf[16];
-      std::snprintf(crc_buf, sizeof(crc_buf), "%08x", Crc32(payload));
+      std::snprintf(crc_buf, sizeof(crc_buf), "%08x", Crc32(body));
       if (crc_hex != crc_buf) {
+        needs_truncate = true;
+        break;
+      }
+      // A JSON payload never starts with a digit, so an LSN prefix is
+      // unambiguous.
+      uint64_t lsn = 0;
+      std::string payload;
+      size_t body_sp = line.npos;
+      if (!body.empty() && body[0] >= '0' && body[0] <= '9' &&
+          (body_sp = body.find(' ')) != std::string::npos) {
+        std::string lsn_str = body.substr(0, body_sp);
+        end = nullptr;
+        lsn = std::strtoull(lsn_str.c_str(), &end, 10);
+        if (end != lsn_str.c_str() + lsn_str.size()) {
+          needs_truncate = true;
+          break;
+        }
+        payload = body.substr(body_sp + 1);
+      } else {
+        lsn = next_lsn;  // legacy record: assign sequentially
+        payload = std::move(body);
+      }
+      if (lsn < next_lsn) {
+        // LSNs must be strictly increasing; a regression means corruption.
         needs_truncate = true;
         break;
       }
@@ -97,9 +124,10 @@ Result<Wal> Wal::Open(std::string path, std::vector<WalRecord>* recovered,
         break;
       }
       if (recovered) {
-        recovered->push_back(WalRecord{next_lsn, std::move(parsed).value()});
+        recovered->push_back(WalRecord{lsn, std::move(parsed).value()});
       }
-      ++next_lsn;
+      next_lsn = lsn + 1;
+      ++recovered_count;
       valid_end = std::ftell(in);
       (void)line_start;
     }
@@ -129,7 +157,7 @@ Result<Wal> Wal::Open(std::string path, std::vector<WalRecord>* recovered,
   wal.fd_ = fd;
   wal.next_lsn_ = next_lsn;
   wal.options_ = options;
-  wal.stats_.recovered_records = next_lsn - 1;
+  wal.stats_.recovered_records = recovered_count;
   wal.stats_.truncations = needs_truncate ? 1 : 0;
   return wal;
 }
@@ -170,12 +198,17 @@ Wal::~Wal() {
 
 Result<uint64_t> Wal::Append(const Json& payload) {
   if (fd_ < 0) return Status::FailedPrecondition("WAL not open");
-  std::string body = payload.Dump();
+  MEDSYNC_RETURN_IF_ERROR(CheckFaultPoint("wal.append.before_write"));
+  std::string body = StrCat(next_lsn_, " ", payload.Dump());
   char header[32];
   std::snprintf(header, sizeof(header), "%08x %zu ", Crc32(body), body.size());
   std::string record = StrCat(header, body, "\n");
+  size_t to_write = record.size();
+  size_t keep = 0;
+  const bool torn = CheckTornWrite("wal.append.write", &keep);
+  if (torn && keep < to_write) to_write = keep;
   const char* data = record.data();
-  size_t remaining = record.size();
+  size_t remaining = to_write;
   while (remaining > 0) {
     ssize_t n = ::write(fd_, data, remaining);
     if (n < 0) {
@@ -186,6 +219,10 @@ Result<uint64_t> Wal::Append(const Json& payload) {
     data += n;
     remaining -= static_cast<size_t>(n);
   }
+  if (torn) {
+    return Status::Unavailable(
+        StrCat("fault injected: WAL append torn after ", to_write, " bytes"));
+  }
   ++stats_.appends;
   stats_.append_bytes += record.size();
   metrics::Inc(appends_counter_);
@@ -193,7 +230,11 @@ Result<uint64_t> Wal::Append(const Json& payload) {
   if (options_.sync_every_append) {
     MEDSYNC_RETURN_IF_ERROR(Sync());
   }
-  return next_lsn_++;
+  // The record is durable here; a kill at this point models a process that
+  // died between logging a mutation and applying it.
+  uint64_t lsn = next_lsn_++;
+  MEDSYNC_RETURN_IF_ERROR(CheckFaultPoint("wal.append.after_write"));
+  return lsn;
 }
 
 Status Wal::Sync() {
@@ -209,11 +250,14 @@ Status Wal::Sync() {
 
 Status Wal::Reset() {
   if (fd_ < 0) return Status::FailedPrecondition("WAL not open");
+  MEDSYNC_RETURN_IF_ERROR(CheckFaultPoint("wal.reset.before"));
   if (::ftruncate(fd_, 0) != 0 || ::lseek(fd_, 0, SEEK_SET) < 0) {
     return Status::Unavailable(
         StrCat("WAL reset failed: ", std::strerror(errno)));
   }
-  next_lsn_ = 1;
+  // next_lsn_ deliberately survives the truncation: LSNs are a monotonic
+  // history position, not a file offset, so a checkpoint's "covers through
+  // LSN K" claim stays true for every record appended afterwards.
   ++stats_.resets;
   metrics::Inc(resets_counter_);
   if (options_.sync_every_append) {

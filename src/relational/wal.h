@@ -21,12 +21,21 @@ struct WalRecord {
 /// A file-backed write-ahead log with per-record checksums.
 ///
 /// Record wire format (one record per line):
-///   <crc32-hex-8> <length-decimal> <json-payload>\n
-/// Recovery reads records until EOF or the first record whose checksum or
-/// length fails, truncating a torn tail — the standard WAL discipline. The
-/// local database of every sharing peer logs mutations through this before
-/// applying them, so a crashed peer replays to its pre-crash state and can
-/// rejoin the sharing protocol where it left off.
+///   <crc32-hex-8> <length-decimal> <lsn-decimal> <json-payload>\n
+/// The checksum and length cover `<lsn-decimal> <json-payload>`, so a
+/// corrupted LSN is caught like any other corruption. Legacy records
+/// without the LSN field (`<crc> <len> <json>`) are still recovered, with
+/// LSNs assigned sequentially. Recovery reads records until EOF or the
+/// first record whose checksum, length, or LSN monotonicity fails,
+/// truncating a torn tail — the standard WAL discipline. The local database
+/// of every sharing peer logs mutations through this before applying them,
+/// so a crashed peer replays to its pre-crash state and can rejoin the
+/// sharing protocol where it left off.
+///
+/// LSNs are durable and survive Reset(): truncating the log after a
+/// checkpoint does NOT renumber from 1, so a snapshot that records "covers
+/// everything through LSN K" stays meaningful in every crash window around
+/// the checkpoint (see Database::Checkpoint).
 class Wal {
  public:
   struct Options {
@@ -61,8 +70,18 @@ class Wal {
   Status Sync();
 
   /// Truncates the log to empty (after a snapshot/checkpoint); synced when
-  /// sync_every_append is on.
+  /// sync_every_append is on. LSN assignment continues from where it was —
+  /// records appended after a Reset are numbered strictly above everything
+  /// the checkpoint covered.
   Status Reset();
+
+  /// Raises the next LSN to at least `lsn` (no-op if already past it). A
+  /// database whose snapshot covers LSNs through K calls this with K+1 on
+  /// open, so fresh appends never reuse covered numbers even when the log
+  /// file itself is empty.
+  void EnsureNextLsnAtLeast(uint64_t lsn) {
+    if (next_lsn_ < lsn) next_lsn_ = lsn;
+  }
 
   uint64_t next_lsn() const { return next_lsn_; }
   const std::string& path() const { return path_; }

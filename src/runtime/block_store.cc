@@ -1,15 +1,21 @@
 #include "runtime/block_store.h"
 
+#include "common/fault_injector.h"
 #include "common/strings.h"
 
 namespace medsync::runtime {
 
 Result<BlockStore> BlockStore::Open(const std::string& path,
-                                    std::vector<chain::Block>* recovered) {
+                                    std::vector<chain::Block>* recovered,
+                                    Options options) {
   if (recovered) recovered->clear();
   std::vector<relational::WalRecord> records;
-  MEDSYNC_ASSIGN_OR_RETURN(relational::Wal wal,
-                           relational::Wal::Open(path, &records));
+  MEDSYNC_ASSIGN_OR_RETURN(
+      relational::Wal wal,
+      relational::Wal::Open(
+          path, &records,
+          relational::Wal::Options{.sync_every_append =
+                                       options.sync_every_append}));
   if (recovered) {
     for (const relational::WalRecord& record : records) {
       Result<chain::Block> block = chain::Block::FromJson(record.payload);
@@ -28,6 +34,7 @@ Result<BlockStore> BlockStore::Open(const std::string& path,
 }
 
 Status BlockStore::Append(const chain::Block& block) {
+  MEDSYNC_RETURN_IF_ERROR(CheckFaultPoint("blockstore.append.before_write"));
   MEDSYNC_RETURN_IF_ERROR(wal_.Append(block.ToJson()).status());
   ++blocks_written_;
   return Status::OK();

@@ -17,11 +17,24 @@ namespace medsync::runtime {
 /// rejoins the network where it left off (see ChainNode persistence).
 class BlockStore {
  public:
+  struct Options {
+    /// fdatasync every appended block. ON by default: acceptance implies
+    /// durability — a node that told the network it holds a block must
+    /// still hold it after a machine crash, or restart recovery serves a
+    /// shorter chain than it already gossiped about.
+    bool sync_every_append = true;
+  };
+
   /// Opens (creating if needed) the log at `path` and decodes the stored
   /// blocks into `recovered` (in append order). A torn or corrupt tail is
   /// truncated, exactly like WAL recovery.
   static Result<BlockStore> Open(const std::string& path,
-                                 std::vector<chain::Block>* recovered);
+                                 std::vector<chain::Block>* recovered,
+                                 Options options);
+  static Result<BlockStore> Open(const std::string& path,
+                                 std::vector<chain::Block>* recovered) {
+    return Open(path, recovered, Options());
+  }
 
   BlockStore(BlockStore&&) = default;
   BlockStore& operator=(BlockStore&&) = default;
@@ -32,6 +45,9 @@ class BlockStore {
   Status Append(const chain::Block& block);
 
   uint64_t blocks_written() const { return blocks_written_; }
+
+  /// Durability accounting of the underlying log (appends/syncs/...).
+  const relational::Wal::Stats& wal_stats() const { return wal_.stats(); }
 
  private:
   explicit BlockStore(relational::Wal wal) : wal_(std::move(wal)) {}

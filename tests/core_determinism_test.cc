@@ -190,6 +190,55 @@ TEST(DeterminismTest, IncrementalAndFullMaintenanceConverge) {
   }
 }
 
+TEST(DeterminismTest, FaultToleranceLayerStaysDeterministicAcrossPoolSizes) {
+  // The reliability machinery — drop lottery, retransmit backoff jitter,
+  // dedup, periodic catch-up — must be part of the deterministic surface
+  // too: the same seed at 25% loss yields byte-identical databases AND
+  // byte-identical metrics (every retry and dup-drop included) whether the
+  // scenario runs serially or on pools of 2 or 8 workers.
+  auto build = [](size_t worker_threads) {
+    ScenarioOptions options;
+    options.seed = 431;
+    options.record_count = 24;
+    options.drop_probability = 0.25;
+    options.worker_threads = worker_threads;
+    auto scenario = ClinicScenario::Create(options);
+    EXPECT_TRUE(scenario.ok()) << scenario.status();
+    DriveWorkload(**scenario);
+    return std::move(*scenario);
+  };
+
+  auto baseline = build(/*worker_threads=*/0);
+  // The loss was real and the channel worked through it.
+  Json counters = baseline->MetricsSnapshot().At("counters");
+  EXPECT_GT(counters.At("net.retries").AsInt(), 0);
+  EXPECT_GT(baseline->network().stats().dropped, 0u);
+
+  auto compare_peer = [](Peer& pa, Peer& pb) {
+    ASSERT_EQ(pa.database().TableNames(), pb.database().TableNames());
+    for (const std::string& table : pa.database().TableNames()) {
+      EXPECT_EQ(*pa.database().Snapshot(table), *pb.database().Snapshot(table))
+          << table;
+    }
+  };
+  for (size_t workers : {2ul, 8ul}) {
+    SCOPED_TRACE(testing::Message() << workers << " workers");
+    auto threaded = build(workers);
+    EXPECT_EQ(baseline->node(0).blockchain().head().header.Hash(),
+              threaded->node(0).blockchain().head().header.Hash());
+    EXPECT_EQ(baseline->node(0).host().StateFingerprint(),
+              threaded->node(0).host().StateFingerprint());
+    compare_peer(baseline->doctor(), threaded->doctor());
+    compare_peer(baseline->patient(), threaded->patient());
+    compare_peer(baseline->researcher(), threaded->researcher());
+    EXPECT_EQ(baseline->simulator().Now(), threaded->simulator().Now());
+    EXPECT_EQ(baseline->MetricsSnapshot().Dump(),
+              threaded->MetricsSnapshot().Dump());
+    EXPECT_EQ(baseline->tracer().ToJson().Dump(),
+              threaded->tracer().ToJson().Dump());
+  }
+}
+
 TEST(DeterminismTest, DifferentSeedsDivergeInNetworkTiming) {
   ScenarioOptions options;
   options.seed = 1;

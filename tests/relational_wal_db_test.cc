@@ -4,6 +4,7 @@
 #include <filesystem>
 
 #include "common/metrics/metrics.h"
+#include "common/strings.h"
 #include "relational/database.h"
 #include "relational/wal.h"
 
@@ -130,7 +131,7 @@ TEST(WalTest, CorruptChecksumStopsRecovery) {
   EXPECT_EQ(*recovered[0].payload.GetString("tag"), "first");
 }
 
-TEST(WalTest, ResetTruncates) {
+TEST(WalTest, ResetTruncatesButPreservesLsnContinuity) {
   TempDir dir;
   std::string path = dir.file("wal.log");
   std::vector<WalRecord> recovered;
@@ -138,8 +139,55 @@ TEST(WalTest, ResetTruncates) {
   ASSERT_TRUE(wal.ok());
   ASSERT_TRUE(wal->Append(Op("x")).ok());
   ASSERT_TRUE(wal->Reset().ok());
-  EXPECT_EQ(wal->next_lsn(), 1u);
+  // LSNs are a history position, not a file offset: they keep growing
+  // across Reset so a checkpoint's "covers through LSN K" claim stays
+  // valid for post-reset appends (see Database::Checkpoint).
+  EXPECT_EQ(wal->next_lsn(), 2u);
   EXPECT_EQ(fs::file_size(path), 0u);
+  Result<uint64_t> lsn = wal->Append(Op("y"));
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_EQ(*lsn, 2u);
+
+  // A reopened log recovers the stored LSN, not a renumbered one.
+  wal = Wal::Open(path, &recovered);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_EQ(recovered.size(), 1u);
+  EXPECT_EQ(recovered[0].lsn, 2u);
+  EXPECT_EQ(wal->next_lsn(), 3u);
+}
+
+TEST(WalTest, LegacyRecordsWithoutLsnStillRecover) {
+  TempDir dir;
+  std::string path = dir.file("wal.log");
+  // Hand-write two pre-LSN-format records: <crc> <len> <json>.
+  std::string a = Op("first").Dump();
+  std::string b = Op("second").Dump();
+  char header[32];
+  std::string content;
+  std::snprintf(header, sizeof(header), "%08x %zu ", Crc32(a), a.size());
+  content += StrCat(header, a, "\n");
+  std::snprintf(header, sizeof(header), "%08x %zu ", Crc32(b), b.size());
+  content += StrCat(header, b, "\n");
+  FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(content.data(), 1, content.size(), f);
+  std::fclose(f);
+
+  std::vector<WalRecord> recovered;
+  Result<Wal> wal = Wal::Open(path, &recovered);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_EQ(recovered.size(), 2u);
+  EXPECT_EQ(recovered[0].lsn, 1u);  // assigned sequentially
+  EXPECT_EQ(recovered[1].lsn, 2u);
+  EXPECT_EQ(*recovered[1].payload.GetString("tag"), "second");
+  // New appends continue the numbering in the current (stored-LSN) format.
+  Result<uint64_t> lsn = wal->Append(Op("third"));
+  ASSERT_TRUE(lsn.ok());
+  EXPECT_EQ(*lsn, 3u);
+  wal = Wal::Open(path, &recovered);
+  ASSERT_TRUE(wal.ok());
+  ASSERT_EQ(recovered.size(), 3u);
+  EXPECT_EQ(recovered[2].lsn, 3u);
 }
 
 TEST(WalTest, SyncIsCallableAndCounted) {
