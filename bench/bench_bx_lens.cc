@@ -44,8 +44,8 @@ void BM_ProjectLensPut(benchmark::State& state) {
   Table source = SourceOf(state.range(0));
   bx::LensPtr lens = PatientDoctorLens();
   Table view = *lens->Get(source);
-  (void)view.UpdateAttribute({Value::Int(1000)}, kDosage,
-                             Value::String("edited"));
+  IgnoreStatusForTest(view.UpdateAttribute({Value::Int(1000)}, kDosage,
+                             Value::String("edited")));
   for (auto _ : state) {
     auto updated = lens->Put(source, view);
     benchmark::DoNotOptimize(updated);
@@ -62,8 +62,8 @@ void BM_GroupedLensPut(benchmark::State& state) {
   Table view = *lens->Get(source);
   if (!view.empty()) {
     auto first = view.rows().begin();
-    (void)view.UpdateAttribute(first->first, kMechanismOfAction,
-                               Value::String("edited mechanism"));
+    IgnoreStatusForTest(view.UpdateAttribute(first->first, kMechanismOfAction,
+                               Value::String("edited mechanism")));
   }
   for (auto _ : state) {
     auto updated = lens->Put(source, view);
@@ -115,8 +115,8 @@ void BM_LookupJoinRoundTrip(benchmark::State& state) {
       full, {kMedicationName, kMechanismOfAction}, {kMedicationName});
   auto lens = *bx::MakeLookupJoinLens(reference);
   Table view = *lens->Get(source);
-  (void)view.UpdateAttribute({Value::Int(1000)}, kDosage,
-                             Value::String("edited"));
+  IgnoreStatusForTest(view.UpdateAttribute({Value::Int(1000)}, kDosage,
+                             Value::String("edited")));
   for (auto _ : state) {
     auto derived = lens->Get(source);
     auto updated = lens->Put(source, view);

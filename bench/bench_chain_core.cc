@@ -145,7 +145,7 @@ void BM_BlockValidate(benchmark::State& state) {
     block.transactions.push_back(MakeTx(static_cast<uint64_t>(i)));
   }
   block.header.merkle_root = block.ComputeMerkleRoot();
-  (void)sealer.Seal(&block);
+  IgnoreStatusForTest(sealer.Seal(&block));
 
   for (auto _ : state) {
     benchmark::DoNotOptimize(chain.ValidateStructure(block));
@@ -172,7 +172,7 @@ void BM_ChainAppendAndIntegrity(benchmark::State& state) {
       block.header.timestamp = h;
       block.transactions.push_back(MakeTx(static_cast<uint64_t>(h)));
       block.header.merkle_root = block.ComputeMerkleRoot();
-      (void)sealer.Seal(&block);
+      IgnoreStatusForTest(sealer.Seal(&block));
       benchmark::DoNotOptimize(chain.AddBlock(std::move(block)));
       parent = &chain.head();
     }
@@ -269,7 +269,7 @@ void BM_BlockValidate_Threaded(benchmark::State& state) {
     block.transactions.push_back(MakeTx(static_cast<uint64_t>(i)));
   }
   block.header.merkle_root = block.ComputeMerkleRoot();
-  (void)sealer.Seal(&block);
+  IgnoreStatusForTest(sealer.Seal(&block));
 
   constexpr int kBaselineReps = 20;
   double serial_seconds = TimeSeconds([&] {

@@ -156,8 +156,8 @@ void BM_TableLevelUpdateRound(benchmark::State& state) {
     ack.Set("table_id", table);
     ack.Set("version", version + 1);
     ack.Set("digest", medsync::StrCat("d", version));
-    (void)bench.Execute(
-        bench.Tx(bench.peer_, bench.contract_, "ack_update", ack));
+    IgnoreStatusForTest(bench.Execute(
+        bench.Tx(bench.peer_, bench.contract_, "ack_update", ack)));
     state.counters["request_gas"] = static_cast<double>(request.gas_used);
   }
 }

@@ -211,8 +211,8 @@ void BM_ChainStorageGrowth(benchmark::State& state) {
       } else {
         // HDG-style: the whole shared table rides inside the transaction.
         Table shared = *world->provider->database().Snapshot("SHARED_p");
-        (void)shared.UpdateAttribute({Value::Int(1000)}, kDosage,
-                                     Value::String(StrCat("dose-", round)));
+        IgnoreStatusForTest(shared.UpdateAttribute({Value::Int(1000)}, kDosage,
+                                     Value::String(StrCat("dose-", round))));
         chain::Transaction tx;
         tx.from = world->provider->address();
         tx.to = world->contract;

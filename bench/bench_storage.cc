@@ -60,7 +60,7 @@ BENCHMARK(BM_WalAppend)->Range(64, 8192);
 void BM_DurableInsert(benchmark::State& state) {
   std::string dir = FreshDir();
   Database db = *Database::Open(dir);
-  (void)db.CreateTable("t", SmallSchema());
+  IgnoreStatusForTest(db.CreateTable("t", SmallSchema()));
   int64_t id = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(db.Insert("t", MakeRow(id++)));
@@ -72,7 +72,7 @@ BENCHMARK(BM_DurableInsert);
 
 void BM_InMemoryInsert(benchmark::State& state) {
   Database db;
-  (void)db.CreateTable("t", SmallSchema());
+  IgnoreStatusForTest(db.CreateTable("t", SmallSchema()));
   int64_t id = 0;
   for (auto _ : state) {
     benchmark::DoNotOptimize(db.Insert("t", MakeRow(id++)));
@@ -86,7 +86,7 @@ void BM_ReplaceTable(benchmark::State& state) {
   Database db;
   Table records = medical::GenerateFullRecords(
       {.seed = 1, .record_count = static_cast<size_t>(state.range(0))});
-  (void)db.CreateTable("view", records.schema());
+  IgnoreStatusForTest(db.CreateTable("view", records.schema()));
   for (auto _ : state) {
     benchmark::DoNotOptimize(db.ReplaceTable("view", records));
   }
@@ -96,7 +96,7 @@ BENCHMARK(BM_ReplaceTable)->Range(8, 4096);
 
 void BM_TransactionCommit(benchmark::State& state) {
   Database db;
-  (void)db.CreateTable("t", SmallSchema());
+  IgnoreStatusForTest(db.CreateTable("t", SmallSchema()));
   int64_t id = 0;
   for (auto _ : state) {
     Database::Transaction txn = db.Begin();
@@ -114,9 +114,9 @@ void BM_Recovery(benchmark::State& state) {
   std::string dir = FreshDir();
   {
     Database db = *Database::Open(dir);
-    (void)db.CreateTable("t", SmallSchema());
+    IgnoreStatusForTest(db.CreateTable("t", SmallSchema()));
     for (int64_t i = 0; i < state.range(0); ++i) {
-      (void)db.Insert("t", MakeRow(i));
+      IgnoreStatusForTest(db.Insert("t", MakeRow(i)));
     }
   }
   for (auto _ : state) {
@@ -134,11 +134,11 @@ void BM_CheckpointThenRecover(benchmark::State& state) {
   std::string dir = FreshDir();
   {
     Database db = *Database::Open(dir);
-    (void)db.CreateTable("t", SmallSchema());
+    IgnoreStatusForTest(db.CreateTable("t", SmallSchema()));
     for (int64_t i = 0; i < state.range(0); ++i) {
-      (void)db.Insert("t", MakeRow(i));
+      IgnoreStatusForTest(db.Insert("t", MakeRow(i)));
     }
-    (void)db.Checkpoint();
+    IgnoreStatusForTest(db.Checkpoint());
   }
   for (auto _ : state) {
     Result<Database> db = Database::Open(dir);

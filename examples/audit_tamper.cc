@@ -32,17 +32,17 @@ int main() {
 
   // Activity: one permitted update, one permitted patient update, one
   // denied attempt.
-  (void)clinic.doctor().UpdateSharedAttribute(
-      kPD, {Value::Int(188)}, medical::kDosage, Value::String("400 mg"));
-  (void)clinic.SettleAll();
-  (void)clinic.patient().UpdateSharedAttribute(
+  IgnoreStatusForTest(clinic.doctor().UpdateSharedAttribute(
+      kPD, {Value::Int(188)}, medical::kDosage, Value::String("400 mg")));
+  IgnoreStatusForTest(clinic.SettleAll());
+  IgnoreStatusForTest(clinic.patient().UpdateSharedAttribute(
       kPD, {Value::Int(188)}, medical::kClinicalData,
-      Value::String("patient-entered note"));
-  (void)clinic.SettleAll();
-  (void)clinic.patient().UpdateSharedAttribute(
+      Value::String("patient-entered note")));
+  IgnoreStatusForTest(clinic.SettleAll());
+  IgnoreStatusForTest(clinic.patient().UpdateSharedAttribute(
       kPD, {Value::Int(189)}, medical::kDosage,
-      Value::String("should be denied"));
-  (void)clinic.SettleAll();
+      Value::String("should be denied")));
+  IgnoreStatusForTest(clinic.SettleAll());
 
   std::printf("=== Audit trail for %s ===\n", kPD);
   std::vector<core::AuditRecord> trail = core::BuildAuditTrail(

@@ -19,7 +19,7 @@ FaultInjector* FaultInjector::Get() {
 }
 
 void FaultInjector::Kill(const std::string& point, uint64_t at_visit) {
-  std::lock_guard<std::mutex> lock(mu_);
+  threading::MutexLock lock(mu_);
   Armed armed;
   armed.at_visit = visit_counts_[point] + at_visit;
   armed_[point] = armed;
@@ -27,7 +27,7 @@ void FaultInjector::Kill(const std::string& point, uint64_t at_visit) {
 
 void FaultInjector::TornWrite(const std::string& point, size_t keep_bytes,
                               uint64_t at_visit) {
-  std::lock_guard<std::mutex> lock(mu_);
+  threading::MutexLock lock(mu_);
   Armed armed;
   armed.at_visit = visit_counts_[point] + at_visit;
   armed.torn = true;
@@ -36,33 +36,33 @@ void FaultInjector::TornWrite(const std::string& point, size_t keep_bytes,
 }
 
 void FaultInjector::Disarm(const std::string& point) {
-  std::lock_guard<std::mutex> lock(mu_);
+  threading::MutexLock lock(mu_);
   armed_.erase(point);
 }
 
 void FaultInjector::DisarmAll() {
-  std::lock_guard<std::mutex> lock(mu_);
+  threading::MutexLock lock(mu_);
   armed_.clear();
 }
 
 std::vector<std::string> FaultInjector::visits() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  threading::MutexLock lock(mu_);
   return visit_log_;
 }
 
 uint64_t FaultInjector::visit_count(const std::string& point) const {
-  std::lock_guard<std::mutex> lock(mu_);
+  threading::MutexLock lock(mu_);
   auto it = visit_counts_.find(point);
   return it == visit_counts_.end() ? 0 : it->second;
 }
 
 uint64_t FaultInjector::faults_fired() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  threading::MutexLock lock(mu_);
   return faults_fired_;
 }
 
 Status FaultInjector::OnPoint(const std::string& point) {
-  std::lock_guard<std::mutex> lock(mu_);
+  threading::MutexLock lock(mu_);
   uint64_t count = ++visit_counts_[point];
   visit_log_.push_back(point);
   auto it = armed_.find(point);
@@ -75,7 +75,7 @@ Status FaultInjector::OnPoint(const std::string& point) {
 }
 
 bool FaultInjector::OnTornWrite(const std::string& point, size_t* keep_bytes) {
-  std::lock_guard<std::mutex> lock(mu_);
+  threading::MutexLock lock(mu_);
   uint64_t count = ++visit_counts_[point];
   visit_log_.push_back(point);
   auto it = armed_.find(point);

@@ -4,11 +4,12 @@
 #include <cstddef>
 #include <cstdint>
 #include <map>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
+#include "common/threading/mutex.h"
 
 namespace medsync {
 
@@ -42,34 +43,36 @@ class FaultInjector {
   static FaultInjector* Get();
 
   /// Arms `point` to fail on its `at_visit`th visit from now (1 = next).
-  void Kill(const std::string& point, uint64_t at_visit = 1);
+  void Kill(const std::string& point, uint64_t at_visit = 1)
+      MEDSYNC_EXCLUDES(mu_);
 
   /// Arms the torn-write point `point`: the guarded write keeps only the
   /// first `keep_bytes` bytes and then fails, on its `at_visit`th visit.
   void TornWrite(const std::string& point, size_t keep_bytes,
-                 uint64_t at_visit = 1);
+                 uint64_t at_visit = 1) MEDSYNC_EXCLUDES(mu_);
 
   /// Disarms one point / everything (visit history is kept).
-  void Disarm(const std::string& point);
-  void DisarmAll();
+  void Disarm(const std::string& point) MEDSYNC_EXCLUDES(mu_);
+  void DisarmAll() MEDSYNC_EXCLUDES(mu_);
 
   /// Visit log, in order, of every instrumented point reached while this
   /// injector was installed.
-  std::vector<std::string> visits() const;
+  std::vector<std::string> visits() const MEDSYNC_EXCLUDES(mu_);
   /// Number of times `point` was reached.
-  uint64_t visit_count(const std::string& point) const;
+  uint64_t visit_count(const std::string& point) const MEDSYNC_EXCLUDES(mu_);
   /// Number of faults actually fired.
-  uint64_t faults_fired() const;
+  uint64_t faults_fired() const MEDSYNC_EXCLUDES(mu_);
 
   // -- Instrumentation side (called by storage code) -----------------------
 
   /// Records the visit; returns Unavailable iff the point is armed and this
   /// is the armed visit.
-  Status OnPoint(const std::string& point);
+  Status OnPoint(const std::string& point) MEDSYNC_EXCLUDES(mu_);
 
   /// Records the visit; returns true iff a torn write should be simulated,
   /// in which case `*keep_bytes` receives how many bytes to persist.
-  bool OnTornWrite(const std::string& point, size_t* keep_bytes);
+  bool OnTornWrite(const std::string& point, size_t* keep_bytes)
+      MEDSYNC_EXCLUDES(mu_);
 
  private:
   struct Armed {
@@ -78,11 +81,11 @@ class FaultInjector {
     size_t keep_bytes = 0;
   };
 
-  mutable std::mutex mu_;
-  std::map<std::string, Armed> armed_;
-  std::map<std::string, uint64_t> visit_counts_;
-  std::vector<std::string> visit_log_;
-  uint64_t faults_fired_ = 0;
+  mutable threading::Mutex mu_;
+  std::map<std::string, Armed> armed_ MEDSYNC_GUARDED_BY(mu_);
+  std::map<std::string, uint64_t> visit_counts_ MEDSYNC_GUARDED_BY(mu_);
+  std::vector<std::string> visit_log_ MEDSYNC_GUARDED_BY(mu_);
+  uint64_t faults_fired_ MEDSYNC_GUARDED_BY(mu_) = 0;
 };
 
 /// Convenience for instrumentation sites: no-op OK when no injector is

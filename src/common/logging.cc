@@ -1,7 +1,10 @@
 #include "common/logging.h"
 
 #include <cstdio>
-#include <mutex>
+
+#include "common/status.h"
+#include "common/thread_annotations.h"
+#include "common/threading/mutex.h"
 
 namespace medsync {
 
@@ -25,9 +28,9 @@ std::string_view LogLevelName(LogLevel level) {
 
 namespace {
 
-std::mutex g_mutex;
-LogLevel g_threshold = LogLevel::kWarning;
-Logging::Sink g_sink;  // empty => stderr
+threading::Mutex g_mutex;
+LogLevel g_threshold MEDSYNC_GUARDED_BY(g_mutex) = LogLevel::kWarning;
+Logging::Sink g_sink MEDSYNC_GUARDED_BY(g_mutex);  // empty => stderr
 
 void DefaultSink(LogLevel level, std::string_view component,
                  std::string_view message) {
@@ -41,17 +44,17 @@ void DefaultSink(LogLevel level, std::string_view component,
 }  // namespace
 
 LogLevel Logging::threshold() {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  threading::MutexLock lock(g_mutex);
   return g_threshold;
 }
 
 void Logging::set_threshold(LogLevel level) {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  threading::MutexLock lock(g_mutex);
   g_threshold = level;
 }
 
 void Logging::set_sink(Sink sink) {
-  std::lock_guard<std::mutex> lock(g_mutex);
+  threading::MutexLock lock(g_mutex);
   g_sink = std::move(sink);
 }
 
@@ -59,7 +62,7 @@ void Logging::Emit(LogLevel level, std::string_view component,
                    std::string_view message) {
   Sink sink;
   {
-    std::lock_guard<std::mutex> lock(g_mutex);
+    threading::MutexLock lock(g_mutex);
     if (level < g_threshold) return;
     sink = g_sink;
   }
@@ -68,6 +71,12 @@ void Logging::Emit(LogLevel level, std::string_view component,
   } else {
     DefaultSink(level, component, message);
   }
+}
+
+void LogIfError(const Status& status, std::string_view component,
+                std::string_view context) {
+  if (status.ok()) return;
+  MEDSYNC_LOG(kDebug, component) << context << ": " << status.ToString();
 }
 
 }  // namespace medsync

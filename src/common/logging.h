@@ -8,6 +8,8 @@
 
 namespace medsync {
 
+class Status;
+
 enum class LogLevel : int {
   kTrace = 0,
   kDebug = 1,
@@ -36,6 +38,15 @@ class Logging {
   static void Emit(LogLevel level, std::string_view component,
                    std::string_view message);
 };
+
+/// Logs a non-OK `status` at kDebug and drops it — the library idiom for
+/// best-effort operations (gossip sends, stale-flag upkeep, fire-and-forget
+/// responses) whose failure is recovered by a retry/timeout/catch-up layer
+/// rather than the caller. Named so every deliberate drop in src/ stays
+/// grep-able; tests use IgnoreStatusForTest (status.h) instead. Bare
+/// `(void)` status casts are forbidden by medsync-lint.
+void LogIfError(const Status& status, std::string_view component,
+                std::string_view context);
 
 namespace internal_logging {
 

@@ -82,7 +82,7 @@ Json Histogram::ToJson() const {
 }
 
 Counter* MetricsRegistry::GetCounter(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  threading::MutexLock lock(mu_);
   auto it = counters_.find(name);
   if (it == counters_.end()) {
     it = counters_.emplace(std::string(name), std::make_unique<Counter>())
@@ -92,7 +92,7 @@ Counter* MetricsRegistry::GetCounter(std::string_view name) {
 }
 
 Gauge* MetricsRegistry::GetGauge(std::string_view name) {
-  std::lock_guard<std::mutex> lock(mu_);
+  threading::MutexLock lock(mu_);
   auto it = gauges_.find(name);
   if (it == gauges_.end()) {
     it = gauges_.emplace(std::string(name), std::make_unique<Gauge>()).first;
@@ -102,7 +102,7 @@ Gauge* MetricsRegistry::GetGauge(std::string_view name) {
 
 Histogram* MetricsRegistry::GetHistogram(std::string_view name,
                                          Histogram::Options options) {
-  std::lock_guard<std::mutex> lock(mu_);
+  threading::MutexLock lock(mu_);
   auto it = histograms_.find(name);
   if (it == histograms_.end()) {
     it = histograms_
@@ -113,7 +113,7 @@ Histogram* MetricsRegistry::GetHistogram(std::string_view name,
 }
 
 Json MetricsRegistry::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  threading::MutexLock lock(mu_);
   Json counters = Json::MakeObject();
   for (const auto& [name, counter] : counters_) {
     counters.Set(name, counter->value());
@@ -134,7 +134,7 @@ Json MetricsRegistry::Snapshot() const {
 }
 
 size_t MetricsRegistry::metric_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  threading::MutexLock lock(mu_);
   return counters_.size() + gauges_.size() + histograms_.size();
 }
 

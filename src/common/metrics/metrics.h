@@ -5,12 +5,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
 #include "common/json.h"
+#include "common/thread_annotations.h"
+#include "common/threading/mutex.h"
 
 namespace medsync::metrics {
 
@@ -105,22 +106,26 @@ class MetricsRegistry {
   MetricsRegistry& operator=(const MetricsRegistry&) = delete;
 
   /// Finds or creates; never returns nullptr.
-  Counter* GetCounter(std::string_view name);
-  Gauge* GetGauge(std::string_view name);
+  Counter* GetCounter(std::string_view name) MEDSYNC_EXCLUDES(mu_);
+  Gauge* GetGauge(std::string_view name) MEDSYNC_EXCLUDES(mu_);
   /// `options` only applies when the histogram is first created.
   Histogram* GetHistogram(std::string_view name,
-                          Histogram::Options options = Histogram::Options());
+                          Histogram::Options options = Histogram::Options())
+      MEDSYNC_EXCLUDES(mu_);
 
   /// {"counters":{name:value,...},"gauges":{...},"histograms":{name:{...}}}
-  Json Snapshot() const;
+  Json Snapshot() const MEDSYNC_EXCLUDES(mu_);
 
-  size_t metric_count() const;
+  size_t metric_count() const MEDSYNC_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
-  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_;
-  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_;
-  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_;
+  mutable threading::Mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>, std::less<>> counters_
+      MEDSYNC_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Gauge>, std::less<>> gauges_
+      MEDSYNC_GUARDED_BY(mu_);
+  std::map<std::string, std::unique_ptr<Histogram>, std::less<>> histograms_
+      MEDSYNC_GUARDED_BY(mu_);
 };
 
 /// Null-tolerant update helpers: components cache metric pointers that stay

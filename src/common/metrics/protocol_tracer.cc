@@ -29,7 +29,7 @@ void ProtocolTracer::Record(StepEvent event) {
         ->Record(static_cast<uint64_t>(
             event.sim_duration < 0 ? 0 : event.sim_duration));
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  threading::MutexLock lock(mu_);
   if (sink_) sink_(event);
   if (events_.size() >= max_events_) {
     ++dropped_;
@@ -42,33 +42,33 @@ void ProtocolTracer::Record(StepEvent event) {
 }
 
 void ProtocolTracer::SetSink(std::function<void(const StepEvent&)> sink) {
-  std::lock_guard<std::mutex> lock(mu_);
+  threading::MutexLock lock(mu_);
   sink_ = std::move(sink);
 }
 
 std::vector<StepEvent> ProtocolTracer::Events() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  threading::MutexLock lock(mu_);
   return events_;
 }
 
 size_t ProtocolTracer::event_count() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  threading::MutexLock lock(mu_);
   return events_.size();
 }
 
 uint64_t ProtocolTracer::dropped() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  threading::MutexLock lock(mu_);
   return dropped_;
 }
 
 void ProtocolTracer::Clear() {
-  std::lock_guard<std::mutex> lock(mu_);
+  threading::MutexLock lock(mu_);
   events_.clear();
   dropped_ = 0;
 }
 
 Json ProtocolTracer::ToJson() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  threading::MutexLock lock(mu_);
   Json events = Json::MakeArray();
   for (const StepEvent& event : events_) events.Append(event.ToJson());
   Json out = Json::MakeObject();

@@ -3,13 +3,14 @@
 
 #include <cstdint>
 #include <functional>
-#include <mutex>
 #include <string>
 #include <vector>
 
 #include "common/json.h"
 #include "common/clock.h"
 #include "common/metrics/metrics.h"
+#include "common/thread_annotations.h"
+#include "common/threading/mutex.h"
 
 namespace medsync::metrics {
 
@@ -53,26 +54,29 @@ class ProtocolTracer {
   ProtocolTracer(const ProtocolTracer&) = delete;
   ProtocolTracer& operator=(const ProtocolTracer&) = delete;
 
-  void Record(StepEvent event);
+  void Record(StepEvent event) MEDSYNC_EXCLUDES(mu_);
 
   /// Optional live sink, called (under the tracer lock) for every event.
-  void SetSink(std::function<void(const StepEvent&)> sink);
+  void SetSink(std::function<void(const StepEvent&)> sink)
+      MEDSYNC_EXCLUDES(mu_);
 
-  std::vector<StepEvent> Events() const;
-  size_t event_count() const;
-  uint64_t dropped() const;
-  void Clear();
+  std::vector<StepEvent> Events() const MEDSYNC_EXCLUDES(mu_);
+  size_t event_count() const MEDSYNC_EXCLUDES(mu_);
+  uint64_t dropped() const MEDSYNC_EXCLUDES(mu_);
+  void Clear() MEDSYNC_EXCLUDES(mu_);
 
   /// {"dropped":N,"events":[...]}.
-  Json ToJson() const;
+  Json ToJson() const MEDSYNC_EXCLUDES(mu_);
 
  private:
-  mutable std::mutex mu_;
+  mutable threading::Mutex mu_;
+  /// Both set at construction, never reassigned (registry metrics are
+  /// internally synchronized).
   MetricsRegistry* registry_;
   size_t max_events_;
-  std::vector<StepEvent> events_;
-  uint64_t dropped_ = 0;
-  std::function<void(const StepEvent&)> sink_;
+  std::vector<StepEvent> events_ MEDSYNC_GUARDED_BY(mu_);
+  uint64_t dropped_ MEDSYNC_GUARDED_BY(mu_) = 0;
+  std::function<void(const StepEvent&)> sink_ MEDSYNC_GUARDED_BY(mu_);
 };
 
 }  // namespace medsync::metrics

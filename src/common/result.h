@@ -21,7 +21,7 @@ namespace medsync {
 /// Accessing the value of an error Result is a programming error and asserts
 /// in debug builds.
 template <typename T>
-class Result {
+class [[nodiscard]] Result {
  public:
   /// Constructs from a value (implicit by design so `return value;` works).
   Result(T value) : value_(std::move(value)) {}

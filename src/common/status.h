@@ -37,7 +37,11 @@ std::string_view StatusCodeToString(StatusCode code);
 ///
 /// Status is cheap to copy in the OK case (no allocation) and carries a
 /// message only on error.
-class Status {
+///
+/// The type is [[nodiscard]]: silently dropping an error is a compile error
+/// (-Werror=unused-result). A caller that genuinely does not care must say
+/// so by name via IgnoreStatusForTest() — grep-able, unlike a (void) cast.
+class [[nodiscard]] Status {
  public:
   /// Constructs an OK status.
   Status() = default;
@@ -125,6 +129,15 @@ class Status {
 };
 
 std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// The ONLY sanctioned way to drop a Status or Result<T> on the floor.
+/// Tests use it for calls whose outcome is irrelevant to the assertion
+/// (e.g. re-adding a duplicate to provoke a later state); library code is
+/// expected to handle or propagate instead. Named rather than a bare
+/// `(void)` cast so every deliberate discard is grep-able and reviewable
+/// (medsync-lint forbids `(void)` status casts for the same reason).
+template <typename StatusLike>
+inline void IgnoreStatusForTest(const StatusLike&) {}
 
 }  // namespace medsync
 

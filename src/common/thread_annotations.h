@@ -1,0 +1,81 @@
+#ifndef MEDSYNC_COMMON_THREAD_ANNOTATIONS_H_
+#define MEDSYNC_COMMON_THREAD_ANNOTATIONS_H_
+
+/// Clang thread-safety-analysis annotations (the abseil/LLVM macro set,
+/// trimmed to what this codebase uses). Under clang with
+/// -Wthread-safety (the -DMEDSYNC_THREAD_SAFETY_ANALYSIS=ON build, see the
+/// top-level CMakeLists.txt) the compiler statically proves that every
+/// access to a MEDSYNC_GUARDED_BY(mu) member happens with `mu` held and
+/// that every MEDSYNC_REQUIRES(mu) function is only called under `mu` —
+/// lock-discipline bugs become build failures. Other compilers (the gcc
+/// the container ships) see empty macros and compile the same code
+/// unchanged.
+///
+/// Conventions in this codebase:
+///  * Every mutex-protected member is MEDSYNC_GUARDED_BY(mu_). Members a
+///    lock does NOT guard (immutable after construction, or atomics) carry
+///    a comment saying so — absence of an annotation is a claim, not an
+///    oversight.
+///  * Private helpers that expect the caller to hold the lock are
+///    MEDSYNC_REQUIRES(mu_); public entry points that take the lock
+///    themselves are MEDSYNC_EXCLUDES(mu_) when they would self-deadlock
+///    if called with it held.
+///  * The annotations refer to members by name, so the mutex is declared
+///    BEFORE the data it guards.
+
+#if defined(__clang__) && defined(__has_attribute)
+#define MEDSYNC_THREAD_ANNOTATION_ATTRIBUTE_(x) __attribute__((x))
+#else
+#define MEDSYNC_THREAD_ANNOTATION_ATTRIBUTE_(x)  // no-op
+#endif
+
+/// Documents that the annotated mutex/lock object is itself a capability.
+#define MEDSYNC_CAPABILITY(x) \
+  MEDSYNC_THREAD_ANNOTATION_ATTRIBUTE_(capability(x))
+
+/// A member that must only be read or written with the given mutex held.
+#define MEDSYNC_GUARDED_BY(x) MEDSYNC_THREAD_ANNOTATION_ATTRIBUTE_(guarded_by(x))
+
+/// A pointer member whose POINTEE is guarded by the given mutex.
+#define MEDSYNC_PT_GUARDED_BY(x) \
+  MEDSYNC_THREAD_ANNOTATION_ATTRIBUTE_(pt_guarded_by(x))
+
+/// A function that must be called with the given mutex(es) held.
+#define MEDSYNC_REQUIRES(...) \
+  MEDSYNC_THREAD_ANNOTATION_ATTRIBUTE_(requires_capability(__VA_ARGS__))
+
+/// A function that must NOT be called with the given mutex(es) held
+/// (it acquires them itself; calling it under the lock self-deadlocks).
+#define MEDSYNC_EXCLUDES(...) \
+  MEDSYNC_THREAD_ANNOTATION_ATTRIBUTE_(locks_excluded(__VA_ARGS__))
+
+/// A function that acquires the mutex and returns holding it.
+#define MEDSYNC_ACQUIRE(...) \
+  MEDSYNC_THREAD_ANNOTATION_ATTRIBUTE_(acquire_capability(__VA_ARGS__))
+
+/// A function that releases a mutex acquired earlier.
+#define MEDSYNC_RELEASE(...) \
+  MEDSYNC_THREAD_ANNOTATION_ATTRIBUTE_(release_capability(__VA_ARGS__))
+
+/// A function that acquires the mutex iff it returns true.
+#define MEDSYNC_TRY_ACQUIRE(...) \
+  MEDSYNC_THREAD_ANNOTATION_ATTRIBUTE_(try_acquire_capability(__VA_ARGS__))
+
+/// An RAII type whose constructor acquires a capability and whose
+/// destructor releases it (threading::MutexLock).
+#define MEDSYNC_SCOPED_CAPABILITY \
+  MEDSYNC_THREAD_ANNOTATION_ATTRIBUTE_(scoped_lockable)
+
+/// A function whose return value is a reference to a guarded member
+/// (callers need the lock to USE it, not to obtain it).
+#define MEDSYNC_RETURN_CAPABILITY(x) \
+  MEDSYNC_THREAD_ANNOTATION_ATTRIBUTE_(lock_returned(x))
+
+/// Escape hatch: turns the analysis off for one function body. Used only
+/// where the analysis cannot follow the locking (e.g. std::unique_lock
+/// handed across a condition-variable wait) — every use carries a comment
+/// saying why.
+#define MEDSYNC_NO_THREAD_SAFETY_ANALYSIS \
+  MEDSYNC_THREAD_ANNOTATION_ATTRIBUTE_(no_thread_safety_analysis)
+
+#endif  // MEDSYNC_COMMON_THREAD_ANNOTATIONS_H_

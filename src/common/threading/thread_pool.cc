@@ -15,23 +15,23 @@ ThreadPool::ThreadPool(size_t worker_count) {
 
 ThreadPool::~ThreadPool() {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     stopping_ = true;
   }
-  cv_.notify_all();
+  cv_.NotifyAll();
   for (std::thread& worker : workers_) worker.join();
 }
 
 void ThreadPool::Submit(std::function<void()> task) {
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     queue_.push_back(std::move(task));
   }
-  cv_.notify_one();
+  cv_.NotifyOne();
 }
 
 uint64_t ThreadPool::tasks_executed() const {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   return tasks_executed_;
 }
 
@@ -39,8 +39,8 @@ void ThreadPool::WorkerLoop() {
   while (true) {
     std::function<void()> task;
     {
-      std::unique_lock<std::mutex> lock(mu_);
-      cv_.wait(lock, [this] { return stopping_ || !queue_.empty(); });
+      MutexLock lock(mu_);
+      while (!stopping_ && queue_.empty()) cv_.Wait(mu_);
       // Drain-before-stop: queued work submitted before destruction still
       // runs; workers only exit on an empty queue.
       if (queue_.empty()) return;
@@ -53,18 +53,18 @@ void ThreadPool::WorkerLoop() {
 }
 
 void Latch::CountDown() {
-  std::lock_guard<std::mutex> lock(mu_);
-  if (remaining_ > 0 && --remaining_ == 0) cv_.notify_all();
+  MutexLock lock(mu_);
+  if (remaining_ > 0 && --remaining_ == 0) cv_.NotifyAll();
 }
 
 void Latch::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return remaining_ == 0; });
+  MutexLock lock(mu_);
+  while (remaining_ != 0) cv_.Wait(mu_);
 }
 
 TaskGroup::~TaskGroup() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return pending_ == 0; });
+  MutexLock lock(mu_);
+  while (pending_ != 0) cv_.Wait(mu_);
 }
 
 void TaskGroup::Run(std::function<void()> task) {
@@ -72,13 +72,13 @@ void TaskGroup::Run(std::function<void()> task) {
     try {
       task();
     } catch (...) {
-      std::lock_guard<std::mutex> lock(mu_);
+      MutexLock lock(mu_);
       if (!first_error_) first_error_ = std::current_exception();
     }
     return;
   }
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(mu_);
     ++pending_;
   }
   pool_->Submit([this, task = std::move(task)] {
@@ -93,19 +93,19 @@ void TaskGroup::Run(std::function<void()> task) {
 }
 
 void TaskGroup::Finish(std::exception_ptr error) {
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(mu_);
   if (error && !first_error_) first_error_ = error;
-  if (--pending_ == 0) cv_.notify_all();
+  if (--pending_ == 0) cv_.NotifyAll();
 }
 
 void TaskGroup::Wait() {
-  std::unique_lock<std::mutex> lock(mu_);
-  cv_.wait(lock, [this] { return pending_ == 0; });
-  if (first_error_) {
-    std::exception_ptr error = std::exchange(first_error_, nullptr);
-    lock.unlock();
-    std::rethrow_exception(error);
+  std::exception_ptr error;
+  {
+    MutexLock lock(mu_);
+    while (pending_ != 0) cv_.Wait(mu_);
+    error = std::exchange(first_error_, nullptr);
   }
+  if (error) std::rethrow_exception(error);
 }
 
 void ParallelFor(ThreadPool* pool, size_t begin, size_t end, size_t grain,

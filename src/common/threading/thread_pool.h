@@ -1,14 +1,15 @@
 #ifndef MEDSYNC_COMMON_THREADING_THREAD_POOL_H_
 #define MEDSYNC_COMMON_THREADING_THREAD_POOL_H_
 
-#include <condition_variable>
 #include <cstddef>
 #include <deque>
 #include <exception>
 #include <functional>
-#include <mutex>
 #include <thread>
 #include <vector>
+
+#include "common/thread_annotations.h"
+#include "common/threading/mutex.h"
 
 namespace medsync::threading {
 
@@ -39,21 +40,23 @@ class ThreadPool {
   ~ThreadPool();
 
   /// Enqueues `task` for execution on some worker.
-  void Submit(std::function<void()> task);
+  void Submit(std::function<void()> task) MEDSYNC_EXCLUDES(mu_);
 
   size_t worker_count() const { return workers_.size(); }
 
   /// Tasks executed since construction (observability for tests/benches).
-  uint64_t tasks_executed() const;
+  uint64_t tasks_executed() const MEDSYNC_EXCLUDES(mu_);
 
  private:
-  void WorkerLoop();
+  void WorkerLoop() MEDSYNC_EXCLUDES(mu_);
 
-  mutable std::mutex mu_;
-  std::condition_variable cv_;
-  std::deque<std::function<void()>> queue_;
-  bool stopping_ = false;
-  uint64_t tasks_executed_ = 0;
+  mutable Mutex mu_;
+  CondVar cv_;
+  std::deque<std::function<void()>> queue_ MEDSYNC_GUARDED_BY(mu_);
+  bool stopping_ MEDSYNC_GUARDED_BY(mu_) = false;
+  uint64_t tasks_executed_ MEDSYNC_GUARDED_BY(mu_) = 0;
+  /// Written only by the constructor and joined by the destructor; sized
+  /// reads (worker_count) need no lock.
   std::vector<std::thread> workers_;
 };
 
@@ -64,13 +67,13 @@ class Latch {
  public:
   explicit Latch(size_t count) : remaining_(count) {}
 
-  void CountDown();
-  void Wait();
+  void CountDown() MEDSYNC_EXCLUDES(mu_);
+  void Wait() MEDSYNC_EXCLUDES(mu_);
 
  private:
-  std::mutex mu_;
-  std::condition_variable cv_;
-  size_t remaining_;
+  Mutex mu_;
+  CondVar cv_;
+  size_t remaining_ MEDSYNC_GUARDED_BY(mu_);
 };
 
 /// Fork-join helper: Run() dispatches a task to the pool (or runs it inline
@@ -90,20 +93,21 @@ class TaskGroup {
   /// explicitly to observe them).
   ~TaskGroup();
 
-  void Run(std::function<void()> task);
+  void Run(std::function<void()> task) MEDSYNC_EXCLUDES(mu_);
 
   /// Blocks until all tasks Run() so far completed; rethrows the first
   /// captured exception.
-  void Wait();
+  void Wait() MEDSYNC_EXCLUDES(mu_);
 
  private:
-  void Finish(std::exception_ptr error);
+  void Finish(std::exception_ptr error) MEDSYNC_EXCLUDES(mu_);
 
+  /// Set at construction, never reassigned.
   ThreadPool* pool_;
-  std::mutex mu_;
-  std::condition_variable cv_;
-  size_t pending_ = 0;
-  std::exception_ptr first_error_;
+  Mutex mu_;
+  CondVar cv_;
+  size_t pending_ MEDSYNC_GUARDED_BY(mu_) = 0;
+  std::exception_ptr first_error_ MEDSYNC_GUARDED_BY(mu_);
 };
 
 /// Splits [begin, end) into chunks of at least `grain` indices and invokes

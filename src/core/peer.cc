@@ -66,7 +66,7 @@ void Peer::ScheduleCatchUp() {
     if (!*alive) return;
     // A failing query just means the chain node is busy or the table is
     // not registered yet; the next tick will try again.
-    (void)SyncWithChain();
+    LogIfError(SyncWithChain().status(), "peer", "catch-up sync");
     ScheduleCatchUp();
   });
 }
@@ -199,7 +199,8 @@ void Peer::StartFetch(const std::string& table_id, uint64_t version,
   request.Set("table_id", table_id);
   request.Set("version", version);
   RecordStep(5, 8, "fetch_request", table_id, "sent");
-  (void)SendToPeer(updater_name, "fetch_request", std::move(request));
+  LogIfError(SendToPeer(updater_name, "fetch_request", std::move(request)),
+             "peer", "fetch request");
   std::string id = table_id;
   simulator_->Schedule(config_.fetch_retry_delay, [this, alive = alive_, id] {
     if (*alive) RetryFetch(id);
@@ -492,7 +493,8 @@ void Peer::OnReceipt(const contracts::Receipt& receipt) {
       // A cascade the contract refused: the local source is newer than the
       // shared view and must stay flagged until permission arrives.
       table_it->second.needs_refresh = true;
-      (void)sync_.SetViewStale(staged.table_id, true);
+      LogIfError(sync_.SetViewStale(staged.table_id, true), "peer",
+                 "stale flag on denied update");
     }
     Trace(StrCat("update of '", staged.table_id,
                  "' DENIED by contract: ", receipt.error));
@@ -516,7 +518,8 @@ void Peer::FinalizeApprovedUpdate(StagedUpdate staged) {
   state.version += 1;
   state.digest = staged.digest;
   state.needs_refresh = false;
-  (void)sync_.SetViewStale(staged.table_id, false);
+  LogIfError(sync_.SetViewStale(staged.table_id, false), "peer",
+             "stale flag clear on commit");
   PersistTableState(state);
   ++stats_.updates_committed;
   metrics::Inc(counters_.updates_committed);
@@ -596,7 +599,8 @@ void Peer::CascadeAfterSourceChange(const std::string& source_table,
       metrics::Inc(counters_.cascades_blocked);
       auto it = tables_.find(refresh.table_id);
       if (it != tables_.end()) it->second.needs_refresh = true;
-      (void)sync_.SetViewStale(refresh.table_id, true);
+      LogIfError(sync_.SetViewStale(refresh.table_id, true), "peer",
+                 "stale flag on blocked cascade");
       Trace(StrCat("cascade to '", refresh.table_id,
                    "' blocked: ", proposed.ToString()));
     }
@@ -644,14 +648,17 @@ void Peer::RetryFetch(const std::string& table_id) {
                  " retries; stale until the next catch-up tick"));
     auto table_it = tables_.find(table_id);
     if (table_it != tables_.end()) table_it->second.needs_refresh = true;
-    (void)sync_.SetViewStale(table_id, true);
+    LogIfError(sync_.SetViewStale(table_id, true), "peer",
+               "stale flag on fetch give-up");
     pending_fetches_.erase(it);
     return;
   }
   Json request = Json::MakeObject();
   request.Set("table_id", table_id);
   request.Set("version", fetch.version);
-  (void)SendToPeer(fetch.updater_name, "fetch_request", std::move(request));
+  LogIfError(
+      SendToPeer(fetch.updater_name, "fetch_request", std::move(request)),
+      "peer", "fetch retry");
   simulator_->Schedule(config_.fetch_retry_delay,
                        [this, alive = alive_, table_id] {
                          if (*alive) RetryFetch(table_id);
@@ -704,7 +711,8 @@ void Peer::HandleFetchRequest(const net::Message& message) {
   response.Set("version", table_it->second.version);
   response.Set("digest", content->ContentDigest());
   response.Set("contents", content->ToJson());
-  (void)SendToPeer(message.from, "fetch_response", std::move(response));
+  LogIfError(SendToPeer(message.from, "fetch_response", std::move(response)),
+             "peer", "fetch response");
 }
 
 void Peer::HandleFetchResponse(const net::Message& message) {
@@ -762,7 +770,8 @@ Status Peer::ApplyFetchedUpdate(const std::string& table_id,
   // A successfully fetched update supersedes any earlier give-up: the view
   // now matches the chain, so it is no longer stale.
   state.needs_refresh = false;
-  (void)sync_.SetViewStale(table_id, false);
+  LogIfError(sync_.SetViewStale(table_id, false), "peer",
+             "stale flag clear on fetch apply");
   PersistTableState(state);
   ++stats_.fetches_applied;
   metrics::Inc(counters_.fetches_applied);
@@ -847,7 +856,8 @@ void Peer::HandleShareOffer(const net::Message& message) {
     answer.Set("accepted", accepted);
     answer.Set("reason", reason);
     answer.Set("invitee", key_.address().ToHex());
-    (void)SendToPeer(message.from, "share_answer", std::move(answer));
+    LogIfError(SendToPeer(message.from, "share_answer", std::move(answer)),
+               "peer", "share answer");
   };
 
   auto table_id = message.payload.GetString("table_id");

@@ -1,5 +1,6 @@
 #include "core/sync_manager.h"
 
+#include "bx/laws.h"
 #include "common/strings.h"
 #include "common/threading/thread_pool.h"
 #include "relational/delta.h"
@@ -91,6 +92,12 @@ Result<Table> SyncManager::DeriveView(const std::string& table_id) const {
   MEDSYNC_ASSIGN_OR_RETURN(const ViewBinding* binding, FindBinding(table_id));
   MEDSYNC_ASSIGN_OR_RETURN(const Table* source,
                            database_->GetTable(binding->source_table));
+  if (check_bx_laws_) {
+    MEDSYNC_RETURN_IF_ERROR(
+        bx::CheckGetPut(*binding->lens, *source)
+            .WithPrefix(StrCat("BX law oracle: GetPut violated deriving '",
+                               table_id, "'")));
+  }
   return binding->lens->Get(*source);
 }
 
@@ -110,6 +117,16 @@ Result<bx::SourceChange> SyncManager::PutViewIntoSource(
   MEDSYNC_ASSIGN_OR_RETURN(const Table* view,
                            database_->GetTable(binding->view_table));
   MEDSYNC_ASSIGN_OR_RETURN(Table updated, binding->lens->Put(source, *view));
+  if (check_bx_laws_) {
+    // PutGet on the exact pair being committed: Get(Put(S, V)) must
+    // reproduce V, otherwise the put silently lost part of the edit.
+    // Rejection is impossible here (the Put above already succeeded), so
+    // rejected=nullptr treats it as a failure.
+    MEDSYNC_RETURN_IF_ERROR(
+        bx::CheckPutGet(*binding->lens, source, *view, /*rejected=*/nullptr)
+            .WithPrefix(StrCat("BX law oracle: PutGet violated putting '",
+                               table_id, "'")));
+  }
   if (maintenance_ == ViewMaintenance::kIncremental) {
     // Commit the put as a delta: the WAL records O(|delta|) instead of
     // serializing the whole source table.
@@ -247,6 +264,15 @@ Result<std::vector<ViewRefresh>> SyncManager::FindAffectedViews(
       out.full_fallback = true;
     }
 
+    if (check_bx_laws_) {
+      Status law = bx::CheckGetPut(*binding.lens, after);
+      if (!law.ok()) {
+        out.status = law.WithPrefix(
+            StrCat("BX law oracle: GetPut violated rederiving '",
+                   binding.table_id, "'"));
+        return;
+      }
+    }
     Result<Table> derived = binding.lens->Get(after);
     if (!derived.ok()) {
       out.status = derived.status();

@@ -142,6 +142,25 @@ class SyncManager {
   DependencyStrategy strategy() const { return strategy_; }
   void set_strategy(DependencyStrategy strategy) { strategy_ = strategy; }
 
+  /// Online BX law oracle ("paranoid mode", bx/laws.h): when enabled, every
+  /// PutViewIntoSource re-checks PutGet for the lens on the exact
+  /// (source, view) pair before committing, and every rederivation (
+  /// DeriveView and the full-get path of FindAffectedViews) re-checks
+  /// GetPut on the source it derived from. A violation fails the operation
+  /// with a "BX law oracle"-prefixed FailedPrecondition carrying the diff —
+  /// a law-breaking lens is caught at the first put/get instead
+  /// of desynchronizing peers. Costs one extra put+get per checked
+  /// operation; defaults ON when built with -DMEDSYNC_CHECK_BX_LAWS=ON
+  /// (debug builds), OFF otherwise.
+  void set_check_bx_laws(bool check) { check_bx_laws_ = check; }
+  bool check_bx_laws() const { return check_bx_laws_; }
+
+#ifdef MEDSYNC_CHECK_BX_LAWS
+  static constexpr bool kCheckBxLawsDefault = true;
+#else
+  static constexpr bool kCheckBxLawsDefault = false;
+#endif
+
   ViewMaintenance maintenance() const { return maintenance_; }
   void set_maintenance(ViewMaintenance maintenance) {
     maintenance_ = maintenance;
@@ -177,6 +196,7 @@ class SyncManager {
   relational::Database* database_;
   DependencyStrategy strategy_;
   ViewMaintenance maintenance_ = ViewMaintenance::kIncremental;
+  bool check_bx_laws_ = kCheckBxLawsDefault;
   threading::ThreadPool* pool_ = nullptr;
   std::map<std::string, ViewBinding> views_;
   uint64_t gets_skipped_ = 0;

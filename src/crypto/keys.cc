@@ -2,9 +2,10 @@
 
 #include <cstring>
 #include <map>
-#include <mutex>
 
 #include "common/strings.h"
+#include "common/thread_annotations.h"
+#include "common/threading/mutex.h"
 
 namespace medsync::crypto {
 
@@ -23,13 +24,15 @@ class KeyRegistry {
     return *instance;
   }
 
-  void Register(const Hash256& public_key, const Hash256& secret) {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void Register(const Hash256& public_key, const Hash256& secret)
+      MEDSYNC_EXCLUDES(mutex_) {
+    threading::MutexLock lock(mutex_);
     secrets_[public_key] = secret;
   }
 
-  bool Lookup(const Hash256& public_key, Hash256* secret) const {
-    std::lock_guard<std::mutex> lock(mutex_);
+  bool Lookup(const Hash256& public_key, Hash256* secret) const
+      MEDSYNC_EXCLUDES(mutex_) {
+    threading::MutexLock lock(mutex_);
     auto it = secrets_.find(public_key);
     if (it == secrets_.end()) return false;
     *secret = it->second;
@@ -37,8 +40,8 @@ class KeyRegistry {
   }
 
  private:
-  mutable std::mutex mutex_;
-  std::map<Hash256, Hash256> secrets_;
+  mutable threading::Mutex mutex_;
+  std::map<Hash256, Hash256> secrets_ MEDSYNC_GUARDED_BY(mutex_);
 };
 
 }  // namespace

@@ -1,5 +1,6 @@
 #include "net/network.h"
 
+#include "common/logging.h"
 #include "common/strings.h"
 
 namespace medsync::net {
@@ -101,7 +102,10 @@ void Network::Broadcast(const NodeId& from, const std::string& type,
     message.to = id;
     message.type = type;
     message.payload = payload;
-    (void)SendSized(std::move(message), payload_bytes);
+    // Broadcast is lossy by contract: per-destination failures (downed
+    // links, unknown peers) are the simulated network doing its job.
+    LogIfError(SendSized(std::move(message), payload_bytes), "net",
+               "broadcast delivery");
   }
 }
 

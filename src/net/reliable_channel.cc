@@ -2,6 +2,8 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
+
 namespace medsync::net {
 
 namespace {
@@ -66,7 +68,7 @@ Status ReliableChannel::Send(Message message) {
   // An unknown destination (NotFound) is not fatal here: the peer may be
   // mid-restart and attach before the retry budget runs out. Losses of any
   // kind are handled by the retransmit timer.
-  (void)network_->Send(wrapped);
+  LogIfError(network_->Send(wrapped), "net", "reliable first send");
   pending_.emplace(std::make_pair(to, seq), PendingSend{std::move(wrapped)});
   ScheduleRetransmit(to, seq);
   return Status::OK();
@@ -98,7 +100,7 @@ void ReliableChannel::ScheduleRetransmit(const NodeId& to, uint64_t seq) {
     ++send.retries;
     ++stats_.retries;
     metrics::Inc(retries_counter_);
-    (void)network_->Send(send.wrapped);
+    LogIfError(network_->Send(send.wrapped), "net", "retransmit");
     ScheduleRetransmit(to, seq);
   });
 }
@@ -153,7 +155,9 @@ void ReliableChannel::HandleData(const Message& message) {
   ack.Set("epoch", *epoch);
   ++stats_.acks_sent;
   metrics::Inc(acks_sent_counter_);
-  (void)network_->Send(Message{id_, message.from, kAckType, std::move(ack)});
+  LogIfError(
+      network_->Send(Message{id_, message.from, kAckType, std::move(ack)}),
+      "net", "ack send");
 
   const uint64_t seq_num = static_cast<uint64_t>(*seq);
   if (seq_num <= state.contiguous || state.beyond.count(seq_num) > 0) {

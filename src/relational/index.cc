@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/logging.h"
 #include "common/strings.h"
 
 namespace medsync::relational {
@@ -121,7 +122,10 @@ Table SecondaryIndex::MaterializeEquals(const Table& table,
   for (const Key& key : Lookup(value)) {
     std::optional<Row> row = table.Get(key);
     if (row.has_value()) {
-      (void)out.Insert(std::move(*row));
+      // Keys come from the indexed table itself, so the insert can only
+      // fail if the index lost sync with it — worth a log, never silent.
+      LogIfError(out.Insert(std::move(*row)), "relational",
+                 "index materialization insert");
     }
   }
   return out;

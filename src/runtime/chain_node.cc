@@ -31,6 +31,13 @@ ChainNode::ChainNode(NodeConfig config, net::Simulator* simulator,
   }
 }
 
+ChainNode::~ChainNode() {
+  *alive_ = false;
+  // Same contract as Peer::~Peer: queued deliveries to this id become
+  // dropped-as-detached instead of landing on freed memory.
+  if (started_) network_->Detach(config_.id);
+}
+
 Json ChainNode::MetricsSnapshot() const {
   return config_.metrics != nullptr ? config_.metrics->Snapshot()
                                     : Json::MakeObject();
@@ -41,7 +48,10 @@ void ChainNode::Start() {
   started_ = true;
   network_->Attach(config_.id, this);
   if (config_.sealing_enabled) {
-    simulator_->Schedule(config_.block_interval, [this] { SealTick(); });
+    simulator_->Schedule(config_.block_interval, [this, alive = alive_] {
+      if (!*alive) return;
+      SealTick();
+    });
   }
 }
 
@@ -102,7 +112,10 @@ void ChainNode::SealTick() {
   for (const Transaction& tx : mempool_.PendingTransactions()) {
     network_->Broadcast(config_.id, "tx", tx.ToJson());
   }
-  simulator_->Schedule(config_.block_interval, [this] { SealTick(); });
+  simulator_->Schedule(config_.block_interval, [this, alive = alive_] {
+    if (!*alive) return;
+    SealTick();
+  });
 }
 
 void ChainNode::HandleHeadAnnounce(const net::Message& message) {
@@ -115,8 +128,10 @@ void ChainNode::HandleHeadAnnounce(const net::Message& message) {
   if (!ok || chain_.BlockByHash(hash).ok()) return;
   Json request = Json::MakeObject();
   request.Set("hash", *hash_hex);
-  (void)network_->Send(
-      net::Message{config_.id, message.from, "block_request", request});
+  LogIfError(
+      network_->Send(
+          net::Message{config_.id, message.from, "block_request", request}),
+      "chain", "head-announce block request");
 }
 
 void ChainNode::TrySeal() {
@@ -262,8 +277,10 @@ Status ChainNode::AcceptBlock(Block block, const net::NodeId& from) {
     if (!from.empty()) {
       Json request = Json::MakeObject();
       request.Set("hash", parent_hash);
-      (void)network_->Send(
-          net::Message{config_.id, from, "block_request", request});
+      LogIfError(
+          network_->Send(
+              net::Message{config_.id, from, "block_request", request}),
+          "chain", "orphan parent request");
     }
     return added;
   }
@@ -311,8 +328,9 @@ void ChainNode::HandleBlockRequest(const net::Message& message) {
   if (!ok) return;
   Result<const Block*> block = chain_.BlockByHash(hash);
   if (!block.ok()) return;
-  (void)network_->Send(net::Message{config_.id, message.from,
-                                    "block_response", (*block)->ToJson()});
+  LogIfError(network_->Send(net::Message{config_.id, message.from,
+                                         "block_response", (*block)->ToJson()}),
+             "chain", "block response");
 }
 
 void ChainNode::AdvanceExecution() {

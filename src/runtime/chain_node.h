@@ -65,6 +65,12 @@ class ChainNode : public net::Endpoint {
             chain::Block genesis, chain::Blockchain::ConflictKeyFn conflict_key,
             std::unique_ptr<contracts::ContractHost> host);
 
+  /// Invalidates the liveness token so seal-timer events still queued in
+  /// the simulator become no-ops instead of firing on a dangling node
+  /// (restart tests destroy nodes while their shared simulator keeps
+  /// running).
+  ~ChainNode();
+
   /// Attaches to the network and, on sealing nodes, starts the seal timer.
   void Start();
 
@@ -128,6 +134,10 @@ class ChainNode : public net::Endpoint {
   NodeConfig config_;
   net::Simulator* simulator_;
   net::Network* network_;
+  /// Liveness token for timer callbacks queued in the simulator (same
+  /// idiom as Peer::alive_): captured by SealTick reschedules, flipped
+  /// false in the destructor.
+  std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
   std::shared_ptr<const chain::Sealer> sealer_;
   chain::Blockchain chain_;
   chain::Mempool mempool_;

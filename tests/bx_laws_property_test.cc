@@ -107,13 +107,13 @@ Table RandomViewEdit(const Table& view, Rng* rng) {
         }
         if (candidates.empty()) break;
         size_t idx = candidates[rng->NextIndex(candidates.size())];
-        (void)edited.UpdateAttribute(
+        IgnoreStatusForTest(edited.UpdateAttribute(
             key, schema.attributes()[idx].name,
-            Value::String(rng->NextAlnumString(6)));
+            Value::String(rng->NextAlnumString(6))));
         break;
       }
       case 1:  // delete
-        (void)edited.Delete(key);
+        IgnoreStatusForTest(edited.Delete(key));
         break;
       default: {  // insert: clone the victim with a fresh key
         Row fresh = victim;
@@ -124,7 +124,7 @@ Table RandomViewEdit(const Table& view, Rng* rng) {
             fresh[ki] = Value::String(rng->NextAlnumString(8));
           }
         }
-        (void)edited.Insert(fresh);
+        IgnoreStatusForTest(edited.Insert(fresh));
         break;
       }
     }

@@ -4,6 +4,8 @@
 
 #include <vector>
 
+#include "common/status.h"
+
 namespace medsync {
 namespace {
 
@@ -68,6 +70,23 @@ TEST_F(LoggingTest, LevelNames) {
   EXPECT_EQ(LogLevelName(LogLevel::kInfo), "INFO");
   EXPECT_EQ(LogLevelName(LogLevel::kWarning), "WARN");
   EXPECT_EQ(LogLevelName(LogLevel::kError), "ERROR");
+}
+
+TEST_F(LoggingTest, LogIfErrorEmitsNonOkAtDebug) {
+  Logging::set_threshold(LogLevel::kDebug);
+  LogIfError(Status::OK(), "net", "best-effort send");
+  EXPECT_TRUE(lines_.empty());
+  LogIfError(Status::Unavailable("link down"), "net", "best-effort send");
+  ASSERT_EQ(lines_.size(), 1u);
+  EXPECT_EQ(lines_[0].level, LogLevel::kDebug);
+  EXPECT_EQ(lines_[0].component, "net");
+  EXPECT_EQ(lines_[0].message, "best-effort send: unavailable: link down");
+}
+
+TEST_F(LoggingTest, LogIfErrorRespectsThreshold) {
+  Logging::set_threshold(LogLevel::kInfo);
+  LogIfError(Status::Unavailable("link down"), "net", "best-effort send");
+  EXPECT_TRUE(lines_.empty());
 }
 
 }  // namespace

@@ -275,7 +275,7 @@ TEST(RegistryTest, ConcurrentRegistrationAndUpdatesAreSafe) {
         histogram->Record(static_cast<uint64_t>(i));
         if (i % 64 == 0) {
           tracer.Record(Step(5, 1 + t % 11));
-          (void)registry.Snapshot();  // snapshot racing updates
+          registry.Snapshot();  // snapshot racing updates
         }
       }
     });

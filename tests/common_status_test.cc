@@ -117,5 +117,15 @@ TEST(StrCatTest, ConcatenatesMixedTypes) {
   EXPECT_EQ(StrCat(), "");
 }
 
+// Status and Result<T> are [[nodiscard]]; IgnoreStatusForTest is the one
+// sanctioned way to drop them. This test pins down that it compiles for
+// both shapes (a build failure here means the discard idiom regressed).
+TEST(NodiscardTest, IgnoreStatusForTestAcceptsStatusAndResult) {
+  IgnoreStatusForTest(Status::Unavailable("deliberately dropped"));
+  IgnoreStatusForTest(Result<int>(Status::NotFound("also dropped")));
+  Result<int> ok_result = 42;
+  IgnoreStatusForTest(ok_result);
+}
+
 }  // namespace
 }  // namespace medsync

@@ -315,7 +315,8 @@ TEST_F(ReliableChannelTest, DeterministicUnderLoss) {
       m.from = "";
       m.type = "ping";
       m.payload = Body(std::to_string(i));
-      (void)(i % 2 == 0 ? a.Send(std::move(m)) : b.Send(std::move(m)));
+      IgnoreStatusForTest(i % 2 == 0 ? a.Send(std::move(m))
+                                     : b.Send(std::move(m)));
     }
     simulator.RunFor(60 * kMicrosPerSecond);
     return std::make_tuple(a.stats().sends, a.stats().retries,

@@ -194,8 +194,8 @@ TEST_F(NodeClusterTest, ReorgReexecutesCanonicalChain) {
 TEST_F(NodeClusterTest, MalformedMessagesAreIgnoredWithoutCrashing) {
   BuildCluster(2);
   auto send = [&](const std::string& type, Json payload) {
-    (void)network_->Send(net::Message{"node-1", "node-0", type,
-                                      std::move(payload)});
+    IgnoreStatusForTest(network_->Send(net::Message{"node-1", "node-0", type,
+                                      std::move(payload)}));
   };
   // Garbage of every message type the node handles.
   send("tx", Json("not an object"));
@@ -235,13 +235,13 @@ TEST_F(NodeClusterTest, PeersIgnoreForeignProtocolMessages) {
   simulator_.RunFor(4 * kBlockInterval);
   const chain::Block& head = nodes_[0]->blockchain().head();
   for (int i = 0; i < 3; ++i) {
-    (void)network_->Send(
-        net::Message{"node-1", "node-0", "block", head.ToJson()});
+    IgnoreStatusForTest(network_->Send(
+        net::Message{"node-1", "node-0", "block", head.ToJson()}));
     Json stale = Json::MakeObject();
     stale.Set("hash", head.header.Hash().ToHex());
     stale.Set("height", head.header.height);
-    (void)network_->Send(
-        net::Message{"node-1", "node-0", "head_announce", stale});
+    IgnoreStatusForTest(network_->Send(
+        net::Message{"node-1", "node-0", "head_announce", stale}));
   }
   simulator_.RunFor(3 * kBlockInterval);
   EXPECT_TRUE(nodes_[0]->blockchain().VerifyIntegrity().ok());
@@ -269,6 +269,37 @@ TEST_F(NodeClusterTest, SealEmptyBlocksOption) {
   simulator_.RunFor(5 * kBlockInterval);
   EXPECT_GE(node.blockchain().height(), 4u);
   EXPECT_GE(node.blocks_sealed(), 4u);
+}
+
+// Regression (found by the ASan preset): SealTick reschedules itself with
+// a raw `this`, so destroying a sealing node while its next tick was still
+// queued in the shared simulator was a heap-use-after-free once the event
+// fired. The liveness token (ChainNode::alive_, same idiom as Peer) must
+// turn those queued ticks into no-ops, and the destructor must detach the
+// endpoint so queued deliveries count as dropped instead of landing on
+// freed memory.
+TEST_F(NodeClusterTest, DestroyedNodeLeavesQueuedSealTicksAndTrafficInert) {
+  BuildCluster(3);
+  ASSERT_TRUE(nodes_[1]->SubmitTransaction(DeployTx()).ok());
+  simulator_.RunFor(3 * kBlockInterval);
+  ASSERT_GE(nodes_[1]->blockchain().height(), 1u);
+
+  // Destroy node-1 mid-protocol: its next SealTick and in-flight gossip to
+  // it are still queued.
+  ASSERT_TRUE(network_->IsAttached("node-1"));
+  nodes_[1].reset();
+  EXPECT_FALSE(network_->IsAttached("node-1"));
+
+  // Drive well past the queued events. Under -DMEDSYNC_SANITIZE=address
+  // this is where the dangling tick used to fire. (Liveness is expectedly
+  // lost once PoA rotation reaches the dead authority's turn — the
+  // survivors just must not touch freed memory and must agree.)
+  uint64_t height_at_destroy = nodes_[0]->blockchain().height();
+  ASSERT_TRUE(nodes_[0]->SubmitTransaction(DeployTx()).ok());
+  simulator_.RunFor(5 * kBlockInterval);
+  EXPECT_GE(nodes_[0]->blockchain().height(), height_at_destroy);
+  EXPECT_EQ(nodes_[0]->blockchain().head().header.Hash(),
+            nodes_[2]->blockchain().head().header.Hash());
 }
 
 }  // namespace

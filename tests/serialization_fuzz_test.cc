@@ -129,11 +129,12 @@ TEST_P(FuzzTest, DeltaRoundTripsThroughJson) {
     const relational::Row& victim = rows[rng.NextIndex(rows.size())];
     relational::Key key = relational::KeyOf(after.schema(), victim);
     if (rng.NextBool(0.3)) {
-      (void)after.Delete(key);
+      IgnoreStatusForTest(after.Delete(key));
     } else {
-      (void)after.UpdateAttribute(key, medical::kDosage,
-                                  relational::Value::String(
-                                      rng.NextAlnumString(8)));
+      IgnoreStatusForTest(
+          after.UpdateAttribute(key, medical::kDosage,
+                                relational::Value::String(
+                                    rng.NextAlnumString(8))));
     }
   }
   Result<relational::TableDelta> delta = relational::ComputeDelta(before,

@@ -1,0 +1,45 @@
+#!/usr/bin/env bash
+# One-shot correctness gate (DESIGN.md section 12):
+#   1. configure with thread-safety analysis + exported compile commands
+#   2. build (clang: -Werror=thread-safety; gcc: annotations are no-ops)
+#   3. medsync-lint over the tree + its self-test
+#   4. tier-1 ctest
+#
+# Usage: tools/check.sh [build-dir]          (default: build-check)
+#        tools/check.sh --lint-only [dir]    lint stages only
+#
+# Registered with ctest as `check_gate` (label `lint`) in --lint-only mode:
+# inside a ctest run the configure/build/test stages are already the
+# enclosing run, so only the lint stages add coverage there. The full gate
+# is for pre-push use.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+LINT_ONLY=0
+if [[ "${1:-}" == "--lint-only" ]]; then
+  LINT_ONLY=1
+  shift
+fi
+BUILD_DIR="${1:-build-check}"
+
+if [[ "$LINT_ONLY" == 0 ]]; then
+  echo "== [1/4] configure ($BUILD_DIR) =="
+  cmake -B "$BUILD_DIR" -S . \
+    -DMEDSYNC_THREAD_SAFETY_ANALYSIS=ON \
+    -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
+  echo "== [2/4] build =="
+  cmake --build "$BUILD_DIR" -j"$(nproc)"
+fi
+
+echo "== [3/4] medsync-lint =="
+python3 tools/medsync_lint.py
+python3 tools/medsync_lint_test.py
+
+if [[ "$LINT_ONLY" == 0 ]]; then
+  echo "== [4/4] tier-1 ctest =="
+  # -LE lint: the lint stages just ran above; also keeps the registered
+  # check_gate test from re-entering this script.
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -LE lint -j"$(nproc)"
+fi
+
+echo "check.sh: all gates passed"

@@ -1,0 +1,269 @@
+#!/usr/bin/env python3
+"""medsync-lint: repo-specific invariant linter.
+
+Machine-checks the contracts the compiler cannot see (DESIGN.md section 12):
+
+  MS001 raw-thread      std::thread / std::jthread / std::async outside
+                        src/common/threading/. All concurrency goes through
+                        ThreadPool so the TSan suite and the determinism
+                        tests cover every spawn site.
+  MS002 wall-clock      Wall-clock or libc randomness (std::chrono::
+                        system_clock, time(), rand(), ...) outside
+                        src/common/clock.* / src/common/random.*. The
+                        simulation is deterministic by contract: all time
+                        comes from SimClock, all randomness from
+                        DeterministicRng.
+  MS003 durability      fwrite()/rename() in a file that is not on the
+                        durability allowlist (tools/durability_allowlist.txt).
+                        Files on the list have been audited to fsync before
+                        rename / at commit points; anywhere else a bare
+                        rename is a torn-write waiting for a crash.
+  MS004 test-labels     A test that spawns a ThreadPool must carry the ctest
+                        label `tsan` (so `ctest -L tsan` under
+                        -DMEDSYNC_SANITIZE=thread covers it); a test that
+                        touches FaultInjector must carry `fault`.
+  MS005 status-discard  `(void)` cast of a call expression. Status/Result<T>
+                        are [[nodiscard]]; the one sanctioned discard idiom
+                        is IgnoreStatusForTest() (grep-able, test-only).
+                        `(void)variable;` assert-guards stay legal.
+
+Usage:
+  tools/medsync_lint.py [--root REPO_ROOT]
+
+Exits non-zero if any finding is reported. The self-test
+(tools/medsync_lint_test.py) feeds fixture files violating each rule and
+asserts the right rule id fires, plus a clean run on the real tree.
+"""
+
+from __future__ import annotations
+
+import argparse
+import pathlib
+import re
+import sys
+from typing import List, NamedTuple, Optional, Set
+
+
+class Finding(NamedTuple):
+    path: str
+    line: int
+    rule: str
+    message: str
+
+    def __str__(self) -> str:
+        return f"{self.path}:{self.line}: {self.rule} {self.message}"
+
+
+# ---------------------------------------------------------------------------
+# Source preprocessing: blank out comments and string literals (preserving
+# newlines) so rules only match real code.
+# ---------------------------------------------------------------------------
+
+_LEXER = re.compile(
+    r"""
+      //[^\n]*                      # line comment
+    | /\*.*?\*/                     # block comment
+    | "(?:\\.|[^"\\\n])*"           # string literal
+    | '(?:\\.|[^'\\\n])*'           # char literal
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+
+
+def strip_code(text: str) -> str:
+    """Replaces comments and literal contents with spaces, keeping newlines."""
+
+    def blank(match: re.Match) -> str:
+        return re.sub(r"[^\n]", " ", match.group(0))
+
+    return _LEXER.sub(blank, text)
+
+
+# ---------------------------------------------------------------------------
+# Rules MS001/MS002/MS003/MS005: per-file pattern checks.
+# ---------------------------------------------------------------------------
+
+MS001_PATTERN = re.compile(r"\bstd::(thread|jthread|async)\b")
+MS001_ALLOWED_PREFIXES = ("src/common/threading/",)
+
+MS002_PATTERNS = [
+    re.compile(r"\bstd::chrono::system_clock\b"),
+    re.compile(r"(?<![A-Za-z0-9_:.>])s?rand\s*\("),
+    re.compile(r"(?<![A-Za-z0-9_:.>])time\s*\("),
+    re.compile(r"\b(gettimeofday|clock_gettime|localtime|gmtime)\s*\("),
+]
+MS002_ALLOWED_FILES = (
+    "src/common/clock.h",
+    "src/common/clock.cc",
+    "src/common/random.h",
+    "src/common/random.cc",
+)
+
+MS003_PATTERN = re.compile(r"(?<![A-Za-z0-9_])((?:std::|::)?(?:fwrite|rename))\s*\(")
+
+# `(void)` followed by something that is called: (void)Foo(...),
+# (void)obj.Method(...), (void)ns::Fn(...), (void)ptr->Call(...).
+MS005_PATTERN = re.compile(r"\(\s*void\s*\)\s*[A-Za-z_][A-Za-z0-9_:.]*(?:->[A-Za-z0-9_:.]+)*\s*\(")
+
+
+def _path_allowed(rel: str, prefixes) -> bool:
+    return any(rel.startswith(p) for p in prefixes)
+
+
+def lint_file(path: pathlib.Path, rel: str,
+              durability_allowlist: Set[str]) -> List[Finding]:
+    """Lints one source file. `rel` is the repo-relative path used for rule
+    scoping, so fixture files can masquerade as in-tree paths."""
+    try:
+        text = path.read_text(encoding="utf-8")
+    except (OSError, UnicodeDecodeError) as err:
+        return [Finding(rel, 0, "MS000", f"unreadable source file: {err}")]
+    code = strip_code(text)
+    lines = code.splitlines()
+    findings: List[Finding] = []
+
+    in_src = rel.startswith("src/")
+    for lineno, line in enumerate(lines, start=1):
+        if in_src and not _path_allowed(rel, MS001_ALLOWED_PREFIXES):
+            match = MS001_PATTERN.search(line)
+            if match:
+                findings.append(Finding(
+                    rel, lineno, "MS001",
+                    f"raw {match.group(0)} outside src/common/threading/ — "
+                    "spawn through threading::ThreadPool so TSan and the "
+                    "determinism suite see it"))
+        if in_src and rel not in MS002_ALLOWED_FILES:
+            for pattern in MS002_PATTERNS:
+                match = pattern.search(line)
+                if match:
+                    findings.append(Finding(
+                        rel, lineno, "MS002",
+                        f"wall-clock/libc-random call '{match.group(0).strip()}' "
+                        "outside common/clock / common/random — use SimClock / "
+                        "DeterministicRng (determinism contract)"))
+        if in_src and rel not in durability_allowlist:
+            match = MS003_PATTERN.search(line)
+            if match:
+                findings.append(Finding(
+                    rel, lineno, "MS003",
+                    f"'{match.group(1)}' in a file not on "
+                    "tools/durability_allowlist.txt — bare write/rename "
+                    "without an audited fsync protocol is a torn-write risk"))
+        match = MS005_PATTERN.search(line)
+        if match:
+            findings.append(Finding(
+                rel, lineno, "MS005",
+                "'(void)' cast of a call expression — handle the Status, "
+                "propagate it, or discard by name with IgnoreStatusForTest()"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Rule MS004: tests that spawn pools / touch FaultInjector must be labeled.
+# ---------------------------------------------------------------------------
+
+_PROPERTIES_BLOCK = re.compile(
+    r"set_tests_properties\s*\(\s*(?P<tests>.*?)\bPROPERTIES\s+LABELS\s+"
+    r"(?P<label>[A-Za-z0-9_;\"]+)\s*\)",
+    re.DOTALL,
+)
+_PROPERTY_BLOCK = re.compile(
+    r"set_property\s*\(\s*TEST\s+(?P<tests>.*?)\bAPPEND\s+PROPERTY\s+LABELS\s+"
+    r"(?P<label>[A-Za-z0-9_;\"]+)\s*\)",
+    re.DOTALL,
+)
+
+
+def parse_test_labels(cmake_text: str) -> dict:
+    """Returns {test_name: set(labels)} from a tests/CMakeLists.txt."""
+    labels: dict = {}
+    for block in (_PROPERTIES_BLOCK, _PROPERTY_BLOCK):
+        for match in block.finditer(cmake_text):
+            names = match.group("tests").split()
+            for label in match.group("label").strip('"').split(";"):
+                for name in names:
+                    labels.setdefault(name, set()).add(label)
+    return labels
+
+
+def lint_test_labels(tests_dir: pathlib.Path,
+                     cmake_path: pathlib.Path) -> List[Finding]:
+    findings: List[Finding] = []
+    try:
+        labels = parse_test_labels(cmake_path.read_text(encoding="utf-8"))
+    except OSError as err:
+        return [Finding(str(cmake_path), 0, "MS000",
+                        f"unreadable CMakeLists: {err}")]
+    for src in sorted(tests_dir.glob("*_test.cc")):
+        code = strip_code(src.read_text(encoding="utf-8"))
+        name = src.stem
+        test_labels = labels.get(name, set())
+        if re.search(r"\bThreadPool\b", code) and "tsan" not in test_labels:
+            findings.append(Finding(
+                f"tests/{src.name}", 1, "MS004",
+                f"test '{name}' spawns a ThreadPool but has no `tsan` ctest "
+                "label — add it in tests/CMakeLists.txt so the TSan preset "
+                "covers it"))
+        if re.search(r"\bFaultInjector\b", code) and "fault" not in test_labels:
+            findings.append(Finding(
+                f"tests/{src.name}", 1, "MS004",
+                f"test '{name}' touches FaultInjector but has no `fault` "
+                "ctest label — add it in tests/CMakeLists.txt"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
+# Tree walk.
+# ---------------------------------------------------------------------------
+
+def load_durability_allowlist(path: pathlib.Path) -> Set[str]:
+    allowlist: Set[str] = set()
+    if not path.exists():
+        return allowlist
+    for line in path.read_text(encoding="utf-8").splitlines():
+        entry = line.split("#", 1)[0].strip()
+        if entry:
+            allowlist.add(entry)
+    return allowlist
+
+
+def run_lint(root: pathlib.Path) -> List[Finding]:
+    allowlist = load_durability_allowlist(root / "tools" /
+                                          "durability_allowlist.txt")
+    findings: List[Finding] = []
+    for top in ("src", "tests", "bench", "examples"):
+        base = root / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix not in (".cc", ".h"):
+                continue
+            rel = path.relative_to(root).as_posix()
+            findings.extend(lint_file(path, rel, allowlist))
+    tests_dir = root / "tests"
+    cmake = tests_dir / "CMakeLists.txt"
+    if tests_dir.is_dir() and cmake.exists():
+        findings.extend(lint_test_labels(tests_dir, cmake))
+    return findings
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument(
+        "--root", type=pathlib.Path,
+        default=pathlib.Path(__file__).resolve().parent.parent,
+        help="repository root to lint (default: the checkout containing "
+             "this script)")
+    opts = parser.parse_args(argv)
+    findings = run_lint(opts.root.resolve())
+    for finding in findings:
+        print(finding)
+    if findings:
+        print(f"medsync-lint: {len(findings)} finding(s)", file=sys.stderr)
+        return 1
+    print("medsync-lint: clean")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

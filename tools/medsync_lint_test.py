@@ -1,0 +1,115 @@
+#!/usr/bin/env python3
+"""Self-test for medsync-lint (tools/medsync_lint.py).
+
+Feeds the fixture files under tools/lint_fixtures/ — one per rule — and
+asserts the right rule id fires on each, that the clean fixture and the
+comment/string decoys stay quiet, and that the real tree lints clean.
+Registered with ctest under the `lint` label.
+"""
+
+import pathlib
+import sys
+import unittest
+
+sys.path.insert(0, str(pathlib.Path(__file__).resolve().parent))
+import medsync_lint  # noqa: E402
+
+REPO_ROOT = pathlib.Path(__file__).resolve().parent.parent
+FIXTURES = REPO_ROOT / "tools" / "lint_fixtures"
+
+
+def lint_fixture(name, rel):
+    """Lints a fixture file under a masquerade repo-relative path."""
+    return medsync_lint.lint_file(FIXTURES / name, rel,
+                                  durability_allowlist=set())
+
+
+def rule_ids(findings):
+    return [finding.rule for finding in findings]
+
+
+class RawThreadRuleTest(unittest.TestCase):
+    def test_fires_on_raw_thread_and_async(self):
+        findings = lint_fixture("raw_thread.cc", "src/chain/raw_thread.cc")
+        self.assertEqual(rule_ids(findings), ["MS001", "MS001"])
+        self.assertIn("std::thread", findings[0].message)
+        self.assertEqual(findings[0].path, "src/chain/raw_thread.cc")
+
+    def test_allowed_inside_threading_dir(self):
+        findings = lint_fixture("raw_thread.cc",
+                                "src/common/threading/raw_thread.cc")
+        self.assertEqual(findings, [])
+
+
+class WallClockRuleTest(unittest.TestCase):
+    def test_fires_on_system_clock_time_and_rand(self):
+        findings = lint_fixture("wall_clock.cc", "src/net/wall_clock.cc")
+        self.assertEqual(rule_ids(findings), ["MS002", "MS002", "MS002"])
+        messages = " ".join(finding.message for finding in findings)
+        self.assertIn("system_clock", messages)
+        self.assertIn("rand", messages)
+        self.assertIn("time", messages)
+
+    def test_allowed_inside_clock_and_random(self):
+        for rel in ("src/common/clock.cc", "src/common/random.cc"):
+            self.assertEqual(lint_fixture("wall_clock.cc", rel), [])
+
+
+class DurabilityRuleTest(unittest.TestCase):
+    def test_fires_on_fwrite_and_rename(self):
+        findings = lint_fixture("fsyncless_rename.cc",
+                                "src/runtime/fsyncless_rename.cc")
+        self.assertEqual(rule_ids(findings), ["MS003", "MS003"])
+        self.assertIn("fwrite", findings[0].message)
+        self.assertIn("rename", findings[1].message)
+
+    def test_allowlisted_file_is_quiet(self):
+        findings = medsync_lint.lint_file(
+            FIXTURES / "fsyncless_rename.cc",
+            "src/relational/wal.cc",
+            durability_allowlist={"src/relational/wal.cc"})
+        self.assertEqual(findings, [])
+
+
+class StatusDiscardRuleTest(unittest.TestCase):
+    def test_fires_on_void_casts_of_calls_only(self):
+        findings = lint_fixture("void_discard.cc", "src/core/void_discard.cc")
+        # Three call-expression discards; the variable guard is legal.
+        self.assertEqual(rule_ids(findings), ["MS005", "MS005", "MS005"])
+
+    def test_fires_outside_src_too(self):
+        findings = lint_fixture("void_discard.cc",
+                                "tests/void_discard_test.cc")
+        self.assertEqual(rule_ids(findings), ["MS005", "MS005", "MS005"])
+
+
+class TestLabelRuleTest(unittest.TestCase):
+    def test_unlabeled_pool_and_fault_tests_flagged(self):
+        tests_dir = FIXTURES / "labels" / "tests"
+        findings = medsync_lint.lint_test_labels(
+            tests_dir, tests_dir / "CMakeLists.txt")
+        self.assertEqual(rule_ids(findings), ["MS004", "MS004"])
+        flagged = {finding.message.split("'")[1] for finding in findings}
+        self.assertEqual(flagged, {"pool_spawner_test", "fault_toucher_test"})
+
+    def test_label_parser_reads_both_cmake_syntaxes(self):
+        tests_dir = FIXTURES / "labels" / "tests"
+        labels = medsync_lint.parse_test_labels(
+            (tests_dir / "CMakeLists.txt").read_text())
+        self.assertEqual(labels["labeled_ok_test"], {"tsan", "fault"})
+
+
+class CleanFixtureTest(unittest.TestCase):
+    def test_decoys_do_not_fire(self):
+        self.assertEqual(lint_fixture("clean.cc", "src/core/clean.cc"), [])
+
+
+class CleanTreeTest(unittest.TestCase):
+    def test_real_tree_is_clean(self):
+        findings = medsync_lint.run_lint(REPO_ROOT)
+        self.assertEqual(findings, [],
+                         "\n".join(str(finding) for finding in findings))
+
+
+if __name__ == "__main__":
+    unittest.main()

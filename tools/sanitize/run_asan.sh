@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# One-shot AddressSanitizer pass: configure + build + full ctest suite with
+# leak detection on. Usage: tools/sanitize/run_asan.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+BUILD_DIR="${1:-build-asan}"
+
+cmake -B "$BUILD_DIR" -S . -DMEDSYNC_SANITIZE=address
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+# abort_on_error makes a finding fail the ctest, not just print.
+ASAN_OPTIONS="detect_leaks=1:abort_on_error=1" \
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"

@@ -1,0 +1,11 @@
+#!/usr/bin/env bash
+# One-shot ThreadSanitizer pass over the concurrency suite (ctest -L tsan).
+# Usage: tools/sanitize/run_tsan.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+BUILD_DIR="${1:-build-tsan}"
+
+cmake -B "$BUILD_DIR" -S . -DMEDSYNC_SANITIZE=thread
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+TSAN_OPTIONS="halt_on_error=1" \
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -L tsan -j"$(nproc)"

@@ -1,0 +1,12 @@
+#!/usr/bin/env bash
+# One-shot UndefinedBehaviorSanitizer pass: configure + build + full ctest
+# suite. The build uses -fno-sanitize-recover, so the first UB report aborts
+# the offending test. Usage: tools/sanitize/run_ubsan.sh [build-dir]
+set -euo pipefail
+cd "$(dirname "$0")/../.."
+BUILD_DIR="${1:-build-ubsan}"
+
+cmake -B "$BUILD_DIR" -S . -DMEDSYNC_SANITIZE=undefined
+cmake --build "$BUILD_DIR" -j"$(nproc)"
+UBSAN_OPTIONS="print_stacktrace=1" \
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -j"$(nproc)"
