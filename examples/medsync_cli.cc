@@ -21,14 +21,24 @@
 //   ./build/examples/medsync_cli --demo
 //   echo "update doctor D13&D31 188 a4_dosage 300 mg" | the binary also
 //   works as a filter reading commands from stdin.
+//
+// A second mode drives the seeded hospital-network generator instead of
+// the clinic — the command-line replay handle the soak tests print when a
+// seed fails:
+//
+//   ./build/examples/medsync_cli gen --seed 7 --peers 100 --depth 3 \
+//       [--events 48] [--prefix N]
 
 #include <cstdio>
+#include <filesystem>
 #include <iostream>
 #include <sstream>
 
 #include "common/strings.h"
 #include "core/audit.h"
 #include "core/scenario.h"
+#include "core/scenario_gen.h"
+#include "core/workload.h"
 #include "medical/records.h"
 
 namespace {
@@ -239,7 +249,77 @@ constexpr const char* kDemoScript[] = {
 
 }  // namespace
 
+// `gen` subcommand: expand a seed into a hospital network, replay its
+// generated workload (optionally only a prefix), and print the spec
+// summary, the run report, and the deterministic state fingerprint — the
+// exact run a failing soak seed tells you to reproduce.
+int RunGenMode(int argc, char** argv) {
+  core::GenOptions gen;
+  core::WorkloadOptions workload;
+  gen.peers = 16;
+  size_t prefix = SIZE_MAX;
+  for (int i = 2; i + 1 < argc; i += 2) {
+    const std::string flag = argv[i];
+    const std::string value = argv[i + 1];
+    if (flag == "--seed") {
+      gen.seed = std::stoull(value);
+      workload.seed = gen.seed * 31 + 1;
+    } else if (flag == "--peers") {
+      gen.peers = std::stoull(value);
+    } else if (flag == "--depth") {
+      gen.lens_depth = std::stoull(value);
+    } else if (flag == "--events") {
+      workload.events = std::stoull(value);
+    } else if (flag == "--prefix") {
+      prefix = std::stoull(value);
+    } else if (flag == "--durable") {
+      // Durable consumers make crash/restart events possible; the replay
+      // handles printed by the soak tests pass --durable 1.
+      if (value != "0") {
+        gen.durable_root = StrCat("/tmp/medsync_cli_gen_", gen.seed);
+        std::filesystem::remove_all(gen.durable_root);
+      }
+    } else {
+      std::fprintf(stderr, "unknown flag %s\n", flag.c_str());
+      return 1;
+    }
+  }
+
+  const core::NetworkSpec spec = core::DescribeNetwork(gen);
+  size_t providers = 0;
+  for (const auto& peer : spec.peers) {
+    if (peer.role == core::PeerRole::kProvider) ++providers;
+  }
+  std::printf("network: seed=%llu peers=%zu (%zu providers) tables=%zu "
+              "lens_depth=%zu epoch=%lld\n",
+              static_cast<unsigned long long>(spec.options.seed),
+              spec.peers.size(), providers, spec.tables.size(),
+              spec.options.lens_depth,
+              static_cast<long long>(spec.epoch));
+  const core::Schedule schedule = core::GenerateSchedule(spec, workload);
+  std::printf("schedule: workload_seed=%llu events=%zu\n",
+              static_cast<unsigned long long>(workload.seed),
+              schedule.events.size());
+
+  core::SoakReport report;
+  Status run = core::RunGeneratedSoak(gen, workload, prefix, &report);
+  std::printf("executed=%zu skipped=%zu chain_height=%llu\n", report.executed,
+              report.skipped,
+              static_cast<unsigned long long>(report.chain_height));
+  std::printf("fingerprint=%s\n", report.fingerprint.c_str());
+  if (!run.ok()) {
+    std::printf("FAIL: %s\n", run.ToString().c_str());
+    return 1;
+  }
+  std::printf("PASS\n");
+  return 0;
+}
+
 int main(int argc, char** argv) {
+  if (argc > 1 && std::string(argv[1]) == "gen") {
+    return RunGenMode(argc, argv);
+  }
+
   Cli cli;
   if (!cli.Init()) return 1;
 

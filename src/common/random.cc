@@ -78,6 +78,25 @@ std::vector<uint8_t> Rng::NextBytes(size_t length) {
   return out;
 }
 
+size_t Rng::NextWeightedIndex(const std::vector<double>& weights) {
+  double total = 0.0;
+  for (double w : weights) {
+    if (w > 0.0) total += w;
+  }
+  assert(total > 0.0);
+  double target = NextDouble() * total;
+  for (size_t i = 0; i < weights.size(); ++i) {
+    if (weights[i] <= 0.0) continue;
+    if (target < weights[i]) return i;
+    target -= weights[i];
+  }
+  // Floating-point slack: fall back to the last positive-weight entry.
+  for (size_t i = weights.size(); i-- > 0;) {
+    if (weights[i] > 0.0) return i;
+  }
+  return 0;
+}
+
 Rng Rng::Fork() { return Rng(NextUint64()); }
 
 }  // namespace medsync

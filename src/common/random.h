@@ -43,6 +43,38 @@ class Rng {
   /// component its own stream without correlation.
   Rng Fork();
 
+  /// Picks an index in [0, weights.size()) with probability proportional to
+  /// its weight. Zero-weight entries are never picked; at least one weight
+  /// must be positive.
+  size_t NextWeightedIndex(const std::vector<double>& weights);
+
+  /// In-place Fisher-Yates shuffle driven by this generator (std::shuffle
+  /// is implementation-defined across standard libraries, so seeded
+  /// schedules would not be portable bytes).
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->size() < 2) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      std::swap((*items)[i], (*items)[NextBelow(i + 1)]);
+    }
+  }
+
+  /// Picks a uniformly random element (container must be non-empty).
+  template <typename T>
+  const T& PickOne(const std::vector<T>& items) {
+    return items[NextBelow(items.size())];
+  }
+
+  /// Picks `count` distinct elements (order randomized); if count >= size,
+  /// returns a shuffled copy of everything.
+  template <typename T>
+  std::vector<T> PickDistinct(const std::vector<T>& items, size_t count) {
+    std::vector<T> pool = items;
+    Shuffle(&pool);
+    if (count < pool.size()) pool.resize(count);
+    return pool;
+  }
+
  private:
   uint64_t state_[4];
 };

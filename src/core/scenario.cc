@@ -36,7 +36,7 @@ Result<std::unique_ptr<ClinicScenario>> ClinicScenario::Create(
         std::make_unique<threading::ThreadPool>(options.worker_threads);
   }
   threading::ThreadPool* pool = scenario->pool_.get();
-  scenario->simulator_ = std::make_unique<net::Simulator>();
+  scenario->simulator_ = std::make_unique<net::Simulator>(options.epoch);
   scenario->network_ = std::make_unique<net::Network>(
       scenario->simulator_.get(), options.latency, options.seed);
   scenario->network_->set_metrics(registry);

@@ -59,6 +59,10 @@ struct ScenarioOptions {
   /// settles (deploy/registration run loss-free; the fault-tolerance
   /// machinery then has to carry the actual sharing protocol).
   double drop_probability = 0.0;
+  /// Simulated-time epoch the world starts at (genesis timestamp, first
+  /// seal tick). Generated scenarios derive this from the seed so a seed
+  /// fully describes the run, including every block timestamp.
+  Micros epoch = SimClock::kDefaultEpoch;
 };
 
 /// The fully wired three-stakeholder deployment:

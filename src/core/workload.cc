@@ -1,0 +1,654 @@
+#include "core/workload.h"
+
+#include <algorithm>
+#include <set>
+#include <utility>
+
+#include "common/random.h"
+#include "common/strings.h"
+#include "medical/records.h"
+#include "relational/query.h"
+
+namespace medsync::core {
+
+namespace {
+
+using relational::Table;
+using relational::Value;
+
+/// Runtime preconditions that legitimately stop being true between schedule
+/// generation and replay (an actor crashed, a row got deleted, a crash
+/// target is not idle). These skip the event instead of failing the run;
+/// anything else — including a BX-law violation surfacing synchronously —
+/// is a real failure.
+bool IsSkippable(const Status& status) {
+  return status.IsFailedPrecondition() || status.IsNotFound() ||
+         status.IsAlreadyExists() || status.IsUnavailable() ||
+         status.IsConflict();
+}
+
+/// Keys of `table` whose integer id lies in [lo, hi], in key order.
+std::vector<relational::Key> KeysInRange(const Table& table, int64_t lo,
+                                         int64_t hi) {
+  std::vector<relational::Key> keys;
+  for (const auto& [key, row] : table.rows()) {
+    if (key.empty() || key[0].type() != relational::DataType::kInt) continue;
+    const int64_t id = key[0].AsInt();
+    if (id >= lo && id <= hi) keys.push_back(key);
+  }
+  return keys;
+}
+
+}  // namespace
+
+std::string_view EventKindName(EventKind kind) {
+  switch (kind) {
+    case EventKind::kSourceUpdate:
+      return "source_update";
+    case EventKind::kViewUpdate:
+      return "view_update";
+    case EventKind::kInsertRow:
+      return "insert_row";
+    case EventKind::kDeleteRow:
+      return "delete_row";
+    case EventKind::kRevoke:
+      return "revoke";
+    case EventKind::kGrant:
+      return "grant";
+    case EventKind::kIsolate:
+      return "isolate";
+    case EventKind::kHeal:
+      return "heal";
+    case EventKind::kCrash:
+      return "crash";
+    case EventKind::kRestart:
+      return "restart";
+    case EventKind::kDropStorm:
+      return "drop_storm";
+    case EventKind::kDropCalm:
+      return "drop_calm";
+    case EventKind::kRun:
+      return "run";
+  }
+  return "unknown";
+}
+
+Json WorkloadEvent::ToJson() const {
+  Json out = Json::MakeObject();
+  out.Set("kind", std::string(EventKindName(kind)));
+  out.Set("table", static_cast<uint64_t>(table));
+  out.Set("actor", static_cast<uint64_t>(actor));
+  out.Set("attr", attr);
+  out.Set("arg", arg);
+  out.Set("token", token);
+  return out;
+}
+
+Json Schedule::ToJson() const {
+  Json opts = Json::MakeObject();
+  opts.Set("seed", options.seed);
+  opts.Set("events", static_cast<uint64_t>(options.events));
+  opts.Set("illegal_write_fraction", options.illegal_write_fraction);
+  opts.Set("crash_weight", options.crash_weight);
+  opts.Set("partition_weight", options.partition_weight);
+  opts.Set("storm_weight", options.storm_weight);
+  opts.Set("permission_weight", options.permission_weight);
+  Json out = Json::MakeObject();
+  out.Set("options", std::move(opts));
+  Json array = Json::MakeArray();
+  for (const auto& event : events) array.Append(event.ToJson());
+  out.Set("events", std::move(array));
+  return out;
+}
+
+Schedule GenerateSchedule(const NetworkSpec& spec,
+                          const WorkloadOptions& options) {
+  Schedule schedule;
+  schedule.options = options;
+  Rng rng(options.seed);
+
+  // Symbolic world state so every emitted event is legal at its position.
+  std::vector<std::set<std::string>> revoked(spec.tables.size());
+  std::vector<std::pair<size_t, std::string>> open_revokes;
+  std::set<size_t> isolated;
+  std::set<size_t> crashed;
+  bool storm = false;
+  std::vector<size_t> durable_peers;
+  for (const PeerSpec& peer : spec.peers) {
+    if (peer.durable) durable_peers.push_back(peer.index);
+  }
+
+  auto gap = [&](int64_t floor_ms, int64_t span_ms) {
+    WorkloadEvent run;
+    run.kind = EventKind::kRun;
+    run.arg = (floor_ms + static_cast<int64_t>(rng.NextBelow(
+                              static_cast<uint64_t>(span_ms)))) *
+              kMicrosPerMilli;
+    schedule.events.push_back(std::move(run));
+  };
+
+  // Tables whose authority currently has a consumer attribute to revoke.
+  auto revocable_tables = [&]() {
+    std::vector<size_t> out;
+    for (size_t t = 0; t < spec.tables.size(); ++t) {
+      for (const auto& attr : spec.tables[t].consumer_writable) {
+        if (revoked[t].count(attr) == 0) {
+          out.push_back(t);
+          break;
+        }
+      }
+    }
+    return out;
+  };
+
+  for (size_t n = 0; n < options.events; ++n) {
+    std::vector<EventKind> kinds = {
+        EventKind::kSourceUpdate, EventKind::kViewUpdate,
+        EventKind::kInsertRow,    EventKind::kDeleteRow,
+        EventKind::kRevoke,       EventKind::kGrant,
+        EventKind::kIsolate,      EventKind::kHeal,
+        EventKind::kCrash,        EventKind::kRestart,
+        EventKind::kDropStorm,    EventKind::kDropCalm};
+    const std::vector<size_t> revocable = revocable_tables();
+    const bool can_isolate = isolated.size() + crashed.size() + 1 <
+                             spec.peers.size();
+    const bool can_crash = crashed.size() < durable_peers.size();
+    std::vector<double> weights = {
+        4.0,
+        4.0,
+        2.0,
+        1.5,
+        revocable.empty() ? 0.0 : options.permission_weight,
+        open_revokes.empty() ? 0.0 : options.permission_weight * 0.5,
+        can_isolate ? options.partition_weight : 0.0,
+        isolated.empty() ? 0.0 : options.partition_weight,
+        can_crash ? options.crash_weight : 0.0,
+        crashed.empty() ? 0.0 : options.crash_weight,
+        storm ? 0.0 : options.storm_weight,
+        storm ? options.storm_weight : 0.0};
+
+    WorkloadEvent event;
+    event.kind = kinds[rng.NextWeightedIndex(weights)];
+    event.token = StrCat("e", n, "-", rng.NextAlnumString(6));
+    switch (event.kind) {
+      case EventKind::kSourceUpdate: {
+        event.table = rng.NextBelow(spec.tables.size());
+        const SharedTableSpec& table = spec.tables[event.table];
+        event.actor = table.provider;
+        event.attr = rng.PickOne(table.raw_attributes);
+        event.arg = static_cast<int64_t>(rng.NextBelow(1 << 20));
+        break;
+      }
+      case EventKind::kViewUpdate: {
+        event.table = rng.NextBelow(spec.tables.size());
+        const SharedTableSpec& table = spec.tables[event.table];
+        const bool illegal = rng.NextBool(options.illegal_write_fraction);
+        // Illegal writes must come from the consumer (the provider may
+        // write everything); legal ones are consumer-heavy but mixed.
+        const bool consumer_side =
+            illegal ||
+            (crashed.count(table.consumer) == 0 && rng.NextBool(0.7));
+        event.actor = consumer_side ? table.consumer : table.provider;
+        const std::vector<std::string> view_attrs = table.ViewAttributes();
+        if (illegal) {
+          // An attribute the consumer may NOT write — the contract denies
+          // the cascade mid-flight. Falls back to a legal write when the
+          // consumer may write everything.
+          std::vector<std::string> forbidden;
+          for (const auto& attr : view_attrs) {
+            if (std::find(table.consumer_writable.begin(),
+                          table.consumer_writable.end(),
+                          attr) == table.consumer_writable.end()) {
+              forbidden.push_back(attr);
+            }
+          }
+          event.attr = forbidden.empty() ? rng.PickOne(view_attrs)
+                                         : rng.PickOne(forbidden);
+        } else if (consumer_side) {
+          event.attr = rng.PickOne(table.consumer_writable);
+        } else {
+          event.attr = rng.PickOne(view_attrs);
+        }
+        event.arg = static_cast<int64_t>(rng.NextBelow(1 << 20));
+        break;
+      }
+      case EventKind::kInsertRow:
+      case EventKind::kDeleteRow: {
+        event.table = rng.NextBelow(spec.tables.size());
+        const SharedTableSpec& table = spec.tables[event.table];
+        const bool consumer_side =
+            crashed.count(table.consumer) == 0 && rng.NextBool(0.5);
+        event.actor = consumer_side ? table.consumer : table.provider;
+        event.arg = static_cast<int64_t>(rng.NextBelow(1 << 20));
+        break;
+      }
+      case EventKind::kRevoke: {
+        event.table = rng.PickOne(revocable);
+        const SharedTableSpec& table = spec.tables[event.table];
+        std::vector<std::string> candidates;
+        for (const auto& attr : table.consumer_writable) {
+          if (revoked[event.table].count(attr) == 0) candidates.push_back(attr);
+        }
+        event.attr = rng.PickOne(candidates);
+        event.actor = table.authority;
+        revoked[event.table].insert(event.attr);
+        open_revokes.emplace_back(event.table, event.attr);
+        break;
+      }
+      case EventKind::kGrant: {
+        const auto [table_index, attr] = open_revokes.front();
+        open_revokes.erase(open_revokes.begin());
+        event.table = table_index;
+        event.attr = attr;
+        event.actor = spec.tables[table_index].authority;
+        revoked[table_index].erase(attr);
+        break;
+      }
+      case EventKind::kIsolate: {
+        std::vector<size_t> candidates;
+        for (const PeerSpec& peer : spec.peers) {
+          if (isolated.count(peer.index) == 0 &&
+              crashed.count(peer.index) == 0) {
+            candidates.push_back(peer.index);
+          }
+        }
+        event.actor = rng.PickOne(candidates);
+        isolated.insert(event.actor);
+        break;
+      }
+      case EventKind::kHeal: {
+        std::vector<size_t> candidates(isolated.begin(), isolated.end());
+        event.actor = rng.PickOne(candidates);
+        isolated.erase(event.actor);
+        break;
+      }
+      case EventKind::kCrash: {
+        std::vector<size_t> candidates;
+        for (size_t peer : durable_peers) {
+          if (crashed.count(peer) == 0) candidates.push_back(peer);
+        }
+        event.actor = rng.PickOne(candidates);
+        event.arg = rng.NextBool(0.5) ? 1 : 0;  // bit 0: torn WAL tail
+        crashed.insert(event.actor);
+        break;
+      }
+      case EventKind::kRestart: {
+        std::vector<size_t> candidates(crashed.begin(), crashed.end());
+        event.actor = rng.PickOne(candidates);
+        crashed.erase(event.actor);
+        break;
+      }
+      case EventKind::kDropStorm: {
+        event.arg = 30 + static_cast<int64_t>(rng.NextBelow(121));
+        storm = true;
+        break;
+      }
+      case EventKind::kDropCalm: {
+        storm = false;
+        break;
+      }
+      case EventKind::kRun:
+        break;
+    }
+    schedule.events.push_back(std::move(event));
+    gap(200, 801);
+  }
+
+  // Closers, so a full replay hands the oracles a healable world even
+  // before Finish() runs (prefix replays rely on Finish() instead).
+  if (storm) {
+    WorkloadEvent calm;
+    calm.kind = EventKind::kDropCalm;
+    schedule.events.push_back(std::move(calm));
+    gap(200, 801);
+  }
+  for (size_t peer : isolated) {
+    WorkloadEvent heal;
+    heal.kind = EventKind::kHeal;
+    heal.actor = peer;
+    schedule.events.push_back(std::move(heal));
+    gap(200, 801);
+  }
+  for (size_t peer : crashed) {
+    WorkloadEvent restart;
+    restart.kind = EventKind::kRestart;
+    restart.actor = peer;
+    schedule.events.push_back(std::move(restart));
+    gap(500, 1001);
+  }
+  for (const auto& [table_index, attr] : open_revokes) {
+    WorkloadEvent grant;
+    grant.kind = EventKind::kGrant;
+    grant.table = table_index;
+    grant.attr = attr;
+    grant.actor = spec.tables[table_index].authority;
+    schedule.events.push_back(std::move(grant));
+    gap(200, 801);
+  }
+  WorkloadEvent settle;
+  settle.kind = EventKind::kRun;
+  settle.arg = 10 * kMicrosPerSecond;
+  schedule.events.push_back(std::move(settle));
+  return schedule;
+}
+
+// ---------------------------------------------------------------------------
+// WorkloadRunner
+// ---------------------------------------------------------------------------
+
+Status WorkloadRunner::RunEvent(const WorkloadEvent& event) {
+  const NetworkSpec& spec = scenario_->spec();
+  switch (event.kind) {
+    case EventKind::kRun: {
+      scenario_->RunFor(event.arg);
+      return Status::OK();
+    }
+    case EventKind::kSourceUpdate: {
+      const SharedTableSpec& table = spec.tables[event.table];
+      Peer* provider = scenario_->peer(event.actor);
+      if (provider == nullptr) return Status::FailedPrecondition("actor down");
+      const std::string& source = spec.peers[event.actor].source_table;
+      MEDSYNC_ASSIGN_OR_RETURN(Table snapshot,
+                               provider->database().Snapshot(source));
+      const std::vector<relational::Key> keys =
+          KeysInRange(snapshot, table.key_lo, table.key_hi);
+      if (keys.empty()) return Status::NotFound("no row in range");
+      const relational::Key key =
+          keys[static_cast<size_t>(event.arg) % keys.size()];
+      const std::string attr = event.attr;
+      const std::string token = event.token;
+      return provider->UpdateSourceAndPropagate(
+          source, [&](relational::Database* db) {
+            return db->UpdateAttribute(source, key, attr,
+                                       Value::String(token));
+          });
+    }
+    case EventKind::kViewUpdate: {
+      const SharedTableSpec& table = spec.tables[event.table];
+      Peer* actor = scenario_->peer(event.actor);
+      if (actor == nullptr) return Status::FailedPrecondition("actor down");
+      MEDSYNC_ASSIGN_OR_RETURN(Table view,
+                               actor->ReadSharedTable(table.table_id));
+      if (view.empty()) return Status::NotFound("view is empty");
+      std::vector<relational::Key> keys;
+      for (const auto& [key, row] : view.rows()) keys.push_back(key);
+      const relational::Key& key =
+          keys[static_cast<size_t>(event.arg) % keys.size()];
+      Status updated = actor->UpdateSharedAttribute(
+          table.table_id, key, event.attr, Value::String(event.token));
+      // A synchronous permission denial IS the exercised behaviour, not a
+      // replay failure (the async denial path goes through the contract).
+      if (updated.IsPermissionDenied()) return Status::OK();
+      return updated;
+    }
+    case EventKind::kInsertRow: {
+      const SharedTableSpec& table = spec.tables[event.table];
+      Peer* actor = scenario_->peer(event.actor);
+      if (actor == nullptr) return Status::FailedPrecondition("actor down");
+      MEDSYNC_ASSIGN_OR_RETURN(Table view,
+                               actor->ReadSharedTable(table.table_id));
+      int64_t free_id = -1;
+      for (int64_t id = table.key_lo; id <= table.key_hi; ++id) {
+        if (!view.Contains({Value::Int(id)})) {
+          free_id = id;
+          break;
+        }
+      }
+      if (free_id < 0) return Status::FailedPrecondition("no free id");
+      relational::Row row;
+      for (const auto& attr : view.schema().attributes()) {
+        row.push_back(attr.name == medical::kPatientId
+                          ? Value::Int(free_id)
+                          : Value::String(event.token));
+      }
+      return actor->InsertSharedRow(table.table_id, std::move(row));
+    }
+    case EventKind::kDeleteRow: {
+      const SharedTableSpec& table = spec.tables[event.table];
+      Peer* actor = scenario_->peer(event.actor);
+      if (actor == nullptr) return Status::FailedPrecondition("actor down");
+      MEDSYNC_ASSIGN_OR_RETURN(Table view,
+                               actor->ReadSharedTable(table.table_id));
+      // Only rows in the slack region are deletable, so the populated rows
+      // that source updates target survive the whole run.
+      const PeerSpec& provider = spec.peers[table.provider];
+      const int64_t first_free =
+          provider.id_begin + static_cast<int64_t>(provider.populated);
+      const std::vector<relational::Key> keys =
+          KeysInRange(view, first_free, table.key_hi);
+      if (keys.empty()) return Status::NotFound("no deletable row");
+      return actor->DeleteSharedRow(
+          table.table_id, keys[static_cast<size_t>(event.arg) % keys.size()]);
+    }
+    case EventKind::kRevoke:
+    case EventKind::kGrant: {
+      const SharedTableSpec& table = spec.tables[event.table];
+      Peer* authority = scenario_->peer(event.actor);
+      if (authority == nullptr) {
+        return Status::FailedPrecondition("authority down");
+      }
+      const bool grant = event.kind == EventKind::kGrant;
+      MEDSYNC_RETURN_IF_ERROR(
+          authority
+              ->SubmitChangePermission(table.table_id, event.attr,
+                                       scenario_->peer_address(table.consumer),
+                                       grant)
+              .status());
+      if (grant) {
+        const auto it = std::find(open_revokes_.begin(), open_revokes_.end(),
+                                  std::make_pair(event.table, event.attr));
+        if (it != open_revokes_.end()) open_revokes_.erase(it);
+      } else {
+        open_revokes_.emplace_back(event.table, event.attr);
+      }
+      return Status::OK();
+    }
+    case EventKind::kIsolate: {
+      scenario_->IsolatePeer(event.actor, true);
+      return Status::OK();
+    }
+    case EventKind::kHeal: {
+      scenario_->IsolatePeer(event.actor, false);
+      return Status::OK();
+    }
+    case EventKind::kCrash: {
+      Peer* victim = scenario_->peer(event.actor);
+      if (victim == nullptr) return Status::FailedPrecondition("already down");
+      // A peer crashed with staged (approved-but-unfetched) content strands
+      // it nowhere recoverable; give in-flight work a bounded chance to
+      // drain, then skip the crash rather than corrupt the run.
+      const Micros interval = spec.options.block_interval;
+      for (int round = 0; round < 10 && victim->HasPendingWork(); ++round) {
+        scenario_->RunFor(interval);
+      }
+      return scenario_->CrashPeer(event.actor, (event.arg & 1) != 0);
+    }
+    case EventKind::kRestart: {
+      size_t target = event.actor;
+      if (scenario_->IsUp(target)) {
+        // The scheduled victim survived (its crash was skipped); restart
+        // whichever durable peer is actually down instead.
+        bool found = false;
+        for (size_t i = 0; i < scenario_->peer_count(); ++i) {
+          if (!scenario_->IsUp(i)) {
+            target = i;
+            found = true;
+            break;
+          }
+        }
+        if (!found) return Status::FailedPrecondition("nobody is down");
+      }
+      return scenario_->RestartPeer(target);
+    }
+    case EventKind::kDropStorm: {
+      scenario_->network().set_drop_probability(
+          static_cast<double>(event.arg) / 1000.0);
+      return Status::OK();
+    }
+    case EventKind::kDropCalm: {
+      scenario_->network().set_drop_probability(
+          spec.options.drop_probability);
+      return Status::OK();
+    }
+  }
+  return Status::Internal("unhandled event kind");
+}
+
+Status WorkloadRunner::RunPrefix(size_t prefix) {
+  const size_t count = std::min(prefix, schedule_->events.size());
+  for (size_t i = 0; i < count; ++i) {
+    Status status = RunEvent(schedule_->events[i]);
+    if (status.ok()) {
+      ++executed_;
+    } else if (IsSkippable(status)) {
+      ++skipped_;
+    } else {
+      return Status(status.code(),
+                    StrCat("event ", i, " (",
+                           EventKindName(schedule_->events[i].kind),
+                           "): ", status.message()));
+    }
+  }
+  return Status::OK();
+}
+
+Status WorkloadRunner::SweepStaleViews() {
+  const NetworkSpec& spec = scenario_->spec();
+  for (int round = 0; round < 6; ++round) {
+    size_t swept = 0;
+    for (size_t t = 0; t < spec.tables.size(); ++t) {
+      const SharedTableSpec& table = spec.tables[t];
+      Peer* provider = scenario_->peer(table.provider);
+      Peer* consumer = scenario_->peer(table.consumer);
+      if (provider == nullptr || consumer == nullptr) {
+        return Status::FailedPrecondition(
+            StrCat(table.table_id, ": a sharing peer is down during sweep"));
+      }
+      MEDSYNC_ASSIGN_OR_RETURN(Peer::TableSyncState provider_state,
+                               provider->GetSyncState(table.table_id));
+      MEDSYNC_ASSIGN_OR_RETURN(Peer::TableSyncState consumer_state,
+                               consumer->GetSyncState(table.table_id));
+      MEDSYNC_ASSIGN_OR_RETURN(Table provider_view,
+                               provider->ReadSharedTable(table.table_id));
+      MEDSYNC_ASSIGN_OR_RETURN(Table consumer_view,
+                               consumer->ReadSharedTable(table.table_id));
+      if (!provider_state.needs_refresh && !consumer_state.needs_refresh &&
+          provider_view == consumer_view) {
+        continue;
+      }
+      // A denied cascade left this table stale somewhere. A fresh
+      // provider-side source update (the provider may write every view
+      // attribute) cascades through and re-materializes both views.
+      const std::string& source = spec.peers[table.provider].source_table;
+      MEDSYNC_ASSIGN_OR_RETURN(Table snapshot,
+                               provider->database().Snapshot(source));
+      const std::vector<relational::Key> keys =
+          KeysInRange(snapshot, table.key_lo, table.key_hi);
+      if (keys.empty()) {
+        return Status::FailedPrecondition(
+            StrCat(table.table_id, ": nothing to sweep with"));
+      }
+      const relational::Key key = keys.front();
+      const std::string attr = table.raw_attributes[0];
+      const std::string token = StrCat("sweep-", round, "-", t);
+      MEDSYNC_RETURN_IF_ERROR(provider->UpdateSourceAndPropagate(
+          source, [&](relational::Database* db) {
+            return db->UpdateAttribute(source, key, attr,
+                                       Value::String(token));
+          }));
+      ++swept;
+    }
+    if (swept == 0) return Status::OK();
+    MEDSYNC_RETURN_IF_ERROR(scenario_->SettleAll());
+  }
+  return Status::FailedPrecondition(
+      "views still disagree after 6 sweep rounds");
+}
+
+Status WorkloadRunner::Finish() {
+  const NetworkSpec& spec = scenario_->spec();
+  scenario_->network().set_drop_probability(spec.options.drop_probability);
+  for (size_t i = 0; i < scenario_->peer_count(); ++i) {
+    if (scenario_->IsIsolated(i)) scenario_->IsolatePeer(i, false);
+  }
+  for (size_t i = 0; i < scenario_->peer_count(); ++i) {
+    if (!scenario_->IsUp(i)) {
+      MEDSYNC_RETURN_IF_ERROR(scenario_->RestartPeer(i));
+    }
+  }
+  scenario_->RunFor(5 * spec.options.block_interval);
+  // Re-grant whatever is still revoked so the convergence sweep has full
+  // write permissions to work with.
+  std::vector<std::pair<size_t, std::string>> still_open = open_revokes_;
+  for (const auto& [table_index, attr] : still_open) {
+    const SharedTableSpec& table = spec.tables[table_index];
+    Peer* authority = scenario_->peer(table.authority);
+    if (authority == nullptr) {
+      return Status::FailedPrecondition("authority down in Finish");
+    }
+    MEDSYNC_RETURN_IF_ERROR(
+        authority
+            ->SubmitChangePermission(table.table_id, attr,
+                                     scenario_->peer_address(table.consumer),
+                                     true)
+            .status());
+  }
+  open_revokes_.clear();
+  MEDSYNC_RETURN_IF_ERROR(scenario_->SettleAll());
+  MEDSYNC_RETURN_IF_ERROR(SweepStaleViews());
+  return scenario_->SettleAll();
+}
+
+// ---------------------------------------------------------------------------
+// Soak entry point + shrinker
+// ---------------------------------------------------------------------------
+
+Status RunGeneratedSoak(const GenOptions& gen_options,
+                        const WorkloadOptions& workload_options,
+                        size_t prefix, SoakReport* report) {
+  MEDSYNC_ASSIGN_OR_RETURN(std::unique_ptr<GeneratedScenario> scenario,
+                           GeneratedScenario::Create(gen_options));
+  const Schedule schedule =
+      GenerateSchedule(scenario->spec(), workload_options);
+  WorkloadRunner runner(scenario.get(), &schedule);
+  Status run = runner.RunPrefix(prefix);
+  if (run.ok()) run = runner.Finish();
+  if (report != nullptr) {
+    report->fingerprint = scenario->Fingerprint();
+    report->executed = runner.executed();
+    report->skipped = runner.skipped();
+    report->chain_height = scenario->node(0).blockchain().height();
+  }
+  MEDSYNC_RETURN_IF_ERROR(run);
+  MEDSYNC_RETURN_IF_ERROR(scenario->VerifyConverged());
+  return scenario->VerifyAuditGapless();
+}
+
+size_t ShrinkToMinimalFailingPrefix(
+    const std::function<Status(size_t prefix)>& run, size_t total,
+    Status* failure) {
+  Status at_zero = run(0);
+  if (!at_zero.ok()) {
+    // The world itself fails before any event — bootstrap is the bug.
+    if (failure != nullptr) *failure = at_zero;
+    return 0;
+  }
+  size_t passing = 0;       // largest prefix known to pass
+  size_t failing = total;   // smallest prefix known to fail
+  Status failing_status = Status::OK();
+  while (failing - passing > 1) {
+    const size_t mid = passing + (failing - passing) / 2;
+    Status status = run(mid);
+    if (status.ok()) {
+      passing = mid;
+    } else {
+      failing = mid;
+      failing_status = status;
+    }
+  }
+  if (failing_status.ok()) failing_status = run(failing);
+  if (failure != nullptr) *failure = failing_status;
+  return failing;
+}
+
+}  // namespace medsync::core

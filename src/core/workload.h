@@ -1,0 +1,159 @@
+#ifndef MEDSYNC_CORE_WORKLOAD_H_
+#define MEDSYNC_CORE_WORKLOAD_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/scenario_gen.h"
+
+namespace medsync::core {
+
+/// Seeded mixed-event schedules over a generated network: CRUD storms,
+/// concurrent cascades, permission grant/revoke racing in-flight cascades,
+/// message-loss storms, single-peer partitions, and crash/restart of
+/// durable peers — the whole adversity menu, replayable byte-identically
+/// from (network seed, workload seed).
+
+/// One step of a generated schedule.
+enum class EventKind {
+  /// A provider updates its own source table (Fig. 5 initiator flow).
+  kSourceUpdate,
+  /// A peer updates one attribute of a shared view (Fig. 4 update; a
+  /// deliberate fraction targets non-writable attributes, so the contract
+  /// denies the cascade mid-flight).
+  kViewUpdate,
+  /// Insert / delete a row of a shared view (entry-level Create/Delete).
+  kInsertRow,
+  kDeleteRow,
+  /// The table's authority revokes / grants the consumer's write permission
+  /// on a tracked attribute (grant closes the oldest open revoke).
+  kRevoke,
+  kGrant,
+  /// Cut / heal every link of one peer (single-peer partition).
+  kIsolate,
+  kHeal,
+  /// Crash / restart a durable peer (kCrash's arg bit 0 picks a torn WAL
+  /// tail).
+  kCrash,
+  kRestart,
+  /// Raise / clear the network drop probability (arg = permille).
+  kDropStorm,
+  kDropCalm,
+  /// Let simulated time pass (arg = microseconds).
+  kRun
+};
+
+std::string_view EventKindName(EventKind kind);
+
+struct WorkloadEvent {
+  EventKind kind = EventKind::kRun;
+  /// Index into spec.tables (kSourceUpdate/kViewUpdate/kInsertRow/
+  /// kDeleteRow/kRevoke/kGrant); unused otherwise.
+  size_t table = 0;
+  /// Peer index performing (or suffering) the event.
+  size_t actor = 0;
+  /// Attribute the event touches (view-side name), when applicable.
+  std::string attr;
+  /// Kind-specific argument: row ordinal, run microseconds, drop permille,
+  /// or crash flags (bit 0 = torn WAL tail).
+  int64_t arg = 0;
+  /// Unique deterministic payload token written into the touched cell.
+  std::string token;
+
+  Json ToJson() const;
+};
+
+struct WorkloadOptions {
+  uint64_t seed = 1;
+  /// Number of generated action events (each is followed by a short kRun
+  /// gap, and the schedule ends with closers + a settling run).
+  size_t events = 48;
+  /// Fraction of kViewUpdate events that deliberately target an attribute
+  /// the actor may NOT write, exercising the denial path mid-cascade.
+  double illegal_write_fraction = 0.2;
+  /// Relative weights of the adversity events (0 disables one).
+  double crash_weight = 1.0;
+  double partition_weight = 1.0;
+  double storm_weight = 1.0;
+  double permission_weight = 2.0;
+};
+
+/// A generated event schedule. Canonical JSON bytes (ToJson().Dump()) are
+/// the replay/shrink contract.
+struct Schedule {
+  WorkloadOptions options;
+  std::vector<WorkloadEvent> events;
+
+  Json ToJson() const;
+};
+
+/// Expands (spec, options) into a schedule. Pure and deterministic: the
+/// generator tracks open revokes/partitions/crashes/storms symbolically, so
+/// every emitted event is legal at its position without consulting a live
+/// network.
+Schedule GenerateSchedule(const NetworkSpec& spec,
+                          const WorkloadOptions& options);
+
+/// Replays a schedule (or a prefix of it) against a live scenario.
+class WorkloadRunner {
+ public:
+  WorkloadRunner(GeneratedScenario* scenario, const Schedule* schedule)
+      : scenario_(scenario), schedule_(schedule) {}
+
+  /// Runs the first `prefix` events (SIZE_MAX = all). Events whose
+  /// precondition no longer holds at runtime (actor down, no row to
+  /// delete, crash target not idle) are counted as skipped, not errors;
+  /// any other synchronous failure aborts the run.
+  Status RunPrefix(size_t prefix);
+
+  /// Closes the run so the convergence oracles apply: calms storms, heals
+  /// partitions, restarts crashed peers, re-grants open revokes, then
+  /// sweeps every table that a denied cascade left stale until all views
+  /// agree.
+  Status Finish();
+
+  size_t executed() const { return executed_; }
+  size_t skipped() const { return skipped_; }
+
+ private:
+  Status RunEvent(const WorkloadEvent& event);
+  Status SweepStaleViews();
+
+  GeneratedScenario* scenario_;
+  const Schedule* schedule_;
+  size_t executed_ = 0;
+  size_t skipped_ = 0;
+  /// (table index, attr) revokes currently open, re-granted by Finish().
+  std::vector<std::pair<size_t, std::string>> open_revokes_;
+};
+
+/// One end-to-end soak run: generate the network and schedule from the two
+/// seeds, replay `prefix` events (SIZE_MAX = all), finish, and check every
+/// oracle (convergence, audit gaplessness). Fills `report` with the final
+/// state fingerprint either way.
+struct SoakReport {
+  std::string fingerprint;
+  size_t executed = 0;
+  size_t skipped = 0;
+  uint64_t chain_height = 0;
+};
+
+Status RunGeneratedSoak(const GenOptions& gen_options,
+                        const WorkloadOptions& workload_options,
+                        size_t prefix, SoakReport* report);
+
+/// Shrinks a failing schedule to the smallest failing prefix by binary
+/// search, assuming failure monotonicity in practice (a prefix that fails
+/// keeps failing with more events appended — true for the deterministic
+/// replay). `run` executes a prefix and returns its oracle status; `total`
+/// is the full schedule length. Returns the smallest failing prefix length
+/// found and stores its failure in `*failure`.
+size_t ShrinkToMinimalFailingPrefix(
+    const std::function<Status(size_t prefix)>& run, size_t total,
+    Status* failure);
+
+}  // namespace medsync::core
+
+#endif  // MEDSYNC_CORE_WORKLOAD_H_

@@ -1,0 +1,123 @@
+// A permission revocation racing an in-flight cascade. The doctor updates
+// the medication name in the patient-doctor table while the researcher —
+// the authority over "D23&D32" — submits a revocation of the doctor's
+// row permission on that table before the cascade can reach it (the
+// medication name is D32's key, so the cascade arrives as a kind=replace
+// checked against row membership). The revocation seals first, so the
+// contract denies the cascade's request_update; the audit trail must then
+// show the researcher table's committed history ending at the revocation
+// block, with only the DENIED attempt after it. A re-grant plus a fresh
+// update heals the lag.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "contracts/metadata_contract.h"
+#include "core/audit.h"
+#include "core/scenario.h"
+#include "medical/records.h"
+
+namespace medsync::core {
+namespace {
+
+using medical::kMedicationName;
+using relational::Value;
+
+constexpr char kPD[] = "D13&D31";
+constexpr char kDR[] = "D23&D32";
+
+TEST(RevocationRaceTest, RevocationMidCascadeDeniesAndPinsTheAuditTrail) {
+  ScenarioOptions options;
+  auto created = ClinicScenario::Create(options);
+  ASSERT_TRUE(created.ok()) << created.status();
+  ClinicScenario& clinic = **created;
+
+  // Fire the update and the revocation back to back — no settling in
+  // between, so both race toward the same sealing window. The doctor's
+  // cascade into D23&D32 only starts after its D13&D31 update commits,
+  // which guarantees the revocation executes first.
+  ASSERT_TRUE(clinic.doctor()
+                  .UpdateSharedAttribute(kPD, {Value::Int(188)},
+                                         kMedicationName,
+                                         Value::String("Naproxen"))
+                  .ok());
+  auto revoke_tx = clinic.researcher().SubmitChangePermission(
+      kDR, contracts::MetadataContract::kRowsPermission,
+      clinic.doctor().address(), /*grant=*/false);
+  ASSERT_TRUE(revoke_tx.ok()) << revoke_tx.status();
+  ASSERT_TRUE(clinic.SettleAll().ok());
+
+  // The patient-doctor table converged on the new name...
+  EXPECT_EQ(clinic.patient()
+                .database()
+                .Snapshot("D1")
+                ->Get({Value::Int(188)})
+                ->at(1)
+                .AsString(),
+            "Naproxen");
+  // ...but the cascade into the researcher's table was denied: the old
+  // medication row survives on the researcher side and the doctor knows
+  // its D32 replica lags D3.
+  EXPECT_TRUE(clinic.researcher().database().Snapshot("D2")->Contains(
+      {Value::String("Ibuprofen")}));
+  ASSERT_TRUE(clinic.doctor().GetSyncState(kDR).ok());
+  EXPECT_TRUE(clinic.doctor().GetSyncState(kDR)->needs_refresh);
+
+  // Audit trail of the researcher table: find the revocation block, then
+  // check no COMMITTED update traffic exists after it and that the denied
+  // request_update is recorded behind it with a permission denial.
+  const std::vector<AuditRecord> trail = BuildAuditTrail(
+      clinic.node(0).blockchain(), clinic.node(0).host(), kDR);
+  uint64_t revoke_height = 0;
+  for (const AuditRecord& record : trail) {
+    if (record.tx_id == *revoke_tx) {
+      EXPECT_EQ(record.method, "change_permission");
+      EXPECT_TRUE(record.committed) << record.denial_reason;
+      revoke_height = record.block_height;
+    }
+  }
+  ASSERT_GT(revoke_height, 0u) << "revocation transaction not on chain";
+
+  bool saw_denied_request_after_revoke = false;
+  for (const AuditRecord& record : trail) {
+    if (record.block_height <= revoke_height) continue;
+    // Committed history of the researcher table ends at the revocation
+    // block — everything after it must be the denied attempt(s).
+    EXPECT_FALSE(record.committed)
+        << record.method << " committed at height " << record.block_height
+        << " after the revocation at " << revoke_height;
+    if (record.method == "request_update" && !record.committed) {
+      saw_denied_request_after_revoke = true;
+      EXPECT_NE(record.denial_reason.find("may not"), std::string::npos)
+          << record.denial_reason;
+    }
+  }
+  EXPECT_TRUE(saw_denied_request_after_revoke);
+
+  // Re-grant and push a fresh update: the next cascade re-derives the
+  // whole view, so the researcher catches up on the missed change too.
+  ASSERT_TRUE(clinic.researcher()
+                  .SubmitChangePermission(
+                      kDR, contracts::MetadataContract::kRowsPermission,
+                      clinic.doctor().address(), /*grant=*/true)
+                  .ok());
+  ASSERT_TRUE(clinic.SettleAll().ok());
+  ASSERT_TRUE(clinic.doctor()
+                  .UpdateSharedAttribute(kPD, {Value::Int(188)},
+                                         kMedicationName,
+                                         Value::String("Naproxen-XR"))
+                  .ok());
+  ASSERT_TRUE(clinic.SettleAll().ok());
+
+  EXPECT_TRUE(clinic.researcher().database().Snapshot("D2")->Contains(
+      {Value::String("Naproxen-XR")}));
+  EXPECT_FALSE(clinic.researcher().database().Snapshot("D2")->Contains(
+      {Value::String("Ibuprofen")}));
+  ASSERT_TRUE(clinic.doctor().GetSyncState(kDR).ok());
+  EXPECT_FALSE(clinic.doctor().GetSyncState(kDR)->needs_refresh);
+}
+
+}  // namespace
+}  // namespace medsync::core

@@ -7,6 +7,10 @@
 #
 # Usage: tools/check.sh [build-dir]          (default: build-check)
 #        tools/check.sh --lint-only [dir]    lint stages only
+#        tools/check.sh --full [dir]         also run the `soak` label
+#                                            (generated 100-peer networks,
+#                                            ~3 min serial; see DESIGN.md
+#                                            section 13)
 #
 # Registered with ctest as `check_gate` (label `lint`) in --lint-only mode:
 # inside a ctest run the configure/build/test stages are already the
@@ -16,8 +20,12 @@ set -euo pipefail
 cd "$(dirname "$0")/.."
 
 LINT_ONLY=0
+FULL=0
 if [[ "${1:-}" == "--lint-only" ]]; then
   LINT_ONLY=1
+  shift
+elif [[ "${1:-}" == "--full" ]]; then
+  FULL=1
   shift
 fi
 BUILD_DIR="${1:-build-check}"
@@ -38,8 +46,15 @@ python3 tools/medsync_lint_test.py
 if [[ "$LINT_ONLY" == 0 ]]; then
   echo "== [4/4] tier-1 ctest =="
   # -LE lint: the lint stages just ran above; also keeps the registered
-  # check_gate test from re-entering this script.
-  ctest --test-dir "$BUILD_DIR" --output-on-failure -LE lint -j"$(nproc)"
+  # check_gate test from re-entering this script. The generated soak suite
+  # (label `soak`) is excluded from the default tier and included by
+  # --full.
+  EXCLUDE='lint|soak'
+  if [[ "$FULL" == 1 ]]; then
+    EXCLUDE='lint'
+  fi
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -LE "$EXCLUDE" \
+    -j"$(nproc)"
 fi
 
 echo "check.sh: all gates passed"

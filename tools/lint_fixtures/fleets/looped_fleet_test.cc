@@ -1,0 +1,11 @@
+// MS006 fixture: a Peer constructed inside a loop — a hand-rolled fleet.
+#include "core/peer.h"
+
+void BuildFleet() {
+  std::vector<std::unique_ptr<core::Peer>> peers;
+  for (size_t i = 0; i < 10; ++i) {
+    core::PeerConfig config;
+    peers.push_back(
+        std::make_unique<core::Peer>(config, nullptr, nullptr, nullptr));
+  }
+}

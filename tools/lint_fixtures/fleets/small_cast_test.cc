@@ -1,0 +1,16 @@
+// MS006 fixture: up to three direct Peers outside any loop is legal — the
+// clinic-plus-one-extra idiom the existing tests use.
+#include "core/peer.h"
+
+void BuildSmallCast() {
+  auto extra = std::make_unique<core::Peer>(core::PeerConfig{}, nullptr,
+                                            nullptr, nullptr);
+  auto other = std::make_unique<core::Peer>(core::PeerConfig{}, nullptr,
+                                            nullptr, nullptr);
+  // A loop that does NOT construct peers must not count as a fleet.
+  for (int i = 0; i < 3; ++i) {
+    extra->Start();
+  }
+  auto third = std::make_unique<core::Peer>(core::PeerConfig{}, nullptr,
+                                            nullptr, nullptr);
+}

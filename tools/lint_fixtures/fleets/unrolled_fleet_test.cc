@@ -1,0 +1,11 @@
+// MS006 fixture: four direct Peer constructions, no loop — still a fleet.
+#include "core/peer.h"
+
+void BuildFleet() {
+  auto a = std::make_unique<core::Peer>(core::PeerConfig{}, nullptr, nullptr,
+                                        nullptr);
+  auto b = std::make_unique<Peer>(core::PeerConfig{}, nullptr, nullptr,
+                                  nullptr);
+  auto c = new core::Peer(core::PeerConfig{}, nullptr, nullptr, nullptr);
+  auto d = new Peer(core::PeerConfig{}, nullptr, nullptr, nullptr);
+}

@@ -26,6 +26,12 @@ Machine-checks the contracts the compiler cannot see (DESIGN.md section 12):
                         are [[nodiscard]]; the one sanctioned discard idiom
                         is IgnoreStatusForTest() (grep-able, test-only).
                         `(void)variable;` assert-guards stay legal.
+  MS006 peer-fleet      A test that hand-rolls a peer fleet (more than three
+                        direct Peer constructions, or a Peer constructed in
+                        a loop). Multi-peer worlds come from the seeded
+                        generator (core::GeneratedScenario, DESIGN.md
+                        section 13) so seeds, adversity schedules, and the
+                        soak oracles apply.
 
 Usage:
   tools/medsync_lint.py [--root REPO_ROOT]
@@ -213,6 +219,63 @@ def lint_test_labels(tests_dir: pathlib.Path,
 
 
 # ---------------------------------------------------------------------------
+# Rule MS006: hand-rolled peer fleets in tests.
+# ---------------------------------------------------------------------------
+
+MS006_PATTERN = re.compile(
+    r"\bmake_unique<\s*(?:core::)?Peer\s*>|\bnew\s+(?:core::)?Peer\b")
+MS006_LOOP = re.compile(r"\b(?:for|while)\s*\(")
+# A loop header at most this many lines above a construction is considered
+# (heuristic; the loop body of a fleet builder is short).
+MS006_LOOP_WINDOW = 8
+MS006_MAX_DIRECT_PEERS = 3
+
+
+def _inside_open_loop(lines: List[str], site_lineno: int) -> bool:
+    """True if a for/while within the window above `site_lineno` has not
+    closed its braces again by the site — i.e. the construction sits in the
+    loop body, not merely below a finished loop."""
+    site = site_lineno - 1  # 0-based index of the construction line
+    lo = max(0, site - MS006_LOOP_WINDOW)
+    for j in range(site - 1, lo - 1, -1):
+        if not MS006_LOOP.search(lines[j]):
+            continue
+        balance = sum(line.count("{") - line.count("}")
+                      for line in lines[j:site])
+        if balance > 0:
+            return True
+    return False
+
+
+def lint_peer_fleets(tests_dir: pathlib.Path) -> List[Finding]:
+    findings: List[Finding] = []
+    for src in sorted(tests_dir.glob("*_test.cc")):
+        code = strip_code(src.read_text(encoding="utf-8"))
+        lines = code.splitlines()
+        sites = [lineno for lineno, line in enumerate(lines, start=1)
+                 if MS006_PATTERN.search(line)]
+        if not sites:
+            continue
+        looped = None
+        for lineno in sites:
+            if _inside_open_loop(lines, lineno):
+                looped = lineno
+                break
+        if len(sites) <= MS006_MAX_DIRECT_PEERS and looped is None:
+            continue
+        how = (f"Peer constructed in a loop at line {looped}"
+               if looped is not None
+               else f"{len(sites)} direct Peer constructions")
+        findings.append(Finding(
+            f"tests/{src.name}", sites[0], "MS006",
+            f"hand-rolled peer fleet ({how}) — build multi-peer worlds with "
+            "the seeded generator (core::GeneratedScenario, "
+            "src/core/scenario_gen.h) so seeds, adversity schedules, and "
+            "the soak oracles apply"))
+    return findings
+
+
+# ---------------------------------------------------------------------------
 # Tree walk.
 # ---------------------------------------------------------------------------
 
@@ -244,6 +307,8 @@ def run_lint(root: pathlib.Path) -> List[Finding]:
     cmake = tests_dir / "CMakeLists.txt"
     if tests_dir.is_dir() and cmake.exists():
         findings.extend(lint_test_labels(tests_dir, cmake))
+    if tests_dir.is_dir():
+        findings.extend(lint_peer_fleets(tests_dir))
     return findings
 
 

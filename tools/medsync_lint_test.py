@@ -99,6 +99,19 @@ class TestLabelRuleTest(unittest.TestCase):
         self.assertEqual(labels["labeled_ok_test"], {"tsan", "fault"})
 
 
+class PeerFleetRuleTest(unittest.TestCase):
+    def test_looped_and_unrolled_fleets_flagged_small_cast_quiet(self):
+        findings = medsync_lint.lint_peer_fleets(FIXTURES / "fleets")
+        self.assertEqual(rule_ids(findings), ["MS006", "MS006"])
+        flagged = {finding.path for finding in findings}
+        self.assertEqual(flagged, {"tests/looped_fleet_test.cc",
+                                   "tests/unrolled_fleet_test.cc"})
+        messages = " ".join(finding.message for finding in findings)
+        self.assertIn("in a loop", messages)
+        self.assertIn("4 direct Peer constructions", messages)
+        self.assertIn("GeneratedScenario", messages)
+
+
 class CleanFixtureTest(unittest.TestCase):
     def test_decoys_do_not_fire(self):
         self.assertEqual(lint_fixture("clean.cc", "src/core/clean.cc"), [])
