@@ -10,6 +10,7 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
+#include <cstdio>
 
 #include "bx/compose_lens.h"
 #include "bx/lens_factory.h"
@@ -44,16 +45,36 @@ struct HubWorld {
   void Settle() {
     for (int i = 0; i < 600; ++i) {
       simulator->RunFor(kBlockInterval);
-      bool idle = node->mempool().empty() && !doctor->HasPendingWork();
+      bool idle = node->mempools_empty() && !doctor->HasPendingWork();
       for (auto& patient : patients) {
         idle = idle && !patient->HasPendingWork();
       }
       if (idle) return;
     }
+    // Diagnose before dying: a bare abort here hides WHICH lane or peer is
+    // wedged, which is the one thing needed to debug a stuck settle.
+    std::fprintf(stderr,
+                 "HubWorld::Settle: not idle after 600 block intervals "
+                 "(sim now=%lld us)\n",
+                 static_cast<long long>(simulator->Now()));
+    for (size_t lane = 0; lane < node->lane_count(); ++lane) {
+      std::fprintf(stderr, "  lane %zu: mempool=%zu txs, height=%llu\n", lane,
+                   node->mempool(lane).size(),
+                   static_cast<unsigned long long>(
+                       node->blockchain(lane).height()));
+    }
+    std::fprintf(stderr, "  peer hub-doctor: pending_work=%d\n",
+                 doctor->HasPendingWork() ? 1 : 0);
+    for (size_t i = 0; i < patients.size(); ++i) {
+      if (!patients[i]->HasPendingWork()) continue;
+      std::fprintf(stderr, "  peer hub-patient-%zu: pending_work=1\n", i);
+    }
     std::abort();
   }
 
-  static std::unique_ptr<HubWorld> Create(size_t patient_count) {
+  static std::unique_ptr<HubWorld> Create(size_t patient_count,
+                                          size_t lane_count = 1,
+                                          size_t max_block_txs = 256) {
     auto world = std::make_unique<HubWorld>();
     world->simulator = std::make_unique<net::Simulator>();
     world->network = std::make_unique<net::Network>(
@@ -62,14 +83,17 @@ struct HubWorld {
     auto key = std::make_shared<crypto::KeyPair>(
         crypto::KeyPair::FromSeed("hub-authority"));
     auto sealer = std::make_shared<chain::PoaSealer>(
-        std::vector<crypto::Address>{key->address()}, key);
+        std::vector<crypto::Address>{key->address()}, key,
+        /*slot_interval=*/kBlockInterval);
     auto host = std::make_unique<contracts::ContractHost>();
     host->RegisterType("metadata", contracts::MetadataContract::Create);
     runtime::NodeConfig node_config;
     node_config.id = "hub-node";
     node_config.block_interval = kBlockInterval;
-    node_config.max_block_txs = 256;
+    node_config.max_block_txs = max_block_txs;
     node_config.sealing_enabled = true;
+    node_config.lane_count = lane_count;
+    node_config.lane_key = contracts::SharedDataLaneKey;
     world->node = std::make_unique<runtime::ChainNode>(
         node_config, world->simulator.get(), world->network.get(),
         std::move(sealer), chain::Blockchain::MakeGenesis(0),
@@ -187,6 +211,48 @@ BENCHMARK(BM_SharingRelationshipsScale)
     ->Arg(4)
     ->Arg(16)
     ->Arg(32);
+
+void BM_LaneShardingScale(benchmark::State& state) {
+  // Lane sweep: the same 32-relationship hub world with a DELIBERATELY
+  // tight per-block budget (4 txs), so the single-lane chain serializes a
+  // round over many block intervals. Sharding the chain into L lanes
+  // (tables hash-spread via SharedDataLaneKey) seals up to L blocks per
+  // interval, so aggregate committed updates per simulated second scale
+  // with the lane count until the spread evens out.
+  constexpr size_t kPatients = 32;
+  const size_t lanes = static_cast<size_t>(state.range(0));
+  auto world = HubWorld::Create(kPatients, lanes, /*max_block_txs=*/4);
+  uint64_t round = 0;
+  for (auto _ : state) {
+    Micros start = world->simulator->Now();
+    for (size_t i = 0; i < kPatients; ++i) {
+      Status s = world->doctor->UpdateSharedAttribute(
+          world->table_ids[i], {Value::Int(static_cast<int64_t>(1 + i))},
+          kDosage, Value::String(StrCat("lane-dose-", round, "-", i)));
+      if (!s.ok()) std::abort();
+    }
+    ++round;
+    world->Settle();
+    state.SetIterationTime(
+        static_cast<double>(world->simulator->Now() - start) /
+        kMicrosPerSecond);
+  }
+  // items/s = committed updates per simulated second (aggregate).
+  state.SetItemsProcessed(state.iterations() * kPatients);
+  state.counters["lanes"] = static_cast<double>(lanes);
+  uint64_t total_height = 0;
+  for (size_t lane = 0; lane < world->node->lane_count(); ++lane) {
+    total_height += world->node->blockchain(lane).height();
+  }
+  state.counters["total_blocks"] = static_cast<double>(total_height);
+}
+BENCHMARK(BM_LaneShardingScale)
+    ->UseManualTime()
+    ->Iterations(3)
+    ->Arg(1)
+    ->Arg(2)
+    ->Arg(4)
+    ->Arg(8);
 
 void BM_DependencyCheckScale_Threaded(benchmark::State& state) {
   // How the provider-side dependency check scales with the NUMBER of

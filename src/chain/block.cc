@@ -8,6 +8,7 @@ namespace {
 Json HeaderJsonWithoutSeal(const BlockHeader& header) {
   Json out = Json::MakeObject();
   out.Set("height", header.height);
+  out.Set("lane", static_cast<int64_t>(header.lane));
   out.Set("parent", header.parent.ToHex());
   out.Set("merkle_root", header.merkle_root.ToHex());
   out.Set("timestamp", header.timestamp);
@@ -45,6 +46,8 @@ Result<BlockHeader> BlockHeader::FromJson(const Json& json) {
   bool ok = false;
   MEDSYNC_ASSIGN_OR_RETURN(int64_t height, json.GetInt("height"));
   header.height = static_cast<uint64_t>(height);
+  MEDSYNC_ASSIGN_OR_RETURN(int64_t lane, json.GetInt("lane"));
+  header.lane = static_cast<uint32_t>(lane);
   MEDSYNC_ASSIGN_OR_RETURN(std::string parent_hex, json.GetString("parent"));
   header.parent = crypto::Hash256::FromHex(parent_hex, &ok);
   if (!ok) return Status::InvalidArgument("bad parent hash");

@@ -23,6 +23,7 @@ namespace medsync::chain {
 /// deployment it compares against).
 struct BlockHeader {
   uint64_t height = 0;
+  uint32_t lane = 0;          // chain lane this block extends (sharding)
   crypto::Hash256 parent;
   crypto::Hash256 merkle_root;
   Micros timestamp = 0;

@@ -7,9 +7,10 @@
 
 namespace medsync::chain {
 
-Block Blockchain::MakeGenesis(Micros timestamp) {
+Block Blockchain::MakeGenesis(Micros timestamp, uint32_t lane) {
   Block genesis;
   genesis.header.height = 0;
+  genesis.header.lane = lane;
   genesis.header.parent = crypto::Hash256::Zero();
   genesis.header.timestamp = timestamp;
   genesis.header.merkle_root = genesis.ComputeMerkleRoot();
@@ -18,7 +19,8 @@ Block Blockchain::MakeGenesis(Micros timestamp) {
 
 Blockchain::Blockchain(Block genesis, const Sealer* sealer,
                        ConflictKeyFn conflict_key, threading::ThreadPool* pool)
-    : sealer_(sealer), conflict_key_(std::move(conflict_key)), pool_(pool) {
+    : sealer_(sealer), conflict_key_(std::move(conflict_key)), pool_(pool),
+      lane_(genesis.header.lane) {
   assert(genesis.header.height == 0);
   genesis_hash_ = genesis.header.Hash();
   head_hash_ = genesis_hash_;
@@ -107,6 +109,11 @@ Status Blockchain::AddBlock(Block block) {
   if (blocks_.count(hash_hex) > 0) {
     return Status::AlreadyExists(StrCat("block ", hash_hex.substr(0, 8),
                                         " already known"));
+  }
+  if (block.header.lane != lane_) {
+    return Status::InvalidArgument(
+        StrCat("block ", hash_hex.substr(0, 8), " is stamped for lane ",
+               block.header.lane, " but this chain seals lane ", lane_));
   }
   auto parent_it = blocks_.find(block.header.parent.ToHex());
   if (parent_it == blocks_.end()) {

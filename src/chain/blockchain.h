@@ -45,7 +45,9 @@ class Blockchain {
   void set_metrics(metrics::MetricsRegistry* registry);
 
   /// A deterministic genesis block (height 0, zero parent, no seal).
-  static Block MakeGenesis(Micros timestamp);
+  /// `lane` stamps the genesis header so per-lane chains hash distinctly
+  /// and every descendant block is pinned to the lane (see AddBlock).
+  static Block MakeGenesis(Micros timestamp, uint32_t lane = 0);
 
   /// Validates and inserts `block`. Returns:
   ///  * OK — inserted (the head may or may not have changed);
@@ -60,6 +62,10 @@ class Blockchain {
 
   const Block& genesis() const;
   const Block& head() const;
+  /// The lane this chain seals (from the genesis header). AddBlock rejects
+  /// blocks stamped for another lane, so one lane's history can never
+  /// splice into another's even if a hash collision of heights occurs.
+  uint32_t lane() const { return lane_; }
   uint64_t height() const { return head().header.height; }
   size_t block_count() const { return blocks_.size(); }
 
@@ -97,6 +103,7 @@ class Blockchain {
   const Sealer* sealer_;
   ConflictKeyFn conflict_key_;
   threading::ThreadPool* pool_;
+  uint32_t lane_ = 0;
   std::map<std::string, Node> blocks_;  // keyed by hex block hash
   crypto::Hash256 genesis_hash_;
   crypto::Hash256 head_hash_;

@@ -1,0 +1,31 @@
+#include "chain/lanes.h"
+
+namespace medsync::chain {
+
+uint64_t StableLaneHash(const std::string& key) {
+  // FNV-1a, 64-bit. Chosen over std::hash for cross-toolchain stability.
+  uint64_t h = 14695981039346656037ull;
+  for (unsigned char c : key) {
+    h ^= static_cast<uint64_t>(c);
+    h *= 1099511628211ull;
+  }
+  return h;
+}
+
+uint32_t LaneForKey(const std::string& key, size_t lane_count) {
+  if (lane_count <= 1) return 0;
+  return static_cast<uint32_t>(StableLaneHash(key) %
+                               static_cast<uint64_t>(lane_count));
+}
+
+LaneAssignFn MakeLaneAssign(LaneKeyFn lane_key, size_t lane_count) {
+  return [lane_key = std::move(lane_key),
+          lane_count](const Transaction& tx) -> uint32_t {
+    if (lane_count <= 1) return 0;
+    std::optional<std::string> key = lane_key ? lane_key(tx) : std::nullopt;
+    if (!key.has_value()) return 0;
+    return LaneForKey(*key, lane_count);
+  };
+}
+
+}  // namespace medsync::chain

@@ -1,0 +1,49 @@
+#ifndef MEDSYNC_CHAIN_LANES_H_
+#define MEDSYNC_CHAIN_LANES_H_
+
+#include <cstdint>
+#include <functional>
+#include <optional>
+#include <string>
+
+#include "chain/transaction.h"
+
+namespace medsync::chain {
+
+/// Lane-affinity key for a transaction. Transactions that must stay
+/// relatively ordered (e.g. every operation touching one shared table,
+/// including acks and permission changes — a pending ack gates the next
+/// update request) return the SAME key so they land on the same lane;
+/// nullopt routes to lane 0 (contract deploys, unkeyed calls).
+///
+/// Distinct from Mempool::ConflictKeyFn: the conflict key only marks
+/// `request_update` (the paper's one-update-per-table-per-block rule),
+/// while the lane key must cover every table-scoped method, or an ack
+/// could seal on a different lane than the update it unblocks.
+using LaneKeyFn = std::function<std::optional<std::string>(const Transaction&)>;
+
+/// Deterministic transaction -> lane index mapping (values in
+/// [0, lane_count)). Every node in a network must use the same function
+/// or gossip would pool a transaction on different lanes at different
+/// nodes and lanes would seal conflicting histories.
+using LaneAssignFn = std::function<uint32_t(const Transaction&)>;
+
+/// 64-bit FNV-1a over `key`. Platform- and toolchain-stable (no
+/// std::hash), so lane assignment is part of the determinism contract:
+/// the same key maps to the same lane on every build.
+uint64_t StableLaneHash(const std::string& key);
+
+/// Lane index for an affinity key: StableLaneHash(key) % lane_count.
+/// Exposed separately so scenario code can locate the lane a table's
+/// history seals on (audit-trail lookup) without a Transaction in hand.
+uint32_t LaneForKey(const std::string& key, size_t lane_count);
+
+/// Builds the default LaneAssignFn: LaneForKey over `lane_key`, with
+/// keyless transactions pinned to lane 0. lane_count == 1 always yields
+/// lane 0 (the single-chain configuration is the degenerate case, not a
+/// special path).
+LaneAssignFn MakeLaneAssign(LaneKeyFn lane_key, size_t lane_count);
+
+}  // namespace medsync::chain
+
+#endif  // MEDSYNC_CHAIN_LANES_H_

@@ -32,14 +32,19 @@ Status Mempool::Add(Transaction tx) {
     return Status::AlreadyExists(
         StrCat("transaction ", id.substr(0, 8), " already pooled"));
   }
-  if (queue_.size() >= capacity_) {
-    metrics::Inc(reject_full_);
-    return Status::ResourceExhausted("mempool full");
-  }
+  // Signature BEFORE capacity: ResourceExhausted is retryable backpressure
+  // (ReliableChannel retransmits on it), while a bad signature is a
+  // permanent reject. Checking capacity first would make a full pool report
+  // unacceptable garbage as retryable, so peers would retransmit it forever
+  // and mempool.reject.bad_signature would undercount.
   if (!tx.VerifySignature()) {
     metrics::Inc(reject_bad_signature_);
     return Status::PermissionDenied(
         StrCat("transaction ", tx.Id().ShortHex(), " has a bad signature"));
+  }
+  if (queue_.size() >= capacity_) {
+    metrics::Inc(reject_full_);
+    return Status::ResourceExhausted("mempool full");
   }
   ids_.insert(std::move(id));
   queue_.push_back(std::move(tx));
@@ -52,21 +57,25 @@ bool Mempool::Contains(const crypto::Hash256& id) const {
   return ids_.count(id.ToHex()) > 0;
 }
 
-std::vector<Transaction> Mempool::BuildBlockCandidate(size_t max_count) const {
-  // Gossip can deliver one sender's transactions out of order (network
-  // jitter), but a deploy must execute before calls to the deployed
-  // contract. Restore per-sender nonce order while preserving the arrival
-  // order of senders' slots: collect each sender's pooled transactions
-  // sorted by nonce, then refill the queue positions.
+std::vector<Transaction> Mempool::BuildBlockCandidate(size_t max_count,
+                                                      size_t* deferred) const {
+  // Phase 1 — canonical order. Gossip can deliver one sender's transactions
+  // out of order (network jitter), but a deploy must execute before calls
+  // to the deployed contract. Restore per-sender nonce order while
+  // preserving the arrival order of senders' slots: collect each sender's
+  // pooled transactions sorted by nonce, then refill the queue positions.
+  // stable_sort, not sort: equal nonces (a sender re-keying after a crash,
+  // or a buggy client) must keep arrival order on every standard library,
+  // or candidate bytes diverge across toolchains.
   std::map<std::string, std::vector<const Transaction*>> per_sender;
   for (const Transaction& tx : queue_) {
     per_sender[tx.from.ToHex()].push_back(&tx);
   }
   for (auto& [sender, txs] : per_sender) {
-    std::sort(txs.begin(), txs.end(),
-              [](const Transaction* a, const Transaction* b) {
-                return a->nonce < b->nonce;
-              });
+    std::stable_sort(txs.begin(), txs.end(),
+                     [](const Transaction* a, const Transaction* b) {
+                       return a->nonce < b->nonce;
+                     });
   }
   std::map<std::string, size_t> cursor;
   std::vector<const Transaction*> ordered;
@@ -76,20 +85,34 @@ std::vector<Transaction> Mempool::BuildBlockCandidate(size_t max_count) const {
     ordered.push_back(per_sender[sender][cursor[sender]++]);
   }
 
+  // Phase 2 — deterministic conflict partition. One pass over the canonical
+  // order splits it into {batch, deferred}: a transaction joins the batch
+  // iff the batch has room and its conflict key is unclaimed; otherwise it
+  // defers to a later block (it stays pooled — "next block's problem").
+  // Non-conflicting updates to distinct tables thus batch into one block
+  // while the per-table serialization rule holds.
   std::vector<Transaction> selected;
   std::set<std::string> used_keys;
+  size_t held_back = 0;
   for (const Transaction* tx_ptr : ordered) {
     const Transaction& tx = *tx_ptr;
-    if (selected.size() >= max_count) break;
+    if (selected.size() >= max_count) {
+      ++held_back;
+      continue;
+    }
     if (conflict_key_) {
       std::optional<std::string> key = conflict_key_(tx);
       if (key.has_value()) {
-        if (used_keys.count(*key) > 0) continue;  // next block's problem
+        if (used_keys.count(*key) > 0) {
+          ++held_back;
+          continue;
+        }
         used_keys.insert(*key);
       }
     }
     selected.push_back(tx);
   }
+  if (deferred != nullptr) *deferred = held_back;
   return selected;
 }
 

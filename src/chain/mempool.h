@@ -29,9 +29,12 @@ class Mempool {
                    size_t capacity = 10000);
 
   /// Adds `tx` if its signature verifies and it is not already pooled.
-  /// Checks run dedup -> capacity -> signature, so a re-gossiped duplicate
+  /// Checks run dedup -> signature -> capacity, so a re-gossiped duplicate
   /// reports AlreadyExists even when the pool is full (a full pool must not
-  /// make peers mistake a benign duplicate for backpressure).
+  /// make peers mistake a benign duplicate for backpressure), and a
+  /// bad-signature transaction reports PermissionDenied even when the pool
+  /// is full (ResourceExhausted is retryable backpressure to ReliableChannel,
+  /// which would keep retransmitting garbage that can never be accepted).
   Status Add(Transaction tx);
 
   /// Attaches counters (mempool.adds, mempool.reject.<reason>) and the
@@ -43,11 +46,18 @@ class Mempool {
   size_t size() const { return queue_.size(); }
   bool empty() const { return queue_.empty(); }
 
-  /// Selects up to `max_count` transactions for a block, oldest first,
-  /// skipping (but keeping) any whose conflict key already appears among
-  /// the selected. Selected transactions remain pooled until
-  /// RemoveIncluded() confirms them.
-  std::vector<Transaction> BuildBlockCandidate(size_t max_count) const;
+  /// Selects up to `max_count` transactions for a block via a deterministic
+  /// conflict-partitioning pass: transactions are walked in canonical order
+  /// (arrival slots, per-sender nonce order restored) and partitioned into
+  /// the current batch vs. deferred-to-a-later-block. A transaction defers
+  /// when its conflict key is already claimed by the batch (the paper's
+  /// one-update-per-shared-table-per-block rule) or the batch is full;
+  /// everything else — updates to DISTINCT tables — batches into one block.
+  /// Deferred transactions stay pooled until RemoveIncluded() confirms the
+  /// batch; `deferred` (optional) receives how many were held back.
+  std::vector<Transaction> BuildBlockCandidate(size_t max_count,
+                                               size_t* deferred =
+                                                   nullptr) const;
 
   /// Drops every pooled transaction whose id is in `included_ids` (hex).
   void RemoveIncluded(const std::set<std::string>& included_ids);

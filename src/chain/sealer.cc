@@ -118,11 +118,24 @@ Status PowSealer::ValidateSeal(const BlockHeader& header) const {
 }
 
 PoaSealer::PoaSealer(std::vector<crypto::Address> authorities,
-                     std::shared_ptr<const crypto::KeyPair> signer)
-    : authorities_(std::move(authorities)), signer_(std::move(signer)) {}
+                     std::shared_ptr<const crypto::KeyPair> signer,
+                     Micros slot_interval)
+    : authorities_(std::move(authorities)), signer_(std::move(signer)),
+      slot_interval_(slot_interval) {}
 
 const crypto::Address& PoaSealer::AuthorityForHeight(uint64_t height) const {
   return authorities_[height % authorities_.size()];
+}
+
+const crypto::Address& PoaSealer::AuthorityFor(
+    const BlockHeader& header) const {
+  if (slot_interval_ > 0) {
+    const uint64_t slot =
+        static_cast<uint64_t>(header.timestamp) /
+        static_cast<uint64_t>(slot_interval_);
+    return authorities_[slot % authorities_.size()];
+  }
+  return AuthorityForHeight(header.height);
 }
 
 Status PoaSealer::Seal(Block* block) const {
@@ -130,7 +143,7 @@ Status PoaSealer::Seal(Block* block) const {
     return Status::FailedPrecondition("this node has no sealing key");
   }
   BlockHeader& header = block->header;
-  if (signer_->address() != AuthorityForHeight(header.height)) {
+  if (signer_->address() != AuthorityFor(header)) {
     return Status::PermissionDenied(
         StrCat("not this authority's turn at height ", header.height));
   }
@@ -145,7 +158,7 @@ Status PoaSealer::ValidateSeal(const BlockHeader& header) const {
   if (authorities_.empty()) {
     return Status::FailedPrecondition("empty authority set");
   }
-  const crypto::Address& expected = AuthorityForHeight(header.height);
+  const crypto::Address& expected = AuthorityFor(header);
   if (header.sealer != expected) {
     return Status::PermissionDenied(
         StrCat("block at height ", header.height,

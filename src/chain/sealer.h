@@ -87,21 +87,39 @@ class PoaSealer : public Sealer {
  public:
   /// `authorities`: the ordered validator set (addresses). `signer` is this
   /// node's key when it seals; pass nullptr on validate-only nodes.
+  ///
+  /// `slot_interval` selects the rotation scheme. Zero (default) rotates by
+  /// block HEIGHT — round robin per chain, the classic single-chain mode.
+  /// Nonzero rotates by TIME SLOT: the authority at header timestamp T is
+  /// authorities[(T / slot_interval) % n], independent of height and lane.
+  /// Sharded deployments need slot mode: with height rotation each lane's
+  /// turn order advances at its own pace, so which node seals a given wall
+  /// instant would depend on the lane count; with slot rotation one node
+  /// owns ALL lanes for a slot, keeping block timing (and therefore soak
+  /// fingerprints) invariant across lane counts.
   PoaSealer(std::vector<crypto::Address> authorities,
-            std::shared_ptr<const crypto::KeyPair> signer);
+            std::shared_ptr<const crypto::KeyPair> signer,
+            Micros slot_interval = 0);
 
   Status Seal(Block* block) const override;
   Status ValidateSeal(const BlockHeader& header) const override;
 
-  /// The authority whose turn it is at `height` (round robin).
+  /// The authority whose turn it is for `header` (height round robin or
+  /// timestamp slot, per the constructor's `slot_interval`).
+  const crypto::Address& AuthorityFor(const BlockHeader& header) const;
+
+  /// The authority whose turn it is at `height` (height rotation only —
+  /// kept for callers predicting turns on classic single-chain setups).
   const crypto::Address& AuthorityForHeight(uint64_t height) const;
   const std::vector<crypto::Address>& authorities() const {
     return authorities_;
   }
+  Micros slot_interval() const { return slot_interval_; }
 
  private:
   std::vector<crypto::Address> authorities_;
   std::shared_ptr<const crypto::KeyPair> signer_;
+  Micros slot_interval_;
 };
 
 }  // namespace medsync::chain

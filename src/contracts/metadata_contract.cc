@@ -501,4 +501,13 @@ std::optional<std::string> SharedDataConflictKey(
   return StrCat(tx.to.ToHex(), "/", *table_id);
 }
 
+std::optional<std::string> SharedDataLaneKey(const chain::Transaction& tx) {
+  // Any table-scoped call shares its table's lane; the key intentionally
+  // matches SharedDataConflictKey's format so LaneForKey(conflict key)
+  // locates the same lane.
+  auto table_id = tx.params.GetString("table_id");
+  if (!table_id.ok()) return std::nullopt;
+  return StrCat(tx.to.ToHex(), "/", *table_id);
+}
+
 }  // namespace medsync::contracts

@@ -102,6 +102,17 @@ class MetadataContract : public Contract {
 /// transactions to a metadata contract, nullopt otherwise.
 std::optional<std::string> SharedDataConflictKey(const chain::Transaction& tx);
 
+/// The chain::LaneKeyFn for sharded deployments: returns
+/// "<contract-hex>/<table_id>" for ANY transaction whose params carry a
+/// table_id (request_update, ack_update, register_table, change_permission,
+/// set_authority...), nullopt otherwise (deploys ride lane 0).
+///
+/// Broader than SharedDataConflictKey on purpose: the contract denies a new
+/// RequestUpdate while a table has pending acks, so the RELATIVE order of a
+/// table's acks and update requests is decision-relevant — every
+/// table-scoped method must seal on the table's lane to preserve it.
+std::optional<std::string> SharedDataLaneKey(const chain::Transaction& tx);
+
 }  // namespace medsync::contracts
 
 #endif  // MEDSYNC_CONTRACTS_METADATA_CONTRACT_H_

@@ -186,6 +186,7 @@ NetworkSpec DescribeNetwork(const GenOptions& options) {
       std::max<size_t>(1, options.slack_per_provider);
   spec.options.chain_node_count =
       std::max<size_t>(1, options.chain_node_count);
+  spec.options.lane_count = std::max<size_t>(1, options.lane_count);
 
   Rng rng(spec.options.seed);
   // A seed fully describes the run, including every block timestamp: the
@@ -486,12 +487,19 @@ Status GeneratedScenario::Bootstrap() {
     node_config.block_interval = options.block_interval;
     node_config.max_block_txs = options.max_block_txs;
     node_config.sealing_enabled = true;
+    node_config.lane_count = options.lane_count;
+    node_config.lane_key = contracts::SharedDataLaneKey;
     node_config.pool = pool_.get();
     node_config.metrics = metrics_.get();
     all_node_ids_.push_back(node_config.id);
+    // Slot-rotation PoA (slot = block_interval): one authority owns every
+    // lane per tick, and WHICH node seals at a given instant is a function
+    // of time alone — so block production timing is invariant across lane
+    // counts, the property LaneInvariantFingerprint depends on.
     nodes_.push_back(std::make_unique<runtime::ChainNode>(
         std::move(node_config), simulator_.get(), network_.get(),
-        std::make_shared<chain::PoaSealer>(authorities, authority_keys[i]),
+        std::make_shared<chain::PoaSealer>(authorities, authority_keys[i],
+                                           options.block_interval),
         genesis, contracts::SharedDataConflictKey, std::move(host)));
   }
   for (auto& node : nodes_) node->Start();
@@ -655,7 +663,7 @@ Status GeneratedScenario::Bootstrap() {
 
 bool GeneratedScenario::Quiescent() const {
   for (const auto& node : nodes_) {
-    if (!node->mempool().empty()) return false;
+    if (!node->mempools_empty()) return false;
   }
   for (const auto& peer : peers_) {
     if (peer != nullptr && peer->HasPendingWork()) return false;
@@ -773,7 +781,9 @@ std::string GeneratedScenario::Fingerprint() const {
   crypto::Sha256 hash;
   hash.Update(StrCat("now=", simulator_->Now(), "\n"));
   for (const auto& node : nodes_) {
-    hash.Update(node->blockchain().head().header.Hash().ToHex());
+    for (size_t l = 0; l < node->lane_count(); ++l) {
+      hash.Update(node->blockchain(l).head().header.Hash().ToHex());
+    }
     hash.Update(node->host().StateFingerprint());
   }
   for (size_t i = 0; i < peers_.size(); ++i) {
@@ -791,6 +801,37 @@ std::string GeneratedScenario::Fingerprint() const {
   }
   hash.Update(metrics_->Snapshot().Dump());
   for (const std::string& visit : injector_.visits()) hash.Update(visit);
+  return hash.Finish().ToHex();
+}
+
+std::string GeneratedScenario::LaneInvariantFingerprint() const {
+  // What the network COMPUTED, not how the chain partitioned it: contract
+  // state and peer tables converge to the same bytes at any lane count
+  // (per-table ordering is lane-confined; slot PoA keeps block timing lane-
+  // independent), while block hashes, per-message accounting, and receipt
+  // ids do not. Injector visits are sorted because lane-parallel sealing
+  // may reorder when storage fault points fire within one tick.
+  crypto::Sha256 hash;
+  hash.Update(StrCat("now=", simulator_->Now(), "\n"));
+  for (const auto& node : nodes_) {
+    hash.Update(node->host().StateFingerprint());
+  }
+  for (size_t i = 0; i < peers_.size(); ++i) {
+    hash.Update(spec_.peers[i].name);
+    if (peers_[i] == nullptr) {
+      hash.Update("|down\n");
+      continue;
+    }
+    for (const std::string& table : peers_[i]->database().TableNames()) {
+      Result<Table> snapshot = peers_[i]->database().Snapshot(table);
+      hash.Update(StrCat("|", table, "=",
+                         snapshot.ok() ? snapshot->ContentDigest() : "?"));
+    }
+    hash.Update("\n");
+  }
+  std::vector<std::string> visits = injector_.visits();
+  std::sort(visits.begin(), visits.end());
+  for (const std::string& visit : visits) hash.Update(visit);
   return hash.Finish().ToHex();
 }
 
@@ -836,8 +877,13 @@ Status GeneratedScenario::VerifyAuditGapless() {
   for (const SharedTableSpec& table : spec_.tables) {
     MEDSYNC_ASSIGN_OR_RETURN(Json entry, Entry(table.table_id));
     MEDSYNC_ASSIGN_OR_RETURN(int64_t version, entry.GetInt("version"));
+    // A table's whole history seals on one lane (SharedDataLaneKey), so
+    // the audit walk reads exactly that lane's canonical chain.
+    const uint32_t lane = chain::LaneForKey(
+        StrCat(contract_.ToHex(), "/", table.table_id),
+        nodes_[0]->lane_count());
     const std::vector<AuditRecord> trail = BuildAuditTrail(
-        nodes_[0]->blockchain(), nodes_[0]->host(), table.table_id);
+        nodes_[0]->blockchain(lane), nodes_[0]->host(), table.table_id);
     int64_t updates = 0;
     int64_t acks = 0;
     for (const AuditRecord& record : trail) {

@@ -49,6 +49,11 @@ struct GenOptions {
   size_t chain_node_count = 3;
   Micros block_interval = 1 * kMicrosPerSecond;
   size_t max_block_txs = 256;
+  /// Chain lanes (shards) per node. Like worker_threads, a pure runtime
+  /// knob: the generated world and the lane-invariant fingerprint are
+  /// identical at any lane count (sealing uses slot-rotation PoA so block
+  /// timing does not depend on lanes). Excluded from NetworkSpec::ToJson.
+  size_t lane_count = 1;
   /// 0 = serial; otherwise one shared ThreadPool for nodes and peers.
   size_t worker_threads = 0;
   /// Online BX-law oracle on every peer (SyncManager::set_check_bx_laws).
@@ -210,11 +215,21 @@ class GeneratedScenario {
 
   // -- Oracles --------------------------------------------------------------
 
-  /// SHA-256 over the run-relevant deterministic state: chain heads,
-  /// contract state fingerprints, every live peer's table digests,
+  /// SHA-256 over the run-relevant deterministic state: chain heads (every
+  /// lane), contract state fingerprints, every live peer's table digests,
   /// simulated time, the metrics snapshot, and the fault-point visit log.
-  /// Byte-identical across reruns of a seed and across worker pool sizes.
+  /// Byte-identical across reruns of a seed and across worker pool sizes
+  /// (NOT across lane counts — block hashes carry the lane id).
   std::string Fingerprint() const;
+
+  /// The lane-count-invariant projection of Fingerprint(): simulated time,
+  /// per-node contract state fingerprints, per-peer table digests, and the
+  /// SORTED fault-point visit log. Chain heads and the metrics snapshot are
+  /// excluded (lane counts change block hashes and message accounting but
+  /// must not change what the network computed). Byte-identical across
+  /// reruns of a seed at ANY lane count and worker pool size, for runs
+  /// whose network RNG stream is untouched (zero jitter, zero drops).
+  std::string LaneInvariantFingerprint() const;
 
   /// Every table: both sides up, views byte-equal, versions agreed, no
   /// needs_refresh, no outstanding acks.

@@ -615,6 +615,8 @@ Status RunGeneratedSoak(const GenOptions& gen_options,
   if (run.ok()) run = runner.Finish();
   if (report != nullptr) {
     report->fingerprint = scenario->Fingerprint();
+    report->lane_invariant_fingerprint =
+        scenario->LaneInvariantFingerprint();
     report->executed = runner.executed();
     report->skipped = runner.skipped();
     report->chain_height = scenario->node(0).blockchain().height();

@@ -135,6 +135,10 @@ class WorkloadRunner {
 /// state fingerprint either way.
 struct SoakReport {
   std::string fingerprint;
+  /// GeneratedScenario::LaneInvariantFingerprint() — compares byte-equal
+  /// across lane counts (the lanes={1,4} determinism leg), where the full
+  /// fingerprint only compares across worker pool sizes.
+  std::string lane_invariant_fingerprint;
   size_t executed = 0;
   size_t skipped = 0;
   uint64_t chain_height = 0;

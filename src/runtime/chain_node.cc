@@ -1,7 +1,10 @@
 #include "runtime/chain_node.h"
 
+#include <algorithm>
+
 #include "common/logging.h"
 #include "common/strings.h"
+#include "common/threading/thread_pool.h"
 
 namespace medsync::runtime {
 
@@ -18,16 +21,34 @@ ChainNode::ChainNode(NodeConfig config, net::Simulator* simulator,
       simulator_(simulator),
       network_(network),
       sealer_(std::move(sealer)),
-      chain_(std::move(genesis), sealer_.get(), conflict_key, config_.pool),
-      mempool_(conflict_key),
       host_(std::move(host)) {
-  executed_hashes_.push_back(chain_.genesis().header.Hash().ToHex());
+  const size_t lane_count = std::max<size_t>(1, config_.lane_count);
+  lanes_.reserve(lane_count);
+  for (size_t l = 0; l < lane_count; ++l) {
+    // Lane 0 adopts the caller's genesis unmodified (single-lane setups
+    // stay byte-compatible); higher lanes derive theirs by stamping the
+    // lane id, so every lane's chain starts from a distinct, deterministic
+    // genesis hash shared by all nodes.
+    Block lane_genesis = genesis;
+    if (l > 0) lane_genesis.header.lane = static_cast<uint32_t>(l);
+    lanes_.push_back(std::make_unique<Lane>(std::move(lane_genesis),
+                                            sealer_.get(), conflict_key,
+                                            config_.pool, conflict_key));
+    lanes_.back()->executed_hashes.push_back(
+        lanes_.back()->chain.genesis().header.Hash().ToHex());
+  }
+  lane_assign_ = chain::MakeLaneAssign(config_.lane_key, lane_count);
   if (config_.metrics != nullptr) {
-    chain_.set_metrics(config_.metrics);
-    mempool_.set_metrics(config_.metrics);
+    for (auto& lane : lanes_) {
+      lane->chain.set_metrics(config_.metrics);
+      lane->mempool.set_metrics(config_.metrics);
+    }
     seal_attempts_ = config_.metrics->GetCounter("node.seal.attempts");
     seal_sealed_ = config_.metrics->GetCounter("node.seal.sealed");
     seal_skipped_ = config_.metrics->GetCounter("node.seal.skipped");
+    lane_sealed_ = config_.metrics->GetCounter("chain.lane.sealed");
+    lane_deferred_ = config_.metrics->GetCounter("chain.lane.deferred");
+    lane_batch_txs_ = config_.metrics->GetHistogram("chain.lane.batch_txs");
   }
 }
 
@@ -41,6 +62,19 @@ ChainNode::~ChainNode() {
 Json ChainNode::MetricsSnapshot() const {
   return config_.metrics != nullptr ? config_.metrics->Snapshot()
                                     : Json::MakeObject();
+}
+
+size_t ChainNode::mempool_total_size() const {
+  size_t total = 0;
+  for (const auto& lane : lanes_) total += lane->mempool.size();
+  return total;
+}
+
+bool ChainNode::mempools_empty() const {
+  for (const auto& lane : lanes_) {
+    if (!lane->mempool.empty()) return false;
+  }
+  return true;
 }
 
 void ChainNode::Start() {
@@ -63,7 +97,13 @@ Status ChainNode::EnablePersistence(const std::string& path) {
   MEDSYNC_ASSIGN_OR_RETURN(BlockStore store, BlockStore::Open(path,
                                                               &recovered));
   for (chain::Block& block : recovered) {
-    Status added = chain_.AddBlock(std::move(block));
+    const uint32_t lane = block.header.lane;
+    if (lane >= lanes_.size()) {
+      return Status::Corruption(
+          StrCat("stored block names lane ", lane, " but this node runs ",
+                 lanes_.size(), " lanes"));
+    }
+    Status added = lanes_[lane]->chain.AddBlock(std::move(block));
     if (!added.ok() && !added.IsAlreadyExists()) {
       return added.WithPrefix("replaying stored blocks");
     }
@@ -71,17 +111,23 @@ Status ChainNode::EnablePersistence(const std::string& path) {
   block_store_ = std::move(store);
   if (!recovered.empty()) {
     MEDSYNC_LOG(kInfo, config_.id)
-        << "recovered " << recovered.size() << " stored blocks, head "
-        << chain_.head().header.height;
+        << "recovered " << recovered.size() << " stored blocks, lane-0 head "
+        << lanes_[0]->chain.head().header.height;
     AdvanceExecution();
   }
   return Status::OK();
 }
 
 Status ChainNode::AddBlockPersist(chain::Block block) {
+  const uint32_t lane = block.header.lane;
+  if (lane >= lanes_.size()) {
+    return Status::InvalidArgument(
+        StrCat("block names lane ", lane, " but this node runs ",
+               lanes_.size(), " lanes"));
+  }
   // Copy needed for the append; AddBlock consumes the block.
   chain::Block stored = block;
-  MEDSYNC_RETURN_IF_ERROR(chain_.AddBlock(std::move(block)));
+  MEDSYNC_RETURN_IF_ERROR(lanes_[lane]->chain.AddBlock(std::move(block)));
   if (block_store_.has_value()) {
     Status appended = block_store_->Append(stored);
     if (!appended.ok()) {
@@ -93,24 +139,37 @@ Status ChainNode::AddBlockPersist(chain::Block block) {
 }
 
 void ChainNode::SealTick() {
-  TrySeal();
+  TrySealLanes();
   // Head announcement keeps lagging replicas live: a peer that missed
-  // blocks (partition, drops) learns the current head and chases the
-  // missing ancestry via block_request. Without this, PoA round-robin can
+  // blocks (partition, drops) learns the current heads and chases the
+  // missing ancestry via block_request. Without this, PoA rotation can
   // deadlock — if it is the lagging authority's turn, nobody else may seal
-  // and no new block would ever reach it.
-  if (chain_.head().header.height > 0) {
+  // and no new block would ever reach it. One announce carries every
+  // lane's head so catch-up stays a single broadcast per tick.
+  Json heads = Json::MakeArray();
+  for (size_t l = 0; l < lanes_.size(); ++l) {
+    const Block& head = lanes_[l]->chain.head();
+    if (head.header.height == 0) continue;
+    Json entry = Json::MakeObject();
+    entry.Set("lane", static_cast<int64_t>(l));
+    entry.Set("hash", head.header.Hash().ToHex());
+    entry.Set("height", head.header.height);
+    heads.Append(std::move(entry));
+  }
+  if (!heads.AsArray().empty()) {
     Json announce = Json::MakeObject();
-    announce.Set("hash", chain_.head().header.Hash().ToHex());
-    announce.Set("height", chain_.head().header.height);
+    announce.Set("heads", std::move(heads));
     network_->Broadcast(config_.id, "head_announce", announce);
   }
   // Re-gossip pooled transactions: on a lossy network, the broadcast made
   // at submission time may never have reached the authority whose turn it
   // is, and a transaction stuck in one node's pool would stall the sender
-  // forever. Receivers dedupe, so this is idempotent.
-  for (const Transaction& tx : mempool_.PendingTransactions()) {
-    network_->Broadcast(config_.id, "tx", tx.ToJson());
+  // forever. Receivers dedupe, so this is idempotent. Lane order keeps the
+  // rebroadcast sequence deterministic.
+  for (const auto& lane : lanes_) {
+    for (const Transaction& tx : lane->mempool.PendingTransactions()) {
+      network_->Broadcast(config_.id, "tx", tx.ToJson());
+    }
   }
   simulator_->Schedule(config_.block_interval, [this, alive = alive_] {
     if (!*alive) return;
@@ -118,88 +177,149 @@ void ChainNode::SealTick() {
   });
 }
 
-void ChainNode::HandleHeadAnnounce(const net::Message& message) {
-  auto hash_hex = message.payload.GetString("hash");
-  auto height = message.payload.GetInt("height");
-  if (!hash_hex.ok() || !height.ok()) return;
-  if (static_cast<uint64_t>(*height) <= chain_.head().header.height) return;
+void ChainNode::MaybeRequestBlock(uint32_t lane, const std::string& hash_hex,
+                                  uint64_t height, const net::NodeId& from) {
+  if (height <= lanes_[lane]->chain.head().header.height) return;
   bool ok = false;
-  crypto::Hash256 hash = crypto::Hash256::FromHex(*hash_hex, &ok);
-  if (!ok || chain_.BlockByHash(hash).ok()) return;
+  crypto::Hash256 hash = crypto::Hash256::FromHex(hash_hex, &ok);
+  if (!ok || lanes_[lane]->chain.BlockByHash(hash).ok()) return;
   Json request = Json::MakeObject();
-  request.Set("hash", *hash_hex);
+  request.Set("hash", hash_hex);
   LogIfError(
       network_->Send(
-          net::Message{config_.id, message.from, "block_request", request}),
+          net::Message{config_.id, from, "block_request", request}),
       "chain", "head-announce block request");
 }
 
-void ChainNode::TrySeal() {
-  std::vector<Transaction> txs =
-      mempool_.BuildBlockCandidate(config_.max_block_txs);
+void ChainNode::HandleHeadAnnounce(const net::Message& message) {
+  const Json& heads = message.payload.At("heads");
+  if (heads.is_array()) {
+    for (const Json& entry : heads.AsArray()) {
+      auto lane = entry.GetInt("lane");
+      auto hash_hex = entry.GetString("hash");
+      auto height = entry.GetInt("height");
+      if (!lane.ok() || !hash_hex.ok() || !height.ok()) continue;
+      if (*lane < 0 || static_cast<size_t>(*lane) >= lanes_.size()) continue;
+      MaybeRequestBlock(static_cast<uint32_t>(*lane), *hash_hex,
+                        static_cast<uint64_t>(*height), message.from);
+    }
+    return;
+  }
+  // Legacy flat {hash, height} announce from single-lane peers.
+  auto hash_hex = message.payload.GetString("hash");
+  auto height = message.payload.GetInt("height");
+  if (!hash_hex.ok() || !height.ok()) return;
+  MaybeRequestBlock(0, *hash_hex, static_cast<uint64_t>(*height),
+                    message.from);
+}
 
-  // Evict candidates that are already on the canonical chain. This can
-  // happen after a reorg (the pool is not replayed) or when eviction raced
-  // gossip; without the filter the sealed block would carry a duplicate
-  // transaction, fail validation, and this authority's turn would stall
-  // forever.
+ChainNode::SealOutcome ChainNode::BuildLaneCandidate(Lane& lane) {
+  SealOutcome out;
+  std::vector<Transaction> txs =
+      lane.mempool.BuildBlockCandidate(config_.max_block_txs, &out.deferred);
+
+  // Evict candidates that are already on this lane's canonical chain. This
+  // can happen after a reorg (the pool is not replayed) or when eviction
+  // raced gossip; without the filter the sealed block would carry a
+  // duplicate transaction, fail validation, and this authority's turn
+  // would stall forever.
   std::set<std::string> stale;
   std::vector<Transaction> fresh;
   fresh.reserve(txs.size());
   for (Transaction& tx : txs) {
-    if (chain_.FindTransaction(tx.Id(), nullptr, nullptr)) {
+    if (lane.chain.FindTransaction(tx.Id(), nullptr, nullptr)) {
       stale.insert(tx.Id().ToHex());
     } else {
       fresh.push_back(std::move(tx));
     }
   }
-  if (!stale.empty()) mempool_.RemoveIncluded(stale);
+  if (!stale.empty()) lane.mempool.RemoveIncluded(stale);
   txs = std::move(fresh);
 
-  if (txs.empty() && !config_.seal_empty_blocks) return;
+  if (txs.empty() && !config_.seal_empty_blocks) return out;
 
   Block block;
-  block.header.height = chain_.head().header.height + 1;
-  block.header.parent = chain_.head().header.Hash();
+  block.header.lane = lane.chain.lane();
+  block.header.height = lane.chain.head().header.height + 1;
+  block.header.parent = lane.chain.head().header.Hash();
   block.header.timestamp =
-      std::max(simulator_->Now(), chain_.head().header.timestamp);
+      std::max(simulator_->Now(), lane.chain.head().header.timestamp);
   block.transactions = std::move(txs);
-  block.header.merkle_root = block.ComputeMerkleRoot(config_.pool);
+  // With multiple lanes the lane tasks themselves occupy the pool, so the
+  // Merkle commitment stays serial per lane (nesting ParallelFor inside a
+  // pooled task would have tasks waiting on workers they block).
+  block.header.merkle_root = block.ComputeMerkleRoot(
+      lanes_.size() > 1 ? nullptr : config_.pool);
 
   metrics::Inc(seal_attempts_);
   Status sealed = sealer_->Seal(&block);
   if (!sealed.ok()) {
-    // Not our turn (PoA round-robin) or no key — wait for the next tick.
+    // Not our turn (PoA rotation) or no key — wait for the next tick.
     metrics::Inc(seal_skipped_);
     MEDSYNC_LOG(kDebug, config_.id) << "seal skipped: " << sealed;
-    return;
+    return out;
+  }
+  out.sealed = true;
+  out.block = std::move(block);
+  return out;
+}
+
+void ChainNode::TrySealLanes() {
+  // Phase 1 — per-lane candidate + seal. Lanes touch disjoint state (their
+  // own chain + mempool partition; metrics are atomic and commutative), so
+  // the phase parallelizes over the shared pool without changing results.
+  std::vector<SealOutcome> outcomes(lanes_.size());
+  if (config_.pool != nullptr && lanes_.size() > 1) {
+    threading::TaskGroup group(config_.pool);
+    for (size_t l = 0; l < lanes_.size(); ++l) {
+      group.Run([this, l, &outcomes] {
+        outcomes[l] = BuildLaneCandidate(*lanes_[l]);
+      });
+    }
+    group.Wait();
+  } else {
+    for (size_t l = 0; l < lanes_.size(); ++l) {
+      outcomes[l] = BuildLaneCandidate(*lanes_[l]);
+    }
   }
 
-  Status added = AddBlockPersist(block);
-  if (!added.ok()) {
-    MEDSYNC_LOG(kWarning, config_.id)
-        << "own sealed block rejected: " << added;
-    return;
-  }
-  ++blocks_sealed_;
-  metrics::Inc(seal_sealed_);
-  MEDSYNC_LOG(kInfo, config_.id)
-      << "sealed block " << block.header.height << " ("
-      << block.transactions.size() << " txs)";
+  // Phase 2 — lane-ordered insert, evict, broadcast: serial so persistence
+  // appends, gossip send order, and execution stay deterministic.
+  bool advanced = false;
+  for (size_t l = 0; l < lanes_.size(); ++l) {
+    SealOutcome& out = outcomes[l];
+    if (!out.sealed) continue;
+    Status added = AddBlockPersist(out.block);
+    if (!added.ok()) {
+      MEDSYNC_LOG(kWarning, config_.id)
+          << "own sealed block rejected: " << added;
+      continue;
+    }
+    ++blocks_sealed_;
+    metrics::Inc(seal_sealed_);
+    metrics::Inc(lane_sealed_);
+    metrics::Inc(lane_deferred_, out.deferred);
+    metrics::Observe(lane_batch_txs_, out.block.transactions.size());
+    MEDSYNC_LOG(kInfo, config_.id)
+        << "sealed block " << out.block.header.height << " on lane "
+        << out.block.header.lane << " (" << out.block.transactions.size()
+        << " txs)";
 
-  std::set<std::string> included;
-  for (const Transaction& tx : block.transactions) {
-    included.insert(tx.Id().ToHex());
+    std::set<std::string> included;
+    for (const Transaction& tx : out.block.transactions) {
+      included.insert(tx.Id().ToHex());
+    }
+    lanes_[l]->mempool.RemoveIncluded(included);
+    network_->Broadcast(config_.id, "block", out.block.ToJson());
+    advanced = true;
   }
-  mempool_.RemoveIncluded(included);
-
-  network_->Broadcast(config_.id, "block", block.ToJson());
-  AdvanceExecution();
+  if (advanced) AdvanceExecution();
 }
 
 Status ChainNode::SubmitTransaction(Transaction tx) {
   Json payload = tx.ToJson();
-  MEDSYNC_RETURN_IF_ERROR(mempool_.Add(std::move(tx)));
+  const uint32_t lane = lane_assign_(tx);
+  MEDSYNC_RETURN_IF_ERROR(lanes_[lane]->mempool.Add(std::move(tx)));
   network_->Broadcast(config_.id, "tx", payload);
   return Status::OK();
 }
@@ -246,9 +366,10 @@ void ChainNode::HandleTransactionMessage(const net::Message& message) {
     MEDSYNC_LOG(kWarning, config_.id) << "bad tx payload: " << tx.status();
     return;
   }
-  // Skip if already on the canonical chain (late gossip).
-  if (chain_.FindTransaction(tx->Id(), nullptr, nullptr)) return;
-  Status added = mempool_.Add(std::move(*tx));
+  const uint32_t lane = lane_assign_(*tx);
+  // Skip if already on the lane's canonical chain (late gossip).
+  if (lanes_[lane]->chain.FindTransaction(tx->Id(), nullptr, nullptr)) return;
+  Status added = lanes_[lane]->mempool.Add(std::move(*tx));
   if (added.ok()) {
     // First sighting: relay so the gossip floods the network.
     network_->Broadcast(config_.id, "tx", message.payload);
@@ -297,7 +418,13 @@ void ChainNode::HandleBlockPayload(const Json& payload,
         << "bad block payload: " << block.status();
     return;
   }
-  uint64_t old_height = chain_.head().header.height;
+  const uint32_t lane = block->header.lane;
+  if (lane >= lanes_.size()) {
+    MEDSYNC_LOG(kWarning, config_.id)
+        << "rejected block naming unknown lane " << lane;
+    return;
+  }
+  uint64_t old_height = lanes_[lane]->chain.head().header.height;
   Status accepted = AcceptBlock(std::move(*block), from);
   if (accepted.IsAlreadyExists()) return;  // do not re-gossip duplicates
   if (!accepted.ok() && !accepted.IsNotFound()) {
@@ -306,18 +433,31 @@ void ChainNode::HandleBlockPayload(const Json& payload,
   }
   if (accepted.ok()) {
     network_->Broadcast(config_.id, "block", payload);
-    // Evict included transactions from the local pool.
+    // Evict included transactions from the lane's pool partition.
     std::set<std::string> included;
-    for (const chain::Block* b : chain_.CanonicalChain()) {
+    for (const chain::Block* b : lanes_[lane]->chain.CanonicalChain()) {
       if (b->header.height > old_height) {
         for (const Transaction& tx : b->transactions) {
           included.insert(tx.Id().ToHex());
         }
       }
     }
-    if (!included.empty()) mempool_.RemoveIncluded(included);
-    AdvanceExecution();
+    if (!included.empty()) lanes_[lane]->mempool.RemoveIncluded(included);
+    ScheduleExecution();
   }
+}
+
+void ChainNode::ScheduleExecution() {
+  if (execution_scheduled_) return;
+  execution_scheduled_ = true;
+  // Delay 0 queues BEHIND every already-delivered message of this instant
+  // (the simulator is FIFO within a timestamp), so a multi-lane tick's
+  // blocks all land before the single batch runs.
+  simulator_->Schedule(0, [this, alive = alive_] {
+    if (!*alive) return;
+    execution_scheduled_ = false;
+    AdvanceExecution();
+  });
 }
 
 void ChainNode::HandleBlockRequest(const net::Message& message) {
@@ -326,48 +466,95 @@ void ChainNode::HandleBlockRequest(const net::Message& message) {
   bool ok = false;
   crypto::Hash256 hash = crypto::Hash256::FromHex(*hash_hex, &ok);
   if (!ok) return;
-  Result<const Block*> block = chain_.BlockByHash(hash);
-  if (!block.ok()) return;
-  LogIfError(network_->Send(net::Message{config_.id, message.from,
-                                         "block_response", (*block)->ToJson()}),
-             "chain", "block response");
+  // Block hashes are unique across lanes (the lane id is hashed into the
+  // header), so the first hit is THE block.
+  for (const auto& lane : lanes_) {
+    Result<const Block*> block = lane->chain.BlockByHash(hash);
+    if (!block.ok()) continue;
+    LogIfError(
+        network_->Send(net::Message{config_.id, message.from, "block_response",
+                                    (*block)->ToJson()}),
+        "chain", "block response");
+    return;
+  }
 }
 
 void ChainNode::AdvanceExecution() {
-  std::vector<const Block*> canonical = chain_.CanonicalChain();
+  // Collect every lane's canonical chain and check the executed prefixes.
+  // A reorg in ANY lane rebuilds contract state from scratch: the host is
+  // a single cross-lane state machine, so rewinding one lane means
+  // replaying all of them (cheap at simulation scale; a production node
+  // would checkpoint).
+  std::vector<std::vector<const Block*>> canonical(lanes_.size());
+  bool reorg = false;
+  for (size_t l = 0; l < lanes_.size(); ++l) {
+    canonical[l] = lanes_[l]->chain.CanonicalChain();
+    const std::vector<std::string>& executed = lanes_[l]->executed_hashes;
+    bool prefix_ok = executed.size() <= canonical[l].size();
+    if (prefix_ok) {
+      for (size_t i = 0; i < executed.size(); ++i) {
+        if (canonical[l][i]->header.Hash().ToHex() != executed[i]) {
+          prefix_ok = false;
+          break;
+        }
+      }
+    }
+    if (!prefix_ok) reorg = true;
+  }
+  if (reorg) {
+    MEDSYNC_LOG(kInfo, config_.id)
+        << "reorg: replaying canonical chains of all lanes";
+    host_->Reset();
+    for (size_t l = 0; l < lanes_.size(); ++l) {
+      lanes_[l]->executed_hashes.clear();
+      lanes_[l]->executed_hashes.push_back(
+          canonical[l][0]->header.Hash().ToHex());
+    }
+  }
 
-  // Is the executed prefix still on the canonical chain?
-  bool prefix_ok = executed_hashes_.size() <= canonical.size();
-  if (prefix_ok) {
-    for (size_t i = 0; i < executed_hashes_.size(); ++i) {
-      if (canonical[i]->header.Hash().ToHex() != executed_hashes_[i]) {
-        prefix_ok = false;
-        break;
+  // Execute lane by lane, in lane order. Within a lane this is the usual
+  // canonical-order execution; ACROSS lanes the interleave is not globally
+  // ordered, which is sound because the lane key confines each shared
+  // table's operations to one lane and cross-table contract operations
+  // commute.
+  struct Dispatch {
+    Micros timestamp = 0;  // block timestamp
+    uint64_t height = 0;   // block height (for the event callbacks)
+    contracts::Receipt receipt;
+  };
+  std::vector<Dispatch> dispatches;
+  for (size_t l = 0; l < lanes_.size(); ++l) {
+    std::vector<std::string>& executed = lanes_[l]->executed_hashes;
+    for (size_t i = executed.size(); i < canonical[l].size(); ++i) {
+      const Block& block = *canonical[l][i];
+      std::vector<contracts::Receipt> receipts = host_->ExecuteBlock(block);
+      executed.push_back(block.header.Hash().ToHex());
+      for (contracts::Receipt& receipt : receipts) {
+        dispatches.push_back(Dispatch{block.header.timestamp,
+                                      block.header.height,
+                                      std::move(receipt)});
       }
     }
   }
-  if (!prefix_ok) {
-    // Reorg: rebuild contract state from genesis (cheap at simulation
-    // scale; a production node would checkpoint).
-    MEDSYNC_LOG(kInfo, config_.id) << "reorg: replaying canonical chain";
-    host_->Reset();
-    executed_hashes_.clear();
-    executed_hashes_.push_back(canonical[0]->header.Hash().ToHex());
-  }
-
-  for (size_t i = executed_hashes_.size(); i < canonical.size(); ++i) {
-    const Block& block = *canonical[i];
-    std::vector<contracts::Receipt> receipts = host_->ExecuteBlock(block);
-    executed_hashes_.push_back(block.header.Hash().ToHex());
-    for (const contracts::Receipt& receipt : receipts) {
-      for (const ReceiptCallback& callback : receipt_callbacks_) {
-        callback(receipt);
-      }
-      if (receipt.ok) {
-        for (const contracts::Event& event : receipt.events) {
-          for (const EventCallback& callback : event_callbacks_) {
-            callback(block.header.height, event);
-          }
+  // Notify subscribers in (block timestamp, tx id) order — content-defined,
+  // so it is identical however the same transactions were spread across
+  // lanes (and hence blocks). Per-table order is preserved: a table's
+  // transactions all sit in one lane, whose blocks have strictly
+  // increasing timestamps. NOT per-lane block order, on purpose — lane
+  // count must not leak into subscriber-visible message order.
+  std::sort(dispatches.begin(), dispatches.end(),
+            [](const Dispatch& a, const Dispatch& b) {
+              if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
+              return a.receipt.tx_id < b.receipt.tx_id;
+            });
+  for (const Dispatch& dispatch : dispatches) {
+    for (const ReceiptCallback& callback : receipt_callbacks_) {
+      callback(dispatch.receipt);
+    }
+    if (dispatch.receipt.ok) {
+      for (const contracts::Event& event : dispatch.receipt.events) {
+        for (const EventCallback& callback : event_callbacks_) {
+          callback(dispatch.height, event);
         }
       }
     }

@@ -65,6 +65,34 @@ TEST(MempoolTest, FullPoolStillReportsDuplicates) {
   EXPECT_EQ(pool.size(), 2u);
 }
 
+TEST(MempoolTest, FullPoolStillReportsBadSignatures) {
+  // Regression: the signature check must run BEFORE the capacity check.
+  // ResourceExhausted is retryable backpressure (ReliableChannel
+  // retransmits on it), so a full pool that reported garbage as
+  // ResourceExhausted would have peers retransmit unacceptable
+  // transactions forever — and mempool.reject.bad_signature undercounted.
+  metrics::MetricsRegistry registry;
+  Mempool pool(nullptr, /*capacity=*/2);
+  pool.set_metrics(&registry);
+  ASSERT_TRUE(pool.Add(MakeTx("a", 1)).ok());
+  ASSERT_TRUE(pool.Add(MakeTx("a", 2)).ok());
+
+  Transaction bad = MakeTx("b", 1);
+  bad.params.Set("tamper", 1);
+  EXPECT_TRUE(pool.Add(bad).IsPermissionDenied());  // NOT ResourceExhausted
+
+  Json counters = registry.Snapshot().At("counters");
+  EXPECT_EQ(counters.At("mempool.reject.bad_signature").AsInt(), 1);
+  EXPECT_EQ(counters.At("mempool.reject.full").AsInt(), 0);
+  // Valid transactions at capacity still report backpressure.
+  EXPECT_TRUE(pool.Add(MakeTx("b", 2)).IsResourceExhausted());
+  EXPECT_EQ(registry.Snapshot()
+                .At("counters")
+                .At("mempool.reject.full")
+                .AsInt(),
+            1);
+}
+
 TEST(MempoolTest, MetricsCountAddsAndRejectsByReason) {
   metrics::MetricsRegistry registry;
   Mempool pool(nullptr, /*capacity=*/2);
@@ -114,6 +142,27 @@ TEST(MempoolTest, CandidateRestoresPerSenderNonceOrder) {
   EXPECT_EQ(batch[1].nonce, 2u);
 }
 
+TEST(MempoolTest, DuplicateNonceKeepsArrivalOrder) {
+  // Regression: the per-sender nonce sort must be a stable_sort. A sender
+  // that re-keys after a crash (or a buggy client) can reuse a nonce;
+  // std::sort leaves equal-nonce order unspecified, so candidate ordering
+  // could diverge across standard libraries and break byte-identical
+  // blocks. Arrival order is the tiebreak.
+  Mempool pool;
+  std::vector<Transaction> sent;
+  for (int i = 0; i < 6; ++i) {
+    Transaction tx = MakeTx("alice", /*nonce=*/7,
+                            "DUP&TABLE-" + std::to_string(i));
+    sent.push_back(tx);
+    ASSERT_TRUE(pool.Add(tx).ok());
+  }
+  std::vector<Transaction> batch = pool.BuildBlockCandidate(10);
+  ASSERT_EQ(batch.size(), sent.size());
+  for (size_t i = 0; i < sent.size(); ++i) {
+    EXPECT_EQ(batch[i].Id(), sent[i].Id()) << "position " << i;
+  }
+}
+
 TEST(MempoolTest, MaxCountLimitsBatch) {
   Mempool pool;
   for (uint64_t i = 1; i <= 10; ++i) {
@@ -142,6 +191,25 @@ TEST(MempoolTest, ConflictingUpdatesDeferredNotDropped) {
   std::vector<Transaction> next = pool.BuildBlockCandidate(10);
   ASSERT_EQ(next.size(), 1u);
   EXPECT_EQ(next[0].Id(), second.Id());
+}
+
+TEST(MempoolTest, ReportsDeferredCount) {
+  // The conflict-partitioning pass reports how many pooled transactions
+  // were held back (conflict-key collision or batch full).
+  Mempool pool(contracts::SharedDataConflictKey);
+  ASSERT_TRUE(pool.Add(MakeTx("alice", 1, "D13&D31")).ok());
+  ASSERT_TRUE(pool.Add(MakeTx("bob", 1, "D13&D31")).ok());    // conflicts
+  ASSERT_TRUE(pool.Add(MakeTx("carol", 1, "D23&D32")).ok());  // batches
+  ASSERT_TRUE(pool.Add(MakeTx("dave", 1, "D12&D21")).ok());   // over budget
+
+  size_t deferred = 0;
+  std::vector<Transaction> batch = pool.BuildBlockCandidate(2, &deferred);
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_EQ(deferred, 2u);  // bob (conflict) + dave (batch full)
+
+  deferred = 0;
+  EXPECT_EQ(pool.BuildBlockCandidate(10, &deferred).size(), 3u);
+  EXPECT_EQ(deferred, 1u);  // only the conflict defers with room to spare
 }
 
 TEST(MempoolTest, RemoveIncludedAndRemove) {

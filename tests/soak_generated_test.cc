@@ -135,6 +135,38 @@ TEST(SoakGeneratedTest, CanarySeedRepeatsByteIdentically) {
   EXPECT_EQ(first.chain_height, second.chain_height);
 }
 
+// Lanes determinism leg: the same seed at lane counts {1,4} must compute
+// the same network state. Compares the lane-invariant fingerprint — the
+// full fingerprint legitimately differs because block hashes carry the
+// lane id. The leg pins the shared network RNG stream untouched (zero
+// latency jitter, no drop storms): lane counts change how many block
+// broadcasts hit the wire, which would otherwise interleave differently
+// with the jitter/drop draws and fork the stream. This leg never uses the
+// medsync_cli replay handle (no shrink), so the replay-handle knob
+// constraint on SoakWorld does not bind here.
+TEST(SoakGeneratedTest, LaneCountsAgreeOnLaneInvariantFingerprint) {
+  SoakReport reports[2];
+  const size_t lane_counts[2] = {1, 4};
+  for (int l = 0; l < 2; ++l) {
+    const std::string root = FreshRoot(kCanarySeed);
+    GenOptions gen = SoakWorld(kCanarySeed, /*worker_threads=*/4, root);
+    gen.lane_count = lane_counts[l];
+    gen.latency.jitter = 0;
+    WorkloadOptions workload = SoakWorkload(kCanarySeed);
+    workload.storm_weight = 0;
+    const Status run = RunGeneratedSoak(gen, workload, SIZE_MAX, &reports[l]);
+    RemoveRoot(root);
+    ASSERT_TRUE(run.ok()) << "lanes " << lane_counts[l] << ": " << run;
+    ASSERT_FALSE(reports[l].lane_invariant_fingerprint.empty());
+  }
+  EXPECT_EQ(reports[0].lane_invariant_fingerprint,
+            reports[1].lane_invariant_fingerprint)
+      << "network state diverges across lane counts {1,4} for seed "
+      << kCanarySeed;
+  EXPECT_EQ(reports[0].executed, reports[1].executed);
+  EXPECT_EQ(reports[0].skipped, reports[1].skipped);
+}
+
 // The eight soak schedules must collectively exercise the whole adversity
 // menu — otherwise a weight regression could silently turn the soak into
 // a fair-weather test. Pure generation, no live network.

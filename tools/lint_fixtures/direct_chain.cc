@@ -1,0 +1,19 @@
+// Fixture for MS007: direct Blockchain construction outside the chain
+// layer. Three real construction sites plus decoys that must stay quiet.
+#include <memory>
+
+namespace medsync {
+
+void BuildsChainsDirectly() {
+  chain::Blockchain local(genesis, &sealer);               // fires
+  auto owned = std::make_unique<chain::Blockchain>(g, &s);  // fires
+  auto* raw = new chain::Blockchain(g, &s);                 // fires
+
+  // Decoys: references, accessors, and member declarations stay legal.
+  const chain::Blockchain& head = node.blockchain(0);
+  chain::Blockchain* pointer = &head_chain;
+  // chain::Blockchain commented(genesis, &sealer);  — comments are stripped
+  const char* text = "chain::Blockchain quoted(genesis)";
+}
+
+}  // namespace medsync

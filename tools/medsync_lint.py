@@ -32,6 +32,13 @@ Machine-checks the contracts the compiler cannot see (DESIGN.md section 12):
                         generator (core::GeneratedScenario, DESIGN.md
                         section 13) so seeds, adversity schedules, and the
                         soak oracles apply.
+  MS007 direct-chain    Direct chain::Blockchain construction outside the
+                        chain layer itself (src/chain/), its owner
+                        (src/runtime/), their unit tests (tests/chain_*),
+                        and the chain-core microbench. Everything else goes
+                        through runtime::ChainNode so transactions get a
+                        lane assignment (DESIGN.md section 14) — a bare
+                        Blockchain silently bypasses sharding.
 
 Usage:
   tools/medsync_lint.py [--root REPO_ROOT]
@@ -111,6 +118,20 @@ MS003_PATTERN = re.compile(r"(?<![A-Za-z0-9_])((?:std::|::)?(?:fwrite|rename))\s
 # (void)obj.Method(...), (void)ns::Fn(...), (void)ptr->Call(...).
 MS005_PATTERN = re.compile(r"\(\s*void\s*\)\s*[A-Za-z_][A-Za-z0-9_:.]*(?:->[A-Za-z0-9_:.]+)*\s*\(")
 
+# Direct Blockchain construction: a stack/member object (`Blockchain x(...)`
+# or `Blockchain x{...}`), make_unique, or new. Accessors returning
+# `Blockchain&` and member declarations without an initializer don't match.
+MS007_PATTERN = re.compile(
+    r"\b(?:chain::)?Blockchain\s+[A-Za-z_][A-Za-z0-9_]*\s*[({]"
+    r"|\bmake_unique<\s*(?:chain::)?Blockchain\b"
+    r"|\bnew\s+(?:chain::)?Blockchain\b")
+MS007_ALLOWED_PREFIXES = (
+    "src/chain/",          # the layer being constructed
+    "src/runtime/",        # ChainNode owns the per-lane chains
+    "tests/chain_",        # chain-layer unit tests
+    "bench/bench_chain_",  # chain-core microbench (raw-layer by design)
+)
+
 
 def _path_allowed(rel: str, prefixes) -> bool:
     return any(rel.startswith(p) for p in prefixes)
@@ -161,6 +182,15 @@ def lint_file(path: pathlib.Path, rel: str,
                 rel, lineno, "MS005",
                 "'(void)' cast of a call expression — handle the Status, "
                 "propagate it, or discard by name with IgnoreStatusForTest()"))
+        if not _path_allowed(rel, MS007_ALLOWED_PREFIXES):
+            match = MS007_PATTERN.search(line)
+            if match:
+                findings.append(Finding(
+                    rel, lineno, "MS007",
+                    "direct chain::Blockchain construction bypasses lane "
+                    "assignment (DESIGN.md section 14) — go through "
+                    "runtime::ChainNode (or core::GeneratedScenario) so "
+                    "transactions land in their assigned lane"))
     return findings
 
 

@@ -112,6 +112,27 @@ class PeerFleetRuleTest(unittest.TestCase):
         self.assertIn("GeneratedScenario", messages)
 
 
+class DirectChainRuleTest(unittest.TestCase):
+    def test_fires_on_stack_unique_and_new_outside_owners(self):
+        findings = lint_fixture("direct_chain.cc", "src/core/direct_chain.cc")
+        self.assertEqual(rule_ids(findings), ["MS007", "MS007", "MS007"])
+        self.assertIn("lane assignment", findings[0].message)
+
+    def test_allowed_inside_chain_runtime_and_their_tests(self):
+        for rel in ("src/chain/direct_chain.cc",
+                    "src/runtime/direct_chain.cc",
+                    "tests/chain_blockchain_test.cc",
+                    "bench/bench_chain_core.cc"):
+            self.assertEqual(lint_fixture("direct_chain.cc", rel), [])
+
+    def test_fires_in_non_chain_tests_and_benches(self):
+        for rel in ("tests/core_direct_chain_test.cc",
+                    "bench/bench_scalability.cc",
+                    "examples/direct_chain.cc"):
+            self.assertEqual(rule_ids(lint_fixture("direct_chain.cc", rel)),
+                             ["MS007", "MS007", "MS007"], rel)
+
+
 class CleanFixtureTest(unittest.TestCase):
     def test_decoys_do_not_fire(self):
         self.assertEqual(lint_fixture("clean.cc", "src/core/clean.cc"), [])
