@@ -61,8 +61,7 @@ void BM_GroupedLensPut(benchmark::State& state) {
                                   {kMedicationName});
   Table view = *lens->Get(source);
   if (!view.empty()) {
-    auto first = view.rows().begin();
-    IgnoreStatusForTest(view.UpdateAttribute(first->first, kMechanismOfAction,
+    IgnoreStatusForTest(view.UpdateAttribute(view.NthKey(0), kMechanismOfAction,
                                Value::String("edited mechanism")));
   }
   for (auto _ : state) {

@@ -93,7 +93,7 @@ void BM_SingleRowUpdateDeriveView(benchmark::State& state) {
   Table view = *lens->Get(source);
 
   std::vector<relational::Key> keys;
-  for (const auto& [key, row] : source.rows()) keys.push_back(key);
+  for (const auto& [key, row] : source.scan()) keys.push_back(key);
   uint64_t round = 0;
 
   // Full-derivation baseline for the same single-row workload.
@@ -159,7 +159,7 @@ void BM_ScanSharedViewVsFullRecords(benchmark::State& state) {
   size_t mech_idx = *target.schema().IndexOf(kMechanismOfAction);
   for (auto _ : state) {
     size_t interesting = 0;
-    for (const auto& [key, row] : target.rows()) {
+    for (const auto& [key, row] : target.scan()) {
       if (row[mech_idx].AsString().find("inhibition") != std::string::npos) {
         ++interesting;
       }

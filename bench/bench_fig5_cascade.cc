@@ -56,7 +56,7 @@ void BM_Fig5_NoDependencyHalf(benchmark::State& state) {
   // Pick medications present in the generated data.
   std::vector<Value> meds;
   relational::Table d2 = *clinic->researcher().database().Snapshot("D2");
-  for (const auto& [key, row] : d2.rows()) {
+  for (const auto& [key, row] : d2.scan()) {
     meds.push_back(key[0]);
   }
   uint64_t round = 0;
@@ -98,7 +98,7 @@ void BM_Fig5_FullTwoHopCascade(benchmark::State& state) {
   // Rotate over patient ids present in the data.
   std::vector<Value> ids;
   relational::Table d3 = *clinic->doctor().database().Snapshot("D3");
-  for (const auto& [key, row] : d3.rows()) {
+  for (const auto& [key, row] : d3.scan()) {
     ids.push_back(key[0]);
   }
   uint64_t round = 0;
@@ -135,7 +135,7 @@ void BM_Fig5_SingleHopBaseline(benchmark::State& state) {
                            core::DependencyStrategy::kAnalyzeChange);
   std::vector<Value> ids;
   relational::Table d3 = *clinic->doctor().database().Snapshot("D3");
-  for (const auto& [key, row] : d3.rows()) {
+  for (const auto& [key, row] : d3.scan()) {
     ids.push_back(key[0]);
   }
   uint64_t round = 0;
@@ -167,7 +167,7 @@ void BM_Fig5_DependencyCheckOnly(benchmark::State& state) {
   core::Peer& doctor = clinic->doctor();
   relational::Table before = *doctor.database().Snapshot("D3");
   // Disjoint change: a mechanism edit that D31 cannot see.
-  relational::Key first_key = before.rows().begin()->first;
+  relational::Key first_key = before.NthKey(0);
   if (!doctor.database()
            .UpdateAttribute("D3", first_key, medical::kMechanismOfAction,
                             Value::String("bench-mechanism"))
@@ -236,7 +236,7 @@ void BM_Fig5_DependencyCheckThreaded(benchmark::State& state) {
   }
 
   Table before = *db.Snapshot("SRC");
-  relational::Key first_key = before.rows().begin()->first;
+  relational::Key first_key = before.NthKey(0);
   if (!db.UpdateAttribute("SRC", first_key, kMedicationName,
                           Value::String("Threaded-Rename"))
            .ok()) {
@@ -321,7 +321,7 @@ void BM_Fig5_SingleRowDeltaCascade(benchmark::State& state) {
   }
 
   std::vector<relational::Key> keys;
-  for (const auto& [key, row] : source.rows()) keys.push_back(key);
+  for (const auto& [key, row] : source.scan()) keys.push_back(key);
 
   uint64_t round = 0;
   Table before = *db.Snapshot("SRC");
@@ -388,7 +388,7 @@ void BM_Fig5_CascadeUnderLoss(benchmark::State& state) {
 
   std::vector<Value> ids;
   relational::Table d3 = *clinic->doctor().database().Snapshot("D3");
-  for (const auto& [key, row] : d3.rows()) {
+  for (const auto& [key, row] : d3.scan()) {
     ids.push_back(key[0]);
   }
   uint64_t round = 0;

@@ -288,7 +288,7 @@ void BM_DependencyCheckScale_Threaded(benchmark::State& state) {
   }
 
   Table before = *db.Snapshot("FULL");
-  relational::Key first_key = before.rows().begin()->first;
+  relational::Key first_key = before.NthKey(0);
   if (!db.UpdateAttribute("FULL", first_key, kDosage,
                           Value::String("scale-dose"))
            .ok()) {

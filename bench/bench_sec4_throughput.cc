@@ -72,7 +72,7 @@ void BM_BatchedUpdatesPerRound(benchmark::State& state) {
   auto clinic = MakeClinic(interval, /*records=*/512);
   std::vector<Value> meds;
   relational::Table d2 = *clinic->researcher().database().Snapshot("D2");
-  for (const auto& [key, row] : d2.rows()) {
+  for (const auto& [key, row] : d2.scan()) {
     meds.push_back(key[0]);
   }
   if (static_cast<size_t>(batch) > meds.size()) {
@@ -158,9 +158,11 @@ void BM_ParallelIndependentTables(benchmark::State& state) {
         kPD, {Value::Int(1000)}, medical::kDosage,
         Value::String(StrCat("dose-", round)));
     Status s2 = clinic->researcher().UpdateSharedAttribute(
-        kDR, {Value::String(
-                  clinic->researcher().database().Snapshot("D2")->rows()
-                      .begin()->first[0].AsString())},
+        kDR, {Value::String(clinic->researcher()
+                                .database()
+                                .Snapshot("D2")
+                                ->NthKey(0)[0]
+                                .AsString())},
         medical::kMechanismOfAction,
         Value::String(StrCat("mech-", round)));
     ++round;

@@ -5,8 +5,9 @@
 #include <benchmark/benchmark.h>
 
 #include <chrono>
-
+#include <cstring>
 #include <filesystem>
+#include <fstream>
 #include <unistd.h>
 
 #include "common/strings.h"
@@ -195,7 +196,7 @@ void BM_SecondaryIndexDeltaVsRebuild(benchmark::State& state) {
       {.seed = 4, .record_count = static_cast<size_t>(state.range(0))});
   SecondaryIndex index = *SecondaryIndex::Build(table, medical::kAddress);
   std::vector<Key> keys;
-  for (const auto& [key, row] : table.rows()) keys.push_back(key);
+  for (const auto& [key, row] : table.scan()) keys.push_back(key);
   uint64_t round = 0;
   double maintain_seconds = 0;
   for (auto _ : state) {
@@ -230,6 +231,140 @@ void BM_SecondaryIndexDeltaVsRebuild(benchmark::State& state) {
 }
 BENCHMARK(BM_SecondaryIndexDeltaVsRebuild)
     ->ArgsProduct({{64, 1024, 16384}, {0, 1}});
+
+// ---------------------------------------------------------------------------
+// Columnar chunk engine at million-row scale (DESIGN.md section 15). These
+// are the EXPERIMENTS.md "storage engine" rows: bulk load + streamed
+// checkpoint, recovery, the merge scan, and the vectorized select speedup.
+// ---------------------------------------------------------------------------
+
+long ProcStatusKb(const char* field) {
+  std::ifstream in("/proc/self/status");
+  std::string line;
+  while (std::getline(in, line)) {
+    if (line.rfind(field, 0) == 0) {
+      return std::strtol(line.c_str() + std::strlen(field) + 1, nullptr, 10);
+    }
+  }
+  return -1;
+}
+
+Row WideRow(int64_t i) {
+  // 16 distinct ward strings: exercises the chunk dictionary encoding.
+  return Row{Value::Int(i), Value::String(StrCat("ward-", i % 16)),
+             Value::Int(i * 7)};
+}
+
+Schema WideSchema() {
+  return *Schema::Create({{"id", DataType::kInt, false},
+                          {"ward", DataType::kString, true},
+                          {"score", DataType::kInt, true}},
+                         {"id"});
+}
+
+void BM_ChunkedBulkLoadAndCheckpoint(benchmark::State& state) {
+  // End-to-end bulk load: logged inserts with sync_every_append off, one
+  // SealTable, one streamed (format-3) checkpoint. Items/s is rows loaded.
+  const int64_t rows = state.range(0);
+  for (auto _ : state) {
+    std::string dir = FreshDir();
+    {
+      Database::OpenOptions bulk;
+      bulk.sync_every_append = false;
+      Database db = *Database::Open(dir, bulk);
+      IgnoreStatusForTest(db.CreateTable("t", WideSchema()));
+      for (int64_t i = 0; i < rows; ++i) {
+        IgnoreStatusForTest(db.Insert("t", WideRow(i)));
+      }
+      IgnoreStatusForTest(db.SealTable("t"));
+      IgnoreStatusForTest(db.Checkpoint());
+    }
+    fs::remove_all(dir);
+  }
+  state.counters["VmHWM_mb"] =
+      static_cast<double>(ProcStatusKb("VmHWM")) / 1024.0;
+  state.counters["VmRSS_mb"] =
+      static_cast<double>(ProcStatusKb("VmRSS")) / 1024.0;
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_ChunkedBulkLoadAndCheckpoint)
+    ->Arg(1'000'000)
+    ->Unit(benchmark::kMillisecond)
+    ->Iterations(1);
+
+void BM_ChunkedRecover(benchmark::State& state) {
+  // Open() against a streamed checkpoint: manifest + per-chunk files.
+  const int64_t rows = state.range(0);
+  std::string dir = FreshDir();
+  {
+    Database::OpenOptions bulk;
+    bulk.sync_every_append = false;
+    Database db = *Database::Open(dir, bulk);
+    IgnoreStatusForTest(db.CreateTable("t", WideSchema()));
+    for (int64_t i = 0; i < rows; ++i) {
+      IgnoreStatusForTest(db.Insert("t", WideRow(i)));
+    }
+    IgnoreStatusForTest(db.SealTable("t"));
+    IgnoreStatusForTest(db.Checkpoint());
+  }
+  for (auto _ : state) {
+    Result<Database> db = Database::Open(dir);
+    benchmark::DoNotOptimize(db);
+  }
+  state.counters["VmHWM_mb"] =
+      static_cast<double>(ProcStatusKb("VmHWM")) / 1024.0;
+  state.SetItemsProcessed(state.iterations() * rows);
+  fs::remove_all(dir);
+}
+BENCHMARK(BM_ChunkedRecover)
+    ->Arg(1'000'000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_ChunkedMergeScan(benchmark::State& state) {
+  // Full table.scan() over sealed history + a live head: the merge
+  // iterator everyone outside src/relational/ must use (MS008).
+  const int64_t rows = state.range(0);
+  Table table(WideSchema());
+  for (int64_t i = 0; i < rows; ++i) {
+    IgnoreStatusForTest(table.Insert(WideRow(i)));
+  }
+  for (auto _ : state) {
+    int64_t sum = 0;
+    for (const auto& [key, row] : table.scan()) sum += row[2].AsInt();
+    benchmark::DoNotOptimize(sum);
+  }
+  state.counters["VmRSS_mb"] =
+      static_cast<double>(ProcStatusKb("VmRSS")) / 1024.0;
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_ChunkedMergeScan)
+    ->Arg(1'000'000)
+    ->Unit(benchmark::kMillisecond);
+
+void BM_SelectChunkedVsHeadOnly(benchmark::State& state) {
+  // The vectorized-select payoff: the same predicate over the same rows,
+  // either sealed into columnar chunks (dictionary-coded string column,
+  // per-column bitmap path in query.cc) or held row-wise in the head.
+  // range(1) selects the layout so the JSON carries both series.
+  const int64_t rows = state.range(0);
+  const bool sealed = state.range(1) == 1;
+  Table table(WideSchema());
+  if (!sealed) table.set_seal_threshold(1u << 30);
+  for (int64_t i = 0; i < rows; ++i) {
+    IgnoreStatusForTest(table.Insert(WideRow(i)));
+  }
+  if (sealed) table.Seal();
+  auto predicate =
+      Predicate::Compare("ward", CompareOp::kEq, Value::String("ward-3"));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(Select(table, predicate));
+  }
+  state.SetLabel(sealed ? "chunked" : "head_only");
+  state.SetItemsProcessed(state.iterations() * rows);
+}
+BENCHMARK(BM_SelectChunkedVsHeadOnly)
+    ->ArgsProduct({{1'000'000}, {0, 1}})
+    ->Unit(benchmark::kMillisecond);
 
 void BM_GroupByCount(benchmark::State& state) {
   Table records = medical::GenerateFullRecords(

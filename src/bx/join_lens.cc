@@ -62,7 +62,7 @@ Result<Table> LookupJoinLens::Get(const Table& source) const {
   std::vector<size_t> extras = ExtraIndices();
 
   Table view(view_schema);
-  for (const auto& [key, row] : source.rows()) {
+  for (const auto& [key, row] : source.scan()) {
     Key lookup;
     lookup.reserve(source_key_idx.size());
     for (size_t idx : source_key_idx) lookup.push_back(row[idx]);
@@ -95,7 +95,7 @@ Result<Table> LookupJoinLens::Put(const Table& source,
   const size_t source_arity = source.schema().attribute_count();
 
   Table updated(source.schema());
-  for (const auto& [key, vrow] : view.rows()) {
+  for (const auto& [key, vrow] : view.scan()) {
     Key lookup;
     lookup.reserve(view_key_idx.size());
     for (size_t idx : view_key_idx) lookup.push_back(vrow[idx]);

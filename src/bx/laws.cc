@@ -15,7 +15,7 @@ std::string DiffSummary(const Table& expected, const Table& actual) {
     return "schemas differ";
   }
   size_t missing = 0, extra = 0, changed = 0;
-  for (const auto& [key, row] : expected.rows()) {
+  for (const auto& [key, row] : expected.scan()) {
     std::optional<relational::Row> other = actual.Get(key);
     if (!other.has_value()) {
       ++missing;
@@ -23,7 +23,7 @@ std::string DiffSummary(const Table& expected, const Table& actual) {
       ++changed;
     }
   }
-  for (const auto& [key, row] : actual.rows()) {
+  for (const auto& [key, row] : actual.scan()) {
     if (!expected.Contains(key)) ++extra;
   }
   return StrCat(missing, " rows missing, ", extra, " rows extra, ", changed,

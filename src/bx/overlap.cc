@@ -26,7 +26,7 @@ Result<SourceChange> AnalyzeSourceChange(const Table& before,
   }
   const Schema& schema = before.schema();
   SourceChange change;
-  for (const auto& [key, row] : after.rows()) {
+  for (const auto& [key, row] : after.scan()) {
     std::optional<relational::Row> old = before.Get(key);
     if (!old.has_value()) {
       // An inserted row writes every non-null attribute it carries; an
@@ -43,7 +43,7 @@ Result<SourceChange> AnalyzeSourceChange(const Table& before,
       }
     }
   }
-  for (const auto& [key, row] : before.rows()) {
+  for (const auto& [key, row] : before.scan()) {
     if (!after.Contains(key)) {
       change.membership_changed = true;
       AddNonNullAttributes(schema, row, &change.changed_attributes);

@@ -128,7 +128,7 @@ Result<Table> ProjectLens::Put(const Table& source, const Table& view) const {
 
   if (RowAligned(ss)) {
     // 1:1 alignment on the shared key.
-    for (const auto& [vkey, vrow] : view.rows()) {
+    for (const auto& [vkey, vrow] : view.scan()) {
       std::optional<Row> existing = source.Get(vkey);
       if (existing.has_value()) {
         Row merged = *existing;
@@ -150,15 +150,17 @@ Result<Table> ProjectLens::Put(const Table& source, const Table& view) const {
     return result;
   }
 
-  // Grouped alignment: group source rows by their view-key value.
-  std::map<Key, std::vector<const Row*>> groups;
-  for (const auto& [skey, srow] : source.rows()) {
+  // Grouped alignment: group source rows by their view-key value. Rows are
+  // copied out of the scan — its entry references only live until the
+  // iterator advances.
+  std::map<Key, std::vector<Row>> groups;
+  for (const auto& [skey, srow] : source.scan()) {
     MEDSYNC_ASSIGN_OR_RETURN(std::vector<Value> group_key,
                              ValuesOf(ss, srow, view_key_));
-    groups[std::move(group_key)].push_back(&srow);
+    groups[std::move(group_key)].push_back(srow);
   }
 
-  for (const auto& [vkey, vrow] : view.rows()) {
+  for (const auto& [vkey, vrow] : view.scan()) {
     auto it = groups.find(vkey);
     if (it == groups.end()) {
       if (!view_has_source_key) {
@@ -171,8 +173,8 @@ Result<Table> ProjectLens::Put(const Table& source, const Table& view) const {
       continue;
     }
     // Write the view row's attributes into every source row of the group.
-    for (const Row* srow : it->second) {
-      Row merged = *srow;
+    for (const Row& srow : it->second) {
+      Row merged = srow;
       for (size_t i = 0; i < attributes_.size(); ++i) {
         merged[src_idx[i]] = vrow[i];
       }

@@ -33,7 +33,7 @@ Result<Table> SelectLens::Put(const Table& source, const Table& view) const {
   }
 
   // Every view row must satisfy the predicate, or PutGet would break.
-  for (const auto& [key, row] : view.rows()) {
+  for (const auto& [key, row] : view.scan()) {
     MEDSYNC_ASSIGN_OR_RETURN(bool matches,
                              predicate_->Evaluate(view.schema(), row));
     if (!matches) {
@@ -46,7 +46,7 @@ Result<Table> SelectLens::Put(const Table& source, const Table& view) const {
 
   // Keep the hidden complement.
   Table result(source.schema());
-  for (const auto& [key, row] : source.rows()) {
+  for (const auto& [key, row] : source.scan()) {
     MEDSYNC_ASSIGN_OR_RETURN(bool matches,
                              predicate_->Evaluate(source.schema(), row));
     if (!matches) {
@@ -54,7 +54,7 @@ Result<Table> SelectLens::Put(const Table& source, const Table& view) const {
     }
   }
   // Overlay the view.
-  for (const auto& [key, row] : view.rows()) {
+  for (const auto& [key, row] : view.scan()) {
     Status s = result.Insert(row);
     if (s.IsAlreadyExists()) {
       return Status::Conflict(

@@ -141,6 +141,7 @@ void Peer::RestorePersistedState(TableState* state) {
 
 Result<size_t> Peer::SyncWithChain() {
   size_t behind = 0;
+  const std::string self_hex = key_.address().ToHex();
   for (auto& [table_id, state] : tables_) {
     Json params = Json::MakeObject();
     params.Set("table_id", table_id);
@@ -154,18 +155,53 @@ Result<size_t> Peer::SyncWithChain() {
     MEDSYNC_ASSIGN_OR_RETURN(int64_t chain_version, entry->GetInt("version"));
     MEDSYNC_ASSIGN_OR_RETURN(std::string chain_digest,
                              entry->GetString("content_digest"));
-    if (static_cast<uint64_t>(chain_version) <= state.version) continue;
+    if (static_cast<uint64_t>(chain_version) < state.version) continue;
     if (pending_fetches_.count(table_id) > 0) continue;
+
+    // Same version: usually settled, but a lossy network can wedge the
+    // update round here in two ways. A lane reorg may have rewritten which
+    // transaction became this version after our receipt fired (receipts
+    // are at-most-once, never retracted), leaving us holding content the
+    // canonical chain never recorded; and our ack_update transaction may
+    // have been dropped or evicted before sealing, leaving us in
+    // pending_acks forever. Either wedge denies every future update of the
+    // table, so reconcile both.
+    const bool reorged = static_cast<uint64_t>(chain_version) ==
+                             state.version &&
+                         state.digest != chain_digest;
+    if (static_cast<uint64_t>(chain_version) == state.version && !reorged) {
+      bool self_pending = false;
+      if (entry->At("pending_acks").is_array()) {
+        for (const Json& pending : entry->At("pending_acks").AsArray()) {
+          if (pending.AsString() == self_hex) {
+            self_pending = true;
+            break;
+          }
+        }
+      }
+      if (!self_pending) continue;
+      ++behind;
+      Trace(StrCat("catch-up: '", table_id, "' version ", state.version,
+                   " fetched but the chain still lists us pending; ",
+                   "re-acking"));
+      LogIfError(SubmitAck(state, state.version, state.digest), "peer",
+                 "catch-up re-ack");
+      continue;
+    }
 
     std::string updater_hex;
     if (entry->At("last_updater").is_string()) {
       updater_hex = entry->At("last_updater").AsString();
     }
-    Result<std::string> updater_name = NameOfAddress(updater_hex);
+    Result<std::string> updater_name =
+        updater_hex == self_hex ? Status::NotFound("self is the updater")
+                                : NameOfAddress(updater_hex);
     if (!updater_name.ok()) {
-      // Fall back to any other known peer of the table.
+      // Fall back to any other known peer of the table (on a reorg we may
+      // BE the stale last updater; a peer that acked holds the canonical
+      // content).
       for (const Json& peer_json : entry->At("peers").AsArray()) {
-        if (peer_json.AsString() == key_.address().ToHex()) continue;
+        if (peer_json.AsString() == self_hex) continue;
         updater_name = NameOfAddress(peer_json.AsString());
         if (updater_name.ok()) break;
       }
@@ -175,9 +211,15 @@ Result<size_t> Peer::SyncWithChain() {
       continue;
     }
     ++behind;
-    Trace(StrCat("catch-up: '", table_id, "' local version ", state.version,
-                 " < chain version ", chain_version, "; fetching from ",
-                 *updater_name));
+    if (reorged) {
+      Trace(StrCat("catch-up: '", table_id, "' version ", state.version,
+                   " digest diverged from the chain (reorg); re-fetching ",
+                   "from ", *updater_name));
+    } else {
+      Trace(StrCat("catch-up: '", table_id, "' local version ", state.version,
+                   " < chain version ", chain_version, "; fetching from ",
+                   *updater_name));
+    }
     StartFetch(table_id, static_cast<uint64_t>(chain_version), chain_digest,
                *updater_name);
   }
@@ -794,8 +836,19 @@ Status Peer::ApplyFetchedUpdate(const std::string& table_id,
   }
 
   // Ack on-chain so the update round can complete (Fig. 4 step 5/6).
+  MEDSYNC_RETURN_IF_ERROR(SubmitAck(state, version, digest));
+  Trace(StrCat("acked '", table_id, "' version ", version, " on-chain"));
+
+  if (change.ok()) {
+    CascadeAfterSourceChange(source, before, table_id, /*fig5_step=*/11);
+  }
+  return Status::OK();
+}
+
+Status Peer::SubmitAck(const TableState& state, uint64_t version,
+                       const std::string& digest) {
   Json params = Json::MakeObject();
-  params.Set("table_id", table_id);
+  params.Set("table_id", state.config.table_id);
   params.Set("version", version);
   params.Set("digest", digest);
   chain::Transaction tx =
@@ -803,12 +856,7 @@ Status Peer::ApplyFetchedUpdate(const std::string& table_id,
   MEDSYNC_RETURN_IF_ERROR(node_->SubmitTransaction(std::move(tx)));
   ++stats_.acks_sent;
   metrics::Inc(counters_.acks_sent);
-  RecordStep(5, 10, "ack_update", table_id, "submitted");
-  Trace(StrCat("acked '", table_id, "' version ", version, " on-chain"));
-
-  if (change.ok()) {
-    CascadeAfterSourceChange(source, before, table_id, /*fig5_step=*/11);
-  }
+  RecordStep(5, 10, "ack_update", state.config.table_id, "submitted");
   return Status::OK();
 }
 

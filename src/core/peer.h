@@ -97,8 +97,13 @@ class Peer : public net::Endpoint {
   /// Catch-up after a restart or a long offline period: queries the
   /// contract entry for every adopted table; if the on-chain version is
   /// ahead of the local one, starts a fetch from the last updater (who, by
-  /// the protocol, holds the newest content). Returns the number of tables
-  /// that were behind.
+  /// the protocol, holds the newest content). Also reconciles two stuck
+  /// same-version states that lossy networks can leave behind: a lane
+  /// reorg that rewrote which transaction became our version after our
+  /// receipt fired (local digest no longer matches the canonical one —
+  /// re-fetch), and a lost ack_update transaction (the entry still lists
+  /// us in pending_acks — re-ack). Returns the number of tables that
+  /// needed any of this.
   Result<size_t> SyncWithChain();
 
   const std::string& name() const { return config_.name; }
@@ -336,6 +341,12 @@ class Peer : public net::Endpoint {
                             const relational::Table& content,
                             uint64_t version, const std::string& digest,
                             Micros started_at);
+
+  /// Submits an ack_update transaction for `version`/`digest` of the
+  /// table. Used on every fetch apply and by SyncWithChain when an earlier
+  /// ack transaction was lost before sealing.
+  Status SubmitAck(const TableState& state, uint64_t version,
+                   const std::string& digest);
 
   /// Propagates a source change to sibling shared views. `fig5_step` is 6
   /// when this peer initiated the update, 11 when it follows a fetched one.

@@ -546,7 +546,7 @@ Status GeneratedScenario::Bootstrap() {
   }
   Table remapped(global.schema());
   size_t next_target = 0;
-  for (const auto& [key, row] : global.rows()) {
+  for (const auto& [key, row] : global.scan()) {
     relational::Row moved = row;
     moved[*key_index] = Value::Int(target_ids[next_target++]);
     MEDSYNC_RETURN_IF_ERROR(remapped.Insert(std::move(moved)));
@@ -724,7 +724,7 @@ Status GeneratedScenario::CrashPeer(size_t i, bool torn_tail) {
       MEDSYNC_ASSIGN_OR_RETURN(Table snapshot,
                                peers_[i]->database().Snapshot(source));
       if (snapshot.empty()) continue;
-      const relational::Key key = snapshot.rows().begin()->first;
+      const relational::Key key = snapshot.NthKey(0);
       const std::string attr = table.raw_attributes[0];
       injector_.TornWrite("wal.append.write", 5);
       Status doomed = peers_[i]->UpdateSourceAndPropagate(

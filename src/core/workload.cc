@@ -31,7 +31,7 @@ bool IsSkippable(const Status& status) {
 std::vector<relational::Key> KeysInRange(const Table& table, int64_t lo,
                                          int64_t hi) {
   std::vector<relational::Key> keys;
-  for (const auto& [key, row] : table.rows()) {
+  for (const auto& [key, row] : table.scan()) {
     if (key.empty() || key[0].type() != relational::DataType::kInt) continue;
     const int64_t id = key[0].AsInt();
     if (id >= lo && id <= hi) keys.push_back(key);
@@ -371,7 +371,7 @@ Status WorkloadRunner::RunEvent(const WorkloadEvent& event) {
                                actor->ReadSharedTable(table.table_id));
       if (view.empty()) return Status::NotFound("view is empty");
       std::vector<relational::Key> keys;
-      for (const auto& [key, row] : view.rows()) keys.push_back(key);
+      for (const auto& [key, row] : view.scan()) keys.push_back(key);
       const relational::Key& key =
           keys[static_cast<size_t>(event.arg) % keys.size()];
       Status updated = actor->UpdateSharedAttribute(

@@ -32,7 +32,7 @@ Result<Table> SuppressAttributes(const Table& input,
     indices.push_back(*idx);
   }
   Table out(schema);
-  for (const auto& [key, row] : input.rows()) {
+  for (const auto& [key, row] : input.scan()) {
     Row scrubbed = row;
     for (size_t idx : indices) scrubbed[idx] = Value::Null();
     MEDSYNC_RETURN_IF_ERROR(out.Insert(std::move(scrubbed)));
@@ -53,7 +53,7 @@ Result<Table> GeneralizeAttribute(
         StrCat("cannot generalize key attribute '", attribute, "'"));
   }
   Table out(schema);
-  for (const auto& [key, row] : input.rows()) {
+  for (const auto& [key, row] : input.scan()) {
     Row rewritten = row;
     if (!rewritten[*idx].is_null()) {
       rewritten[*idx] = generalize(rewritten[*idx]);
@@ -93,7 +93,7 @@ Result<size_t> SmallestEquivalenceClass(
   }
   if (input.empty()) return static_cast<size_t>(0);
   std::map<std::vector<Value>, size_t> classes;
-  for (const auto& [key, row] : input.rows()) {
+  for (const auto& [key, row] : input.scan()) {
     std::vector<Value> qi;
     qi.reserve(indices.size());
     for (size_t idx : indices) qi.push_back(row[idx]);
@@ -135,7 +135,7 @@ Result<size_t> SmallestSensitiveDiversity(
   if (input.empty()) return static_cast<size_t>(0);
 
   std::map<std::vector<Value>, std::set<Value>> classes;
-  for (const auto& [key, row] : input.rows()) {
+  for (const auto& [key, row] : input.scan()) {
     std::vector<Value> qi;
     qi.reserve(qi_indices.size());
     for (size_t idx : qi_indices) qi.push_back(row[idx]);

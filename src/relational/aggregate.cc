@@ -145,7 +145,7 @@ Result<Table> GroupBy(const Table& input,
 
   // Accumulate per group.
   std::map<std::vector<Value>, std::vector<Accumulator>> groups;
-  for (const auto& [key, row] : input.rows()) {
+  for (const auto& [key, row] : input.scan()) {
     std::vector<Value> group_key;
     group_key.reserve(group_idx.size());
     for (size_t idx : group_idx) {
@@ -189,7 +189,7 @@ Result<Table> Aggregate(const Table& input,
                            input.schema().key_attributes());
   }();
   Table widened(widened_schema);
-  for (const auto& [key, row] : input.rows()) {
+  for (const auto& [key, row] : input.scan()) {
     Row extended = row;
     extended.push_back(Value::Int(0));
     MEDSYNC_RETURN_IF_ERROR(widened.Insert(std::move(extended)));

@@ -1,5 +1,6 @@
 #include "relational/database.h"
 
+#include <dirent.h>
 #include <fcntl.h>
 #include <sys/stat.h>
 #include <unistd.h>
@@ -7,9 +8,11 @@
 #include <cerrno>
 #include <cstdio>
 #include <cstring>
+#include <set>
 
 #include "common/fault_injector.h"
 #include "common/strings.h"
+#include "relational/chunk.h"
 
 namespace medsync::relational {
 
@@ -17,6 +20,44 @@ namespace {
 
 constexpr char kSnapshotFile[] = "snapshot.json";
 constexpr char kWalFile[] = "wal.log";
+constexpr char kChunksDir[] = "chunks";
+constexpr char kChunkSuffix[] = ".chunk";
+
+/// Snapshot formats this build can read. Checkpoint always writes the
+/// newest; anything else in the "format" field is a different (future or
+/// corrupted) layout and must not be guessed at.
+constexpr int64_t kSnapshotFormatLegacyRows = 2;
+constexpr int64_t kSnapshotFormatChunked = 3;
+
+bool FileExists(const std::string& path) {
+  struct stat st;
+  return ::stat(path.c_str(), &st) == 0;
+}
+
+/// Chunk ids are hex SHA-256 strings; anything else in a manifest is
+/// corruption (and must never be spliced into a filesystem path).
+bool IsValidChunkId(const std::string& id) {
+  if (id.size() != 64) return false;
+  for (char c : id) {
+    if (!((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f'))) return false;
+  }
+  return true;
+}
+
+Status SyncDirectory(const std::string& dir) {
+  int dir_fd = ::open(dir.c_str(), O_RDONLY);
+  if (dir_fd < 0) {
+    return Status::Unavailable(
+        StrCat("cannot open directory '", dir, "': ", std::strerror(errno)));
+  }
+  bool synced = ::fsync(dir_fd) == 0;
+  ::close(dir_fd);
+  if (!synced) {
+    return Status::Unavailable(
+        StrCat("cannot sync directory '", dir, "': ", std::strerror(errno)));
+  }
+  return Status::OK();
+}
 
 Result<std::string> ReadFileToString(const std::string& path, bool* exists) {
   FILE* f = std::fopen(path.c_str(), "rb");
@@ -106,9 +147,117 @@ Status WriteStringToFile(const std::string& path, const std::string& data) {
   return Status::OK();
 }
 
+/// Writes one content-addressed chunk file: temp + fsync + rename, like the
+/// manifest, but WITHOUT a per-file directory sync — the checkpoint syncs
+/// the chunks directory once after the whole batch. A crash mid-write
+/// leaves at worst a stale `.tmp` and an unreferenced chunk, both invisible
+/// to recovery and collected by the next checkpoint's GC.
+Status WriteChunkFile(const std::string& path, const std::string& data) {
+  MEDSYNC_RETURN_IF_ERROR(CheckFaultPoint("db.checkpoint.chunk_write"));
+  std::string tmp = path + ".tmp";
+  int fd = ::open(tmp.c_str(), O_WRONLY | O_CREAT | O_TRUNC, 0644);
+  if (fd < 0) {
+    return Status::Unavailable(
+        StrCat("cannot write '", tmp, "': ", std::strerror(errno)));
+  }
+  const char* p = data.data();
+  size_t remaining = data.size();
+  while (remaining > 0) {
+    ssize_t n = ::write(fd, p, remaining);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      ::close(fd);
+      return Status::Unavailable(
+          StrCat("short write to '", tmp, "': ", std::strerror(errno)));
+    }
+    p += n;
+    remaining -= static_cast<size_t>(n);
+  }
+  bool synced = ::fsync(fd) == 0;
+  synced = (::close(fd) == 0) && synced;
+  if (!synced) {
+    return Status::Unavailable(
+        StrCat("cannot sync '", tmp, "': ", std::strerror(errno)));
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    return Status::Unavailable(
+        StrCat("cannot rename '", tmp, "': ", std::strerror(errno)));
+  }
+  return Status::OK();
+}
+
+/// Loads one table of a format-3 manifest: schema + content-addressed
+/// chunk files + head rows + tombstones, revalidating the two-tier
+/// invariants via Table::FromParts.
+Result<Table> LoadChunkedTable(const std::string& dir,
+                               const std::string& table_name,
+                               const Json& table_json) {
+  MEDSYNC_ASSIGN_OR_RETURN(Schema schema,
+                           Schema::FromJson(table_json.At("schema")));
+  const Json& chunks_json = table_json.At("chunks");
+  const Json& head_json = table_json.At("head");
+  const Json& tombstones_json = table_json.At("tombstones");
+  if (!chunks_json.is_array() || !head_json.is_array() ||
+      !tombstones_json.is_array()) {
+    return Status::Corruption(StrCat("snapshot table '", table_name,
+                                     "' is missing chunks/head/tombstones"));
+  }
+
+  std::vector<std::shared_ptr<const Chunk>> chunks;
+  for (const Json& id_json : chunks_json.AsArray()) {
+    if (!id_json.is_string()) {
+      return Status::Corruption(
+          StrCat("snapshot table '", table_name, "' has a non-string chunk id"));
+    }
+    const std::string& id = id_json.AsString();
+    if (!IsValidChunkId(id)) {
+      return Status::Corruption(StrCat("snapshot table '", table_name,
+                                       "' references malformed chunk id '", id,
+                                       "'"));
+    }
+    std::string path = StrCat(dir, "/", kChunksDir, "/", id, kChunkSuffix);
+    bool exists = false;
+    MEDSYNC_ASSIGN_OR_RETURN(std::string bytes,
+                             ReadFileToString(path, &exists));
+    if (!exists) {
+      return Status::Corruption(StrCat("snapshot table '", table_name,
+                                       "' references missing chunk file '",
+                                       path, "'"));
+    }
+    MEDSYNC_ASSIGN_OR_RETURN(std::shared_ptr<const Chunk> chunk,
+                             Chunk::Deserialize(schema, bytes));
+    if (chunk->id() != id) {
+      return Status::Corruption(
+          StrCat("chunk file '", path, "' content hashes to ", chunk->id(),
+                 ", not its file name — the file was tampered with or "
+                 "mis-addressed"));
+    }
+    chunks.push_back(std::move(chunk));
+  }
+
+  std::vector<Row> head_rows;
+  head_rows.reserve(head_json.AsArray().size());
+  for (const Json& row_json : head_json.AsArray()) {
+    MEDSYNC_ASSIGN_OR_RETURN(Row row, RowFromJson(row_json));
+    head_rows.push_back(std::move(row));
+  }
+  std::vector<Key> tombstones;
+  tombstones.reserve(tombstones_json.AsArray().size());
+  for (const Json& key_json : tombstones_json.AsArray()) {
+    MEDSYNC_ASSIGN_OR_RETURN(Key key, RowFromJson(key_json));
+    tombstones.push_back(std::move(key));
+  }
+  return Table::FromParts(std::move(schema), std::move(chunks),
+                          std::move(head_rows), std::move(tombstones));
+}
+
 }  // namespace
 
 Result<Database> Database::Open(const std::string& dir) {
+  return Open(dir, OpenOptions());
+}
+
+Result<Database> Database::Open(const std::string& dir, OpenOptions options) {
   if (::mkdir(dir.c_str(), 0755) != 0 && errno != EEXIST) {
     return Status::Unavailable(
         StrCat("cannot create directory '", dir, "': ", std::strerror(errno)));
@@ -117,9 +266,11 @@ Result<Database> Database::Open(const std::string& dir) {
   Database db;
   db.dir_ = dir;
 
-  // Load snapshot if present. Format 2 records which WAL prefix the
-  // snapshot already covers ({"format":2,"wal_through":K,"tables":{...}});
-  // a legacy snapshot is the bare tables object and covers nothing.
+  // Load snapshot if present. Formats 2 and 3 record which WAL prefix the
+  // snapshot already covers ({"format":N,"wal_through":K,"tables":{...}});
+  // a legacy snapshot is the bare tables object and covers nothing. Any
+  // OTHER format number is some future (or corrupted) layout: parsing it
+  // as a known one would silently misread data, so Open refuses.
   uint64_t wal_through = 0;
   bool exists = false;
   MEDSYNC_ASSIGN_OR_RETURN(
@@ -131,7 +282,16 @@ Result<Database> Database::Open(const std::string& dir) {
       return Status::Corruption("snapshot is not a JSON object");
     }
     const Json* tables_json = &snapshot;
+    int64_t format = 0;
     if (snapshot.GetInt("format").ok()) {
+      format = *snapshot.GetInt("format");
+      if (format != kSnapshotFormatLegacyRows &&
+          format != kSnapshotFormatChunked) {
+        return Status::Corruption(
+            StrCat("snapshot format ", format, " is not supported (this "
+                   "build reads formats ", kSnapshotFormatLegacyRows, " and ",
+                   kSnapshotFormatChunked, ")"));
+      }
       MEDSYNC_ASSIGN_OR_RETURN(int64_t through,
                                snapshot.GetInt("wal_through"));
       wal_through = static_cast<uint64_t>(through);
@@ -141,8 +301,14 @@ Result<Database> Database::Open(const std::string& dir) {
       tables_json = &snapshot.At("tables");
     }
     for (const auto& [name, table_json] : tables_json->AsObject()) {
-      MEDSYNC_ASSIGN_OR_RETURN(Table table, Table::FromJson(table_json));
-      db.tables_.emplace(name, std::move(table));
+      if (format == kSnapshotFormatChunked) {
+        MEDSYNC_ASSIGN_OR_RETURN(Table table,
+                                 LoadChunkedTable(dir, name, table_json));
+        db.tables_.emplace(name, std::move(table));
+      } else {
+        MEDSYNC_ASSIGN_OR_RETURN(Table table, Table::FromJson(table_json));
+        db.tables_.emplace(name, std::move(table));
+      }
     }
   }
 
@@ -154,8 +320,9 @@ Result<Database> Database::Open(const std::string& dir) {
   // The commit path's acknowledgement implies durability, so every logged
   // operation is fdatasync'd before the mutation is applied.
   MEDSYNC_ASSIGN_OR_RETURN(
-      Wal wal, Wal::Open(dir + "/" + kWalFile, &records,
-                         Wal::Options{.sync_every_append = true}));
+      Wal wal,
+      Wal::Open(dir + "/" + kWalFile, &records,
+                Wal::Options{.sync_every_append = options.sync_every_append}));
   for (const WalRecord& record : records) {
     if (record.lsn <= wal_through) continue;
     Status s = ApplyOp(record.payload, &db.tables_);
@@ -237,31 +404,79 @@ Status Database::ApplyOp(const Json& op, std::map<std::string, Table>* tables) {
   return Status::InvalidArgument(StrCat("unknown database op '", kind, "'"));
 }
 
-Status Database::LogAndApply(const Json& op) {
-  // Validate against a scratch application first when the op could fail,
-  // so the WAL never records a failing operation. Cheap ops are validated
-  // by running them on a copy of just the affected table.
-  std::map<std::string, Table> scratch;
-  auto name_result = op.GetString("table");
-  if (name_result.ok()) {
-    auto it = tables_.find(*name_result);
-    if (it != tables_.end()) scratch.emplace(it->first, it->second);
+Status Database::CheckOp(const Json& op,
+                         const std::map<std::string, Table>& tables) {
+  MEDSYNC_ASSIGN_OR_RETURN(std::string kind, op.GetString("op"));
+
+  if (kind == "create_table") {
+    MEDSYNC_ASSIGN_OR_RETURN(std::string name, op.GetString("table"));
+    if (tables.count(name) > 0) {
+      return Status::AlreadyExists(StrCat("table '", name, "' exists"));
+    }
+    return Schema::FromJson(op.At("schema")).status();
   }
-  MEDSYNC_RETURN_IF_ERROR(ApplyOp(op, &scratch));
+
+  MEDSYNC_ASSIGN_OR_RETURN(std::string name, op.GetString("table"));
+  auto it = tables.find(name);
+  if (it == tables.end()) {
+    return Status::NotFound(StrCat("no table '", name, "'"));
+  }
+  const Table& table = it->second;
+
+  if (kind == "drop_table") return Status::OK();
+  if (kind == "insert") {
+    MEDSYNC_ASSIGN_OR_RETURN(Row row, RowFromJson(op.At("row")));
+    return table.CheckInsert(row);
+  }
+  if (kind == "update") {
+    MEDSYNC_ASSIGN_OR_RETURN(Row row, RowFromJson(op.At("row")));
+    return table.CheckUpdate(row);
+  }
+  if (kind == "upsert") {
+    MEDSYNC_ASSIGN_OR_RETURN(Row row, RowFromJson(op.At("row")));
+    return table.CheckUpsert(row);
+  }
+  if (kind == "update_attr") {
+    MEDSYNC_ASSIGN_OR_RETURN(Key key, RowFromJson(op.At("key")));
+    MEDSYNC_ASSIGN_OR_RETURN(std::string attr, op.GetString("attr"));
+    MEDSYNC_ASSIGN_OR_RETURN(Value value, Value::FromJson(op.At("value")));
+    return table.CheckUpdateAttribute(key, attr, value);
+  }
+  if (kind == "delete") {
+    MEDSYNC_ASSIGN_OR_RETURN(Key key, RowFromJson(op.At("key")));
+    return table.CheckDelete(key);
+  }
+  if (kind == "apply_delta") {
+    MEDSYNC_ASSIGN_OR_RETURN(TableDelta delta,
+                             TableDelta::FromJson(op.At("delta")));
+    return ValidateDelta(delta, table);
+  }
+  if (kind == "replace_table") {
+    MEDSYNC_ASSIGN_OR_RETURN(Table contents,
+                             Table::FromJson(op.At("contents")));
+    if (contents.schema() != table.schema()) {
+      return Status::InvalidArgument(
+          StrCat("replace_table schema mismatch for '", name, "'"));
+    }
+    return Status::OK();
+  }
+  return Status::InvalidArgument(StrCat("unknown database op '", kind, "'"));
+}
+
+Status Database::LogAndApply(const Json& op) {
+  // Validate read-only against the live catalog, so the WAL never records
+  // a failing operation. CheckOp mirrors every failure mode of ApplyOp and
+  // every table op is all-or-nothing, so the post-append apply cannot fail
+  // — and no scratch copy of the table is made. (The old per-op copy cost
+  // O(head) per mutation, which made million-row bulk loads quadratic.)
+  MEDSYNC_RETURN_IF_ERROR(CheckOp(op, tables_));
 
   if (wal_.has_value()) {
     MEDSYNC_RETURN_IF_ERROR(wal_->Append(op).status());
   }
-  // Commit the validated result.
-  for (auto& [name, table] : scratch) {
-    tables_[name] = std::move(table);
-  }
-  // Handle drops (scratch application erased the entry).
-  auto kind = op.GetString("op");
-  if (kind.ok() && *kind == "drop_table" && name_result.ok()) {
-    tables_.erase(*name_result);
-  }
-  return Status::OK();
+  Status applied = ApplyOp(op, &tables_);
+  assert(applied.ok());
+  return applied;
 }
 
 Status Database::CreateTable(const std::string& name, const Schema& schema) {
@@ -393,6 +608,15 @@ Status Database::ReplaceTable(const std::string& table,
   return LogAndApply(op);
 }
 
+Status Database::SealTable(const std::string& table) {
+  auto it = tables_.find(table);
+  if (it == tables_.end()) {
+    return Status::NotFound(StrCat("no table '", table, "'"));
+  }
+  it->second.Seal();
+  return Status::OK();
+}
+
 void Database::Transaction::Insert(const std::string& table, Row row) {
   Json op = Json::MakeObject();
   op.Set("op", "insert");
@@ -451,12 +675,63 @@ Status Database::Commit(Transaction&& txn) {
 Status Database::Checkpoint() {
   if (!wal_.has_value()) return Status::OK();
   MEDSYNC_RETURN_IF_ERROR(CheckFaultPoint("db.checkpoint.before_snapshot"));
+
+  // Phase 1 — stream sealed chunks to their content-addressed files. Only
+  // chunks not already on disk are written (an id names its bytes, so an
+  // existing file IS the chunk); a steady-state checkpoint therefore writes
+  // O(head) bytes, not O(history). Written before the manifest: a crash
+  // here leaves unreferenced files, never a manifest pointing at nothing.
+  std::string chunks_dir = StrCat(dir_, "/", kChunksDir);
+  std::set<std::string> referenced;
+  bool wrote_chunk = false;
+  for (const auto& [name, table] : tables_) {
+    for (const std::shared_ptr<const Chunk>& chunk : table.chunks()) {
+      std::string file_name = StrCat(chunk->id(), kChunkSuffix);
+      if (!referenced.insert(file_name).second) continue;  // shared content
+      std::string path = StrCat(chunks_dir, "/", file_name);
+      if (FileExists(path)) continue;
+      if (!wrote_chunk) {
+        if (::mkdir(chunks_dir.c_str(), 0755) != 0 && errno != EEXIST) {
+          return Status::Unavailable(StrCat("cannot create directory '",
+                                            chunks_dir,
+                                            "': ", std::strerror(errno)));
+        }
+      }
+      MEDSYNC_RETURN_IF_ERROR(
+          WriteChunkFile(path, chunk->SerializeFile(/*compress=*/true)));
+      wrote_chunk = true;
+    }
+  }
+  if (wrote_chunk) {
+    // One directory sync covers every rename of this batch.
+    MEDSYNC_RETURN_IF_ERROR(SyncDirectory(chunks_dir));
+  }
+
+  // Phase 2 — the manifest: per table, schema + chunk ids + the (small,
+  // threshold-bounded) head rows and tombstones as JSON.
   Json tables = Json::MakeObject();
   for (const auto& [name, table] : tables_) {
-    tables.Set(name, table.ToJson());
+    Json chunk_ids = Json::MakeArray();
+    for (const std::shared_ptr<const Chunk>& chunk : table.chunks()) {
+      chunk_ids.Append(chunk->id());
+    }
+    Json head = Json::MakeArray();
+    for (const auto& [key, row] : table.head()) {
+      head.Append(RowToJson(row));
+    }
+    Json tombstones = Json::MakeArray();
+    for (const Key& key : table.tombstones()) {
+      tombstones.Append(RowToJson(key));
+    }
+    Json t = Json::MakeObject();
+    t.Set("schema", table.schema().ToJson());
+    t.Set("chunks", std::move(chunk_ids));
+    t.Set("head", std::move(head));
+    t.Set("tombstones", std::move(tombstones));
+    tables.Set(name, std::move(t));
   }
   Json snapshot = Json::MakeObject();
-  snapshot.Set("format", static_cast<int64_t>(2));
+  snapshot.Set("format", kSnapshotFormatChunked);
   // Everything the WAL has logged so far is applied to tables_, so the
   // snapshot covers the full assigned-LSN prefix. LSNs survive Reset(),
   // which is what keeps this claim true in every crash window: whether the
@@ -465,6 +740,27 @@ Status Database::Checkpoint() {
   snapshot.Set("tables", std::move(tables));
   MEDSYNC_RETURN_IF_ERROR(
       WriteStringToFile(dir_ + "/" + kSnapshotFile, snapshot.Dump()));
+
+  // Phase 3 — GC, only after the manifest rename is durable: delete chunk
+  // files the new manifest does not reference (left by compactions, drops,
+  // or earlier crashes). Failure here is ignored — stale files cost disk,
+  // not correctness, and the next checkpoint retries.
+  DIR* d = ::opendir(chunks_dir.c_str());
+  if (d != nullptr) {
+    std::vector<std::string> doomed;
+    while (struct dirent* entry = ::readdir(d)) {
+      std::string file_name = entry->d_name;
+      if (file_name.size() < sizeof(kChunkSuffix)) continue;  // ".", ".."
+      if (referenced.count(file_name) > 0) continue;
+      doomed.push_back(std::move(file_name));
+    }
+    ::closedir(d);
+    for (const std::string& file_name : doomed) {
+      std::string path = StrCat(chunks_dir, "/", file_name);
+      (void)::unlink(path.c_str());
+    }
+  }
+
   MEDSYNC_RETURN_IF_ERROR(CheckFaultPoint("db.checkpoint.before_wal_reset"));
   return wal_->Reset();
 }

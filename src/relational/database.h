@@ -16,22 +16,44 @@
 namespace medsync::relational {
 
 /// A peer's local database: a catalog of named tables with optional
-/// durability (JSON snapshot + write-ahead log). This is the "Database"
+/// durability (streamed snapshot + write-ahead log). This is the "Database"
 /// box of the paper's Fig. 2 — it holds both the full record table (the BX
 /// source) and every shared view.
 ///
 /// All mutations flow through logged operations, so a durable database
 /// recovers to its pre-crash state by reloading the snapshot and replaying
 /// the WAL. `Checkpoint()` rewrites the snapshot and truncates the log.
+///
+/// On-disk layout (snapshot format 3):
+///   <dir>/snapshot.json   manifest: {"format":3, "wal_through":K,
+///                         "tables":{name: {schema, chunks:[ids], head:[rows],
+///                         tombstones:[keys]}}}
+///   <dir>/chunks/<id>.chunk   one file per sealed columnar chunk,
+///                         content-addressed by Chunk::id() — an unchanged
+///                         chunk is never rewritten by later checkpoints.
+///   <dir>/wal.log         the write-ahead log (format unchanged).
+/// Format-2 snapshots (monolithic row JSON) are still read; Checkpoint()
+/// always writes format 3. Unknown format numbers fail Open with
+/// Corruption rather than being misread as some known layout.
 class Database {
  public:
+  struct OpenOptions {
+    /// fdatasync the WAL after every logged mutation, so an acknowledged
+    /// commit survives a machine crash (the default, and the durability
+    /// contract every peer relies on). Bulk loads may turn this OFF to
+    /// trade that window for load speed — records still reach the OS per
+    /// append — and should Checkpoint() when done.
+    bool sync_every_append = true;
+  };
+
   /// In-memory database (no durability).
   Database() = default;
 
   /// Opens a durable database rooted at directory `dir` (created if
-  /// missing). Loads `dir`/snapshot.json if present, then replays
-  /// `dir`/wal.log.
+  /// missing). Loads `dir`/snapshot.json if present (plus any chunk files
+  /// it references), then replays `dir`/wal.log.
   static Result<Database> Open(const std::string& dir);
+  static Result<Database> Open(const std::string& dir, OpenOptions options);
 
   Database(Database&&) = default;
   Database& operator=(Database&&) = default;
@@ -67,6 +89,14 @@ class Database {
   /// shared view is re-derived from the source by a lens get.
   Status ReplaceTable(const std::string& table, const Table& contents);
 
+  /// Seals `table`'s mutable head into an immutable columnar chunk now
+  /// (compacting dead chunk rows), e.g. after a bulk load and before
+  /// Checkpoint() so the loaded rows stream out as content-addressed chunk
+  /// files. Physical-layout-only: content, digest, and the WAL are
+  /// untouched, so it needs no log record — a post-crash replay recovers
+  /// an unsealed layout holding identical content.
+  Status SealTable(const std::string& table);
+
   // -- Transactions ---------------------------------------------------------
 
   /// A buffered multi-operation transaction. Operations accumulate in the
@@ -96,6 +126,14 @@ class Database {
 
   /// Writes a fresh snapshot and truncates the WAL. No-op for in-memory
   /// databases.
+  ///
+  /// Streamed (format 3): every sealed chunk is written to its
+  /// content-addressed file only if absent, the manifest (schema + chunk
+  /// ids + head rows + tombstones per table) is atomically renamed into
+  /// place, and chunk files no longer referenced are deleted afterwards.
+  /// A crash in any window leaves either the old or the new snapshot fully
+  /// readable — orphaned chunk files are garbage, not corruption, and are
+  /// collected by the next successful checkpoint.
   Status Checkpoint();
 
   bool durable() const { return wal_.has_value(); }
@@ -117,6 +155,14 @@ class Database {
   /// Validates + applies one logged operation to `tables` (shared by live
   /// execution, transaction validation, and WAL replay).
   static Status ApplyOp(const Json& op, std::map<std::string, Table>* tables);
+
+  /// Read-only validation of one logged operation against `tables`:
+  /// returns exactly the status ApplyOp would, without mutating anything.
+  /// LogAndApply uses it to validate against the live catalog (no scratch
+  /// copy) before the op reaches the WAL; Commit still uses the scratch
+  /// path because ops within a transaction interact.
+  static Status CheckOp(const Json& op,
+                        const std::map<std::string, Table>& tables);
 
   /// Logs `op` (if durable) then applies it to the live catalog.
   Status LogAndApply(const Json& op);

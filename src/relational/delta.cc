@@ -53,7 +53,7 @@ Result<TableDelta> ComputeDelta(const Table& before, const Table& after) {
     return Status::InvalidArgument("delta requires identical schemas");
   }
   TableDelta delta;
-  for (const auto& [key, row] : after.rows()) {
+  for (const auto& [key, row] : after.scan()) {
     std::optional<Row> old = before.Get(key);
     if (!old.has_value()) {
       delta.inserts.push_back(row);
@@ -61,7 +61,7 @@ Result<TableDelta> ComputeDelta(const Table& before, const Table& after) {
       delta.updates.push_back(row);
     }
   }
-  for (const auto& [key, row] : before.rows()) {
+  for (const auto& [key, row] : before.scan()) {
     if (!after.Contains(key)) delta.deletes.push_back(key);
   }
   return delta;

@@ -15,8 +15,39 @@ Result<SecondaryIndex> SecondaryIndex::Build(const Table& table,
   }
   SecondaryIndex index;
   index.attribute_ = attribute;
-  for (const auto& [key, row] : table.rows()) {
+  // Sealed chunks feed the index column-at-a-time: the indexed column is
+  // read directly from columnar storage (dictionary buckets are resolved
+  // once per distinct string, not once per row), skipping dead rows.
+  for (const auto& chunk : table.chunks()) {
+    const Chunk::Column& col = chunk->column(*idx);
+    if (col.type == DataType::kString) {
+      std::vector<std::vector<Key>*> buckets(col.dict.size(), nullptr);
+      std::vector<Key>* null_bucket = nullptr;
+      for (size_t i = 0; i < chunk->row_count(); ++i) {
+        if (!table.ChunkRowIsLive(*chunk, i)) continue;
+        std::vector<Key>*& bucket =
+            col.IsNull(i) ? null_bucket : buckets[col.codes[i]];
+        if (bucket == nullptr) {
+          bucket = &index.entries_[col.IsNull(i)
+                                       ? Value::Null()
+                                       : Value::String(col.dict[col.codes[i]])];
+        }
+        bucket->push_back(chunk->KeyAt(i));
+      }
+    } else {
+      for (size_t i = 0; i < chunk->row_count(); ++i) {
+        if (!table.ChunkRowIsLive(*chunk, i)) continue;
+        index.entries_[chunk->ValueAt(i, *idx)].push_back(chunk->KeyAt(i));
+      }
+    }
+  }
+  for (const auto& [key, row] : table.head()) {
     index.entries_[row[*idx]].push_back(key);
+  }
+  // Chunk-then-head insertion is not globally key-ordered, but the delta
+  // maintenance path (RemoveEntry's binary search) requires sorted buckets.
+  for (auto& [value, bucket] : index.entries_) {
+    std::sort(bucket.begin(), bucket.end());
   }
   return index;
 }

@@ -48,17 +48,27 @@ Result<Wal> Wal::Open(std::string path, std::vector<WalRecord>* recovered,
   uint64_t recovered_count = 0;
   long valid_end = 0;
   bool needs_truncate = false;
+  Status corruption;  // non-OK when a complete record fails validation
 
-  // Recover: scan existing content line by line, stopping at the first
-  // malformed or checksum-failing record.
+  // Recover: scan existing content line by line. Only a torn tail — a final
+  // record with no '\n' terminator, which is exactly what an interrupted
+  // append leaves behind (the newline is the last byte written) — may be
+  // truncated away. A COMPLETE line that fails any validity check is bit rot
+  // or tampering, not a crash artifact; silently cutting the log there would
+  // also drop every valid record after it, so it is a hard Corruption error
+  // no matter where in the file it sits.
   FILE* in = std::fopen(path.c_str(), "rb");
   if (in != nullptr) {
     std::string line;
     int c;
-    long line_start = 0;
+    uint64_t line_no = 0;
+    auto corrupt = [&](std::string_view what) {
+      corruption = Status::Corruption(
+          StrCat("WAL '", path, "' record ", line_no, ": ", what));
+    };
     while (true) {
       line.clear();
-      line_start = std::ftell(in);
+      ++line_no;
       while ((c = std::fgetc(in)) != EOF && c != '\n') {
         line.push_back(static_cast<char>(c));
       }
@@ -75,7 +85,7 @@ Result<Wal> Wal::Open(std::string path, std::vector<WalRecord>* recovered,
       size_t sp2 = (sp1 == std::string::npos) ? std::string::npos
                                               : line.find(' ', sp1 + 1);
       if (sp1 == std::string::npos || sp2 == std::string::npos) {
-        needs_truncate = true;
+        corrupt("malformed header");
         break;
       }
       std::string crc_hex = line.substr(0, sp1);
@@ -85,13 +95,13 @@ Result<Wal> Wal::Open(std::string path, std::vector<WalRecord>* recovered,
       unsigned long long expect_len = std::strtoull(len_str.c_str(), &end, 10);
       if (end != len_str.c_str() + len_str.size() ||
           expect_len != body.size()) {
-        needs_truncate = true;
+        corrupt("length mismatch");
         break;
       }
       char crc_buf[16];
       std::snprintf(crc_buf, sizeof(crc_buf), "%08x", Crc32(body));
       if (crc_hex != crc_buf) {
-        needs_truncate = true;
+        corrupt("checksum mismatch");
         break;
       }
       // A JSON payload never starts with a digit, so an LSN prefix is
@@ -105,7 +115,7 @@ Result<Wal> Wal::Open(std::string path, std::vector<WalRecord>* recovered,
         end = nullptr;
         lsn = std::strtoull(lsn_str.c_str(), &end, 10);
         if (end != lsn_str.c_str() + lsn_str.size()) {
-          needs_truncate = true;
+          corrupt("unparseable LSN");
           break;
         }
         payload = body.substr(body_sp + 1);
@@ -115,12 +125,12 @@ Result<Wal> Wal::Open(std::string path, std::vector<WalRecord>* recovered,
       }
       if (lsn < next_lsn) {
         // LSNs must be strictly increasing; a regression means corruption.
-        needs_truncate = true;
+        corrupt("LSN regression");
         break;
       }
       auto parsed = Json::Parse(payload);
       if (!parsed.ok()) {
-        needs_truncate = true;
+        corrupt("unparseable payload");
         break;
       }
       if (recovered) {
@@ -129,10 +139,10 @@ Result<Wal> Wal::Open(std::string path, std::vector<WalRecord>* recovered,
       next_lsn = lsn + 1;
       ++recovered_count;
       valid_end = std::ftell(in);
-      (void)line_start;
     }
     std::fclose(in);
   }
+  if (!corruption.ok()) return corruption;
 
   int flags = O_WRONLY | O_CREAT | (needs_truncate ? 0 : O_APPEND);
   int fd = ::open(path.c_str(), flags, 0644);

@@ -18,10 +18,10 @@ constexpr char kPD[] = "D13&D31";
 void DriveWorkload(ClinicScenario& clinic) {
   // Generated ids start at 1000; pick concrete keys from the data itself.
   relational::Table d3 = *clinic.doctor().database().Snapshot("D3");
-  relational::Key first_patient = d3.rows().begin()->first;
-  relational::Key second_patient = std::next(d3.rows().begin())->first;
+  relational::Key first_patient = d3.NthKey(0);
+  relational::Key second_patient = d3.NthKey(1);
   relational::Table d2 = *clinic.researcher().database().Snapshot("D2");
-  relational::Key first_med = d2.rows().begin()->first;
+  relational::Key first_med = d2.NthKey(0);
 
   ASSERT_TRUE(clinic.doctor()
                   .UpdateSharedAttribute(kPD, first_patient, medical::kDosage,

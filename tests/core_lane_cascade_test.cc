@@ -31,7 +31,7 @@ constexpr size_t kLanes = 4;
 std::vector<relational::Key> KeysInRange(const Table& table, int64_t lo,
                                          int64_t hi) {
   std::vector<relational::Key> keys;
-  for (const auto& [key, row] : table.rows()) {
+  for (const auto& [key, row] : table.scan()) {
     if (key.empty() || key[0].type() != relational::DataType::kInt) continue;
     const int64_t id = key[0].AsInt();
     if (id >= lo && id <= hi) keys.push_back(key);
@@ -163,9 +163,11 @@ TEST(LaneCascadeTest, CrossLaneCascadesConvergeGaplesslyUnderDropStorm) {
   // Converge through the storm (the reliability layer has to work for
   // this), then calm it and settle the tail. Half the retransmissions die
   // too, so grant the storm phase a generous simulated-time budget.
-  ASSERT_TRUE(scenario.SettleAll(/*timeout=*/3600 * kMicrosPerSecond).ok());
+  const Status stormy = scenario.SettleAll(/*timeout=*/3600 * kMicrosPerSecond);
+  ASSERT_TRUE(stormy.ok()) << stormy;
   scenario.network().set_drop_probability(0.0);
-  ASSERT_TRUE(scenario.SettleAll().ok());
+  const Status calm = scenario.SettleAll();
+  ASSERT_TRUE(calm.ok()) << calm;
   // Overlapping tables sharing the updated rows can be left needs_refresh
   // (their projection dropped the updated attribute); sweep them exactly
   // like the workload closer does before applying the oracles.

@@ -67,7 +67,7 @@ TEST(GeneratorTest, ProducesRequestedCountWithDenseIds) {
 
 TEST(GeneratorTest, AllRowsValidAgainstSchema) {
   Table records = GenerateFullRecords({.seed = 3, .record_count = 40});
-  for (const auto& [key, row] : records.rows()) {
+  for (const auto& [key, row] : records.scan()) {
     EXPECT_TRUE(relational::ValidateRow(records.schema(), row).ok());
     for (const Value& cell : row) EXPECT_FALSE(cell.is_null());
   }
@@ -103,7 +103,7 @@ TEST(DeidentTest, SuppressNullsOutAttributes) {
   Result<Table> scrubbed =
       SuppressAttributes(records, {kAddress, kClinicalData});
   ASSERT_TRUE(scrubbed.ok()) << scrubbed.status();
-  for (const auto& [key, row] : scrubbed->rows()) {
+  for (const auto& [key, row] : scrubbed->scan()) {
     EXPECT_TRUE(row[3].is_null());  // address
     EXPECT_TRUE(row[2].is_null());  // clinical data
     EXPECT_FALSE(row[1].is_null());
@@ -130,7 +130,7 @@ TEST(DeidentTest, GeneralizeAttributeRewritesColumn) {
       GeneralizeAttribute(records, kAddress, GeneralizeCityToRegion);
   ASSERT_TRUE(generalized.ok());
   std::set<std::string> regions;
-  for (const auto& [key, row] : generalized->rows()) {
+  for (const auto& [key, row] : generalized->scan()) {
     regions.insert(row[3].AsString());
   }
   // Far fewer distinct values than cities — that is the point.

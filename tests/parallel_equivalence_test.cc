@@ -248,7 +248,7 @@ struct CascadeRun {
     Rng rng(seed ^ 0x9e3779b97f4a7c15ull);
     Table before = *db.Snapshot("SRC");
     std::vector<relational::Key> keys;
-    for (const auto& [key, row] : before.rows()) keys.push_back(key);
+    for (const auto& [key, row] : before.scan()) keys.push_back(key);
     const char* editable[] = {kMedicationName, kDosage, kClinicalData,
                               kMechanismOfAction};
     for (int edit = 0; edit < 6; ++edit) {

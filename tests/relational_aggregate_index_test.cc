@@ -25,7 +25,7 @@ TEST(GroupByTest, CountPerGroup) {
   ASSERT_TRUE(counts.ok()) << counts.status();
   EXPECT_TRUE(counts->schema().HasAttribute("patients"));
   int64_t total = 0;
-  for (const auto& [key, row] : counts->rows()) {
+  for (const auto& [key, row] : counts->scan()) {
     total += row[1].AsInt();
     EXPECT_GT(row[1].AsInt(), 0);
   }
@@ -73,7 +73,7 @@ TEST(GroupByTest, MinMaxWorkOnStrings) {
                               {{AggregateFn::kMin, kMedicationName, "first"},
                                {AggregateFn::kMax, kMedicationName, "last"}});
   ASSERT_TRUE(out.ok()) << out.status();
-  for (const auto& [key, row] : out->rows()) {
+  for (const auto& [key, row] : out->scan()) {
     EXPECT_LE(row[1], row[2]);
   }
 }
@@ -94,7 +94,7 @@ TEST(GroupByTest, Validation) {
                   .IsInvalidArgument());
   // NULL group keys are rejected.
   Table with_null = t;
-  Key first = with_null.rows().begin()->first;
+  Key first = with_null.NthKey(0);
   ASSERT_TRUE(with_null.UpdateAttribute(first, kAddress, Value::Null()).ok());
   EXPECT_TRUE(GroupBy(with_null, {kAddress}, {{AggregateFn::kCount, "", ""}})
                   .status()
@@ -169,8 +169,8 @@ TEST(SecondaryIndexTest, RangeLookup) {
 
 TEST(SecondaryIndexTest, NullValuesAreIndexed) {
   Table t = Records(20);
-  Key first = t.rows().begin()->first;
-  Key second = std::next(t.rows().begin())->first;
+  Key first = t.NthKey(0);
+  Key second = t.NthKey(1);
   ASSERT_TRUE(t.UpdateAttribute(first, kAddress, Value::Null()).ok());
   ASSERT_TRUE(t.UpdateAttribute(second, kAddress, Value::Null()).ok());
   Result<SecondaryIndex> index = SecondaryIndex::Build(t, kAddress);
@@ -183,7 +183,7 @@ TEST(SecondaryIndexTest, RangeScansNeverMatchNull) {
   // not "between" any two values, and a NULL bound makes the range itself
   // undefined (empty result, not "everything").
   Table t = Records(30);
-  Key first = t.rows().begin()->first;
+  Key first = t.NthKey(0);
   ASSERT_TRUE(t.UpdateAttribute(first, kAddress, Value::Null()).ok());
   Result<SecondaryIndex> index = SecondaryIndex::Build(t, kAddress);
   ASSERT_TRUE(index.ok());
@@ -241,7 +241,7 @@ TEST(SecondaryIndexTest, ApplyDeltaMatchesRebuild) {
   Result<SecondaryIndex> rebuilt = SecondaryIndex::Build(after, kAddress);
   ASSERT_TRUE(rebuilt.ok());
   EXPECT_EQ(index->distinct_values(), rebuilt->distinct_values());
-  for (const auto& [key, row] : after.rows()) {
+  for (const auto& [key, row] : after.scan()) {
     const Value& v = row[3];
     EXPECT_EQ(index->Lookup(v), rebuilt->Lookup(v));
   }

@@ -1,0 +1,173 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <string>
+
+#include "common/strings.h"
+#include "relational/database.h"
+#include "relational/table.h"
+
+namespace medsync::relational {
+namespace {
+
+namespace fs = std::filesystem;
+
+// Million-row storage tier: sealing, scanning, streamed checkpointing, and
+// WAL+snapshot recovery at a scale where the monolithic row-JSON snapshot
+// used to be the bottleneck. Labeled `storage` in ctest; see
+// tools/bench/bench_storage.cc for the timed variants.
+
+constexpr int64_t kRows = 1'000'000;
+
+class TempDir {
+ public:
+  TempDir() {
+    path_ = fs::temp_directory_path() /
+            ("medsync_scale_" + std::to_string(::getpid()) + "_" +
+             std::to_string(counter_++));
+    fs::create_directories(path_);
+  }
+  ~TempDir() {
+    std::error_code ec;
+    fs::remove_all(path_, ec);
+  }
+  std::string path() const { return path_.string(); }
+  std::string file(const std::string& name) const {
+    return (path_ / name).string();
+  }
+
+ private:
+  static inline int counter_ = 0;
+  fs::path path_;
+};
+
+Schema S() {
+  return *Schema::Create({{"id", DataType::kInt, false},
+                          {"ward", DataType::kString, true},
+                          {"score", DataType::kInt, true}},
+                         {"id"});
+}
+
+Row R(int64_t i) {
+  // 16 distinct ward strings: exercises the dictionary encoding at scale.
+  return {Value::Int(i), Value::String(StrCat("ward-", i % 16)),
+          Value::Int(i * 7)};
+}
+
+TEST(StorageScaleTest, MillionRowSealAndScan) {
+  Table table(S());  // default threshold: seals every 4096 rows
+  for (int64_t i = 0; i < kRows; ++i) {
+    ASSERT_TRUE(table.Insert(R(i)).ok());
+  }
+  EXPECT_EQ(table.row_count(), static_cast<size_t>(kRows));
+  // History must actually live in sealed chunks, not the head.
+  EXPECT_GE(table.chunks().size(), kRows / Table::kDefaultSealThreshold / 2);
+  EXPECT_LT(table.head().size(), Table::kDefaultSealThreshold);
+
+  // One full merge scan: key order, no dups, no drops.
+  int64_t expect = 0;
+  for (const auto& [key, row] : table.scan()) {
+    ASSERT_EQ(key[0].AsInt(), expect);
+    ++expect;
+  }
+  EXPECT_EQ(expect, kRows);
+
+  // Random point reads against the chunked history.
+  for (int64_t i = 0; i < kRows; i += 99'991) {
+    auto row = table.Get({Value::Int(i)});
+    ASSERT_TRUE(row.has_value()) << i;
+    EXPECT_EQ((*row)[2].AsInt(), i * 7);
+  }
+  EXPECT_FALSE(table.Get({Value::Int(kRows)}).has_value());
+}
+
+TEST(StorageScaleTest, MillionRowCheckpointRecoverRoundTrip) {
+  TempDir dir;
+  std::string digest;
+  size_t chunk_files = 0;
+  {
+    Database::OpenOptions bulk;
+    bulk.sync_every_append = false;  // bulk-load mode (see database.h)
+    Result<Database> db = Database::Open(dir.path(), bulk);
+    ASSERT_TRUE(db.ok()) << db.status();
+    ASSERT_TRUE(db->CreateTable("records", S()).ok());
+    for (int64_t i = 0; i < kRows; ++i) {
+      ASSERT_TRUE(db->Insert("records", R(i)).ok());
+    }
+    ASSERT_TRUE(db->SealTable("records").ok());
+    ASSERT_TRUE(db->Checkpoint().ok());
+    digest = (*db->GetTable("records"))->ContentDigest();
+
+    for (const auto& e : fs::directory_iterator(dir.file("chunks"))) {
+      (void)e;
+      ++chunk_files;
+    }
+    EXPECT_GE(chunk_files, 1u);
+    // The manifest must stay head-sized, not content-sized: the million
+    // rows stream out through the chunk files.
+    EXPECT_LT(fs::file_size(dir.file("snapshot.json")),
+              static_cast<uintmax_t>(kRows));
+  }
+
+  // Recover, mutate past the checkpoint, recover again.
+  {
+    Result<Database> db = Database::Open(dir.path());
+    ASSERT_TRUE(db.ok()) << db.status();
+    Result<const Table*> t = db->GetTable("records");
+    ASSERT_TRUE(t.ok());
+    ASSERT_EQ((*t)->row_count(), static_cast<size_t>(kRows));
+    EXPECT_EQ((*t)->ContentDigest(), digest);
+    for (int64_t i = 0; i < kRows; i += 249'989) {
+      auto row = (*t)->Get({Value::Int(i)});
+      ASSERT_TRUE(row.has_value()) << i;
+      EXPECT_EQ((*row)[1].AsString(), StrCat("ward-", i % 16));
+    }
+    ASSERT_TRUE(db->Delete("records", {Value::Int(0)}).ok());
+    ASSERT_TRUE(db->Upsert("records", R(kRows)).ok());
+  }
+  {
+    Result<Database> db = Database::Open(dir.path());
+    ASSERT_TRUE(db.ok()) << db.status();
+    Result<const Table*> t = db->GetTable("records");
+    ASSERT_TRUE(t.ok());
+    EXPECT_EQ((*t)->row_count(), static_cast<size_t>(kRows));
+    EXPECT_FALSE((*t)->Contains({Value::Int(0)}));
+    EXPECT_TRUE((*t)->Contains({Value::Int(kRows)}));
+  }
+}
+
+TEST(StorageScaleTest, RecheckpointAfterHeadGrowthRewritesNoChunks) {
+  // Content-addressing at scale: a second checkpoint after head-only
+  // growth re-writes zero of the existing chunk files.
+  TempDir dir;
+  Database::OpenOptions bulk;
+  bulk.sync_every_append = false;
+  Result<Database> db = Database::Open(dir.path(), bulk);
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(db->CreateTable("t", S()).ok());
+  for (int64_t i = 0; i < 200'000; ++i) {
+    ASSERT_TRUE(db->Insert("t", R(i)).ok());
+  }
+  ASSERT_TRUE(db->SealTable("t").ok());
+  ASSERT_TRUE(db->Checkpoint().ok());
+
+  std::map<std::string, fs::file_time_type> before;
+  for (const auto& e : fs::directory_iterator(dir.file("chunks"))) {
+    before[e.path().filename().string()] = fs::last_write_time(e.path());
+  }
+  ASSERT_GE(before.size(), 1u);
+
+  for (int64_t i = 200'000; i < 201'000; ++i) {
+    ASSERT_TRUE(db->Insert("t", R(i)).ok());
+  }
+  ASSERT_TRUE(db->Checkpoint().ok());
+
+  for (const auto& [name, mtime] : before) {
+    EXPECT_EQ(fs::last_write_time(dir.file("chunks") + "/" + name), mtime)
+        << name << " was rewritten";
+  }
+}
+
+}  // namespace
+}  // namespace medsync::relational

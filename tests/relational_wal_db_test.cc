@@ -97,7 +97,12 @@ TEST(WalTest, TornTailIsTruncated) {
   EXPECT_EQ(*again[1].payload.GetString("tag"), "after-crash");
 }
 
-TEST(WalTest, CorruptChecksumStopsRecovery) {
+TEST(WalTest, CorruptRecordMidFileIsCorruptionNotTruncation) {
+  // Regression test: recovery used to treat ANY invalid line as a torn
+  // tail and silently truncate — a single flipped bit in the middle of
+  // the log would throw away every valid record after it. A complete
+  // line (it has its '\n') that fails the checksum is bit rot, and Open
+  // must refuse rather than destroy data.
   TempDir dir;
   std::string path = dir.file("wal.log");
   {
@@ -108,10 +113,10 @@ TEST(WalTest, CorruptChecksumStopsRecovery) {
     ASSERT_TRUE(wal->Append(Op("second")).ok());
     ASSERT_TRUE(wal->Append(Op("third")).ok());
   }
-  // Flip a byte inside the SECOND record's payload.
+  // Flip a byte inside the SECOND record's payload — valid records exist
+  // both before and after the damage.
   FILE* f = std::fopen(path.c_str(), "rb+");
   ASSERT_NE(f, nullptr);
-  // Find the second line start.
   std::string content;
   int c;
   while ((c = std::fgetc(f)) != EOF) content.push_back((char)c);
@@ -124,11 +129,48 @@ TEST(WalTest, CorruptChecksumStopsRecovery) {
 
   std::vector<WalRecord> recovered;
   Result<Wal> wal = Wal::Open(path, &recovered);
-  ASSERT_TRUE(wal.ok());
-  // Recovery keeps the first record and discards the corrupt tail
-  // (including the third record, which followed the corruption).
-  ASSERT_EQ(recovered.size(), 1u);
-  EXPECT_EQ(*recovered[0].payload.GetString("tag"), "first");
+  ASSERT_FALSE(wal.ok());
+  EXPECT_TRUE(wal.status().IsCorruption()) << wal.status();
+  EXPECT_NE(wal.status().message().find("checksum"), std::string::npos)
+      << wal.status();
+  // The file was NOT rewritten: damage is preserved for forensics.
+  EXPECT_EQ(fs::file_size(path), content.size());
+}
+
+TEST(WalTest, CorruptFinalCompleteRecordIsCorruptionToo) {
+  // Only a record missing its terminator is a torn append; the LAST line
+  // of the file gets no special leniency once it is newline-complete.
+  TempDir dir;
+  std::string path = dir.file("wal.log");
+  {
+    std::vector<WalRecord> recovered;
+    Result<Wal> wal = Wal::Open(path, &recovered);
+    ASSERT_TRUE(wal.ok());
+    ASSERT_TRUE(wal->Append(Op("keep")).ok());
+    ASSERT_TRUE(wal->Append(Op("tail")).ok());
+  }
+  std::string content;
+  {
+    FILE* f = std::fopen(path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    int c;
+    while ((c = std::fgetc(f)) != EOF) content.push_back((char)c);
+    std::fclose(f);
+  }
+  ASSERT_EQ(content.back(), '\n');
+  size_t flip = content.find("tail");
+  ASSERT_NE(flip, std::string::npos);
+  {
+    FILE* f = std::fopen(path.c_str(), "rb+");
+    ASSERT_NE(f, nullptr);
+    std::fseek(f, (long)flip, SEEK_SET);
+    std::fputc('Z', f);
+    std::fclose(f);
+  }
+  std::vector<WalRecord> recovered;
+  Result<Wal> wal = Wal::Open(path, &recovered);
+  ASSERT_FALSE(wal.ok());
+  EXPECT_TRUE(wal.status().IsCorruption()) << wal.status();
 }
 
 TEST(WalTest, ResetTruncatesButPreservesLsnContinuity) {
@@ -458,6 +500,188 @@ TEST(DatabaseTest, CommitPathSyncsEveryAppend) {
   Json counters = registry.Snapshot().At("counters");
   EXPECT_EQ(counters.At("wal.appends").AsInt(), 1);
   EXPECT_EQ(counters.At("wal.syncs").AsInt(), 1);
+}
+
+TEST(DatabaseTest, UnknownSnapshotFormatIsCorruption) {
+  // Regression test: Open used to accept ANY parseable "format" integer
+  // and read the snapshot as the current layout — a database written by a
+  // future version (or with a corrupted format field) would be silently
+  // misparsed instead of refused.
+  TempDir dir;
+  {
+    Result<Database> db = Database::Open(dir.path());
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE(db->CreateTable("t", S()).ok());
+    ASSERT_TRUE(db->Insert("t", R(1, "x")).ok());
+    ASSERT_TRUE(db->Checkpoint().ok());
+  }
+  // Rewrite the manifest's format int to a number this build never wrote.
+  std::string snap_path = dir.file("snapshot.json");
+  std::string text;
+  {
+    FILE* f = std::fopen(snap_path.c_str(), "rb");
+    ASSERT_NE(f, nullptr);
+    int c;
+    while ((c = std::fgetc(f)) != EOF) text.push_back((char)c);
+    std::fclose(f);
+  }
+  size_t pos = text.find("\"format\"");
+  ASSERT_NE(pos, std::string::npos);
+  size_t colon = text.find(':', pos);
+  size_t digit = text.find_first_of("0123456789", colon);
+  ASSERT_NE(digit, std::string::npos);
+  text = text.substr(0, digit) + "99" + text.substr(digit + 1);
+  {
+    FILE* f = std::fopen(snap_path.c_str(), "wb");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(text.data(), 1, text.size(), f);
+    std::fclose(f);
+  }
+  Result<Database> reopened = Database::Open(dir.path());
+  ASSERT_FALSE(reopened.ok());
+  EXPECT_TRUE(reopened.status().IsCorruption()) << reopened.status();
+  EXPECT_NE(reopened.status().message().find("format 99"), std::string::npos)
+      << reopened.status();
+}
+
+TEST(DatabaseTest, LegacyFormat2SnapshotStillOpens) {
+  // A monolithic format-2 snapshot (what earlier builds wrote) must keep
+  // loading; the next Checkpoint migrates the directory to format 3.
+  TempDir dir;
+  Table t(S());
+  ASSERT_TRUE(t.Insert(R(1, "legacy")).ok());
+  ASSERT_TRUE(t.Insert(R(2, "rows")).ok());
+  Json tables = Json::MakeObject();
+  tables.Set("t", t.ToJson());
+  Json snapshot = Json::MakeObject();
+  snapshot.Set("format", static_cast<int64_t>(2));
+  snapshot.Set("wal_through", static_cast<int64_t>(0));
+  snapshot.Set("tables", std::move(tables));
+  std::string dump = snapshot.Dump();
+  FILE* f = std::fopen(dir.file("snapshot.json").c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fwrite(dump.data(), 1, dump.size(), f);
+  std::fclose(f);
+
+  Result<Database> db = Database::Open(dir.path());
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(*db->Snapshot("t"), t);
+  ASSERT_TRUE(db->Checkpoint().ok());
+  Result<Database> again = Database::Open(dir.path());
+  ASSERT_TRUE(again.ok()) << again.status();
+  EXPECT_EQ(*again->Snapshot("t"), t);
+}
+
+TEST(DatabaseTest, ChunkedCheckpointRoundTripsSealedHistory) {
+  // Force chunks with a tiny seal threshold, checkpoint, and verify the
+  // manifest + content-addressed chunk files reload to the same table.
+  TempDir dir;
+  Table expected(S());
+  {
+    Result<Database> db = Database::Open(dir.path());
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE(db->CreateTable("t", S()).ok());
+    for (int64_t i = 0; i < 50; ++i) {
+      Row row = R(i, "v");
+      ASSERT_TRUE(db->Insert("t", row).ok());
+      ASSERT_TRUE(expected.Insert(std::move(row)).ok());
+    }
+    // Seal explicitly — the database path itself seals automatically only
+    // at the real threshold.
+    ASSERT_TRUE(db->SealTable("t").ok());
+    ASSERT_GE((*db->GetTable("t"))->chunks().size(), 1u);
+    ASSERT_TRUE(db->Checkpoint().ok());
+    EXPECT_TRUE(fs::exists(dir.file("chunks")));
+    size_t chunk_files = 0;
+    for (const auto& e : fs::directory_iterator(dir.file("chunks"))) {
+      (void)e;
+      ++chunk_files;
+    }
+    EXPECT_GE(chunk_files, 1u);
+  }
+  Result<Database> db = Database::Open(dir.path());
+  ASSERT_TRUE(db.ok()) << db.status();
+  EXPECT_EQ(*db->Snapshot("t"), expected);
+  EXPECT_EQ(db->Snapshot("t")->ContentDigest(), expected.ContentDigest());
+}
+
+TEST(DatabaseTest, CheckpointSkipsAndCollectsChunkFiles) {
+  // Content-addressing: an unchanged chunk is written once and survives
+  // later checkpoints untouched; a compaction that supersedes it gets the
+  // old file garbage-collected.
+  TempDir dir;
+  Result<Database> db = Database::Open(dir.path());
+  ASSERT_TRUE(db.ok());
+  ASSERT_TRUE(db->CreateTable("t", S()).ok());
+  for (int64_t i = 0; i < 20; ++i) {
+    ASSERT_TRUE(db->Insert("t", R(i, "a")).ok());
+  }
+  ASSERT_TRUE(db->SealTable("t").ok());
+  ASSERT_TRUE(db->Checkpoint().ok());
+
+  auto chunk_mtimes = [&] {
+    std::map<std::string, fs::file_time_type> out;
+    for (const auto& e : fs::directory_iterator(dir.file("chunks"))) {
+      out[e.path().filename().string()] = fs::last_write_time(e.path());
+    }
+    return out;
+  };
+  auto before = chunk_mtimes();
+  ASSERT_EQ(before.size(), 1u);
+
+  // Head-only growth: re-checkpoint must not rewrite the sealed file.
+  ASSERT_TRUE(db->Insert("t", R(100, "head")).ok());
+  ASSERT_TRUE(db->Checkpoint().ok());
+  EXPECT_EQ(chunk_mtimes(), before);
+
+  // Compaction replaces history: the superseded file is collected.
+  ASSERT_TRUE(db->Delete("t", {Value::Int(0)}).ok());
+  ASSERT_TRUE(db->SealTable("t").ok());
+  ASSERT_EQ((*db->GetTable("t"))->chunks().size(), 1u);
+  ASSERT_TRUE(db->Checkpoint().ok());
+  auto after = chunk_mtimes();
+  ASSERT_EQ(after.size(), 1u);
+  EXPECT_EQ(before.count(after.begin()->first), 0u);
+}
+
+TEST(DatabaseTest, MissingChunkFileFailsOpenWithCorruption) {
+  TempDir dir;
+  {
+    Result<Database> db = Database::Open(dir.path());
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE(db->CreateTable("t", S()).ok());
+    for (int64_t i = 0; i < 10; ++i) {
+      ASSERT_TRUE(db->Insert("t", R(i, "x")).ok());
+    }
+    ASSERT_TRUE(db->SealTable("t").ok());
+    ASSERT_TRUE(db->Checkpoint().ok());
+  }
+  for (const auto& e : fs::directory_iterator(dir.file("chunks"))) {
+    fs::remove(e.path());
+  }
+  Result<Database> db = Database::Open(dir.path());
+  ASSERT_FALSE(db.ok());
+  EXPECT_TRUE(db.status().IsCorruption()) << db.status();
+}
+
+TEST(DatabaseTest, BulkLoadOptionSkipsPerAppendSync) {
+  TempDir dir;
+  {
+    Result<Database> db = Database::Open(
+        dir.path(), Database::OpenOptions{.sync_every_append = false});
+    ASSERT_TRUE(db.ok());
+    ASSERT_TRUE(db->CreateTable("t", S()).ok());
+    for (int64_t i = 0; i < 100; ++i) {
+      ASSERT_TRUE(db->Insert("t", R(i, "bulk")).ok());
+    }
+    EXPECT_EQ(db->wal_stats().syncs, 0u);  // no fdatasync per append
+    EXPECT_EQ(db->wal_stats().appends, 101u);
+  }
+  // Records still reached the OS: a clean reopen (process exit, no machine
+  // crash) replays everything.
+  Result<Database> reopened = Database::Open(dir.path());
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened->GetTable("t"))->row_count(), 100u);
 }
 
 TEST(DatabaseTest, DurableTransactionSurvivesReopen) {

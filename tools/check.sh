@@ -6,6 +6,9 @@
 #   4. tier-1 ctest
 #   5. sharded-lane suite (`ctest -L lanes`, quick legs; the heavy
 #      lane-determinism soak leg carries both labels and rides in --full)
+#   6. columnar storage suite (`ctest -L storage`: chunk format + LZ codec,
+#      chunked-vs-row equivalence properties, million-row
+#      seal/scan/checkpoint/recover — DESIGN.md section 15)
 #
 # Usage: tools/check.sh [build-dir]          (default: build-check)
 #        tools/check.sh --lint-only [dir]    lint stages only
@@ -33,20 +36,20 @@ fi
 BUILD_DIR="${1:-build-check}"
 
 if [[ "$LINT_ONLY" == 0 ]]; then
-  echo "== [1/5] configure ($BUILD_DIR) =="
+  echo "== [1/6] configure ($BUILD_DIR) =="
   cmake -B "$BUILD_DIR" -S . \
     -DMEDSYNC_THREAD_SAFETY_ANALYSIS=ON \
     -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
-  echo "== [2/5] build =="
+  echo "== [2/6] build =="
   cmake --build "$BUILD_DIR" -j"$(nproc)"
 fi
 
-echo "== [3/5] medsync-lint =="
+echo "== [3/6] medsync-lint =="
 python3 tools/medsync_lint.py
 python3 tools/medsync_lint_test.py
 
 if [[ "$LINT_ONLY" == 0 ]]; then
-  echo "== [4/5] tier-1 ctest =="
+  echo "== [4/6] tier-1 ctest =="
   # -LE lint: the lint stages just ran above; also keeps the registered
   # check_gate test from re-entering this script. The generated soak suite
   # (label `soak`) is excluded from the default tier and included by
@@ -57,10 +60,13 @@ if [[ "$LINT_ONLY" == 0 ]]; then
   fi
   ctest --test-dir "$BUILD_DIR" --output-on-failure -LE "$EXCLUDE" \
     -j"$(nproc)"
-  echo "== [5/5] sharded-lane suite (ctest -L lanes) =="
+  echo "== [5/6] sharded-lane suite (ctest -L lanes) =="
   # Quick legs only by default; --full already covered the soak-labeled
   # lane-determinism leg in stage 4, so always exclude `soak` here.
   ctest --test-dir "$BUILD_DIR" --output-on-failure -L lanes -LE soak \
+    -j"$(nproc)"
+  echo "== [6/6] columnar storage suite (ctest -L storage) =="
+  ctest --test-dir "$BUILD_DIR" --output-on-failure -L storage -LE soak \
     -j"$(nproc)"
 fi
 

@@ -39,6 +39,16 @@ Machine-checks the contracts the compiler cannot see (DESIGN.md section 12):
                         through runtime::ChainNode so transactions get a
                         lane assignment (DESIGN.md section 14) — a bare
                         Blockchain silently bypasses sharding.
+  MS008 direct-rows     Direct access to Table's two-tier physical layout
+                        outside the storage layer: a range-for over
+                        .head(), any .chunks()/.tombstones()/.dead_count()
+                        call, or a resurrected rows_ member. Rows live
+                        split across a mutable head and sealed columnar
+                        chunks (DESIGN.md section 15); only table.scan()
+                        merges the tiers and skips dead chunk rows, so any
+                        other iteration silently drops or duplicates rows.
+                        Allowed in src/relational/ itself, its tests
+                        (tests/relational_*), and the storage microbench.
 
 Usage:
   tools/medsync_lint.py [--root REPO_ROOT]
@@ -132,6 +142,19 @@ MS007_ALLOWED_PREFIXES = (
     "bench/bench_chain_",  # chain-core microbench (raw-layer by design)
 )
 
+# Two-tier layout bypass. `.head()` fires only as a range-for target because
+# chain::Blockchain::head() is a legitimate, unrelated accessor; the other
+# storage accessors and the rows_ member are unambiguous.
+MS008_RANGE_FOR_HEAD = re.compile(
+    r"for\s*\([^;{]*:\s*[^;{]*(?:\.|->)\s*head\s*\(\s*\)")
+MS008_PATTERN = re.compile(
+    r"(?:\.|->)\s*(?:chunks|tombstones|dead_count)\s*\(\s*\)|\brows_\b")
+MS008_ALLOWED_PREFIXES = (
+    "src/relational/",     # the storage layer itself
+    "tests/relational_",   # storage-layer unit/property/scale tests
+    "bench/bench_storage", # storage microbench inspects layout by design
+)
+
 
 def _path_allowed(rel: str, prefixes) -> bool:
     return any(rel.startswith(p) for p in prefixes)
@@ -191,6 +214,17 @@ def lint_file(path: pathlib.Path, rel: str,
                     "assignment (DESIGN.md section 14) — go through "
                     "runtime::ChainNode (or core::GeneratedScenario) so "
                     "transactions land in their assigned lane"))
+        if not _path_allowed(rel, MS008_ALLOWED_PREFIXES):
+            match = (MS008_RANGE_FOR_HEAD.search(line)
+                     or MS008_PATTERN.search(line))
+            if match:
+                findings.append(Finding(
+                    rel, lineno, "MS008",
+                    "direct access to Table's two-tier storage layout "
+                    "(head/chunks/tombstones/rows_) outside src/relational/ "
+                    "— iterate with table.scan(), which merges the mutable "
+                    "head with the sealed chunks and skips dead rows "
+                    "(DESIGN.md section 15)"))
     return findings
 
 

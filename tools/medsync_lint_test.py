@@ -133,6 +133,25 @@ class DirectChainRuleTest(unittest.TestCase):
                              ["MS007", "MS007", "MS007"], rel)
 
 
+class DirectRowsRuleTest(unittest.TestCase):
+    def test_fires_on_layout_access_outside_relational(self):
+        findings = lint_fixture("direct_rows.cc", "src/core/direct_rows.cc")
+        self.assertEqual(rule_ids(findings), ["MS008"] * 5)
+        self.assertIn("scan()", findings[0].message)
+
+    def test_head_decoy_and_comment_stay_quiet(self):
+        findings = lint_fixture("direct_rows.cc", "src/core/direct_rows.cc")
+        # Exactly the five layout accesses — the blockchain head() decoy and
+        # the comment mentioning table.chunks() contribute nothing.
+        self.assertEqual(len(findings), 5)
+
+    def test_allowed_inside_relational_layer_tests_and_bench(self):
+        for rel in ("src/relational/direct_rows.cc",
+                    "tests/relational_storage_scale_test.cc",
+                    "bench/bench_storage.cc"):
+            self.assertEqual(lint_fixture("direct_rows.cc", rel), [], rel)
+
+
 class CleanFixtureTest(unittest.TestCase):
     def test_decoys_do_not_fire(self):
         self.assertEqual(lint_fixture("clean.cc", "src/core/clean.cc"), [])
