@@ -37,7 +37,7 @@ constexpr Micros kBlockInterval = 1 * kMicrosPerSecond;
 /// consumer, sharing either fine-grained (a0,a1,a4) or the full record.
 struct TwoPeerWorld {
   std::unique_ptr<net::Simulator> simulator;
-  std::unique_ptr<net::Network> network;
+  std::unique_ptr<net::SimNetwork> network;
   std::unique_ptr<runtime::ChainNode> node;
   std::unique_ptr<core::Peer> provider;
   std::unique_ptr<core::Peer> consumer;
@@ -47,7 +47,7 @@ struct TwoPeerWorld {
                                               bool fine_grained) {
     auto world = std::make_unique<TwoPeerWorld>();
     world->simulator = std::make_unique<net::Simulator>();
-    world->network = std::make_unique<net::Network>(
+    world->network = std::make_unique<net::SimNetwork>(
         world->simulator.get(), net::LatencyModel{}, 7);
 
     auto key = std::make_shared<crypto::KeyPair>(

@@ -35,7 +35,7 @@ constexpr Micros kBlockInterval = 1 * kMicrosPerSecond;
 
 struct HubWorld {
   std::unique_ptr<net::Simulator> simulator;
-  std::unique_ptr<net::Network> network;
+  std::unique_ptr<net::SimNetwork> network;
   std::unique_ptr<runtime::ChainNode> node;
   std::unique_ptr<core::Peer> doctor;
   std::vector<std::unique_ptr<core::Peer>> patients;
@@ -77,7 +77,7 @@ struct HubWorld {
                                           size_t max_block_txs = 256) {
     auto world = std::make_unique<HubWorld>();
     world->simulator = std::make_unique<net::Simulator>();
-    world->network = std::make_unique<net::Network>(
+    world->network = std::make_unique<net::SimNetwork>(
         world->simulator.get(), net::LatencyModel{}, 11);
 
     auto key = std::make_shared<crypto::KeyPair>(

@@ -32,4 +32,11 @@ void SimClock::AdvanceTo(Micros when) {
   if (when > now_) now_ = when;
 }
 
+Micros WallClock::Now() const {
+  struct timespec ts;
+  clock_gettime(CLOCK_REALTIME, &ts);
+  return static_cast<Micros>(ts.tv_sec) * kMicrosPerSecond +
+         static_cast<Micros>(ts.tv_nsec) / 1000;
+}
+
 }  // namespace medsync

@@ -48,6 +48,15 @@ class SimClock : public Clock {
   Micros now_;
 };
 
+/// The real wall clock (CLOCK_REALTIME), for the deployment plane only:
+/// the socket transport's EventLoop stamps timers and blocks with it.
+/// Deterministic tests and benches must keep using SimClock — medsync-lint
+/// MS002 confines the underlying syscall to this translation unit.
+class WallClock : public Clock {
+ public:
+  Micros Now() const override;
+};
+
 }  // namespace medsync
 
 #endif  // MEDSYNC_COMMON_CLOCK_H_

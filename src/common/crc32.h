@@ -1,0 +1,16 @@
+#ifndef MEDSYNC_COMMON_CRC32_H_
+#define MEDSYNC_COMMON_CRC32_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace medsync {
+
+/// CRC-32 (IEEE 802.3, reflected polynomial 0xedb88320) over `data`.
+/// Shared integrity check for everything framed on disk or on the wire:
+/// WAL records, sealed chunk files, and the socket transport's frame codec.
+uint32_t Crc32(std::string_view data);
+
+}  // namespace medsync
+
+#endif  // MEDSYNC_COMMON_CRC32_H_

@@ -327,7 +327,8 @@ namespace {
 /// Recursive-descent JSON parser.
 class Parser {
  public:
-  explicit Parser(std::string_view text) : text_(text) {}
+  Parser(std::string_view text, Json::ParseLimits limits, bool wire)
+      : text_(text), limits_(limits), wire_(wire) {}
 
   Result<Json> Parse() {
     SkipWhitespace();
@@ -341,8 +342,12 @@ class Parser {
 
  private:
   Status Error(std::string_view what) const {
-    return Status::InvalidArgument(
-        StrCat("JSON parse error at offset ", pos_, ": ", what));
+    std::string message =
+        StrCat("JSON parse error at offset ", pos_, ": ", what);
+    // On the wire path the malformed bytes indict the stream, not the
+    // caller's arguments.
+    if (wire_) return Status::Corruption(std::move(message));
+    return Status::InvalidArgument(std::move(message));
   }
 
   void SkipWhitespace() {
@@ -370,7 +375,7 @@ class Parser {
   }
 
   Result<Json> ParseValue() {
-    if (depth_ > kMaxDepth) return Error("nesting too deep");
+    if (depth_ > limits_.max_depth) return Error("nesting too deep");
     if (pos_ >= text_.size()) return Error("unexpected end of input");
     char c = text_[pos_];
     switch (c) {
@@ -483,30 +488,38 @@ class Parser {
             out.push_back('\f');
             break;
           case 'u': {
-            if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
-            unsigned code = 0;
-            for (int i = 0; i < 4; ++i) {
-              char h = text_[pos_++];
-              code <<= 4;
-              if (h >= '0' && h <= '9') {
-                code |= static_cast<unsigned>(h - '0');
-              } else if (h >= 'a' && h <= 'f') {
-                code |= static_cast<unsigned>(h - 'a' + 10);
-              } else if (h >= 'A' && h <= 'F') {
-                code |= static_cast<unsigned>(h - 'A' + 10);
-              } else {
-                return Error("bad \\u escape");
-              }
+            MEDSYNC_ASSIGN_OR_RETURN(unsigned code, ParseHex4());
+            // UTF-16 surrogate pairs must be combined into one code point;
+            // emitting them as two 3-byte sequences (CESU-8) produces
+            // invalid UTF-8 that round-trips differently than the sender
+            // wrote it. Unpaired surrogates are malformed input.
+            if (code >= 0xdc00 && code <= 0xdfff) {
+              return Error("unpaired low surrogate");
             }
-            // Encode as UTF-8 (surrogate pairs are passed through as two
-            // separate code points, which is sufficient here).
+            if (code >= 0xd800 && code <= 0xdbff) {
+              if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u') {
+                return Error("unpaired high surrogate");
+              }
+              pos_ += 2;
+              MEDSYNC_ASSIGN_OR_RETURN(unsigned low, ParseHex4());
+              if (low < 0xdc00 || low > 0xdfff) {
+                return Error("unpaired high surrogate");
+              }
+              code = 0x10000 + ((code - 0xd800) << 10) + (low - 0xdc00);
+            }
             if (code < 0x80) {
               out.push_back(static_cast<char>(code));
             } else if (code < 0x800) {
               out.push_back(static_cast<char>(0xc0 | (code >> 6)));
               out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
-            } else {
+            } else if (code < 0x10000) {
               out.push_back(static_cast<char>(0xe0 | (code >> 12)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
+              out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
+            } else {
+              out.push_back(static_cast<char>(0xf0 | (code >> 18)));
+              out.push_back(static_cast<char>(0x80 | ((code >> 12) & 0x3f)));
               out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3f)));
               out.push_back(static_cast<char>(0x80 | (code & 0x3f)));
             }
@@ -521,24 +534,62 @@ class Parser {
     }
   }
 
-  Result<Json> ParseNumber() {
-    size_t start = pos_;
-    if (Consume('-')) {
-    }
-    bool is_double = false;
-    while (pos_ < text_.size()) {
-      char c = text_[pos_];
-      if (c >= '0' && c <= '9') {
-        ++pos_;
-      } else if (c == '.' || c == 'e' || c == 'E' || c == '+' || c == '-') {
-        is_double = true;
-        ++pos_;
+  Result<unsigned> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Error("bad \\u escape");
+    unsigned code = 0;
+    for (int i = 0; i < 4; ++i) {
+      char h = text_[pos_++];
+      code <<= 4;
+      if (h >= '0' && h <= '9') {
+        code |= static_cast<unsigned>(h - '0');
+      } else if (h >= 'a' && h <= 'f') {
+        code |= static_cast<unsigned>(h - 'a' + 10);
+      } else if (h >= 'A' && h <= 'F') {
+        code |= static_cast<unsigned>(h - 'A' + 10);
       } else {
-        break;
+        return Error("bad \\u escape");
       }
     }
-    if (pos_ == start || (pos_ == start + 1 && text_[start] == '-')) {
+    return code;
+  }
+
+  bool ConsumeDigits() {
+    const size_t start = pos_;
+    while (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+      ++pos_;
+    }
+    return pos_ > start;
+  }
+
+  Result<Json> ParseNumber() {
+    // Strict JSON grammar: -?(0|[1-9][0-9]*)(\.[0-9]+)?([eE][+-]?[0-9]+)?.
+    // The previous permissive scan ("any of 0-9.eE+-") accepted "+5",
+    // ".5", "1.", and "01" — strtod would then quietly parse a value the
+    // sender never wrote, which on the wire path is a misparse of hostile
+    // bytes, not a convenience.
+    size_t start = pos_;
+    Consume('-');
+    if (pos_ < text_.size() && text_[pos_] == '0') {
+      ++pos_;
+      if (pos_ < text_.size() && text_[pos_] >= '0' && text_[pos_] <= '9') {
+        return Error("invalid number");  // leading zero
+      }
+    } else if (!ConsumeDigits()) {
       return Error("invalid number");
+    }
+    bool is_double = false;
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (!ConsumeDigits()) return Error("invalid number");
+      is_double = true;
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (!ConsumeDigits()) return Error("invalid number");
+      is_double = true;
     }
     std::string token(text_.substr(start, pos_ - start));
     if (!is_double) {
@@ -556,9 +607,9 @@ class Parser {
     return Json(d);
   }
 
-  static constexpr int kMaxDepth = 256;
-
   std::string_view text_;
+  Json::ParseLimits limits_;
+  bool wire_;
   size_t pos_ = 0;
   int depth_ = 0;
 };
@@ -566,7 +617,12 @@ class Parser {
 }  // namespace
 
 Result<Json> Json::Parse(std::string_view text) {
-  return Parser(text).Parse();
+  return Parser(text, ParseLimits{}, /*wire=*/false).Parse();
+}
+
+Result<Json> Json::ParseWire(std::string_view text,
+                             const ParseLimits& limits) {
+  return Parser(text, limits, /*wire=*/true).Parse();
 }
 
 }  // namespace medsync

@@ -98,8 +98,25 @@ class Json {
   /// Serializes with two-space indentation (for traces and examples).
   std::string DumpPretty() const;
 
+  /// Parser limits. The default depth matches trusted inputs (our own
+  /// checkpoints, CLI files); the wire path tightens it — a hostile peer
+  /// must not be able to wind the recursive-descent parser 256 frames deep.
+  struct ParseLimits {
+    int max_depth = 256;
+  };
+
   /// Parses `text`; returns InvalidArgument with position info on error.
+  /// Strict JSON: rejects unpaired UTF-16 surrogates, truncated `\uXXXX`
+  /// escapes, unterminated strings, and non-grammar numbers ("+5", ".5",
+  /// "1.", "01").
   static Result<Json> Parse(std::string_view text);
+
+  /// Parse() for bytes that crossed a trust boundary (the socket
+  /// transport's frame payloads): a tighter nesting-depth default and
+  /// every malformation reported as Corruption — the stream, not the
+  /// caller, is at fault.
+  static Result<Json> ParseWire(std::string_view text,
+                                const ParseLimits& limits = {.max_depth = 64});
 
   friend bool operator==(const Json& a, const Json& b);
   friend bool operator!=(const Json& a, const Json& b) { return !(a == b); }

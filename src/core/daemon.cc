@@ -1,0 +1,437 @@
+#include "core/daemon.h"
+
+#include <utility>
+
+#include "bx/lens_factory.h"
+#include "chain/transaction.h"
+#include "common/strings.h"
+#include "contracts/host.h"
+#include "core/audit.h"
+#include "core/scenario.h"
+#include "medical/generator.h"
+#include "medical/records.h"
+#include "relational/query.h"
+
+namespace medsync::core {
+
+using medical::kAddress;
+using medical::kClinicalData;
+using medical::kDosage;
+using medical::kMechanismOfAction;
+using medical::kMedicationName;
+using medical::kModeOfAction;
+using medical::kPatientId;
+using relational::Table;
+using relational::Value;
+
+namespace {
+
+constexpr const char* kRoleNames[] = {"doctor", "patient", "researcher",
+                                      "observer"};
+
+}  // namespace
+
+Result<ClinicRole> ParseClinicRole(std::string_view name) {
+  for (size_t i = 0; i < 4; ++i) {
+    if (name == kRoleNames[i]) return static_cast<ClinicRole>(i);
+  }
+  return Status::InvalidArgument(StrCat("unknown clinic role '", name, "'"));
+}
+
+std::string ClinicRoleName(ClinicRole role) {
+  return kRoleNames[static_cast<size_t>(role)];
+}
+
+size_t ClinicDaemon::NodeIndexFor(ClinicRole role) {
+  return static_cast<size_t>(role);
+}
+
+std::vector<std::string> ClinicDaemon::LocalIds(ClinicRole role) {
+  std::vector<std::string> ids{
+      runtime::NodeDaemon::NodeIdFor(NodeIndexFor(role))};
+  if (role != ClinicRole::kObserver) ids.push_back(ClinicRoleName(role));
+  return ids;
+}
+
+ClinicDaemon::ClinicDaemon(const ClinicDaemonOptions& options)
+    : options_(options) {}
+
+ClinicDaemon::~ClinicDaemon() { *alive_ = false; }
+
+Result<std::unique_ptr<ClinicDaemon>> ClinicDaemon::Create(
+    const ClinicDaemonOptions& options, net::Scheduler* scheduler,
+    net::Network* network) {
+  auto daemon = std::unique_ptr<ClinicDaemon>(new ClinicDaemon(options));
+  MEDSYNC_RETURN_IF_ERROR(daemon->Build(scheduler, network));
+  return daemon;
+}
+
+Status ClinicDaemon::Build(net::Scheduler* scheduler, net::Network* network) {
+  scheduler_ = scheduler;
+  metrics_ = std::make_unique<metrics::MetricsRegistry>();
+
+  runtime::NodeDaemonOptions node_options;
+  node_options.node_index = NodeIndexFor(options_.role);
+  node_options.authority_count = options_.chain_node_count;
+  node_options.block_interval = options_.block_interval;
+  node_options.genesis_timestamp = options_.genesis_timestamp;
+  node_options.metrics = metrics_.get();
+  node_daemon_ = std::make_unique<runtime::NodeDaemon>(node_options, scheduler,
+                                                       network);
+
+  // The symmetric test crypto (crypto/keys.h) verifies signatures through a
+  // process-local key registry that fills in as KeyPairs are constructed.
+  // The one-process simulator gets every identity registered for free; a
+  // multi-process deployment must materialize the closed cast explicitly,
+  // or a process that hosts no peer (the observer) rejects every block
+  // carrying a peer transaction as a bad signature.
+  for (const char* name : {"doctor", "patient", "researcher"}) {
+    crypto::KeyPair materialized = crypto::KeyPair::FromSeed(name);
+    (void)materialized;
+  }
+
+  // Every process derives the contract address from the deployment rule
+  // (doctor's address, nonce 0) instead of hearing it from the doctor — the
+  // chain itself is the only rendezvous a deployment needs.
+  doctor_address_ = crypto::KeyPair::FromSeed("doctor").address();
+  chain::Transaction deploy;
+  deploy.from = doctor_address_;
+  deploy.nonce = 0;
+  contract_ = contracts::ContractHost::DeploymentAddress(deploy);
+
+  if (options_.role != ClinicRole::kObserver) {
+    PeerConfig config;
+    config.name = ClinicRoleName(options_.role);
+    peer_ = std::make_unique<Peer>(config, scheduler, network,
+                                   &node_daemon_->node());
+    peer_->SetMetrics(metrics_.get());
+  }
+
+  switch (options_.role) {
+    case ClinicRole::kDoctor:
+      phase_ = Phase::kWaitUpstream;
+      break;
+    case ClinicRole::kResearcher:
+      phase_ = Phase::kWaitRegistration;
+      break;
+    default:
+      phase_ = Phase::kWaitConverged;
+      break;
+  }
+  return Status::OK();
+}
+
+void ClinicDaemon::Start() {
+  if (started_) return;
+  started_ = true;
+  started_at_ = scheduler_->Now();
+  node_daemon_->Start();
+  if (peer_ != nullptr) {
+    peer_->Start();
+    if (Status status = SetupRoleData(); !status.ok()) {
+      Fail(std::move(status));
+      return;
+    }
+  }
+  ScheduleTick();
+}
+
+Status ClinicDaemon::SetupRoleData() {
+  Peer& peer = *peer_;
+  for (ClinicRole other : {ClinicRole::kDoctor, ClinicRole::kPatient,
+                           ClinicRole::kResearcher}) {
+    if (other == options_.role) continue;
+    const std::string name = ClinicRoleName(other);
+    peer.AddKnownPeer(name, crypto::KeyPair::FromSeed(name).address());
+  }
+
+  // The Fig. 1 distribution, projected identically in every process so the
+  // agreed initial shared contents line up without any data exchange.
+  Table full = medical::MakeFig1FullRecords();
+  MEDSYNC_ASSIGN_OR_RETURN(
+      Table d1, relational::Project(
+                    full,
+                    {kPatientId, kMedicationName, kClinicalData, kAddress,
+                     kDosage},
+                    {kPatientId}));
+  MEDSYNC_ASSIGN_OR_RETURN(
+      Table d2,
+      relational::Project(full,
+                          {kMedicationName, kMechanismOfAction, kModeOfAction},
+                          {kMedicationName}));
+  MEDSYNC_ASSIGN_OR_RETURN(
+      Table d3, relational::Project(
+                    full,
+                    {kPatientId, kMedicationName, kClinicalData,
+                     kMechanismOfAction, kDosage},
+                    {kPatientId}));
+  MEDSYNC_ASSIGN_OR_RETURN(
+      Table d13, relational::Project(
+                     d1, {kPatientId, kMedicationName, kClinicalData, kDosage},
+                     {kPatientId}));
+  MEDSYNC_ASSIGN_OR_RETURN(
+      Table d32, relational::Project(d3, {kMedicationName, kMechanismOfAction},
+                                     {kMedicationName}));
+
+  bx::LensPtr lens_pd = bx::MakeProjectLens(
+      {kPatientId, kMedicationName, kClinicalData, kDosage}, {kPatientId});
+  bx::LensPtr lens_dr = bx::MakeProjectLens(
+      {kMedicationName, kMechanismOfAction}, {kMedicationName});
+
+  auto install = [&peer](const std::string& name,
+                         const Table& table) -> Status {
+    MEDSYNC_RETURN_IF_ERROR(peer.database().CreateTable(name, table.schema()));
+    return peer.database().ReplaceTable(name, table);
+  };
+
+  switch (options_.role) {
+    case ClinicRole::kDoctor: {
+      MEDSYNC_RETURN_IF_ERROR(install("D3", d3));
+      MEDSYNC_RETURN_IF_ERROR(install("D31", d13));
+      MEDSYNC_RETURN_IF_ERROR(install("D32", d32));
+      MEDSYNC_ASSIGN_OR_RETURN(crypto::Address deployed,
+                               peer.DeployMetadataContract());
+      if (deployed.ToHex() != contract_.ToHex()) {
+        return Status::Internal(
+            StrCat("deployed contract address ", deployed.ToHex(),
+                   " != derived ", contract_.ToHex(),
+                   " (deploy must be the doctor's first transaction)"));
+      }
+      SharedTableConfig pd{ClinicScenario::kPatientDoctorTable, "D3", "D31",
+                           lens_pd, contract_};
+      SharedTableConfig dr{ClinicScenario::kDoctorResearcherTable, "D3",
+                           "D32", lens_dr, contract_};
+      MEDSYNC_RETURN_IF_ERROR(peer.AdoptSharedTable(pd));
+      MEDSYNC_RETURN_IF_ERROR(peer.AdoptSharedTable(dr));
+      const crypto::Address patient =
+          crypto::KeyPair::FromSeed("patient").address();
+      const crypto::Address researcher =
+          crypto::KeyPair::FromSeed("researcher").address();
+      const crypto::Address& doctor = peer.address();
+      // Fig. 3 permission matrix (same terms as ClinicScenario).
+      MEDSYNC_RETURN_IF_ERROR(
+          peer.RegisterSharedTableOnChain(
+                  pd, {patient, doctor},
+                  {{kMedicationName, {doctor}},
+                   {kDosage, {doctor}},
+                   {kClinicalData, {patient, doctor}}},
+                  {doctor}, doctor)
+              .status());
+      MEDSYNC_RETURN_IF_ERROR(
+          peer.RegisterSharedTableOnChain(
+                  dr, {doctor, researcher},
+                  {{kMedicationName, {doctor, researcher}},
+                   {kMechanismOfAction, {researcher}}},
+                  {doctor}, researcher)
+              .status());
+      shared_views_ = {{ClinicScenario::kPatientDoctorTable, "D31"},
+                       {ClinicScenario::kDoctorResearcherTable, "D32"}};
+      break;
+    }
+    case ClinicRole::kPatient: {
+      MEDSYNC_RETURN_IF_ERROR(install("D1", d1));
+      MEDSYNC_RETURN_IF_ERROR(install("D13", d13));
+      SharedTableConfig config{ClinicScenario::kPatientDoctorTable, "D1",
+                               "D13", lens_pd, contract_};
+      MEDSYNC_RETURN_IF_ERROR(peer.AdoptSharedTable(config));
+      shared_views_ = {{ClinicScenario::kPatientDoctorTable, "D13"}};
+      break;
+    }
+    case ClinicRole::kResearcher: {
+      MEDSYNC_RETURN_IF_ERROR(install("D2", d2));
+      MEDSYNC_RETURN_IF_ERROR(install("D23", d32));
+      SharedTableConfig config{ClinicScenario::kDoctorResearcherTable, "D2",
+                               "D23", lens_dr, contract_};
+      MEDSYNC_RETURN_IF_ERROR(peer.AdoptSharedTable(config));
+      shared_views_ = {{ClinicScenario::kDoctorResearcherTable, "D23"}};
+      break;
+    }
+    case ClinicRole::kObserver:
+      break;
+  }
+  return Status::OK();
+}
+
+void ClinicDaemon::ScheduleTick() {
+  scheduler_->Schedule(options_.tick_interval, [this, alive = alive_] {
+    if (!*alive) return;
+    Tick();
+  });
+}
+
+void ClinicDaemon::Tick() {
+  if (converged_ || failed()) return;
+  if (scheduler_->Now() - started_at_ >= options_.timeout) {
+    Fail(Status::Timeout(StrCat(ClinicRoleName(options_.role),
+                                " did not converge within timeout")));
+    return;
+  }
+
+  switch (phase_) {
+    case Phase::kWaitRegistration:
+      // Researcher, Fig. 5 steps 1-6: fire once the registration is
+      // visible on its own node.
+      if (EntryAtVersion(ClinicScenario::kDoctorResearcherTable, 1, true)) {
+        acted_at_ = scheduler_->Now();
+        Status status = peer_->UpdateSourceAndPropagate(
+            "D2", [](relational::Database* db) {
+              return db->UpdateAttribute("D2", {Value::String("Ibuprofen")},
+                                         kMechanismOfAction,
+                                         Value::String("MeA1-new"));
+            });
+        if (!status.ok()) {
+          Fail(std::move(status));
+          return;
+        }
+        phase_ = Phase::kWaitConverged;
+      }
+      break;
+    case Phase::kWaitUpstream:
+      // Doctor, Fig. 5 steps 7-11: fire once the researcher's update has
+      // committed AND this peer has applied + acked it (pending_acks empty,
+      // no fetch in flight), so the two cascades never interleave.
+      if (EntryAtVersion(ClinicScenario::kDoctorResearcherTable, 2, true) &&
+          !peer_->HasPendingWork()) {
+        acted_at_ = scheduler_->Now();
+        Status status = peer_->UpdateSharedAttribute(
+            ClinicScenario::kPatientDoctorTable, {Value::Int(188)}, kDosage,
+            Value::String("one tablet every 6h"));
+        if (!status.ok()) {
+          Fail(std::move(status));
+          return;
+        }
+        phase_ = Phase::kWaitConverged;
+      }
+      break;
+    case Phase::kWaitConverged:
+      break;
+  }
+
+  if (phase_ == Phase::kWaitConverged && CheckConverged()) {
+    converged_ = true;
+    converged_at_ = scheduler_->Now();
+    return;
+  }
+  ScheduleTick();
+}
+
+Result<Json> ClinicDaemon::Entry(const std::string& table_id) {
+  Json params = Json::MakeObject();
+  params.Set("table_id", table_id);
+  return node_daemon_->node().Query(contract_, "get_entry", params,
+                                    doctor_address_);
+}
+
+bool ClinicDaemon::EntryAtVersion(const std::string& table_id, int64_t version,
+                                  bool require_no_pending_acks) {
+  Result<Json> entry = Entry(table_id);
+  if (!entry.ok()) return false;
+  Result<int64_t> got = entry->GetInt("version");
+  if (!got.ok() || *got < version) return false;
+  if (require_no_pending_acks && entry->At("pending_acks").size() > 0) {
+    return false;
+  }
+  return true;
+}
+
+bool ClinicDaemon::CheckConverged() {
+  if (!EntryAtVersion(ClinicScenario::kPatientDoctorTable, 2, true)) {
+    return false;
+  }
+  if (!EntryAtVersion(ClinicScenario::kDoctorResearcherTable, 2, true)) {
+    return false;
+  }
+  if (peer_ != nullptr && peer_->HasPendingWork()) return false;
+  return node_daemon_->node().mempool_total_size() == 0;
+}
+
+void ClinicDaemon::Fail(Status status) {
+  if (failure_.ok()) failure_ = std::move(status);
+}
+
+Json ClinicDaemon::Report() {
+  runtime::ChainNode& node = node_daemon_->node();
+
+  Json entries = Json::MakeObject();
+  Json audits = Json::MakeObject();
+  for (const char* table_id : {ClinicScenario::kPatientDoctorTable,
+                               ClinicScenario::kDoctorResearcherTable}) {
+    Json summary = Json::MakeObject();
+    Result<Json> entry = Entry(table_id);
+    if (entry.ok()) {
+      summary.Set("version", entry->At("version"));
+      summary.Set("content_digest", entry->At("content_digest"));
+      summary.Set("pending_acks",
+                  static_cast<int64_t>(entry->At("pending_acks").size()));
+    }
+    entries.Set(table_id, std::move(summary));
+
+    Json trail = Json::MakeArray();
+    for (const AuditRecord& record :
+         BuildAuditTrail(node.blockchain(), node.host(), table_id)) {
+      Json row = Json::MakeObject();
+      row.Set("method", record.method);
+      row.Set("actor", record.actor);
+      row.Set("kind", record.kind);
+      Json attributes = Json::MakeArray();
+      for (const std::string& attribute : record.attributes) {
+        attributes.Append(attribute);
+      }
+      row.Set("attributes", std::move(attributes));
+      row.Set("digest", record.digest);
+      row.Set("committed", record.committed);
+      row.Set("denial_reason", record.denial_reason);
+      trail.Append(std::move(row));
+    }
+    audits.Set(table_id, std::move(trail));
+  }
+
+  Json digests = Json::MakeObject();
+  for (const auto& [table_id, view_table] : shared_views_) {
+    Result<const Table*> table = peer_->database().GetTable(view_table);
+    digests.Set(table_id, table.ok() ? (*table)->ContentDigest() : "");
+  }
+
+  // The compare block excludes tx ids, block heights and timestamps: those
+  // legitimately differ between simulated and wall-clock runs, while
+  // everything here is protocol content that must not.
+  Json compare = Json::MakeObject();
+  compare.Set("entries", std::move(entries));
+  compare.Set("audit", std::move(audits));
+  compare.Set("view_digests", std::move(digests));
+
+  Json info = Json::MakeObject();
+  info.Set("role", ClinicRoleName(options_.role));
+  info.Set("converged", converged_);
+  info.Set("failed", failed());
+  if (failed()) info.Set("failure", failure_.ToString());
+  info.Set("height", static_cast<int64_t>(node.blockchain().height()));
+  info.Set("started_at", static_cast<int64_t>(started_at_));
+  info.Set("acted_at", static_cast<int64_t>(acted_at_));
+  info.Set("converged_at", static_cast<int64_t>(converged_at_));
+  if (peer_ != nullptr) {
+    const Peer::Stats& stats = peer_->stats();
+    Json peer_stats = Json::MakeObject();
+    peer_stats.Set("updates_proposed",
+                   static_cast<int64_t>(stats.updates_proposed));
+    peer_stats.Set("updates_committed",
+                   static_cast<int64_t>(stats.updates_committed));
+    peer_stats.Set("updates_denied",
+                   static_cast<int64_t>(stats.updates_denied));
+    peer_stats.Set("fetches_served",
+                   static_cast<int64_t>(stats.fetches_served));
+    peer_stats.Set("fetches_applied",
+                   static_cast<int64_t>(stats.fetches_applied));
+    peer_stats.Set("acks_sent", static_cast<int64_t>(stats.acks_sent));
+    peer_stats.Set("digest_mismatches",
+                   static_cast<int64_t>(stats.digest_mismatches));
+    info.Set("peer", std::move(peer_stats));
+  }
+
+  Json report = Json::MakeObject();
+  report.Set("compare", std::move(compare));
+  report.Set("info", std::move(info));
+  return report;
+}
+
+}  // namespace medsync::core

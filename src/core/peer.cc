@@ -11,10 +11,10 @@ using relational::Row;
 using relational::Table;
 using relational::Value;
 
-Peer::Peer(PeerConfig config, net::Simulator* simulator,
+Peer::Peer(PeerConfig config, net::Scheduler* scheduler,
            net::Network* network, runtime::ChainNode* node)
     : config_(std::move(config)),
-      simulator_(simulator),
+      scheduler_(scheduler),
       network_(network),
       node_(node),
       key_(crypto::KeyPair::FromSeed(config_.name)),
@@ -23,7 +23,7 @@ Peer::Peer(PeerConfig config, net::Simulator* simulator,
   address_to_name_[key_.address().ToHex()] = config_.name;
   if (config_.reliable_delivery) {
     channel_ = std::make_unique<net::ReliableChannel>(
-        config_.name, simulator_, network_, this, config_.reliable);
+        config_.name, scheduler_, network_, this, config_.reliable);
     channel_->set_give_up_callback([this](const net::Message& message) {
       Trace(StrCat("reliable delivery of '", message.type, "' to ",
                    message.to, " gave up; catch-up will reconcile"));
@@ -62,7 +62,7 @@ void Peer::Start() {
 }
 
 void Peer::ScheduleCatchUp() {
-  simulator_->Schedule(config_.catch_up_interval, [this, alive = alive_] {
+  scheduler_->Schedule(config_.catch_up_interval, [this, alive = alive_] {
     if (!*alive) return;
     // A failing query just means the chain node is busy or the table is
     // not registered yet; the next tick will try again.
@@ -234,7 +234,7 @@ void Peer::StartFetch(const std::string& table_id, uint64_t version,
   fetch.version = version;
   fetch.digest = digest;
   fetch.updater_name = updater_name;
-  fetch.started_at = simulator_->Now();
+  fetch.started_at = scheduler_->Now();
   pending_fetches_[table_id] = fetch;
 
   Json request = Json::MakeObject();
@@ -244,7 +244,7 @@ void Peer::StartFetch(const std::string& table_id, uint64_t version,
   LogIfError(SendToPeer(updater_name, "fetch_request", std::move(request)),
              "peer", "fetch request");
   std::string id = table_id;
-  simulator_->Schedule(config_.fetch_retry_delay, [this, alive = alive_, id] {
+  scheduler_->Schedule(config_.fetch_retry_delay, [this, alive = alive_, id] {
     if (*alive) RetryFetch(id);
   });
 }
@@ -260,7 +260,7 @@ Result<std::string> Peer::NameOfAddress(const std::string& addr_hex) const {
 void Peer::Trace(const std::string& message) {
   MEDSYNC_LOG(kInfo, config_.name) << message;
   if (trace_sink_) {
-    trace_sink_(StrCat("[", FormatTimestamp(simulator_->Now()), "] ",
+    trace_sink_(StrCat("[", FormatTimestamp(scheduler_->Now()), "] ",
                        config_.name, ": ", message));
   }
 }
@@ -276,7 +276,7 @@ void Peer::RecordStep(int figure, int step, std::string action,
   event.peer = config_.name;
   event.table = std::move(table);
   event.outcome = std::move(outcome);
-  event.at = simulator_->Now();
+  event.at = scheduler_->Now();
   event.sim_duration = sim_duration;
   tracer_->Record(std::move(event));
 }
@@ -311,7 +311,7 @@ chain::Transaction Peer::MakeTransaction(const crypto::Address& to,
   tx.nonce = nonce_++;
   tx.method = method;
   tx.params = std::move(params);
-  tx.timestamp = simulator_->Now();
+  tx.timestamp = scheduler_->Now();
   tx.Sign(key_);
   return tx;
 }
@@ -432,7 +432,7 @@ Status Peer::ProposeViewContent(const std::string& table_id,
   staged.kind = kind;
   staged.attributes = attributes;
   staged.put_to_source = put_to_source;
-  staged.proposed_at = simulator_->Now();
+  staged.proposed_at = scheduler_->Now();
   RecordStep(5, 1, kind, table_id, "staged");
 
   Json attrs_json = Json::MakeArray();
@@ -525,7 +525,7 @@ void Peer::OnReceipt(const contracts::Receipt& receipt) {
   StagedUpdate staged = std::move(it->second);
   staged_.erase(it);
 
-  const Micros decision_span = simulator_->Now() - staged.proposed_at;
+  const Micros decision_span = scheduler_->Now() - staged.proposed_at;
   if (!receipt.ok) {
     ++stats_.updates_denied;
     metrics::Inc(counters_.updates_denied);
@@ -593,10 +593,10 @@ void Peer::CascadeAfterSourceChange(const std::string& source_table,
                                     const Table& before,
                                     const std::string& exclude_table_id,
                                     int fig5_step) {
-  const Micros check_start = simulator_->Now();
+  const Micros check_start = scheduler_->Now();
   Result<std::vector<ViewRefresh>> refreshes =
       sync_.FindAffectedViews(source_table, before, exclude_table_id);
-  const Micros check_span = simulator_->Now() - check_start;
+  const Micros check_span = scheduler_->Now() - check_start;
   if (!refreshes.ok()) {
     RecordStep(5, fig5_step, "dependency_check", source_table, "failed",
                check_span);
@@ -701,7 +701,7 @@ void Peer::RetryFetch(const std::string& table_id) {
   LogIfError(
       SendToPeer(fetch.updater_name, "fetch_request", std::move(request)),
       "peer", "fetch retry");
-  simulator_->Schedule(config_.fetch_retry_delay,
+  scheduler_->Schedule(config_.fetch_retry_delay,
                        [this, alive = alive_, table_id] {
                          if (*alive) RetryFetch(table_id);
                        });
@@ -818,7 +818,7 @@ Status Peer::ApplyFetchedUpdate(const std::string& table_id,
   ++stats_.fetches_applied;
   metrics::Inc(counters_.fetches_applied);
   RecordStep(5, 9, "apply_fetch", table_id, "applied",
-             simulator_->Now() - started_at);
+             scheduler_->Now() - started_at);
   Trace(StrCat("fetched and applied '", table_id, "' version ", version));
 
   // Reflect the change into the local source via the BX program.

@@ -12,7 +12,7 @@
 #include "crypto/keys.h"
 #include "net/network.h"
 #include "net/reliable_channel.h"
-#include "net/simulator.h"
+#include "net/scheduler.h"
 #include "relational/database.h"
 #include "runtime/chain_node.h"
 
@@ -69,10 +69,10 @@ struct SharedTableConfig {
 ///    affected shared views (steps 3-6, 9-11).
 class Peer : public net::Endpoint {
  public:
-  /// `simulator`, `network` and `node` must outlive the peer. `node` is the
+  /// `scheduler`, `network` and `node` must outlive the peer. `node` is the
   /// peer's trusted chain node (Section III-E: "call a smart contract via a
   /// trusted node connected to blockchain").
-  Peer(PeerConfig config, net::Simulator* simulator, net::Network* network,
+  Peer(PeerConfig config, net::Scheduler* scheduler, net::Network* network,
        runtime::ChainNode* node);
 
   Peer(const Peer&) = delete;
@@ -379,7 +379,7 @@ class Peer : public net::Endpoint {
   void ScheduleCatchUp();
 
   PeerConfig config_;
-  net::Simulator* simulator_;
+  net::Scheduler* scheduler_;
   net::Network* network_;
   runtime::ChainNode* node_;
   crypto::KeyPair key_;

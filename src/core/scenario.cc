@@ -37,7 +37,7 @@ Result<std::unique_ptr<ClinicScenario>> ClinicScenario::Create(
   }
   threading::ThreadPool* pool = scenario->pool_.get();
   scenario->simulator_ = std::make_unique<net::Simulator>(options.epoch);
-  scenario->network_ = std::make_unique<net::Network>(
+  scenario->network_ = std::make_unique<net::SimNetwork>(
       scenario->simulator_.get(), options.latency, options.seed);
   scenario->network_->set_metrics(registry);
 

@@ -84,7 +84,7 @@ class ClinicScenario {
   ~ClinicScenario();
 
   net::Simulator& simulator() { return *simulator_; }
-  net::Network& network() { return *network_; }
+  net::SimNetwork& network() { return *network_; }
 
   Peer& doctor() { return *doctor_; }
   Peer& patient() { return *patient_; }
@@ -128,7 +128,7 @@ class ClinicScenario {
   std::unique_ptr<metrics::ProtocolTracer> tracer_;
   std::unique_ptr<threading::ThreadPool> pool_;
   std::unique_ptr<net::Simulator> simulator_;
-  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<net::SimNetwork> network_;
   std::vector<std::unique_ptr<runtime::ChainNode>> nodes_;
   std::unique_ptr<Peer> doctor_;
   std::unique_ptr<Peer> patient_;

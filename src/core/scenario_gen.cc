@@ -465,7 +465,7 @@ Status GeneratedScenario::Bootstrap() {
     pool_ = std::make_unique<threading::ThreadPool>(options.worker_threads);
   }
   simulator_ = std::make_unique<net::Simulator>(spec_.epoch);
-  network_ = std::make_unique<net::Network>(simulator_.get(), options.latency,
+  network_ = std::make_unique<net::SimNetwork>(simulator_.get(), options.latency,
                                             options.seed);
   network_->set_metrics(metrics_.get());
 

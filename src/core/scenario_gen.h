@@ -169,7 +169,7 @@ class GeneratedScenario {
 
   const NetworkSpec& spec() const { return spec_; }
   net::Simulator& simulator() { return *simulator_; }
-  net::Network& network() { return *network_; }
+  net::SimNetwork& network() { return *network_; }
   runtime::ChainNode& node(size_t i) { return *nodes_[i]; }
   size_t node_count() const { return nodes_.size(); }
   size_t peer_count() const { return peers_.size(); }
@@ -253,7 +253,7 @@ class GeneratedScenario {
   std::unique_ptr<metrics::ProtocolTracer> tracer_;
   std::unique_ptr<threading::ThreadPool> pool_;
   std::unique_ptr<net::Simulator> simulator_;
-  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<net::SimNetwork> network_;
   std::vector<std::unique_ptr<runtime::ChainNode>> nodes_;
   std::vector<std::unique_ptr<Peer>> peers_;  // null while crashed
   std::vector<crypto::Address> addresses_;

@@ -1,0 +1,127 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+#include "common/strings.h"
+
+namespace medsync::net {
+
+namespace {
+
+void AppendU16(std::string* out, uint16_t v) {
+  out->push_back(static_cast<char>(v & 0xff));
+  out->push_back(static_cast<char>((v >> 8) & 0xff));
+}
+
+void AppendU32(std::string* out, uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out->push_back(static_cast<char>((v >> (8 * i)) & 0xff));
+  }
+}
+
+uint16_t ReadU16(const char* p) {
+  return static_cast<uint16_t>(static_cast<unsigned char>(p[0])) |
+         static_cast<uint16_t>(static_cast<unsigned char>(p[1])) << 8;
+}
+
+uint32_t ReadU32(const char* p) {
+  uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | static_cast<unsigned char>(p[i]);
+  }
+  return v;
+}
+
+}  // namespace
+
+std::string EncodeFrame(const Frame& frame) {
+  std::string out;
+  out.reserve(kFrameHeaderSize + frame.type.size() + frame.payload.size());
+  out.append(kFrameMagic, sizeof(kFrameMagic));
+  AppendU16(&out, kFrameVersion);
+  AppendU16(&out, 0);  // flags
+  AppendU32(&out, static_cast<uint32_t>(frame.type.size()));
+  AppendU32(&out, static_cast<uint32_t>(frame.payload.size()));
+  uint32_t crc;
+  if (frame.payload.empty()) {
+    crc = Crc32(frame.type);
+  } else {
+    // The CRC covers type ++ payload as one stream; Crc32() doesn't expose
+    // a resumable register, so join once (bounded by the payload cap).
+    std::string joined;
+    joined.reserve(frame.type.size() + frame.payload.size());
+    joined.append(frame.type);
+    joined.append(frame.payload);
+    crc = Crc32(joined);
+  }
+  AppendU32(&out, crc);
+  out.append(frame.type);
+  out.append(frame.payload);
+  return out;
+}
+
+void FrameDecoder::Feed(std::string_view bytes) {
+  // Compact lazily: drop the consumed prefix once it dominates the buffer,
+  // so a long-lived connection doesn't grow without bound.
+  if (consumed_ > 0 && consumed_ >= buffer_.size() / 2) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  buffer_.append(bytes);
+}
+
+Result<std::optional<Frame>> FrameDecoder::Next() {
+  if (corrupt_) {
+    return Status::Corruption("frame stream already corrupt");
+  }
+  const size_t available = buffer_.size() - consumed_;
+  if (available < kFrameHeaderSize) {
+    return std::optional<Frame>(std::nullopt);
+  }
+  const char* p = buffer_.data() + consumed_;
+
+  auto fail = [this](std::string message) -> Status {
+    corrupt_ = true;
+    return Status::Corruption(std::move(message));
+  };
+
+  if (std::memcmp(p, kFrameMagic, sizeof(kFrameMagic)) != 0) {
+    return fail("frame magic mismatch");
+  }
+  const uint16_t version = ReadU16(p + 4);
+  if (version != kFrameVersion) {
+    return fail(StrCat("unsupported frame version ", version));
+  }
+  const uint16_t flags = ReadU16(p + 6);
+  if (flags != 0) {
+    return fail(StrCat("nonzero frame flags ", flags));
+  }
+  const uint32_t type_len = ReadU32(p + 8);
+  const uint32_t payload_len = ReadU32(p + 12);
+  if (type_len > kMaxFrameTypeLen) {
+    return fail(StrCat("frame type length ", type_len, " exceeds cap"));
+  }
+  if (payload_len > kMaxFramePayloadLen) {
+    return fail(StrCat("frame payload length ", payload_len, " exceeds cap"));
+  }
+  const uint32_t expected_crc = ReadU32(p + 16);
+
+  const size_t body_len = static_cast<size_t>(type_len) + payload_len;
+  if (available < kFrameHeaderSize + body_len) {
+    return std::optional<Frame>(std::nullopt);
+  }
+
+  std::string_view body(p + kFrameHeaderSize, body_len);
+  if (Crc32(body) != expected_crc) {
+    return fail("frame CRC mismatch");
+  }
+
+  Frame frame;
+  frame.type.assign(body.substr(0, type_len));
+  frame.payload.assign(body.substr(type_len));
+  consumed_ += kFrameHeaderSize + body_len;
+  return std::optional<Frame>(std::move(frame));
+}
+
+}  // namespace medsync::net

@@ -1,0 +1,80 @@
+#ifndef MEDSYNC_NET_FRAME_H_
+#define MEDSYNC_NET_FRAME_H_
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "common/result.h"
+#include "common/status.h"
+
+namespace medsync::net {
+
+/// Length-prefixed binary frame codec for the socket transport, reusing the
+/// CRC framing discipline of the sealed-chunk files (relational/chunk.cc):
+/// a magic tag up front, explicit lengths, and a CRC-32 that must match
+/// before a single payload byte is interpreted.
+///
+/// Layout (all integers little-endian):
+///
+///   offset  size  field
+///        0     4  magic "MSYN"
+///        4     2  version (currently 1; other values are rejected)
+///        6     2  flags (reserved, must be 0)
+///        8     4  type_len     (<= 256)
+///       12     4  payload_len  (<= 64 MiB)
+///       16     4  crc32 over type bytes ++ payload bytes
+///       20     …  type bytes, then payload bytes
+///
+/// `type` is the Message routing type ("tx", "block", "rel.data", ...);
+/// `payload` is the serialized JSON envelope. The decoder treats every
+/// violation — bad magic, unknown version, nonzero flags, oversized
+/// lengths, CRC mismatch — as Corruption, after which the connection must
+/// be dropped: a desynchronized byte stream cannot be trusted to resync.
+
+inline constexpr char kFrameMagic[4] = {'M', 'S', 'Y', 'N'};
+inline constexpr uint16_t kFrameVersion = 1;
+inline constexpr size_t kFrameHeaderSize = 20;
+inline constexpr size_t kMaxFrameTypeLen = 256;
+inline constexpr size_t kMaxFramePayloadLen = 64u * 1024 * 1024;
+
+struct Frame {
+  std::string type;
+  std::string payload;
+};
+
+/// Serializes `frame` (header + body). The caller guarantees the limits;
+/// oversized fields are a programming error and are clamped to Corruption
+/// at decode time anyway.
+std::string EncodeFrame(const Frame& frame);
+
+/// Incremental decoder over an arbitrary re-chunking of the byte stream.
+/// Feed() bytes as read(2) produces them — any split, including mid-header
+/// — then drain Next() until it yields nullopt.
+///
+/// Once any corruption is detected the decoder latches: every further
+/// Next() fails, and the owner is expected to drop the connection.
+class FrameDecoder {
+ public:
+  /// Appends raw bytes from the stream.
+  void Feed(std::string_view bytes);
+
+  /// Returns the next complete frame, nullopt if more bytes are needed, or
+  /// Corruption (bad magic / version / flags / lengths / CRC).
+  Result<std::optional<Frame>> Next();
+
+  /// Bytes buffered but not yet consumed by a decoded frame.
+  size_t buffered() const { return buffer_.size() - consumed_; }
+
+  bool corrupt() const { return corrupt_; }
+
+ private:
+  std::string buffer_;
+  size_t consumed_ = 0;  // prefix of buffer_ already decoded
+  bool corrupt_ = false;
+};
+
+}  // namespace medsync::net
+
+#endif  // MEDSYNC_NET_FRAME_H_

@@ -5,20 +5,21 @@
 
 namespace medsync::net {
 
-Network::Network(Simulator* simulator, LatencyModel latency, uint64_t seed)
+SimNetwork::SimNetwork(Simulator* simulator, LatencyModel latency,
+                       uint64_t seed)
     : simulator_(simulator), latency_(latency), rng_(seed) {}
 
-void Network::Attach(const NodeId& id, Endpoint* endpoint) {
+void SimNetwork::Attach(const NodeId& id, Endpoint* endpoint) {
   endpoints_[id] = endpoint;
 }
 
-void Network::Detach(const NodeId& id) { endpoints_.erase(id); }
+void SimNetwork::Detach(const NodeId& id) { endpoints_.erase(id); }
 
-bool Network::IsAttached(const NodeId& id) const {
+bool SimNetwork::IsAttached(const NodeId& id) const {
   return endpoints_.count(id) > 0;
 }
 
-void Network::set_metrics(metrics::MetricsRegistry* registry) {
+void SimNetwork::set_metrics(metrics::MetricsRegistry* registry) {
   registry_ = registry;
   if (registry == nullptr) {
     sent_counter_ = delivered_counter_ = dropped_counter_ = bytes_counter_ =
@@ -33,12 +34,12 @@ void Network::set_metrics(metrics::MetricsRegistry* registry) {
   latency_us_ = registry->GetHistogram("net.latency_us");
 }
 
-Status Network::Send(Message message) {
+Status SimNetwork::Send(Message message) {
   const size_t payload_bytes = message.payload.SerializedSize();
   return SendSized(std::move(message), payload_bytes);
 }
 
-Status Network::SendSized(Message message, size_t payload_bytes) {
+Status SimNetwork::SendSized(Message message, size_t payload_bytes) {
   auto it = endpoints_.find(message.to);
   if (it == endpoints_.end()) {
     // Nothing was handed to the network, so nothing is accounted.
@@ -91,7 +92,7 @@ Status Network::SendSized(Message message, size_t payload_bytes) {
   return Status::OK();
 }
 
-void Network::Broadcast(const NodeId& from, const std::string& type,
+void SimNetwork::Broadcast(const NodeId& from, const std::string& type,
                         const Json& payload) {
   // Measured once for the whole fan-out; every copy has the same payload.
   const size_t payload_bytes = payload.SerializedSize();
@@ -109,7 +110,7 @@ void Network::Broadcast(const NodeId& from, const std::string& type,
   }
 }
 
-void Network::SetLinkDown(const NodeId& a, const NodeId& b, bool down) {
+void SimNetwork::SetLinkDown(const NodeId& a, const NodeId& b, bool down) {
   auto link = a < b ? std::make_pair(a, b) : std::make_pair(b, a);
   if (down) {
     down_links_.insert(link);
@@ -118,7 +119,7 @@ void Network::SetLinkDown(const NodeId& a, const NodeId& b, bool down) {
   }
 }
 
-std::vector<NodeId> Network::AttachedNodes() const {
+std::vector<NodeId> SimNetwork::AttachedNodes() const {
   std::vector<NodeId> out;
   out.reserve(endpoints_.size());
   for (const auto& [id, endpoint] : endpoints_) out.push_back(id);

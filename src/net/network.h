@@ -4,6 +4,7 @@
 #include <map>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "common/json.h"
 #include "common/metrics/metrics.h"
@@ -13,13 +14,12 @@
 
 namespace medsync::net {
 
-/// Stable node identity on the simulated network (e.g. "doctor",
-/// "chain-node-2").
+/// Stable node identity on the network (e.g. "doctor", "chain-node-2").
 using NodeId = std::string;
 
 /// One network message. `type` routes within the receiver ("tx", "block",
 /// "notify", "fetch_request", "fetch_response", ...); `payload` is JSON,
-/// mirroring how the real system would put JSON bodies on the wire.
+/// mirroring how the real system puts JSON bodies on the wire.
 struct Message {
   NodeId from;
   NodeId to;
@@ -34,37 +34,89 @@ class Endpoint {
   virtual void OnMessage(const Message& message) = 0;
 };
 
+/// Datagram-style message plane the protocol layer runs over.
+///
+/// Two implementations share this contract: `SimNetwork` (below) delivers
+/// through the discrete-event Simulator for deterministic tests, and
+/// `SocketTransport` (net/socket_transport.h) moves the same messages over
+/// framed non-blocking TCP for multi-process deployment. `ReliableChannel`,
+/// `Peer`, and `ChainNode` only ever see this interface, so they run
+/// unmodified over either plane.
+///
+/// Contract both implementations keep:
+///  - `Send` to an id nobody can resolve fails fast with NotFound and is
+///    NOT accounted in stats (nothing was handed to the network).
+///  - A message accepted by `Send` may still be lost (partition, drop
+///    lottery, broken connection, mid-flight detach); loss is silent and
+///    counts as sent + dropped. Reliability is `ReliableChannel`'s job.
+class Network {
+ public:
+  /// `sent`/`bytes` only count messages genuinely handed to the network.
+  struct Stats {
+    uint64_t sent = 0;
+    uint64_t delivered = 0;
+    uint64_t dropped = 0;
+    uint64_t bytes = 0;
+  };
+
+  virtual ~Network() = default;
+
+  /// Attaches `endpoint` as `id`. The endpoint must outlive its attachment.
+  virtual void Attach(const NodeId& id, Endpoint* endpoint) = 0;
+  virtual void Detach(const NodeId& id) = 0;
+
+  /// Whether `id` is resolvable from here: locally attached, or (for the
+  /// socket transport) reachable through the static route map.
+  virtual bool IsAttached(const NodeId& id) const = 0;
+
+  /// Queues `message` for delivery (see class contract for loss semantics).
+  virtual Status Send(Message message) = 0;
+
+  /// Sends `type`/`payload` from `from` to every other known node.
+  virtual void Broadcast(const NodeId& from, const std::string& type,
+                         const Json& payload) = 0;
+
+  virtual const Stats& stats() const = 0;
+
+  /// Mirrors Stats into `registry` (net.sent/delivered/dropped/bytes) plus
+  /// implementation-specific extras. The registry must outlive the network;
+  /// nullptr detaches.
+  virtual void set_metrics(metrics::MetricsRegistry* registry) = 0;
+
+  /// Every id resolvable from this plane (local and, for the socket
+  /// transport, routed), sorted.
+  virtual std::vector<NodeId> AttachedNodes() const = 0;
+};
+
 /// Per-message latency: base + uniform(0, jitter).
 struct LatencyModel {
   Micros base = 20 * kMicrosPerMilli;
   Micros jitter = 10 * kMicrosPerMilli;
 };
 
-/// A simulated peer-to-peer message network. Delivery is asynchronous via
-/// the Simulator with configurable latency, optional random drops, and
-/// per-link partitions — enough to exercise the failure paths of the
-/// sharing protocol (a partitioned peer missing a contract notification
-/// must catch up when the partition heals).
-class Network {
+/// The simulated peer-to-peer network. Delivery is asynchronous via the
+/// Simulator with configurable latency, optional random drops, and per-link
+/// partitions — enough to exercise the failure paths of the sharing
+/// protocol (a partitioned peer missing a contract notification must catch
+/// up when the partition heals).
+class SimNetwork final : public Network {
  public:
-  Network(Simulator* simulator, LatencyModel latency, uint64_t seed = 42);
+  SimNetwork(Simulator* simulator, LatencyModel latency, uint64_t seed = 42);
 
-  Network(const Network&) = delete;
-  Network& operator=(const Network&) = delete;
+  SimNetwork(const SimNetwork&) = delete;
+  SimNetwork& operator=(const SimNetwork&) = delete;
 
-  /// Attaches `endpoint` as `id`. The endpoint must outlive its attachment.
-  void Attach(const NodeId& id, Endpoint* endpoint);
-  void Detach(const NodeId& id);
-  bool IsAttached(const NodeId& id) const;
+  void Attach(const NodeId& id, Endpoint* endpoint) override;
+  void Detach(const NodeId& id) override;
+  bool IsAttached(const NodeId& id) const override;
 
   /// Queues `message` for delivery. Fails fast if the destination is
   /// unknown; silently drops (counting it) if the link is partitioned or
   /// the drop lottery fires — like a real datagram network would.
-  Status Send(Message message);
+  Status Send(Message message) override;
 
-  /// Sends `type`/`payload` from `from` to every other attached node.
   void Broadcast(const NodeId& from, const std::string& type,
-                 const Json& payload);
+                 const Json& payload) override;
 
   /// Cuts or heals the (bidirectional) link between `a` and `b`.
   void SetLinkDown(const NodeId& a, const NodeId& b, bool down);
@@ -72,25 +124,16 @@ class Network {
   /// Probability in [0,1] that any message is lost.
   void set_drop_probability(double p) { drop_probability_ = p; }
 
-  /// `sent`/`bytes` only count messages genuinely handed to the network —
-  /// a Send to an unknown endpoint fails fast WITHOUT being accounted.
   /// Messages lost to a down link, the drop lottery, or a mid-flight detach
   /// count as both sent and dropped (datagram semantics).
-  struct Stats {
-    uint64_t sent = 0;
-    uint64_t delivered = 0;
-    uint64_t dropped = 0;
-    uint64_t bytes = 0;
-  };
-  const Stats& stats() const { return stats_; }
+  const Stats& stats() const override { return stats_; }
 
-  /// Mirrors Stats into `registry` (net.sent/delivered/dropped/bytes), adds
-  /// lazily created per-message-type counters (net.sent.<type>,
-  /// net.dropped.<type>) and the sampled-delay histogram net.latency_us.
-  /// The registry must outlive the network; nullptr detaches.
-  void set_metrics(metrics::MetricsRegistry* registry);
+  /// Beyond the base counters, adds lazily created per-message-type
+  /// counters (net.sent.<type>, net.dropped.<type>) and the sampled-delay
+  /// histogram net.latency_us.
+  void set_metrics(metrics::MetricsRegistry* registry) override;
 
-  std::vector<NodeId> AttachedNodes() const;
+  std::vector<NodeId> AttachedNodes() const override;
 
  private:
   /// Send with the payload's serialized size precomputed, so Broadcast

@@ -1,6 +1,7 @@
 #include "net/reliable_channel.h"
 
 #include <algorithm>
+#include <limits>
 
 #include "common/logging.h"
 
@@ -24,18 +25,18 @@ uint64_t SeedFromId(const NodeId& id) {
 
 }  // namespace
 
-ReliableChannel::ReliableChannel(NodeId id, Simulator* simulator,
+ReliableChannel::ReliableChannel(NodeId id, Scheduler* scheduler,
                                  Network* network, Endpoint* inner,
                                  Options options)
     : id_(std::move(id)),
-      simulator_(simulator),
+      scheduler_(scheduler),
       network_(network),
       inner_(inner),
       options_(options),
       // Mixing in the epoch keeps a restarted incarnation's jitter stream
       // independent of its previous life's.
-      rng_(SeedFromId(id_) ^ static_cast<uint64_t>(simulator->Now())),
-      epoch_(simulator->Now()) {}
+      rng_(SeedFromId(id_) ^ static_cast<uint64_t>(scheduler->Now())),
+      epoch_(scheduler->Now()) {}
 
 ReliableChannel::~ReliableChannel() {
   *alive_ = false;
@@ -78,10 +79,20 @@ void ReliableChannel::ScheduleRetransmit(const NodeId& to, uint64_t seq) {
   auto it = pending_.find(std::make_pair(to, seq));
   if (it == pending_.end()) return;
   const Micros delay = BackoffDelay(it->second.retries);
-  simulator_->Schedule(delay, [this, alive = alive_, to, seq] {
+  scheduler_->Schedule(delay, [this, alive = alive_, to, seq] {
     if (!*alive) return;
     auto pending_it = pending_.find(std::make_pair(to, seq));
     if (pending_it == pending_.end()) return;  // acked meanwhile
+    if (!attached_) {
+      // The channel itself is off the network (e.g. mid-restart): acks
+      // cannot reach a detached id, so every retransmit now would burn the
+      // retry budget against a wall and end in a spurious give-up even
+      // though the receiver may have the message. Keep the send pending
+      // and look again after the current backoff; Attach() lets the next
+      // firing proceed normally.
+      ScheduleRetransmit(to, seq);
+      return;
+    }
     PendingSend& send = pending_it->second;
     if (send.retries >= options_.max_retries) {
       ++stats_.gave_up;
@@ -106,14 +117,21 @@ void ReliableChannel::ScheduleRetransmit(const NodeId& to, uint64_t seq) {
 }
 
 Micros ReliableChannel::BackoffDelay(int retries) {
+  // Clamp to max_backoff BEFORE the integer cast. The exponential
+  // `initial_backoff * multiplier^n` can exceed Micros range in a double at
+  // high retry counts, and casting an out-of-range double to int64 is UB —
+  // on x86 it lands on INT64_MIN, a negative delay the scheduler clamps to
+  // zero, turning a capped backoff into a hot retransmit loop that burns
+  // the whole retry budget instantly.
+  const double cap = static_cast<double>(options_.max_backoff);
   double delay = static_cast<double>(options_.initial_backoff);
-  for (int i = 0; i < retries; ++i) {
+  for (int i = 0; i < retries && delay < cap; ++i) {
     delay *= options_.multiplier;
-    if (delay >= static_cast<double>(options_.max_backoff)) break;
   }
   Micros backoff =
-      std::min(options_.max_backoff, static_cast<Micros>(delay));
-  if (options_.jitter > 0) {
+      delay >= cap ? options_.max_backoff : static_cast<Micros>(delay);
+  if (options_.jitter > 0 &&
+      backoff <= std::numeric_limits<Micros>::max() - options_.jitter) {
     backoff += static_cast<Micros>(
         rng_.NextBelow(static_cast<uint64_t>(options_.jitter) + 1));
   }

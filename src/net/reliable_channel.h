@@ -12,7 +12,7 @@
 #include "common/metrics/metrics.h"
 #include "common/random.h"
 #include "net/network.h"
-#include "net/simulator.h"
+#include "net/scheduler.h"
 
 namespace medsync::net {
 
@@ -26,7 +26,7 @@ namespace medsync::net {
 /// type/payload and forwards it to the wrapped endpoint. Unacked sends are
 /// retransmitted with exponential backoff plus seeded jitter until
 /// `max_retries` is exhausted, then dropped (`gave_up`). All timing runs on
-/// the Simulator and all randomness comes from a seeded Rng derived from
+/// the Scheduler and all randomness comes from a seeded Rng derived from
 /// the node id, so runs are byte-identical regardless of drop pattern or
 /// thread-pool size.
 ///
@@ -55,14 +55,14 @@ class ReliableChannel : public Endpoint {
     int max_retries = 10;
   };
 
-  /// `simulator`, `network` and `inner` must outlive the channel. The
+  /// `scheduler`, `network` and `inner` must outlive the channel. The
   /// channel does not attach itself; call Attach() (typically instead of
   /// attaching `inner` directly).
-  ReliableChannel(NodeId id, Simulator* simulator, Network* network,
+  ReliableChannel(NodeId id, Scheduler* scheduler, Network* network,
                   Endpoint* inner, Options options);
-  ReliableChannel(NodeId id, Simulator* simulator, Network* network,
+  ReliableChannel(NodeId id, Scheduler* scheduler, Network* network,
                   Endpoint* inner)
-      : ReliableChannel(std::move(id), simulator, network, inner, Options()) {
+      : ReliableChannel(std::move(id), scheduler, network, inner, Options()) {
   }
   ~ReliableChannel() override;
 
@@ -129,7 +129,7 @@ class ReliableChannel : public Endpoint {
   Micros BackoffDelay(int retries);
 
   NodeId id_;
-  Simulator* simulator_;
+  Scheduler* scheduler_;
   Network* network_;
   Endpoint* inner_;
   Options options_;

@@ -1,0 +1,31 @@
+#ifndef MEDSYNC_NET_SCHEDULER_H_
+#define MEDSYNC_NET_SCHEDULER_H_
+
+#include <functional>
+
+#include "common/clock.h"
+
+namespace medsync::net {
+
+/// Timer/clock seam between protocol code and its execution plane.
+///
+/// `ReliableChannel`, `Peer`, and `ChainNode` only ever need "what time is
+/// it" and "run this closure after a delay". Expressing that as an
+/// interface lets the same protocol objects run unmodified over the
+/// discrete-event `Simulator` (deterministic tests, simulated time) or the
+/// epoll/poll `EventLoop` (deployment, wall-clock time). Both planes are
+/// single-threaded: callbacks never race each other.
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Microseconds since the plane's epoch (simulated or wall clock).
+  virtual Micros Now() const = 0;
+
+  /// Runs `fn` once, `delay` from now (delay < 0 is clamped to 0).
+  virtual void Schedule(Micros delay, std::function<void()> fn) = 0;
+};
+
+}  // namespace medsync::net
+
+#endif  // MEDSYNC_NET_SCHEDULER_H_

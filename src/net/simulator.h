@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/clock.h"
+#include "net/scheduler.h"
 
 namespace medsync::net {
 
@@ -16,10 +17,12 @@ namespace medsync::net {
 /// block-sealing intervals, peer timeouts — runs as events here, so a whole
 /// multi-node experiment executes deterministically in one process and
 /// "12-second Ethereum blocks" (Section IV-1 of the paper) cost simulated,
-/// not real, seconds.
+/// not real, seconds. The wall-clock counterpart is `EventLoop`
+/// (net/event_loop.h); both serve protocol code through the `Scheduler`
+/// interface.
 ///
 /// Events at equal timestamps fire in scheduling order (FIFO tie-break).
-class Simulator {
+class Simulator : public Scheduler {
  public:
   explicit Simulator(Micros epoch = SimClock::kDefaultEpoch)
       : clock_(epoch) {}
@@ -27,11 +30,11 @@ class Simulator {
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
-  Micros Now() const { return clock_.Now(); }
+  Micros Now() const override { return clock_.Now(); }
   const SimClock& clock() const { return clock_; }
 
   /// Schedules `fn` to run `delay` from now (delay < 0 is clamped to 0).
-  void Schedule(Micros delay, std::function<void()> fn);
+  void Schedule(Micros delay, std::function<void()> fn) override;
 
   /// Schedules `fn` at absolute time `when` (clamped to now).
   void ScheduleAt(Micros when, std::function<void()> fn);

@@ -5,7 +5,7 @@
 #include <cstring>
 
 #include "crypto/sha256.h"
-#include "relational/wal.h"  // Crc32
+#include "common/crc32.h"
 
 namespace medsync::relational {
 

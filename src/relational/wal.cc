@@ -14,31 +14,7 @@ namespace medsync::relational {
 
 namespace {
 
-uint32_t Crc32Table(size_t i) {
-  static uint32_t table[256];
-  static bool initialized = [] {
-    for (uint32_t n = 0; n < 256; ++n) {
-      uint32_t c = n;
-      for (int k = 0; k < 8; ++k) {
-        c = (c & 1) ? 0xedb88320u ^ (c >> 1) : (c >> 1);
-      }
-      table[n] = c;
-    }
-    return true;
-  }();
-  (void)initialized;
-  return table[i];
-}
-
 }  // namespace
-
-uint32_t Crc32(std::string_view data) {
-  uint32_t crc = 0xffffffffu;
-  for (unsigned char c : data) {
-    crc = Crc32Table((crc ^ c) & 0xff) ^ (crc >> 8);
-  }
-  return crc ^ 0xffffffffu;
-}
 
 Result<Wal> Wal::Open(std::string path, std::vector<WalRecord>* recovered,
                       Options options) {

@@ -5,6 +5,7 @@
 #include <string>
 #include <vector>
 
+#include "common/crc32.h"
 #include "common/json.h"
 #include "common/metrics/metrics.h"
 #include "common/result.h"
@@ -122,9 +123,6 @@ class Wal {
   metrics::Counter* syncs_counter_ = nullptr;
   metrics::Counter* resets_counter_ = nullptr;
 };
-
-/// CRC-32 (IEEE 802.3, reflected) over `data`; exposed for tests.
-uint32_t Crc32(std::string_view data);
 
 }  // namespace medsync::relational
 

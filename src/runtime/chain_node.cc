@@ -11,14 +11,14 @@ namespace medsync::runtime {
 using chain::Block;
 using chain::Transaction;
 
-ChainNode::ChainNode(NodeConfig config, net::Simulator* simulator,
+ChainNode::ChainNode(NodeConfig config, net::Scheduler* scheduler,
                      net::Network* network,
                      std::shared_ptr<const chain::Sealer> sealer,
                      Block genesis,
                      chain::Blockchain::ConflictKeyFn conflict_key,
                      std::unique_ptr<contracts::ContractHost> host)
     : config_(std::move(config)),
-      simulator_(simulator),
+      scheduler_(scheduler),
       network_(network),
       sealer_(std::move(sealer)),
       host_(std::move(host)) {
@@ -82,7 +82,7 @@ void ChainNode::Start() {
   started_ = true;
   network_->Attach(config_.id, this);
   if (config_.sealing_enabled) {
-    simulator_->Schedule(config_.block_interval, [this, alive = alive_] {
+    scheduler_->Schedule(config_.block_interval, [this, alive = alive_] {
       if (!*alive) return;
       SealTick();
     });
@@ -171,7 +171,7 @@ void ChainNode::SealTick() {
       network_->Broadcast(config_.id, "tx", tx.ToJson());
     }
   }
-  simulator_->Schedule(config_.block_interval, [this, alive = alive_] {
+  scheduler_->Schedule(config_.block_interval, [this, alive = alive_] {
     if (!*alive) return;
     SealTick();
   });
@@ -243,7 +243,7 @@ ChainNode::SealOutcome ChainNode::BuildLaneCandidate(Lane& lane) {
   block.header.height = lane.chain.head().header.height + 1;
   block.header.parent = lane.chain.head().header.Hash();
   block.header.timestamp =
-      std::max(simulator_->Now(), lane.chain.head().header.timestamp);
+      std::max(scheduler_->Now(), lane.chain.head().header.timestamp);
   block.transactions = std::move(txs);
   // With multiple lanes the lane tasks themselves occupy the pool, so the
   // Merkle commitment stays serial per lane (nesting ParallelFor inside a
@@ -451,9 +451,9 @@ void ChainNode::ScheduleExecution() {
   if (execution_scheduled_) return;
   execution_scheduled_ = true;
   // Delay 0 queues BEHIND every already-delivered message of this instant
-  // (the simulator is FIFO within a timestamp), so a multi-lane tick's
+  // (both schedulers are FIFO within a timestamp), so a multi-lane tick's
   // blocks all land before the single batch runs.
-  simulator_->Schedule(0, [this, alive = alive_] {
+  scheduler_->Schedule(0, [this, alive = alive_] {
     if (!*alive) return;
     execution_scheduled_ = false;
     AdvanceExecution();

@@ -14,7 +14,7 @@
 #include "chain/sealer.h"
 #include "contracts/host.h"
 #include "net/network.h"
-#include "net/simulator.h"
+#include "net/scheduler.h"
 #include "runtime/block_store.h"
 
 namespace medsync::threading {
@@ -80,14 +80,14 @@ class ChainNode : public net::Endpoint {
   /// derived from it by stamping the lane id); `conflict_key` implements
   /// the one-update-per-shared-table-per-block rule; `host` is this node's
   /// contract execution engine (with all types pre-registered).
-  ChainNode(NodeConfig config, net::Simulator* simulator,
+  ChainNode(NodeConfig config, net::Scheduler* scheduler,
             net::Network* network, std::shared_ptr<const chain::Sealer> sealer,
             chain::Block genesis, chain::Blockchain::ConflictKeyFn conflict_key,
             std::unique_ptr<contracts::ContractHost> host);
 
   /// Invalidates the liveness token so seal-timer events still queued in
-  /// the simulator become no-ops instead of firing on a dangling node
-  /// (restart tests destroy nodes while their shared simulator keeps
+  /// the scheduler become no-ops instead of firing on a dangling node
+  /// (restart tests destroy nodes while their shared scheduler keeps
   /// running).
   ~ChainNode();
 
@@ -207,13 +207,13 @@ class ChainNode : public net::Endpoint {
   Status AddBlockPersist(chain::Block block);
 
   NodeConfig config_;
-  net::Simulator* simulator_;
+  net::Scheduler* scheduler_;
   net::Network* network_;
-  /// Liveness token for timer callbacks queued in the simulator (same
+  /// Liveness token for timer callbacks queued in the scheduler (same
   /// idiom as Peer::alive_): captured by SealTick reschedules, flipped
   /// false in the destructor.
   std::shared_ptr<bool> alive_ = std::make_shared<bool>(true);
-  /// True while a coalesced execution batch is queued in the simulator.
+  /// True while a coalesced execution batch is queued in the scheduler.
   bool execution_scheduled_ = false;
   std::shared_ptr<const chain::Sealer> sealer_;
   std::vector<std::unique_ptr<Lane>> lanes_;

@@ -1,0 +1,53 @@
+#include "runtime/daemon.h"
+
+#include "chain/blockchain.h"
+#include "chain/sealer.h"
+#include "common/strings.h"
+#include "contracts/metadata_contract.h"
+
+namespace medsync::runtime {
+
+std::string NodeDaemon::NodeIdFor(size_t index) {
+  return StrCat("chain-node-", index);
+}
+
+std::vector<crypto::Address> NodeDaemon::Authorities(size_t count) {
+  std::vector<crypto::Address> authorities;
+  authorities.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    authorities.push_back(
+        crypto::KeyPair::FromSeed(StrCat("authority-", i)).address());
+  }
+  return authorities;
+}
+
+NodeDaemon::NodeDaemon(const NodeDaemonOptions& options,
+                       net::Scheduler* scheduler, net::Network* network) {
+  auto signer = std::make_shared<crypto::KeyPair>(
+      crypto::KeyPair::FromSeed(StrCat("authority-", options.node_index)));
+  // Height-rotation PoA: only the rightful authority's seal validates at
+  // each height, so independently started processes with unsynchronized
+  // seal-tick phases cannot fork the chain — a late tick just means the
+  // rightful node seals on its next one.
+  auto sealer = std::make_shared<chain::PoaSealer>(
+      Authorities(options.authority_count), std::move(signer));
+
+  auto host = std::make_unique<contracts::ContractHost>();
+  host->RegisterType("metadata", contracts::MetadataContract::Create);
+
+  NodeConfig config;
+  config.id = NodeIdFor(options.node_index);
+  config.block_interval = options.block_interval;
+  config.max_block_txs = options.max_block_txs;
+  config.sealing_enabled = true;
+  config.metrics = options.metrics;
+
+  node_ = std::make_unique<ChainNode>(
+      config, scheduler, network, std::move(sealer),
+      chain::Blockchain::MakeGenesis(options.genesis_timestamp),
+      contracts::SharedDataConflictKey, std::move(host));
+}
+
+void NodeDaemon::Start() { node_->Start(); }
+
+}  // namespace medsync::runtime

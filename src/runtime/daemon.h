@@ -1,0 +1,65 @@
+#ifndef MEDSYNC_RUNTIME_DAEMON_H_
+#define MEDSYNC_RUNTIME_DAEMON_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/metrics/metrics.h"
+#include "crypto/keys.h"
+#include "net/network.h"
+#include "net/scheduler.h"
+#include "runtime/chain_node.h"
+
+namespace medsync::runtime {
+
+/// Options for hosting one ChainNode as (part of) an OS process.
+///
+/// Every process of a deployment must agree on `authority_count`,
+/// `genesis_timestamp`, `block_interval`, and `max_block_txs` — they
+/// determine the authority set, the genesis block, and sealing cadence.
+/// Identities are deterministic (authority-i key seeds), so processes
+/// bootstrap independently with no coordination service: the static route
+/// map of the socket transport is the only shared configuration.
+struct NodeDaemonOptions {
+  /// This process's index in the authority set (node id "chain-node-<i>").
+  size_t node_index = 0;
+  size_t authority_count = 4;
+  Micros block_interval = 500 * kMicrosPerMilli;
+  size_t max_block_txs = 100;
+  /// Genesis timestamp; must be identical across processes (the default
+  /// SimClock epoch keeps sim and socket deployments genesis-compatible).
+  Micros genesis_timestamp = SimClock::kDefaultEpoch;
+  metrics::MetricsRegistry* metrics = nullptr;
+};
+
+/// Hosts one PoA ChainNode over any execution plane (Simulator for tests,
+/// EventLoop + SocketTransport for deployment). This is the chain half of
+/// `chain_node_daemon`; role-playing peers layer on top in core.
+class NodeDaemon {
+ public:
+  NodeDaemon(const NodeDaemonOptions& options, net::Scheduler* scheduler,
+             net::Network* network);
+
+  NodeDaemon(const NodeDaemon&) = delete;
+  NodeDaemon& operator=(const NodeDaemon&) = delete;
+
+  /// Starts sealing/gossip (ChainNode::Start).
+  void Start();
+
+  ChainNode& node() { return *node_; }
+  const ChainNode& node() const { return *node_; }
+
+  static std::string NodeIdFor(size_t index);
+
+  /// The deterministic authority address set every process agrees on.
+  static std::vector<crypto::Address> Authorities(size_t count);
+
+ private:
+  std::unique_ptr<ChainNode> node_;
+};
+
+}  // namespace medsync::runtime
+
+#endif  // MEDSYNC_RUNTIME_DAEMON_H_

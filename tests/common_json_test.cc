@@ -149,5 +149,74 @@ TEST(JsonTest, NumericEqualityAcrossIntAndDouble) {
   EXPECT_NE(Json(2), Json(2.5));
 }
 
+// --- Hostile wire input. The socket transport feeds frame payloads through
+// ParseWire, so every rejection below is a connection a remote peer cannot
+// wedge or confuse, not a style preference.
+
+TEST(JsonTest, ParseRejectsNonStrictNumbers) {
+  // The permissive scan these used to slip through would hand strtod a
+  // token the sender never wrote.
+  for (const char* bad : {"+5", ".5", "1.", "01", "0x1f", "1e", "1e+",
+                          "-.5", "--1", "1.2.3", "NaN", "Infinity"}) {
+    EXPECT_FALSE(Json::Parse(bad).ok()) << bad;
+  }
+  // Strict grammar still admits every shape our own Dump emits.
+  for (const char* good : {"0", "-0", "0.5", "10", "1e9", "1E-9", "2.5e+4"}) {
+    EXPECT_TRUE(Json::Parse(good).ok()) << good;
+  }
+}
+
+TEST(JsonTest, ParseRejectsUnpairedSurrogates) {
+  // Lone high, lone low, high followed by a non-surrogate, and high at
+  // end-of-escape-sequence: all malformed UTF-16, none may produce bytes.
+  for (const char* bad :
+       {"\"\\ud800\"", "\"\\udc00\"", "\"\\ud800x\"", "\"\\ud800\\u0041\"",
+        "\"\\ud800\\ud800\"", "\"\\udfff tail\""}) {
+    EXPECT_FALSE(Json::Parse(bad).ok()) << bad;
+  }
+  // A proper pair decodes to one astral code point (U+1F600, 4 UTF-8 bytes).
+  auto paired = Json::Parse("\"\\ud83d\\ude00\"");
+  ASSERT_TRUE(paired.ok());
+  EXPECT_EQ(paired->AsString(), "\xf0\x9f\x98\x80");
+}
+
+TEST(JsonTest, ParseWireReportsCorruptionNotInvalidArgument) {
+  // On the wire path the malformed bytes indict the STREAM: the transport
+  // keys its drop-the-connection logic off kCorruption.
+  for (const char* bad : {"{", "+5", "\"\\ud800\"", "nul", "[1,]"}) {
+    Result<Json> parsed = Json::ParseWire(bad);
+    ASSERT_FALSE(parsed.ok()) << bad;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kCorruption) << bad;
+  }
+  // The same bytes through the trusted path stay InvalidArgument (caller
+  // bug, not stream corruption).
+  EXPECT_EQ(Json::Parse("{").status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(JsonTest, ParseWireEnforcesTighterDepthThanTrustedParse) {
+  std::string deep(100, '[');
+  deep += std::string(100, ']');
+  // 100 levels: fine for our own checkpoints (limit 256), refused from the
+  // socket (limit 64) — a remote peer cannot make the parser recurse deep.
+  EXPECT_TRUE(Json::Parse(deep).ok());
+  Result<Json> wire = Json::ParseWire(deep);
+  ASSERT_FALSE(wire.ok());
+  EXPECT_EQ(wire.status().code(), StatusCode::kCorruption);
+
+  // An explicit caller-chosen limit still wins on the wire path.
+  std::string shallow = "[[[[1]]]]";
+  EXPECT_TRUE(Json::ParseWire(shallow).ok());
+  EXPECT_FALSE(Json::ParseWire(shallow, {.max_depth = 2}).ok());
+}
+
+TEST(JsonTest, ParseSurvivesPathologicalInputsWithoutValue) {
+  // Truncations and garbage that historically crash sloppy parsers.
+  for (const char* bad :
+       {"\"\\", "\"\\u", "\"\\u00", "\"\\ud83d\\u", "[", "[[", "{\"",
+        "{\"a\"", "{\"a\":", "[}", "{]", "\x00", "\xff\xfe", "e", "-e"}) {
+    EXPECT_FALSE(Json::Parse(bad).ok());
+  }
+}
+
 }  // namespace
 }  // namespace medsync

@@ -39,7 +39,7 @@ class ReliableChannelTest : public ::testing::Test {
   ReliableChannelTest() : network_(&simulator_, LatencyModel{}, /*seed=*/7) {}
 
   Simulator simulator_;
-  Network network_;
+  SimNetwork network_;
 };
 
 TEST_F(ReliableChannelTest, DeliversAndCompletesViaAck) {
@@ -297,12 +297,87 @@ TEST_F(ReliableChannelTest, SenderRestartResetsReceiverDedupState) {
   EXPECT_EQ(b.stats().acks_sent, 2u);  // none for the straggler
 }
 
+TEST_F(ReliableChannelTest, ExtremeBackoffGrowthClampsInsteadOfHotLooping) {
+  // Regression: `initial_backoff * multiplier^n` overflows a Micros once
+  // the double exceeds int64 range, and casting that double is UB — in
+  // practice it landed on INT64_MIN, a negative delay the scheduler clamps
+  // to zero. A "capped" backoff then became a hot retransmit loop that
+  // burned the whole retry budget in one sim instant and gave up on a
+  // message the policy said to keep retrying for seconds.
+  CapturingEndpoint inner_a;
+  ReliableChannel::Options options;
+  options.initial_backoff = 1 * kMicrosPerMilli;
+  options.multiplier = 1e18;  // second delay overflows int64 as a double
+  options.max_backoff = 1 * kMicrosPerSecond;
+  options.jitter = 0;
+  options.max_retries = 5;
+  ReliableChannel a("a", &simulator_, &network_, &inner_a, options);
+  a.Attach();
+
+  Message m;
+  m.to = "ghost";  // never attaches: every (re)send is lost
+  m.type = "slow-burn";
+  m.payload = Body("clamped");
+  ASSERT_TRUE(a.Send(std::move(m)).ok());
+  simulator_.RunFor(3 * kMicrosPerSecond);
+
+  // Clamped pace: one retry at 1ms, then one per max_backoff second. The
+  // hot loop would have burned all 5 retries and given up instantly.
+  EXPECT_EQ(a.stats().gave_up, 0u);
+  EXPECT_EQ(a.pending(), 1u);
+  EXPECT_GE(a.stats().retries, 2u);
+  EXPECT_LE(a.stats().retries, 4u);
+
+  // The retry budget still runs out eventually — at the capped pace.
+  simulator_.RunFor(10 * kMicrosPerSecond);
+  EXPECT_EQ(a.stats().gave_up, 1u);
+  EXPECT_EQ(a.pending(), 0u);
+}
+
+TEST_F(ReliableChannelTest, DetachedChannelKeepsPendingSendsAlive) {
+  // Regression: a detached channel (mid-restart) kept retransmitting into
+  // a network that could never route the ack back, so the retry budget
+  // burned against a wall and the message was spuriously given up even
+  // though the peer would have acked moments later.
+  CapturingEndpoint inner_a, inner_b;
+  ReliableChannel::Options options;
+  options.initial_backoff = 100 * kMicrosPerMilli;
+  options.max_backoff = 500 * kMicrosPerMilli;
+  options.jitter = 0;
+  options.max_retries = 3;
+  ReliableChannel a("a", &simulator_, &network_, &inner_a, options);
+  a.Attach();
+
+  Message m;
+  m.to = "b";
+  m.type = "survives-restart";
+  m.payload = Body("still here");
+  ASSERT_TRUE(a.Send(std::move(m)).ok());
+  a.Detach();
+
+  // Far past the attached-case give-up horizon (~1.3s at these options).
+  simulator_.RunFor(30 * kMicrosPerSecond);
+  EXPECT_EQ(a.pending(), 1u);
+  EXPECT_EQ(a.stats().gave_up, 0u);
+  EXPECT_EQ(a.stats().retries, 0u);  // parked, not burning budget
+
+  // Both sides come up; the parked send completes normally.
+  ReliableChannel b("b", &simulator_, &network_, &inner_b);
+  b.Attach();
+  a.Attach();
+  simulator_.RunFor(10 * kMicrosPerSecond);
+  ASSERT_EQ(inner_b.messages.size(), 1u);
+  EXPECT_EQ(*inner_b.messages[0].payload.GetString("text"), "still here");
+  EXPECT_EQ(a.pending(), 0u);
+  EXPECT_EQ(a.stats().gave_up, 0u);
+}
+
 TEST_F(ReliableChannelTest, DeterministicUnderLoss) {
   // Two identically seeded worlds driven identically end with identical
   // stats and identical sim clocks — loss, jitter, backoff and all.
   auto run = [] {
     Simulator simulator;
-    Network network(&simulator, LatencyModel{}, /*seed=*/99);
+    SimNetwork network(&simulator, LatencyModel{}, /*seed=*/99);
     network.set_drop_probability(0.4);
     CapturingEndpoint inner_a, inner_b;
     ReliableChannel a("a", &simulator, &network, &inner_a);

@@ -86,7 +86,7 @@ class Recorder : public Endpoint {
 
 TEST(NetworkTest, DeliversWithLatency) {
   Simulator sim(0);
-  Network net(&sim, LatencyModel{100, 0});
+  SimNetwork net(&sim, LatencyModel{100, 0});
   Recorder alice, bob;
   net.Attach("alice", &alice);
   net.Attach("bob", &bob);
@@ -103,7 +103,7 @@ TEST(NetworkTest, DeliversWithLatency) {
 
 TEST(NetworkTest, UnknownDestinationFailsFast) {
   Simulator sim(0);
-  Network net(&sim, LatencyModel{0, 0});
+  SimNetwork net(&sim, LatencyModel{0, 0});
   Recorder alice;
   net.Attach("alice", &alice);
   EXPECT_TRUE(net.Send({"alice", "nobody", "x", Json()}).IsNotFound());
@@ -111,7 +111,7 @@ TEST(NetworkTest, UnknownDestinationFailsFast) {
 
 TEST(NetworkTest, BroadcastReachesAllButSender) {
   Simulator sim(0);
-  Network net(&sim, LatencyModel{1, 0});
+  SimNetwork net(&sim, LatencyModel{1, 0});
   Recorder a, b, c;
   net.Attach("a", &a);
   net.Attach("b", &b);
@@ -125,7 +125,7 @@ TEST(NetworkTest, BroadcastReachesAllButSender) {
 
 TEST(NetworkTest, PartitionedLinkDropsSilently) {
   Simulator sim(0);
-  Network net(&sim, LatencyModel{1, 0});
+  SimNetwork net(&sim, LatencyModel{1, 0});
   Recorder a, b;
   net.Attach("a", &a);
   net.Attach("b", &b);
@@ -143,7 +143,7 @@ TEST(NetworkTest, PartitionedLinkDropsSilently) {
 
 TEST(NetworkTest, DropProbabilityLosesRoughlyThatFraction) {
   Simulator sim(0);
-  Network net(&sim, LatencyModel{1, 0}, /*seed=*/7);
+  SimNetwork net(&sim, LatencyModel{1, 0}, /*seed=*/7);
   Recorder a, b;
   net.Attach("a", &a);
   net.Attach("b", &b);
@@ -158,7 +158,7 @@ TEST(NetworkTest, DropProbabilityLosesRoughlyThatFraction) {
 
 TEST(NetworkTest, DetachedMidFlightCountsAsDropped) {
   Simulator sim(0);
-  Network net(&sim, LatencyModel{100, 0});
+  SimNetwork net(&sim, LatencyModel{100, 0});
   Recorder a, b;
   net.Attach("a", &a);
   net.Attach("b", &b);
@@ -171,7 +171,7 @@ TEST(NetworkTest, DetachedMidFlightCountsAsDropped) {
 
 TEST(NetworkTest, JitterVariesDeliveryTimes) {
   Simulator sim(0);
-  Network net(&sim, LatencyModel{10, 1000}, /*seed=*/3);
+  SimNetwork net(&sim, LatencyModel{10, 1000}, /*seed=*/3);
   Recorder a, b;
   net.Attach("a", &a);
   net.Attach("b", &b);
@@ -198,7 +198,7 @@ TEST(NetworkTest, UnknownDestinationIsNotAccounted) {
   // network, so it must not inflate sent/bytes — previously the payload
   // was serialized and counted before the endpoint lookup.
   Simulator sim(0);
-  Network net(&sim, LatencyModel{0, 0});
+  SimNetwork net(&sim, LatencyModel{0, 0});
   Recorder alice;
   net.Attach("alice", &alice);
 
@@ -210,7 +210,7 @@ TEST(NetworkTest, UnknownDestinationIsNotAccounted) {
 
 TEST(NetworkTest, BytesCountPayloadSerializationOnce) {
   Simulator sim(0);
-  Network net(&sim, LatencyModel{1, 0});
+  SimNetwork net(&sim, LatencyModel{1, 0});
   Recorder a, b, c;
   net.Attach("a", &a);
   net.Attach("b", &b);
@@ -232,7 +232,7 @@ TEST(NetworkTest, BytesCountPayloadSerializationOnce) {
 
 TEST(NetworkTest, MetricsMirrorStatsAndSplitPerType) {
   Simulator sim(0);
-  Network net(&sim, LatencyModel{1, 0});
+  SimNetwork net(&sim, LatencyModel{1, 0});
   metrics::MetricsRegistry registry;
   net.set_metrics(&registry);
   Recorder a, b;
@@ -264,7 +264,7 @@ TEST(NetworkTest, MetricsMirrorStatsAndSplitPerType) {
 
 TEST(NetworkTest, AttachedNodesListing) {
   Simulator sim(0);
-  Network net(&sim, LatencyModel{});
+  SimNetwork net(&sim, LatencyModel{});
   Recorder a;
   net.Attach("z", &a);
   net.Attach("a", &a);

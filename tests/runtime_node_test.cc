@@ -15,7 +15,7 @@ class NodeClusterTest : public ::testing::Test {
   static constexpr Micros kBlockInterval = 1 * kMicrosPerSecond;
 
   void BuildCluster(size_t n, bool all_seal = true) {
-    network_ = std::make_unique<net::Network>(&simulator_,
+    network_ = std::make_unique<net::SimNetwork>(&simulator_,
                                               net::LatencyModel{
                                                   10 * kMicrosPerMilli,
                                                   5 * kMicrosPerMilli},
@@ -58,7 +58,7 @@ class NodeClusterTest : public ::testing::Test {
   }
 
   net::Simulator simulator_;
-  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<net::SimNetwork> network_;
   std::vector<std::unique_ptr<ChainNode>> nodes_;
   crypto::KeyPair client_ = crypto::KeyPair::FromSeed("cluster-client");
   uint64_t nonce_ = 0;
@@ -250,7 +250,7 @@ TEST_F(NodeClusterTest, PeersIgnoreForeignProtocolMessages) {
 }
 
 TEST_F(NodeClusterTest, SealEmptyBlocksOption) {
-  network_ = std::make_unique<net::Network>(&simulator_, net::LatencyModel{},
+  network_ = std::make_unique<net::SimNetwork>(&simulator_, net::LatencyModel{},
                                             7);
   auto key = std::make_shared<crypto::KeyPair>(
       crypto::KeyPair::FromSeed("solo-authority"));

@@ -23,7 +23,7 @@ class NodePersistenceTest : public ::testing::Test {
             StrCat("medsync_nodestore_", ::getpid(), "_", counter_++))
                .string();
     fs::create_directories(dir_);
-    network_ = std::make_unique<net::Network>(&simulator_,
+    network_ = std::make_unique<net::SimNetwork>(&simulator_,
                                               net::LatencyModel{}, 3);
     key_ = std::make_shared<crypto::KeyPair>(
         crypto::KeyPair::FromSeed("persist-authority"));
@@ -72,7 +72,7 @@ class NodePersistenceTest : public ::testing::Test {
   static inline int counter_ = 0;
   std::string dir_;
   net::Simulator simulator_;
-  std::unique_ptr<net::Network> network_;
+  std::unique_ptr<net::SimNetwork> network_;
   std::shared_ptr<crypto::KeyPair> key_;
   chain::Block genesis_;
   crypto::KeyPair client_ = crypto::KeyPair::FromSeed("persist-client");

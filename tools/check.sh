@@ -9,6 +9,10 @@
 #   6. columnar storage suite (`ctest -L storage`: chunk format + LZ codec,
 #      chunked-vs-row equivalence properties, million-row
 #      seal/scan/checkpoint/recover — DESIGN.md section 15)
+#   7. loopback deployment smoke: build chain_node_daemon and drive the
+#      four-process Fig. 5 cascade over real TCP to convergence, checking
+#      that every process reports the same protocol outcome (DESIGN.md
+#      section 16)
 #
 # Usage: tools/check.sh [build-dir]          (default: build-check)
 #        tools/check.sh --lint-only [dir]    lint stages only
@@ -36,20 +40,20 @@ fi
 BUILD_DIR="${1:-build-check}"
 
 if [[ "$LINT_ONLY" == 0 ]]; then
-  echo "== [1/6] configure ($BUILD_DIR) =="
+  echo "== [1/7] configure ($BUILD_DIR) =="
   cmake -B "$BUILD_DIR" -S . \
     -DMEDSYNC_THREAD_SAFETY_ANALYSIS=ON \
     -DCMAKE_EXPORT_COMPILE_COMMANDS=ON
-  echo "== [2/6] build =="
+  echo "== [2/7] build =="
   cmake --build "$BUILD_DIR" -j"$(nproc)"
 fi
 
-echo "== [3/6] medsync-lint =="
+echo "== [3/7] medsync-lint =="
 python3 tools/medsync_lint.py
 python3 tools/medsync_lint_test.py
 
 if [[ "$LINT_ONLY" == 0 ]]; then
-  echo "== [4/6] tier-1 ctest =="
+  echo "== [4/7] tier-1 ctest =="
   # -LE lint: the lint stages just ran above; also keeps the registered
   # check_gate test from re-entering this script. The generated soak suite
   # (label `soak`) is excluded from the default tier and included by
@@ -60,14 +64,17 @@ if [[ "$LINT_ONLY" == 0 ]]; then
   fi
   ctest --test-dir "$BUILD_DIR" --output-on-failure -LE "$EXCLUDE" \
     -j"$(nproc)"
-  echo "== [5/6] sharded-lane suite (ctest -L lanes) =="
+  echo "== [5/7] sharded-lane suite (ctest -L lanes) =="
   # Quick legs only by default; --full already covered the soak-labeled
   # lane-determinism leg in stage 4, so always exclude `soak` here.
   ctest --test-dir "$BUILD_DIR" --output-on-failure -L lanes -LE soak \
     -j"$(nproc)"
-  echo "== [6/6] columnar storage suite (ctest -L storage) =="
+  echo "== [6/7] columnar storage suite (ctest -L storage) =="
   ctest --test-dir "$BUILD_DIR" --output-on-failure -L storage -LE soak \
     -j"$(nproc)"
+  echo "== [7/7] loopback deployment smoke (4 processes over TCP) =="
+  cmake --build "$BUILD_DIR" --target chain_node_daemon -j"$(nproc)"
+  tools/run_loopback_cascade.sh "$BUILD_DIR"
 fi
 
 echo "check.sh: all gates passed"

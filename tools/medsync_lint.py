@@ -49,6 +49,17 @@ Machine-checks the contracts the compiler cannot see (DESIGN.md section 12):
                         other iteration silently drops or duplicates rows.
                         Allowed in src/relational/ itself, its tests
                         (tests/relational_*), and the storage microbench.
+  MS009 raw-socket      Raw socket/event syscalls (socket, connect, bind,
+                        listen, accept, epoll_*, poll, select, recv*,
+                        send*, get/setsockopt, shutdown) or raw fd I/O
+                        (read, write, readv, ...) in src/ outside src/net/.
+                        All wire I/O goes through net::SocketTransport /
+                        net::EventLoop (DESIGN.md section 16) so framing,
+                        CRC checks, corruption accounting, and the
+                        simulator/socket seam stay in one place. The
+                        durability-allowlisted files keep their audited
+                        read/write file I/O; tests may open raw sockets to
+                        attack the transport from outside.
 
 Usage:
   tools/medsync_lint.py [--root REPO_ROOT]
@@ -155,6 +166,23 @@ MS008_ALLOWED_PREFIXES = (
     "bench/bench_storage", # storage microbench inspects layout by design
 )
 
+# Raw network syscalls (sockets, epoll/poll multiplexing) and raw fd I/O.
+# The lookbehind excludes member calls (`conn.send(`, `stream->read(`) and
+# qualified names (`fs::read(`); an explicitly global-namespace `::read(` is
+# still the syscall and still matches (the `::` is part of the match, so the
+# lookbehind sees whatever precedes it).
+MS009_SOCKET_PATTERN = re.compile(
+    r"(?<![A-Za-z0-9_.>:])((?:::)?(?:"
+    r"socket|connect|bind|listen|accept4?|shutdown"
+    r"|epoll_(?:create1?|ctl|wait|pwait)|poll|ppoll|select|pselect"
+    r"|recv(?:from|msg)?|send(?:to|msg)?|[gs]etsockopt"
+    r"))\s*\(")
+MS009_IO_PATTERN = re.compile(
+    r"(?<![A-Za-z0-9_.>:])((?:::)?(?:"
+    r"p?read|p?write|readv|writev"
+    r"))\s*\(")
+MS009_ALLOWED_PREFIXES = ("src/net/",)
+
 
 def _path_allowed(rel: str, prefixes) -> bool:
     return any(rel.startswith(p) for p in prefixes)
@@ -214,6 +242,17 @@ def lint_file(path: pathlib.Path, rel: str,
                     "assignment (DESIGN.md section 14) — go through "
                     "runtime::ChainNode (or core::GeneratedScenario) so "
                     "transactions land in their assigned lane"))
+        if in_src and not _path_allowed(rel, MS009_ALLOWED_PREFIXES):
+            match = MS009_SOCKET_PATTERN.search(line)
+            if match is None and rel not in durability_allowlist:
+                match = MS009_IO_PATTERN.search(line)
+            if match:
+                findings.append(Finding(
+                    rel, lineno, "MS009",
+                    f"raw syscall '{match.group(1)}' outside src/net/ — wire "
+                    "I/O goes through net::SocketTransport / net::EventLoop "
+                    "(DESIGN.md section 16) so framing, CRC accounting, and "
+                    "the simulator/socket seam stay in one place"))
         if not _path_allowed(rel, MS008_ALLOWED_PREFIXES):
             match = (MS008_RANGE_FOR_HEAD.search(line)
                      or MS008_PATTERN.search(line))

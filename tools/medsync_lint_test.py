@@ -152,6 +152,36 @@ class DirectRowsRuleTest(unittest.TestCase):
             self.assertEqual(lint_fixture("direct_rows.cc", rel), [], rel)
 
 
+class RawSocketRuleTest(unittest.TestCase):
+    def test_fires_on_socket_syscalls_and_raw_fd_io(self):
+        findings = lint_fixture("raw_socket.cc", "src/core/raw_socket.cc")
+        self.assertEqual(rule_ids(findings), ["MS009"] * 4)
+        flagged = [finding.message.split("'")[1] for finding in findings]
+        self.assertEqual(flagged, ["socket", "connect", "read", "::write"])
+        self.assertIn("SocketTransport", findings[0].message)
+
+    def test_allowed_inside_net_layer(self):
+        findings = lint_fixture("raw_socket.cc", "src/net/raw_socket.cc")
+        self.assertEqual(findings, [])
+
+    def test_tests_may_open_raw_sockets(self):
+        # The equivalence/corruption tests attack the transport from outside
+        # with a raw client socket; the rule is scoped to src/.
+        findings = lint_fixture("raw_socket.cc",
+                                "tests/net_socket_equivalence_test.cc")
+        self.assertEqual(findings, [])
+
+    def test_durability_files_keep_file_io_but_not_sockets(self):
+        findings = medsync_lint.lint_file(
+            FIXTURES / "raw_socket.cc", "src/relational/wal.cc",
+            durability_allowlist={"src/relational/wal.cc"})
+        # read()/write() are the audited WAL I/O; socket()/connect() still
+        # have no business in a durability file.
+        self.assertEqual([finding.message.split("'")[1]
+                          for finding in findings],
+                         ["socket", "connect"])
+
+
 class CleanFixtureTest(unittest.TestCase):
     def test_decoys_do_not_fire(self):
         self.assertEqual(lint_fixture("clean.cc", "src/core/clean.cc"), [])

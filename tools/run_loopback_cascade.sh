@@ -1,0 +1,120 @@
+#!/usr/bin/env bash
+# Launches one chain_node_daemon process per clinic role on loopback TCP,
+# drives the Fig. 5 cascade to convergence, and checks that every process
+# reports the SAME protocol outcome: identical contract entries and audit
+# trails, and matching shared-view content digests between counterpart
+# processes. Prints a wall-clock throughput/latency summary (the numbers
+# quoted in EXPERIMENTS.md).
+#
+#   tools/run_loopback_cascade.sh [BUILD_DIR] [PORT_BASE]
+#
+# Exits nonzero if any process fails/times out or the reports disagree.
+set -u
+
+BUILD_DIR="${1:-build}"
+PORT_BASE="${2:-$((21000 + RANDOM % 20000))}"
+DAEMON="$BUILD_DIR/tools/chain_node_daemon"
+BLOCK_MS="${BLOCK_MS:-200}"
+TIMEOUT_S="${TIMEOUT_S:-60}"
+
+if [[ ! -x "$DAEMON" ]]; then
+  echo "error: $DAEMON not built (cmake --build $BUILD_DIR --target chain_node_daemon)" >&2
+  exit 2
+fi
+
+WORK="$(mktemp -d /tmp/medsync_loopback.XXXXXX)"
+trap 'kill $(jobs -p) 2>/dev/null; rm -rf "$WORK"' EXIT
+
+ROLES=(doctor patient researcher observer)
+declare -A PIDS
+START_NS=$(date +%s%N)
+for role in "${ROLES[@]}"; do
+  "$DAEMON" --role="$role" --port-base="$PORT_BASE" \
+    --block-interval-ms="$BLOCK_MS" --timeout-s="$TIMEOUT_S" \
+    --report="$WORK/$role.json" 2>"$WORK/$role.err" &
+  PIDS[$role]=$!
+done
+
+FAIL=0
+for role in "${ROLES[@]}"; do
+  if ! wait "${PIDS[$role]}"; then
+    echo "FAIL: $role exited nonzero" >&2
+    sed 's/^/  /' "$WORK/$role.err" >&2
+    FAIL=1
+  fi
+done
+END_NS=$(date +%s%N)
+[[ $FAIL -ne 0 ]] && exit 1
+
+python3 - "$WORK" "$START_NS" "$END_NS" <<'PYEOF'
+import json, sys, pathlib
+
+work, start_ns, end_ns = pathlib.Path(sys.argv[1]), int(sys.argv[2]), int(sys.argv[3])
+roles = ["doctor", "patient", "researcher", "observer"]
+reports = {r: json.loads((work / f"{r}.json").read_text()) for r in roles}
+
+fail = 0
+def check(cond, message):
+    global fail
+    if not cond:
+        print(f"FAIL: {message}")
+        fail = 1
+
+for role, report in reports.items():
+    check(report["info"]["converged"], f"{role} did not converge")
+
+# Entries and audit trails are replicated chain state: every process must
+# report them byte-identically.
+reference = reports["doctor"]["compare"]
+for role in roles[1:]:
+    for key in ("entries", "audit"):
+        check(reports[role]["compare"][key] == reference[key],
+              f"{role} {key} diverges from doctor's")
+
+# Shared-view digests: each counterpart pair materializes the same content,
+# and it must match the digest recorded on-chain.
+for table, pair in (("D13&D31", ("doctor", "patient")),
+                    ("D23&D32", ("doctor", "researcher"))):
+    digests = {r: reports[r]["compare"]["view_digests"].get(table) for r in pair}
+    values = set(digests.values())
+    check(len(values) == 1 and None not in values,
+          f"{table} view digests diverge: {digests}")
+    on_chain = reference["entries"][table]["content_digest"]
+    check(values == {on_chain},
+          f"{table} local digests {values} != on-chain {on_chain}")
+    check(reference["entries"][table]["version"] == 2,
+          f"{table} did not reach version 2")
+    check(reference["entries"][table]["pending_acks"] == 0,
+          f"{table} still has pending acks")
+
+# Gapless audit: both tables show register -> committed update -> ack.
+for table in ("D13&D31", "D23&D32"):
+    methods = [r["method"] for r in reference["audit"][table]]
+    check(methods == ["register_table", "request_update", "ack_update"],
+          f"{table} audit trail {methods} is not register/update/ack")
+    check(all(r["committed"] for r in reference["audit"][table]),
+          f"{table} audit trail contains a denied/failed transaction")
+
+if fail:
+    sys.exit(1)
+
+# Wall-clock summary. Timestamps inside reports are CLOCK_REALTIME micros.
+total_s = (end_ns - start_ns) / 1e9
+researcher, doctor = reports["researcher"]["info"], reports["doctor"]["info"]
+updates = sum(reports[r]["info"].get("peer", {}).get("updates_committed", 0)
+              for r in roles)
+first_act = researcher["acted_at"]
+last_conv = max(reports[r]["info"]["converged_at"] for r in roles)
+cascade_s = (last_conv - first_act) / 1e6
+step16_s = (doctor["acted_at"] - first_act) / 1e6
+step711_s = (last_conv - doctor["acted_at"]) / 1e6
+print(f"loopback cascade: CONVERGED 4/4 processes, reports agree")
+print(f"  total wall time      : {total_s:.2f} s (includes bootstrap + linger)")
+print(f"  cascade latency      : {cascade_s:.2f} s "
+      f"(researcher update -> all converged)")
+print(f"    steps 1-6 (MeA)    : {step16_s:.2f} s")
+print(f"    steps 7-11 (dosage): {step711_s:.2f} s")
+print(f"  committed updates    : {updates} "
+      f"({updates / cascade_s:.2f} updates/s over the cascade)")
+PYEOF
+exit $?
