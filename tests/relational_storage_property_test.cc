@@ -1,7 +1,9 @@
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <map>
 #include <string>
+#include <unordered_set>
 #include <vector>
 
 #include "common/random.h"
@@ -191,6 +193,52 @@ TEST(StoragePropertyTest, DigestIsLayoutIndependentAcrossSealSchedules) {
   }
   for (size_t i = 1; i < digests.size(); ++i) {
     EXPECT_EQ(digests[i], digests[0]) << "threshold " << thresholds[i];
+  }
+}
+
+TEST(StoragePropertyTest, SerializationInvariantUnderHashInsertionOrder) {
+  // The static analyzer's MS102 contract (determinism-flow), checked
+  // dynamically: no hash-container iteration order may leak into
+  // serialized bytes or digests. The same logical content is assembled by
+  // iterating a std::unordered_set whose *insertion* order — and hence
+  // iteration order — is perturbed per round, with seal points landing in
+  // different places; every round must produce byte-identical ToJson()
+  // output and an identical ContentDigest.
+  constexpr int64_t kIds = 257;  // crosses the seal threshold repeatedly
+  std::vector<std::string> serialized;
+  std::vector<std::string> digests;
+  for (uint64_t salt : {0u, 1u, 7u, 1000u}) {
+    SCOPED_TRACE(salt);
+    // Perturb insertion order into the hash set: different permutations
+    // land keys in different buckets orders.
+    std::vector<int64_t> order;
+    for (int64_t i = 0; i < kIds; ++i) order.push_back(i);
+    Rng shuffle_rng(salt);
+    for (size_t i = order.size(); i > 1; --i) {
+      std::swap(order[i - 1], order[shuffle_rng.NextBelow(i)]);
+    }
+    std::unordered_set<int64_t> keys;
+    for (int64_t id : order) keys.insert(id);
+
+    Table t(S());
+    t.set_seal_threshold(13);
+    for (int64_t id : keys) {  // hash-order writes
+      ASSERT_TRUE(t.Upsert(R(id, "v" + std::to_string(id % 17), id)).ok());
+    }
+    for (int64_t id : keys) {  // hash-order deletes and rewrites
+      if (id % 3 == 0) {
+        ASSERT_TRUE(t.Delete(K(id)).ok());
+      } else if (id % 3 == 1) {
+        ASSERT_TRUE(t.Upsert(R(id, "w", -id)).ok());
+      }
+    }
+    t.Seal();
+    serialized.push_back(t.ToJson().Dump());
+    digests.push_back(t.ContentDigest());
+  }
+  for (size_t i = 1; i < digests.size(); ++i) {
+    EXPECT_EQ(digests[i], digests[0]);
+    EXPECT_EQ(serialized[i], serialized[0]);
   }
 }
 

@@ -1,0 +1,192 @@
+#!/usr/bin/env python3
+"""Enforced clang-tidy ratchet (DESIGN.md section 12).
+
+The committed .clang-tidy pins the check families (bugprone-*,
+concurrency-*, performance-*); this script turns it from documentation
+into a gate. It runs clang-tidy over every src/ translation unit in
+compile_commands.json, normalizes the diagnostics to stable keys
+(`file :: check`), and compares the multiset against the committed
+baseline (tools/clang_tidy_baseline.txt):
+
+  * a key absent from the baseline, or occurring more often than the
+    baseline allows, FAILS the gate — new findings are not allowed in;
+  * keys the baseline lists but the run no longer produces are reported
+    as ratchet progress (tighten the baseline with --update-baseline).
+
+Line numbers are deliberately not part of the key so unrelated edits
+don't invalidate the baseline.
+
+Bootstrap: clang-tidy does not exist in the default gcc-only dev
+container, so the committed baseline may carry the `# UNPOPULATED`
+marker. The first run on a machine that does have clang-tidy then writes
+the observed findings as the baseline (exit 0, telling you to commit
+it); every run after that enforces. `--require` turns the
+tool-unavailable skip into a failure (CI uses it after installing
+clang-tidy); without it, a missing clang-tidy or compile_commands.json
+skips with a warning, matching how the thread-safety-analysis stage
+degrades under gcc.
+"""
+
+from __future__ import annotations
+
+import argparse
+import collections
+import json
+import pathlib
+import re
+import shutil
+import subprocess
+import sys
+from typing import Counter, List, Tuple
+
+UNPOPULATED_MARKER = "# UNPOPULATED"
+_DIAG_RE = re.compile(
+    r"^(?P<path>[^:\s][^:]*):(?P<line>\d+):(?P<col>\d+):\s*"
+    r"(?:warning|error):\s*(?P<msg>.*?)\s*\[(?P<check>[\w.,-]+)\]\s*$")
+
+
+def find_build_dir(root: pathlib.Path,
+                   explicit: pathlib.Path | None) -> pathlib.Path | None:
+    candidates = [explicit] if explicit else \
+        [root / "build", root / "build-check"]
+    for cand in candidates:
+        if cand and (cand / "compile_commands.json").exists():
+            return cand
+    return None
+
+
+def source_files(build_dir: pathlib.Path,
+                 root: pathlib.Path) -> List[pathlib.Path]:
+    with open(build_dir / "compile_commands.json", encoding="utf-8") as f:
+        entries = json.load(f)
+    files = []
+    src_root = (root / "src").resolve()
+    for entry in entries:
+        p = pathlib.Path(entry["file"])
+        if not p.is_absolute():
+            p = pathlib.Path(entry["directory"]) / p
+        p = p.resolve()
+        if p.suffix == ".cc" and str(p).startswith(str(src_root)):
+            files.append(p)
+    return sorted(set(files))
+
+
+def run_clang_tidy(tidy: str, build_dir: pathlib.Path,
+                   root: pathlib.Path,
+                   files: List[pathlib.Path]) -> Counter[str]:
+    findings: Counter[str] = collections.Counter()
+    for chunk_start in range(0, len(files), 8):
+        chunk = files[chunk_start:chunk_start + 8]
+        proc = subprocess.run(
+            [tidy, "-p", str(build_dir), "--quiet"]
+            + [str(f) for f in chunk],
+            capture_output=True, text=True)
+        for line in proc.stdout.splitlines():
+            m = _DIAG_RE.match(line)
+            if not m:
+                continue
+            path = pathlib.Path(m.group("path"))
+            try:
+                rel = path.resolve().relative_to(root).as_posix()
+            except ValueError:
+                continue  # diagnostics in system headers
+            for check in m.group("check").split(","):
+                findings[f"{rel} :: {check}"] += 1
+    return findings
+
+
+def read_baseline(path: pathlib.Path) -> Tuple[Counter[str], bool]:
+    baseline: Counter[str] = collections.Counter()
+    unpopulated = False
+    if not path.exists():
+        return baseline, True
+    for raw in path.read_text(encoding="utf-8").splitlines():
+        if raw.strip() == UNPOPULATED_MARKER:
+            unpopulated = True
+        line = raw.split("#", 1)[0].strip()
+        if not line:
+            continue
+        count, _, key = line.partition(" ")
+        baseline[key.strip()] = int(count)
+    return baseline, unpopulated
+
+
+def write_baseline(path: pathlib.Path, findings: Counter[str]) -> None:
+    lines = [
+        "# clang-tidy ratchet baseline (tools/clang_tidy_ratchet.py).",
+        "# Format: <count> <file> :: <check>. A run may not exceed any",
+        "# count; shrink entries here as findings are fixed.",
+    ]
+    for key in sorted(findings):
+        lines.append(f"{findings[key]} {key}")
+    if not findings:
+        lines.append("# (no findings — the tree is tidy-clean)")
+    path.write_text("\n".join(lines) + "\n", encoding="utf-8")
+
+
+def main(argv: List[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve()
+                        .parent.parent)
+    parser.add_argument("--build-dir", type=pathlib.Path, default=None)
+    parser.add_argument("--baseline", type=pathlib.Path, default=None)
+    parser.add_argument("--update-baseline", action="store_true",
+                        help="rewrite the baseline to the current findings")
+    parser.add_argument("--require", action="store_true",
+                        help="fail (not skip) when clang-tidy or "
+                             "compile_commands.json is unavailable")
+    opts = parser.parse_args(argv)
+
+    root = opts.root.resolve()
+    baseline_path = opts.baseline or root / "tools" / \
+        "clang_tidy_baseline.txt"
+    tidy = shutil.which("clang-tidy")
+    build_dir = find_build_dir(root, opts.build_dir)
+    if tidy is None or build_dir is None:
+        reason = "clang-tidy not installed" if tidy is None else \
+            "no compile_commands.json (configure with " \
+            "-DCMAKE_EXPORT_COMPILE_COMMANDS=ON first)"
+        if opts.require:
+            print(f"clang-tidy-ratchet: FAIL — {reason} and --require set",
+                  file=sys.stderr)
+            return 2
+        print(f"clang-tidy-ratchet: skipped — {reason}")
+        return 0
+
+    files = source_files(build_dir, root)
+    findings = run_clang_tidy(tidy, build_dir, root, files)
+    baseline, unpopulated = read_baseline(baseline_path)
+
+    if opts.update_baseline or unpopulated:
+        write_baseline(baseline_path, findings)
+        verb = "bootstrapped" if unpopulated and not opts.update_baseline \
+            else "updated"
+        print(f"clang-tidy-ratchet: baseline {verb} with "
+              f"{sum(findings.values())} finding(s) across "
+              f"{len(findings)} key(s) — commit {baseline_path}")
+        return 0
+
+    new = findings - baseline
+    fixed = baseline - findings
+    if fixed:
+        print(f"clang-tidy-ratchet: {sum(fixed.values())} baseline "
+              "finding(s) no longer occur — tighten with "
+              "--update-baseline:")
+        for key in sorted(fixed):
+            print(f"  -{fixed[key]} {key}")
+    if new:
+        print(f"clang-tidy-ratchet: FAIL — {sum(new.values())} NEW "
+              "finding(s) beyond the committed baseline:",
+              file=sys.stderr)
+        for key in sorted(new):
+            print(f"  +{new[key]} {key}", file=sys.stderr)
+        return 1
+    print(f"clang-tidy-ratchet: OK — {sum(findings.values())} finding(s), "
+          "none beyond baseline "
+          f"({len(files)} TU(s) checked)")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

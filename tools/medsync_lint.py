@@ -95,10 +95,13 @@ class Finding(NamedTuple):
 
 _LEXER = re.compile(
     r"""
-      //[^\n]*                      # line comment
-    | /\*.*?\*/                     # block comment
-    | "(?:\\.|[^"\\\n])*"           # string literal
-    | '(?:\\.|[^'\\\n])*'           # char literal
+      //(?:[^\n]*\\\n)*[^\n]*             # line comment (+ \-continuations)
+    | /\*.*?\*/                           # block comment
+    | R"(?P<rsdelim>[^()\s\\]{0,16})\(    # raw string literal: R"delim( ...
+        .*?
+      \)(?P=rsdelim)"                     # ... )delim" — no escapes inside
+    | "(?:\\.|[^"\\\n])*"                 # string literal
+    | '(?:\\.|[^'\\\n])*'                 # char literal
     """,
     re.VERBOSE | re.DOTALL,
 )

@@ -187,6 +187,46 @@ class CleanFixtureTest(unittest.TestCase):
         self.assertEqual(lint_fixture("clean.cc", "src/core/clean.cc"), [])
 
 
+class CommentAndLiteralStrippingTest(unittest.TestCase):
+    """MS002/MS005 (and every other per-file rule) must not fire on code
+    that only exists inside comments or string literals — including the
+    two historical blind spots: raw strings and backslash-continued line
+    comments."""
+
+    def test_commented_out_code_is_invisible(self):
+        findings = lint_fixture("commented_decoys.cc",
+                                "src/core/commented_decoys.cc")
+        self.assertEqual(findings, [],
+                         "\n".join(str(f) for f in findings))
+
+    def test_strip_code_blanks_raw_strings(self):
+        stripped = medsync_lint.strip_code(
+            'auto x = R"(rand() (void) Foo();)";\n')
+        self.assertNotIn("rand", stripped)
+        self.assertNotIn("(void)", stripped)
+        # Newlines and surrounding code survive.
+        self.assertIn("auto x =", stripped)
+
+    def test_strip_code_blanks_delimited_raw_strings(self):
+        stripped = medsync_lint.strip_code(
+            'auto x = R"seq(time(nullptr) )" still inside)seq";\nint y;')
+        self.assertNotIn("time", stripped)
+        self.assertNotIn("still inside", stripped)
+        self.assertIn("int y;", stripped)
+
+    def test_strip_code_follows_line_comment_continuations(self):
+        stripped = medsync_lint.strip_code(
+            "int a;  // comment continues \\\n srand(7);\nint b;\n")
+        self.assertNotIn("srand", stripped)
+        self.assertIn("int a;", stripped)
+        self.assertIn("int b;", stripped)
+
+    def test_line_count_is_preserved(self):
+        text = ('// a \\\n b\nR"x(\nmulti\nline\n)x" int tail;\n')
+        self.assertEqual(medsync_lint.strip_code(text).count("\n"),
+                         text.count("\n"))
+
+
 class CleanTreeTest(unittest.TestCase):
     def test_real_tree_is_clean(self):
         findings = medsync_lint.run_lint(REPO_ROOT)

@@ -1,0 +1,1672 @@
+#!/usr/bin/env python3
+"""medsync-sca: whole-program semantic analyzer for concurrency and
+determinism invariants (DESIGN.md section 12).
+
+Where medsync-lint (tools/medsync_lint.py) matches per-line regexes, this
+tool builds a program model — functions, call graph, lock-acquisition
+scopes, loop/type information — across every translation unit and checks
+four rule families the regexes cannot express:
+
+  MS101 lock-order       Extracts the lock-acquisition graph from
+                         threading::MutexLock / Mutex::Lock sites (the
+                         MEDSYNC_GUARDED_BY-annotated owners) across all
+                         TUs and fails on cycles: two mutexes acquired in
+                         opposite orders on two paths is a potential
+                         deadlock. The finding prints the full witness
+                         path (who acquires what, through which calls).
+                         A mutex re-acquired on a path that already holds
+                         it (threading::Mutex is non-recursive) is the
+                         degenerate cycle and reported the same way.
+  MS102 determinism-flow Flags iteration over std::unordered_map/set
+                         whose loop body reaches a serialization, digest,
+                         metrics-snapshot, or network-send sink without
+                         an ordered rebuild in between. Hash-iteration
+                         order is implementation-defined, so such a flow
+                         leaks nondeterministic order into bytes that the
+                         soak fingerprints require byte-identical.
+                         Collecting into a container that is sorted
+                         before the sink (or folding into an explicitly
+                         order-insensitive sink like the RowDigestAcc
+                         multiset digest) is the corrected form.
+  MS103 loop-blocking    Flags blocking primitives — fsync/fdatasync,
+                         sleeps, CondVar::Wait / Latch::Wait /
+                         TaskGroup::Wait, and locking a mutex whose
+                         critical sections themselves block — reachable
+                         from callbacks registered on the single-threaded
+                         net::EventLoop (WatchFd / Schedule). A blocked
+                         loop thread stalls every connection and timer in
+                         the process. Audited intentional sites (the
+                         commit-path durability fsync) are sanctioned in
+                         tools/sca_allowlist.txt with their rationale.
+  MS104 status-leak      A Status/Result<T> bound to a variable that is
+                         never read afterwards (not branched on, not
+                         returned, not passed on, not discarded by name
+                         via IgnoreStatusForTest). Closes the gap MS005's
+                         `(void)`-cast regex leaves open: binding to a
+                         named variable silences -Werror=unused-result
+                         just as invisibly.
+
+Frontends
+  --frontend=clang  libclang (python3 clang.cindex) over the exported
+                    compile_commands.json — precise types and scopes.
+  --frontend=text   a built-in dependency-free C++ tokenizer/indexer:
+                    same program model, heuristic types. This is what
+                    runs in containers without libclang.
+  --frontend=auto   clang when importable, else text with a warning
+                    (the default; check.sh uses it so the gate degrades
+                    gracefully instead of silently not running).
+
+Suppression
+  tools/sca_allowlist.txt entries `MSxxx <substring>  # rationale`
+  suppress findings whose location or witness path contains <substring>;
+  inline `// medsync-sca(MSxxx): rationale` on the finding line does the
+  same for one site. Every entry must carry a rationale.
+
+Output
+  Human-readable findings (with witness paths) by default; --sarif FILE
+  emits SARIF 2.1.0 for CI annotations and editors ('-' for stdout).
+
+Exit status: non-zero iff unsuppressed findings were reported (or the
+requested frontend is unavailable).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import pathlib
+import re
+import sys
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+# ---------------------------------------------------------------------------
+# Program model: what both frontends produce and all rules consume.
+# ---------------------------------------------------------------------------
+
+
+class CallSite:
+    __slots__ = ("name", "recv_type", "line", "pos")
+
+    def __init__(self, name: str, recv_type: Optional[str], line: int,
+                 pos: int):
+        self.name = name          # simple or qualified ("Wal::Sync") name
+        self.recv_type = recv_type  # class name of receiver when known
+        self.line = line
+        self.pos = pos            # token index (orders events within a body)
+
+
+class AcquireSite:
+    __slots__ = ("mutex", "line", "pos", "scope_end")
+
+    def __init__(self, mutex: str, line: int, pos: int, scope_end: int):
+        self.mutex = mutex        # canonical id, e.g. "ThreadPool::mu_"
+        self.line = line
+        self.pos = pos
+        self.scope_end = scope_end  # token index where the lock scope ends
+
+
+class UnorderedLoop:
+    __slots__ = ("container", "line", "body_start", "body_end", "out_vars")
+
+    def __init__(self, container: str, line: int, body_start: int,
+                 body_end: int):
+        self.container = container
+        self.line = line
+        self.body_start = body_start
+        self.body_end = body_end
+        # vectors appended to inside the body (for the sort-before-sink check)
+        self.out_vars: List[str] = []
+
+
+class StatusBinding:
+    __slots__ = ("var", "line", "decl_end")
+
+    def __init__(self, var: str, line: int, decl_end: int):
+        self.var = var
+        self.line = line
+        self.decl_end = decl_end  # token index of the binding's ';'
+
+
+class Registration:
+    """A callback handed to an event loop / scheduler (Schedule, WatchFd)."""
+    __slots__ = ("kind", "recv_type", "line", "body_start", "body_end")
+
+    def __init__(self, kind: str, recv_type: str, line: int, body_start: int,
+                 body_end: int):
+        self.kind = kind
+        self.recv_type = recv_type
+        self.line = line
+        self.body_start = body_start  # lambda body token range
+        self.body_end = body_end
+
+
+class FunctionModel:
+    __slots__ = ("qname", "cls", "file", "line", "calls", "acquires",
+                 "unordered_loops", "status_bindings", "registrations",
+                 "tokens", "sorted_vars")
+
+    def __init__(self, qname: str, cls: Optional[str], file: str, line: int):
+        self.qname = qname
+        self.cls = cls            # enclosing class simple name, if a method
+        self.file = file
+        self.line = line
+        self.calls: List[CallSite] = []
+        self.acquires: List[AcquireSite] = []
+        self.unordered_loops: List[UnorderedLoop] = []
+        self.status_bindings: List[StatusBinding] = []
+        self.registrations: List[Registration] = []
+        self.tokens: List["Tok"] = []   # body tokens (text frontend)
+        self.sorted_vars: List[Tuple[str, int]] = []  # (var, pos) of sorts
+
+    @property
+    def simple_name(self) -> str:
+        return self.qname.rsplit("::", 1)[-1]
+
+
+class Program:
+    def __init__(self) -> None:
+        self.functions: List[FunctionModel] = []
+        self.by_simple: Dict[str, List[FunctionModel]] = {}
+        self.by_class_method: Dict[Tuple[str, str], List[FunctionModel]] = {}
+        # class -> {member -> type text}; "" class = file-scope globals
+        self.member_types: Dict[str, Dict[str, str]] = {}
+        # function simple name -> return type text (last writer wins; used
+        # for Status-returning and unordered-returning sets)
+        self.return_types: Dict[str, str] = {}
+        self.suppressions: Dict[Tuple[str, int], Set[str]] = {}
+
+    def add(self, fn: FunctionModel) -> None:
+        self.functions.append(fn)
+        self.by_simple.setdefault(fn.simple_name, []).append(fn)
+        if fn.cls:
+            self.by_class_method.setdefault(
+                (fn.cls, fn.simple_name), []).append(fn)
+
+    def resolve(self, site: CallSite,
+                caller: FunctionModel) -> List[FunctionModel]:
+        """Resolves a call site to candidate definitions. Receiver-typed and
+        in-class calls resolve exactly; bare names resolve to all same-named
+        definitions (virtual-dispatch over-approximation) unless the name is
+        too common to be meaningful."""
+        if "::" in site.name:
+            cls, method = site.name.rsplit("::", 2)[-2:]
+            hit = self.by_class_method.get((cls, method))
+            if hit:
+                return hit
+        name = site.name.rsplit("::", 1)[-1]
+        if site.recv_type:
+            hit = self.by_class_method.get((site.recv_type, name))
+            if hit:
+                return hit
+            # Receiver of a known type but method not defined in-tree
+            # (std:: containers etc.): not resolvable.
+            return []
+        if caller.cls:
+            hit = self.by_class_method.get((caller.cls, name))
+            if hit:
+                return hit
+        candidates = self.by_simple.get(name, [])
+        if len(candidates) > MAX_AMBIGUOUS_CANDIDATES:
+            return []
+        return candidates
+
+
+MAX_AMBIGUOUS_CANDIDATES = 6
+
+# ---------------------------------------------------------------------------
+# Rule configuration.
+# ---------------------------------------------------------------------------
+
+# MS102: sinks whose byte/order-sensitive output must not consume hash-order
+# iteration. (class, method) with class None = any receiver / free function.
+SINK_METHODS = {
+    ("Json", "Dump"), ("Json", "Serialize"), ("Json", "Append"),
+    ("Sha256", "Update"),
+    (None, "Serialize"), (None, "SerializeFile"), (None, "SerializedSize"),
+    (None, "ToJson"), (None, "JsonSnapshot"), (None, "ContentDigest"),
+    (None, "AppendRecord"), (None, "WriteStringToFile"),
+    (None, "EncodeFrame"),
+    (None, "Send"), (None, "SendSized"), (None, "Broadcast"),
+}
+# Order-insensitive sinks: commutative folds, safe to feed in any order.
+ORDER_INSENSITIVE_METHODS = {
+    ("RowDigestAcc", "Add"), ("RowDigestAcc", "Remove"),
+}
+SORT_CALLS = {"sort", "stable_sort", "RowsInKeyOrder"}
+
+# MS103: directly-blocking primitives.
+BLOCKING_FREE = {"fsync", "fdatasync", "syncfs", "sync", "sleep", "usleep",
+                 "nanosleep", "sleep_for", "sleep_until", "system"}
+BLOCKING_METHODS = {("CondVar", "Wait"), ("Latch", "Wait"),
+                    ("TaskGroup", "Wait")}
+# Types whose Schedule/WatchFd registrations run on the event-loop thread.
+LOOP_RECEIVER_TYPES = {"EventLoop", "Scheduler"}
+REGISTRATION_METHODS = {"Schedule", "WatchFd"}
+
+# MS104: the sanctioned discard-by-name idiom.
+SANCTIONED_DISCARD = "IgnoreStatusForTest"
+
+MAX_WITNESS_DEPTH = 24
+
+
+class Finding:
+    def __init__(self, rule: str, file: str, line: int, message: str,
+                 witness: Optional[List[str]] = None):
+        self.rule = rule
+        self.file = file
+        self.line = line
+        self.message = message
+        self.witness = witness or []
+
+    def render(self) -> str:
+        out = [f"{self.file}:{self.line}: {self.rule} {self.message}"]
+        out.extend(f"    {step}" for step in self.witness)
+        return "\n".join(out)
+
+    def haystack(self) -> str:
+        """Text the allowlist substring-matches against."""
+        return "\n".join([f"{self.file}:{self.line}", self.message]
+                         + self.witness)
+
+
+# ---------------------------------------------------------------------------
+# Text frontend: tokenizer.
+# ---------------------------------------------------------------------------
+
+
+class Tok:
+    __slots__ = ("kind", "text", "line")
+
+    def __init__(self, kind: str, text: str, line: int):
+        self.kind = kind  # id | punct | num
+        self.text = text
+        self.line = line
+
+    def __repr__(self) -> str:  # debugging aid
+        return f"{self.text}@{self.line}"
+
+
+_SUPPRESS_RE = re.compile(r"//\s*medsync-sca\((MS\d{3})\)")
+_TOKEN_RE = re.compile(
+    r"""
+      (?P<comment>//(?:[^\n]*\\\n)*[^\n]*|/\*.*?\*/)
+    | (?P<rawstr>R"(?P<delim>[^()\s\\]{0,16})\(.*?\)(?P=delim)")
+    | (?P<str>"(?:\\.|[^"\\\n])*")
+    | (?P<chr>'(?:\\.|[^'\\\n])*')
+    | (?P<num>\.?\d(?:[\w.']|[eEpP][+-])*)
+    | (?P<id>[A-Za-z_]\w*)
+    | (?P<punct>::|->|\.\.\.|<<=|>>=|<=|>=|==|!=|&&|\|\||\+\+|--|->\*|[{}()\[\];:,<>=+\-*/&|!~^%?.#])
+    """,
+    re.VERBOSE | re.DOTALL,
+)
+_PREPROC_RE = re.compile(r"^[ \t]*#[^\n]*(?:\\\n[^\n]*)*", re.MULTILINE)
+
+
+def tokenize(text: str,
+             suppressions: Dict[int, Set[str]]) -> List[Tok]:
+    """Tokenizes C++ source; comments/strings/preprocessor are dropped but
+    `// medsync-sca(MSxxx)` suppression comments are recorded by line."""
+    for m in _SUPPRESS_RE.finditer(text):
+        line = text.count("\n", 0, m.start()) + 1
+        suppressions.setdefault(line, set()).add(m.group(1))
+    # Blank preprocessor lines (keeping newlines for line numbers).
+    text = _PREPROC_RE.sub(lambda m: re.sub(r"[^\n]", " ", m.group(0)), text)
+    toks: List[Tok] = []
+    line = 1
+    pos = 0
+    for m in _TOKEN_RE.finditer(text):
+        line += text.count("\n", pos, m.start())
+        pos = m.start()
+        if m.lastgroup in ("comment", "rawstr", "str", "chr"):
+            continue
+        kind = "num" if m.lastgroup == "num" else (
+            "id" if m.lastgroup == "id" else "punct")
+        toks.append(Tok(kind, m.group(0), line))
+    return toks
+
+
+# ---------------------------------------------------------------------------
+# Text frontend: structural indexer.
+# ---------------------------------------------------------------------------
+
+_KEYWORDS = {
+    "if", "for", "while", "switch", "return", "sizeof", "catch", "do",
+    "else", "new", "delete", "case", "default", "break", "continue",
+    "static_cast", "dynamic_cast", "reinterpret_cast", "const_cast",
+    "alignof", "decltype", "noexcept", "throw", "assert", "goto",
+    "static_assert", "co_await", "co_return", "co_yield", "typeid",
+}
+_DECL_LINE_RE = re.compile(
+    r"^\s*(?:mutable\s+|static\s+|inline\s+|constexpr\s+|thread_local\s+)*"
+    r"(?P<type>(?:const\s+)?[A-Za-z_][\w:]*(?:<[^;={}]*>)?"
+    r"(?:\s*(?:const|[*&]))*)\s+"
+    r"(?P<name>[A-Za-z_]\w*)\s*"
+    r"(?:MEDSYNC_GUARDED_BY\s*\([^)]*\)\s*)?"
+    r"(?:=[^;]*|\{[^;]*\})?;")
+
+_TYPEISH_STOP = {";", "{", "}", ",", "(", ")", "return"}
+
+
+class TextFrontend:
+    """Builds the Program from raw source with a tokenizer and structural
+    heuristics. Precise enough for this codebase's house style (and the
+    fixture suite pins exactly what it must catch); the clang frontend is
+    the fully general one."""
+
+    def __init__(self, root: pathlib.Path, rel_paths: Sequence[str]):
+        self.root = root
+        self.rel_paths = list(rel_paths)
+        self.program = Program()
+
+    # -- pass 1: harvest class members and function signatures ---------------
+
+    def harvest_declarations(self, rel: str, text: str) -> None:
+        prog = self.program
+        # Class body spans via a simple scope scan over tokens.
+        supp: Dict[int, Set[str]] = {}
+        toks = tokenize(text, supp)
+        for line, rules in supp.items():
+            prog.suppressions.setdefault((rel, line), set()).update(rules)
+        lines = text.splitlines()
+        for cls, start_line, end_line in self._class_spans(toks):
+            members = prog.member_types.setdefault(cls, {})
+            for lineno in range(start_line, min(end_line, len(lines)) + 1):
+                m = _DECL_LINE_RE.match(lines[lineno - 1])
+                if m:
+                    members[m.group("name")] = m.group("type")
+        # File-scope globals (anonymous-namespace mutexes etc.).
+        globals_ = prog.member_types.setdefault("", {})
+        for lineno, raw in enumerate(lines, start=1):
+            m = _DECL_LINE_RE.match(raw)
+            if m and "Mutex" in m.group("type"):
+                globals_[m.group("name")] = m.group("type")
+        # Return types from function definitions/declarations:
+        #   <type tokens> [Class::]Name ( ... ) [;{]
+        i = 0
+        n = len(toks)
+        while i < n:
+            t = toks[i]
+            if t.kind == "id" and i + 1 < n and toks[i + 1].text == "(" \
+                    and t.text not in _KEYWORDS:
+                rtype = self._preceding_type(toks, i)
+                if rtype:
+                    prog.return_types.setdefault(t.text, rtype)
+            i += 1
+
+    def _class_spans(self, toks: List[Tok]) -> List[Tuple[str, int, int]]:
+        spans = []
+        stack: List[Tuple[Optional[str], int]] = []  # (class name | None,
+        i, n = 0, len(toks)                          #  depth when opened)
+        depth = 0
+        while i < n:
+            t = toks[i]
+            if t.text in ("class", "struct") and i + 1 < n \
+                    and toks[i + 1].kind == "id":
+                # Skip to the opening '{' (may cross base-class lists);
+                # abandon at ';' (forward declaration).
+                j = i + 2
+                while j < n and toks[j].text not in ("{", ";"):
+                    j += 1
+                if j < n and toks[j].text == "{":
+                    stack.append((toks[i + 1].text, depth))
+                    depth += 1
+                    spans.append([toks[i + 1].text, toks[j].line, -1, depth])
+                    i = j + 1
+                    continue
+                i = j + 1
+                continue
+            if t.text == "{":
+                depth += 1
+            elif t.text == "}":
+                depth -= 1
+                if stack and depth == stack[-1][1]:
+                    name, _ = stack.pop()
+                    for span in reversed(spans):
+                        if span[0] == name and span[2] == -1:
+                            span[2] = t.line
+                            break
+            i += 1
+        return [(s[0], s[1], s[2] if s[2] != -1 else 10 ** 9) for s in spans]
+
+    def _preceding_type(self, toks: List[Tok], name_idx: int) -> str:
+        """Type tokens preceding a declarator name, bounded by statement
+        punctuation. Empty string when the name is not a declaration."""
+        j = name_idx - 1
+        parts: List[str] = []
+        while j >= 0:
+            t = toks[j]
+            if t.text in _TYPEISH_STOP or t.kind == "num":
+                break
+            if t.text in (">",):  # template argument close — grab the group
+                bal = 1
+                parts.append(t.text)
+                j -= 1
+                while j >= 0 and bal > 0:
+                    if toks[j].text == ">":
+                        bal += 1
+                    elif toks[j].text == "<":
+                        bal -= 1
+                    parts.append(toks[j].text)
+                    j -= 1
+                continue
+            if t.kind == "id" or t.text in ("::", "*", "&", "const"):
+                parts.append(t.text)
+                j -= 1
+                continue
+            break
+        parts.reverse()
+        type_text = " ".join(parts).strip()
+        # Filter obvious non-types (control keywords, operators, `return x(`).
+        if not type_text or type_text.split()[-1] in _KEYWORDS:
+            return ""
+        # A trailing '::' means the name is *qualified* (Status::OK(...)),
+        # i.e. a call through a scope, not a declaration of the name.
+        if type_text.endswith("::"):
+            return ""
+        return type_text
+
+    # -- pass 2: function bodies ---------------------------------------------
+
+    def index_file(self, rel: str, text: str) -> None:
+        supp: Dict[int, Set[str]] = {}
+        toks = tokenize(text, supp)
+        spans = self._class_spans(toks)
+        n = len(toks)
+        i = 0
+        depth = 0
+        while i < n:
+            t = toks[i]
+            if t.text == "{":
+                depth += 1
+            elif t.text == "}":
+                depth -= 1
+            if t.kind == "id" and t.text not in _KEYWORDS and i + 1 < n \
+                    and toks[i + 1].text == "(":
+                body = self._match_function(toks, i)
+                if body is not None:
+                    close_paren, body_open, body_close, qname = body
+                    cls = self._enclosing_class(spans, t.line)
+                    if "::" in qname:
+                        cls = qname.rsplit("::", 2)[-2]
+                    fn = FunctionModel(
+                        qname if "::" in qname or not cls
+                        else f"{cls}::{qname}",
+                        cls, rel, t.line)
+                    fn.tokens = toks[body_open + 1:body_close]
+                    params = self._param_types(toks, i + 1, close_paren)
+                    self._analyze_body(fn, toks, body_open + 1, body_close,
+                                       params)
+                    self.program.add(fn)
+                    i = body_close + 1
+                    continue
+            i += 1
+
+    def _enclosing_class(self, spans, line: int) -> Optional[str]:
+        best = None
+        for cls, start, end in spans:
+            if start <= line <= end:
+                best = cls
+        return best
+
+    def _match_function(self, toks: List[Tok], name_idx: int):
+        """If toks[name_idx] starts a function definition, returns
+        (close_paren, body_open, body_close, qualified_name)."""
+        n = len(toks)
+        # Qualified name: walk back over `Ns::Cls::`.
+        qparts = [toks[name_idx].text]
+        j = name_idx - 1
+        while j - 1 >= 0 and toks[j].text == "::" \
+                and toks[j - 1].kind == "id":
+            qparts.insert(0, toks[j - 1].text)
+            j -= 2
+        # Must look like a declaration: preceded by a type (or ctor/dtor
+        # whose name matches the class). A call site has an operator,
+        # keyword, or statement punctuation with no type before it.
+        rtype = self._preceding_type(toks, j + 1)
+        is_ctor_like = len(qparts) >= 2 and (
+            qparts[-1] == qparts[-2] or qparts[-1].startswith("~"))
+        if not rtype and not is_ctor_like:
+            return None
+        # Balance the parameter list.
+        i = name_idx + 1
+        bal = 0
+        while i < n:
+            if toks[i].text == "(":
+                bal += 1
+            elif toks[i].text == ")":
+                bal -= 1
+                if bal == 0:
+                    break
+            i += 1
+        if i >= n:
+            return None
+        close_paren = i
+        i += 1
+        # Trailing qualifiers / annotation macros / member-init list.
+        while i < n:
+            t = toks[i]
+            if t.text in ("const", "noexcept", "override", "final",
+                          "mutable", "&", "&&"):
+                i += 1
+                continue
+            if t.kind == "id" and i + 1 < n and toks[i + 1].text == "(":
+                # Annotation macro: MEDSYNC_EXCLUDES(mu_) etc.
+                bal = 0
+                while i < n:
+                    if toks[i].text == "(":
+                        bal += 1
+                    elif toks[i].text == ")":
+                        bal -= 1
+                        if bal == 0:
+                            break
+                    i += 1
+                i += 1
+                continue
+            if t.kind == "id":  # bare macro, e.g. MEDSYNC_NO_THREAD_SAFETY...
+                i += 1
+                continue
+            if t.text == "->":  # trailing return type
+                i += 1
+                while i < n and toks[i].text not in ("{", ";"):
+                    i += 1
+                continue
+            if t.text == ":":
+                # Member-initializer list: name ( ... ) | name { ... } [, ...]
+                i += 1
+                while i < n:
+                    while i < n and toks[i].kind != "id":
+                        i += 1
+                    i += 1  # past the member name
+                    if i >= n or toks[i].text not in ("(", "{"):
+                        return None
+                    opener, closer = toks[i].text, \
+                        ")" if toks[i].text == "(" else "}"
+                    bal = 0
+                    while i < n:
+                        if toks[i].text == opener:
+                            bal += 1
+                        elif toks[i].text == closer:
+                            bal -= 1
+                            if bal == 0:
+                                break
+                        i += 1
+                    i += 1
+                    if i < n and toks[i].text == ",":
+                        i += 1
+                        continue
+                    break
+                continue
+            break
+        if i >= n or toks[i].text != "{":
+            return None
+        body_open = i
+        bal = 0
+        while i < n:
+            if toks[i].text == "{":
+                bal += 1
+            elif toks[i].text == "}":
+                bal -= 1
+                if bal == 0:
+                    break
+            i += 1
+        if i >= n:
+            return None
+        return close_paren, body_open, i, "::".join(qparts)
+
+    # -- body analysis -------------------------------------------------------
+
+    def _param_types(self, toks: List[Tok], open_paren: int,
+                     close_paren: int) -> Dict[str, str]:
+        """Parameter name -> base type for one parameter list."""
+        params: Dict[str, str] = {}
+        seg: List[Tok] = []
+        bal = 0
+        for k in range(open_paren, close_paren + 1):
+            t = toks[k]
+            if t.text in ("(", "<", "["):
+                bal += 1
+            elif t.text in (")", ">", "]"):
+                bal -= 1
+            if (t.text == "," and bal == 1) or k == close_paren:
+                ids = [s.text for s in seg if s.kind == "id"
+                       and s.text not in ("const", "mutable")]
+                if len(ids) >= 2:
+                    params[ids[-1]] = ids[-2]
+                seg = []
+                continue
+            if bal >= 1:
+                seg.append(t)
+        return params
+
+    def _analyze_body(self, fn: FunctionModel, toks: List[Tok],
+                      start: int, end: int,
+                      params: Optional[Dict[str, str]] = None) -> None:
+        locals_: Dict[str, str] = dict(params or {})
+        prog = self.program
+        members = dict(prog.member_types.get("", {}))
+        if fn.cls:
+            members.update(prog.member_types.get(fn.cls, {}))
+
+        def type_of(name: str) -> Optional[str]:
+            return locals_.get(name) or members.get(name)
+
+        def block_end(open_idx: int) -> int:
+            bal = 0
+            k = open_idx
+            while k < end:
+                if toks[k].text == "{":
+                    bal += 1
+                elif toks[k].text == "}":
+                    bal -= 1
+                    if bal == 0:
+                        return k
+                k += 1
+            return end
+
+        def enclosing_block_end(idx: int) -> int:
+            """Token index closing the innermost block containing idx."""
+            bal = 0
+            k = idx
+            while k < end:
+                if toks[k].text == "{":
+                    bal += 1
+                elif toks[k].text == "}":
+                    bal -= 1
+                    if bal < 0:
+                        return k
+                k += 1
+            return end
+
+        i = start
+        while i < end:
+            t = toks[i]
+            # Local declarations (one-line regex equivalent on tokens):
+            #   Type name = / ( / { / ;
+            if t.kind == "id" and t.text not in _KEYWORDS and i + 1 < end \
+                    and toks[i + 1].text in ("=", ";", "(", "{") \
+                    and toks[i - 1].kind in ("id", "punct"):
+                dtype = self._preceding_type(toks, i)
+                if dtype and dtype.split()[-1] not in ("return",):
+                    base = dtype.replace("const", "").replace("&", "") \
+                        .replace("*", "").strip()
+                    if base and base != "auto":
+                        locals_.setdefault(t.text, base)
+                    # MS104: Status/Result bindings.
+                    if re.match(r"^(?:medsync\s*::\s*)?"
+                                r"(?:common\s*::\s*)?"
+                                r"(Status|Result\b)", base) \
+                            and toks[i + 1].text in ("=", "("):
+                        semi = i
+                        while semi < end and toks[semi].text != ";":
+                            semi += 1
+                        fn.status_bindings.append(
+                            StatusBinding(t.text, t.line, semi))
+                    if base == "auto" or dtype == "auto":
+                        pass
+            # `auto name = Call(...)` where Call returns Status/Result.
+            if t.text == "auto" and i + 2 < end and toks[i + 1].kind == "id" \
+                    and toks[i + 2].text == "=":
+                j = i + 3
+                callee = None
+                while j < end and toks[j].text != ";":
+                    if toks[j].kind == "id" and j + 1 < end \
+                            and toks[j + 1].text == "(":
+                        callee = toks[j].text
+                        break
+                    j += 1
+                rtype = prog.return_types.get(callee or "", "")
+                if re.match(r"^(?:\w+\s*::\s*)*(Status|Result\b)", rtype):
+                    semi = j
+                    while semi < end and toks[semi].text != ";":
+                        semi += 1
+                    fn.status_bindings.append(
+                        StatusBinding(toks[i + 1].text, toks[i + 1].line,
+                                      semi))
+            # MutexLock acquisitions: [threading::] MutexLock name ( expr )
+            if t.text == "MutexLock" and i + 2 < end \
+                    and toks[i + 1].kind == "id" \
+                    and toks[i + 2].text == "(":
+                mutex = self._mutex_id(toks, i + 3, type_of, fn)
+                fn.acquires.append(AcquireSite(
+                    mutex, t.line, i, enclosing_block_end(i)))
+                i += 3
+                continue
+            # Direct expr.Lock() / expr->Lock() on a Mutex-typed member.
+            if t.text == "Lock" and i + 1 < end and toks[i + 1].text == "(" \
+                    and i >= 2 and toks[i - 1].text in (".", "->"):
+                recv = toks[i - 2].text
+                rtype = type_of(recv) or ""
+                if "Mutex" in rtype:
+                    mutex = self._qualify_mutex(recv, rtype, fn)
+                    fn.acquires.append(AcquireSite(
+                        mutex, t.line, i, enclosing_block_end(i)))
+            # Range-for over an unordered container.
+            if t.text == "for" and i + 1 < end and toks[i + 1].text == "(":
+                # Register the loop declarator as a typed local:
+                #   for (const StepEvent& event : events_)
+                j = i + 2
+                bal = 1
+                decl: List[Tok] = []
+                while j < end and bal > 0:
+                    if toks[j].text == "(":
+                        bal += 1
+                    elif toks[j].text == ")":
+                        bal -= 1
+                    elif toks[j].text == ":" and bal == 1:
+                        ids = [s.text for s in decl if s.kind == "id"
+                               and s.text not in ("const", "auto")]
+                        if len(ids) >= 2:
+                            locals_.setdefault(ids[-1], ids[-2])
+                        break
+                    decl.append(toks[j])
+                    j += 1
+                loop = self._range_for(toks, i, end, type_of, block_end, fn)
+                if loop:
+                    fn.unordered_loops.append(loop)
+            # Callback registrations: recv -> Schedule( ... [lambda] ... )
+            if t.kind == "id" and t.text in REGISTRATION_METHODS \
+                    and i + 1 < end and toks[i + 1].text == "(" \
+                    and i >= 2 and toks[i - 1].text in (".", "->"):
+                recv = toks[i - 2].text
+                rtype = (type_of(recv) or "").replace("*", "").strip()
+                rtype = rtype.rsplit("::", 1)[-1].split()[-1] if rtype else ""
+                if rtype in LOOP_RECEIVER_TYPES:
+                    close = block_end(i + 1) if False else None
+                    # Find the lambda argument's body range.
+                    j = i + 1
+                    bal = 0
+                    lam_open = None
+                    while j < end:
+                        if toks[j].text == "(":
+                            bal += 1
+                        elif toks[j].text == ")":
+                            bal -= 1
+                            if bal == 0:
+                                break
+                        elif toks[j].text == "{" and lam_open is None:
+                            lam_open = j
+                            j = block_end(j)
+                            continue
+                        j += 1
+                    if lam_open is not None:
+                        fn.registrations.append(Registration(
+                            t.text, rtype, t.line, lam_open + 1,
+                            block_end(lam_open)))
+            # std::sort / std::stable_sort over a variable.
+            if t.kind == "id" and t.text in SORT_CALLS and i + 1 < end \
+                    and toks[i + 1].text == "(":
+                j = i + 2
+                while j < end and toks[j].text != ")":
+                    if toks[j].kind == "id" and type_of(toks[j].text):
+                        fn.sorted_vars.append((toks[j].text, j))
+                    j += 1
+            # Generic call sites.
+            if t.kind == "id" and t.text not in _KEYWORDS and i + 1 < end \
+                    and toks[i + 1].text == "(":
+                recv_type = None
+                name = t.text
+                if i >= 2 and toks[i - 1].text in (".", "->"):
+                    recv = toks[i - 2].text
+                    rt = type_of(recv)
+                    if rt:
+                        rt = re.sub(r"\bconst\b|[*&]", "", rt).strip()
+                        recv_type = rt.split("<")[0].rsplit("::", 1)[-1] \
+                            .strip()
+                    elif recv == "this" or recv.endswith("_"):
+                        recv_type = None
+                elif i >= 2 and toks[i - 1].text == "::" \
+                        and toks[i - 2].kind == "id":
+                    name = f"{toks[i - 2].text}::{t.text}"
+                # Skip declarations already recorded as locals with type ==
+                # the identifier itself; calls to types (constructors) keep
+                # flowing through resolve(), which simply finds no body.
+                fn.calls.append(CallSite(name, recv_type, t.line, i))
+            i += 1
+
+    def _mutex_id(self, toks: List[Tok], idx: int, type_of, fn) -> str:
+        """Canonical mutex id for the expression starting at toks[idx]
+        (the MutexLock constructor argument)."""
+        parts = []
+        j = idx
+        while j < len(toks) and toks[j].text != ")":
+            parts.append(toks[j].text)
+            j += 1
+        expr = "".join(parts)
+        # obj.mu_ / obj->mu_ / ptr->mu_: qualify by the receiver's type.
+        m = re.match(r"^([A-Za-z_]\w*)(?:\.|->)([A-Za-z_]\w*)$", expr)
+        if m:
+            rtype = type_of(m.group(1)) or "?"
+            rtype = re.sub(r"\bconst\b|[*&]", "", rtype).strip()
+            return f"{rtype.split('<')[0].rsplit('::', 1)[-1]}::{m.group(2)}"
+        m = re.match(r"^\*?([A-Za-z_]\w*)$", expr)
+        if m:
+            return self._qualify_mutex(m.group(1), type_of(m.group(1)) or "",
+                                       fn)
+        return f"{fn.cls or fn.file}::{expr}"
+
+    def _qualify_mutex(self, name: str, declared_type: str,
+                       fn: FunctionModel) -> str:
+        if fn.cls and name in self.program.member_types.get(fn.cls, {}):
+            return f"{fn.cls}::{name}"
+        if name in self.program.member_types.get("", {}):
+            return f"{fn.file}::{name}"
+        # Parameter or local reference (CondVar::Wait(mu) style): attribute
+        # to the enclosing class so ThreadPool::WorkerLoop(mu) == its mu_.
+        return f"{fn.cls or fn.file}::{name}"
+
+    def _range_for(self, toks: List[Tok], for_idx: int, end: int, type_of,
+                   block_end, fn: FunctionModel) -> Optional[UnorderedLoop]:
+        """Parses `for ( decl : range ) { body }`; returns an UnorderedLoop
+        when the range expression has an unordered container type."""
+        j = for_idx + 1
+        bal = 0
+        colon = None
+        close = None
+        while j < end:
+            if toks[j].text == "(":
+                bal += 1
+            elif toks[j].text == ")":
+                bal -= 1
+                if bal == 0:
+                    close = j
+                    break
+            elif toks[j].text == ":" and bal == 1 and colon is None:
+                colon = j
+            elif toks[j].text == ";" and bal == 1:
+                return None  # classic for(;;)
+            j += 1
+        if colon is None or close is None:
+            return None
+        range_toks = toks[colon + 1:close]
+        rtype = self._expr_type(range_toks, type_of)
+        if not rtype or "unordered_" not in rtype:
+            return None
+        body_open = close + 1
+        if body_open >= end or toks[body_open].text != "{":
+            # Single-statement body: treat up to the ';'.
+            body_close = body_open
+            while body_close < end and toks[body_close].text != ";":
+                body_close += 1
+            loop = UnorderedLoop("".join(tk.text for tk in range_toks),
+                                 toks[for_idx].line, body_open, body_close)
+        else:
+            loop = UnorderedLoop("".join(tk.text for tk in range_toks),
+                                 toks[for_idx].line, body_open + 1,
+                                 block_end(body_open))
+        # Record push_back/emplace_back targets for the sort-before-sink leg.
+        k = loop.body_start
+        while k < loop.body_end:
+            if toks[k].text in ("push_back", "emplace_back", "insert",
+                                "emplace") and k >= 2 \
+                    and toks[k - 1].text in (".", "->"):
+                loop.out_vars.append(toks[k - 2].text)
+            k += 1
+        return loop
+
+    def _expr_type(self, expr_toks: List[Tok], type_of) -> Optional[str]:
+        ids = [t for t in expr_toks if t.kind == "id"]
+        if not ids:
+            return None
+        # `var`, `*var`, `obj.member`, `obj.accessor()`, `Fn(x)`.
+        t0 = type_of(ids[0].text)
+        if t0 and len(ids) == 1:
+            return t0
+        last = ids[-1].text
+        member_type = None
+        if len(ids) >= 2:
+            member_type = self.program.return_types.get(last)
+            owner_type = type_of(ids[0].text)
+            if owner_type:
+                base = owner_type.split("<")[0].rsplit("::", 1)[-1].strip()
+                member_type = (self.program.member_types.get(base, {})
+                               .get(last) or member_type)
+        return member_type or t0 or self.program.return_types.get(last)
+
+    # -- driver --------------------------------------------------------------
+
+    def build(self) -> Program:
+        texts = {}
+        for rel in self.rel_paths:
+            try:
+                texts[rel] = (self.root / rel).read_text(encoding="utf-8")
+            except (OSError, UnicodeDecodeError):
+                continue
+        for rel, text in texts.items():
+            self.harvest_declarations(rel, text)
+        for rel, text in texts.items():
+            self.index_file(rel, text)
+        return self.program
+
+
+# ---------------------------------------------------------------------------
+# Clang frontend (libclang / clang.cindex over compile_commands.json).
+# ---------------------------------------------------------------------------
+
+
+class ClangFrontend:
+    """Precise frontend: the same Program, built from libclang ASTs. Only
+    constructed when `import clang.cindex` succeeds."""
+
+    def __init__(self, root: pathlib.Path, build_dir: pathlib.Path):
+        import clang.cindex as cindex  # noqa: deferred import by design
+        self.cindex = cindex
+        self.root = root
+        self.build_dir = build_dir
+        self.program = Program()
+
+    def build(self) -> Program:
+        cindex = self.cindex
+        db = cindex.CompilationDatabase.fromDirectory(str(self.build_dir))
+        index = cindex.Index.create()
+        seen: Set[str] = set()
+        for cmd in db.getAllCompileCommands():
+            src = str(pathlib.Path(cmd.directory) / cmd.filename) \
+                if not pathlib.Path(cmd.filename).is_absolute() \
+                else cmd.filename
+            src = str(pathlib.Path(src).resolve())
+            if src in seen or not src.startswith(str(self.root)):
+                continue
+            seen.add(src)
+            args = [a for a in list(cmd.arguments)[1:]
+                    if a not in (cmd.filename, "-c", "-o")][:-1]
+            try:
+                tu = index.parse(src, args=args)
+            except cindex.TranslationUnitLoadError:
+                continue
+            self._index_tu(tu)
+        return self.program
+
+    def _rel(self, location) -> Optional[str]:
+        if not location.file:
+            return None
+        p = pathlib.Path(location.file.name).resolve()
+        try:
+            return p.relative_to(self.root).as_posix()
+        except ValueError:
+            return None
+
+    def _index_tu(self, tu) -> None:
+        ck = self.cindex.CursorKind
+        prog = self.program
+
+        def walk(cursor):
+            for child in cursor.get_children():
+                rel = self._rel(child.location)
+                if rel is None:
+                    continue
+                if child.kind in (ck.CLASS_DECL, ck.STRUCT_DECL) \
+                        and child.is_definition():
+                    members = prog.member_types.setdefault(
+                        child.spelling, {})
+                    for f in child.get_children():
+                        if f.kind == ck.FIELD_DECL:
+                            members[f.spelling] = f.type.spelling
+                if child.kind in (ck.FUNCTION_DECL, ck.CXX_METHOD,
+                                  ck.CONSTRUCTOR, ck.DESTRUCTOR,
+                                  ck.FUNCTION_TEMPLATE):
+                    prog.return_types.setdefault(
+                        child.spelling, child.result_type.spelling or "")
+                    if child.is_definition():
+                        key = f"{rel}:{child.location.line}:" \
+                              f"{self._qname(child)}"
+                        if key not in self._fn_seen:
+                            self._fn_seen.add(key)
+                            self._index_function(child, rel)
+                walk(child)
+
+        self._fn_seen: Set[str] = getattr(self, "_fn_seen", set())
+        walk(tu.cursor)
+
+    def _qname(self, cursor) -> str:
+        parts = []
+        c = cursor
+        while c is not None and c.spelling:
+            if c.kind in (self.cindex.CursorKind.TRANSLATION_UNIT,):
+                break
+            parts.append(c.spelling)
+            c = c.semantic_parent
+        return "::".join(reversed(parts))
+
+    def _index_function(self, cursor, rel: str) -> None:
+        ck = self.cindex.CursorKind
+        cls = None
+        parent = cursor.semantic_parent
+        if parent is not None and parent.kind in (ck.CLASS_DECL,
+                                                  ck.STRUCT_DECL):
+            cls = parent.spelling
+        fn = FunctionModel(self._qname(cursor), cls, rel,
+                           cursor.location.line)
+        pos = [0]
+
+        def visit(node, lock_scope_end):
+            for child in node.get_children():
+                pos[0] += 1
+                k = child.kind
+                if k == ck.VAR_DECL and "MutexLock" in child.type.spelling:
+                    mutex = self._mutex_arg(child, cls)
+                    fn.acquires.append(AcquireSite(
+                        mutex, child.location.line, pos[0],
+                        node.extent.end.line * 1000))
+                if k == ck.CALL_EXPR:
+                    name = child.spelling or ""
+                    recv_type = None
+                    kids = list(child.get_children())
+                    if kids and kids[0].kind == ck.MEMBER_REF_EXPR:
+                        base = list(kids[0].get_children())
+                        if base:
+                            bt = base[0].type.spelling
+                            recv_type = re.sub(
+                                r"\bconst\b|[*&]", "", bt).strip() \
+                                .split("<")[0].rsplit("::", 1)[-1]
+                    if name:
+                        fn.calls.append(CallSite(
+                            name, recv_type, child.location.line, pos[0]))
+                if k == ck.CXX_FOR_RANGE_STMT:
+                    kids = list(child.get_children())
+                    if len(kids) >= 2 and "unordered_" in \
+                            kids[-2].type.spelling:
+                        start = pos[0]
+                        loop = UnorderedLoop(kids[-2].type.spelling,
+                                             child.location.line, start,
+                                             start)
+                        fn.unordered_loops.append(loop)
+                        visit(child, lock_scope_end)
+                        loop.body_end = pos[0]
+                        continue
+                if k == ck.VAR_DECL and re.match(
+                        r"^(?:medsync::)?(?:common::)?(Status|Result<)",
+                        child.type.spelling):
+                    fn.status_bindings.append(StatusBinding(
+                        child.spelling, child.location.line, pos[0]))
+                if k == ck.DECL_REF_EXPR:
+                    fn.tokens.append(Tok("id", child.spelling,
+                                         child.location.line))
+                if k == ck.LAMBDA_EXPR:
+                    # Attribute lambda bodies to the enclosing function and
+                    # additionally record registrations at call sites.
+                    pass
+                visit(child, lock_scope_end)
+
+        body = None
+        for child in cursor.get_children():
+            if child.kind == ck.COMPOUND_STMT:
+                body = child
+        if body is not None:
+            visit(body, None)
+        self.program.add(fn)
+
+    def _mutex_arg(self, var_decl, cls) -> str:
+        for child in var_decl.get_children():
+            for ref in child.walk_preorder():
+                if ref.kind == self.cindex.CursorKind.MEMBER_REF_EXPR \
+                        or ref.kind == self.cindex.CursorKind.DECL_REF_EXPR:
+                    owner = ref.semantic_parent
+                    return f"{cls or '?'}::{ref.spelling}"
+        return f"{cls or '?'}::<unknown>"
+
+
+# ---------------------------------------------------------------------------
+# Rules.
+# ---------------------------------------------------------------------------
+
+
+class Analyzer:
+    def __init__(self, program: Program):
+        self.prog = program
+        self._acquired_memo: Dict[str, Dict[str, List[str]]] = {}
+        self._blocking_memo: Dict[str, Optional[List[str]]] = {}
+        self._sink_memo: Dict[str, Optional[List[str]]] = {}
+        self._blocking_mutexes = self._find_blocking_mutexes()
+
+    # -- shared reachability helpers ----------------------------------------
+
+    def _acquired_in(self, fn: FunctionModel,
+                     stack: Set[str]) -> Dict[str, List[str]]:
+        """mutex -> witness path (list of 'qname (file:line)') for every
+        mutex this function may acquire, transitively."""
+        if fn.qname in self._acquired_memo:
+            return self._acquired_memo[fn.qname]
+        if fn.qname in stack:
+            return {}
+        stack.add(fn.qname)
+        acquired: Dict[str, List[str]] = {}
+        for site in fn.acquires:
+            acquired.setdefault(
+                site.mutex,
+                [f"{fn.qname} acquires {site.mutex} "
+                 f"({fn.file}:{site.line})"])
+        for call in fn.calls:
+            for callee in self.prog.resolve(call, fn):
+                if callee.qname == fn.qname:
+                    continue
+                sub = self._acquired_in(callee, stack)
+                for mutex, path in sub.items():
+                    if mutex not in acquired and len(path) < \
+                            MAX_WITNESS_DEPTH:
+                        acquired[mutex] = [
+                            f"{fn.qname} calls {callee.qname} "
+                            f"({fn.file}:{call.line})"] + path
+        stack.discard(fn.qname)
+        self._acquired_memo[fn.qname] = acquired
+        return acquired
+
+    def _reaches(self, fn: FunctionModel, memo: Dict[str,
+                                                     Optional[List[str]]],
+                 hit_fn, stack: Set[str]) -> Optional[List[str]]:
+        """Witness path to the first call satisfying hit_fn(callsite),
+        searched transitively; None if unreachable."""
+        if fn.qname in memo:
+            return memo[fn.qname]
+        if fn.qname in stack:
+            return None
+        stack.add(fn.qname)
+        result: Optional[List[str]] = None
+        for call in fn.calls:
+            hit = hit_fn(call, fn)
+            if hit:
+                result = [f"{fn.qname} calls {hit} ({fn.file}:{call.line})"]
+                break
+        if result is None:
+            for call in fn.calls:
+                for callee in self.prog.resolve(call, fn):
+                    if callee.qname == fn.qname:
+                        continue
+                    sub = self._reaches(callee, memo, hit_fn, stack)
+                    if sub is not None and len(sub) < MAX_WITNESS_DEPTH:
+                        result = [f"{fn.qname} calls {callee.qname} "
+                                  f"({fn.file}:{call.line})"] + sub
+                        break
+                if result:
+                    break
+        stack.discard(fn.qname)
+        memo[fn.qname] = result
+        return result
+
+    # -- MS101 ---------------------------------------------------------------
+
+    def ms101_lock_order(self) -> List[Finding]:
+        edges: Dict[Tuple[str, str], List[str]] = {}
+        for fn in self.prog.functions:
+            for site in fn.acquires:
+                held = site.mutex
+                # Later direct acquisitions inside this scope.
+                for other in fn.acquires:
+                    if other.pos > site.pos and other.pos <= site.scope_end:
+                        key = (held, other.mutex)
+                        edges.setdefault(key, [
+                            f"{fn.qname} acquires {held} "
+                            f"({fn.file}:{site.line})",
+                            f"{fn.qname} then acquires {other.mutex} "
+                            f"({fn.file}:{other.line})"])
+                # Acquisitions reached through calls inside the scope.
+                for call in fn.calls:
+                    if not (site.pos < call.pos <= site.scope_end):
+                        continue
+                    for callee in self.prog.resolve(call, fn):
+                        for mutex, path in self._acquired_in(
+                                callee, set()).items():
+                            key = (held, mutex)
+                            if key not in edges:
+                                edges[key] = [
+                                    f"{fn.qname} acquires {held} "
+                                    f"({fn.file}:{site.line})",
+                                    f"{fn.qname} calls {callee.qname} "
+                                    f"({fn.file}:{call.line})"] + path
+        findings: List[Finding] = []
+        graph: Dict[str, Set[str]] = {}
+        for (a, b), _ in edges.items():
+            graph.setdefault(a, set()).add(b)
+        reported: Set[frozenset] = set()
+        for (a, b), witness in sorted(edges.items()):
+            if a == b:
+                loc = self._edge_location(witness)
+                findings.append(Finding(
+                    "MS101", loc[0], loc[1],
+                    f"lock-order: {a} re-acquired while already held — "
+                    "threading::Mutex is non-recursive, this self-deadlocks",
+                    witness))
+                continue
+            # Cycle through this edge?
+            path = self._find_path(graph, b, a)
+            if path is None:
+                continue
+            cycle_key = frozenset([a, b] + path)
+            if cycle_key in reported:
+                continue
+            reported.add(cycle_key)
+            loc = self._edge_location(witness)
+            back_witness: List[str] = []
+            nodes = [b] + path
+            for u, v in zip(nodes, nodes[1:]):
+                back_witness.extend(edges.get((u, v), []))
+            findings.append(Finding(
+                "MS101", loc[0], loc[1],
+                "lock-order cycle: " + " -> ".join([a, b] + path) +
+                " — two threads taking these locks in opposite orders "
+                "deadlock",
+                witness + ["-- and the cycle closes: --"] + back_witness))
+        return findings
+
+    def _find_path(self, graph: Dict[str, Set[str]], src: str,
+                   dst: str) -> Optional[List[str]]:
+        """BFS path src ~> dst, returned as the node list after src."""
+        from collections import deque
+        prev: Dict[str, Optional[str]] = {src: None}
+        q = deque([src])
+        while q:
+            u = q.popleft()
+            for v in graph.get(u, ()):
+                if v in prev:
+                    continue
+                prev[v] = u
+                if v == dst:
+                    path = [v]
+                    while prev[path[0]] not in (None, src):
+                        path.insert(0, prev[path[0]])
+                    return path
+                q.append(v)
+        return None
+
+    def _edge_location(self, witness: List[str]) -> Tuple[str, int]:
+        m = re.search(r"\(([^():]+):(\d+)\)", witness[0])
+        if m:
+            return m.group(1), int(m.group(2))
+        return "?", 0
+
+    # -- MS102 ---------------------------------------------------------------
+
+    def _is_sink(self, call: CallSite, caller: FunctionModel) -> \
+            Optional[str]:
+        name = call.name.rsplit("::", 1)[-1]
+        if (call.recv_type, name) in ORDER_INSENSITIVE_METHODS:
+            return None
+        if (call.recv_type, name) in SINK_METHODS or \
+                (None, name) in SINK_METHODS:
+            if (call.recv_type, name) in ORDER_INSENSITIVE_METHODS:
+                return None
+            return f"sink {call.recv_type + '::' if call.recv_type else ''}" \
+                   f"{name}"
+        return None
+
+    def ms102_determinism_flow(self) -> List[Finding]:
+        findings: List[Finding] = []
+        for fn in self.prog.functions:
+            for loop in fn.unordered_loops:
+                hit: Optional[List[str]] = None
+                for call in fn.calls:
+                    if not (loop.body_start <= call.pos < loop.body_end):
+                        continue
+                    direct = self._is_sink(call, fn)
+                    if direct:
+                        hit = [f"{fn.qname} loop body reaches {direct} "
+                               f"({fn.file}:{call.line})"]
+                        break
+                    for callee in self.prog.resolve(call, fn):
+                        sub = self._reaches(callee, self._sink_memo,
+                                            self._is_sink, set())
+                        if sub is not None:
+                            hit = [f"{fn.qname} loop body calls "
+                                   f"{callee.qname} ({fn.file}:{call.line})"
+                                   ] + sub
+                            break
+                    if hit:
+                        break
+                if hit is None:
+                    hit = self._unsorted_collection_flow(fn, loop)
+                if hit:
+                    findings.append(Finding(
+                        "MS102", fn.file, loop.line,
+                        f"determinism-flow: iteration over unordered "
+                        f"container '{loop.container}' reaches an "
+                        "order-sensitive sink — hash order is "
+                        "implementation-defined and leaks into "
+                        "digests/serialized bytes; rebuild in sorted order "
+                        "first", hit))
+        return findings
+
+    def _unsorted_collection_flow(self, fn: FunctionModel,
+                                  loop: UnorderedLoop) -> \
+            Optional[List[str]]:
+        """Loop collects into a vector that later feeds a sink without an
+        intervening sort."""
+        for var in loop.out_vars:
+            sorted_after = [pos for v, pos in fn.sorted_vars
+                            if v == var and pos >= loop.body_end]
+            for call in fn.calls:
+                if call.pos <= loop.body_end:
+                    continue
+                if sorted_after and min(sorted_after) < call.pos:
+                    break
+                # var appears as an argument to a sink-reaching call?
+                near = any(t.text == var and abs(t_pos - call.pos) < 12
+                           for t_pos, t in enumerate(fn.tokens))
+                if not near:
+                    continue
+                direct = self._is_sink(call, fn)
+                if direct:
+                    return [f"{fn.qname} collects '{var}' in hash order, "
+                            f"then {direct} consumes it unsorted "
+                            f"({fn.file}:{call.line})"]
+        return None
+
+    # -- MS103 ---------------------------------------------------------------
+
+    def _find_blocking_mutexes(self) -> Dict[str, str]:
+        """Mutexes whose critical sections contain a blocking primitive:
+        locking them can block for the full blocking duration."""
+        blocking: Dict[str, str] = {}
+        for fn in self.prog.functions:
+            for site in fn.acquires:
+                for call in fn.calls:
+                    if not (site.pos < call.pos <= site.scope_end):
+                        continue
+                    hit = self._is_blocking(call, fn)
+                    if hit:
+                        blocking.setdefault(
+                            site.mutex,
+                            f"{fn.qname} holds {site.mutex} across {hit} "
+                            f"({fn.file}:{call.line})")
+        return blocking
+
+    def _is_blocking(self, call: CallSite,
+                     caller: FunctionModel) -> Optional[str]:
+        name = call.name.rsplit("::", 1)[-1]
+        if name in BLOCKING_FREE:
+            return f"blocking call {name}()"
+        if (call.recv_type, name) in BLOCKING_METHODS:
+            return f"blocking wait {call.recv_type}::{name}"
+        if call.recv_type is None and name == "Wait":
+            # Un-typed receiver: treat known waiter classes' Wait as blocking
+            # only when the caller class itself owns one (conservative).
+            return f"blocking wait {name}"
+        return None
+
+    def _is_blocking_or_slow_lock(self, call: CallSite,
+                                  caller: FunctionModel) -> Optional[str]:
+        hit = self._is_blocking(call, caller)
+        if hit:
+            return hit
+        return None
+
+    def ms103_loop_blocking(self) -> List[Finding]:
+        findings: List[Finding] = []
+        for fn in self.prog.functions:
+            for reg in fn.registrations:
+                # Direct blocking calls and slow-mutex locks in the callback
+                # body, then transitive reachability through its calls.
+                witness: Optional[List[str]] = None
+                for site in fn.acquires:
+                    if reg.body_start <= site.pos < reg.body_end and \
+                            site.mutex in self._blocking_mutexes:
+                        witness = [
+                            f"callback locks {site.mutex} "
+                            f"({fn.file}:{site.line})",
+                            self._blocking_mutexes[site.mutex]]
+                        break
+                if witness is None:
+                    for call in fn.calls:
+                        if not (reg.body_start <= call.pos < reg.body_end):
+                            continue
+                        direct = self._is_blocking(call, fn)
+                        if direct:
+                            witness = [f"callback reaches {direct} "
+                                       f"({fn.file}:{call.line})"]
+                            break
+                        for callee in self.prog.resolve(call, fn):
+                            sub = self._reaches(
+                                callee, self._blocking_memo,
+                                self._is_blocking_or_slow_lock, set())
+                            if sub is not None:
+                                witness = [
+                                    f"callback calls {callee.qname} "
+                                    f"({fn.file}:{call.line})"] + sub
+                                break
+                        if witness:
+                            break
+                if witness:
+                    findings.append(Finding(
+                        "MS103", fn.file, reg.line,
+                        f"event-loop-blocking: callback registered via "
+                        f"{reg.recv_type}::{reg.kind} in {fn.qname} reaches "
+                        "a blocking primitive — a blocked loop thread "
+                        "stalls every timer and connection in the process",
+                        witness))
+        return findings
+
+    # -- MS104 ---------------------------------------------------------------
+
+    def ms104_status_leak(self) -> List[Finding]:
+        findings: List[Finding] = []
+        for fn in self.prog.functions:
+            for binding in fn.status_bindings:
+                if self._binding_used(fn, binding):
+                    continue
+                findings.append(Finding(
+                    "MS104", fn.file, binding.line,
+                    f"status-leak: '{binding.var}' in {fn.qname} binds a "
+                    "Status/Result that is never read — branch on it, "
+                    "return it, or discard it by name with "
+                    "IgnoreStatusForTest()"))
+        return findings
+
+    def _binding_used(self, fn: FunctionModel,
+                      binding: StatusBinding) -> bool:
+        # Token-level liveness: any appearance of the name after the
+        # binding statement counts (branch, return, move, member call, …).
+        seen_decl = False
+        uses = 0
+        for idx, tok in enumerate(fn.tokens):
+            if tok.kind != "id" or tok.text != binding.var:
+                continue
+            if not seen_decl and tok.line == binding.line:
+                seen_decl = True
+                continue
+            if seen_decl or tok.line > binding.line:
+                uses += 1
+        return uses > 0
+
+
+# ---------------------------------------------------------------------------
+# Allowlist + driver.
+# ---------------------------------------------------------------------------
+
+
+def load_allowlist(path: pathlib.Path) -> List[Tuple[str, str, str]]:
+    entries: List[Tuple[str, str, str]] = []
+    if not path.exists():
+        return entries
+    for raw in path.read_text(encoding="utf-8").splitlines():
+        line = raw.strip()
+        if not line or line.startswith("#"):
+            continue
+        body, _, rationale = line.partition("#")
+        parts = body.split(None, 1)
+        if len(parts) == 2 and rationale.strip():
+            entries.append((parts[0], parts[1].strip(), rationale.strip()))
+        elif len(parts) == 2:
+            print(f"medsync-sca: allowlist entry without rationale "
+                  f"ignored: {line}", file=sys.stderr)
+    return entries
+
+
+def apply_suppressions(findings: List[Finding], program: Program,
+                       allowlist: List[Tuple[str, str, str]]) -> \
+        Tuple[List[Finding], int]:
+    kept: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        inline = program.suppressions.get((finding.file, finding.line),
+                                          set())
+        if finding.rule in inline:
+            suppressed += 1
+            continue
+        hay = finding.haystack()
+        if any(rule == finding.rule and pattern in hay
+               for rule, pattern, _ in allowlist):
+            suppressed += 1
+            continue
+        kept.append(finding)
+    return kept, suppressed
+
+
+def collect_sources(root: pathlib.Path) -> List[str]:
+    rels: List[str] = []
+    for top in ("src", "tools", "examples", "tests", "bench"):
+        base = root / top
+        if not base.is_dir():
+            continue
+        for path in sorted(base.rglob("*")):
+            if path.suffix in (".cc", ".h") and "fixtures" not in str(path):
+                rels.append(path.relative_to(root).as_posix())
+    return rels
+
+
+def sarif_dump(findings: List[Finding]) -> str:
+    rules_meta = {
+        "MS101": "lock-order cycle (potential deadlock)",
+        "MS102": "unordered iteration reaches an order-sensitive sink",
+        "MS103": "blocking primitive reachable from an event-loop callback",
+        "MS104": "Status/Result bound to a variable that is never read",
+    }
+    results = []
+    for f in findings:
+        message = f.message
+        if f.witness:
+            message += "\n" + "\n".join(f.witness)
+        results.append({
+            "ruleId": f.rule,
+            "level": "error",
+            "message": {"text": message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": f.file},
+                    "region": {"startLine": max(f.line, 1)},
+                },
+            }],
+        })
+    doc = {
+        "$schema": "https://raw.githubusercontent.com/oasis-tcs/sarif-spec/"
+                   "master/Schemata/sarif-schema-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "medsync-sca",
+                "rules": [{"id": rid,
+                           "shortDescription": {"text": text}}
+                          for rid, text in sorted(rules_meta.items())],
+            }},
+            "results": results,
+        }],
+    }
+    return json.dumps(doc, indent=2)
+
+
+def build_program(root: pathlib.Path, frontend: str,
+                  build_dir: Optional[pathlib.Path],
+                  rel_paths: Optional[Sequence[str]] = None) -> \
+        Tuple[Optional[Program], str]:
+    """Returns (program, frontend_used). program None = hard unavailability
+    of an explicitly requested frontend."""
+    rels = list(rel_paths) if rel_paths is not None else \
+        collect_sources(root)
+    if frontend in ("clang", "auto"):
+        try:
+            import clang.cindex  # noqa: F401
+            have_clang = True
+        except ImportError:
+            have_clang = False
+        if have_clang and build_dir is not None and \
+                (build_dir / "compile_commands.json").exists():
+            try:
+                return ClangFrontend(root, build_dir).build(), "clang"
+            except Exception as err:  # pragma: no cover - env-specific
+                print(f"medsync-sca: clang frontend failed ({err}); "
+                      "falling back to the built-in frontend",
+                      file=sys.stderr)
+        elif frontend == "clang":
+            print("medsync-sca: libclang (python3 clang.cindex) or "
+                  "compile_commands.json unavailable — skipping "
+                  "(requested --frontend=clang)", file=sys.stderr)
+            return None, "none"
+        elif frontend == "auto":
+            print("medsync-sca: libclang unavailable; using the built-in "
+                  "frontend (heuristic types). Install python3-clang for "
+                  "the precise frontend.", file=sys.stderr)
+    return TextFrontend(root, rels).build(), "text"
+
+
+def run_rules(program: Program) -> List[Finding]:
+    analyzer = Analyzer(program)
+    findings: List[Finding] = []
+    findings.extend(analyzer.ms101_lock_order())
+    findings.extend(analyzer.ms102_determinism_flow())
+    findings.extend(analyzer.ms103_loop_blocking())
+    findings.extend(analyzer.ms104_status_leak())
+    findings.sort(key=lambda f: (f.file, f.line, f.rule))
+    return findings
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description=__doc__.splitlines()[0],
+        formatter_class=argparse.RawDescriptionHelpFormatter)
+    parser.add_argument("--root", type=pathlib.Path,
+                        default=pathlib.Path(__file__).resolve()
+                        .parent.parent)
+    parser.add_argument("--build-dir", type=pathlib.Path, default=None,
+                        help="build dir holding compile_commands.json "
+                             "(default: <root>/build, then "
+                             "<root>/build-check)")
+    parser.add_argument("--frontend", choices=("auto", "clang", "text"),
+                        default="auto")
+    parser.add_argument("--allowlist", type=pathlib.Path, default=None,
+                        help="default: <root>/tools/sca_allowlist.txt")
+    parser.add_argument("--sarif", metavar="FILE", default=None,
+                        help="also write SARIF 2.1.0 ('-' = stdout)")
+    parser.add_argument("--skip-missing-frontend", action="store_true",
+                        help="exit 0 (skip-with-warning) when the requested "
+                             "frontend is unavailable")
+    opts = parser.parse_args(argv)
+
+    root = opts.root.resolve()
+    build_dir = opts.build_dir
+    if build_dir is None:
+        for cand in (root / "build", root / "build-check"):
+            if (cand / "compile_commands.json").exists():
+                build_dir = cand
+                break
+    program, used = build_program(root, opts.frontend, build_dir)
+    if program is None:
+        return 0 if opts.skip_missing_frontend else 2
+
+    findings = run_rules(program)
+    allowlist_path = opts.allowlist or root / "tools" / "sca_allowlist.txt"
+    findings, suppressed = apply_suppressions(
+        findings, program, load_allowlist(allowlist_path))
+
+    # With --sarif -, stdout must carry pure SARIF JSON; route the
+    # human-readable report to stderr so the stream stays parseable.
+    human = sys.stderr if opts.sarif == "-" else sys.stdout
+    for finding in findings:
+        print(finding.render(), file=human)
+    if opts.sarif:
+        text = sarif_dump(findings)
+        if opts.sarif == "-":
+            print(text)
+        else:
+            pathlib.Path(opts.sarif).write_text(text + "\n",
+                                                encoding="utf-8")
+    note = f" ({suppressed} audited suppression(s))" if suppressed else ""
+    if findings:
+        print(f"medsync-sca[{used}]: {len(findings)} finding(s){note}",
+              file=sys.stderr)
+        return 1
+    print(f"medsync-sca[{used}]: clean{note}", file=human)
+    return 0
+
+
+if __name__ == "__main__":
+    try:
+        sys.exit(main())
+    except BrokenPipeError:
+        sys.exit(0)

@@ -1,0 +1,205 @@
+#!/usr/bin/env python3
+"""Self-tests for tools/medsync_sca.py.
+
+Same contract as medsync_lint_test.py: every rule must (a) fire on the
+fixture that violates it and (b) stay silent on the corrected form, so a
+regression in either direction — a rule that stops catching the bug, or a
+rule that starts flagging the sanctioned idiom — fails this suite. The
+fixtures live in tools/sca_fixtures/ and are analyzed with the built-in
+text frontend so the suite runs in containers without libclang.
+"""
+
+import json
+import pathlib
+import sys
+import unittest
+
+TOOLS = pathlib.Path(__file__).resolve().parent
+REPO_ROOT = TOOLS.parent
+FIXTURES = TOOLS / "sca_fixtures"
+sys.path.insert(0, str(TOOLS))
+
+import medsync_sca as sca  # noqa: E402
+
+
+def analyze(*names, allowlist=()):
+    """Runs all rules over the named fixtures as one program (cross-file
+    resolution included), applying only the given allowlist entries."""
+    program = sca.TextFrontend(FIXTURES, list(names)).build()
+    findings = sca.run_rules(program)
+    findings, suppressed = sca.apply_suppressions(
+        findings, program, list(allowlist))
+    return findings, suppressed
+
+
+def rules_of(findings):
+    return [f.rule for f in findings]
+
+
+class Ms101LockOrderTest(unittest.TestCase):
+    def test_fires_on_cross_tu_cycle(self):
+        findings, _ = analyze("ms101_cycle_a.cc", "ms101_cycle_b.cc")
+        self.assertIn("MS101", rules_of(findings))
+        cycle = next(f for f in findings if f.rule == "MS101")
+        self.assertIn("LockA::mu_", cycle.message)
+        self.assertIn("LockB::mu_", cycle.message)
+        # The witness must span both translation units.
+        witness = "\n".join(cycle.witness)
+        self.assertIn("ms101_cycle_a.cc", witness)
+        self.assertIn("ms101_cycle_b.cc", witness)
+
+    def test_fires_on_self_deadlock(self):
+        findings, _ = analyze("ms101_self_deadlock.cc")
+        self.assertEqual(rules_of(findings), ["MS101"])
+        self.assertIn("re-acquired", findings[0].message)
+        self.assertIn("SelfLocker::mu_", findings[0].message)
+
+    def test_silent_on_consistent_order(self):
+        findings, _ = analyze("ms101_clean.cc")
+        self.assertEqual(findings, [],
+                         [f.render() for f in findings])
+
+    def test_silent_when_only_one_direction_exists(self):
+        # Half a cycle is a legal order, not a deadlock.
+        findings, _ = analyze("ms101_cycle_a.cc")
+        self.assertNotIn("MS101", [f.rule for f in findings
+                                   if "cycle" in f.message])
+
+
+class Ms102DeterminismFlowTest(unittest.TestCase):
+    def test_fires_direct_and_transitive(self):
+        findings, _ = analyze("ms102_unordered_sink.cc")
+        ms102 = [f for f in findings if f.rule == "MS102"]
+        self.assertEqual(len(ms102), 2, [f.render() for f in findings])
+        witness = "\n".join(ms102[0].witness + ms102[1].witness)
+        self.assertIn("Append", witness)   # direct sink
+        self.assertIn("FoldOne", witness)  # transitive through the helper
+
+    def test_silent_on_corrected_forms(self):
+        findings, _ = analyze("ms102_clean.cc")
+        self.assertEqual(findings, [],
+                         [f.render() for f in findings])
+
+
+class Ms103LoopBlockingTest(unittest.TestCase):
+    def test_fires_on_blocking_callbacks(self):
+        findings, _ = analyze("ms103_blocking_loop.cc")
+        ms103 = [f for f in findings if f.rule == "MS103"]
+        self.assertEqual(len(ms103), 2, [f.render() for f in findings])
+        witness = "\n".join(ms103[0].witness + ms103[1].witness)
+        self.assertIn("fsync", witness)
+        self.assertIn("Wait", witness)
+
+    def test_silent_on_nonblocking_and_inline_suppressed(self):
+        findings, suppressed = analyze("ms103_clean.cc")
+        self.assertEqual(findings, [],
+                         [f.render() for f in findings])
+        self.assertEqual(suppressed, 1)  # the inline-audited checkpoint
+
+    def test_allowlist_suppresses_with_rationale(self):
+        entry = ("MS103", "BlockingServer::SyncFile",
+                 "fixture: audited durability fsync")
+        findings, suppressed = analyze("ms103_blocking_loop.cc",
+                                       allowlist=[entry])
+        self.assertEqual(suppressed, 1)
+        self.assertEqual(len(findings), 1)  # the CondVar::Wait one remains
+
+    def test_allowlist_is_rule_scoped(self):
+        # An MS104 entry must not silence an MS103 finding even if the
+        # substring matches.
+        entry = ("MS104", "BlockingServer", "wrong rule on purpose")
+        findings, suppressed = analyze("ms103_blocking_loop.cc",
+                                       allowlist=[entry])
+        self.assertEqual(suppressed, 0)
+        self.assertEqual(len(findings), 2)
+
+
+class Ms104StatusLeakTest(unittest.TestCase):
+    def test_fires_on_named_and_auto_bindings(self):
+        findings, _ = analyze("ms104_leak.cc")
+        ms104 = [f for f in findings if f.rule == "MS104"]
+        self.assertEqual(len(ms104), 2, [f.render() for f in findings])
+        leaked = {f.message.split("'")[1] for f in ms104}
+        self.assertEqual(leaked, {"ignored", "outcome"})
+
+    def test_silent_on_all_consumption_idioms(self):
+        findings, _ = analyze("ms104_clean.cc")
+        self.assertEqual(findings, [],
+                         [f.render() for f in findings])
+
+
+class SarifOutputTest(unittest.TestCase):
+    def test_sarif_is_valid_and_carries_findings(self):
+        findings, _ = analyze("ms104_leak.cc")
+        doc = json.loads(sca.sarif_dump(findings))
+        self.assertEqual(doc["version"], "2.1.0")
+        driver = doc["runs"][0]["tool"]["driver"]
+        self.assertEqual(driver["name"], "medsync-sca")
+        self.assertEqual({r["id"] for r in driver["rules"]},
+                         {"MS101", "MS102", "MS103", "MS104"})
+        results = doc["runs"][0]["results"]
+        self.assertEqual(len(results), 2)
+        for result in results:
+            self.assertEqual(result["ruleId"], "MS104")
+            loc = result["locations"][0]["physicalLocation"]
+            self.assertEqual(loc["artifactLocation"]["uri"],
+                             "ms104_leak.cc")
+            self.assertGreater(loc["region"]["startLine"], 0)
+
+    def test_empty_findings_is_still_valid_sarif(self):
+        doc = json.loads(sca.sarif_dump([]))
+        self.assertEqual(doc["runs"][0]["results"], [])
+
+
+class AllowlistFileTest(unittest.TestCase):
+    def test_real_allowlist_parses_and_every_entry_has_rationale(self):
+        entries = sca.load_allowlist(TOOLS / "sca_allowlist.txt")
+        self.assertGreater(len(entries), 0)
+        for rule, pattern, rationale in entries:
+            self.assertRegex(rule, r"^MS\d{3}$")
+            self.assertTrue(pattern)
+            self.assertTrue(rationale, f"entry {pattern} lacks a rationale")
+
+    def test_entry_without_rationale_is_rejected(self):
+        import tempfile
+        with tempfile.NamedTemporaryFile("w", suffix=".txt",
+                                         delete=False) as tmp:
+            tmp.write("MS103 SomePattern\n")
+            path = pathlib.Path(tmp.name)
+        try:
+            self.assertEqual(sca.load_allowlist(path), [])
+        finally:
+            path.unlink()
+
+
+class FrontendSelectionTest(unittest.TestCase):
+    def test_clang_hard_requirement_fails_when_absent(self):
+        try:
+            import clang.cindex  # noqa: F401
+            self.skipTest("libclang present; hard-requirement path n/a")
+        except ImportError:
+            pass
+        program, used = sca.build_program(FIXTURES, "clang", None, [])
+        self.assertIsNone(program)
+        self.assertEqual(used, "none")
+
+    def test_auto_falls_back_to_text(self):
+        program, used = sca.build_program(
+            FIXTURES, "auto", None, ["ms104_leak.cc"])
+        self.assertIsNotNone(program)
+        self.assertIn(used, ("clang", "text"))
+
+
+class CleanTreeTest(unittest.TestCase):
+    def test_real_tree_is_clean_modulo_audited_allowlist(self):
+        program, _ = sca.build_program(REPO_ROOT, "text", None)
+        findings = sca.run_rules(program)
+        findings, _ = sca.apply_suppressions(
+            findings, program,
+            sca.load_allowlist(TOOLS / "sca_allowlist.txt"))
+        self.assertEqual(findings, [],
+                         "\n".join(f.render() for f in findings))
+
+
+if __name__ == "__main__":
+    unittest.main()

@@ -1,0 +1,47 @@
+// medsync-sca fixture: MS101 must stay SILENT. Same two-object shape as
+// the cycle fixtures, but corrected: both paths acquire in the same
+// global order (OrderedA::mu_ before OrderedB::mu_), and the re-entrant
+// helper follows the *Locked convention instead of relocking.
+#include "common/threading/mutex.h"
+
+class OrderedB {
+ public:
+  void Grab() {
+    threading::MutexLock lock(mu_);
+  }
+
+ private:
+  threading::Mutex mu_;
+};
+
+class OrderedA {
+ public:
+  void Ping() {
+    threading::MutexLock lock(mu_);
+    other_->Grab();  // A then B — the one sanctioned order
+  }
+
+  int Recount() {
+    threading::MutexLock lock(mu_);
+    return SizeLocked();  // helper asserts the caller holds mu_
+  }
+
+ private:
+  int SizeLocked() const { return count_; }
+
+  threading::Mutex mu_;
+  OrderedB* other_;
+  int count_ = 0;
+};
+
+class OrderedC {
+ public:
+  void Forward() {
+    threading::MutexLock lock(mu_);
+    target_->Grab();  // C then B: shares the A->B direction, no cycle
+  }
+
+ private:
+  threading::Mutex mu_;
+  OrderedB* target_;
+};

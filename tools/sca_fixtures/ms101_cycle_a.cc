@@ -1,0 +1,27 @@
+// medsync-sca fixture: MS101 MUST fire on the lock-order cycle formed
+// with ms101_cycle_b.cc (the two halves live in different TUs on purpose:
+// the rule is whole-program). LockA takes its own mutex and then calls
+// into LockB, which takes LockB::mu_ — while ms101_cycle_b.cc does the
+// reverse. Two threads running Ping() on each object deadlock.
+#include "common/threading/mutex.h"
+
+class LockB;
+
+class LockA {
+ public:
+  void Ping();
+  void Grab();
+
+ private:
+  threading::Mutex mu_;
+  LockB* other_;
+};
+
+void LockA::Ping() {
+  threading::MutexLock lock(mu_);
+  other_->Grab();  // acquires LockB::mu_ while holding LockA::mu_
+}
+
+void LockA::Grab() {
+  threading::MutexLock lock(mu_);
+}

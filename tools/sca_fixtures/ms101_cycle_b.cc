@@ -1,0 +1,25 @@
+// medsync-sca fixture: second half of the MS101 cross-TU cycle — see
+// ms101_cycle_a.cc. LockB locks its own mutex, then calls back into
+// LockA::Grab, closing LockA::mu_ -> LockB::mu_ -> LockA::mu_.
+#include "common/threading/mutex.h"
+
+class LockA;
+
+class LockB {
+ public:
+  void Ping();
+  void Grab();
+
+ private:
+  threading::Mutex mu_;
+  LockA* other_;
+};
+
+void LockB::Ping() {
+  threading::MutexLock lock(mu_);
+  other_->Grab();  // acquires LockA::mu_ while holding LockB::mu_
+}
+
+void LockB::Grab() {
+  threading::MutexLock lock(mu_);
+}

@@ -1,0 +1,21 @@
+// medsync-sca fixture: MS101 MUST fire — Recount() re-acquires mu_ via
+// Size() while already holding it. threading::Mutex is non-recursive, so
+// this deadlocks on the very first call.
+#include "common/threading/mutex.h"
+
+class SelfLocker {
+ public:
+  int Size() {
+    threading::MutexLock lock(mu_);
+    return count_;
+  }
+
+  int Recount() {
+    threading::MutexLock lock(mu_);
+    return Size();  // relocks mu_ under mu_
+  }
+
+ private:
+  threading::Mutex mu_;
+  int count_ = 0;
+};

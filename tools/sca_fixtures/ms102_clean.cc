@@ -1,0 +1,42 @@
+// medsync-sca fixture: MS102 must stay SILENT — the three corrected
+// forms. (1) rebuild in sorted order before serializing, (2) fold into an
+// explicitly order-insensitive sink (RowDigestAcc's commutative multiset
+// digest), (3) iterate an ordered container to begin with.
+#include <algorithm>
+#include <map>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/json.h"
+#include "relational/digest.h"
+
+class TidySnapshot {
+ public:
+  void DumpSorted(Json& out) {
+    std::vector<std::string> rows;
+    for (const auto& kv : items_) {
+      rows.push_back(kv.second);  // collect in hash order ...
+    }
+    std::sort(rows.begin(), rows.end());  // ... but sort before the sink
+    for (const auto& row : rows) {
+      out.Append(row);
+    }
+  }
+
+  void Fingerprint(relational::RowDigestAcc& acc) {
+    for (const auto& kv : items_) {
+      acc.Add(kv.second);  // commutative fold: order cannot leak
+    }
+  }
+
+  void DumpOrdered(Json& out) {
+    for (const auto& kv : ordered_) {
+      out.Append(kv.second);  // std::map iterates in key order
+    }
+  }
+
+ private:
+  std::unordered_map<int, std::string> items_;
+  std::map<int, std::string> ordered_;
+};

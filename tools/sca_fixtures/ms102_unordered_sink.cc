@@ -1,0 +1,32 @@
+// medsync-sca fixture: MS102 MUST fire twice. Both loops iterate a
+// std::unordered_map — whose order is implementation-defined — and feed
+// an order-sensitive sink: once directly (Json::Append) and once through
+// a helper that reaches a digest Update. Either way the emitted bytes
+// change run to run.
+#include <string>
+#include <unordered_map>
+
+#include "common/json.h"
+#include "crypto/sha256.h"
+
+class LeakySnapshot {
+ public:
+  void Dump(Json& out) {
+    for (const auto& kv : items_) {
+      out.Append(kv.second);  // hash order straight into serialized output
+    }
+  }
+
+  void Fingerprint(crypto::Sha256& digest) {
+    for (const auto& kv : items_) {
+      FoldOne(digest, kv.second);  // transitive: helper reaches the digest
+    }
+  }
+
+ private:
+  void FoldOne(crypto::Sha256& digest, const std::string& value) {
+    digest.Update(value.data(), value.size());
+  }
+
+  std::unordered_map<int, std::string> items_;
+};

@@ -1,0 +1,35 @@
+// medsync-sca fixture: MS103 MUST fire twice. Both callbacks run on the
+// single-threaded net::EventLoop; one fsyncs through a helper chain, one
+// parks on CondVar::Wait. Either blocks every timer and connection in the
+// process for the duration.
+#include <unistd.h>
+
+#include "common/threading/mutex.h"
+#include "net/event_loop.h"
+
+class BlockingServer {
+ public:
+  void Start() {
+    loop_->Schedule(0, [this] { PersistNow(); });  // fsync on the loop
+    loop_->WatchFd(fd_, true, false,
+                   [this](int fd, bool r, bool w) { AwaitTurn(); });
+  }
+
+ private:
+  void PersistNow() { SyncFile(fd_); }
+
+  void SyncFile(int fd) {
+    fsync(fd);  // transitive: two hops below the registration
+  }
+
+  void AwaitTurn() {
+    threading::MutexLock lock(mu_);
+    while (!ready_) cv_.Wait(mu_);  // parks the loop thread
+  }
+
+  net::EventLoop* loop_;
+  threading::Mutex mu_;
+  threading::CondVar cv_;
+  bool ready_ = false;
+  int fd_ = -1;
+};

@@ -1,0 +1,30 @@
+// medsync-sca fixture: MS103 must stay SILENT. The first callback does
+// bounded non-blocking work (the corrected form: stage state, let the
+// loop breathe). The second DOES block but carries an inline audited
+// suppression — the fixture proves `// medsync-sca(MS103): ...` works.
+#include <unistd.h>
+
+#include "net/event_loop.h"
+
+class PoliteServer {
+ public:
+  void Start() {
+    loop_->Schedule(0, [this] { Tick(); });
+    loop_->Schedule(0, [this] { Checkpoint(); });  // medsync-sca(MS103): audited fixture suppression — durability tick, bounded by fixture contract
+  }
+
+ private:
+  void Tick() {
+    ++ticks_;
+    Stage(ticks_);
+  }
+
+  void Stage(int generation) { staged_ = generation; }
+
+  void Checkpoint() { fsync(fd_); }
+
+  net::EventLoop* loop_;
+  int ticks_ = 0;
+  int staged_ = 0;
+  int fd_ = -1;
+};

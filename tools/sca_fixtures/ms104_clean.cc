@@ -1,0 +1,39 @@
+// medsync-sca fixture: MS104 must stay SILENT — every sanctioned way to
+// consume a bound Status/Result: branch on it, return it, pass it on,
+// fold it into another status, or discard it loudly by name.
+#include "common/status.h"
+
+Status WriteThing();
+void Consume(const Status& s);
+
+Status BranchOnIt() {
+  Status s = WriteThing();
+  if (!s.ok()) return s;
+  return Status::OK();
+}
+
+Status ReturnIt() {
+  Status s = WriteThing();
+  return s;
+}
+
+void PassItOn() {
+  Status s = WriteThing();
+  Consume(s);
+}
+
+void FoldIt() {
+  Status first = WriteThing();
+  Status second = WriteThing();
+  if (first.ok() && second.ok()) Consume(first);
+}
+
+void DiscardLoudly() {
+  Status best_effort = WriteThing();
+  best_effort.IgnoreStatusForTest();  // grep-able, unlike a (void) cast
+}
+
+void AutoUsed() {
+  auto outcome = WriteThing();
+  Consume(outcome);
+}

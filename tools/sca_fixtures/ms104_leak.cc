@@ -1,0 +1,16 @@
+// medsync-sca fixture: MS104 MUST fire twice. Both bindings silence
+// [[nodiscard]] + -Werror=unused-result by giving the Status a name, then
+// never read it — the caller observes success whether or not the call
+// failed. (This is exactly the gap MS005's `(void)` regex cannot see.)
+#include "common/status.h"
+
+Status WriteThing();
+common::Result<int> CountThing();
+
+void LeakExplicit() {
+  Status ignored = WriteThing();  // bound, never branched on or returned
+}
+
+void LeakAuto() {
+  auto outcome = WriteThing();  // auto-typed leak: same bug, no type token
+}
