@@ -85,14 +85,15 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 
 class CallSite:
-    __slots__ = ("name", "recv_type", "line", "pos")
+    __slots__ = ("name", "recv_type", "line", "pos", "args")
 
     def __init__(self, name: str, recv_type: Optional[str], line: int,
-                 pos: int):
+                 pos: int, args: Sequence[str] = ()):
         self.name = name          # simple or qualified ("Wal::Sync") name
         self.recv_type = recv_type  # class name of receiver when known
         self.line = line
         self.pos = pos            # token index (orders events within a body)
+        self.args = frozenset(args)  # identifiers in the argument list
 
 
 class AcquireSite:
@@ -771,7 +772,6 @@ class TextFrontend:
                 rtype = (type_of(recv) or "").replace("*", "").strip()
                 rtype = rtype.rsplit("::", 1)[-1].split()[-1] if rtype else ""
                 if rtype in LOOP_RECEIVER_TYPES:
-                    close = block_end(i + 1) if False else None
                     # Find the lambda argument's body range.
                     j = i + 1
                     bal = 0
@@ -817,10 +817,24 @@ class TextFrontend:
                 elif i >= 2 and toks[i - 1].text == "::" \
                         and toks[i - 2].kind == "id":
                     name = f"{toks[i - 2].text}::{t.text}"
+                args: Set[str] = set()
+                j = i + 1
+                bal = 0
+                while j < end:
+                    if toks[j].text == "(":
+                        bal += 1
+                    elif toks[j].text == ")":
+                        bal -= 1
+                        if bal == 0:
+                            break
+                    elif toks[j].kind == "id" \
+                            and toks[j].text not in _KEYWORDS:
+                        args.add(toks[j].text)
+                    j += 1
                 # Skip declarations already recorded as locals with type ==
                 # the identifier itself; calls to types (constructors) keep
                 # flowing through resolve(), which simply finds no body.
-                fn.calls.append(CallSite(name, recv_type, t.line, i))
+                fn.calls.append(CallSite(name, recv_type, t.line, i, args))
             i += 1
 
     def _mutex_id(self, toks: List[Tok], idx: int, type_of, fn) -> str:
@@ -1038,15 +1052,20 @@ class ClangFrontend:
                            cursor.location.line)
         pos = [0]
 
-        def visit(node, lock_scope_end):
+        def visit(node, open_sites):
+            # A MutexLock's scope closes with its innermost enclosing
+            # compound statement; scope_end is patched when that compound
+            # finishes visiting, so it lives in the same pos-counter units
+            # as every CallSite (the rules compare the two directly).
+            scope_sites = [] if node.kind == ck.COMPOUND_STMT else open_sites
             for child in node.get_children():
                 pos[0] += 1
                 k = child.kind
                 if k == ck.VAR_DECL and "MutexLock" in child.type.spelling:
-                    mutex = self._mutex_arg(child, cls)
-                    fn.acquires.append(AcquireSite(
-                        mutex, child.location.line, pos[0],
-                        node.extent.end.line * 1000))
+                    site = AcquireSite(self._mutex_arg(child, cls),
+                                       child.location.line, pos[0], pos[0])
+                    fn.acquires.append(site)
+                    scope_sites.append(site)
                 if k == ck.CALL_EXPR:
                     name = child.spelling or ""
                     recv_type = None
@@ -1059,8 +1078,23 @@ class ClangFrontend:
                                 r"\bconst\b|[*&]", "", bt).strip() \
                                 .split("<")[0].rsplit("::", 1)[-1]
                     if name:
+                        args = {c.spelling for c in child.walk_preorder()
+                                if c.kind == ck.DECL_REF_EXPR
+                                and c.spelling}
                         fn.calls.append(CallSite(
-                            name, recv_type, child.location.line, pos[0]))
+                            name, recv_type, child.location.line, pos[0],
+                            args))
+                    if name in REGISTRATION_METHODS \
+                            and recv_type in LOOP_RECEIVER_TYPES:
+                        # The registered callback (lambda argument) spans
+                        # the rest of this call's subtree, so its acquires
+                        # and calls land in (start, pos-after-subtree].
+                        start = pos[0]
+                        visit(child, scope_sites)
+                        fn.registrations.append(Registration(
+                            name, recv_type, child.location.line,
+                            start + 1, pos[0] + 1))
+                        continue
                 if k == ck.CXX_FOR_RANGE_STMT:
                     kids = list(child.get_children())
                     if len(kids) >= 2 and "unordered_" in \
@@ -1070,7 +1104,7 @@ class ClangFrontend:
                                              child.location.line, start,
                                              start)
                         fn.unordered_loops.append(loop)
-                        visit(child, lock_scope_end)
+                        visit(child, scope_sites)
                         loop.body_end = pos[0]
                         continue
                 if k == ck.VAR_DECL and re.match(
@@ -1081,18 +1115,17 @@ class ClangFrontend:
                 if k == ck.DECL_REF_EXPR:
                     fn.tokens.append(Tok("id", child.spelling,
                                          child.location.line))
-                if k == ck.LAMBDA_EXPR:
-                    # Attribute lambda bodies to the enclosing function and
-                    # additionally record registrations at call sites.
-                    pass
-                visit(child, lock_scope_end)
+                visit(child, scope_sites)
+            if node.kind == ck.COMPOUND_STMT:
+                for site in scope_sites:
+                    site.scope_end = pos[0]
 
         body = None
         for child in cursor.get_children():
             if child.kind == ck.COMPOUND_STMT:
                 body = child
         if body is not None:
-            visit(body, None)
+            visit(body, [])
         self.program.add(fn)
 
     def _mutex_arg(self, var_decl, cls) -> str:
@@ -1337,10 +1370,8 @@ class Analyzer:
                     continue
                 if sorted_after and min(sorted_after) < call.pos:
                     break
-                # var appears as an argument to a sink-reaching call?
-                near = any(t.text == var and abs(t_pos - call.pos) < 12
-                           for t_pos, t in enumerate(fn.tokens))
-                if not near:
+                # var appears as an argument to a sink call?
+                if var not in call.args:
                     continue
                 direct = self._is_sink(call, fn)
                 if direct:

@@ -75,6 +75,16 @@ class Ms102DeterminismFlowTest(unittest.TestCase):
         self.assertIn("Append", witness)   # direct sink
         self.assertIn("FoldOne", witness)  # transitive through the helper
 
+    def test_fires_on_unsorted_collect_then_sink(self):
+        # The loop body itself never reaches a sink; the vector it fills
+        # in hash order does, with no sort in between.
+        findings, _ = analyze("ms102_collect_unsorted.cc")
+        ms102 = [f for f in findings if f.rule == "MS102"]
+        self.assertEqual(len(ms102), 1, [f.render() for f in findings])
+        witness = "\n".join(ms102[0].witness)
+        self.assertIn("collects 'rows'", witness)
+        self.assertIn("Serialize", witness)
+
     def test_silent_on_corrected_forms(self):
         findings, _ = analyze("ms102_clean.cc")
         self.assertEqual(findings, [],
@@ -170,6 +180,108 @@ class AllowlistFileTest(unittest.TestCase):
             self.assertEqual(sca.load_allowlist(path), [])
         finally:
             path.unlink()
+
+
+class _FakeCursor:
+    """Minimal stand-in for a clang.cindex Cursor: kind, spelling, type,
+    location, children. Lets the ClangFrontend AST walk run in containers
+    without libclang."""
+
+    def __init__(self, kind, spelling="", type_spelling="", line=1,
+                 children=(), parent=None):
+        from types import SimpleNamespace
+        self.kind = kind
+        self.spelling = spelling
+        self.type = SimpleNamespace(spelling=type_spelling)
+        self.location = SimpleNamespace(line=line, file=None)
+        self.semantic_parent = parent
+        self._children = list(children)
+
+    def get_children(self):
+        return list(self._children)
+
+    def walk_preorder(self):
+        yield self
+        for child in self._children:
+            yield from child.walk_preorder()
+
+
+class ClangFrontendModelTest(unittest.TestCase):
+    """The clang frontend must produce the same program-model shapes the
+    rules consume: event-loop registrations (MS103's input — regression
+    for the frontend that recorded none) and lock scopes in pos-counter
+    units (regression for scope_end = line*1000, which over-approximated
+    every MS101 scope)."""
+
+    def _frontend(self):
+        from types import SimpleNamespace
+        kinds = SimpleNamespace(**{name: object() for name in (
+            "CLASS_DECL", "STRUCT_DECL", "FUNCTION_DECL", "CXX_METHOD",
+            "CONSTRUCTOR", "DESTRUCTOR", "FUNCTION_TEMPLATE",
+            "TRANSLATION_UNIT", "COMPOUND_STMT", "DECL_STMT", "VAR_DECL",
+            "CALL_EXPR", "MEMBER_REF_EXPR", "DECL_REF_EXPR",
+            "CXX_FOR_RANGE_STMT", "LAMBDA_EXPR", "UNEXPOSED_EXPR")})
+        frontend = sca.ClangFrontend.__new__(sca.ClangFrontend)
+        frontend.cindex = SimpleNamespace(CursorKind=kinds)
+        frontend.root = FIXTURES
+        frontend.program = sca.Program()
+        return frontend, kinds
+
+    def _indexed_server_start(self):
+        """Models `void Server::Start() { loop_->Schedule([]{ fsync(fd); });
+        MutexLock l(&mu_); DoThing(); }` and runs _index_function on it."""
+        frontend, ck = self._frontend()
+        loop_ref = _FakeCursor(ck.MEMBER_REF_EXPR, "Schedule", children=[
+            _FakeCursor(ck.DECL_REF_EXPR, "loop_", "net::EventLoop *")])
+        lam = _FakeCursor(ck.LAMBDA_EXPR, children=[
+            _FakeCursor(ck.COMPOUND_STMT, children=[
+                _FakeCursor(ck.CALL_EXPR, "fsync", line=3, children=[
+                    _FakeCursor(ck.DECL_REF_EXPR, "fd")])])])
+        schedule = _FakeCursor(ck.CALL_EXPR, "Schedule", line=2,
+                               children=[loop_ref, lam])
+        lock = _FakeCursor(ck.DECL_STMT, children=[
+            _FakeCursor(ck.VAR_DECL, "l", "threading::MutexLock", line=5,
+                        children=[_FakeCursor(ck.UNEXPOSED_EXPR, children=[
+                            _FakeCursor(ck.MEMBER_REF_EXPR, "mu_")])])])
+        tail_call = _FakeCursor(ck.CALL_EXPR, "DoThing", line=6)
+        body = _FakeCursor(ck.COMPOUND_STMT,
+                           children=[schedule, lock, tail_call])
+        cls = _FakeCursor(ck.CLASS_DECL, "Server")
+        fn_cursor = _FakeCursor(ck.CXX_METHOD, "Start", line=1,
+                                children=[body], parent=cls)
+        frontend._index_function(fn_cursor, "fake.cc")
+        (fn,) = frontend.program.functions
+        return frontend.program, fn
+
+    def test_records_event_loop_registrations(self):
+        program, fn = self._indexed_server_start()
+        self.assertEqual(len(fn.registrations), 1)
+        reg = fn.registrations[0]
+        self.assertEqual((reg.kind, reg.recv_type), ("Schedule", "EventLoop"))
+        # The lambda's fsync call must land inside the recorded body range
+        # (and the later DoThing call outside it) so MS103 can attribute it.
+        fsync = next(c for c in fn.calls if c.name == "fsync")
+        tail = next(c for c in fn.calls if c.name == "DoThing")
+        self.assertTrue(reg.body_start <= fsync.pos < reg.body_end)
+        self.assertFalse(reg.body_start <= tail.pos < reg.body_end)
+
+    def test_ms103_fires_on_the_clang_model(self):
+        program, _ = self._indexed_server_start()
+        findings = sca.run_rules(program)
+        self.assertIn("MS103", rules_of(findings))
+        ms103 = next(f for f in findings if f.rule == "MS103")
+        self.assertIn("fsync", "\n".join(ms103.witness))
+
+    def test_lock_scope_end_is_in_pos_counter_units(self):
+        program, fn = self._indexed_server_start()
+        (site,) = fn.acquires
+        self.assertEqual(site.mutex, "Server::mu_")
+        tail = next(c for c in fn.calls if c.name == "DoThing")
+        # scope_end closes with the enclosing compound: it covers the call
+        # after the acquisition and stays in the same counter the call
+        # sites use (the old line*1000 scale would be >= 1000 here).
+        self.assertGreaterEqual(site.scope_end, tail.pos)
+        self.assertLess(site.scope_end, 100)
 
 
 class FrontendSelectionTest(unittest.TestCase):

@@ -1,0 +1,25 @@
+// medsync-sca fixture: MS102 MUST fire — the collect-then-sink leg. The
+// loop gathers values out of a std::unordered_map into a vector and hands
+// the vector straight to a serializer with no sort in between: the
+// vector's element order *is* the hash order, so the sink's bytes still
+// change run to run even though the sink sits outside the loop body.
+// (ms102_clean.cc's DumpSorted is the corrected form of this flow.)
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+void Serialize(const std::vector<std::string>& rows);
+
+class UnsortedCollector {
+ public:
+  void Dump() {
+    std::vector<std::string> rows;
+    for (const auto& kv : items_) {
+      rows.push_back(kv.second);  // hash order preserved in the vector ...
+    }
+    Serialize(rows);  // ... and consumed unsorted by the sink
+  }
+
+ private:
+  std::unordered_map<int, std::string> items_;
+};
